@@ -1,0 +1,217 @@
+//! Criterion micro-benchmarks of every substrate the figures depend on:
+//! GEMM, spectral-norm estimation, the three compressors (both directions),
+//! weight quantization, bound evaluation, and pipeline planning.
+//!
+//! These measured numbers back the analytical throughput models in
+//! DESIGN.md §3 (substitutions 3 and 4).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use errflow_compress::{Compressor, ErrorBound, MgardCompressor, SzCompressor, ZfpCompressor};
+use errflow_core::{quantize_model, NetworkAnalysis};
+use errflow_nn::{Activation, Mlp, Model};
+use errflow_pipeline::{Planner, PlannerConfig};
+use errflow_quant::QuantFormat;
+use errflow_tensor::spectral::{power_iteration, PowerIterationOpts};
+use errflow_tensor::init;
+use errflow_tensor::norms::Norm;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn smooth_payload(n: usize) -> Vec<f32> {
+    (0..n)
+        .map(|i| {
+            let t = i as f32 / n as f32;
+            (t * 14.0).sin() * 2.0 + 0.3 * (t * 90.0).cos()
+        })
+        .collect()
+}
+
+fn bench_gemm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tensor/gemm");
+    for n in [64usize, 128, 256] {
+        let mut rng = StdRng::seed_from_u64(1);
+        let a = init::uniform(n, n, 1.0, &mut rng);
+        let b = init::uniform(n, n, 1.0, &mut rng);
+        group.throughput(Throughput::Elements((2 * n * n * n) as u64));
+        group.bench_function(format!("{n}x{n}"), |bench| {
+            bench.iter(|| a.matmul(&b).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_spectral(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tensor/spectral_norm");
+    for n in [50usize, 200] {
+        let mut rng = StdRng::seed_from_u64(2);
+        let w = init::uniform(n, n, 1.0, &mut rng);
+        group.bench_function(format!("power_iteration_{n}"), |bench| {
+            bench.iter(|| power_iteration(&w, PowerIterationOpts::default()).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_compressors(c: &mut Criterion) {
+    let data = smooth_payload(65_536);
+    let bound = ErrorBound::rel_linf(1e-4);
+    let backends: Vec<Box<dyn Compressor>> = vec![
+        Box::new(ZfpCompressor::default()),
+        Box::new(SzCompressor::default()),
+        Box::new(MgardCompressor::default()),
+    ];
+    let mut group = c.benchmark_group("compress");
+    group.throughput(Throughput::Bytes((data.len() * 4) as u64));
+    for backend in &backends {
+        group.bench_function(format!("{}/compress", backend.name()), |bench| {
+            bench.iter(|| backend.compress(&data, &bound).unwrap())
+        });
+        let stream = backend.compress(&data, &bound).unwrap();
+        group.bench_function(format!("{}/decompress", backend.name()), |bench| {
+            bench.iter(|| backend.decompress(&stream).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_chunked_and_2d(c: &mut Criterion) {
+    use errflow_compress::chunked::ChunkedCompressor;
+    use errflow_compress::sz2d::Sz2dCompressor;
+    let data = smooth_payload(262_144);
+    let bound = ErrorBound::abs_linf(1e-4);
+    let mut group = c.benchmark_group("compress/parallel_and_2d");
+    group.throughput(Throughput::Bytes((data.len() * 4) as u64));
+    let chunked = ChunkedCompressor::new(SzCompressor::default());
+    let stream = chunked.compress(&data, &bound).unwrap();
+    group.bench_function("chunked_sz/decompress", |bench| {
+        bench.iter(|| chunked.decompress(&stream).unwrap())
+    });
+    let serial = ChunkedCompressor::new(SzCompressor::default()).with_threads(1);
+    group.bench_function("chunked_sz/decompress_1thread", |bench| {
+        bench.iter(|| serial.decompress(&stream).unwrap())
+    });
+    let sz2d = Sz2dCompressor::new();
+    let stream2d = sz2d.compress(&data, 512, 512, &bound).unwrap();
+    group.bench_function("sz2d/compress", |bench| {
+        bench.iter(|| sz2d.compress(&data, 512, 512, &bound).unwrap())
+    });
+    group.bench_function("sz2d/decompress", |bench| {
+        bench.iter(|| sz2d.decompress(&stream2d).unwrap())
+    });
+    group.finish();
+}
+
+fn bench_huffman(c: &mut Criterion) {
+    use errflow_compress::huffman;
+    let mut rng = StdRng::seed_from_u64(8);
+    use rand::Rng;
+    // Skewed alphabet typical of quantization codes.
+    let symbols: Vec<u32> = (0..262_144)
+        .map(|_| {
+            if rng.gen_bool(0.9) {
+                32768
+            } else {
+                32768 + rng.gen_range(-20i64..20) as u32
+            }
+        })
+        .collect();
+    let stream = huffman::encode(&symbols);
+    let mut group = c.benchmark_group("compress/huffman");
+    group.throughput(Throughput::Elements(symbols.len() as u64));
+    group.bench_function("encode", |bench| bench.iter(|| huffman::encode(&symbols)));
+    group.bench_function("decode", |bench| {
+        bench.iter(|| huffman::decode(&stream).unwrap())
+    });
+    group.finish();
+}
+
+fn bench_quantization(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(3);
+    let w = init::uniform(256, 256, 0.5, &mut rng);
+    let mut group = c.benchmark_group("quant");
+    group.throughput(Throughput::Elements((256 * 256) as u64));
+    for format in QuantFormat::REDUCED {
+        group.bench_function(format!("quantize_matrix/{}", format.label()), |bench| {
+            bench.iter(|| format.quantize_matrix(&w))
+        });
+        group.bench_function(format!("step_size/{}", format.label()), |bench| {
+            bench.iter(|| format.step_size(&w))
+        });
+    }
+    group.finish();
+}
+
+fn bench_analysis(c: &mut Criterion) {
+    let model = Mlp::new(
+        &[13, 48, 48, 48, 48, 48, 48, 48, 48, 3],
+        Activation::PRelu(0.25),
+        Activation::Identity,
+        4,
+        None,
+    );
+    let mut group = c.benchmark_group("core");
+    group.bench_function("network_analysis/9_layer_mlp", |bench| {
+        bench.iter(|| NetworkAnalysis::of(&model))
+    });
+    let analysis = NetworkAnalysis::of(&model);
+    group.bench_function("combined_bound", |bench| {
+        bench.iter(|| analysis.combined_bound(1e-4, QuantFormat::Fp16))
+    });
+    group.bench_function("per_feature_bounds", |bench| {
+        bench.iter(|| analysis.per_feature_bounds(1e-4, QuantFormat::Fp16))
+    });
+    group.bench_function("quantize_model/fp16", |bench| {
+        bench.iter(|| quantize_model(&model, QuantFormat::Fp16))
+    });
+    group.finish();
+}
+
+fn bench_pipeline(c: &mut Criterion) {
+    let model = Mlp::new(
+        &[9, 50, 50, 9],
+        Activation::Tanh,
+        Activation::Identity,
+        5,
+        None,
+    );
+    let mut rng = StdRng::seed_from_u64(6);
+    let calibration: Vec<Vec<f32>> = (0..32)
+        .map(|_| init::uniform_vec(9, 1.0, &mut rng))
+        .collect();
+    let mut group = c.benchmark_group("pipeline");
+    group.bench_function("planner_new", |bench| {
+        bench.iter_batched(
+            || calibration.clone(),
+            |cal| Planner::new(&model, &cal),
+            BatchSize::SmallInput,
+        )
+    });
+    let planner = Planner::new(&model, &calibration);
+    group.bench_function("plan", |bench| {
+        bench.iter(|| {
+            planner.plan(&PlannerConfig {
+                rel_tolerance: 1e-3,
+                norm: Norm::LInf,
+                quant_share: 0.5,
+            })
+        })
+    });
+    group.bench_function("forward/h2_mlp", |bench| {
+        let x = init::uniform_vec(9, 1.0, &mut rng);
+        bench.iter(|| model.forward(&x))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_gemm,
+    bench_spectral,
+    bench_compressors,
+    bench_chunked_and_2d,
+    bench_huffman,
+    bench_quantization,
+    bench_analysis,
+    bench_pipeline
+);
+criterion_main!(benches);

@@ -1,0 +1,89 @@
+//! Ablation: fixed quantization share vs exhaustive best allocation vs the
+//! model-based optimizer.
+//!
+//! §IV-D observes that no fixed share of the tolerance is optimal across
+//! all tolerance values and calls for an allocation optimizer (future
+//! work).  This ablation quantifies the gap: end-to-end throughput of each
+//! fixed share, the best share found by exhaustive *execution*, and the
+//! share chosen by `Planner::plan_optimal` (the future-work algorithm,
+//! which only probes a payload sample through the ratio model).
+use errflow_bench::experiments::{calibration, figure_storage, layout_for};
+use errflow_pipeline::planner::flatten;
+use errflow_bench::report::{fixed, sci, Table};
+use errflow_bench::tasks::TrainedTask;
+use errflow_pipeline::{Planner, PlannerConfig};
+use errflow_scidata::task::TrainingMode;
+use errflow_scidata::TaskKind;
+use errflow_tensor::norms::Norm;
+
+fn main() {
+    let backend = errflow_compress::SzCompressor;
+    let mut table = Table::new(
+        "Ablation — fixed vs best tolerance allocation (SZ, L-infinity)",
+        &[
+            "task",
+            "qoi_tolerance",
+            "gbps_share_0.1",
+            "gbps_share_0.5",
+            "gbps_share_0.9",
+            "best_share",
+            "best_gbps",
+            "optimizer_share",
+            "optimizer_gbps",
+        ],
+    );
+    for kind in TaskKind::ALL {
+        let tt = TrainedTask::prepare(kind, TrainingMode::Psn, 7);
+        let planner = Planner::new_calibrated(&tt.model, &calibration(&tt), 1.5)
+            .with_storage_model(figure_storage());
+        let inputs: Vec<Vec<f32>> = tt.task.ordered_inputs().iter().take(300).cloned().collect();
+        let layout = layout_for(kind);
+        for tol in [1e-4, 1e-3, 1e-2] {
+            let run = |share: f64| -> f64 {
+                let plan = planner.plan(&PlannerConfig {
+                    rel_tolerance: tol,
+                    norm: Norm::LInf,
+                    quant_share: share,
+                });
+                planner
+                    .execute(&plan, &backend, &inputs, Norm::LInf, layout)
+                    .map(|r| r.end_to_end_gbps)
+                    .unwrap_or(0.0)
+            };
+            let fixed_shares = [0.1, 0.5, 0.9];
+            let fixed_results: Vec<f64> = fixed_shares.iter().map(|&s| run(s)).collect();
+            let mut best = (0.0, 0.0);
+            for i in 1..10 {
+                let s = i as f64 / 10.0;
+                let g = run(s);
+                if g > best.1 {
+                    best = (s, g);
+                }
+            }
+            // Model-based optimizer (no full execution in the loop).
+            let payload = flatten(&inputs, layout);
+            let d = inputs[0].len();
+            let (opt_plan, _) = planner
+                .plan_optimal(tol, Norm::LInf, &backend, &payload, d)
+                .expect("optimizer");
+            // Find the share that produced this plan (approximate label).
+            let opt_share = opt_plan.predicted_quant_bound / opt_plan.abs_tolerance.max(1e-300);
+            let opt_gbps = planner
+                .execute(&opt_plan, &backend, &inputs, Norm::LInf, layout)
+                .map(|r| r.end_to_end_gbps)
+                .unwrap_or(0.0);
+            table.push(vec![
+                kind.name().to_string(),
+                sci(tol),
+                fixed(fixed_results[0]),
+                fixed(fixed_results[1]),
+                fixed(fixed_results[2]),
+                fixed(best.0),
+                fixed(best.1),
+                fixed(opt_share),
+                fixed(opt_gbps),
+            ]);
+        }
+    }
+    table.print();
+}

@@ -1,0 +1,69 @@
+//! Ablation: worst-case vs calibrated-magnitude quantization bounds.
+//!
+//! The paper bounds each layer's activation magnitude by `√n₀·Πσ̃`, which
+//! compounds badly with depth.  The calibrated extension
+//! (`NetworkAnalysis::of_calibrated`) replaces it with measured magnitudes
+//! × a 1.5 safety factor.  This ablation reports, per task and format:
+//! both bounds, the achieved error, and the tolerance at which each
+//! planner variant first unlocks a reduced-precision format.
+use errflow_bench::experiments::{calibration, make_planner};
+use errflow_bench::report::{sci, Table};
+use errflow_bench::tasks::TrainedTask;
+use errflow_core::{quantize_model, NetworkAnalysis};
+use errflow_nn::Model;
+use errflow_pipeline::PlannerConfig;
+use errflow_quant::QuantFormat;
+use errflow_scidata::task::TrainingMode;
+use errflow_scidata::TaskKind;
+use errflow_tensor::norms::{diff_norm, Norm};
+
+fn main() {
+    let mut bounds_table = Table::new(
+        "Ablation — quantization bound: worst-case vs calibrated (L2, absolute)",
+        &["task", "format", "worst_case", "calibrated", "achieved_max"],
+    );
+    let mut unlock_table = Table::new(
+        "Ablation — first reduced-format unlock tolerance (relative, share 0.5)",
+        &["task", "worst_case_unlock", "calibrated_unlock"],
+    );
+    for kind in TaskKind::ALL {
+        let tt = TrainedTask::prepare(kind, TrainingMode::Psn, 7);
+        let cal_inputs = calibration(&tt);
+        let worst = &tt.analysis;
+        let calibrated = NetworkAnalysis::of_calibrated(&tt.model, &cal_inputs, 1.5);
+        for format in QuantFormat::REDUCED {
+            let qm = quantize_model(&tt.model, format);
+            let mut achieved = 0.0f64;
+            for x in tt.task.ordered_inputs().iter().take(150) {
+                let y = tt.model.forward(x);
+                let yq = qm.forward(x);
+                achieved = achieved.max(diff_norm(&y, &yq, Norm::L2));
+            }
+            bounds_table.push(vec![
+                kind.name().to_string(),
+                format.label().to_string(),
+                sci(worst.quantization_bound(format)),
+                sci(calibrated.quantization_bound(format)),
+                sci(achieved),
+            ]);
+        }
+        let unlock = |calibrated: bool| -> String {
+            let planner = make_planner(&tt, calibrated);
+            for i in 0..240 {
+                let tol = 10f64.powf(-8.0 + i as f64 * 0.05);
+                let plan = planner.plan(&PlannerConfig {
+                    rel_tolerance: tol,
+                    norm: Norm::LInf,
+                    quant_share: 0.5,
+                });
+                if plan.format != QuantFormat::Fp32 {
+                    return sci(tol);
+                }
+            }
+            "never".to_string()
+        };
+        unlock_table.push(vec![kind.name().to_string(), unlock(false), unlock(true)]);
+    }
+    bounds_table.print();
+    unlock_table.print();
+}

@@ -1,0 +1,37 @@
+//! Ablation: mantissa bits vs quantization error — the Future Work study.
+//!
+//! The paper's conclusion argues for "lower-precision formats with
+//! increased mantissa bits".  This ablation sweeps hypothetical formats
+//! with a full FP32 exponent and m ∈ {4..20} mantissa bits, measuring the
+//! achieved QoI error and the Table-I-style predicted bound on the H2 task.
+use errflow_bench::report::{sci, Table};
+use errflow_bench::tasks::TrainedTask;
+use errflow_nn::Model;
+use errflow_quant::fp::round_mantissa;
+use errflow_scidata::task::TrainingMode;
+use errflow_scidata::TaskKind;
+use errflow_tensor::norms::{diff_norm, Norm};
+
+fn main() {
+    let tt = TrainedTask::prepare(TaskKind::H2Combustion, TrainingMode::Psn, 7);
+    let mut table = Table::new(
+        "Ablation — hypothetical formats: mantissa bits vs QoI error (H2)",
+        &["mantissa_bits", "achieved_rel_l2", "achieved_rel_linf"],
+    );
+    let inputs: Vec<Vec<f32>> = tt.task.ordered_inputs().iter().take(200).cloned().collect();
+    for m in [4u32, 6, 8, 10, 12, 14, 16, 20] {
+        let qm = tt.model.map_weights(&mut |w| w.map(|v| round_mantissa(v, m)));
+        let mut worst_l2 = 0.0f64;
+        let mut worst_linf = 0.0f64;
+        for x in &inputs {
+            let y = tt.model.forward(x);
+            let yq = qm.forward(x);
+            let r2 = Norm::L2.eval(&y).max(f64::MIN_POSITIVE);
+            let ri = Norm::LInf.eval(&y).max(f64::MIN_POSITIVE);
+            worst_l2 = worst_l2.max(diff_norm(&y, &yq, Norm::L2) / r2);
+            worst_linf = worst_linf.max(diff_norm(&y, &yq, Norm::LInf) / ri);
+        }
+        table.push(vec![m.to_string(), sci(worst_l2), sci(worst_linf)]);
+    }
+    table.print();
+}

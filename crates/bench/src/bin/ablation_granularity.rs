@@ -1,0 +1,56 @@
+//! Ablation: quantization granularity — per-tensor vs row-wise vs
+//! block-wise INT8 (the paper's Future Work comparison).
+//!
+//! Quantizes each trained model's weights at the three granularities and
+//! reports the achieved QoI error plus the per-tensor Table-I bound (which
+//! must dominate all three, since finer granularities only shrink steps).
+use errflow_bench::report::{sci, Table};
+use errflow_bench::tasks::TrainedTask;
+use errflow_nn::Model;
+use errflow_quant::blockwise::quantize_int8_blockwise;
+use errflow_quant::rowwise::quantize_int8_rowwise;
+use errflow_quant::QuantFormat;
+use errflow_scidata::task::TrainingMode;
+use errflow_scidata::TaskKind;
+use errflow_tensor::norms::{diff_norm, Norm};
+
+fn main() {
+    let mut table = Table::new(
+        "Ablation — INT8 granularity: per-tensor vs row-wise vs block-wise (L2, relative)",
+        &[
+            "task",
+            "tensor_bound",
+            "per_tensor",
+            "row_wise",
+            "block_wise_8",
+        ],
+    );
+    for kind in TaskKind::ALL {
+        let tt = TrainedTask::prepare(kind, TrainingMode::Psn, 7);
+        let per_tensor = errflow_core::quantize_model(&tt.model, QuantFormat::Int8);
+        let row = tt
+            .model
+            .map_weights(&mut |w| quantize_int8_rowwise(w).dequantize());
+        let block = tt
+            .model
+            .map_weights(&mut |w| quantize_int8_blockwise(w, 8).dequantize());
+        let mut worst = [0.0f64; 3];
+        let mut reference = 0.0f64;
+        for x in tt.task.ordered_inputs().iter().take(150) {
+            let y = tt.model.forward(x);
+            reference = reference.max(Norm::L2.eval(&y));
+            for (i, qm) in [&per_tensor, &row, &block].iter().enumerate() {
+                worst[i] = worst[i].max(diff_norm(&y, &qm.forward(x), Norm::L2));
+            }
+        }
+        let refv = reference.max(f64::MIN_POSITIVE);
+        table.push(vec![
+            kind.name().to_string(),
+            sci(tt.analysis.quantization_bound(QuantFormat::Int8) / refv),
+            sci(worst[0] / refv),
+            sci(worst[1] / refv),
+            sci(worst[2] / refv),
+        ]);
+    }
+    table.print();
+}

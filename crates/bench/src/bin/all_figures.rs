@@ -1,0 +1,198 @@
+//! Regenerates every table and figure of the paper in one run, sharing
+//! trained models across experiments.  Output is the markdown body of
+//! EXPERIMENTS.md.
+//!
+//! ```sh
+//! cargo run --release -p errflow-bench --bin all_figures | tee experiments.out
+//! ```
+
+use errflow_bench::experiments::*;
+use errflow_bench::report::{sci, Table};
+use errflow_bench::tasks::TrainedTask;
+use errflow_core::analysis::format_index;
+use errflow_pipeline::stage::breakdown;
+use errflow_pipeline::StorageModel;
+use errflow_quant::throughput::ExecutionModel;
+use errflow_quant::QuantFormat;
+use errflow_scidata::task::TrainingMode;
+use errflow_scidata::TaskKind;
+use errflow_tensor::norms::Norm;
+
+fn main() {
+    let t0 = std::time::Instant::now();
+    eprintln!("[all_figures] training models (3 kinds x 3 modes)...");
+    let psn = TrainedTask::prepare_all_psn(7);
+    let plain: Vec<TrainedTask> = TaskKind::ALL
+        .iter()
+        .map(|&k| TrainedTask::prepare(k, TrainingMode::Plain, 7))
+        .collect();
+    let wd: Vec<TrainedTask> = TaskKind::ALL
+        .iter()
+        .map(|&k| TrainedTask::prepare(k, TrainingMode::WeightDecay, 7))
+        .collect();
+    eprintln!("[all_figures] models ready in {:.1}s", t0.elapsed().as_secs_f64());
+
+    // ---- Table I ------------------------------------------------------
+    let mut t1 = Table::new(
+        "Table I — average quantization step size q(W) per layer (PSN models)",
+        &["task", "layer", "tf32", "fp16", "bf16", "int8"],
+    );
+    for tt in &psn {
+        for (b, block) in tt.analysis.blocks().iter().enumerate() {
+            for (l, layer) in block.layers.iter().enumerate() {
+                t1.push(vec![
+                    tt.name().to_string(),
+                    format!("b{b}.l{l}"),
+                    sci(layer.q_steps[format_index(QuantFormat::Tf32)]),
+                    sci(layer.q_steps[format_index(QuantFormat::Fp16)]),
+                    sci(layer.q_steps[format_index(QuantFormat::Bf16)]),
+                    sci(layer.q_steps[format_index(QuantFormat::Int8)]),
+                ]);
+            }
+        }
+    }
+    t1.print();
+
+    // ---- Fig. 2 ---------------------------------------------------------
+    let storage = StorageModel::default();
+    let exec = ExecutionModel::default();
+    let zoo: [(&str, f64, usize); 6] = [
+        ("resnet18", 1.8e9, 224 * 224 * 3 * 4),
+        ("resnet34", 3.6e9, 224 * 224 * 3 * 4),
+        ("resnet50", 4.1e9, 224 * 224 * 3 * 4),
+        ("mlp_s", 0.5e6, 256 * 4),
+        ("mlp_m", 4.2e6, 1024 * 4),
+        ("mlp_l", 33.7e6, 4096 * 4),
+    ];
+    let mut f2 = Table::new(
+        "Fig. 2 — inference time breakdown (%, FP32)",
+        &["model", "load_pct", "preprocess_pct", "execute_pct"],
+    );
+    for (name, flops, bytes) in zoo {
+        let b = breakdown(&storage, &exec, 10_000, bytes, flops, QuantFormat::Fp32);
+        let (l, p, x) = b.percentages();
+        f2.push(vec![
+            name.to_string(),
+            format!("{l:.1}"),
+            format!("{p:.1}"),
+            format!("{x:.1}"),
+        ]);
+    }
+    f2.print();
+
+    // ---- Figs. 3 & 4 ----------------------------------------------------
+    let levels = [1e-6, 1e-5, 1e-4, 1e-3, 1e-2];
+    for norm in [Norm::LInf, Norm::L2] {
+        let fig = if norm == Norm::LInf { 3 } else { 4 };
+        eprintln!("[all_figures] fig {fig} ({norm})...");
+        for i in 0..3 {
+            let variants = [
+                ("psn", &psn[i]),
+                ("baseline", &plain[i]),
+                ("weight_decay", &wd[i]),
+            ];
+            let mut t = compression_error_table(&variants, norm, &levels, 5, 200);
+            t = retitle(t, format!("Fig. {fig}"));
+            t.print();
+            let mut pf = per_feature_table(&psn[i], norm, 1e-5, 200);
+            pf = retitle(pf, format!("Fig. {fig} (per-feature)"));
+            pf.print();
+        }
+    }
+
+    // ---- Figs. 5 & 6 ----------------------------------------------------
+    eprintln!("[all_figures] figs 5-6...");
+    retitle(
+        quantization_error_table(&psn, Norm::LInf, 5, 200),
+        "Fig. 5".into(),
+    )
+    .print();
+    retitle(
+        quantization_error_table(&psn, Norm::L2, 5, 200),
+        "Fig. 6".into(),
+    )
+    .print();
+    for tt in &psn {
+        retitle(
+            per_feature_quantization_table(tt, QuantFormat::Fp16, 200),
+            "Fig. 5/6 (per-feature)".into(),
+        )
+        .print();
+    }
+
+    // ---- Figs. 7 & 8 ----------------------------------------------------
+    eprintln!("[all_figures] figs 7-8...");
+    retitle(
+        io_throughput_table(&psn, Norm::LInf, &standard_tolerances()),
+        "Fig. 7".into(),
+    )
+    .print();
+    retitle(
+        io_throughput_table(&psn, Norm::L2, &standard_tolerances()),
+        "Fig. 8".into(),
+    )
+    .print();
+
+    // ---- Fig. 9 ---------------------------------------------------------
+    retitle(exec_throughput_table(), "Fig. 9".into()).print();
+
+    // ---- Fig. 10 --------------------------------------------------------
+    eprintln!("[all_figures] fig 10...");
+    let tols10 = [1e-5, 3e-5, 1e-4, 3e-4, 1e-3, 3e-3, 1e-2, 3e-2, 1e-1];
+    retitle(
+        coordination_table(&psn[0], Norm::LInf, &tols10, true),
+        "Fig. 10 (left)".into(),
+    )
+    .print();
+    let sz = errflow_compress::SzCompressor;
+    retitle(
+        pipeline_table(
+            std::slice::from_ref(&psn[0]),
+            &sz,
+            Norm::LInf,
+            &tols10,
+            &[0.9],
+            300,
+            true,
+        ),
+        "Fig. 10 (right)".into(),
+    )
+    .print();
+
+    // ---- Figs. 11–15 ----------------------------------------------------
+    let mgard = errflow_compress::MgardCompressor;
+    let zfp = errflow_compress::ZfpCompressor;
+    let specs: [(&str, &dyn errflow_compress::Compressor, Norm); 5] = [
+        ("Fig. 11", &mgard, Norm::LInf),
+        ("Fig. 12", &mgard, Norm::L2),
+        ("Fig. 13", &sz, Norm::LInf),
+        ("Fig. 14", &sz, Norm::L2),
+        ("Fig. 15", &zfp, Norm::LInf),
+    ];
+    for (fig, backend, norm) in specs {
+        eprintln!("[all_figures] {fig}...");
+        retitle(
+            pipeline_table(
+                &psn,
+                backend,
+                norm,
+                &standard_tolerances(),
+                &standard_shares(),
+                300,
+                true,
+            ),
+            fig.into(),
+        )
+        .print();
+    }
+
+    eprintln!(
+        "[all_figures] complete in {:.1}s",
+        t0.elapsed().as_secs_f64()
+    );
+}
+
+/// Prefixes a table's title with the figure id.
+fn retitle(t: Table, prefix: String) -> Table {
+    t.with_title_prefix(&prefix)
+}

@@ -1,0 +1,35 @@
+//! Fig. 2: percentage of inference time spent in data loading,
+//! preprocessing, and model execution across the model zoo.
+use errflow_bench::report::{fixed, Table};
+use errflow_pipeline::stage::breakdown;
+use errflow_pipeline::StorageModel;
+use errflow_quant::throughput::ExecutionModel;
+use errflow_quant::QuantFormat;
+
+fn main() {
+    let storage = StorageModel::default();
+    let exec = ExecutionModel::default();
+    let zoo: [(&str, f64, usize); 6] = [
+        ("resnet18", 1.8e9, 224 * 224 * 3 * 4),
+        ("resnet34", 3.6e9, 224 * 224 * 3 * 4),
+        ("resnet50", 4.1e9, 224 * 224 * 3 * 4),
+        ("mlp_s", 0.5e6, 256 * 4),
+        ("mlp_m", 4.2e6, 1024 * 4),
+        ("mlp_l", 33.7e6, 4096 * 4),
+    ];
+    let mut table = Table::new(
+        "Fig. 2 — inference time breakdown (%, FP32, batch of 10k samples)",
+        &["model", "load_pct", "preprocess_pct", "execute_pct"],
+    );
+    for (name, flops, bytes) in zoo {
+        let b = breakdown(&storage, &exec, 10_000, bytes, flops, QuantFormat::Fp32);
+        let (l, p, x) = b.percentages();
+        table.push(vec![
+            name.to_string(),
+            fixed(l),
+            fixed(p),
+            fixed(x),
+        ]);
+    }
+    table.print();
+}

@@ -1,0 +1,19 @@
+//! Fig. 3: compression-error bound vs achieved error (L∞), global and
+//! per-feature, PSN vs baseline vs weight decay.
+use errflow_bench::experiments::{compression_error_table, per_feature_table};
+use errflow_bench::tasks::TrainedTask;
+use errflow_scidata::task::TrainingMode;
+use errflow_scidata::TaskKind;
+use errflow_tensor::norms::Norm;
+
+fn main() {
+    let levels = [1e-6, 1e-5, 1e-4, 1e-3, 1e-2];
+    for kind in TaskKind::ALL {
+        let psn = TrainedTask::prepare(kind, TrainingMode::Psn, 7);
+        let plain = TrainedTask::prepare(kind, TrainingMode::Plain, 7);
+        let wd = TrainedTask::prepare(kind, TrainingMode::WeightDecay, 7);
+        let variants = [("psn", &psn), ("baseline", &plain), ("weight_decay", &wd)];
+        compression_error_table(&variants, Norm::LInf, &levels, 5, 200).print();
+        per_feature_table(&psn, Norm::LInf, 1e-5, 200).print();
+    }
+}

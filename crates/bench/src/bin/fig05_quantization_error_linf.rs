@@ -1,0 +1,9 @@
+//! Fig. 5: quantization bound vs achieved relative QoI error per format (L∞).
+use errflow_bench::experiments::quantization_error_table;
+use errflow_bench::tasks::TrainedTask;
+use errflow_tensor::norms::Norm;
+
+fn main() {
+    let tasks = TrainedTask::prepare_all_psn(7);
+    quantization_error_table(&tasks, Norm::LInf, 5, 200).print();
+}

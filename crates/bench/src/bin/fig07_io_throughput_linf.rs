@@ -1,0 +1,9 @@
+//! Fig. 7: I/O throughput vs user QoI tolerance (L∞), three backends.
+use errflow_bench::experiments::{io_throughput_table, standard_tolerances};
+use errflow_bench::tasks::TrainedTask;
+use errflow_tensor::norms::Norm;
+
+fn main() {
+    let tasks = TrainedTask::prepare_all_psn(7);
+    io_throughput_table(&tasks, Norm::LInf, &standard_tolerances()).print();
+}

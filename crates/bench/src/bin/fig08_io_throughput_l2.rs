@@ -1,0 +1,9 @@
+//! Fig. 8: I/O throughput vs user QoI tolerance (L2), SZ and MGARD only (ZFP has no L2 mode).
+use errflow_bench::experiments::{io_throughput_table, standard_tolerances};
+use errflow_bench::tasks::TrainedTask;
+use errflow_tensor::norms::Norm;
+
+fn main() {
+    let tasks = TrainedTask::prepare_all_psn(7);
+    io_throughput_table(&tasks, Norm::L2, &standard_tolerances()).print();
+}

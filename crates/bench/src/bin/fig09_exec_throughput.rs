@@ -1,0 +1,6 @@
+//! Fig. 9: model-execution throughput vs quantization format, model zoo.
+use errflow_bench::experiments::exec_throughput_table;
+
+fn main() {
+    exec_throughput_table().print();
+}

@@ -1,0 +1,25 @@
+//! Fig. 10: coordination of data reduction and quantization, prioritizing
+//! quantization, on the H2 combustion task.
+use errflow_bench::experiments::{coordination_table, pipeline_table};
+use errflow_bench::tasks::TrainedTask;
+use errflow_scidata::task::TrainingMode;
+use errflow_scidata::TaskKind;
+use errflow_tensor::norms::Norm;
+
+fn main() {
+    let tt = TrainedTask::prepare(TaskKind::H2Combustion, TrainingMode::Psn, 7);
+    let tols = [1e-5, 3e-5, 1e-4, 3e-4, 1e-3, 3e-3, 1e-2, 3e-2, 1e-1];
+    coordination_table(&tt, Norm::LInf, &tols, true).print();
+    // Right panel: phase throughputs with quantization prioritised.
+    let backend = errflow_compress::SzCompressor;
+    pipeline_table(
+        std::slice::from_ref(&tt),
+        &backend,
+        Norm::LInf,
+        &tols,
+        &[0.9],
+        300,
+        true,
+    )
+    .print();
+}

@@ -1,0 +1,19 @@
+//! Fig. 11: predicted bound and throughput vs user tolerance — MgardCompressor, L-infinity.
+use errflow_bench::experiments::{pipeline_table, standard_shares, standard_tolerances};
+use errflow_bench::tasks::TrainedTask;
+use errflow_tensor::norms::Norm;
+
+fn main() {
+    let tasks = TrainedTask::prepare_all_psn(7);
+    let backend = errflow_compress::MgardCompressor;
+    pipeline_table(
+        &tasks,
+        &backend,
+        Norm::LInf,
+        &standard_tolerances(),
+        &standard_shares(),
+        300,
+        true,
+    )
+    .print();
+}

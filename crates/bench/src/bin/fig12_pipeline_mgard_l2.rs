@@ -1,0 +1,19 @@
+//! Fig. 12: predicted bound and throughput vs user tolerance — MgardCompressor, L2.
+use errflow_bench::experiments::{pipeline_table, standard_shares, standard_tolerances};
+use errflow_bench::tasks::TrainedTask;
+use errflow_tensor::norms::Norm;
+
+fn main() {
+    let tasks = TrainedTask::prepare_all_psn(7);
+    let backend = errflow_compress::MgardCompressor;
+    pipeline_table(
+        &tasks,
+        &backend,
+        Norm::L2,
+        &standard_tolerances(),
+        &standard_shares(),
+        300,
+        true,
+    )
+    .print();
+}

@@ -1,0 +1,30 @@
+//! Table I: average quantization step size q(W) per numerical format,
+//! evaluated on each trained model's weight matrices.
+use errflow_bench::report::{sci, Table};
+use errflow_bench::tasks::TrainedTask;
+use errflow_core::analysis::format_index;
+use errflow_scidata::task::TrainingMode;
+use errflow_scidata::TaskKind;
+
+fn main() {
+    let mut table = Table::new(
+        "Table I — average quantization step size q(W) per layer",
+        &["task", "layer", "tf32", "fp16", "bf16", "int8"],
+    );
+    for kind in TaskKind::ALL {
+        let tt = TrainedTask::prepare(kind, TrainingMode::Psn, 7);
+        for (b, block) in tt.analysis.blocks().iter().enumerate() {
+            for (l, layer) in block.layers.iter().enumerate() {
+                table.push(vec![
+                    kind.name().to_string(),
+                    format!("b{b}.l{l}"),
+                    sci(layer.q_steps[format_index(errflow_quant::QuantFormat::Tf32)]),
+                    sci(layer.q_steps[format_index(errflow_quant::QuantFormat::Fp16)]),
+                    sci(layer.q_steps[format_index(errflow_quant::QuantFormat::Bf16)]),
+                    sci(layer.q_steps[format_index(errflow_quant::QuantFormat::Int8)]),
+                ]);
+            }
+        }
+    }
+    table.print();
+}

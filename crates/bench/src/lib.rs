@@ -1,0 +1,18 @@
+//! # errflow-bench
+//!
+//! Benchmark harness regenerating every table and figure of the paper's
+//! evaluation (see DESIGN.md §4 for the experiment index).
+//!
+//! * [`report`] — aligned text tables and scientific-notation formatting;
+//!   each `fig*` binary prints the series the corresponding figure plots.
+//! * [`tasks`] — the trained-model registry: each of the three workloads
+//!   trained in each regularisation mode, cached per process.
+//! * [`experiments`] — the experiment implementations shared by the
+//!   figure binaries (L∞ and L2 variants of a figure share one function).
+//!
+//! Set `ERRFLOW_FAST=1` to run every figure on reduced workloads (smaller
+//! grids, fewer epochs) — used by CI and the smoke tests.
+
+pub mod experiments;
+pub mod report;
+pub mod tasks;

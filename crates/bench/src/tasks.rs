@@ -1,0 +1,74 @@
+//! Trained-model registry shared by the figure binaries.
+
+use errflow_core::NetworkAnalysis;
+use errflow_scidata::task::TrainingMode;
+use errflow_scidata::{SyntheticTask, TaskKind, TaskModel};
+
+/// `true` when `ERRFLOW_FAST=1`: reduced workloads for smoke runs.
+pub fn fast_mode() -> bool {
+    std::env::var("ERRFLOW_FAST").map(|v| v == "1").unwrap_or(false)
+}
+
+/// A workload with its trained model and spectral analysis.
+pub struct TrainedTask {
+    /// The generated workload.
+    pub task: SyntheticTask,
+    /// The trained model.
+    pub model: TaskModel,
+    /// How the model was regularised.
+    pub mode: TrainingMode,
+    /// Spectral analysis of the trained weights.
+    pub analysis: NetworkAnalysis,
+}
+
+impl TrainedTask {
+    /// Generates, trains, and analyses one workload.
+    pub fn prepare(kind: TaskKind, mode: TrainingMode, seed: u64) -> Self {
+        let task = if fast_mode() {
+            SyntheticTask::of_kind_small(kind, seed)
+        } else {
+            SyntheticTask::of_kind(kind, seed)
+        };
+        let epochs = match (fast_mode(), kind) {
+            (true, _) => 4,
+            (false, TaskKind::EuroSat) => 16,
+            (false, TaskKind::BorghesiFlame) => 25,
+            (false, TaskKind::H2Combustion) => 15,
+        };
+        let model = task.trained_model(mode, epochs);
+        let analysis = NetworkAnalysis::of(&model);
+        TrainedTask {
+            task,
+            model,
+            mode,
+            analysis,
+        }
+    }
+
+    /// All three workloads trained with PSN (the paper's default setup).
+    pub fn prepare_all_psn(seed: u64) -> Vec<TrainedTask> {
+        TaskKind::ALL
+            .iter()
+            .map(|&k| TrainedTask::prepare(k, TrainingMode::Psn, seed))
+            .collect()
+    }
+
+    /// Task name for table rows.
+    pub fn name(&self) -> &'static str {
+        self.task.kind.name()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prepare_h2_fast() {
+        std::env::set_var("ERRFLOW_FAST", "1");
+        let t = TrainedTask::prepare(TaskKind::H2Combustion, TrainingMode::Psn, 1);
+        assert_eq!(t.name(), "h2_combustion");
+        assert!(t.analysis.amplification() > 0.0);
+        std::env::remove_var("ERRFLOW_FAST");
+    }
+}

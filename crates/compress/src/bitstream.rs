@@ -1,0 +1,286 @@
+//! Bit-level stream I/O used by the ZFP-class coder and the Huffman coder.
+//!
+//! [`BitWriter`] packs bits LSB-first into bytes; [`BitReader`] reads them
+//! back.  Both buffer through a 64-bit accumulator so multi-bit operations
+//! cost a few ALU ops instead of per-bit byte arithmetic — decompression
+//! throughput of the compressors is dominated by these paths.
+
+/// Append-only bit sink.
+#[derive(Debug, Default, Clone)]
+pub struct BitWriter {
+    buf: Vec<u8>,
+    acc: u64,
+    nbits: u32,
+}
+
+impl BitWriter {
+    /// Creates an empty writer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Writes a single bit.
+    #[inline]
+    pub fn write_bit(&mut self, bit: bool) {
+        self.acc |= (bit as u64) << self.nbits;
+        self.nbits += 1;
+        if self.nbits == 64 {
+            self.flush_words();
+        }
+    }
+
+    /// Writes the low `n` bits of `value`, LSB first (`n ≤ 64`).
+    #[inline]
+    pub fn write_bits(&mut self, value: u64, n: u32) {
+        debug_assert!(n <= 64);
+        if n == 0 {
+            return;
+        }
+        let value = if n == 64 { value } else { value & ((1u64 << n) - 1) };
+        let room = 64 - self.nbits;
+        if n <= room {
+            self.acc |= value << self.nbits;
+            self.nbits += n;
+            if self.nbits == 64 {
+                self.flush_words();
+            }
+        } else {
+            self.acc |= value << self.nbits;
+            let used = room;
+            self.nbits = 64;
+            self.flush_words();
+            self.acc = value >> used;
+            self.nbits = n - used;
+        }
+    }
+
+    #[inline]
+    fn flush_words(&mut self) {
+        self.buf.extend_from_slice(&self.acc.to_le_bytes());
+        self.acc = 0;
+        self.nbits = 0;
+    }
+
+    /// Number of bits written so far.
+    pub fn bit_len(&self) -> usize {
+        self.buf.len() * 8 + self.nbits as usize
+    }
+
+    /// Finishes the stream, returning the packed bytes.
+    pub fn into_bytes(mut self) -> Vec<u8> {
+        let tail_bytes = self.nbits.div_ceil(8) as usize;
+        let bytes = self.acc.to_le_bytes();
+        self.buf.extend_from_slice(&bytes[..tail_bytes]);
+        self.buf
+    }
+}
+
+/// Sequential bit source with 64-bit buffered reads.
+#[derive(Debug, Clone)]
+pub struct BitReader<'a> {
+    buf: &'a [u8],
+    /// Absolute bit position.
+    pos: usize,
+}
+
+impl<'a> BitReader<'a> {
+    /// Wraps a byte slice.
+    pub fn new(buf: &'a [u8]) -> Self {
+        BitReader { buf, pos: 0 }
+    }
+
+    /// Total readable bits.
+    #[inline]
+    fn bit_capacity(&self) -> usize {
+        self.buf.len() * 8
+    }
+
+    /// Loads up to 57 bits starting at the current position (unchecked
+    /// beyond stream end — missing bytes read as zero).
+    #[inline]
+    fn peek_word(&self) -> u64 {
+        let byte = self.pos / 8;
+        let shift = (self.pos % 8) as u32;
+        let mut word = [0u8; 8];
+        let end = (byte + 8).min(self.buf.len());
+        if byte < self.buf.len() {
+            word[..end - byte].copy_from_slice(&self.buf[byte..end]);
+        }
+        u64::from_le_bytes(word) >> shift
+    }
+
+    /// Reads one bit; `None` at end of stream.
+    #[inline]
+    pub fn read_bit(&mut self) -> Option<bool> {
+        if self.pos >= self.bit_capacity() {
+            return None;
+        }
+        let bit = (self.buf[self.pos / 8] >> (self.pos % 8)) & 1 == 1;
+        self.pos += 1;
+        Some(bit)
+    }
+
+    /// Reads `n` bits LSB-first; `None` if the stream ends early.
+    #[inline]
+    pub fn read_bits(&mut self, n: u32) -> Option<u64> {
+        if n == 0 {
+            return Some(0);
+        }
+        if self.pos + n as usize > self.bit_capacity() {
+            return None;
+        }
+        let v = if n <= 57 {
+            let w = self.peek_word();
+            if n == 64 { w } else { w & ((1u64 << n) - 1) }
+        } else {
+            // Split read for 58..=64 bits.
+            let lo = self.peek_word() & ((1u64 << 57) - 1);
+            let mut tmp = BitReader {
+                buf: self.buf,
+                pos: self.pos + 57,
+            };
+            let hi = tmp.read_bits(n - 57)?;
+            lo | (hi << 57)
+        };
+        self.pos += n as usize;
+        Some(v)
+    }
+
+    /// Peeks up to 16 bits without consuming; bits past the stream end
+    /// read as zero.  Used by the table-driven Huffman decoder.
+    #[inline]
+    pub fn peek_bits_lossy(&self, n: u32) -> u64 {
+        debug_assert!(n <= 57);
+        self.peek_word() & ((1u64 << n) - 1)
+    }
+
+    /// Advances the cursor by `n` bits (clamped to the stream end).
+    #[inline]
+    pub fn skip_bits(&mut self, n: u32) {
+        self.pos = (self.pos + n as usize).min(self.bit_capacity());
+    }
+
+    /// Remaining readable bits.
+    #[inline]
+    pub fn remaining_bits(&self) -> usize {
+        self.bit_capacity() - self.pos
+    }
+
+    /// Current bit offset.
+    pub fn bit_pos(&self) -> usize {
+        self.pos
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn single_bits_roundtrip() {
+        let mut w = BitWriter::new();
+        let pattern = [true, false, true, true, false, false, true, false, true];
+        for &b in &pattern {
+            w.write_bit(b);
+        }
+        assert_eq!(w.bit_len(), 9);
+        let bytes = w.into_bytes();
+        let mut r = BitReader::new(&bytes);
+        for &b in &pattern {
+            assert_eq!(r.read_bit(), Some(b));
+        }
+    }
+
+    #[test]
+    fn multi_bit_values_roundtrip() {
+        let mut w = BitWriter::new();
+        w.write_bits(0b1011, 4);
+        w.write_bits(0xdead_beef, 32);
+        w.write_bits(u64::MAX, 64);
+        let bytes = w.into_bytes();
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(r.read_bits(4), Some(0b1011));
+        assert_eq!(r.read_bits(32), Some(0xdead_beef));
+        assert_eq!(r.read_bits(64), Some(u64::MAX));
+    }
+
+    #[test]
+    fn random_mixed_widths_roundtrip() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let ops: Vec<(u64, u32)> = (0..5000)
+            .map(|_| {
+                let n = rng.gen_range(1..=64u32);
+                let v = rng.gen::<u64>() & if n == 64 { u64::MAX } else { (1 << n) - 1 };
+                (v, n)
+            })
+            .collect();
+        let mut w = BitWriter::new();
+        for &(v, n) in &ops {
+            w.write_bits(v, n);
+        }
+        let bytes = w.into_bytes();
+        let mut r = BitReader::new(&bytes);
+        for &(v, n) in &ops {
+            assert_eq!(r.read_bits(n), Some(v), "width {n}");
+        }
+    }
+
+    #[test]
+    fn read_past_end_is_none() {
+        let mut w = BitWriter::new();
+        w.write_bits(0b101, 3);
+        let bytes = w.into_bytes();
+        let mut r = BitReader::new(&bytes);
+        // One byte was emitted, so 8 bits are readable, not 9.
+        assert!(r.read_bits(8).is_some());
+        assert!(r.read_bit().is_none());
+    }
+
+    #[test]
+    fn empty_stream() {
+        let w = BitWriter::new();
+        assert_eq!(w.bit_len(), 0);
+        let bytes = w.into_bytes();
+        let mut r = BitReader::new(&bytes);
+        assert!(r.read_bit().is_none());
+    }
+
+    #[test]
+    fn bit_pos_tracks() {
+        let mut w = BitWriter::new();
+        w.write_bits(0xff, 8);
+        let bytes = w.into_bytes();
+        let mut r = BitReader::new(&bytes);
+        r.read_bits(5);
+        assert_eq!(r.bit_pos(), 5);
+    }
+
+    #[test]
+    fn peek_and_skip() {
+        let mut w = BitWriter::new();
+        w.write_bits(0b1100_1010, 8);
+        let bytes = w.into_bytes();
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(r.peek_bits_lossy(4), 0b1010);
+        assert_eq!(r.bit_pos(), 0);
+        r.skip_bits(4);
+        assert_eq!(r.read_bits(4), Some(0b1100));
+        // Peeking past the end pads with zeros.
+        assert_eq!(r.peek_bits_lossy(8), 0);
+    }
+
+    #[test]
+    fn writer_flushes_across_word_boundaries() {
+        let mut w = BitWriter::new();
+        for i in 0..100u64 {
+            w.write_bits(i, 7);
+        }
+        let bytes = w.into_bytes();
+        let mut r = BitReader::new(&bytes);
+        for i in 0..100u64 {
+            assert_eq!(r.read_bits(7), Some(i));
+        }
+    }
+}

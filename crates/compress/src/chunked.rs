@@ -1,0 +1,275 @@
+//! Chunked-parallel compression: the multi-core decompression real HPC
+//! deployments use.
+//!
+//! The paper's I/O numbers assume decompression keeps up with a parallel
+//! filesystem, which production compressors achieve by splitting data into
+//! independently-coded chunks and decoding them on all cores.
+//! [`ChunkedCompressor`] wraps any [`Compressor`] backend: the payload is
+//! split into fixed-size chunks, each compressed independently (error
+//! bounds are resolved to a *pointwise* budget over the whole payload
+//! first, so per-chunk compression still honours the global bound), and
+//! decompression fans the chunks out across `std::thread` workers.
+
+use crate::error_bound::{BoundMode, ErrorBound};
+use crate::traits::{CompressError, Compressor};
+
+/// Default chunk size in values (256 KiB of f32).
+const DEFAULT_CHUNK: usize = 65_536;
+
+/// A parallel, chunked wrapper around any compression backend.
+pub struct ChunkedCompressor<C> {
+    inner: C,
+    chunk_values: usize,
+    threads: usize,
+}
+
+impl<C: Compressor> ChunkedCompressor<C> {
+    /// Wraps `inner` with the default chunk size and all available cores.
+    pub fn new(inner: C) -> Self {
+        let threads = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        ChunkedCompressor {
+            inner,
+            chunk_values: DEFAULT_CHUNK,
+            threads,
+        }
+    }
+
+    /// Overrides the chunk size (in values).
+    pub fn with_chunk_values(mut self, chunk_values: usize) -> Self {
+        assert!(chunk_values > 0, "chunk size must be nonzero");
+        self.chunk_values = chunk_values;
+        self
+    }
+
+    /// Overrides the worker count.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        assert!(threads > 0, "need at least one thread");
+        self.threads = threads;
+        self
+    }
+
+    /// Resolves a (possibly relative / L2) bound on the whole payload to a
+    /// pointwise absolute bound that each chunk can enforce independently.
+    fn chunk_bound(&self, data: &[f32], bound: &ErrorBound) -> ErrorBound {
+        match bound.mode {
+            BoundMode::AbsLInf => *bound,
+            _ => ErrorBound::abs_linf(bound.pointwise_budget(data)),
+        }
+    }
+}
+
+impl<C: Compressor> Compressor for ChunkedCompressor<C> {
+    fn name(&self) -> &'static str {
+        self.inner.name()
+    }
+
+    fn supports(&self, bound: &ErrorBound) -> bool {
+        // The pointwise resolution handles every mode, but only if the
+        // inner backend takes pointwise bounds (all of ours do).
+        self.inner.supports(&ErrorBound::abs_linf(bound.tolerance)) || self.inner.supports(bound)
+    }
+
+    fn compress(&self, data: &[f32], bound: &ErrorBound) -> Result<Vec<u8>, CompressError> {
+        crate::traits::check_tolerance(bound.tolerance)?;
+        let per_chunk = self.chunk_bound(data, bound);
+        let chunks: Vec<&[f32]> = data.chunks(self.chunk_values.max(1)).collect();
+        let streams = run_parallel(self.threads, &chunks, |chunk| {
+            self.inner.compress(chunk, &per_chunk)
+        })?;
+
+        let mut out = Vec::new();
+        out.extend_from_slice(&(data.len() as u64).to_le_bytes());
+        out.extend_from_slice(&(self.chunk_values as u64).to_le_bytes());
+        out.extend_from_slice(&(streams.len() as u32).to_le_bytes());
+        for s in &streams {
+            out.extend_from_slice(&(s.len() as u64).to_le_bytes());
+        }
+        for s in &streams {
+            out.extend_from_slice(s);
+        }
+        Ok(out)
+    }
+
+    fn decompress(&self, stream: &[u8]) -> Result<Vec<f32>, CompressError> {
+        if stream.len() < 20 {
+            return Err(CompressError::CorruptStream("chunk header too short".into()));
+        }
+        let n = u64::from_le_bytes(stream[0..8].try_into().expect("8 bytes")) as usize;
+        let _chunk_values = u64::from_le_bytes(stream[8..16].try_into().expect("8 bytes"));
+        let n_chunks = u32::from_le_bytes(stream[16..20].try_into().expect("4 bytes")) as usize;
+        let mut pos = 20usize;
+        let mut lens = Vec::with_capacity(crate::traits::safe_capacity(n_chunks, stream.len()));
+        for _ in 0..n_chunks {
+            let bytes = stream
+                .get(pos..pos + 8)
+                .ok_or_else(|| CompressError::CorruptStream("truncated chunk table".into()))?;
+            pos += 8;
+            lens.push(u64::from_le_bytes(bytes.try_into().expect("8 bytes")) as usize);
+        }
+        let mut slices = Vec::with_capacity(crate::traits::safe_capacity(n_chunks, stream.len()));
+        for &len in &lens {
+            let s = stream
+                .get(pos..pos + len)
+                .ok_or_else(|| CompressError::CorruptStream("truncated chunk".into()))?;
+            pos += len;
+            slices.push(s);
+        }
+        let parts = run_parallel(self.threads, &slices, |s| self.inner.decompress(s))?;
+        let mut out = Vec::with_capacity(crate::traits::safe_capacity(n, stream.len()));
+        for p in parts {
+            out.extend_from_slice(&p);
+        }
+        if out.len() != n {
+            return Err(CompressError::CorruptStream(format!(
+                "chunks reassembled to {} values, expected {n}",
+                out.len()
+            )));
+        }
+        Ok(out)
+    }
+}
+
+/// Maps `f` over `items` on up to `threads` workers, preserving order.
+fn run_parallel<I: Sync, O: Send>(
+    threads: usize,
+    items: &[I],
+    f: impl Fn(&I) -> Result<O, CompressError> + Sync,
+) -> Result<Vec<O>, CompressError> {
+    if threads <= 1 || items.len() <= 1 {
+        return items.iter().map(&f).collect();
+    }
+    let mut results: Vec<Option<Result<O, CompressError>>> =
+        (0..items.len()).map(|_| None).collect();
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let results_mutex = std::sync::Mutex::new(&mut results);
+    std::thread::scope(|scope| {
+        for _ in 0..threads.min(items.len()) {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if i >= items.len() {
+                    break;
+                }
+                let r = f(&items[i]);
+                results_mutex.lock().expect("no poisoned workers")[i] = Some(r);
+            });
+        }
+    });
+    results
+        .into_iter()
+        .map(|r| r.expect("every index visited"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{MgardCompressor, SzCompressor, ZfpCompressor};
+
+    fn smooth(n: usize) -> Vec<f32> {
+        (0..n)
+            .map(|i| ((i as f32) * 0.003).sin() * 3.0 + 0.2 * ((i as f32) * 0.041).cos())
+            .collect()
+    }
+
+    #[test]
+    fn roundtrip_matches_bound_for_all_backends() {
+        let data = smooth(300_000);
+        let bound = ErrorBound::abs_linf(1e-4);
+        let backends: Vec<Box<dyn Compressor>> = vec![
+            Box::new(ChunkedCompressor::new(SzCompressor::default())),
+            Box::new(ChunkedCompressor::new(ZfpCompressor::default())),
+            Box::new(ChunkedCompressor::new(MgardCompressor::default())),
+        ];
+        for be in &backends {
+            let recon = be.decompress(&be.compress(&data, &bound).unwrap()).unwrap();
+            assert!(bound.verify(&data, &recon), "{}", be.name());
+        }
+    }
+
+    #[test]
+    fn relative_and_l2_bounds_resolved_globally() {
+        let data = smooth(100_000);
+        let c = ChunkedCompressor::new(SzCompressor::default());
+        for bound in [ErrorBound::rel_linf(1e-4), ErrorBound::abs_l2(1e-2)] {
+            let recon = c.decompress(&c.compress(&data, &bound).unwrap()).unwrap();
+            assert!(bound.verify(&data, &recon), "{bound:?}");
+        }
+    }
+
+    #[test]
+    fn parallel_matches_serial_output_values() {
+        let data = smooth(200_000);
+        let bound = ErrorBound::abs_linf(1e-5);
+        let serial = ChunkedCompressor::new(SzCompressor::default()).with_threads(1);
+        let parallel = ChunkedCompressor::new(SzCompressor::default()).with_threads(4);
+        let s1 = serial.compress(&data, &bound).unwrap();
+        let s2 = parallel.compress(&data, &bound).unwrap();
+        assert_eq!(s1, s2, "chunked streams must be deterministic");
+        assert_eq!(
+            serial.decompress(&s1).unwrap(),
+            parallel.decompress(&s2).unwrap()
+        );
+    }
+
+    #[test]
+    fn small_inputs_and_odd_sizes() {
+        let c = ChunkedCompressor::new(ZfpCompressor::default()).with_chunk_values(7);
+        let bound = ErrorBound::abs_linf(1e-3);
+        for n in [0usize, 1, 6, 7, 8, 20] {
+            let data = smooth(n);
+            let recon = c.decompress(&c.compress(&data, &bound).unwrap()).unwrap();
+            assert_eq!(recon.len(), n);
+            assert!(bound.verify(&data, &recon), "n={n}");
+        }
+    }
+
+    #[test]
+    fn corrupt_stream_rejected() {
+        let c = ChunkedCompressor::new(SzCompressor::default());
+        assert!(c.decompress(&[0; 5]).is_err());
+        let data = smooth(10_000);
+        let stream = c.compress(&data, &ErrorBound::abs_linf(1e-3)).unwrap();
+        assert!(c.decompress(&stream[..stream.len() - 4]).is_err());
+    }
+
+    #[test]
+    fn ratio_overhead_is_modest() {
+        // Chunking costs headers; on a large payload the ratio should stay
+        // within ~20% of the unchunked backend.
+        let data = smooth(500_000);
+        let bound = ErrorBound::abs_linf(1e-3);
+        let flat = SzCompressor::default().compress(&data, &bound).unwrap();
+        let chunked = ChunkedCompressor::new(SzCompressor::default())
+            .compress(&data, &bound)
+            .unwrap();
+        let overhead = chunked.len() as f64 / flat.len() as f64;
+        assert!(overhead < 1.25, "chunking overhead {overhead:.2}x");
+    }
+
+    #[test]
+    fn parallel_decode_not_slower() {
+        // On a multi-core box the parallel decode should be at least as
+        // fast as serial within noise; assert a very loose factor so the
+        // test is robust on loaded CI machines.
+        let data = smooth(2_000_000);
+        let bound = ErrorBound::abs_linf(1e-4);
+        let c = ChunkedCompressor::new(SzCompressor::default());
+        let stream = c.compress(&data, &bound).unwrap();
+        let t0 = std::time::Instant::now();
+        let serial = ChunkedCompressor::new(SzCompressor::default())
+            .with_threads(1)
+            .decompress(&stream)
+            .unwrap();
+        let t_serial = t0.elapsed();
+        let t1 = std::time::Instant::now();
+        let parallel = c.decompress(&stream).unwrap();
+        let t_parallel = t1.elapsed();
+        assert_eq!(serial, parallel);
+        assert!(
+            t_parallel.as_secs_f64() < t_serial.as_secs_f64() * 2.0,
+            "parallel {t_parallel:?} vs serial {t_serial:?}"
+        );
+    }
+}

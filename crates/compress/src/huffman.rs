@@ -1,0 +1,630 @@
+//! Canonical Huffman coding over `u32` symbols.
+//!
+//! SZ- and MGARD-class compressors turn most values into small quantization
+//! codes with a highly skewed distribution; entropy coding those codes is
+//! where their compression ratio comes from.  This is a self-contained
+//! canonical Huffman coder: the stream stores `(symbol, code length)` pairs
+//! and the payload; canonical code assignment makes decode tables cheap to
+//! rebuild.
+//!
+//! Decoding is table-driven: a `2^13`-entry prefix table resolves every
+//! code of ≤ 13 bits in one lookup (the common case by construction of
+//! Huffman codes over skewed distributions); longer codes fall back to a
+//! bit-by-bit canonical walk.  This path dominates decompression throughput
+//! for the SZ/MGARD backends, which is what the paper's I/O figures measure.
+
+use crate::bitstream::{BitReader, BitWriter};
+use crate::traits::CompressError;
+use std::collections::{BinaryHeap, HashMap};
+
+/// Width of the fast decode table (bits).
+const PEEK: u32 = 13;
+
+/// Marker symbol standing for "a run follows" after RLE.
+const RUN_MARKER: u32 = u32::MAX;
+
+/// Minimum repeat length worth collapsing into a run.  Below this, plain
+/// Huffman (≈1 bit/symbol for the dominant code) beats the marker + varint
+/// overhead of a run token.
+const MIN_RUN: usize = 48;
+
+/// Reverses the low `len` bits of `v`.
+#[inline]
+fn bitrev(v: u64, len: u8) -> u64 {
+    v.reverse_bits() >> (64 - len as u32)
+}
+
+/// Encodes a symbol sequence; returns a self-describing byte stream.
+///
+/// Runs of ≥ `MIN_RUN` (48) identical symbols are collapsed to a
+/// `(symbol, RUN_MARKER)` pair plus an out-of-band run length, so smooth
+/// data — where the quantizer emits the same code for long stretches —
+/// decodes at memory speed instead of per-symbol entropy-decode speed.
+/// (This is the behaviour that makes real SZ's decompression fast at loose
+/// tolerances, the Fig. 7 regime.)  RLE is skipped entirely if the input
+/// ever uses the marker value itself.
+pub fn encode(symbols: &[u32]) -> Vec<u8> {
+    let mut out = Vec::new();
+    out.extend_from_slice(&(symbols.len() as u64).to_le_bytes());
+
+    let rle_ok = !symbols.contains(&RUN_MARKER);
+    let (transformed, runs) = if rle_ok {
+        rle_collapse(symbols)
+    } else {
+        (symbols.to_vec(), Vec::new())
+    };
+    out.push(rle_ok as u8);
+    out.extend_from_slice(&(runs.len() as u32).to_le_bytes());
+    for &r in &runs {
+        write_varint(&mut out, r);
+    }
+
+    out.extend_from_slice(&(transformed.len() as u64).to_le_bytes());
+    if transformed.is_empty() {
+        out.extend_from_slice(&0u32.to_le_bytes());
+        return out;
+    }
+    let symbols = &transformed[..];
+
+    let lengths = code_lengths(symbols);
+    let codes = canonical_codes(&lengths);
+    // Pre-reverse every code: the writer emits LSB-first, so writing the
+    // bit-reversed code produces the MSB-first stream order decoding needs.
+    let reversed: HashMap<u32, (u64, u8)> = codes
+        .iter()
+        .map(|(&sym, &(code, len))| (sym, (bitrev(code, len), len)))
+        .collect();
+
+    // Header: number of distinct symbols, then (symbol, length) pairs in
+    // canonical order.
+    out.extend_from_slice(&(lengths.len() as u32).to_le_bytes());
+    for &(sym, len) in &lengths {
+        out.extend_from_slice(&sym.to_le_bytes());
+        out.push(len);
+    }
+
+    let mut w = BitWriter::new();
+    for s in symbols {
+        let &(rev, len) = reversed.get(s).expect("symbol has a code");
+        w.write_bits(rev, len as u32);
+    }
+    let payload = w.into_bytes();
+    out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+    out.extend_from_slice(&payload);
+    out
+}
+
+/// Collapses runs of ≥ `MIN_RUN` identical symbols.  A run of `s` with
+/// length `L` becomes `[s, RUN_MARKER]` plus an out-of-band count `L − 1`.
+fn rle_collapse(symbols: &[u32]) -> (Vec<u32>, Vec<u32>) {
+    let mut transformed = Vec::with_capacity(symbols.len());
+    let mut runs = Vec::new();
+    let mut i = 0;
+    while i < symbols.len() {
+        let s = symbols[i];
+        let mut j = i + 1;
+        while j < symbols.len() && symbols[j] == s && j - i < u32::MAX as usize {
+            j += 1;
+        }
+        let len = j - i;
+        if len >= MIN_RUN {
+            transformed.push(s);
+            transformed.push(RUN_MARKER);
+            runs.push((len - 1) as u32);
+        } else {
+            transformed.extend(std::iter::repeat_n(s, len));
+        }
+        i = j;
+    }
+    (transformed, runs)
+}
+
+/// Inverse of [`rle_collapse`].
+fn rle_expand(
+    transformed: &[u32],
+    runs: &[u32],
+    n_original: usize,
+) -> Result<Vec<u32>, CompressError> {
+    let mut out = Vec::with_capacity(crate::traits::safe_capacity(n_original, transformed.len() * 4));
+    let mut run_it = runs.iter();
+    for &s in transformed {
+        if s == RUN_MARKER {
+            let &count = run_it.next().ok_or_else(|| {
+                CompressError::CorruptStream("run marker without a run length".into())
+            })?;
+            let &prev = out.last().ok_or_else(|| {
+                CompressError::CorruptStream("run marker at stream start".into())
+            })?;
+            out.extend(std::iter::repeat_n(prev, count as usize));
+        } else {
+            out.push(s);
+        }
+        if out.len() > n_original {
+            return Err(CompressError::CorruptStream(
+                "expanded stream longer than declared".into(),
+            ));
+        }
+    }
+    if out.len() != n_original {
+        return Err(CompressError::CorruptStream(format!(
+            "expanded to {} symbols, expected {n_original}",
+            out.len()
+        )));
+    }
+    Ok(out)
+}
+
+/// Decodes a stream produced by [`encode`].  Returns the symbols and the
+/// number of bytes consumed from `stream`.
+pub fn decode(stream: &[u8]) -> Result<(Vec<u32>, usize), CompressError> {
+    let mut pos = 0usize;
+    let n_original = read_u64(stream, &mut pos)? as usize;
+    let rle_used = *stream
+        .get(pos)
+        .ok_or_else(|| CompressError::CorruptStream("truncated rle flag".into()))?
+        != 0;
+    pos += 1;
+    let n_runs = read_u32(stream, &mut pos)? as usize;
+    let mut runs = Vec::with_capacity(crate::traits::safe_capacity(n_runs, stream.len()));
+    for _ in 0..n_runs {
+        runs.push(read_varint(stream, &mut pos)?);
+    }
+    let n_symbols = read_u64(stream, &mut pos)? as usize;
+    let n_distinct = read_u32(stream, &mut pos)? as usize;
+    if n_symbols == 0 {
+        if n_original != 0 {
+            return Err(CompressError::CorruptStream(
+                "empty payload for nonempty stream".into(),
+            ));
+        }
+        return Ok((Vec::new(), pos));
+    }
+    if n_distinct == 0 {
+        return Err(CompressError::CorruptStream(
+            "nonempty payload with empty alphabet".into(),
+        ));
+    }
+    let mut lengths = Vec::with_capacity(crate::traits::safe_capacity(n_distinct, stream.len()));
+    for _ in 0..n_distinct {
+        let sym = read_u32(stream, &mut pos)?;
+        let len = *stream
+            .get(pos)
+            .ok_or_else(|| CompressError::CorruptStream("truncated code table".into()))?;
+        pos += 1;
+        if len == 0 || len > 64 {
+            return Err(CompressError::CorruptStream(format!(
+                "invalid code length {len}"
+            )));
+        }
+        if let Some(&(_, prev)) = lengths.last() {
+            if len < prev {
+                return Err(CompressError::CorruptStream(
+                    "code table not in canonical order".into(),
+                ));
+            }
+        }
+        lengths.push((sym, len));
+    }
+    // Kraft check: Σ 2^(max−len) must not exceed 2^max, or the canonical
+    // code assignment overflows (only possible with corrupt tables).
+    {
+        let max_len = lengths.last().map(|&(_, l)| l).unwrap_or(1) as u32;
+        let mut kraft: u128 = 0;
+        for &(_, len) in &lengths {
+            kraft += 1u128 << (max_len - len as u32);
+        }
+        if kraft > (1u128 << max_len) {
+            return Err(CompressError::CorruptStream(
+                "code table violates the Kraft inequality".into(),
+            ));
+        }
+    }
+    let codes = canonical_codes(&lengths);
+
+    // Fast table: peeked PEEK bits → (symbol, code length); len 0 = slow path.
+    let mut table = vec![(0u32, 0u8); 1 << PEEK];
+    // Canonical decode arrays for the slow path: for each code length,
+    // the first canonical code, the number of codes, and the offset of its
+    // first symbol in canonical order.  Decoding a long code is then O(1)
+    // array arithmetic per length instead of a hash probe per bit.
+    let mut max_len = 1u8;
+    for &(_, len) in &lengths {
+        max_len = max_len.max(len);
+    }
+    let mut first_code = vec![0u64; max_len as usize + 1];
+    let mut count = vec![0u32; max_len as usize + 1];
+    let mut offset = vec![0u32; max_len as usize + 1];
+    {
+        let mut code = 0u64;
+        let mut prev_len = 0u8;
+        for (i, &(_, len)) in lengths.iter().enumerate() {
+            code <<= len - prev_len;
+            if count[len as usize] == 0 {
+                first_code[len as usize] = code;
+                offset[len as usize] = i as u32;
+            }
+            count[len as usize] += 1;
+            code += 1;
+            prev_len = len;
+        }
+    }
+    // lengths is already in canonical symbol order.
+    let canonical_syms: Vec<u32> = lengths.iter().map(|&(s, _)| s).collect();
+    for (&sym, &(code, len)) in &codes {
+        if (len as u32) <= PEEK {
+            let base = bitrev(code, len) as usize;
+            let step = 1usize << len;
+            let mut idx = base;
+            while idx < (1 << PEEK) {
+                table[idx] = (sym, len);
+                idx += step;
+            }
+        }
+    }
+
+    let payload_len = read_u64(stream, &mut pos)? as usize;
+    let payload = stream
+        .get(pos..pos + payload_len)
+        .ok_or_else(|| CompressError::CorruptStream("truncated payload".into()))?;
+    let consumed = pos + payload_len;
+
+    let mut r = BitReader::new(payload);
+    let mut out = Vec::with_capacity(crate::traits::safe_capacity(n_symbols, payload.len()));
+    while out.len() < n_symbols {
+        let peek = r.peek_bits_lossy(PEEK) as usize;
+        let (sym, len) = table[peek];
+        if len > 0 && (len as usize) <= r.remaining_bits() {
+            r.skip_bits(len as u32);
+            out.push(sym);
+            continue;
+        }
+        // Slow path: long code or near end of stream — canonical decode by
+        // length (O(1) per candidate length).
+        let mut code = 0u64;
+        let mut clen = 0usize;
+        let sym = loop {
+            let bit = r
+                .read_bit()
+                .ok_or_else(|| CompressError::CorruptStream("payload ended early".into()))?;
+            code = (code << 1) | bit as u64;
+            clen += 1;
+            if clen > max_len as usize {
+                return Err(CompressError::CorruptStream(
+                    "no symbol matches the read prefix".into(),
+                ));
+            }
+            let c = count[clen] as u64;
+            if c > 0 && code >= first_code[clen] && code < first_code[clen] + c {
+                let idx = offset[clen] as u64 + (code - first_code[clen]);
+                break canonical_syms[idx as usize];
+            }
+        };
+        out.push(sym);
+    }
+    let expanded = if rle_used {
+        rle_expand(&out, &runs, n_original)?
+    } else {
+        if out.len() != n_original {
+            return Err(CompressError::CorruptStream(format!(
+                "decoded {} symbols, expected {n_original}",
+                out.len()
+            )));
+        }
+        out
+    };
+    Ok((expanded, consumed))
+}
+
+/// Computes Huffman code lengths from symbol frequencies, returned in
+/// canonical order (ascending length, then ascending symbol).
+fn code_lengths(symbols: &[u32]) -> Vec<(u32, u8)> {
+    let mut freq: HashMap<u32, u64> = HashMap::new();
+    for &s in symbols {
+        *freq.entry(s).or_insert(0) += 1;
+    }
+    if freq.len() == 1 {
+        let (&sym, _) = freq.iter().next().expect("one symbol");
+        return vec![(sym, 1)];
+    }
+
+    // Huffman tree via a min-heap of (freq, tie, node-id).
+    #[derive(PartialEq, Eq)]
+    struct Item(u64, u32, usize);
+    impl Ord for Item {
+        fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+            // Reverse for a min-heap.
+            other.0.cmp(&self.0).then(other.1.cmp(&self.1))
+        }
+    }
+    impl PartialOrd for Item {
+        fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+            Some(self.cmp(other))
+        }
+    }
+
+    enum Node {
+        Leaf(u32),
+        Internal(usize, usize),
+    }
+    let mut nodes: Vec<Node> = Vec::new();
+    let mut heap = BinaryHeap::new();
+    let mut sorted: Vec<(u32, u64)> = freq.into_iter().collect();
+    sorted.sort_unstable();
+    let mut tie = 0u32;
+    for (sym, f) in sorted {
+        nodes.push(Node::Leaf(sym));
+        heap.push(Item(f, tie, nodes.len() - 1));
+        tie += 1;
+    }
+    while heap.len() > 1 {
+        let a = heap.pop().expect("len>1");
+        let b = heap.pop().expect("len>1");
+        nodes.push(Node::Internal(a.2, b.2));
+        heap.push(Item(a.0 + b.0, tie, nodes.len() - 1));
+        tie += 1;
+    }
+    let root = heap.pop().expect("nonempty").2;
+
+    // Walk depths iteratively.
+    let mut lengths: Vec<(u32, u8)> = Vec::new();
+    let mut stack = vec![(root, 0u8)];
+    while let Some((id, depth)) = stack.pop() {
+        match nodes[id] {
+            Node::Leaf(sym) => lengths.push((sym, depth.max(1))),
+            Node::Internal(l, r) => {
+                stack.push((l, depth + 1));
+                stack.push((r, depth + 1));
+            }
+        }
+    }
+    lengths.sort_unstable_by_key(|&(sym, len)| (len, sym));
+    lengths
+}
+
+/// Assigns canonical codes given `(symbol, length)` pairs in canonical order.
+fn canonical_codes(lengths: &[(u32, u8)]) -> HashMap<u32, (u64, u8)> {
+    let mut codes = HashMap::with_capacity(lengths.len());
+    let mut code = 0u64;
+    let mut prev_len = 0u8;
+    for &(sym, len) in lengths {
+        code <<= len - prev_len;
+        codes.insert(sym, (code, len));
+        code += 1;
+        prev_len = len;
+    }
+    codes
+}
+
+/// LEB128 varint encoding for run lengths.
+fn write_varint(out: &mut Vec<u8>, mut v: u32) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+/// LEB128 varint decoding.
+fn read_varint(buf: &[u8], pos: &mut usize) -> Result<u32, CompressError> {
+    let mut v = 0u32;
+    let mut shift = 0u32;
+    loop {
+        let byte = *buf
+            .get(*pos)
+            .ok_or_else(|| CompressError::CorruptStream("truncated varint".into()))?;
+        *pos += 1;
+        v |= ((byte & 0x7f) as u32) << shift;
+        if byte & 0x80 == 0 {
+            return Ok(v);
+        }
+        shift += 7;
+        if shift >= 35 {
+            return Err(CompressError::CorruptStream("varint overflow".into()));
+        }
+    }
+}
+
+fn read_u64(buf: &[u8], pos: &mut usize) -> Result<u64, CompressError> {
+    let bytes = buf
+        .get(*pos..*pos + 8)
+        .ok_or_else(|| CompressError::CorruptStream("truncated u64".into()))?;
+    *pos += 8;
+    Ok(u64::from_le_bytes(bytes.try_into().expect("8 bytes")))
+}
+
+fn read_u32(buf: &[u8], pos: &mut usize) -> Result<u32, CompressError> {
+    let bytes = buf
+        .get(*pos..*pos + 4)
+        .ok_or_else(|| CompressError::CorruptStream("truncated u32".into()))?;
+    *pos += 4;
+    Ok(u32::from_le_bytes(bytes.try_into().expect("4 bytes")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn roundtrip(symbols: &[u32]) {
+        let enc = encode(symbols);
+        let (dec, consumed) = decode(&enc).expect("decode");
+        assert_eq!(dec, symbols);
+        assert_eq!(consumed, enc.len());
+    }
+
+    #[test]
+    fn empty_roundtrip() {
+        roundtrip(&[]);
+    }
+
+    #[test]
+    fn single_symbol_roundtrip() {
+        roundtrip(&[7; 100]);
+    }
+
+    #[test]
+    fn two_symbols_roundtrip() {
+        roundtrip(&[0, 1, 0, 0, 1, 0, 1, 1, 1, 0]);
+    }
+
+    #[test]
+    fn skewed_distribution_compresses() {
+        // 95% zeros: entropy ≈ 0.29 bits/symbol; Huffman ≈ 1 bit/symbol max,
+        // still far below 32.
+        let mut rng = StdRng::seed_from_u64(1);
+        let symbols: Vec<u32> = (0..10_000)
+            .map(|_| if rng.gen_bool(0.95) { 0 } else { rng.gen_range(1..8) })
+            .collect();
+        let enc = encode(&symbols);
+        assert!(
+            enc.len() < symbols.len() * 4 / 8,
+            "compressed {} vs raw {}",
+            enc.len(),
+            symbols.len() * 4
+        );
+        roundtrip(&symbols);
+    }
+
+    #[test]
+    fn uniform_random_roundtrip() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let symbols: Vec<u32> = (0..5_000).map(|_| rng.gen_range(0..1000)).collect();
+        roundtrip(&symbols);
+    }
+
+    #[test]
+    fn long_codes_take_slow_path() {
+        // A heavily skewed geometric-ish distribution over many symbols
+        // produces code lengths well beyond the 12-bit fast table.
+        let mut symbols = Vec::new();
+        for sym in 0u32..24 {
+            let count = 1usize << (24 - sym).min(16);
+            symbols.extend(std::iter::repeat(sym).take(count));
+        }
+        roundtrip(&symbols);
+    }
+
+    #[test]
+    fn large_symbol_values_roundtrip() {
+        roundtrip(&[u32::MAX, 0, u32::MAX - 1, 12345678, u32::MAX]);
+    }
+
+    #[test]
+    fn truncated_stream_errors() {
+        let enc = encode(&[1, 2, 3, 1, 2, 3]);
+        assert!(decode(&enc[..enc.len() - 1]).is_err());
+        assert!(decode(&enc[..4]).is_err());
+        assert!(decode(&[]).is_err());
+    }
+
+    #[test]
+    fn decode_reports_consumed_bytes_with_trailing_data() {
+        let mut enc = encode(&[5, 5, 9]);
+        let orig_len = enc.len();
+        enc.extend_from_slice(&[0xab; 10]);
+        let (dec, consumed) = decode(&enc).expect("decode");
+        assert_eq!(dec, vec![5, 5, 9]);
+        assert_eq!(consumed, orig_len);
+    }
+
+    #[test]
+    fn canonical_codes_are_prefix_free() {
+        let lengths = vec![(10u32, 2u8), (20, 2), (30, 3), (40, 3)];
+        let codes = canonical_codes(&lengths);
+        let all: Vec<(u64, u8)> = codes.values().copied().collect();
+        for (i, &(c1, l1)) in all.iter().enumerate() {
+            for &(c2, l2) in &all[i + 1..] {
+                let (short, slen, long, llen) = if l1 <= l2 {
+                    (c1, l1, c2, l2)
+                } else {
+                    (c2, l2, c1, l1)
+                };
+                if slen == llen {
+                    assert_ne!(short, long);
+                } else {
+                    assert_ne!(short, long >> (llen - slen), "prefix violation");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn varint_roundtrip() {
+        for v in [0u32, 1, 127, 128, 300, 65_535, u32::MAX] {
+            let mut buf = Vec::new();
+            write_varint(&mut buf, v);
+            let mut pos = 0;
+            assert_eq!(read_varint(&buf, &mut pos).unwrap(), v);
+            assert_eq!(pos, buf.len());
+        }
+        assert!(read_varint(&[0x80, 0x80, 0x80, 0x80, 0x80, 0x01], &mut 0).is_err());
+    }
+
+    #[test]
+    fn rle_collapse_expand_roundtrip() {
+        let mut symbols = vec![5u32; 100];
+        symbols.extend([1, 2, 3]);
+        symbols.extend(vec![9u32; 50]);
+        symbols.extend([4, 4, 4]); // below MIN_RUN: kept verbatim
+        let (t, runs) = rle_collapse(&symbols);
+        assert!(t.len() < symbols.len());
+        assert_eq!(runs.len(), 2);
+        let back = rle_expand(&t, &runs, symbols.len()).unwrap();
+        assert_eq!(back, symbols);
+    }
+
+    #[test]
+    fn long_runs_compress_to_almost_nothing() {
+        let symbols = vec![3u32; 1_000_000];
+        let enc = encode(&symbols);
+        assert!(enc.len() < 100, "run-length stream is {} bytes", enc.len());
+        roundtrip(&symbols);
+    }
+
+    #[test]
+    fn marker_collision_disables_rle() {
+        let mut symbols = vec![u32::MAX; 64];
+        symbols.extend([1, 2, 3]);
+        roundtrip(&symbols);
+    }
+
+    #[test]
+    fn alternating_runs_roundtrip() {
+        let mut symbols = Vec::new();
+        for k in 0..50u32 {
+            symbols.extend(vec![k % 3; 10 + k as usize]);
+            symbols.push(1000 + k);
+        }
+        roundtrip(&symbols);
+    }
+
+    #[test]
+    fn bitrev_involution() {
+        for len in 1u8..=16 {
+            for v in 0u64..(1 << len.min(10)) {
+                assert_eq!(bitrev(bitrev(v, len), len), v);
+            }
+        }
+    }
+
+    proptest::proptest! {
+        #[test]
+        fn prop_roundtrip_random_alphabets(
+            seed in 0u64..500,
+            alphabet in 1usize..400,
+            n in 0usize..2000,
+        ) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let symbols: Vec<u32> = (0..n).map(|_| rng.gen_range(0..alphabet as u32)).collect();
+            let enc = encode(&symbols);
+            let (dec, consumed) = decode(&enc).expect("decode");
+            proptest::prop_assert_eq!(dec, symbols);
+            proptest::prop_assert_eq!(consumed, enc.len());
+        }
+    }
+}

@@ -1,0 +1,350 @@
+//! MGARD-class multilevel error-bounded compressor.
+//!
+//! MGARD (the paper's references \[26\], \[27\]) decomposes data on a hierarchy
+//! of nested grids: each level's odd-indexed nodes are expressed as
+//! *multilevel coefficients* — their deviation from the linear interpolation
+//! of the surviving even-indexed (coarser) nodes — and the recursion
+//! continues on the coarser grid.  Smooth data concentrates energy in the
+//! coarse levels, so the fine-level coefficients quantize to near-zero codes
+//! that entropy-code extremely well.
+//!
+//! This implementation uses the closed-loop formulation (as in MGARD+):
+//! coefficients are computed against the *reconstructed* coarser grid, so
+//! every value's final error is just its own quantization error and the
+//! user's pointwise budget can be applied at full strength on every level.
+//! Reconstruction is verified in `f32` during compression; any value that
+//! would violate the bound is escaped verbatim.
+
+use crate::error_bound::ErrorBound;
+use crate::huffman;
+use crate::traits::{check_tolerance, CompressError, Compressor};
+
+const MAX_CODE: i64 = 32_767;
+const ESCAPE: u32 = 0;
+/// Recursion stops when a level has at most this many nodes.
+const COARSEST_LEN: usize = 3;
+/// Hard cap on hierarchy depth.
+const MAX_LEVELS: usize = 24;
+
+/// MGARD-class compressor (see module docs).
+#[derive(Debug, Clone, Default)]
+pub struct MgardCompressor;
+
+impl MgardCompressor {
+    /// Creates the compressor with default settings.
+    pub fn new() -> Self {
+        MgardCompressor
+    }
+}
+
+/// Lengths of each level, finest (index 0) to coarsest.
+fn level_lengths(n: usize) -> Vec<usize> {
+    let mut lens = vec![n];
+    let mut cur = n;
+    while cur > COARSEST_LEN && lens.len() < MAX_LEVELS {
+        cur = cur.div_ceil(2);
+        lens.push(cur);
+    }
+    lens
+}
+
+/// Linear interpolation of odd node `i` from its even neighbours within a
+/// level of length `len` (endpoint odd nodes copy their left neighbour).
+#[inline]
+fn interpolate(recon: &[f32], i: usize, len: usize) -> f32 {
+    if i + 1 < len {
+        0.5 * (recon[i - 1] + recon[i + 1])
+    } else {
+        recon[i - 1]
+    }
+}
+
+impl Compressor for MgardCompressor {
+    fn name(&self) -> &'static str {
+        "mgard"
+    }
+
+    fn supports(&self, _bound: &ErrorBound) -> bool {
+        // MGARD handles both L∞ and L2 tolerances (Figs. 11, 12).
+        true
+    }
+
+    fn compress(&self, data: &[f32], bound: &ErrorBound) -> Result<Vec<u8>, CompressError> {
+        check_tolerance(bound.tolerance)?;
+        let eb = bound.pointwise_budget(data);
+        let lens = level_lengths(data.len());
+
+        // Build the value hierarchy: levels[k][j] = levels[k-1][2j].
+        let mut levels: Vec<Vec<f32>> = Vec::with_capacity(lens.len());
+        levels.push(data.to_vec());
+        for k in 1..lens.len() {
+            let prev = &levels[k - 1];
+            levels.push(prev.iter().step_by(2).copied().collect());
+        }
+
+        let coarse = levels.last().cloned().unwrap_or_default();
+        let mut symbols: Vec<u32> = Vec::new();
+        let mut outliers: Vec<f32> = Vec::new();
+
+        // Closed-loop reconstruction, coarsest → finest.
+        let mut recon_coarse = coarse.clone();
+        for k in (0..lens.len().saturating_sub(1)).rev() {
+            let len = lens[k];
+            let mut recon = vec![0.0f32; len];
+            for (j, &v) in recon_coarse.iter().enumerate() {
+                recon[2 * j] = v;
+            }
+            for i in (1..len).step_by(2) {
+                let x = levels[k][i];
+                let pred = interpolate(&recon, i, len);
+                let d = x as f64 - pred as f64;
+                let code = (d / (2.0 * eb)).round() as i64;
+                let mut accepted = false;
+                // unsigned_abs: the float→int cast saturates to i64::MIN
+                // for huge negative residuals, where .abs() would overflow.
+                if code.unsigned_abs() <= MAX_CODE as u64 {
+                    let r = (pred as f64 + 2.0 * eb * code as f64) as f32;
+                    if ((x - r).abs() as f64) <= eb && r.is_finite() {
+                        symbols.push((code + MAX_CODE + 1) as u32);
+                        recon[i] = r;
+                        accepted = true;
+                    }
+                }
+                if !accepted {
+                    symbols.push(ESCAPE);
+                    outliers.push(x);
+                    recon[i] = x;
+                }
+            }
+            recon_coarse = recon;
+        }
+
+        let mut out = Vec::new();
+        out.extend_from_slice(&(data.len() as u64).to_le_bytes());
+        out.extend_from_slice(&eb.to_le_bytes());
+        out.extend_from_slice(&(coarse.len() as u32).to_le_bytes());
+        for v in &coarse {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+        out.extend_from_slice(&huffman::encode(&symbols));
+        for v in &outliers {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+        Ok(out)
+    }
+
+    fn decompress(&self, stream: &[u8]) -> Result<Vec<f32>, CompressError> {
+        if stream.len() < 20 {
+            return Err(CompressError::CorruptStream("header too short".into()));
+        }
+        let n = u64::from_le_bytes(stream[0..8].try_into().expect("8 bytes")) as usize;
+        let eb = f64::from_le_bytes(stream[8..16].try_into().expect("8 bytes"));
+        let coarse_len = u32::from_le_bytes(stream[16..20].try_into().expect("4 bytes")) as usize;
+        let lens = level_lengths(n);
+        if coarse_len != *lens.last().expect("at least one level") {
+            return Err(CompressError::CorruptStream(format!(
+                "coarse length {coarse_len} inconsistent with n={n}"
+            )));
+        }
+        let mut pos = 20usize;
+        let mut coarse = Vec::with_capacity(crate::traits::safe_capacity(coarse_len, stream.len()));
+        for _ in 0..coarse_len {
+            let bytes = stream
+                .get(pos..pos + 4)
+                .ok_or_else(|| CompressError::CorruptStream("truncated coarse level".into()))?;
+            pos += 4;
+            coarse.push(f32::from_le_bytes(bytes.try_into().expect("4 bytes")));
+        }
+        let (symbols, consumed) = huffman::decode(&stream[pos..])?;
+        pos += consumed;
+
+        let expected_symbols: usize = lens
+            .iter()
+            .take(lens.len().saturating_sub(1))
+            .map(|&len| len / 2)
+            .sum();
+        if symbols.len() != expected_symbols {
+            return Err(CompressError::CorruptStream(format!(
+                "expected {expected_symbols} coefficients, decoded {}",
+                symbols.len()
+            )));
+        }
+
+        let mut sym_iter = symbols.into_iter();
+        let mut recon_coarse = coarse;
+        for k in (0..lens.len().saturating_sub(1)).rev() {
+            let len = lens[k];
+            let mut recon = vec![0.0f32; len];
+            for (j, &v) in recon_coarse.iter().enumerate() {
+                recon[2 * j] = v;
+            }
+            for i in (1..len).step_by(2) {
+                let sym = sym_iter.next().expect("symbol count verified");
+                if sym == ESCAPE {
+                    let bytes = stream.get(pos..pos + 4).ok_or_else(|| {
+                        CompressError::CorruptStream("truncated outlier table".into())
+                    })?;
+                    pos += 4;
+                    recon[i] = f32::from_le_bytes(bytes.try_into().expect("4 bytes"));
+                } else {
+                    let code = sym as i64 - MAX_CODE - 1;
+                    let pred = interpolate(&recon, i, len);
+                    recon[i] = (pred as f64 + 2.0 * eb * code as f64) as f32;
+                }
+            }
+            recon_coarse = recon;
+        }
+        Ok(recon_coarse)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn smooth_field(n: usize) -> Vec<f32> {
+        (0..n)
+            .map(|i| {
+                let t = i as f32 / n as f32;
+                (t * 7.0).sin() * 1.5 + 0.25 * (t * 31.0).cos()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn level_lengths_halve() {
+        assert_eq!(level_lengths(9), vec![9, 5, 3]);
+        assert_eq!(level_lengths(3), vec![3]);
+        assert_eq!(level_lengths(1), vec![1]);
+        assert_eq!(level_lengths(0), vec![0]);
+        assert_eq!(level_lengths(16), vec![16, 8, 4, 2]);
+    }
+
+    #[test]
+    fn coefficient_symbol_count_matches() {
+        // Every element is either a coefficient (odd node at exactly one
+        // level) or survives to the coarsest level:
+        // Σ_levels ⌊len/2⌋ + coarse_len == n for any n.
+        for n in [1usize, 2, 3, 7, 16, 100, 1023] {
+            let lens = level_lengths(n);
+            let coeffs: usize = lens[..lens.len() - 1].iter().map(|&l| l / 2).sum();
+            assert_eq!(coeffs + lens.last().unwrap(), n, "n={n}");
+        }
+    }
+
+    #[test]
+    fn roundtrip_respects_abs_linf_bound() {
+        let data = smooth_field(4096);
+        let m = MgardCompressor::new();
+        for tol in [1e-2, 1e-4, 1e-6] {
+            let bound = ErrorBound::abs_linf(tol);
+            let recon = m.decompress(&m.compress(&data, &bound).unwrap()).unwrap();
+            assert!(bound.verify(&data, &recon), "tol={tol}");
+        }
+    }
+
+    #[test]
+    fn roundtrip_respects_l2_bounds() {
+        let data = smooth_field(2048);
+        let m = MgardCompressor::new();
+        for bound in [ErrorBound::abs_l2(1e-2), ErrorBound::rel_l2(1e-4)] {
+            let recon = m.decompress(&m.compress(&data, &bound).unwrap()).unwrap();
+            assert!(bound.verify(&data, &recon), "{bound:?}");
+        }
+    }
+
+    #[test]
+    fn smooth_data_compresses_well() {
+        let data = smooth_field(16_384);
+        let m = MgardCompressor::new();
+        let stream = m.compress(&data, &ErrorBound::rel_linf(1e-3)).unwrap();
+        let ratio = (data.len() * 4) as f64 / stream.len() as f64;
+        assert!(ratio > 6.0, "ratio = {ratio:.2}");
+    }
+
+    #[test]
+    fn ratio_grows_with_tolerance() {
+        let data = smooth_field(8192);
+        let m = MgardCompressor::new();
+        let len_at = |tol: f64| {
+            m.compress(&data, &ErrorBound::rel_linf(tol))
+                .unwrap()
+                .len()
+        };
+        assert!(len_at(1e-2) < len_at(1e-5));
+    }
+
+    #[test]
+    fn outliers_handled() {
+        let mut data = smooth_field(256);
+        data[100] = 1e28;
+        let m = MgardCompressor::new();
+        let bound = ErrorBound::abs_linf(1e-5);
+        let recon = m.decompress(&m.compress(&data, &bound).unwrap()).unwrap();
+        assert!(bound.verify(&data, &recon));
+    }
+
+    #[test]
+    fn small_inputs() {
+        let m = MgardCompressor::new();
+        let bound = ErrorBound::abs_linf(1e-3);
+        for n in [0usize, 1, 2, 3, 4, 5] {
+            let data = smooth_field(n);
+            let recon = m.decompress(&m.compress(&data, &bound).unwrap()).unwrap();
+            assert_eq!(recon.len(), n, "n={n}");
+            assert!(bound.verify(&data, &recon), "n={n}");
+        }
+    }
+
+    #[test]
+    fn coarse_level_is_exact() {
+        // Coarsest nodes are stored verbatim: stride-2^K samples are exact.
+        let data = smooth_field(33);
+        let m = MgardCompressor::new();
+        let recon = m
+            .decompress(&m.compress(&data, &ErrorBound::abs_linf(1e-1)).unwrap())
+            .unwrap();
+        // Index 0 survives to every coarser level.
+        assert_eq!(recon[0], data[0]);
+    }
+
+    #[test]
+    fn corrupt_stream_rejected() {
+        let m = MgardCompressor::new();
+        assert!(m.decompress(&[0; 10]).is_err());
+        let stream = m
+            .compress(&smooth_field(200), &ErrorBound::abs_linf(1e-3))
+            .unwrap();
+        assert!(m.decompress(&stream[..stream.len() - 3]).is_err());
+    }
+
+    proptest::proptest! {
+        #[test]
+        fn prop_error_bound_holds(
+            seed in 0u64..500,
+            tol in 1e-6f64..1e-1,
+            n in 1usize..400,
+        ) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let data: Vec<f32> = (0..n)
+                .map(|i| ((i as f32) * 0.05).cos() * 2.0 + rng.gen_range(-0.3f32..0.3))
+                .collect();
+            let m = MgardCompressor::new();
+            let bound = ErrorBound::abs_linf(tol);
+            let recon = m.decompress(&m.compress(&data, &bound).unwrap()).unwrap();
+            proptest::prop_assert!(bound.verify(&data, &recon));
+        }
+
+        #[test]
+        fn prop_l2_bound_holds(seed in 0u64..200, tol in 1e-4f64..1e-1) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let data: Vec<f32> = (0..311).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+            let m = MgardCompressor::new();
+            let bound = ErrorBound::abs_l2(tol);
+            let recon = m.decompress(&m.compress(&data, &bound).unwrap()).unwrap();
+            proptest::prop_assert!(bound.verify(&data, &recon));
+        }
+    }
+}

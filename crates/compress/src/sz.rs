@@ -1,0 +1,314 @@
+//! SZ-class error-bounded compressor.
+//!
+//! The SZ family (the paper's references \[6\], \[25\]) compresses scientific
+//! floating-point data by (1) *predicting* each value from its already-
+//! reconstructed neighbours, (2) quantizing the prediction residual into
+//! bins of width `2·eb` so every reconstructed value lands within `eb` of
+//! the original, and (3) entropy-coding the bin indices, which cluster
+//! tightly around zero for smooth fields.  Values the predictor misses
+//! (outliers) are stored verbatim.
+//!
+//! This implementation follows the classic SZ 1-D pipeline with a
+//! best-of-two predictor (Lorenzo / linear extrapolation, chosen per value
+//! from reconstructed history so the decoder can repeat the choice) and the
+//! crate's canonical Huffman coder.  The error-bound contract is *strict*:
+//! the quantizer verifies each reconstruction in `f32` and escapes to a
+//! verbatim outlier whenever rounding would violate the budget.
+
+use crate::error_bound::ErrorBound;
+use crate::huffman;
+use crate::traits::{check_tolerance, CompressError, Compressor};
+
+/// Quantization codes live in `[-MAX_CODE, MAX_CODE]`; residuals outside
+/// become outliers.  65k bins matches SZ's default `quantization_intervals`.
+const MAX_CODE: i64 = 32_767;
+
+/// Symbol 0 is the outlier escape; code `c` maps to `c + MAX_CODE + 1`.
+const ESCAPE: u32 = 0;
+
+/// SZ-class compressor (see module docs).
+#[derive(Debug, Clone, Default)]
+pub struct SzCompressor;
+
+impl SzCompressor {
+    /// Creates the compressor with default settings.
+    pub fn new() -> Self {
+        SzCompressor
+    }
+
+    /// Predicts element `i` from reconstructed history: linear
+    /// extrapolation `2·x̃_{i−1} − x̃_{i−2}` when two predecessors exist,
+    /// Lorenzo (`x̃_{i−1}`) with one, zero otherwise.
+    #[inline]
+    fn predict(recon: &[f32], i: usize) -> f64 {
+        match i {
+            0 => 0.0,
+            1 => recon[0] as f64,
+            _ => 2.0 * recon[i - 1] as f64 - recon[i - 2] as f64,
+        }
+    }
+}
+
+impl Compressor for SzCompressor {
+    fn name(&self) -> &'static str {
+        "sz"
+    }
+
+    fn supports(&self, _bound: &ErrorBound) -> bool {
+        // SZ supports both L∞ and L2 tolerances (Figs. 13, 14).
+        true
+    }
+
+    fn compress(&self, data: &[f32], bound: &ErrorBound) -> Result<Vec<u8>, CompressError> {
+        check_tolerance(bound.tolerance)?;
+        let eb = bound.pointwise_budget(data);
+        let mut symbols: Vec<u32> = Vec::with_capacity(data.len());
+        let mut outliers: Vec<f32> = Vec::new();
+        let mut recon: Vec<f32> = Vec::with_capacity(data.len());
+
+        for (i, &x) in data.iter().enumerate() {
+            let pred = Self::predict(&recon, i);
+            let residual = x as f64 - pred;
+            let code = (residual / (2.0 * eb)).round() as i64;
+            let mut accepted = false;
+            // unsigned_abs: the float→int cast saturates to i64::MIN for
+            // huge negative residuals, where .abs() would overflow.
+            if code.unsigned_abs() <= MAX_CODE as u64 {
+                let r = (pred + 2.0 * eb * code as f64) as f32;
+                // Strict check in f32: the cast may add half an ulp, so we
+                // verify rather than trust the algebra.
+                if ((x - r).abs() as f64) <= eb && r.is_finite() {
+                    symbols.push((code + MAX_CODE + 1) as u32);
+                    recon.push(r);
+                    accepted = true;
+                }
+            }
+            if !accepted {
+                symbols.push(ESCAPE);
+                outliers.push(x);
+                recon.push(x);
+            }
+        }
+
+        let mut out = Vec::new();
+        out.extend_from_slice(&(data.len() as u64).to_le_bytes());
+        out.extend_from_slice(&eb.to_le_bytes());
+        out.extend_from_slice(&huffman::encode(&symbols));
+        for v in &outliers {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+        Ok(out)
+    }
+
+    fn decompress(&self, stream: &[u8]) -> Result<Vec<f32>, CompressError> {
+        if stream.len() < 16 {
+            return Err(CompressError::CorruptStream("header too short".into()));
+        }
+        let n = u64::from_le_bytes(stream[0..8].try_into().expect("8 bytes")) as usize;
+        let eb = f64::from_le_bytes(stream[8..16].try_into().expect("8 bytes"));
+        let (symbols, consumed) = huffman::decode(&stream[16..])?;
+        if symbols.len() != n {
+            return Err(CompressError::CorruptStream(format!(
+                "expected {n} symbols, decoded {}",
+                symbols.len()
+            )));
+        }
+        let mut pos = 16 + consumed;
+        let mut recon: Vec<f32> =
+            Vec::with_capacity(crate::traits::safe_capacity(n, stream.len()));
+        for (i, &sym) in symbols.iter().enumerate() {
+            if sym == ESCAPE {
+                let bytes = stream.get(pos..pos + 4).ok_or_else(|| {
+                    CompressError::CorruptStream("truncated outlier table".into())
+                })?;
+                pos += 4;
+                recon.push(f32::from_le_bytes(bytes.try_into().expect("4 bytes")));
+            } else {
+                let code = sym as i64 - MAX_CODE - 1;
+                let pred = Self::predict(&recon, i);
+                recon.push((pred + 2.0 * eb * code as f64) as f32);
+            }
+        }
+        Ok(recon)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::error_bound::BoundMode;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn smooth_field(n: usize) -> Vec<f32> {
+        (0..n)
+            .map(|i| {
+                let t = i as f32 / n as f32;
+                (t * 12.0).sin() + 0.3 * (t * 40.0).cos()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn roundtrip_respects_abs_linf_bound() {
+        let data = smooth_field(4096);
+        for tol in [1e-2, 1e-4, 1e-6] {
+            let bound = ErrorBound::abs_linf(tol);
+            let sz = SzCompressor::new();
+            let stream = sz.compress(&data, &bound).unwrap();
+            let recon = sz.decompress(&stream).unwrap();
+            assert!(bound.verify(&data, &recon), "tol={tol}");
+        }
+    }
+
+    #[test]
+    fn roundtrip_respects_rel_bounds() {
+        let data = smooth_field(2048);
+        let sz = SzCompressor::new();
+        for bound in [
+            ErrorBound::rel_linf(1e-3),
+            ErrorBound::abs_l2(1e-2),
+            ErrorBound::rel_l2(1e-4),
+        ] {
+            let stream = sz.compress(&data, &bound).unwrap();
+            let recon = sz.decompress(&stream).unwrap();
+            assert!(bound.verify(&data, &recon), "{bound:?}");
+        }
+    }
+
+    #[test]
+    fn smooth_data_compresses_well() {
+        let data = smooth_field(16_384);
+        let sz = SzCompressor::new();
+        let stream = sz
+            .compress(&data, &ErrorBound::rel_linf(1e-3))
+            .unwrap();
+        let ratio = (data.len() * 4) as f64 / stream.len() as f64;
+        assert!(ratio > 8.0, "ratio = {ratio:.2}");
+    }
+
+    #[test]
+    fn ratio_grows_with_tolerance() {
+        let data = smooth_field(8192);
+        let sz = SzCompressor::new();
+        let len_at = |tol: f64| {
+            sz.compress(&data, &ErrorBound::rel_linf(tol))
+                .unwrap()
+                .len()
+        };
+        assert!(len_at(1e-2) < len_at(1e-4));
+        assert!(len_at(1e-4) < len_at(1e-6));
+    }
+
+    #[test]
+    fn random_noise_still_bounded() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let data: Vec<f32> = (0..2000).map(|_| rng.gen_range(-10.0..10.0)).collect();
+        let sz = SzCompressor::new();
+        let bound = ErrorBound::abs_linf(1e-3);
+        let recon = sz
+            .decompress(&sz.compress(&data, &bound).unwrap())
+            .unwrap();
+        assert!(bound.verify(&data, &recon));
+    }
+
+    #[test]
+    fn extreme_values_become_outliers() {
+        let mut data = smooth_field(128);
+        data[50] = 1e30;
+        data[51] = -1e30;
+        let sz = SzCompressor::new();
+        let bound = ErrorBound::abs_linf(1e-4);
+        let recon = sz
+            .decompress(&sz.compress(&data, &bound).unwrap())
+            .unwrap();
+        assert!(bound.verify(&data, &recon));
+        assert_eq!(recon[50], 1e30);
+    }
+
+    #[test]
+    fn empty_and_single_element() {
+        let sz = SzCompressor::new();
+        let bound = ErrorBound::abs_linf(1e-3);
+        let empty = sz.decompress(&sz.compress(&[], &bound).unwrap()).unwrap();
+        assert!(empty.is_empty());
+        let one = sz
+            .decompress(&sz.compress(&[42.0], &bound).unwrap())
+            .unwrap();
+        assert!((one[0] - 42.0).abs() <= 1e-3);
+    }
+
+    #[test]
+    fn invalid_tolerance_rejected() {
+        let sz = SzCompressor::new();
+        assert!(sz.compress(&[1.0], &ErrorBound::abs_linf(0.0)).is_err());
+        assert!(sz
+            .compress(&[1.0], &ErrorBound::abs_linf(f64::NAN))
+            .is_err());
+    }
+
+    #[test]
+    fn corrupt_stream_rejected() {
+        let sz = SzCompressor::new();
+        assert!(sz.decompress(&[1, 2, 3]).is_err());
+        let stream = sz
+            .compress(&smooth_field(100), &ErrorBound::abs_linf(1e-3))
+            .unwrap();
+        assert!(sz.decompress(&stream[..stream.len() / 2]).is_err());
+    }
+
+    #[test]
+    fn supports_all_modes() {
+        let sz = SzCompressor::new();
+        for mode in [
+            BoundMode::AbsLInf,
+            BoundMode::RelLInf,
+            BoundMode::AbsL2,
+            BoundMode::RelL2,
+        ] {
+            assert!(sz.supports(&ErrorBound {
+                tolerance: 1e-3,
+                mode
+            }));
+        }
+    }
+
+    #[test]
+    fn roundtrip_stats() {
+        let data = smooth_field(4096);
+        let sz = SzCompressor::new();
+        let (recon, stats) = sz.roundtrip(&data, &ErrorBound::rel_linf(1e-3)).unwrap();
+        assert_eq!(recon.len(), data.len());
+        assert!(stats.ratio() > 1.0);
+        assert!(stats.compress_secs >= 0.0);
+    }
+
+    proptest::proptest! {
+        #[test]
+        fn prop_error_bound_holds(
+            seed in 0u64..1000,
+            tol in 1e-6f64..1e-1,
+            n in 1usize..512,
+        ) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            // Mix of smooth signal and noise.
+            let data: Vec<f32> = (0..n)
+                .map(|i| ((i as f32) * 0.1).sin() * 5.0 + rng.gen_range(-1.0f32..1.0))
+                .collect();
+            let sz = SzCompressor::new();
+            let bound = ErrorBound::abs_linf(tol);
+            let recon = sz.decompress(&sz.compress(&data, &bound).unwrap()).unwrap();
+            proptest::prop_assert!(bound.verify(&data, &recon));
+        }
+
+        #[test]
+        fn prop_l2_bound_holds(seed in 0u64..200, tol in 1e-4f64..1e-1) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let data: Vec<f32> = (0..256).map(|_| rng.gen_range(-2.0f32..2.0)).collect();
+            let sz = SzCompressor::new();
+            let bound = ErrorBound::abs_l2(tol);
+            let recon = sz.decompress(&sz.compress(&data, &bound).unwrap()).unwrap();
+            proptest::prop_assert!(bound.verify(&data, &recon));
+        }
+    }
+}

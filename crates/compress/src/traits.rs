@@ -1,0 +1,134 @@
+//! The compressor interface shared by all backends.
+
+use crate::error_bound::ErrorBound;
+use crate::metrics::CompressionStats;
+use std::fmt;
+use std::time::Instant;
+
+/// Errors raised by compression backends.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CompressError {
+    /// The backend does not support the requested bound mode (e.g. ZFP with
+    /// an L2 tolerance — the restriction the paper notes for Figs. 8/12/14).
+    UnsupportedBound {
+        /// Backend name.
+        backend: &'static str,
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// The tolerance was non-positive or non-finite.
+    InvalidTolerance(String),
+    /// The compressed byte stream was malformed.
+    CorruptStream(String),
+}
+
+impl fmt::Display for CompressError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CompressError::UnsupportedBound { backend, reason } => {
+                write!(f, "{backend}: unsupported error bound: {reason}")
+            }
+            CompressError::InvalidTolerance(msg) => write!(f, "invalid tolerance: {msg}"),
+            CompressError::CorruptStream(msg) => write!(f, "corrupt compressed stream: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CompressError {}
+
+/// An error-bounded lossy compressor over `f32` buffers.
+///
+/// Implementations guarantee: for any input and any supported
+/// [`ErrorBound`], `decompress(compress(x, b))` reconstructs `x̃` with
+/// `b.verify(x, x̃) == true`.
+pub trait Compressor: Send + Sync {
+    /// Short backend name (`"sz"`, `"zfp"`, `"mgard"`).
+    fn name(&self) -> &'static str;
+
+    /// `true` when the backend can honour the given bound mode.
+    fn supports(&self, bound: &ErrorBound) -> bool;
+
+    /// Compresses `data` under `bound`.
+    fn compress(&self, data: &[f32], bound: &ErrorBound) -> Result<Vec<u8>, CompressError>;
+
+    /// Decompresses a stream produced by [`Compressor::compress`].
+    fn decompress(&self, stream: &[u8]) -> Result<Vec<f32>, CompressError>;
+
+    /// Convenience: compress + decompress + collect timing/ratio stats.
+    fn roundtrip(
+        &self,
+        data: &[f32],
+        bound: &ErrorBound,
+    ) -> Result<(Vec<f32>, CompressionStats), CompressError> {
+        let t0 = Instant::now();
+        let stream = self.compress(data, bound)?;
+        let compress_secs = t0.elapsed().as_secs_f64();
+        let t1 = Instant::now();
+        let recon = self.decompress(&stream)?;
+        let decompress_secs = t1.elapsed().as_secs_f64();
+        Ok((
+            recon,
+            CompressionStats {
+                original_bytes: data.len() * 4,
+                compressed_bytes: stream.len(),
+                compress_secs,
+                decompress_secs,
+            },
+        ))
+    }
+}
+
+/// Caps a header-declared element count for preallocation: untrusted
+/// streams can declare absurd counts, so reserve at most what the stream
+/// could plausibly encode (one element per remaining *bit*), bounded by a
+/// hard 16 Mi ceiling.  Vectors still grow on demand; this only guards the
+/// up-front allocation.
+pub fn safe_capacity(declared: usize, remaining_bytes: usize) -> usize {
+    declared.min(remaining_bytes.saturating_mul(8)).min(1 << 24)
+}
+
+/// Validates a tolerance (shared by all backends).
+pub fn check_tolerance(tol: f64) -> Result<(), CompressError> {
+    if !tol.is_finite() || tol <= 0.0 {
+        return Err(CompressError::InvalidTolerance(format!(
+            "tolerance must be positive and finite, got {tol}"
+        )));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tolerance_validation() {
+        assert!(check_tolerance(1e-3).is_ok());
+        assert!(check_tolerance(0.0).is_err());
+        assert!(check_tolerance(-1.0).is_err());
+        assert!(check_tolerance(f64::NAN).is_err());
+        assert!(check_tolerance(f64::INFINITY).is_err());
+    }
+
+    #[test]
+    fn safe_capacity_caps() {
+        assert_eq!(safe_capacity(10, 1000), 10);
+        assert_eq!(safe_capacity(usize::MAX, 2), 16);
+        assert_eq!(safe_capacity(usize::MAX, usize::MAX), 1 << 24);
+    }
+
+    #[test]
+    fn error_display() {
+        let e = CompressError::UnsupportedBound {
+            backend: "zfp",
+            reason: "L2 tolerance".into(),
+        };
+        assert!(e.to_string().contains("zfp"));
+        assert!(CompressError::InvalidTolerance("x".into())
+            .to_string()
+            .contains("invalid"));
+        assert!(CompressError::CorruptStream("y".into())
+            .to_string()
+            .contains("corrupt"));
+    }
+}

@@ -1,0 +1,394 @@
+//! ZFP-class fixed-accuracy compressor.
+//!
+//! ZFP (the paper's reference \[7\]) compresses floating-point arrays in
+//! fixed-size blocks: each block is aligned to a common exponent, converted
+//! to integers, passed through a reversible decorrelating transform, and
+//! its coefficients are truncated to exactly the precision the accuracy
+//! target requires.  Because every step is local to a 4-value block, the
+//! codec is branch-light and fast in both directions — which is why the
+//! paper observes ZFP's I/O throughput staying flat across tolerance levels
+//! (Fig. 7) while SZ/MGARD dip.
+//!
+//! This implementation uses the exactly-reversible integer S-transform
+//! (two-level Haar lifting) as the decorrelator and sign-magnitude storage
+//! of precision-truncated coefficients.  Like real ZFP, it supports
+//! **pointwise (L∞) tolerances only** — requesting an L2 bound returns
+//! [`CompressError::UnsupportedBound`], matching the restriction the paper
+//! notes for Figs. 8, 12 and 14.
+
+use crate::bitstream::{BitReader, BitWriter};
+use crate::error_bound::ErrorBound;
+use crate::traits::{check_tolerance, CompressError, Compressor};
+
+/// Working integer precision (bits of the normalised significand).
+const PRECISION: i32 = 38;
+
+/// ZFP-class compressor (see module docs).
+#[derive(Debug, Clone, Default)]
+pub struct ZfpCompressor;
+
+impl ZfpCompressor {
+    /// Creates the compressor with default settings.
+    pub fn new() -> Self {
+        ZfpCompressor
+    }
+}
+
+/// Forward reversible S-transform on a 4-value block (two Haar levels).
+fn fwd_transform(p: &mut [i64; 4]) {
+    let (l0, h0) = haar_fwd(p[0], p[1]);
+    let (l1, h1) = haar_fwd(p[2], p[3]);
+    let (ll, lh) = haar_fwd(l0, l1);
+    *p = [ll, lh, h0, h1];
+}
+
+/// Exact inverse of [`fwd_transform`].
+fn inv_transform(p: &mut [i64; 4]) {
+    let [ll, lh, h0, h1] = *p;
+    let (l0, l1) = haar_inv(ll, lh);
+    let (a, b) = haar_inv(l0, h0);
+    let (c, d) = haar_inv(l1, h1);
+    *p = [a, b, c, d];
+}
+
+/// Reversible Haar pair: `l = ⌊(a+b)/2⌋`, `h = a − b`.
+///
+/// Wrapping arithmetic: valid streams never overflow (coefficients stay
+/// within PRECISION+2 bits), but *corrupt* streams can decode arbitrary
+/// 63-bit magnitudes, and decompression must stay panic-free on them.
+#[inline]
+fn haar_fwd(a: i64, b: i64) -> (i64, i64) {
+    (a.wrapping_add(b) >> 1, a.wrapping_sub(b))
+}
+
+/// Exact inverse of [`haar_fwd`] (same wrapping rationale).
+#[inline]
+fn haar_inv(l: i64, h: i64) -> (i64, i64) {
+    let a = l.wrapping_add(h.wrapping_add(1) >> 1);
+    (a, a.wrapping_sub(h))
+}
+
+impl Compressor for ZfpCompressor {
+    fn name(&self) -> &'static str {
+        "zfp"
+    }
+
+    fn supports(&self, bound: &ErrorBound) -> bool {
+        !bound.mode.is_l2()
+    }
+
+    fn compress(&self, data: &[f32], bound: &ErrorBound) -> Result<Vec<u8>, CompressError> {
+        check_tolerance(bound.tolerance)?;
+        if bound.mode.is_l2() {
+            return Err(CompressError::UnsupportedBound {
+                backend: "zfp",
+                reason: "ZFP supports pointwise (L-infinity) tolerances only".into(),
+            });
+        }
+        let budget = bound.pointwise_budget(data);
+        let mut w = BitWriter::new();
+        for chunk in data.chunks(4) {
+            encode_block(chunk, budget, &mut w);
+        }
+        let payload = w.into_bytes();
+        let mut out = Vec::with_capacity(payload.len() + 8);
+        out.extend_from_slice(&(data.len() as u64).to_le_bytes());
+        out.extend_from_slice(&payload);
+        Ok(out)
+    }
+
+    fn decompress(&self, stream: &[u8]) -> Result<Vec<f32>, CompressError> {
+        if stream.len() < 8 {
+            return Err(CompressError::CorruptStream("header too short".into()));
+        }
+        let n = u64::from_le_bytes(stream[0..8].try_into().expect("8 bytes")) as usize;
+        let mut r = BitReader::new(&stream[8..]);
+        let mut out = Vec::with_capacity(crate::traits::safe_capacity(n, stream.len()));
+        while out.len() < n {
+            let take = (n - out.len()).min(4);
+            let block = decode_block(&mut r)?;
+            out.extend_from_slice(&block[..take]);
+        }
+        Ok(out)
+    }
+}
+
+fn encode_block(values: &[f32], budget: f64, w: &mut BitWriter) {
+    debug_assert!(!values.is_empty() && values.len() <= 4);
+    // Pad short tail blocks by repeating the last value (cheap to code).
+    let mut block = [0.0f32; 4];
+    #[allow(clippy::needless_range_loop)] // pads the tail from `values`
+    for i in 0..4 {
+        block[i] = *values.get(i).unwrap_or(values.last().expect("nonempty"));
+    }
+    let max_abs = block.iter().fold(0.0f32, |m, &v| m.max(v.abs()));
+    if max_abs == 0.0 || !max_abs.is_finite() {
+        // Zero / non-finite blocks: flag + verbatim fallback for non-finite.
+        if max_abs == 0.0 {
+            w.write_bit(true); // zero-block flag
+            w.write_bit(false);
+            return;
+        }
+        w.write_bit(true);
+        w.write_bit(true); // verbatim escape
+        for v in block {
+            w.write_bits(v.to_bits() as u64, 32);
+        }
+        return;
+    }
+    w.write_bit(false);
+
+    let emax = (max_abs as f64).log2().floor() as i32;
+    let scale = 2f64.powi(emax - (PRECISION - 2));
+    let mut ints = [0i64; 4];
+    for (i, &v) in block.iter().enumerate() {
+        ints[i] = (v as f64 / scale).round() as i64;
+    }
+    fwd_transform(&mut ints);
+
+    // Pick the largest truncation that keeps the worst-case reconstruction
+    // error within budget: int error ≤ 2^(cut+1) + 3 (transform gain 4 on a
+    // half-step coefficient error, plus lifting-rounding slack).
+    let max_cut = 62;
+    let mut cut: u32 = 0;
+    if budget / scale > 5.0 {
+        cut = (((budget / scale - 3.0) / 2.0).log2().floor() as i64).clamp(0, max_cut) as u32;
+    }
+    // Truncate toward zero on magnitude (arithmetic shift floors negatives,
+    // so work in sign-magnitude).
+    let kept: [i64; 4] = std::array::from_fn(|i| {
+        let v = ints[i];
+        let mag = v.unsigned_abs() >> cut;
+        if v < 0 {
+            -(mag as i64)
+        } else {
+            mag as i64
+        }
+    });
+
+    let width = kept
+        .iter()
+        .map(|&k| 64 - k.unsigned_abs().leading_zeros())
+        .max()
+        .expect("4 values");
+    w.write_bits((emax + 256) as u64, 10);
+    w.write_bits(cut as u64, 6);
+    w.write_bits(width as u64, 6);
+    for &k in &kept {
+        w.write_bit(k < 0);
+        w.write_bits(k.unsigned_abs(), width);
+    }
+}
+
+fn decode_block(r: &mut BitReader<'_>) -> Result<[f32; 4], CompressError> {
+    let flag = r
+        .read_bit()
+        .ok_or_else(|| CompressError::CorruptStream("missing block flag".into()))?;
+    if flag {
+        let verbatim = r
+            .read_bit()
+            .ok_or_else(|| CompressError::CorruptStream("missing escape flag".into()))?;
+        if !verbatim {
+            return Ok([0.0; 4]);
+        }
+        let mut out = [0.0f32; 4];
+        for o in &mut out {
+            let bits = r
+                .read_bits(32)
+                .ok_or_else(|| CompressError::CorruptStream("truncated verbatim block".into()))?;
+            *o = f32::from_bits(bits as u32);
+        }
+        return Ok(out);
+    }
+    let emax = r
+        .read_bits(10)
+        .ok_or_else(|| CompressError::CorruptStream("truncated emax".into()))? as i32
+        - 256;
+    let cut = r
+        .read_bits(6)
+        .ok_or_else(|| CompressError::CorruptStream("truncated cut".into()))? as u32;
+    let width = r
+        .read_bits(6)
+        .ok_or_else(|| CompressError::CorruptStream("truncated width".into()))? as u32;
+    let mut ints = [0i64; 4];
+    for v in &mut ints {
+        let neg = r
+            .read_bit()
+            .ok_or_else(|| CompressError::CorruptStream("truncated sign".into()))?;
+        let mag = r
+            .read_bits(width)
+            .ok_or_else(|| CompressError::CorruptStream("truncated magnitude".into()))?
+            as i64;
+        // Midpoint reconstruction of the truncated low bits (wrapping:
+        // corrupt streams can declare absurd cut/width combinations).
+        let mut val = mag.wrapping_shl(cut);
+        if cut > 0 && mag != 0 {
+            val = val.wrapping_add(1i64.wrapping_shl(cut - 1));
+        }
+        *v = if neg { val.wrapping_neg() } else { val };
+    }
+    inv_transform(&mut ints);
+    let scale = 2f64.powi(emax - (PRECISION - 2));
+    Ok(std::array::from_fn(|i| (ints[i] as f64 * scale) as f32))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn smooth_field(n: usize) -> Vec<f32> {
+        (0..n)
+            .map(|i| {
+                let t = i as f32 / n as f32;
+                (t * 9.0).sin() * 2.0 + 0.2 * (t * 55.0).cos()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn transform_is_exactly_reversible() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let orig: [i64; 4] = std::array::from_fn(|_| rng.gen_range(-(1 << 36)..(1 << 36)));
+            let mut p = orig;
+            fwd_transform(&mut p);
+            inv_transform(&mut p);
+            assert_eq!(p, orig);
+        }
+    }
+
+    #[test]
+    fn roundtrip_respects_bound() {
+        let data = smooth_field(4096);
+        let zfp = ZfpCompressor::new();
+        for tol in [1e-1, 1e-3, 1e-5, 1e-7] {
+            let bound = ErrorBound::abs_linf(tol);
+            let recon = zfp
+                .decompress(&zfp.compress(&data, &bound).unwrap())
+                .unwrap();
+            assert!(bound.verify(&data, &recon), "tol={tol}");
+        }
+    }
+
+    #[test]
+    fn rel_linf_roundtrip() {
+        let data = smooth_field(1024);
+        let zfp = ZfpCompressor::new();
+        let bound = ErrorBound::rel_linf(1e-4);
+        let recon = zfp
+            .decompress(&zfp.compress(&data, &bound).unwrap())
+            .unwrap();
+        assert!(bound.verify(&data, &recon));
+    }
+
+    #[test]
+    fn l2_bound_rejected() {
+        let zfp = ZfpCompressor::new();
+        assert!(!zfp.supports(&ErrorBound::abs_l2(1e-3)));
+        assert!(matches!(
+            zfp.compress(&[1.0, 2.0], &ErrorBound::abs_l2(1e-3)),
+            Err(CompressError::UnsupportedBound { backend: "zfp", .. })
+        ));
+    }
+
+    #[test]
+    fn ratio_grows_with_tolerance() {
+        let data = smooth_field(8192);
+        let zfp = ZfpCompressor::new();
+        let len_at = |tol: f64| {
+            zfp.compress(&data, &ErrorBound::abs_linf(tol))
+                .unwrap()
+                .len()
+        };
+        assert!(len_at(1e-1) < len_at(1e-4));
+        assert!(len_at(1e-4) < len_at(1e-7));
+    }
+
+    #[test]
+    fn zero_blocks_are_tiny() {
+        let data = vec![0.0f32; 4096];
+        let zfp = ZfpCompressor::new();
+        let stream = zfp.compress(&data, &ErrorBound::abs_linf(1e-3)).unwrap();
+        // 2 bits per 4-value block + header.
+        assert!(stream.len() < 8 + 4096 / 4, "len={}", stream.len());
+        let recon = zfp.decompress(&stream).unwrap();
+        assert!(recon.iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn mixed_magnitudes_bounded() {
+        let mut data = smooth_field(512);
+        for (i, v) in data.iter_mut().enumerate() {
+            if i % 17 == 0 {
+                *v *= 1e6;
+            }
+            if i % 23 == 0 {
+                *v *= 1e-6;
+            }
+        }
+        let zfp = ZfpCompressor::new();
+        let bound = ErrorBound::abs_linf(1e-2);
+        let recon = zfp
+            .decompress(&zfp.compress(&data, &bound).unwrap())
+            .unwrap();
+        assert!(bound.verify(&data, &recon));
+    }
+
+    #[test]
+    fn non_multiple_of_four_lengths() {
+        let zfp = ZfpCompressor::new();
+        let bound = ErrorBound::abs_linf(1e-4);
+        for n in [1usize, 2, 3, 5, 7, 1023] {
+            let data = smooth_field(n);
+            let recon = zfp
+                .decompress(&zfp.compress(&data, &bound).unwrap())
+                .unwrap();
+            assert_eq!(recon.len(), n);
+            assert!(bound.verify(&data, &recon), "n={n}");
+        }
+    }
+
+    #[test]
+    fn empty_input() {
+        let zfp = ZfpCompressor::new();
+        let stream = zfp.compress(&[], &ErrorBound::abs_linf(1e-3)).unwrap();
+        assert!(zfp.decompress(&stream).unwrap().is_empty());
+    }
+
+    #[test]
+    fn corrupt_stream_rejected() {
+        let zfp = ZfpCompressor::new();
+        assert!(zfp.decompress(&[0]).is_err());
+        let stream = zfp
+            .compress(&smooth_field(64), &ErrorBound::abs_linf(1e-5))
+            .unwrap();
+        assert!(zfp.decompress(&stream[..9]).is_err());
+    }
+
+    proptest::proptest! {
+        #[test]
+        fn prop_error_bound_holds(
+            seed in 0u64..500,
+            tol in 1e-7f64..1e-1,
+            n in 1usize..300,
+        ) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let data: Vec<f32> = (0..n)
+                .map(|i| ((i as f32) * 0.07).sin() * 3.0 + rng.gen_range(-0.5f32..0.5))
+                .collect();
+            let zfp = ZfpCompressor::new();
+            let bound = ErrorBound::abs_linf(tol);
+            let recon = zfp.decompress(&zfp.compress(&data, &bound).unwrap()).unwrap();
+            proptest::prop_assert!(bound.verify(&data, &recon));
+        }
+
+        #[test]
+        fn prop_haar_roundtrip(a in -(1i64<<40)..(1i64<<40), b in -(1i64<<40)..(1i64<<40)) {
+            let (l, h) = haar_fwd(a, b);
+            let (a2, b2) = haar_inv(l, h);
+            proptest::prop_assert_eq!((a, b), (a2, b2));
+        }
+    }
+}

@@ -1,0 +1,100 @@
+//! Robustness: decompressing arbitrary bytes must return an error (or a
+//! harmless value) — never panic, never allocate unboundedly.  These are
+//! deterministic pseudo-fuzz sweeps over random buffers and mutated valid
+//! streams.
+
+use errflow_compress::chunked::ChunkedCompressor;
+use errflow_compress::{
+    Compressor, ErrorBound, MgardCompressor, Sz2dCompressor, SzCompressor, ZfpCompressor,
+};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn backends() -> Vec<Box<dyn Compressor>> {
+    vec![
+        Box::new(SzCompressor::default()),
+        Box::new(ZfpCompressor::default()),
+        Box::new(MgardCompressor::default()),
+        Box::new(ChunkedCompressor::new(SzCompressor::default())),
+    ]
+}
+
+#[test]
+fn random_bytes_never_panic() {
+    let mut rng = StdRng::seed_from_u64(0xf22);
+    for be in backends() {
+        for len in [0usize, 1, 7, 8, 16, 24, 64, 256, 4096] {
+            for _ in 0..20 {
+                let buf: Vec<u8> = (0..len).map(|_| rng.gen()).collect();
+                // Any Result is fine; panics/OOM are the failure mode.
+                let _ = be.decompress(&buf);
+            }
+        }
+    }
+}
+
+#[test]
+fn huge_declared_counts_do_not_allocate() {
+    // A header declaring 2^60 values with a 16-byte body must error fast.
+    for be in backends() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&(1u64 << 60).to_le_bytes());
+        buf.extend_from_slice(&[0u8; 16]);
+        assert!(be.decompress(&buf).is_err(), "{}", be.name());
+    }
+}
+
+#[test]
+fn bit_flips_in_valid_streams_never_panic() {
+    let data: Vec<f32> = (0..2048)
+        .map(|i| ((i as f32) * 0.01).sin() * 2.0)
+        .collect();
+    let bound = ErrorBound::abs_linf(1e-3);
+    let mut rng = StdRng::seed_from_u64(99);
+    for be in backends() {
+        let stream = be.compress(&data, &bound).unwrap();
+        for _ in 0..200 {
+            let mut mutated = stream.clone();
+            let idx = rng.gen_range(0..mutated.len());
+            mutated[idx] ^= 1 << rng.gen_range(0..8u8);
+            // Either an error or a (wrong) reconstruction — never a panic.
+            let _ = be.decompress(&mutated);
+        }
+    }
+}
+
+#[test]
+fn truncations_of_valid_streams_never_panic() {
+    let data: Vec<f32> = (0..1024).map(|i| (i as f32).cos()).collect();
+    let bound = ErrorBound::abs_linf(1e-4);
+    for be in backends() {
+        let stream = be.compress(&data, &bound).unwrap();
+        for cut in 0..stream.len().min(200) {
+            let _ = be.decompress(&stream[..cut]);
+        }
+        // Also a coarse sweep across the whole stream.
+        let step = (stream.len() / 50).max(1);
+        for cut in (0..stream.len()).step_by(step) {
+            let _ = be.decompress(&stream[..cut]);
+        }
+    }
+}
+
+#[test]
+fn sz2d_random_bytes_never_panic() {
+    let sz2d = Sz2dCompressor::new();
+    let mut rng = StdRng::seed_from_u64(7);
+    for len in [0usize, 10, 24, 100, 1000] {
+        for _ in 0..20 {
+            let buf: Vec<u8> = (0..len).map(|_| rng.gen()).collect();
+            let _ = sz2d.decompress(&buf);
+        }
+    }
+    // Overflow-bait dimensions.
+    let mut buf = Vec::new();
+    buf.extend_from_slice(&u64::MAX.to_le_bytes());
+    buf.extend_from_slice(&u64::MAX.to_le_bytes());
+    buf.extend_from_slice(&1e-3f64.to_le_bytes());
+    buf.extend_from_slice(&[0u8; 32]);
+    assert!(sz2d.decompress(&buf).is_err());
+}

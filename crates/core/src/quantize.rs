@@ -1,0 +1,74 @@
+//! Model quantization: applying a numerical format to every weight matrix.
+
+use errflow_nn::Model;
+use errflow_quant::QuantFormat;
+
+/// Returns a frozen copy of `model` with every weight matrix quantized to
+/// `format` (weight-only quantization with max calibration, §III-A).
+/// Biases stay in FP32, matching the paper's setup.
+pub fn quantize_model<M: Model>(model: &M, format: QuantFormat) -> M {
+    model.map_weights(&mut |w| format.quantize_matrix(w))
+}
+
+/// Mixed-granularity quantization: one format per layer, in the same
+/// flattened block/layer order as
+/// [`crate::NetworkAnalysis::combined_bound_mixed`].
+pub fn quantize_model_mixed<M: Model>(model: &M, formats: &[QuantFormat]) -> M {
+    let mut idx = 0usize;
+    let quantized = model.map_weights(&mut |w| {
+        let f = formats[idx];
+        idx += 1;
+        f.quantize_matrix(w)
+    });
+    assert_eq!(idx, formats.len(), "one format per layer");
+    quantized
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use errflow_nn::{Activation, Mlp};
+    use errflow_tensor::norms::{diff_norm, Norm};
+
+    fn mlp() -> Mlp {
+        Mlp::new(&[4, 16, 4], Activation::Tanh, Activation::Identity, 3, None)
+    }
+
+    #[test]
+    fn fp32_quantization_is_identity() {
+        let m = mlp();
+        let q = quantize_model(&m, QuantFormat::Fp32);
+        let x = vec![0.3, -0.2, 0.9, 0.0];
+        assert_eq!(m.forward(&x), q.forward(&x));
+    }
+
+    #[test]
+    fn lower_precision_changes_outputs_more() {
+        let m = mlp();
+        let x = vec![0.3f32, -0.2, 0.9, 0.1];
+        let y = m.forward(&x);
+        let err = |f: QuantFormat| {
+            let q = quantize_model(&m, f);
+            diff_norm(&y, &q.forward(&x), Norm::L2)
+        };
+        let e_fp16 = err(QuantFormat::Fp16);
+        let e_bf16 = err(QuantFormat::Bf16);
+        let e_int8 = err(QuantFormat::Int8);
+        assert!(e_fp16 > 0.0);
+        assert!(e_bf16 > e_fp16, "bf16 {e_bf16} vs fp16 {e_fp16}");
+        assert!(e_int8 > e_fp16, "int8 {e_int8} vs fp16 {e_fp16}");
+    }
+
+    #[test]
+    fn quantized_weights_are_representable() {
+        // Double quantization must be a fixed point: Q(Q(W)) == Q(W).
+        let m = mlp();
+        for f in [QuantFormat::Tf32, QuantFormat::Fp16, QuantFormat::Bf16] {
+            let q1 = quantize_model(&m, f);
+            let q2 = quantize_model(&q1, f);
+            for (a, b) in q1.layers().iter().zip(q2.layers()) {
+                assert_eq!(a.weights(), b.weights(), "{f}");
+            }
+        }
+    }
+}

@@ -1,0 +1,218 @@
+//! Activation functions and their derivative bounds.
+//!
+//! The error theory (§III-A) requires every activation to have a globally
+//! bounded first derivative `C = sup_z φ′(z)`; the bound then multiplies the
+//! per-layer error amplification.  For Tanh, ReLU and LeakyReLU (slope ≤ 1)
+//! the paper notes `C = 1` and drops the constant; GeLU's derivative peaks
+//! slightly above 1, which [`Activation::lipschitz`] reports exactly so the
+//! bound stays sound for GeLU networks too.
+
+/// Supported nonlinearities.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Activation {
+    /// Identity (used for output layers of regression heads).
+    Identity,
+    /// Hyperbolic tangent — the H2-combustion MLP's activation.
+    Tanh,
+    /// Rectified linear unit.
+    Relu,
+    /// Leaky ReLU with the given negative-side slope (must be in `[0, 1]`
+    /// for `C = 1`; larger slopes are still handled, with `C = slope`).
+    LeakyRelu(f32),
+    /// Parametric ReLU: like LeakyReLU but the slope is a learnable
+    /// parameter owned by the layer.  The value here is the current slope.
+    PRelu(f32),
+    /// Gaussian error linear unit (tanh approximation).
+    Gelu,
+}
+
+impl Activation {
+    /// Applies the activation.
+    #[inline]
+    pub fn apply(&self, z: f32) -> f32 {
+        match self {
+            Activation::Identity => z,
+            Activation::Tanh => z.tanh(),
+            Activation::Relu => z.max(0.0),
+            Activation::LeakyRelu(a) | Activation::PRelu(a) => {
+                if z >= 0.0 {
+                    z
+                } else {
+                    a * z
+                }
+            }
+            Activation::Gelu => {
+                // tanh approximation: 0.5 z (1 + tanh(√(2/π)(z + 0.044715 z³)))
+                let c = 0.797_884_6_f32; // √(2/π)
+                0.5 * z * (1.0 + (c * (z + 0.044715 * z * z * z)).tanh())
+            }
+        }
+    }
+
+    /// First derivative `φ′(z)` (sub-gradient at kinks).
+    #[inline]
+    pub fn derivative(&self, z: f32) -> f32 {
+        match self {
+            Activation::Identity => 1.0,
+            Activation::Tanh => {
+                let t = z.tanh();
+                1.0 - t * t
+            }
+            Activation::Relu => {
+                if z > 0.0 {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+            Activation::LeakyRelu(a) | Activation::PRelu(a) => {
+                if z > 0.0 {
+                    1.0
+                } else {
+                    *a
+                }
+            }
+            Activation::Gelu => {
+                let c = 0.797_884_6_f32;
+                let inner = c * (z + 0.044715 * z * z * z);
+                let t = inner.tanh();
+                let sech2 = 1.0 - t * t;
+                0.5 * (1.0 + t) + 0.5 * z * sech2 * c * (1.0 + 3.0 * 0.044715 * z * z)
+            }
+        }
+    }
+
+    /// Global derivative bound `C = sup_z φ′(z)` — the constant of §III-A.
+    pub fn lipschitz(&self) -> f64 {
+        match self {
+            Activation::Identity | Activation::Tanh | Activation::Relu => 1.0,
+            Activation::LeakyRelu(a) | Activation::PRelu(a) => (*a as f64).abs().max(1.0),
+            // max of d/dz of the tanh-approximated GeLU (≈1.12899, attained
+            // near z ≈ 1.0; slightly above the exact GeLU's 1.0830).
+            Activation::Gelu => 1.1290,
+        }
+    }
+
+    /// Applies the activation to a whole slice, in place.
+    pub fn apply_slice(&self, z: &mut [f32]) {
+        for v in z {
+            *v = self.apply(*v);
+        }
+    }
+
+    /// Short label for reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Activation::Identity => "identity",
+            Activation::Tanh => "tanh",
+            Activation::Relu => "relu",
+            Activation::LeakyRelu(_) => "leaky_relu",
+            Activation::PRelu(_) => "prelu",
+            Activation::Gelu => "gelu",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tanh_values() {
+        assert_eq!(Activation::Tanh.apply(0.0), 0.0);
+        assert!((Activation::Tanh.apply(100.0) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn relu_values_and_derivative() {
+        assert_eq!(Activation::Relu.apply(-2.0), 0.0);
+        assert_eq!(Activation::Relu.apply(3.0), 3.0);
+        assert_eq!(Activation::Relu.derivative(3.0), 1.0);
+        assert_eq!(Activation::Relu.derivative(-3.0), 0.0);
+    }
+
+    #[test]
+    fn leaky_relu_slope() {
+        let a = Activation::LeakyRelu(0.1);
+        assert_eq!(a.apply(-10.0), -1.0);
+        assert_eq!(a.derivative(-1.0), 0.1);
+    }
+
+    #[test]
+    fn prelu_behaves_like_leaky() {
+        let p = Activation::PRelu(0.25);
+        assert_eq!(p.apply(-4.0), -1.0);
+        assert_eq!(p.apply(4.0), 4.0);
+    }
+
+    #[test]
+    fn gelu_known_points() {
+        let g = Activation::Gelu;
+        assert!((g.apply(0.0)).abs() < 1e-7);
+        // GeLU(x) → x for large x, → 0 for very negative x.
+        assert!((g.apply(10.0) - 10.0).abs() < 1e-3);
+        assert!(g.apply(-10.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn derivatives_match_finite_differences() {
+        let acts = [
+            Activation::Tanh,
+            Activation::LeakyRelu(0.2),
+            Activation::Gelu,
+        ];
+        let h = 1e-3f32;
+        for act in acts {
+            for &z in &[-2.0f32, -0.5, 0.3, 1.0, 2.5] {
+                let fd = (act.apply(z + h) - act.apply(z - h)) / (2.0 * h);
+                let an = act.derivative(z);
+                assert!(
+                    (fd - an).abs() < 1e-2,
+                    "{}: z={z} fd={fd} analytic={an}",
+                    act.label()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn lipschitz_bounds_observed_derivatives() {
+        // C must dominate φ′ everywhere we sample — the soundness condition
+        // the error theory rests on.
+        for act in [
+            Activation::Identity,
+            Activation::Tanh,
+            Activation::Relu,
+            Activation::LeakyRelu(0.3),
+            Activation::PRelu(0.5),
+            Activation::Gelu,
+        ] {
+            let c = act.lipschitz();
+            let mut z = -8.0f32;
+            while z < 8.0 {
+                assert!(
+                    (act.derivative(z) as f64) <= c + 1e-6,
+                    "{} violates C at z={z}",
+                    act.label()
+                );
+                z += 0.01;
+            }
+        }
+    }
+
+    #[test]
+    fn tanh_relu_leaky_have_unit_lipschitz() {
+        // The paper: "For common activations including Tanh, ReLU and
+        // LeakyReLU ... we have C = 1."
+        assert_eq!(Activation::Tanh.lipschitz(), 1.0);
+        assert_eq!(Activation::Relu.lipschitz(), 1.0);
+        assert_eq!(Activation::LeakyRelu(0.1).lipschitz(), 1.0);
+    }
+
+    #[test]
+    fn apply_slice_matches_scalar() {
+        let mut v = vec![-1.0f32, 0.0, 2.0];
+        Activation::Relu.apply_slice(&mut v);
+        assert_eq!(v, vec![0.0, 0.0, 2.0]);
+    }
+}

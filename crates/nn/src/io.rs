@@ -1,0 +1,307 @@
+//! Model serialization: save trained weights to a compact binary format
+//! and reload them later (train once, benchmark many times).
+//!
+//! Saved models are *frozen artifacts*: effective weights are stored (PSN
+//! already folded in) and PSN training state is not preserved — exactly
+//! like exporting a model for deployment.
+//!
+//! Format (little-endian): `b"EFNN"`, version `u8`, model tag `u8`
+//! (0 = MLP, 1 = ConvNet), architecture header, then per-layer
+//! `(rows, cols, weights…, bias…)`.
+
+use crate::activation::Activation;
+use crate::layer::Layer;
+use crate::model::{ConvNet, Mlp, Model};
+use errflow_tensor::conv::MapShape;
+use errflow_tensor::Matrix;
+use std::fmt;
+
+const MAGIC: &[u8; 4] = b"EFNN";
+const VERSION: u8 = 1;
+
+/// Errors raised when loading a serialized model.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ModelIoError {
+    /// The buffer is not an errflow model file.
+    BadMagic,
+    /// Unsupported format version.
+    BadVersion(u8),
+    /// The buffer ended before the declared content.
+    Truncated,
+    /// Structural inconsistency (shapes, tags).
+    Malformed(String),
+}
+
+impl fmt::Display for ModelIoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelIoError::BadMagic => write!(f, "not an errflow model file"),
+            ModelIoError::BadVersion(v) => write!(f, "unsupported model format version {v}"),
+            ModelIoError::Truncated => write!(f, "model file truncated"),
+            ModelIoError::Malformed(m) => write!(f, "malformed model file: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ModelIoError {}
+
+fn write_activation(out: &mut Vec<u8>, act: Activation) {
+    let (tag, param) = match act {
+        Activation::Identity => (0u8, 0.0f32),
+        Activation::Tanh => (1, 0.0),
+        Activation::Relu => (2, 0.0),
+        Activation::LeakyRelu(a) => (3, a),
+        Activation::PRelu(a) => (4, a),
+        Activation::Gelu => (5, 0.0),
+    };
+    out.push(tag);
+    out.extend_from_slice(&param.to_le_bytes());
+}
+
+fn read_activation(buf: &[u8], pos: &mut usize) -> Result<Activation, ModelIoError> {
+    let tag = *buf.get(*pos).ok_or(ModelIoError::Truncated)?;
+    *pos += 1;
+    let param = read_f32(buf, pos)?;
+    match tag {
+        0 => Ok(Activation::Identity),
+        1 => Ok(Activation::Tanh),
+        2 => Ok(Activation::Relu),
+        3 => Ok(Activation::LeakyRelu(param)),
+        4 => Ok(Activation::PRelu(param)),
+        5 => Ok(Activation::Gelu),
+        t => Err(ModelIoError::Malformed(format!("activation tag {t}"))),
+    }
+}
+
+fn write_layer_params(out: &mut Vec<u8>, layer: &Layer) {
+    let w = layer.weights();
+    out.extend_from_slice(&(w.rows() as u32).to_le_bytes());
+    out.extend_from_slice(&(w.cols() as u32).to_le_bytes());
+    for &v in w.as_slice() {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+    for &v in layer.bias() {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+}
+
+fn read_layer_params(
+    buf: &[u8],
+    pos: &mut usize,
+) -> Result<(Matrix, Vec<f32>), ModelIoError> {
+    let rows = read_u32(buf, pos)? as usize;
+    let cols = read_u32(buf, pos)? as usize;
+    let mut data = Vec::with_capacity(rows * cols);
+    for _ in 0..rows * cols {
+        data.push(read_f32(buf, pos)?);
+    }
+    let mut bias = Vec::with_capacity(rows);
+    for _ in 0..rows {
+        bias.push(read_f32(buf, pos)?);
+    }
+    let w = Matrix::from_vec(rows, cols, data)
+        .map_err(|e| ModelIoError::Malformed(e.to_string()))?;
+    Ok((w, bias))
+}
+
+/// Serializes an [`Mlp`] (effective weights; PSN folded in).
+pub fn save_mlp(model: &Mlp) -> Vec<u8> {
+    let mut out = Vec::new();
+    out.extend_from_slice(MAGIC);
+    out.push(VERSION);
+    out.push(0); // MLP tag
+    out.extend_from_slice(&(model.layers().len() as u32).to_le_bytes());
+    for layer in model.layers() {
+        write_activation(&mut out, layer.activation());
+        write_layer_params(&mut out, layer);
+    }
+    out
+}
+
+/// Loads an [`Mlp`] saved by [`save_mlp`].
+pub fn load_mlp(buf: &[u8]) -> Result<Mlp, ModelIoError> {
+    let mut pos = check_header(buf, 0)?;
+    let n_layers = read_u32(buf, &mut pos)? as usize;
+    if n_layers == 0 {
+        return Err(ModelIoError::Malformed("MLP with zero layers".into()));
+    }
+    let mut layers = Vec::with_capacity(n_layers);
+    for _ in 0..n_layers {
+        let act = read_activation(buf, &mut pos)?;
+        let (w, b) = read_layer_params(buf, &mut pos)?;
+        layers.push(Layer::dense(w, b, act));
+    }
+    Ok(Mlp::from_layers(layers))
+}
+
+/// Serializes a [`ConvNet`].
+pub fn save_convnet(model: &ConvNet) -> Vec<u8> {
+    let mut out = Vec::new();
+    out.extend_from_slice(MAGIC);
+    out.push(VERSION);
+    out.push(1); // ConvNet tag
+    let shape = model.input_shape();
+    out.extend_from_slice(&(shape.channels as u32).to_le_bytes());
+    out.extend_from_slice(&(shape.height as u32).to_le_bytes());
+    out.extend_from_slice(&(shape.width as u32).to_le_bytes());
+    out.extend_from_slice(&(model.feature_channels() as u32).to_le_bytes());
+    out.extend_from_slice(&(model.num_blocks() as u32).to_le_bytes());
+    out.extend_from_slice(&(model.output_dim() as u32).to_le_bytes());
+    write_activation(&mut out, model.activation());
+    for layer in model.layers() {
+        write_layer_params(&mut out, layer);
+    }
+    out
+}
+
+/// Loads a [`ConvNet`] saved by [`save_convnet`].
+pub fn load_convnet(buf: &[u8]) -> Result<ConvNet, ModelIoError> {
+    let mut pos = check_header(buf, 1)?;
+    let channels = read_u32(buf, &mut pos)? as usize;
+    let height = read_u32(buf, &mut pos)? as usize;
+    let width = read_u32(buf, &mut pos)? as usize;
+    let stem_ch = read_u32(buf, &mut pos)? as usize;
+    let n_blocks = read_u32(buf, &mut pos)? as usize;
+    let n_classes = read_u32(buf, &mut pos)? as usize;
+    let act = read_activation(buf, &mut pos)?;
+    let mut model = ConvNet::new(
+        MapShape::new(channels, height, width),
+        stem_ch,
+        n_blocks,
+        n_classes,
+        act,
+        0,
+        None,
+    );
+    for layer in model.layers_mut() {
+        let (w, b) = read_layer_params(buf, &mut pos)?;
+        if w.shape() != layer.weights().shape() {
+            return Err(ModelIoError::Malformed(format!(
+                "layer shape {:?} does not match architecture {:?}",
+                w.shape(),
+                layer.weights().shape()
+            )));
+        }
+        layer.load_parameters(w, b);
+    }
+    Ok(model)
+}
+
+fn check_header(buf: &[u8], expected_tag: u8) -> Result<usize, ModelIoError> {
+    if buf.len() < 6 {
+        return Err(ModelIoError::Truncated);
+    }
+    if &buf[0..4] != MAGIC {
+        return Err(ModelIoError::BadMagic);
+    }
+    if buf[4] != VERSION {
+        return Err(ModelIoError::BadVersion(buf[4]));
+    }
+    if buf[5] != expected_tag {
+        return Err(ModelIoError::Malformed(format!(
+            "model tag {} (expected {expected_tag})",
+            buf[5]
+        )));
+    }
+    Ok(6)
+}
+
+fn read_u32(buf: &[u8], pos: &mut usize) -> Result<u32, ModelIoError> {
+    let bytes = buf.get(*pos..*pos + 4).ok_or(ModelIoError::Truncated)?;
+    *pos += 4;
+    Ok(u32::from_le_bytes(bytes.try_into().expect("4 bytes")))
+}
+
+fn read_f32(buf: &[u8], pos: &mut usize) -> Result<f32, ModelIoError> {
+    Ok(f32::from_bits(read_u32(buf, pos)?))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn mlp() -> Mlp {
+        Mlp::new(
+            &[5, 12, 3],
+            Activation::Tanh,
+            Activation::Identity,
+            9,
+            Some(44),
+        )
+    }
+
+    #[test]
+    fn mlp_roundtrip_preserves_outputs() {
+        let model = mlp();
+        let loaded = load_mlp(&save_mlp(&model)).unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..10 {
+            let x: Vec<f32> = (0..5).map(|_| rng.gen_range(-1.0..1.0)).collect();
+            assert_eq!(model.forward(&x), loaded.forward(&x));
+        }
+    }
+
+    #[test]
+    fn convnet_roundtrip_preserves_outputs() {
+        let model = ConvNet::new(
+            MapShape::new(2, 5, 5),
+            4,
+            2,
+            3,
+            Activation::Relu,
+            3,
+            Some(55),
+        );
+        let loaded = load_convnet(&save_convnet(&model)).unwrap();
+        let mut rng = StdRng::seed_from_u64(2);
+        let x: Vec<f32> = (0..50).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        assert_eq!(model.forward(&x), loaded.forward(&x));
+        assert_eq!(loaded.num_blocks(), 2);
+    }
+
+    #[test]
+    fn loaded_models_are_frozen() {
+        let loaded = load_mlp(&save_mlp(&mlp())).unwrap();
+        assert!(loaded.layers().iter().all(|l| !l.has_psn()));
+    }
+
+    #[test]
+    fn activation_variants_roundtrip() {
+        for act in [
+            Activation::Identity,
+            Activation::Tanh,
+            Activation::Relu,
+            Activation::LeakyRelu(0.13),
+            Activation::PRelu(0.27),
+            Activation::Gelu,
+        ] {
+            let m = Mlp::new(&[3, 4, 2], act, Activation::Identity, 1, None);
+            let loaded = load_mlp(&save_mlp(&m)).unwrap();
+            assert_eq!(loaded.layers()[0].activation(), act);
+        }
+    }
+
+    #[test]
+    fn corrupt_buffers_rejected() {
+        assert_eq!(load_mlp(&[]).unwrap_err(), ModelIoError::Truncated);
+        assert_eq!(
+            load_mlp(b"NOPE\x01\x00rest").unwrap_err(),
+            ModelIoError::BadMagic
+        );
+        let mut bytes = save_mlp(&mlp());
+        bytes[4] = 99;
+        assert_eq!(load_mlp(&bytes).unwrap_err(), ModelIoError::BadVersion(99));
+        let bytes = save_mlp(&mlp());
+        assert!(load_mlp(&bytes[..bytes.len() - 3]).is_err());
+        // MLP bytes loaded as a ConvNet must fail on the tag.
+        assert!(load_convnet(&bytes).is_err());
+    }
+
+    #[test]
+    fn error_display() {
+        assert!(ModelIoError::BadMagic.to_string().contains("not an errflow"));
+        assert!(ModelIoError::Malformed("x".into()).to_string().contains("x"));
+    }
+}

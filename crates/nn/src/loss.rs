@@ -1,0 +1,144 @@
+//! Loss functions with analytic gradients.
+//!
+//! Regression QoIs (reaction rates, dissipation rates) use [`Loss::Mse`];
+//! the EuroSAT classifier uses [`Loss::SoftmaxCrossEntropy`] over one-hot
+//! targets.
+
+/// Supported training losses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Loss {
+    /// Mean squared error: `L = (1/n) Σ (y − t)²`.
+    Mse,
+    /// Softmax followed by cross-entropy against a one-hot target.
+    SoftmaxCrossEntropy,
+}
+
+impl Loss {
+    /// Loss value and gradient `∂L/∂y` for one sample.
+    pub fn eval(&self, output: &[f32], target: &[f32]) -> (f32, Vec<f32>) {
+        assert_eq!(output.len(), target.len(), "output/target length mismatch");
+        match self {
+            Loss::Mse => {
+                let n = output.len() as f32;
+                let mut grad = Vec::with_capacity(output.len());
+                let mut loss = 0.0;
+                for (&y, &t) in output.iter().zip(target) {
+                    let d = y - t;
+                    loss += d * d;
+                    grad.push(2.0 * d / n);
+                }
+                (loss / n, grad)
+            }
+            Loss::SoftmaxCrossEntropy => {
+                let p = softmax(output);
+                let mut loss = 0.0;
+                let mut grad = Vec::with_capacity(output.len());
+                for (i, (&pi, &ti)) in p.iter().zip(target).enumerate() {
+                    if ti > 0.0 {
+                        loss -= ti * pi.max(1e-12).ln();
+                    }
+                    // d(CE∘softmax)/dz = p − t.
+                    grad.push(p[i] - target[i]);
+                }
+                (loss, grad)
+            }
+        }
+    }
+}
+
+/// Numerically stable softmax.
+pub fn softmax(z: &[f32]) -> Vec<f32> {
+    let m = z.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+    let exps: Vec<f32> = z.iter().map(|&v| (v - m).exp()).collect();
+    let sum: f32 = exps.iter().sum();
+    exps.into_iter().map(|e| e / sum).collect()
+}
+
+/// Index of the largest logit (classification decision).
+pub fn argmax(v: &[f32]) -> usize {
+    v.iter()
+        .enumerate()
+        .max_by(|a, b| a.1.partial_cmp(b.1).expect("no NaN logits"))
+        .map(|(i, _)| i)
+        .unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mse_zero_at_target() {
+        let (l, g) = Loss::Mse.eval(&[1.0, 2.0], &[1.0, 2.0]);
+        assert_eq!(l, 0.0);
+        assert!(g.iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn mse_known_value() {
+        let (l, g) = Loss::Mse.eval(&[3.0, 0.0], &[1.0, 0.0]);
+        assert_eq!(l, 2.0); // (4 + 0)/2
+        assert_eq!(g[0], 2.0); // 2·2/2
+    }
+
+    #[test]
+    fn mse_gradient_matches_finite_difference() {
+        let y = [0.3f32, -0.8, 1.2];
+        let t = [0.0f32, 0.5, 1.0];
+        let (_, g) = Loss::Mse.eval(&y, &t);
+        let h = 1e-3f32;
+        for i in 0..3 {
+            let mut yp = y;
+            yp[i] += h;
+            let mut ym = y;
+            ym[i] -= h;
+            let fd = (Loss::Mse.eval(&yp, &t).0 - Loss::Mse.eval(&ym, &t).0) / (2.0 * h);
+            assert!((fd - g[i]).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn softmax_sums_to_one() {
+        let p = softmax(&[1.0, 2.0, 3.0]);
+        assert!((p.iter().sum::<f32>() - 1.0).abs() < 1e-6);
+        assert!(p[2] > p[1] && p[1] > p[0]);
+    }
+
+    #[test]
+    fn softmax_stable_for_large_logits() {
+        let p = softmax(&[1000.0, 1000.0]);
+        assert!((p[0] - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn cross_entropy_gradient_matches_finite_difference() {
+        let y = [0.5f32, -0.2, 0.9];
+        let t = [0.0f32, 1.0, 0.0];
+        let (_, g) = Loss::SoftmaxCrossEntropy.eval(&y, &t);
+        let h = 1e-3f32;
+        for i in 0..3 {
+            let mut yp = y;
+            yp[i] += h;
+            let mut ym = y;
+            ym[i] -= h;
+            let fd = (Loss::SoftmaxCrossEntropy.eval(&yp, &t).0
+                - Loss::SoftmaxCrossEntropy.eval(&ym, &t).0)
+                / (2.0 * h);
+            assert!((fd - g[i]).abs() < 1e-3, "i={i}: fd={fd} an={}", g[i]);
+        }
+    }
+
+    #[test]
+    fn cross_entropy_low_for_confident_correct() {
+        let (l_good, _) = Loss::SoftmaxCrossEntropy.eval(&[10.0, 0.0], &[1.0, 0.0]);
+        let (l_bad, _) = Loss::SoftmaxCrossEntropy.eval(&[0.0, 10.0], &[1.0, 0.0]);
+        assert!(l_good < 0.01);
+        assert!(l_bad > 5.0);
+    }
+
+    #[test]
+    fn argmax_basic() {
+        assert_eq!(argmax(&[0.1, 0.9, 0.3]), 1);
+        assert_eq!(argmax(&[]), 0);
+    }
+}

@@ -1,0 +1,114 @@
+//! Simulated HPC storage and effective I/O throughput of compressed reads.
+//!
+//! The paper's experiments read from a Lustre filesystem with a measured
+//! baseline of 2.8 GB/s.  No parallel filesystem exists here (DESIGN.md §3,
+//! substitution 4), so reads are modeled as `bytes / bandwidth` while the
+//! *decompression* cost is the real, measured CPU time of this crate's
+//! compressors — preserving the paper's core I/O trade-off: compression
+//! shrinks the bytes moved but adds decode time, and at tight tolerances
+//! SZ/MGARD decode time can erase the bandwidth win (Fig. 7) while ZFP
+//! stays flat.
+
+use errflow_compress::CompressionStats;
+
+/// A bandwidth-limited storage tier.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StorageModel {
+    /// Sustained read bandwidth in GB/s.
+    pub bandwidth_gbps: f64,
+}
+
+impl Default for StorageModel {
+    /// The paper's baseline: 2.8 GB/s.
+    fn default() -> Self {
+        StorageModel {
+            bandwidth_gbps: 2.8,
+        }
+    }
+}
+
+impl StorageModel {
+    /// Creates a storage model with the given bandwidth.
+    pub fn new(bandwidth_gbps: f64) -> Self {
+        assert!(bandwidth_gbps > 0.0, "bandwidth must be positive");
+        StorageModel { bandwidth_gbps }
+    }
+
+    /// Seconds to read `bytes` uncompressed.
+    pub fn read_secs(&self, bytes: usize) -> f64 {
+        bytes as f64 / (self.bandwidth_gbps * 1e9)
+    }
+
+    /// Effective I/O throughput (GB/s of *original* data delivered) when
+    /// reading a compressed stream and decompressing it:
+    /// `original / (compressed/bandwidth + decompress_time)`.
+    pub fn effective_read_gbps(&self, stats: &CompressionStats) -> f64 {
+        let read = self.read_secs(stats.compressed_bytes);
+        let total = read + stats.decompress_secs;
+        if total <= 0.0 {
+            return f64::INFINITY;
+        }
+        stats.original_bytes as f64 / total / 1e9
+    }
+
+    /// Uncompressed-read throughput — the baseline every Fig. 7/8 curve is
+    /// compared against (trivially the raw bandwidth).
+    pub fn baseline_gbps(&self) -> f64 {
+        self.bandwidth_gbps
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stats(ratio: f64, decompress_secs: f64) -> CompressionStats {
+        CompressionStats {
+            original_bytes: 1_000_000_000,
+            compressed_bytes: (1_000_000_000f64 / ratio) as usize,
+            compress_secs: 0.0,
+            decompress_secs,
+        }
+    }
+
+    #[test]
+    fn baseline_matches_paper() {
+        assert_eq!(StorageModel::default().baseline_gbps(), 2.8);
+    }
+
+    #[test]
+    fn read_secs_linear() {
+        let s = StorageModel::new(2.0);
+        assert!((s.read_secs(2_000_000_000) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn high_ratio_fast_decode_beats_baseline() {
+        let s = StorageModel::default();
+        // 10x ratio, decode at 10 GB/s (0.1 s for 1 GB).
+        let eff = s.effective_read_gbps(&stats(10.0, 0.1));
+        assert!(eff > s.baseline_gbps(), "eff={eff}");
+    }
+
+    #[test]
+    fn slow_decode_erases_the_win() {
+        let s = StorageModel::default();
+        // 10x ratio but 1 GB/s decode: effective < baseline.
+        let eff = s.effective_read_gbps(&stats(10.0, 1.0));
+        assert!(eff < s.baseline_gbps(), "eff={eff}");
+    }
+
+    #[test]
+    fn effective_improves_with_ratio_at_fixed_decode_speed() {
+        let s = StorageModel::default();
+        let e2 = s.effective_read_gbps(&stats(2.0, 0.05));
+        let e20 = s.effective_read_gbps(&stats(20.0, 0.05));
+        assert!(e20 > e2);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_bandwidth_rejected() {
+        StorageModel::new(0.0);
+    }
+}

@@ -1,0 +1,119 @@
+//! Inference-pipeline stage timing — the Fig. 2 breakdown.
+//!
+//! Fig. 2 decomposes end-to-end inference into data loading, preprocessing,
+//! and model execution, showing that execution dominates for deep ResNets
+//! while loading is substantial for shallow/small models.  Loading uses the
+//! [`crate::io::StorageModel`]; preprocessing is a bytes-proportional CPU
+//! cost; execution uses the calibrated [`ExecutionModel`] (DESIGN.md §3,
+//! substitution 3).
+
+use crate::io::StorageModel;
+use errflow_quant::throughput::ExecutionModel;
+use errflow_quant::QuantFormat;
+
+/// Per-stage time for processing a batch, in seconds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TimeBreakdown {
+    /// Reading the input bytes from storage.
+    pub load_secs: f64,
+    /// Normalization / layout preprocessing.
+    pub preprocess_secs: f64,
+    /// Model execution.
+    pub execute_secs: f64,
+}
+
+impl TimeBreakdown {
+    /// Total pipeline time.
+    pub fn total_secs(&self) -> f64 {
+        self.load_secs + self.preprocess_secs + self.execute_secs
+    }
+
+    /// Percentage of time in each stage `(load, preprocess, execute)`.
+    pub fn percentages(&self) -> (f64, f64, f64) {
+        let t = self.total_secs();
+        if t <= 0.0 {
+            return (0.0, 0.0, 0.0);
+        }
+        (
+            100.0 * self.load_secs / t,
+            100.0 * self.preprocess_secs / t,
+            100.0 * self.execute_secs / t,
+        )
+    }
+}
+
+/// Sustained preprocessing throughput (normalization + layout), GB/s.
+/// Calibrated to a single-core scale so preprocessing is visible but not
+/// dominant, as in Fig. 2.
+const PREPROCESS_GBPS: f64 = 8.0;
+
+/// Computes the Fig. 2 stage breakdown for `n_samples` samples of
+/// `input_bytes` each through a model of `flops` FLOPs in `format`.
+pub fn breakdown(
+    storage: &StorageModel,
+    exec: &ExecutionModel,
+    n_samples: usize,
+    input_bytes: usize,
+    flops: f64,
+    format: QuantFormat,
+) -> TimeBreakdown {
+    let total_bytes = n_samples * input_bytes;
+    TimeBreakdown {
+        load_secs: storage.read_secs(total_bytes),
+        preprocess_secs: total_bytes as f64 / (PREPROCESS_GBPS * 1e9),
+        execute_secs: exec.sample_latency(flops, format) * n_samples as f64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn models() -> (StorageModel, ExecutionModel) {
+        (StorageModel::default(), ExecutionModel::default())
+    }
+
+    #[test]
+    fn percentages_sum_to_100() {
+        let (s, e) = models();
+        let b = breakdown(&s, &e, 1000, 4096, 33.7e6, QuantFormat::Fp32);
+        let (l, p, x) = b.percentages();
+        assert!((l + p + x - 100.0).abs() < 1e-9);
+        assert!(l > 0.0 && p > 0.0 && x > 0.0);
+    }
+
+    #[test]
+    fn execution_dominates_for_big_models() {
+        // Fig. 2: ResNet-50-class models spend most time in execution.
+        let (s, e) = models();
+        let b = breakdown(&s, &e, 1000, 4096, 4.0e9, QuantFormat::Fp32);
+        let (_, _, x) = b.percentages();
+        assert!(x > 80.0, "execute share = {x}%");
+    }
+
+    #[test]
+    fn loading_matters_for_small_models() {
+        // Fig. 2: mlp_s is load/preprocess-dominated.
+        let (s, e) = models();
+        let b = breakdown(&s, &e, 1000, 4096, 0.5e6, QuantFormat::Fp32);
+        let (l, p, x) = b.percentages();
+        assert!(l + p > x, "load+pre={l}+{p} vs exec={x}");
+    }
+
+    #[test]
+    fn quantization_shrinks_execution_share() {
+        let (s, e) = models();
+        let fp32 = breakdown(&s, &e, 100, 4096, 33.7e6, QuantFormat::Fp32);
+        let fp16 = breakdown(&s, &e, 100, 4096, 33.7e6, QuantFormat::Fp16);
+        assert!(fp16.execute_secs < fp32.execute_secs);
+        assert_eq!(fp16.load_secs, fp32.load_secs);
+    }
+
+    #[test]
+    fn zero_samples_zero_time() {
+        let (s, e) = models();
+        let b = breakdown(&s, &e, 0, 4096, 1e6, QuantFormat::Fp32);
+        assert_eq!(b.total_secs(), 0.0);
+        assert_eq!(b.percentages(), (0.0, 0.0, 0.0));
+    }
+}

@@ -1,0 +1,301 @@
+//! Numerical format taxonomy and Table-I average quantization step sizes.
+
+use crate::affine;
+use crate::fp;
+use errflow_tensor::Matrix;
+
+/// A weight-storage numerical format.
+///
+/// The four reduced-precision formats are the ones the paper evaluates
+/// (Figs. 5, 6, 9); [`QuantFormat::Fp32`] is the full-precision reference.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum QuantFormat {
+    /// IEEE-754 binary32 — the reference format; quantization is a no-op.
+    Fp32,
+    /// NVIDIA TensorFloat-32: 8-bit exponent, 10-bit mantissa.
+    Tf32,
+    /// IEEE-754 binary16: 5-bit exponent, 10-bit mantissa.
+    Fp16,
+    /// Brain floating point: 8-bit exponent, 7-bit mantissa.
+    Bf16,
+    /// 8-bit integer with uniform affine quantization, max calibration.
+    Int8,
+}
+
+impl QuantFormat {
+    /// All reduced-precision formats, ordered from highest to lowest
+    /// fidelity for scientific inference (the paper's finding: TF32 ≈ FP16
+    /// in error, BF16 worse, INT8 worst).
+    pub const REDUCED: [QuantFormat; 4] = [
+        QuantFormat::Tf32,
+        QuantFormat::Fp16,
+        QuantFormat::Bf16,
+        QuantFormat::Int8,
+    ];
+
+    /// All formats including FP32.
+    pub const ALL: [QuantFormat; 5] = [
+        QuantFormat::Fp32,
+        QuantFormat::Tf32,
+        QuantFormat::Fp16,
+        QuantFormat::Bf16,
+        QuantFormat::Int8,
+    ];
+
+    /// Lowercase label used by figure binaries (`"fp16"` etc.).
+    pub fn label(&self) -> &'static str {
+        match self {
+            QuantFormat::Fp32 => "fp32",
+            QuantFormat::Tf32 => "tf32",
+            QuantFormat::Fp16 => "fp16",
+            QuantFormat::Bf16 => "bf16",
+            QuantFormat::Int8 => "int8",
+        }
+    }
+
+    /// Mantissa (fraction) bits; `None` for the integer format.
+    pub fn mantissa_bits(&self) -> Option<u32> {
+        match self {
+            QuantFormat::Fp32 => Some(23),
+            QuantFormat::Tf32 | QuantFormat::Fp16 => Some(10),
+            QuantFormat::Bf16 => Some(7),
+            QuantFormat::Int8 => None,
+        }
+    }
+
+    /// Exponent bits; `None` for the integer format.
+    pub fn exponent_bits(&self) -> Option<u32> {
+        match self {
+            QuantFormat::Fp32 | QuantFormat::Tf32 | QuantFormat::Bf16 => Some(8),
+            QuantFormat::Fp16 => Some(5),
+            QuantFormat::Int8 => None,
+        }
+    }
+
+    /// Storage size in bits per weight.
+    ///
+    /// TF32 is stored in 19 significant bits but occupies 32 bits in memory
+    /// on real hardware; we report the *memory* footprint because that is
+    /// what drives bandwidth in the throughput model.
+    pub fn storage_bits(&self) -> u32 {
+        match self {
+            QuantFormat::Fp32 | QuantFormat::Tf32 => 32,
+            QuantFormat::Fp16 | QuantFormat::Bf16 => 16,
+            QuantFormat::Int8 => 8,
+        }
+    }
+
+    /// Average quantization step size `q(W)` for a weight matrix — Table I.
+    ///
+    /// For the float formats the per-element step is `2⁻ᵐ · 2^⌊log₂|W_ij|⌋`
+    /// (the ulp at that element's binade); Table I averages in the
+    /// root-mean-square sense, i.e.
+    /// `q(W) = 2⁻ᵐ · √(mean_ij 2^(2·⌊log₂|W_ij|⌋))`,
+    /// with FP16 flooring the exponent at −14 (its subnormal threshold).
+    /// For INT8, `q(W) = 2⁻⁸ · (max W_ij − min W_ij)` — the affine step over
+    /// 256 levels.  FP32 is treated as exact (`q = 0`): its residual ulp is
+    /// the baseline everything is measured against.
+    pub fn step_size(&self, w: &Matrix) -> f64 {
+        if w.is_empty() {
+            return 0.0;
+        }
+        match self {
+            QuantFormat::Fp32 => 0.0,
+            QuantFormat::Int8 => {
+                let range = (w.max() as f64) - (w.min() as f64);
+                range * 2f64.powi(-8)
+            }
+            QuantFormat::Tf32 | QuantFormat::Fp16 | QuantFormat::Bf16 => {
+                let m = self.mantissa_bits().expect("float format") as i32;
+                let floor_at = if *self == QuantFormat::Fp16 {
+                    Some(-14)
+                } else {
+                    None
+                };
+                let mean_sq: f64 = w
+                    .as_slice()
+                    .iter()
+                    .map(|&v| {
+                        let a = (v as f64).abs();
+                        if a == 0.0 {
+                            return 0.0;
+                        }
+                        let mut e = a.log2().floor();
+                        if let Some(fl) = floor_at {
+                            e = e.max(fl as f64);
+                        }
+                        2f64.powf(2.0 * e)
+                    })
+                    .sum::<f64>()
+                    / w.len() as f64;
+                2f64.powi(-m) * mean_sq.sqrt()
+            }
+        }
+    }
+
+    /// Rounds a single weight value to this format (bit-accurate for float
+    /// formats).  INT8 needs tensor-level calibration and therefore panics
+    /// here; use [`QuantFormat::quantize_matrix`] instead.
+    pub fn round_scalar(&self, x: f32) -> f32 {
+        match self {
+            QuantFormat::Fp32 => x,
+            QuantFormat::Tf32 => fp::round_to_tf32(x),
+            QuantFormat::Fp16 => fp::round_to_fp16(x),
+            QuantFormat::Bf16 => fp::round_to_bf16(x),
+            QuantFormat::Int8 => {
+                panic!("INT8 requires tensor-level calibration; use quantize_matrix")
+            }
+        }
+    }
+
+    /// Quantizes an entire weight matrix to this format and returns the
+    /// dequantized (`f32`-widened) result — the weights inference will
+    /// actually use.
+    pub fn quantize_matrix(&self, w: &Matrix) -> Matrix {
+        match self {
+            QuantFormat::Fp32 => w.clone(),
+            QuantFormat::Int8 => affine::quantize_int8(w).dequantize(),
+            _ => w.map(|v| self.round_scalar(v)),
+        }
+    }
+}
+
+impl std::fmt::Display for QuantFormat {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            QuantFormat::Fp32 => "FP32",
+            QuantFormat::Tf32 => "TF32",
+            QuantFormat::Fp16 => "FP16",
+            QuantFormat::Bf16 => "BF16",
+            QuantFormat::Int8 => "INT8",
+        })
+    }
+}
+
+impl std::str::FromStr for QuantFormat {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "fp32" => Ok(QuantFormat::Fp32),
+            "tf32" => Ok(QuantFormat::Tf32),
+            "fp16" => Ok(QuantFormat::Fp16),
+            "bf16" => Ok(QuantFormat::Bf16),
+            "int8" => Ok(QuantFormat::Int8),
+            other => Err(format!("unknown quantization format: {other}")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ones() -> Matrix {
+        Matrix::filled(4, 4, 1.0)
+    }
+
+    #[test]
+    fn labels_and_parse_roundtrip() {
+        for f in QuantFormat::ALL {
+            let parsed: QuantFormat = f.label().parse().unwrap();
+            assert_eq!(parsed, f);
+        }
+        assert!("fp8".parse::<QuantFormat>().is_err());
+    }
+
+    #[test]
+    fn step_size_tf32_all_ones() {
+        // |W_ij| = 1 → floor(log2) = 0 → q = 2⁻¹⁰.
+        let q = QuantFormat::Tf32.step_size(&ones());
+        assert!((q - 2f64.powi(-10)).abs() < 1e-15);
+    }
+
+    #[test]
+    fn step_size_bf16_all_ones() {
+        let q = QuantFormat::Bf16.step_size(&ones());
+        assert!((q - 2f64.powi(-7)).abs() < 1e-15);
+    }
+
+    #[test]
+    fn step_size_fp16_floors_exponent_at_minus_14() {
+        // Tiny weights: TF32 ulp keeps shrinking, FP16 hits the subnormal floor.
+        let tiny = Matrix::filled(2, 2, 2f32.powi(-20));
+        let q16 = QuantFormat::Fp16.step_size(&tiny);
+        let q32 = QuantFormat::Tf32.step_size(&tiny);
+        assert!((q16 - 2f64.powi(-10) * 2f64.powi(-14)).abs() < 1e-22);
+        assert!(q32 < q16);
+    }
+
+    #[test]
+    fn step_size_int8_is_range_over_256() {
+        let w = Matrix::from_vec(1, 3, vec![-1.0, 0.0, 3.0]).unwrap();
+        let q = QuantFormat::Int8.step_size(&w);
+        assert!((q - 4.0 / 256.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn step_size_fp32_is_zero() {
+        assert_eq!(QuantFormat::Fp32.step_size(&ones()), 0.0);
+    }
+
+    #[test]
+    fn step_size_ordering_matches_paper() {
+        // For weights in a typical trained range, TF32 ≈ FP16 < BF16 < INT8.
+        let w = Matrix::from_fn(8, 8, |r, c| ((r * 8 + c) as f32 / 32.0) - 1.0);
+        let q_tf32 = QuantFormat::Tf32.step_size(&w);
+        let q_fp16 = QuantFormat::Fp16.step_size(&w);
+        let q_bf16 = QuantFormat::Bf16.step_size(&w);
+        let q_int8 = QuantFormat::Int8.step_size(&w);
+        assert!((q_tf32 - q_fp16).abs() < 1e-12, "TF32 and FP16 share mantissa width");
+        assert!(q_bf16 > q_fp16);
+        assert!(q_int8 > q_fp16);
+    }
+
+    #[test]
+    fn quantize_matrix_error_within_step() {
+        let w = Matrix::from_fn(6, 6, |r, c| (r as f32 - c as f32) * 0.137);
+        for f in [QuantFormat::Tf32, QuantFormat::Fp16, QuantFormat::Bf16] {
+            let wq = f.quantize_matrix(&w);
+            let q = f.step_size(&w);
+            // Worst single-element error ≤ ulp at that element's binade;
+            // q is an RMS so allow a generous multiple.
+            let max_err = w
+                .as_slice()
+                .iter()
+                .zip(wq.as_slice())
+                .map(|(&a, &b)| (a - b).abs() as f64)
+                .fold(0.0, f64::max);
+            assert!(max_err <= 4.0 * q, "{f}: max_err={max_err} q={q}");
+        }
+    }
+
+    #[test]
+    fn quantize_matrix_fp32_identity() {
+        let w = ones();
+        assert_eq!(QuantFormat::Fp32.quantize_matrix(&w), w);
+    }
+
+    #[test]
+    #[should_panic(expected = "tensor-level calibration")]
+    fn int8_scalar_rounding_panics() {
+        QuantFormat::Int8.round_scalar(0.5);
+    }
+
+    #[test]
+    fn storage_bits() {
+        assert_eq!(QuantFormat::Fp32.storage_bits(), 32);
+        assert_eq!(QuantFormat::Tf32.storage_bits(), 32);
+        assert_eq!(QuantFormat::Fp16.storage_bits(), 16);
+        assert_eq!(QuantFormat::Bf16.storage_bits(), 16);
+        assert_eq!(QuantFormat::Int8.storage_bits(), 8);
+    }
+
+    #[test]
+    fn empty_matrix_step_is_zero() {
+        let w = Matrix::zeros(0, 0);
+        for f in QuantFormat::ALL {
+            assert_eq!(f.step_size(&w), 0.0);
+        }
+    }
+}

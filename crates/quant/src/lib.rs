@@ -1,0 +1,45 @@
+//! # errflow-quant
+//!
+//! Post-training weight quantization substrate.
+//!
+//! The paper quantizes trained FP32 weights into one of four lower-precision
+//! formats — TF32, FP16, BF16, INT8 — using *uniform affine quantization
+//! with max calibration* (its reference \[8\]) and predicts the resulting QoI
+//! error from the **average quantization step size** `q(W)` of Table I.
+//!
+//! This crate provides:
+//!
+//! * [`QuantFormat`] — the format taxonomy with mantissa/exponent structure
+//!   and Table-I step sizes ([`QuantFormat::step_size`]).
+//! * [`fp`] — bit-accurate round-to-nearest-even conversions for the float
+//!   formats (the "fake quantization" used when validating bounds).
+//! * [`affine`] — INT8 affine quantization with max calibration, including a
+//!   real `i8` storage type ([`affine::QuantizedMatrix`]).
+//! * [`throughput`] — the analytical execution-throughput model standing in
+//!   for tensor-core hardware (see DESIGN.md §3, substitution 3).
+//!
+//! The *numerics* here are exact (every rounded weight is representable in
+//! the target format); only the *speed* of executing in that format is
+//! modeled rather than measured on a GPU.
+
+pub mod affine;
+pub mod blockwise;
+pub mod format;
+pub mod fp;
+pub mod rowwise;
+pub mod throughput;
+
+pub use affine::QuantizedMatrix;
+pub use blockwise::BlockwiseQuantizedMatrix;
+pub use format::QuantFormat;
+pub use rowwise::RowwiseQuantizedMatrix;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reexports_compile() {
+        let _ = QuantFormat::Fp16;
+    }
+}

@@ -1,0 +1,151 @@
+//! Analytical execution-throughput model for quantized inference.
+//!
+//! The paper measures model-execution throughput per format on an RTX 3080
+//! Ti (Fig. 9), reporting up to a 4.5× speedup for FP16 and little gain for
+//! TF32/BF16.  No GPU is available here, so — per the substitution rule in
+//! DESIGN.md §3 — this module provides an Amdahl-style roofline model whose
+//! parameters are calibrated to the paper's reported ratios:
+//!
+//! * each format has a *kernel speedup* on the matmul-heavy fraction of the
+//!   workload (tensor-core arithmetic + halved weight traffic for 16-bit
+//!   formats);
+//! * each inference carries fixed per-sample overhead (kernel launch,
+//!   framework, layout) that no format accelerates;
+//! * the matmul fraction grows with model FLOPs, which is why Fig. 9 shows
+//!   larger models enjoying larger quantization speedups.
+
+use crate::format::QuantFormat;
+
+/// Kernel-level arithmetic speedup of a format relative to FP32, on the
+/// accelerable (GEMM) portion of the workload.
+///
+/// FP16 tensor cores reach ~8× FP32 FLOPs with half the weight bandwidth
+/// (the paper quotes the 8×/2× = 16× peak figure from Wu et al.); INT8
+/// doubles that arithmetic rate again but pays per-tensor dequantization.
+/// TF32 accelerates arithmetic but keeps 32-bit storage; BF16 is *emulated*
+/// on two of the paper's three GPUs, so its effective kernel gain is modest.
+pub fn kernel_speedup(format: QuantFormat) -> f64 {
+    match format {
+        QuantFormat::Fp32 => 1.0,
+        QuantFormat::Tf32 => 2.2,
+        QuantFormat::Fp16 => 8.0,
+        QuantFormat::Bf16 => 2.6,
+        QuantFormat::Int8 => 10.0,
+    }
+}
+
+/// Roofline/Amdahl execution model: `time = overhead + gemm_time` with only
+/// `gemm_time` accelerated by the format.
+#[derive(Debug, Clone, Copy)]
+pub struct ExecutionModel {
+    /// Sustained FP32 GEMM throughput, in FLOP/s (calibration constant).
+    pub fp32_flops_per_sec: f64,
+    /// Fixed per-sample overhead in seconds (launch/framework/layout).
+    pub overhead_per_sample: f64,
+}
+
+impl Default for ExecutionModel {
+    /// Calibrated so the paper's model zoo reproduces Fig. 9's shape:
+    /// `mlp_l` (33.7 MFLOP) reaches ≈4.5× under FP16 while `mlp_s`
+    /// (0.5 MFLOP) stays overhead-dominated.
+    fn default() -> Self {
+        ExecutionModel {
+            fp32_flops_per_sec: 8.0e12,
+            overhead_per_sample: 4.0e-7,
+        }
+    }
+}
+
+impl ExecutionModel {
+    /// Seconds to run one sample through a model of `flops` FLOPs stored in
+    /// `format`.
+    pub fn sample_latency(&self, flops: f64, format: QuantFormat) -> f64 {
+        let gemm = flops / (self.fp32_flops_per_sec * kernel_speedup(format));
+        self.overhead_per_sample + gemm
+    }
+
+    /// Samples per second.
+    pub fn samples_per_sec(&self, flops: f64, format: QuantFormat) -> f64 {
+        1.0 / self.sample_latency(flops, format)
+    }
+
+    /// Speedup of `format` over FP32 for a model of the given FLOPs.
+    pub fn speedup(&self, flops: f64, format: QuantFormat) -> f64 {
+        self.sample_latency(flops, QuantFormat::Fp32) / self.sample_latency(flops, format)
+    }
+
+    /// Execution throughput expressed as GB/s of input data ingested, for a
+    /// model reading `input_bytes` bytes per sample — the unit Figs. 9–15
+    /// plot so the execution phase is comparable with the I/O phase.
+    pub fn ingest_gbps(&self, flops: f64, input_bytes: usize, format: QuantFormat) -> f64 {
+        self.samples_per_sec(flops, format) * input_bytes as f64 / 1e9
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MLP_S: f64 = 0.5e6;
+    const MLP_L: f64 = 33.7e6;
+
+    #[test]
+    fn fp32_speedup_is_one() {
+        let m = ExecutionModel::default();
+        assert!((m.speedup(MLP_L, QuantFormat::Fp32) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fp16_speedup_matches_paper_headline() {
+        // Paper §IV-C: "up to a 4.5-fold increase ... for FP16-quantized
+        // models" on the largest models.
+        let m = ExecutionModel::default();
+        let s = m.speedup(MLP_L, QuantFormat::Fp16);
+        assert!(s > 4.0 && s < 5.5, "fp16 speedup on mlp_l = {s}");
+    }
+
+    #[test]
+    fn small_models_gain_less() {
+        let m = ExecutionModel::default();
+        let small = m.speedup(MLP_S, QuantFormat::Fp16);
+        let large = m.speedup(MLP_L, QuantFormat::Fp16);
+        assert!(small < large, "small={small} large={large}");
+        assert!(small < 2.0, "mlp_s should be overhead-dominated: {small}");
+    }
+
+    #[test]
+    fn format_ordering_matches_fig9() {
+        // INT8 ≥ FP16 > BF16 ≳ TF32 > FP32 in throughput on a big model.
+        let m = ExecutionModel::default();
+        let t = |f| m.samples_per_sec(MLP_L, f);
+        assert!(t(QuantFormat::Int8) >= t(QuantFormat::Fp16));
+        assert!(t(QuantFormat::Fp16) > t(QuantFormat::Bf16));
+        assert!(t(QuantFormat::Bf16) > t(QuantFormat::Fp32));
+        assert!(t(QuantFormat::Tf32) > t(QuantFormat::Fp32));
+    }
+
+    #[test]
+    fn tf32_bf16_little_speedup() {
+        // Paper: "TF32 and BF16 ... provide little speedup".
+        let m = ExecutionModel::default();
+        assert!(m.speedup(MLP_L, QuantFormat::Tf32) < 2.5);
+        assert!(m.speedup(MLP_L, QuantFormat::Bf16) < 3.0);
+    }
+
+    #[test]
+    fn latency_positive_and_monotone_in_flops() {
+        let m = ExecutionModel::default();
+        for f in QuantFormat::ALL {
+            assert!(m.sample_latency(1e6, f) > 0.0);
+            assert!(m.sample_latency(1e8, f) > m.sample_latency(1e6, f));
+        }
+    }
+
+    #[test]
+    fn ingest_gbps_scales_with_input_size() {
+        let m = ExecutionModel::default();
+        let g1 = m.ingest_gbps(MLP_L, 1_000, QuantFormat::Fp32);
+        let g2 = m.ingest_gbps(MLP_L, 2_000, QuantFormat::Fp32);
+        assert!((g2 / g1 - 2.0).abs() < 1e-9);
+    }
+}

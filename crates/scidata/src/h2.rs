@@ -1,0 +1,176 @@
+//! Synthetic H2Combustion workload: 9-species hydrogen mechanism on a
+//! single-vortex field.
+//!
+//! The paper's H2 network maps the mass fractions of 9 species
+//! (H₂, O₂, H₂O, H, O, OH, HO₂, H₂O₂, N₂) to their reaction rates.  The
+//! synthetic mechanism here keeps the properties the experiments rely on:
+//! smooth spatially-correlated inputs concentrated around a central vortex
+//! (highly compressible), mass fractions in a physical range, and a smooth
+//! *low-sensitivity* rate function (the paper: a 10⁻³ input perturbation
+//! produces a 10⁻³ QoI change in L2).
+
+use crate::field::{vortex_field, Field};
+use crate::normalize::Normalizer;
+use errflow_nn::Dataset;
+use rand::rngs::StdRng;
+use rand::{seq::SliceRandom, SeedableRng};
+
+/// Number of chemical species in the mechanism.
+pub const NUM_SPECIES: usize = 9;
+
+/// Synthetic Arrhenius-style reaction-rate surrogate.
+///
+/// `y` are normalized mass fractions in `[-1, 1]`; the rates mix pairwise
+/// products through a temperature-like exponential.  Coefficients are fixed
+/// so the function is deterministic and has O(1) Lipschitz constant.
+pub fn reaction_rates(y: &[f32]) -> Vec<f32> {
+    assert_eq!(y.len(), NUM_SPECIES);
+    // Temperature surrogate: weighted mean of the first species.
+    let temp: f32 = 0.5 + 0.25 * (y[0] + y[1] + y[2]) / 3.0;
+    (0..NUM_SPECIES)
+        .map(|i| {
+            let j = (i + 1) % NUM_SPECIES;
+            let k = (i + 4) % NUM_SPECIES;
+            let a = 0.35 + 0.05 * i as f32;
+            let forward = a * y[i] * y[j] * (-0.8 / (0.6 + temp * temp)).exp();
+            let reverse = 0.12 * y[k];
+            (forward - reverse).tanh() * 0.8
+        })
+        .collect()
+}
+
+/// The generated workload: spatially-ordered species fields (for the
+/// compression experiments) plus a pointwise training set.
+#[derive(Debug, Clone)]
+pub struct H2Workload {
+    /// One field per species, each `grid × grid`, spatially smooth.
+    pub species_fields: Vec<Field>,
+    /// Normalized training set: 9 mass fractions → 9 reaction rates.
+    pub dataset: Dataset,
+    /// The fitted input scaler.
+    pub normalizer: Normalizer,
+}
+
+/// Generates the workload on a `grid × grid` domain, sampling `n_samples`
+/// training points from the grid.
+pub fn generate(grid: usize, n_samples: usize, seed: u64) -> H2Workload {
+    let mut rng = StdRng::seed_from_u64(seed);
+    // Species fields: vortex-driven mixing with species-specific offsets.
+    let base = vortex_field(grid, grid, 1.0);
+    let species_fields: Vec<Field> = (0..NUM_SPECIES)
+        .map(|s| {
+            let phase = s as f32 * 0.7;
+            let scale = 0.5 + 0.06 * s as f32;
+            Field {
+                nx: grid,
+                ny: grid,
+                data: base
+                    .data
+                    .iter()
+                    .enumerate()
+                    .map(|(idx, &v)| {
+                        let u = (idx % grid) as f32 / grid as f32;
+                        let w = (idx / grid) as f32 / grid as f32;
+                        // Mass-fraction-like: positive, smooth, bounded.
+                        (0.5 + scale * v + 0.1 * ((u + w) * 4.0 + phase).sin()).clamp(0.0, 1.2)
+                    })
+                    .collect(),
+            }
+        })
+        .collect();
+
+    // Raw samples at random grid points.
+    let mut indices: Vec<usize> = (0..grid * grid).collect();
+    indices.shuffle(&mut rng);
+    indices.truncate(n_samples.min(grid * grid));
+    let raw: Vec<Vec<f32>> = indices
+        .iter()
+        .map(|&idx| species_fields.iter().map(|f| f.data[idx]).collect())
+        .collect();
+    let normalizer = Normalizer::fit(&raw);
+    let inputs = normalizer.apply_all(&raw);
+    let targets: Vec<Vec<f32>> = inputs.iter().map(|x| reaction_rates(x)).collect();
+    H2Workload {
+        species_fields,
+        dataset: Dataset::new(inputs, targets),
+        normalizer,
+    }
+}
+
+/// Spatially-ordered flat payload for compression experiments: all species
+/// fields concatenated band-by-band (smooth within each band).
+pub fn compression_payload(w: &H2Workload) -> Vec<f32> {
+    w.species_fields
+        .iter()
+        .flat_map(|f| f.data.iter().copied())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generates_requested_sizes() {
+        let w = generate(32, 200, 1);
+        assert_eq!(w.species_fields.len(), 9);
+        assert_eq!(w.species_fields[0].data.len(), 32 * 32);
+        assert_eq!(w.dataset.len(), 200);
+        assert_eq!(w.dataset.inputs[0].len(), 9);
+        assert_eq!(w.dataset.targets[0].len(), 9);
+    }
+
+    #[test]
+    fn inputs_are_normalized() {
+        let w = generate(32, 300, 2);
+        for x in &w.dataset.inputs {
+            for &v in x {
+                assert!((-1.0..=1.0).contains(&v), "v={v}");
+            }
+        }
+    }
+
+    #[test]
+    fn rates_are_bounded_and_smooth() {
+        let w = generate(16, 50, 3);
+        for x in &w.dataset.inputs {
+            let r = reaction_rates(x);
+            assert!(r.iter().all(|&v| v.abs() <= 0.8));
+            // Low sensitivity: small perturbation → comparable-scale change.
+            let xp: Vec<f32> = x.iter().map(|&v| v + 1e-3).collect();
+            let rp = reaction_rates(&xp);
+            let d: f32 = r
+                .iter()
+                .zip(&rp)
+                .map(|(&a, &b)| (a - b) * (a - b))
+                .sum::<f32>()
+                .sqrt();
+            assert!(d < 1e-2, "sensitivity too high: {d}");
+        }
+    }
+
+    #[test]
+    fn payload_is_spatially_smooth() {
+        let w = generate(64, 10, 4);
+        let p = compression_payload(&w);
+        assert_eq!(p.len(), 9 * 64 * 64);
+        // Adjacent in-band samples are close (compressibility proxy).
+        let mut big_jumps = 0;
+        for band in 0..9 {
+            let s = &p[band * 4096..(band + 1) * 4096];
+            for w in s.windows(2) {
+                if (w[1] - w[0]).abs() > 0.2 {
+                    big_jumps += 1;
+                }
+            }
+        }
+        assert!(big_jumps < 9 * 64, "too many discontinuities: {big_jumps}");
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let a = generate(16, 40, 9);
+        let b = generate(16, 40, 9);
+        assert_eq!(a.dataset.inputs, b.dataset.inputs);
+    }
+}

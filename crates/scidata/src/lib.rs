@@ -1,0 +1,34 @@
+//! # errflow-scidata
+//!
+//! Synthetic generators for the paper's three scientific workloads
+//! (DESIGN.md §3, substitution 1).  The real datasets (Sandia H2 DNS,
+//! Borghesi n-dodecane DNS, EuroSAT imagery) are not distributable, so each
+//! generator reproduces the *structural properties the experiments depend
+//! on*:
+//!
+//! * [`h2`] — **H2Combustion**: 9 species mass fractions on a 2-D grid with
+//!   a single central vortex (the paper: "the turbulence is mainly
+//!   concentrated around the single vortex at the center", which is why the
+//!   H2 inputs compress so well).  QoI: 9 reaction rates, *low* input
+//!   sensitivity.
+//! * [`borghesi`] — **BorghesiFlame**: 13 thermochemical state variables
+//!   (mixture-fraction / progress-variable gradients and derived fields)
+//!   from multiscale turbulence.  QoI: 3 filtered dissipation rates, *high*
+//!   input sensitivity.
+//! * [`eurosat`] — **EuroSAT**: 16-bit multispectral imagery (13 bands),
+//!   10 land-use classes, spectral-signature + texture composition.  QoI:
+//!   the 10-dim final feature map.
+//!
+//! [`SyntheticTask`] packages a generator with the paper's architecture for
+//! that task (2×50 Tanh MLP / 8-hidden-layer PReLU MLP / compact ResNet)
+//! and training configuration (SGD / Adam / SGD respectively), and exposes
+//! the spatially-ordered `compression_payload` the I/O experiments compress.
+
+pub mod borghesi;
+pub mod eurosat;
+pub mod field;
+pub mod h2;
+pub mod normalize;
+pub mod task;
+
+pub use task::{SyntheticTask, TaskKind, TaskModel, TrainingMode};

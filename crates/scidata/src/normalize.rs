@@ -1,0 +1,94 @@
+//! Input normalization to `[-1, 1]` — the preprocessing the paper's error
+//! theory assumes ("we assume the inputs are normalized within the range
+//! [-1, 1] during preprocessing", §III-B).
+
+/// Per-feature min-max scaler mapping each feature to `[-1, 1]`.
+#[derive(Debug, Clone)]
+pub struct Normalizer {
+    mins: Vec<f32>,
+    maxs: Vec<f32>,
+}
+
+impl Normalizer {
+    /// Fits the scaler on a set of feature vectors.
+    pub fn fit(samples: &[Vec<f32>]) -> Self {
+        assert!(!samples.is_empty(), "cannot fit a normalizer on no data");
+        let dim = samples[0].len();
+        let mut mins = vec![f32::INFINITY; dim];
+        let mut maxs = vec![f32::NEG_INFINITY; dim];
+        for s in samples {
+            assert_eq!(s.len(), dim, "inconsistent feature dimension");
+            for (i, &v) in s.iter().enumerate() {
+                mins[i] = mins[i].min(v);
+                maxs[i] = maxs[i].max(v);
+            }
+        }
+        Normalizer { mins, maxs }
+    }
+
+    /// Feature dimension.
+    pub fn dim(&self) -> usize {
+        self.mins.len()
+    }
+
+    /// Maps one vector into `[-1, 1]` per feature (constant features → 0).
+    pub fn apply(&self, x: &[f32]) -> Vec<f32> {
+        assert_eq!(x.len(), self.dim());
+        x.iter()
+            .enumerate()
+            .map(|(i, &v)| {
+                let range = self.maxs[i] - self.mins[i];
+                if range <= 0.0 {
+                    0.0
+                } else {
+                    2.0 * (v - self.mins[i]) / range - 1.0
+                }
+            })
+            .collect()
+    }
+
+    /// Applies in bulk.
+    pub fn apply_all(&self, xs: &[Vec<f32>]) -> Vec<Vec<f32>> {
+        xs.iter().map(|x| self.apply(x)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn maps_to_unit_box() {
+        let data = vec![vec![0.0, 10.0], vec![4.0, 20.0], vec![2.0, 15.0]];
+        let n = Normalizer::fit(&data);
+        let mapped = n.apply_all(&data);
+        for m in &mapped {
+            for &v in m {
+                assert!((-1.0..=1.0).contains(&v));
+            }
+        }
+        assert_eq!(mapped[0], vec![-1.0, -1.0]);
+        assert_eq!(mapped[1], vec![1.0, 1.0]);
+        assert_eq!(mapped[2], vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn constant_feature_maps_to_zero() {
+        let data = vec![vec![5.0, 1.0], vec![5.0, 2.0]];
+        let n = Normalizer::fit(&data);
+        assert_eq!(n.apply(&[5.0, 1.5])[0], 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "no data")]
+    fn empty_fit_panics() {
+        Normalizer::fit(&[]);
+    }
+
+    #[test]
+    fn out_of_range_values_extrapolate() {
+        let data = vec![vec![0.0], vec![1.0]];
+        let n = Normalizer::fit(&data);
+        assert_eq!(n.apply(&[2.0]), vec![3.0]);
+    }
+}

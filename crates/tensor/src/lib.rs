@@ -1,0 +1,33 @@
+//! # errflow-tensor
+//!
+//! Dense linear-algebra substrate for the `errflow` workspace.
+//!
+//! Everything in the paper's theory is expressed in terms of matrix-vector
+//! products, L2/L∞ norms, and spectral norms (largest singular values) of
+//! weight matrices.  This crate provides those primitives from scratch:
+//!
+//! * [`Matrix`] — row-major `f32` dense matrix with GEMM, GEMV and the
+//!   element-wise operations needed by the neural-network substrate.
+//! * [`norms`] — L1/L2/L∞ vector norms and the L2↔L∞ conversion inequality
+//!   used throughout the paper (`(1/√n)‖·‖₂ ≤ ‖·‖∞ ≤ ‖·‖₂`).
+//! * [`spectral`] — power iteration (von Mises & Pollaczek-Geiringer, the
+//!   paper's reference \[17\]) for σ_W, plus a one-sided Jacobi SVD used as an
+//!   exact cross-check in tests.
+//! * [`conv`] — im2col-based 2-D convolution used by the ResNet models.
+//! * [`init`] — deterministic Xavier/He/uniform weight initialisation.
+//! * [`stats`] — small statistics helpers (mean, variance, geometric mean)
+//!   used by the benchmark harness when aggregating achieved errors.
+
+pub mod conv;
+pub mod error;
+pub mod init;
+pub mod matrix;
+pub mod norms;
+pub mod spectral;
+pub mod stats;
+
+pub use error::TensorError;
+pub use matrix::Matrix;
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, TensorError>;

@@ -1,0 +1,74 @@
+//! Interactive-style error-budget exploration on the high-sensitivity
+//! Borghesi flame workload.
+//!
+//! Shows how the Fig. 1 framework reacts as the user's QoI tolerance and
+//! the quantization share vary: which numerical format unlocks when, how
+//! much input-compression budget is left, and where the FP16 "turning
+//! point" (§IV-D: tolerance ≈ 1e-3) appears.
+//!
+//! ```sh
+//! cargo run --release --example error_budget_planner
+//! ```
+
+use errflow::prelude::*;
+use errflow::scidata::task::TrainingMode;
+
+fn main() {
+    let task = SyntheticTask::borghesi(11);
+    let model = task.trained_model(TrainingMode::Psn, 15);
+    let calibration: Vec<Vec<f32>> = task.ordered_inputs().iter().take(64).cloned().collect();
+    let planner = Planner::new(&model, &calibration);
+
+    println!(
+        "Borghesi flame: dissipation-rate QoI, amplification {:.3}\n",
+        planner.analysis().amplification()
+    );
+    println!(
+        "{:>11} | {:>24} | {:>24} | {:>24}",
+        "tolerance", "share=0.1", "share=0.5", "share=0.9"
+    );
+    println!("{:>11} | {:>15} {:>8} | {:>15} {:>8} | {:>15} {:>8}",
+        "", "input_budget", "format", "input_budget", "format", "input_budget", "format");
+    let mut exp = -6;
+    while exp <= 0 {
+        let tol = 10f64.powi(exp);
+        let mut cells = Vec::new();
+        for share in [0.1, 0.5, 0.9] {
+            let plan = planner.plan(&PlannerConfig {
+                rel_tolerance: tol,
+                norm: Norm::L2,
+                quant_share: share,
+            });
+            cells.push(format!(
+                "{:>15.3e} {:>8}",
+                plan.input_budget_l2,
+                plan.format.label()
+            ));
+        }
+        println!("{tol:>11.0e} | {} | {} | {}", cells[0], cells[1], cells[2]);
+        exp += 1;
+    }
+
+    // The turning point: the first tolerance where FP16 (or better) is
+    // admissible with a 50% share.
+    let mut turning = None;
+    for i in 0..120 {
+        let tol = 10f64.powf(-6.0 + i as f64 * 0.05);
+        let plan = planner.plan(&PlannerConfig {
+            rel_tolerance: tol,
+            norm: Norm::L2,
+            quant_share: 0.5,
+        });
+        if plan.format != QuantFormat::Fp32 {
+            turning = Some((tol, plan.format));
+            break;
+        }
+    }
+    match turning {
+        Some((tol, fmt)) => println!(
+            "\nquantization turning point (50% share): {} unlocks at tolerance ≈ {tol:.1e}",
+            fmt.label()
+        ),
+        None => println!("\nno reduced format admissible in the swept range"),
+    }
+}

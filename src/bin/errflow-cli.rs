@@ -1,0 +1,13 @@
+//! `errflow-cli`: train, analyze, plan, and run error-bounded inference
+//! pipelines from the command line.  See `errflow::cli` for the parser.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match errflow::cli::parse_args(&args) {
+        Ok(cmd) => std::process::exit(errflow::cli::run(cmd)),
+        Err(e) => {
+            eprintln!("error: {e}\n\n{}", errflow::cli::USAGE);
+            std::process::exit(2);
+        }
+    }
+}

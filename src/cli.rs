@@ -1,0 +1,383 @@
+//! Command-line interface: train → analyse → plan → run, from the shell.
+//!
+//! ```sh
+//! errflow-cli analyze --task h2
+//! errflow-cli plan    --task borghesi --tol 1e-3 --norm l2 --share 0.5
+//! errflow-cli run     --task h2 --tol 1e-2 --backend sz --share 0.5
+//! ```
+//!
+//! Argument parsing is hand-rolled (no extra dependencies); [`parse_args`]
+//! is pure and unit-tested, [`run`] executes a parsed command.
+
+use crate::compress::{Compressor, MgardCompressor, SzCompressor, ZfpCompressor};
+use crate::core::NetworkAnalysis;
+use crate::nn::Model;
+use crate::pipeline::planner::PayloadLayout;
+use crate::pipeline::{Planner, PlannerConfig};
+use crate::quant::QuantFormat;
+use crate::scidata::task::TrainingMode;
+use crate::scidata::{SyntheticTask, TaskKind};
+use crate::tensor::norms::Norm;
+
+/// A parsed CLI invocation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// Train a model and print its spectral analysis and bounds.
+    Analyze {
+        /// Workload.
+        task: TaskKind,
+        /// Training mode.
+        mode: TrainingMode,
+        /// Training epochs.
+        epochs: usize,
+        /// RNG seed.
+        seed: u64,
+    },
+    /// Print the tolerance-allocation plan for a configuration.
+    Plan {
+        /// Workload.
+        task: TaskKind,
+        /// Relative QoI tolerance.
+        tol: f64,
+        /// Tolerance norm.
+        norm: Norm,
+        /// Quantization share of the tolerance.
+        share: f64,
+        /// Use calibrated-magnitude bounds.
+        calibrated: bool,
+        /// RNG seed.
+        seed: u64,
+    },
+    /// Plan and execute the pipeline on generated data.
+    Run {
+        /// Workload.
+        task: TaskKind,
+        /// Relative QoI tolerance.
+        tol: f64,
+        /// Tolerance norm.
+        norm: Norm,
+        /// Quantization share.
+        share: f64,
+        /// Compression backend name.
+        backend: String,
+        /// RNG seed.
+        seed: u64,
+    },
+    /// Print usage.
+    Help,
+}
+
+/// Parses CLI arguments (excluding the program name).
+pub fn parse_args(args: &[String]) -> Result<Command, String> {
+    let mut it = args.iter();
+    let cmd = match it.next().map(String::as_str) {
+        None | Some("help") | Some("--help") | Some("-h") => return Ok(Command::Help),
+        Some(c) => c,
+    };
+    let mut task = TaskKind::H2Combustion;
+    let mut mode = TrainingMode::Psn;
+    let mut epochs = 10usize;
+    let mut seed = 7u64;
+    let mut tol = 1e-3f64;
+    let mut norm = Norm::LInf;
+    let mut share = 0.5f64;
+    let mut calibrated = false;
+    let mut backend = "sz".to_string();
+
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| -> Result<&String, String> {
+            it.next().ok_or_else(|| format!("{name} needs a value"))
+        };
+        match flag.as_str() {
+            "--task" => {
+                task = match value("--task")?.as_str() {
+                    "h2" | "h2_combustion" => TaskKind::H2Combustion,
+                    "borghesi" | "borghesi_flame" => TaskKind::BorghesiFlame,
+                    "eurosat" => TaskKind::EuroSat,
+                    other => return Err(format!("unknown task: {other}")),
+                }
+            }
+            "--mode" => {
+                mode = match value("--mode")?.as_str() {
+                    "psn" => TrainingMode::Psn,
+                    "plain" => TrainingMode::Plain,
+                    "wd" | "weight_decay" => TrainingMode::WeightDecay,
+                    other => return Err(format!("unknown mode: {other}")),
+                }
+            }
+            "--epochs" => {
+                epochs = value("--epochs")?
+                    .parse()
+                    .map_err(|e| format!("--epochs: {e}"))?
+            }
+            "--seed" => {
+                seed = value("--seed")?
+                    .parse()
+                    .map_err(|e| format!("--seed: {e}"))?
+            }
+            "--tol" => {
+                tol = value("--tol")?
+                    .parse()
+                    .map_err(|e| format!("--tol: {e}"))?
+            }
+            "--norm" => {
+                norm = match value("--norm")?.as_str() {
+                    "linf" | "l-inf" | "inf" => Norm::LInf,
+                    "l2" => Norm::L2,
+                    other => return Err(format!("unknown norm: {other}")),
+                }
+            }
+            "--share" => {
+                share = value("--share")?
+                    .parse()
+                    .map_err(|e| format!("--share: {e}"))?
+            }
+            "--calibrated" => calibrated = true,
+            "--backend" => backend = value("--backend")?.clone(),
+            other => return Err(format!("unknown flag: {other}")),
+        }
+    }
+    match cmd {
+        "analyze" => Ok(Command::Analyze {
+            task,
+            mode,
+            epochs,
+            seed,
+        }),
+        "plan" => Ok(Command::Plan {
+            task,
+            tol,
+            norm,
+            share,
+            calibrated,
+            seed,
+        }),
+        "run" => Ok(Command::Run {
+            task,
+            tol,
+            norm,
+            share,
+            backend,
+            seed,
+        }),
+        other => Err(format!("unknown command: {other}")),
+    }
+}
+
+/// Usage text.
+pub const USAGE: &str = "\
+errflow-cli — error-controlled scientific inference
+
+USAGE:
+  errflow-cli analyze --task <h2|borghesi|eurosat> [--mode psn|plain|wd] [--epochs N] [--seed N]
+  errflow-cli plan    --task <...> --tol <rel> [--norm linf|l2] [--share F] [--calibrated] [--seed N]
+  errflow-cli run     --task <...> --tol <rel> --backend <sz|zfp|mgard> [--norm linf|l2] [--share F] [--seed N]
+  errflow-cli help
+";
+
+fn backend_by_name(name: &str) -> Result<Box<dyn Compressor>, String> {
+    match name {
+        "sz" => Ok(Box::new(SzCompressor)),
+        "zfp" => Ok(Box::new(ZfpCompressor)),
+        "mgard" => Ok(Box::new(MgardCompressor)),
+        other => Err(format!("unknown backend: {other}")),
+    }
+}
+
+/// Executes a parsed command, returning the process exit code.
+pub fn run(cmd: Command) -> i32 {
+    match cmd {
+        Command::Help => {
+            println!("{USAGE}");
+            0
+        }
+        Command::Analyze {
+            task,
+            mode,
+            epochs,
+            seed,
+        } => {
+            let t = SyntheticTask::of_kind_small(task, seed);
+            println!("training {} ({:?}, {epochs} epochs)...", task.name(), mode);
+            let model = t.trained_model(mode, epochs);
+            let a = NetworkAnalysis::of(&model);
+            println!("parameters: {}", model.num_params());
+            println!("FLOPs/sample: {:.3e}", model.flops());
+            println!("layer spectral norms: {:?}", a.sigmas());
+            println!("amplification (Ineq. 5 factor): {:.4}", a.amplification());
+            for f in QuantFormat::REDUCED {
+                println!(
+                    "quantization bound [{}]: {:.4e}",
+                    f.label(),
+                    a.quantization_bound(f)
+                );
+            }
+            0
+        }
+        Command::Plan {
+            task,
+            tol,
+            norm,
+            share,
+            calibrated,
+            seed,
+        } => {
+            let t = SyntheticTask::of_kind_small(task, seed);
+            let model = t.trained_model(TrainingMode::Psn, 10);
+            let cal: Vec<Vec<f32>> = t.ordered_inputs().iter().take(64).cloned().collect();
+            let planner = if calibrated {
+                Planner::new_calibrated(&model, &cal, 1.5)
+            } else {
+                Planner::new(&model, &cal)
+            };
+            let plan = planner.plan(&PlannerConfig {
+                rel_tolerance: tol,
+                norm,
+                quant_share: share,
+            });
+            println!("task:                 {}", task.name());
+            println!("tolerance:            {tol:.3e} ({norm}, relative)");
+            println!("chosen format:        {}", plan.format);
+            println!("quantization bound:   {:.4e}", plan.predicted_quant_bound);
+            println!("compression budget:   {:.4e}", plan.compression_budget);
+            println!("input ‖Δx‖₂ budget:   {:.4e}", plan.input_budget_l2);
+            println!("total bound:          {:.4e}", plan.predicted_total_bound);
+            0
+        }
+        Command::Run {
+            task,
+            tol,
+            norm,
+            share,
+            backend,
+            seed,
+        } => {
+            let be = match backend_by_name(&backend) {
+                Ok(b) => b,
+                Err(e) => {
+                    eprintln!("{e}");
+                    return 2;
+                }
+            };
+            let t = SyntheticTask::of_kind_small(task, seed);
+            let model = t.trained_model(TrainingMode::Psn, 10);
+            let cal: Vec<Vec<f32>> = t.ordered_inputs().iter().take(64).cloned().collect();
+            let planner = Planner::new_calibrated(&model, &cal, 1.5);
+            let plan = planner.plan(&PlannerConfig {
+                rel_tolerance: tol,
+                norm,
+                quant_share: share,
+            });
+            let layout = match task {
+                TaskKind::EuroSat => PayloadLayout::SampleMajor,
+                _ => PayloadLayout::FeatureMajor,
+            };
+            let inputs: Vec<Vec<f32>> =
+                t.ordered_inputs().iter().take(256).cloned().collect();
+            match planner.execute(&plan, be.as_ref(), &inputs, norm, layout) {
+                Ok(report) => {
+                    println!("format:          {}", plan.format);
+                    println!("compression:     {:.1}x", report.stats.ratio());
+                    println!("predicted bound: {:.4e}", report.predicted_rel_bound);
+                    println!("achieved (max):  {:.4e}", report.achieved_rel_error.max);
+                    println!("achieved (geo):  {:.4e}", report.achieved_rel_error.geo_mean);
+                    println!("I/O throughput:  {:.3} GB/s", report.io_gbps);
+                    println!("exec throughput: {:.3} GB/s", report.exec_gbps);
+                    println!("end-to-end:      {:.3} GB/s", report.end_to_end_gbps);
+                    let ok = report.achieved_rel_error.max <= report.predicted_rel_bound;
+                    println!("bound held:      {ok}");
+                    i32::from(!ok)
+                }
+                Err(e) => {
+                    eprintln!("pipeline failed: {e}");
+                    2
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    #[test]
+    fn parse_help_variants() {
+        assert_eq!(parse_args(&[]).unwrap(), Command::Help);
+        assert_eq!(parse_args(&args("help")).unwrap(), Command::Help);
+        assert_eq!(parse_args(&args("--help")).unwrap(), Command::Help);
+    }
+
+    #[test]
+    fn parse_analyze_defaults() {
+        let c = parse_args(&args("analyze --task h2")).unwrap();
+        assert_eq!(
+            c,
+            Command::Analyze {
+                task: TaskKind::H2Combustion,
+                mode: TrainingMode::Psn,
+                epochs: 10,
+                seed: 7
+            }
+        );
+    }
+
+    #[test]
+    fn parse_plan_full() {
+        let c = parse_args(&args(
+            "plan --task borghesi --tol 1e-4 --norm l2 --share 0.7 --calibrated --seed 11",
+        ))
+        .unwrap();
+        match c {
+            Command::Plan {
+                task,
+                tol,
+                norm,
+                share,
+                calibrated,
+                seed,
+            } => {
+                assert_eq!(task, TaskKind::BorghesiFlame);
+                assert_eq!(tol, 1e-4);
+                assert_eq!(norm, Norm::L2);
+                assert_eq!(share, 0.7);
+                assert!(calibrated);
+                assert_eq!(seed, 11);
+            }
+            _ => panic!("wrong command"),
+        }
+    }
+
+    #[test]
+    fn parse_run_backend() {
+        let c = parse_args(&args("run --task eurosat --tol 1e-2 --backend mgard")).unwrap();
+        match c {
+            Command::Run { task, backend, .. } => {
+                assert_eq!(task, TaskKind::EuroSat);
+                assert_eq!(backend, "mgard");
+            }
+            _ => panic!("wrong command"),
+        }
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!(parse_args(&args("frobnicate")).is_err());
+        assert!(parse_args(&args("plan --task mars")).is_err());
+        assert!(parse_args(&args("plan --tol nope")).is_err());
+        assert!(parse_args(&args("plan --tol")).is_err());
+        assert!(parse_args(&args("run --norm l3")).is_err());
+    }
+
+    #[test]
+    fn backend_lookup() {
+        assert!(backend_by_name("sz").is_ok());
+        assert!(backend_by_name("zfp").is_ok());
+        assert!(backend_by_name("mgard").is_ok());
+        assert!(backend_by_name("gzip").is_err());
+    }
+}

@@ -1,0 +1,136 @@
+//! Cross-crate integration tests: the paper's central claim — predicted
+//! bounds dominate achieved errors for every task, compressor, format, and
+//! norm — exercised end-to-end through the public facade.
+
+use errflow::core::{quantize_model, ErrorFlow, NetworkAnalysis};
+use errflow::pipeline::planner::{flatten, unflatten, PayloadLayout};
+use errflow::prelude::*;
+use errflow::scidata::task::TrainingMode;
+use errflow::scidata::TaskKind;
+use errflow::tensor::norms::diff_norm;
+
+fn prepare(kind: TaskKind) -> (SyntheticTask, errflow::scidata::TaskModel) {
+    let task = SyntheticTask::of_kind_small(kind, 99);
+    let model = task.trained_model(TrainingMode::Psn, 5);
+    (task, model)
+}
+
+fn layout(kind: TaskKind) -> PayloadLayout {
+    match kind {
+        TaskKind::EuroSat => PayloadLayout::SampleMajor,
+        _ => PayloadLayout::FeatureMajor,
+    }
+}
+
+#[test]
+fn combined_bound_holds_for_every_task_compressor_and_format() {
+    for kind in TaskKind::ALL {
+        let (task, model) = prepare(kind);
+        let analysis = NetworkAnalysis::of(&model);
+        let inputs: Vec<Vec<f32>> = task.ordered_inputs().iter().take(60).cloned().collect();
+        let lay = layout(kind);
+        let payload = flatten(&inputs, lay);
+        for backend in errflow::compress::all_backends() {
+            let bound_spec = ErrorBound::abs_linf(1e-4);
+            let stream = backend.compress(&payload, &bound_spec).unwrap();
+            let recon_payload = backend.decompress(&stream).unwrap();
+            let recon = unflatten(&recon_payload, inputs.len(), inputs[0].len(), lay);
+            for format in [QuantFormat::Fp16, QuantFormat::Int8] {
+                let qm = quantize_model(&model, format);
+                for (x, xt) in inputs.iter().zip(&recon).take(20) {
+                    let dx = diff_norm(x, xt, Norm::L2);
+                    let predicted = analysis.combined_bound(dx, format).total();
+                    let flow = ErrorFlow::decompose(&model, &qm, x, xt);
+                    for norm in [Norm::L2, Norm::LInf] {
+                        assert!(
+                            flow.total_error(norm) <= predicted + 1e-9,
+                            "{kind:?}/{}/{format}: {} > {predicted}",
+                            backend.name(),
+                            flow.total_error(norm)
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn error_flow_legs_individually_bounded() {
+    let (task, model) = prepare(TaskKind::H2Combustion);
+    let analysis = NetworkAnalysis::of(&model);
+    let qm = quantize_model(&model, QuantFormat::Bf16);
+    let sz = SzCompressor::default();
+    let inputs: Vec<Vec<f32>> = task.ordered_inputs().iter().take(30).cloned().collect();
+    for x in &inputs {
+        let stream = sz.compress(x, &ErrorBound::abs_l2(1e-3)).unwrap();
+        let xt = sz.decompress(&stream).unwrap();
+        let dx = diff_norm(x, &xt, Norm::L2);
+        let flow = ErrorFlow::decompose(&model, &qm, x, &xt);
+        assert!(flow.compression_error(Norm::L2) <= analysis.compression_bound(dx) + 1e-9);
+        assert!(
+            flow.quantization_error(Norm::L2)
+                <= analysis.combined_bound(dx, QuantFormat::Bf16).quantization + 1e-9
+        );
+    }
+}
+
+#[test]
+fn planner_end_to_end_never_violates_tolerance() {
+    for kind in TaskKind::ALL {
+        let (task, model) = prepare(kind);
+        let calibration: Vec<Vec<f32>> = task.ordered_inputs().iter().take(32).cloned().collect();
+        let planner = Planner::new(&model, &calibration);
+        let inputs: Vec<Vec<f32>> = task.ordered_inputs().iter().take(80).cloned().collect();
+        for norm in [Norm::L2, Norm::LInf] {
+            for tol in [1e-3, 1e-1] {
+                for share in [0.2, 0.8] {
+                    let plan = planner.plan(&PlannerConfig {
+                        rel_tolerance: tol,
+                        norm,
+                        quant_share: share,
+                    });
+                    // The plan itself must respect the budget split.
+                    assert!(plan.predicted_total_bound <= plan.abs_tolerance * (1.0 + 1e-12));
+                    let report = planner
+                        .execute(
+                            &plan,
+                            &SzCompressor::default(),
+                            &inputs,
+                            norm,
+                            layout(kind),
+                        )
+                        .unwrap();
+                    assert!(
+                        report.achieved_rel_error.max <= report.predicted_rel_bound + 1e-12,
+                        "{kind:?} norm={norm} tol={tol} share={share}: {} > {}",
+                        report.achieved_rel_error.max,
+                        report.predicted_rel_bound
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn per_feature_bounds_hold_across_tasks() {
+    for kind in [TaskKind::H2Combustion, TaskKind::BorghesiFlame] {
+        let (task, model) = prepare(kind);
+        let analysis = NetworkAnalysis::of(&model);
+        let format = QuantFormat::Fp16;
+        let qm = quantize_model(&model, format);
+        let bounds = analysis.per_feature_bounds(0.0, format);
+        assert_eq!(bounds.len(), task.output_dim());
+        for x in task.ordered_inputs().iter().take(40) {
+            let y = model.forward(x);
+            let yq = qm.forward(x);
+            for (i, (&a, &b)) in y.iter().zip(&yq).enumerate() {
+                assert!(
+                    ((a - b).abs() as f64) <= bounds[i] + 1e-9,
+                    "{kind:?} feature {i}"
+                );
+            }
+        }
+    }
+}
