@@ -1,21 +1,61 @@
-//! Criterion micro-benchmarks of every substrate the figures depend on:
-//! GEMM, spectral-norm estimation, the three compressors (both directions),
+//! Micro-benchmarks of every substrate the figures depend on: GEMM,
+//! spectral-norm estimation, the three compressors (both directions),
 //! weight quantization, bound evaluation, and pipeline planning.
 //!
 //! These measured numbers back the analytical throughput models in
 //! DESIGN.md §3 (substitutions 3 and 4).
+//!
+//! The harness is hand-rolled (adaptive iteration count + median-of-runs
+//! timing) so the workspace stays free of external dependencies; the
+//! target is opt-in behind the `criterion` feature:
+//!
+//! ```sh
+//! cargo bench -p errflow-bench --features criterion
+//! ```
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
 use errflow_compress::{Compressor, ErrorBound, MgardCompressor, SzCompressor, ZfpCompressor};
 use errflow_core::{quantize_model, NetworkAnalysis};
 use errflow_nn::{Activation, Mlp, Model};
 use errflow_pipeline::{Planner, PlannerConfig};
 use errflow_quant::QuantFormat;
-use errflow_tensor::spectral::{power_iteration, PowerIterationOpts};
 use errflow_tensor::init;
 use errflow_tensor::norms::Norm;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use errflow_tensor::rng::StdRng;
+use errflow_tensor::spectral::{power_iteration, PowerIterationOpts};
+use std::time::Instant;
+
+/// How work is counted for the derived rate column.
+enum Throughput {
+    None,
+    Bytes(u64),
+    Elements(u64),
+}
+
+/// Times `f` with an adaptive iteration count and prints one result line.
+fn bench<R>(name: &str, throughput: Throughput, mut f: impl FnMut() -> R) {
+    // Warm up and size the batch to ~50 ms.
+    let t0 = Instant::now();
+    std::hint::black_box(f());
+    let once = t0.elapsed().as_secs_f64().max(1e-9);
+    let iters = ((0.05 / once) as usize).clamp(1, 10_000);
+    // Median of 3 batches rejects scheduler noise.
+    let mut samples = Vec::with_capacity(3);
+    for _ in 0..3 {
+        let t = Instant::now();
+        for _ in 0..iters {
+            std::hint::black_box(f());
+        }
+        samples.push(t.elapsed().as_secs_f64() / iters as f64);
+    }
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("finite times"));
+    let per_iter = samples[1];
+    let rate = match throughput {
+        Throughput::None => String::new(),
+        Throughput::Bytes(b) => format!("  {:8.3} GB/s", b as f64 / per_iter / 1e9),
+        Throughput::Elements(n) => format!("  {:8.2} Melem/s", n as f64 / per_iter / 1e6),
+    };
+    println!("{name:<44} {:>12.1} ns/iter{rate}", per_iter * 1e9);
+}
 
 fn smooth_payload(n: usize) -> Vec<f32> {
     (0..n)
@@ -26,33 +66,32 @@ fn smooth_payload(n: usize) -> Vec<f32> {
         .collect()
 }
 
-fn bench_gemm(c: &mut Criterion) {
-    let mut group = c.benchmark_group("tensor/gemm");
+fn bench_gemm() {
     for n in [64usize, 128, 256] {
         let mut rng = StdRng::seed_from_u64(1);
         let a = init::uniform(n, n, 1.0, &mut rng);
         let b = init::uniform(n, n, 1.0, &mut rng);
-        group.throughput(Throughput::Elements((2 * n * n * n) as u64));
-        group.bench_function(format!("{n}x{n}"), |bench| {
-            bench.iter(|| a.matmul(&b).unwrap())
-        });
+        bench(
+            &format!("tensor/gemm/{n}x{n}"),
+            Throughput::Elements((2 * n * n * n) as u64),
+            || a.matmul(&b).unwrap(),
+        );
     }
-    group.finish();
 }
 
-fn bench_spectral(c: &mut Criterion) {
-    let mut group = c.benchmark_group("tensor/spectral_norm");
+fn bench_spectral() {
     for n in [50usize, 200] {
         let mut rng = StdRng::seed_from_u64(2);
         let w = init::uniform(n, n, 1.0, &mut rng);
-        group.bench_function(format!("power_iteration_{n}"), |bench| {
-            bench.iter(|| power_iteration(&w, PowerIterationOpts::default()).unwrap())
-        });
+        bench(
+            &format!("tensor/spectral_norm/power_iteration_{n}"),
+            Throughput::None,
+            || power_iteration(&w, PowerIterationOpts::default()).unwrap(),
+        );
     }
-    group.finish();
 }
 
-fn bench_compressors(c: &mut Criterion) {
+fn bench_compressors() {
     let data = smooth_payload(65_536);
     let bound = ErrorBound::rel_linf(1e-4);
     let backends: Vec<Box<dyn Compressor>> = vec![
@@ -60,51 +99,54 @@ fn bench_compressors(c: &mut Criterion) {
         Box::new(SzCompressor::default()),
         Box::new(MgardCompressor::default()),
     ];
-    let mut group = c.benchmark_group("compress");
-    group.throughput(Throughput::Bytes((data.len() * 4) as u64));
+    let bytes = (data.len() * 4) as u64;
     for backend in &backends {
-        group.bench_function(format!("{}/compress", backend.name()), |bench| {
-            bench.iter(|| backend.compress(&data, &bound).unwrap())
-        });
+        bench(
+            &format!("compress/{}/compress", backend.name()),
+            Throughput::Bytes(bytes),
+            || backend.compress(&data, &bound).unwrap(),
+        );
         let stream = backend.compress(&data, &bound).unwrap();
-        group.bench_function(format!("{}/decompress", backend.name()), |bench| {
-            bench.iter(|| backend.decompress(&stream).unwrap())
-        });
+        bench(
+            &format!("compress/{}/decompress", backend.name()),
+            Throughput::Bytes(bytes),
+            || backend.decompress(&stream).unwrap(),
+        );
     }
-    group.finish();
 }
 
-fn bench_chunked_and_2d(c: &mut Criterion) {
+fn bench_chunked_and_2d() {
     use errflow_compress::chunked::ChunkedCompressor;
     use errflow_compress::sz2d::Sz2dCompressor;
     let data = smooth_payload(262_144);
     let bound = ErrorBound::abs_linf(1e-4);
-    let mut group = c.benchmark_group("compress/parallel_and_2d");
-    group.throughput(Throughput::Bytes((data.len() * 4) as u64));
+    let bytes = (data.len() * 4) as u64;
     let chunked = ChunkedCompressor::new(SzCompressor::default());
     let stream = chunked.compress(&data, &bound).unwrap();
-    group.bench_function("chunked_sz/decompress", |bench| {
-        bench.iter(|| chunked.decompress(&stream).unwrap())
-    });
+    bench(
+        "compress/chunked_sz/decompress",
+        Throughput::Bytes(bytes),
+        || chunked.decompress(&stream).unwrap(),
+    );
     let serial = ChunkedCompressor::new(SzCompressor::default()).with_threads(1);
-    group.bench_function("chunked_sz/decompress_1thread", |bench| {
-        bench.iter(|| serial.decompress(&stream).unwrap())
-    });
+    bench(
+        "compress/chunked_sz/decompress_1thread",
+        Throughput::Bytes(bytes),
+        || serial.decompress(&stream).unwrap(),
+    );
     let sz2d = Sz2dCompressor::new();
     let stream2d = sz2d.compress(&data, 512, 512, &bound).unwrap();
-    group.bench_function("sz2d/compress", |bench| {
-        bench.iter(|| sz2d.compress(&data, 512, 512, &bound).unwrap())
+    bench("compress/sz2d/compress", Throughput::Bytes(bytes), || {
+        sz2d.compress(&data, 512, 512, &bound).unwrap()
     });
-    group.bench_function("sz2d/decompress", |bench| {
-        bench.iter(|| sz2d.decompress(&stream2d).unwrap())
+    bench("compress/sz2d/decompress", Throughput::Bytes(bytes), || {
+        sz2d.decompress(&stream2d).unwrap()
     });
-    group.finish();
 }
 
-fn bench_huffman(c: &mut Criterion) {
+fn bench_huffman() {
     use errflow_compress::huffman;
     let mut rng = StdRng::seed_from_u64(8);
-    use rand::Rng;
     // Skewed alphabet typical of quantization codes.
     let symbols: Vec<u32> = (0..262_144)
         .map(|_| {
@@ -116,32 +158,33 @@ fn bench_huffman(c: &mut Criterion) {
         })
         .collect();
     let stream = huffman::encode(&symbols);
-    let mut group = c.benchmark_group("compress/huffman");
-    group.throughput(Throughput::Elements(symbols.len() as u64));
-    group.bench_function("encode", |bench| bench.iter(|| huffman::encode(&symbols)));
-    group.bench_function("decode", |bench| {
-        bench.iter(|| huffman::decode(&stream).unwrap())
+    let n = symbols.len() as u64;
+    bench("compress/huffman/encode", Throughput::Elements(n), || {
+        huffman::encode(&symbols)
     });
-    group.finish();
+    bench("compress/huffman/decode", Throughput::Elements(n), || {
+        huffman::decode(&stream).unwrap()
+    });
 }
 
-fn bench_quantization(c: &mut Criterion) {
+fn bench_quantization() {
     let mut rng = StdRng::seed_from_u64(3);
     let w = init::uniform(256, 256, 0.5, &mut rng);
-    let mut group = c.benchmark_group("quant");
-    group.throughput(Throughput::Elements((256 * 256) as u64));
     for format in QuantFormat::REDUCED {
-        group.bench_function(format!("quantize_matrix/{}", format.label()), |bench| {
-            bench.iter(|| format.quantize_matrix(&w))
-        });
-        group.bench_function(format!("step_size/{}", format.label()), |bench| {
-            bench.iter(|| format.step_size(&w))
-        });
+        bench(
+            &format!("quant/quantize_matrix/{}", format.label()),
+            Throughput::Elements((256 * 256) as u64),
+            || format.quantize_matrix(&w),
+        );
+        bench(
+            &format!("quant/step_size/{}", format.label()),
+            Throughput::Elements((256 * 256) as u64),
+            || format.step_size(&w),
+        );
     }
-    group.finish();
 }
 
-fn bench_analysis(c: &mut Criterion) {
+fn bench_analysis() {
     let model = Mlp::new(
         &[13, 48, 48, 48, 48, 48, 48, 48, 48, 3],
         Activation::PRelu(0.25),
@@ -149,24 +192,24 @@ fn bench_analysis(c: &mut Criterion) {
         4,
         None,
     );
-    let mut group = c.benchmark_group("core");
-    group.bench_function("network_analysis/9_layer_mlp", |bench| {
-        bench.iter(|| NetworkAnalysis::of(&model))
-    });
+    bench(
+        "core/network_analysis/9_layer_mlp",
+        Throughput::None,
+        || NetworkAnalysis::of(&model),
+    );
     let analysis = NetworkAnalysis::of(&model);
-    group.bench_function("combined_bound", |bench| {
-        bench.iter(|| analysis.combined_bound(1e-4, QuantFormat::Fp16))
+    bench("core/combined_bound", Throughput::None, || {
+        analysis.combined_bound(1e-4, QuantFormat::Fp16)
     });
-    group.bench_function("per_feature_bounds", |bench| {
-        bench.iter(|| analysis.per_feature_bounds(1e-4, QuantFormat::Fp16))
+    bench("core/per_feature_bounds", Throughput::None, || {
+        analysis.per_feature_bounds(1e-4, QuantFormat::Fp16)
     });
-    group.bench_function("quantize_model/fp16", |bench| {
-        bench.iter(|| quantize_model(&model, QuantFormat::Fp16))
+    bench("core/quantize_model/fp16", Throughput::None, || {
+        quantize_model(&model, QuantFormat::Fp16)
     });
-    group.finish();
 }
 
-fn bench_pipeline(c: &mut Criterion) {
+fn bench_pipeline() {
     let model = Mlp::new(
         &[9, 50, 50, 9],
         Activation::Tanh,
@@ -178,40 +221,31 @@ fn bench_pipeline(c: &mut Criterion) {
     let calibration: Vec<Vec<f32>> = (0..32)
         .map(|_| init::uniform_vec(9, 1.0, &mut rng))
         .collect();
-    let mut group = c.benchmark_group("pipeline");
-    group.bench_function("planner_new", |bench| {
-        bench.iter_batched(
-            || calibration.clone(),
-            |cal| Planner::new(&model, &cal),
-            BatchSize::SmallInput,
-        )
+    bench("pipeline/planner_new", Throughput::None, || {
+        Planner::new(&model, &calibration)
     });
     let planner = Planner::new(&model, &calibration);
-    group.bench_function("plan", |bench| {
-        bench.iter(|| {
-            planner.plan(&PlannerConfig {
-                rel_tolerance: 1e-3,
-                norm: Norm::LInf,
-                quant_share: 0.5,
-            })
+    bench("pipeline/plan", Throughput::None, || {
+        planner.plan(&PlannerConfig {
+            rel_tolerance: 1e-3,
+            norm: Norm::LInf,
+            quant_share: 0.5,
         })
     });
-    group.bench_function("forward/h2_mlp", |bench| {
-        let x = init::uniform_vec(9, 1.0, &mut rng);
-        bench.iter(|| model.forward(&x))
+    let x = init::uniform_vec(9, 1.0, &mut rng);
+    bench("pipeline/forward/h2_mlp", Throughput::None, || {
+        model.forward(&x)
     });
-    group.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_gemm,
-    bench_spectral,
-    bench_compressors,
-    bench_chunked_and_2d,
-    bench_huffman,
-    bench_quantization,
-    bench_analysis,
-    bench_pipeline
-);
-criterion_main!(benches);
+fn main() {
+    println!("{:<44} {:>20}", "benchmark", "median");
+    bench_gemm();
+    bench_spectral();
+    bench_compressors();
+    bench_chunked_and_2d();
+    bench_huffman();
+    bench_quantization();
+    bench_analysis();
+    bench_pipeline();
+}

@@ -8,9 +8,9 @@
 //! share chosen by `Planner::plan_optimal` (the future-work algorithm,
 //! which only probes a payload sample through the ratio model).
 use errflow_bench::experiments::{calibration, figure_storage, layout_for};
-use errflow_pipeline::planner::flatten;
 use errflow_bench::report::{fixed, sci, Table};
 use errflow_bench::tasks::TrainedTask;
+use errflow_pipeline::planner::flatten;
 use errflow_pipeline::{Planner, PlannerConfig};
 use errflow_scidata::task::TrainingMode;
 use errflow_scidata::TaskKind;

@@ -20,7 +20,9 @@ fn main() {
     );
     let inputs: Vec<Vec<f32>> = tt.task.ordered_inputs().iter().take(200).cloned().collect();
     for m in [4u32, 6, 8, 10, 12, 14, 16, 20] {
-        let qm = tt.model.map_weights(&mut |w| w.map(|v| round_mantissa(v, m)));
+        let qm = tt
+            .model
+            .map_weights(&mut |w| w.map(|v| round_mantissa(v, m)));
         let mut worst_l2 = 0.0f64;
         let mut worst_linf = 0.0f64;
         for x in &inputs {

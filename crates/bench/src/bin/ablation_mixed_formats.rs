@@ -19,11 +19,7 @@ use errflow_scidata::TaskKind;
 use errflow_tensor::norms::{diff_norm, Norm};
 
 /// Greedy per-layer assignment under a quantization-error budget.
-fn greedy_mixed(
-    analysis: &NetworkAnalysis,
-    n_layers: usize,
-    budget: f64,
-) -> Vec<QuantFormat> {
+fn greedy_mixed(analysis: &NetworkAnalysis, n_layers: usize, budget: f64) -> Vec<QuantFormat> {
     let mut formats = vec![QuantFormat::Fp32; n_layers];
     // Fastest-first candidates per layer.
     let candidates = [

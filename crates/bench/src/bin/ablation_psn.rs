@@ -7,10 +7,10 @@
 use errflow_bench::experiments::{calibration, layout_for};
 use errflow_bench::report::{fixed, sci, Table};
 use errflow_bench::tasks::TrainedTask;
-use errflow_pipeline::planner::flatten;
-use errflow_pipeline::planner::unflatten;
 use errflow_compress::{Compressor, ErrorBound, SzCompressor};
 use errflow_nn::Model;
+use errflow_pipeline::planner::flatten;
+use errflow_pipeline::planner::unflatten;
 use errflow_scidata::task::TrainingMode;
 use errflow_scidata::TaskKind;
 use errflow_tensor::norms::{diff_norm, Norm};

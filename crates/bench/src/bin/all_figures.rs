@@ -30,7 +30,10 @@ fn main() {
         .iter()
         .map(|&k| TrainedTask::prepare(k, TrainingMode::WeightDecay, 7))
         .collect();
-    eprintln!("[all_figures] models ready in {:.1}s", t0.elapsed().as_secs_f64());
+    eprintln!(
+        "[all_figures] models ready in {:.1}s",
+        t0.elapsed().as_secs_f64()
+    );
 
     // ---- Table I ------------------------------------------------------
     let mut t1 = Table::new(

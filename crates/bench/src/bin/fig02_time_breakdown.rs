@@ -24,12 +24,7 @@ fn main() {
     for (name, flops, bytes) in zoo {
         let b = breakdown(&storage, &exec, 10_000, bytes, flops, QuantFormat::Fp32);
         let (l, p, x) = b.percentages();
-        table.push(vec![
-            name.to_string(),
-            fixed(l),
-            fixed(p),
-            fixed(x),
-        ]);
+        table.push(vec![name.to_string(), fixed(l), fixed(p), fixed(x)]);
     }
     table.print();
 }

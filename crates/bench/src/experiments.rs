@@ -131,8 +131,7 @@ pub fn compression_error_table(
                 })
                 .collect();
             for batch in batches(inputs, n_batches) {
-                let batch: Vec<Vec<f32>> =
-                    batch.iter().take(sample_cap).cloned().collect();
+                let batch: Vec<Vec<f32>> = batch.iter().take(sample_cap).cloned().collect();
                 let payload = flatten(&batch, layout);
                 let stream = backend
                     .compress(&payload, &bound_mode)
@@ -144,10 +143,8 @@ pub fn compression_error_table(
                     .push(batch_diff_norm(&batch, &recon, norm) / batch_norm(&batch, norm));
 
                 for ((_, tt), res) in variants.iter().zip(&mut results) {
-                    let ys: Vec<Vec<f32>> =
-                        batch.iter().map(|x| tt.model.forward(x)).collect();
-                    let yrs: Vec<Vec<f32>> =
-                        recon.iter().map(|x| tt.model.forward(x)).collect();
+                    let ys: Vec<Vec<f32>> = batch.iter().map(|x| tt.model.forward(x)).collect();
+                    let yrs: Vec<Vec<f32>> = recon.iter().map(|x| tt.model.forward(x)).collect();
                     let ref_norm = batch_norm(&ys, norm).max(f64::MIN_POSITIVE);
                     res.achieved_rel
                         .push(batch_diff_norm(&ys, &yrs, norm) / ref_norm);
@@ -179,12 +176,7 @@ pub fn compression_error_table(
 
 /// The per-feature panel of Figs. 3–4: bounds and achieved errors for each
 /// output feature at one input error level.
-pub fn per_feature_table(
-    tt: &TrainedTask,
-    norm: Norm,
-    level: f64,
-    sample_cap: usize,
-) -> Table {
+pub fn per_feature_table(tt: &TrainedTask, norm: Norm, level: f64, sample_cap: usize) -> Table {
     let mut table = Table::new(
         format!(
             "Per-feature QoI error ({norm}) at input rel err {} — task={}",
@@ -327,11 +319,7 @@ pub fn per_feature_quantization_table(
 
 /// Figs. 7 and 8: effective I/O throughput vs. QoI tolerance per backend
 /// (compression-only pipelines; the tolerance buys input error budget).
-pub fn io_throughput_table(
-    tasks: &[TrainedTask],
-    norm: Norm,
-    tolerances: &[f64],
-) -> Table {
+pub fn io_throughput_table(tasks: &[TrainedTask], norm: Norm, tolerances: &[f64]) -> Table {
     let storage = figure_storage();
     let mut table = Table::new(
         format!(
@@ -383,8 +371,7 @@ pub fn io_throughput_table(
                 let (_, mut stats) = backend.roundtrip(&payload, &bound).expect("supported");
                 if stats.decompress_secs < 0.01 {
                     let stream = backend.compress(&payload, &bound).expect("supported");
-                    let reps =
-                        ((0.02 / stats.decompress_secs.max(1e-7)) as usize).clamp(3, 100);
+                    let reps = ((0.02 / stats.decompress_secs.max(1e-7)) as usize).clamp(3, 100);
                     let t0 = std::time::Instant::now();
                     for _ in 0..reps {
                         backend.decompress(&stream).expect("own stream");
@@ -444,12 +431,7 @@ pub fn exec_throughput_table() -> Table {
 
 /// Calibration inputs for a planner (a slice of the ordered inputs).
 pub fn calibration(tt: &TrainedTask) -> Vec<Vec<f32>> {
-    tt.task
-        .ordered_inputs()
-        .iter()
-        .take(64)
-        .cloned()
-        .collect()
+    tt.task.ordered_inputs().iter().take(64).cloned().collect()
 }
 
 /// Storage model used by the figure experiments.
@@ -472,10 +454,7 @@ pub fn figure_storage() -> StorageModel {
 /// measured-magnitude bound extension (safety ×1.5), which is what the
 /// pipeline figures use — the worst-case variant shifts every format-unlock
 /// point to looser tolerances (see `ablation_calibration`).
-pub fn make_planner<'a>(
-    tt: &'a TrainedTask,
-    calibrated: bool,
-) -> Planner<'a, TaskModel> {
+pub fn make_planner<'a>(tt: &'a TrainedTask, calibrated: bool) -> Planner<'a, TaskModel> {
     let cal = calibration(tt);
     let planner = if calibrated {
         Planner::new_calibrated(&tt.model, &cal, 1.5)

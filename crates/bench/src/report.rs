@@ -76,31 +76,157 @@ impl Table {
         println!("{}", self.render());
         if let Ok(dir) = std::env::var("ERRFLOW_JSON_DIR") {
             let path = std::path::Path::new(&dir).join(format!("{}.json", self.slug()));
-            if let Err(e) = std::fs::write(&path, self.to_json().to_string()) {
+            if let Err(e) = std::fs::write(&path, self.to_json()) {
                 eprintln!("warning: could not write {}: {e}", path.display());
             }
         }
     }
 
-    /// Machine-readable form: `{"title", "headers", "rows"}`.
-    pub fn to_json(&self) -> serde_json::Value {
-        serde_json::json!({
-            "title": self.title,
-            "headers": self.headers,
-            "rows": self.rows,
-        })
+    /// Machine-readable form: `{"title", "headers", "rows"}` (hand-rolled;
+    /// the workspace carries no serialization dependency).
+    pub fn to_json(&self) -> String {
+        let mut w = JsonWriter::object();
+        w.field_str("title", &self.title);
+        w.field_str_array("headers", &self.headers);
+        w.raw_field(
+            "rows",
+            &format!(
+                "[{}]",
+                self.rows
+                    .iter()
+                    .map(|r| {
+                        let mut a = String::from("[");
+                        for (i, cell) in r.iter().enumerate() {
+                            if i > 0 {
+                                a.push(',');
+                            }
+                            a.push_str(&json_string(cell));
+                        }
+                        a.push(']');
+                        a
+                    })
+                    .collect::<Vec<_>>()
+                    .join(",")
+            ),
+        );
+        w.finish()
     }
 
     /// Filesystem-safe slug of the title.
     fn slug(&self) -> String {
         self.title
             .chars()
-            .map(|c| if c.is_ascii_alphanumeric() { c.to_ascii_lowercase() } else { '_' })
+            .map(|c| {
+                if c.is_ascii_alphanumeric() {
+                    c.to_ascii_lowercase()
+                } else {
+                    '_'
+                }
+            })
             .collect::<String>()
             .split('_')
             .filter(|s| !s.is_empty())
             .collect::<Vec<_>>()
             .join("_")
+    }
+}
+
+/// Escapes and quotes a string per RFC 8259.
+pub fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Formats an `f64` as a JSON number (`null` for non-finite values, which
+/// JSON cannot represent).
+pub fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        // `{}` prints the shortest round-tripping representation.
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// Minimal single-level JSON object writer.
+pub struct JsonWriter {
+    buf: String,
+    first: bool,
+}
+
+impl JsonWriter {
+    /// Starts an object.
+    pub fn object() -> Self {
+        JsonWriter {
+            buf: String::from("{"),
+            first: true,
+        }
+    }
+
+    fn sep(&mut self) {
+        if !self.first {
+            self.buf.push(',');
+        }
+        self.first = false;
+    }
+
+    /// Adds a string field.
+    pub fn field_str(&mut self, key: &str, value: &str) {
+        self.sep();
+        self.buf
+            .push_str(&format!("{}:{}", json_string(key), json_string(value)));
+    }
+
+    /// Adds a numeric field.
+    pub fn field_f64(&mut self, key: &str, value: f64) {
+        self.sep();
+        self.buf
+            .push_str(&format!("{}:{}", json_string(key), json_f64(value)));
+    }
+
+    /// Adds an integer field.
+    pub fn field_u64(&mut self, key: &str, value: u64) {
+        self.sep();
+        self.buf.push_str(&format!("{}:{value}", json_string(key)));
+    }
+
+    /// Adds an array-of-strings field.
+    pub fn field_str_array(&mut self, key: &str, values: &[String]) {
+        self.sep();
+        self.buf.push_str(&format!("{}:[", json_string(key)));
+        for (i, v) in values.iter().enumerate() {
+            if i > 0 {
+                self.buf.push(',');
+            }
+            self.buf.push_str(&json_string(v));
+        }
+        self.buf.push(']');
+    }
+
+    /// Adds a field whose value is already-serialized JSON.
+    pub fn raw_field(&mut self, key: &str, raw_json: &str) {
+        self.sep();
+        self.buf
+            .push_str(&format!("{}:{raw_json}", json_string(key)));
+    }
+
+    /// Closes the object and returns the JSON text.
+    pub fn finish(mut self) -> String {
+        self.buf.push('}');
+        self.buf
     }
 }
 
@@ -148,9 +274,23 @@ mod tests {
         let mut t = Table::new("Fig. 9 — demo (L∞)", &["a", "b"]);
         t.push(vec!["1".into(), "2".into()]);
         let j = t.to_json();
-        assert_eq!(j["headers"][0], "a");
-        assert_eq!(j["rows"][0][1], "2");
+        assert!(j.contains("\"headers\":[\"a\",\"b\"]"), "{j}");
+        assert!(j.contains("\"rows\":[[\"1\",\"2\"]]"), "{j}");
         assert_eq!(t.slug(), "fig_9_demo_l");
+    }
+
+    #[test]
+    fn json_escaping_and_numbers() {
+        assert_eq!(json_string("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+        assert_eq!(json_string("контроль"), "\"контроль\"");
+        assert_eq!(json_f64(1.5), "1.5");
+        assert_eq!(json_f64(f64::NAN), "null");
+        assert_eq!(json_f64(f64::INFINITY), "null");
+        let mut w = JsonWriter::object();
+        w.field_str("k", "v");
+        w.field_f64("x", 0.25);
+        w.field_u64("n", 7);
+        assert_eq!(w.finish(), "{\"k\":\"v\",\"x\":0.25,\"n\":7}");
     }
 
     #[test]

@@ -6,7 +6,9 @@ use errflow_scidata::{SyntheticTask, TaskKind, TaskModel};
 
 /// `true` when `ERRFLOW_FAST=1`: reduced workloads for smoke runs.
 pub fn fast_mode() -> bool {
-    std::env::var("ERRFLOW_FAST").map(|v| v == "1").unwrap_or(false)
+    std::env::var("ERRFLOW_FAST")
+        .map(|v| v == "1")
+        .unwrap_or(false)
 }
 
 /// A workload with its trained model and spectral analysis.

@@ -36,7 +36,11 @@ impl BitWriter {
         if n == 0 {
             return;
         }
-        let value = if n == 64 { value } else { value & ((1u64 << n) - 1) };
+        let value = if n == 64 {
+            value
+        } else {
+            value & ((1u64 << n) - 1)
+        };
         let room = 64 - self.nbits;
         if n <= room {
             self.acc |= value << self.nbits;
@@ -131,7 +135,11 @@ impl<'a> BitReader<'a> {
         }
         let v = if n <= 57 {
             let w = self.peek_word();
-            if n == 64 { w } else { w & ((1u64 << n) - 1) }
+            if n == 64 {
+                w
+            } else {
+                w & ((1u64 << n) - 1)
+            }
         } else {
             // Split read for 58..=64 bits.
             let lo = self.peek_word() & ((1u64 << 57) - 1);
@@ -175,8 +183,7 @@ impl<'a> BitReader<'a> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::{Rng, SeedableRng};
+    use errflow_tensor::rng::StdRng;
 
     #[test]
     fn single_bits_roundtrip() {

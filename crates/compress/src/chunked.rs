@@ -94,7 +94,9 @@ impl<C: Compressor> Compressor for ChunkedCompressor<C> {
 
     fn decompress(&self, stream: &[u8]) -> Result<Vec<f32>, CompressError> {
         if stream.len() < 20 {
-            return Err(CompressError::CorruptStream("chunk header too short".into()));
+            return Err(CompressError::CorruptStream(
+                "chunk header too short".into(),
+            ));
         }
         let n = u64::from_le_bytes(stream[0..8].try_into().expect("8 bytes")) as usize;
         let _chunk_values = u64::from_le_bytes(stream[8..16].try_into().expect("8 bytes"));

@@ -125,16 +125,19 @@ fn rle_expand(
     runs: &[u32],
     n_original: usize,
 ) -> Result<Vec<u32>, CompressError> {
-    let mut out = Vec::with_capacity(crate::traits::safe_capacity(n_original, transformed.len() * 4));
+    let mut out = Vec::with_capacity(crate::traits::safe_capacity(
+        n_original,
+        transformed.len() * 4,
+    ));
     let mut run_it = runs.iter();
     for &s in transformed {
         if s == RUN_MARKER {
             let &count = run_it.next().ok_or_else(|| {
                 CompressError::CorruptStream("run marker without a run length".into())
             })?;
-            let &prev = out.last().ok_or_else(|| {
-                CompressError::CorruptStream("run marker at stream start".into())
-            })?;
+            let &prev = out
+                .last()
+                .ok_or_else(|| CompressError::CorruptStream("run marker at stream start".into()))?;
             out.extend(std::iter::repeat_n(prev, count as usize));
         } else {
             out.push(s);
@@ -447,8 +450,7 @@ fn read_u32(buf: &[u8], pos: &mut usize) -> Result<u32, CompressError> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::{Rng, SeedableRng};
+    use errflow_tensor::rng::StdRng;
 
     fn roundtrip(symbols: &[u32]) {
         let enc = encode(symbols);
@@ -478,7 +480,13 @@ mod tests {
         // still far below 32.
         let mut rng = StdRng::seed_from_u64(1);
         let symbols: Vec<u32> = (0..10_000)
-            .map(|_| if rng.gen_bool(0.95) { 0 } else { rng.gen_range(1..8) })
+            .map(|_| {
+                if rng.gen_bool(0.95) {
+                    0
+                } else {
+                    rng.gen_range(1..8)
+                }
+            })
             .collect();
         let enc = encode(&symbols);
         assert!(
@@ -612,19 +620,17 @@ mod tests {
         }
     }
 
-    proptest::proptest! {
-        #[test]
-        fn prop_roundtrip_random_alphabets(
-            seed in 0u64..500,
-            alphabet in 1usize..400,
-            n in 0usize..2000,
-        ) {
-            let mut rng = StdRng::seed_from_u64(seed);
+    #[test]
+    fn prop_roundtrip_random_alphabets() {
+        let mut rng = StdRng::seed_from_u64(0xC0FFEE);
+        for _ in 0..64 {
+            let alphabet = rng.gen_range(1usize..400);
+            let n = rng.gen_range(0usize..2000);
             let symbols: Vec<u32> = (0..n).map(|_| rng.gen_range(0..alphabet as u32)).collect();
             let enc = encode(&symbols);
             let (dec, consumed) = decode(&enc).expect("decode");
-            proptest::prop_assert_eq!(dec, symbols);
-            proptest::prop_assert_eq!(consumed, enc.len());
+            assert_eq!(dec, symbols);
+            assert_eq!(consumed, enc.len());
         }
     }
 }

@@ -103,9 +103,9 @@ impl Sz2dCompressor {
         let nx = u64::from_le_bytes(stream[0..8].try_into().expect("8 bytes")) as usize;
         let ny = u64::from_le_bytes(stream[8..16].try_into().expect("8 bytes")) as usize;
         let eb = f64::from_le_bytes(stream[16..24].try_into().expect("8 bytes"));
-        let n = nx.checked_mul(ny).ok_or_else(|| {
-            CompressError::CorruptStream("grid dimensions overflow".into())
-        })?;
+        let n = nx
+            .checked_mul(ny)
+            .ok_or_else(|| CompressError::CorruptStream("grid dimensions overflow".into()))?;
         let (symbols, consumed) = huffman::decode(&stream[24..])?;
         if symbols.len() != n {
             return Err(CompressError::CorruptStream(format!(
@@ -139,11 +139,10 @@ impl Sz2dCompressor {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::{Rng, SeedableRng};
+    use errflow_tensor::rng::StdRng;
 
     fn smooth_grid(nx: usize, ny: usize) -> Vec<f32> {
-        let mut out = Vec::with_capacity(nx * ny);  // compress-side, trusted
+        let mut out = Vec::with_capacity(nx * ny); // compress-side, trusted
         for j in 0..ny {
             for i in 0..nx {
                 let u = i as f32 / nx as f32;
@@ -233,15 +232,13 @@ mod tests {
         assert!(sz.decompress(&stream[..stream.len() - 2]).is_err());
     }
 
-    proptest::proptest! {
-        #[test]
-        fn prop_bound_holds(
-            seed in 0u64..300,
-            tol in 1e-6f64..1e-1,
-            nx in 1usize..24,
-            ny in 1usize..24,
-        ) {
-            let mut rng = StdRng::seed_from_u64(seed);
+    #[test]
+    fn prop_bound_holds() {
+        let mut rng = StdRng::seed_from_u64(0xF0);
+        for _ in 0..64 {
+            let tol = 10f64.powf(rng.gen_range(-6.0f64..-1.0));
+            let nx = rng.gen_range(1usize..24);
+            let ny = rng.gen_range(1usize..24);
             let data: Vec<f32> = (0..nx * ny)
                 .map(|k| ((k as f32) * 0.1).sin() + rng.gen_range(-0.2f32..0.2))
                 .collect();
@@ -249,7 +246,7 @@ mod tests {
             let bound = ErrorBound::abs_linf(tol);
             let stream = sz.compress(&data, nx, ny, &bound).unwrap();
             let (recon, _, _) = sz.decompress(&stream).unwrap();
-            proptest::prop_assert!(bound.verify(&data, &recon));
+            assert!(bound.verify(&data, &recon));
         }
     }
 }

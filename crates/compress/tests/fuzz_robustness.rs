@@ -7,8 +7,7 @@ use errflow_compress::chunked::ChunkedCompressor;
 use errflow_compress::{
     Compressor, ErrorBound, MgardCompressor, Sz2dCompressor, SzCompressor, ZfpCompressor,
 };
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use errflow_tensor::rng::StdRng;
 
 fn backends() -> Vec<Box<dyn Compressor>> {
     vec![
@@ -46,9 +45,7 @@ fn huge_declared_counts_do_not_allocate() {
 
 #[test]
 fn bit_flips_in_valid_streams_never_panic() {
-    let data: Vec<f32> = (0..2048)
-        .map(|i| ((i as f32) * 0.01).sin() * 2.0)
-        .collect();
+    let data: Vec<f32> = (0..2048).map(|i| ((i as f32) * 0.01).sin() * 2.0).collect();
     let bound = ErrorBound::abs_linf(1e-3);
     let mut rng = StdRng::seed_from_u64(99);
     for be in backends() {

@@ -1,9 +1,7 @@
 //! [`NetworkAnalysis`]: extracting the bound parameters from a trained
 //! model and evaluating the paper's error bounds.
 
-use crate::bound::{
-    self, network_amplification, propagate_network, FlowState,
-};
+use crate::bound::{self, network_amplification, propagate_network, FlowState};
 use errflow_nn::{Model, ShortcutView};
 use errflow_quant::QuantFormat;
 use errflow_tensor::norms::l2;
@@ -255,11 +253,7 @@ impl NetworkAnalysis {
     /// space"): the combined bound with one format *per layer*, `formats`
     /// flattened in block/layer order.  Reduces to
     /// [`NetworkAnalysis::combined_bound`] when all entries are equal.
-    pub fn combined_bound_mixed(
-        &self,
-        dx_l2: f64,
-        formats: &[QuantFormat],
-    ) -> BoundBreakdown {
+    pub fn combined_bound_mixed(&self, dx_l2: f64, formats: &[QuantFormat]) -> BoundBreakdown {
         let n_layers: usize = self.blocks.iter().map(|b| b.layers.len()).sum();
         assert_eq!(formats.len(), n_layers, "one format per layer");
         let compression = self.compression_bound(dx_l2);
@@ -409,8 +403,7 @@ mod tests {
     use errflow_nn::{Activation, ConvNet, Mlp};
     use errflow_tensor::conv::MapShape;
     use errflow_tensor::norms::{diff_norm, Norm};
-    use rand::rngs::StdRng;
-    use rand::{Rng, SeedableRng};
+    use errflow_tensor::rng::StdRng;
 
     fn mlp() -> Mlp {
         Mlp::new(
@@ -467,10 +460,7 @@ mod tests {
                 let y = model.forward(&x);
                 let yq = qm.forward(&x);
                 let err = diff_norm(&y, &yq, Norm::L2);
-                assert!(
-                    err <= bound + 1e-9,
-                    "{format}: err={err} bound={bound}"
-                );
+                assert!(err <= bound + 1e-9, "{format}: err={err} bound={bound}");
             }
         }
     }
@@ -557,34 +547,36 @@ mod tests {
         let qm = quantize_model(&model, format);
         let mut rng = StdRng::seed_from_u64(13);
         for x in random_inputs(5, 9, 14) {
-            let xt: Vec<f32> = x.iter().map(|&v| v + rng.gen_range(-1e-4..1e-4f32)).collect();
+            let xt: Vec<f32> = x
+                .iter()
+                .map(|&v| v + rng.gen_range(-1e-4..1e-4f32))
+                .collect();
             let y = model.forward(&x);
             let yq = qm.forward(&xt);
             for i in 0..9 {
                 let err = (y[i] - yq[i]).abs() as f64;
-                assert!(err <= per[i] + 1e-9, "feature {i}: err={err} bound={}", per[i]);
+                assert!(
+                    err <= per[i] + 1e-9,
+                    "feature {i}: err={err} bound={}",
+                    per[i]
+                );
             }
         }
     }
 
     #[test]
     fn convnet_bounds_dominate_observed() {
-        let model = ConvNet::new(
-            MapShape::new(2, 8, 8),
-            4,
-            1,
-            3,
-            Activation::Relu,
-            21,
-            None,
-        );
+        let model = ConvNet::new(MapShape::new(2, 8, 8), 4, 1, 3, Activation::Relu, 21, None);
         let a = NetworkAnalysis::of(&model);
         assert_eq!(a.blocks().len(), 3); // stem + block + head
         let format = QuantFormat::Bf16;
         let qm = quantize_model(&model, format);
         let mut rng = StdRng::seed_from_u64(22);
         for x in random_inputs(5, 128, 23) {
-            let xt: Vec<f32> = x.iter().map(|&v| v + rng.gen_range(-1e-3..1e-3f32)).collect();
+            let xt: Vec<f32> = x
+                .iter()
+                .map(|&v| v + rng.gen_range(-1e-3..1e-3f32))
+                .collect();
             let dx_l2 = diff_norm(&x, &xt, Norm::L2);
             let y = model.forward(&x);
             let yq = qm.forward(&xt);
@@ -608,10 +600,7 @@ mod tests {
         for x in random_inputs(10, 9, 91) {
             // Manual forward with quantized post-layer-0 activations.
             let h0 = layers[0].forward(&x);
-            let h0q: Vec<f32> = h0
-                .iter()
-                .map(|&v| (v / q_act).round() * q_act)
-                .collect();
+            let h0q: Vec<f32> = h0.iter().map(|&v| (v / q_act).round() * q_act).collect();
             let mut clean = h0;
             let mut noisy = h0q;
             for layer in &layers[1..] {
@@ -686,7 +675,10 @@ mod tests {
         for format in QuantFormat::REDUCED {
             let b_worst = cal.quantization_bound(format);
             let b_paper = worst.quantization_bound(format);
-            assert!(b_worst <= b_paper, "{format}: calibration loosened the bound");
+            assert!(
+                b_worst <= b_paper,
+                "{format}: calibration loosened the bound"
+            );
             // Soundness on fresh data (not in the calibration set).
             let qm = quantize_model(&model, format);
             for x in random_inputs(15, 9, 78) {
@@ -715,22 +707,14 @@ mod tests {
         let inputs = random_inputs(30, 13, 56);
         let worst = NetworkAnalysis::of(&model);
         let cal = NetworkAnalysis::of_calibrated(&model, &inputs, 1.5);
-        let ratio = worst.quantization_bound(QuantFormat::Fp16)
-            / cal.quantization_bound(QuantFormat::Fp16);
+        let ratio =
+            worst.quantization_bound(QuantFormat::Fp16) / cal.quantization_bound(QuantFormat::Fp16);
         assert!(ratio > 3.0, "expected large tightening, got {ratio}x");
     }
 
     #[test]
     fn layer_input_magnitudes_align_with_block_layers() {
-        let model = ConvNet::new(
-            MapShape::new(2, 6, 6),
-            4,
-            2,
-            3,
-            Activation::Relu,
-            61,
-            None,
-        );
+        let model = ConvNet::new(MapShape::new(2, 6, 6), 4, 2, 3, Activation::Relu, 61, None);
         let n_layers: usize = model.blocks().iter().map(|b| b.layers.len()).sum();
         let mags = model.layer_input_magnitudes(&vec![0.3; 72]);
         assert_eq!(mags.len(), n_layers);

@@ -79,15 +79,17 @@ mod tests {
     use crate::quantize::quantize_model;
     use errflow_nn::{Activation, Mlp};
     use errflow_quant::QuantFormat;
-    use rand::rngs::StdRng;
-    use rand::{Rng, SeedableRng};
+    use errflow_tensor::rng::StdRng;
 
     fn setup() -> (Mlp, Mlp, Vec<f32>, Vec<f32>) {
         let model = Mlp::new(&[6, 24, 6], Activation::Tanh, Activation::Identity, 5, None);
         let qm = quantize_model(&model, QuantFormat::Bf16);
         let mut rng = StdRng::seed_from_u64(6);
         let x: Vec<f32> = (0..6).map(|_| rng.gen_range(-1.0..1.0)).collect();
-        let xt: Vec<f32> = x.iter().map(|&v| v + rng.gen_range(-1e-3..1e-3f32)).collect();
+        let xt: Vec<f32> = x
+            .iter()
+            .map(|&v| v + rng.gen_range(-1e-3..1e-3f32))
+            .collect();
         (model, qm, x, xt)
     }
 

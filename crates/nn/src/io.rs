@@ -85,10 +85,7 @@ fn write_layer_params(out: &mut Vec<u8>, layer: &Layer) {
     }
 }
 
-fn read_layer_params(
-    buf: &[u8],
-    pos: &mut usize,
-) -> Result<(Matrix, Vec<f32>), ModelIoError> {
+fn read_layer_params(buf: &[u8], pos: &mut usize) -> Result<(Matrix, Vec<f32>), ModelIoError> {
     let rows = read_u32(buf, pos)? as usize;
     let cols = read_u32(buf, pos)? as usize;
     let mut data = Vec::with_capacity(rows * cols);
@@ -99,8 +96,8 @@ fn read_layer_params(
     for _ in 0..rows {
         bias.push(read_f32(buf, pos)?);
     }
-    let w = Matrix::from_vec(rows, cols, data)
-        .map_err(|e| ModelIoError::Malformed(e.to_string()))?;
+    let w =
+        Matrix::from_vec(rows, cols, data).map_err(|e| ModelIoError::Malformed(e.to_string()))?;
     Ok((w, bias))
 }
 
@@ -219,8 +216,7 @@ fn read_f32(buf: &[u8], pos: &mut usize) -> Result<f32, ModelIoError> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::{Rng, SeedableRng};
+    use errflow_tensor::rng::StdRng;
 
     fn mlp() -> Mlp {
         Mlp::new(
@@ -301,7 +297,11 @@ mod tests {
 
     #[test]
     fn error_display() {
-        assert!(ModelIoError::BadMagic.to_string().contains("not an errflow"));
-        assert!(ModelIoError::Malformed("x".into()).to_string().contains("x"));
+        assert!(ModelIoError::BadMagic
+            .to_string()
+            .contains("not an errflow"));
+        assert!(ModelIoError::Malformed("x".into())
+            .to_string()
+            .contains("x"));
     }
 }

@@ -334,9 +334,7 @@ impl Layer {
                 let d_z = Matrix::from_vec(out_shape.channels, hw, delta).expect("dz shape");
                 let patches = cache.patches.as_ref().expect("conv cache has patches");
                 // dW = dZ · patchesᵀ  (computed without materialising ᵀ).
-                let d_w = d_z
-                    .matmul(&patches.transpose())
-                    .expect("conv weight grad");
+                let d_w = d_z.matmul(&patches.transpose()).expect("conv weight grad");
                 let d_bias: Vec<f32> = (0..out_shape.channels)
                     .map(|c| d_z.row(c).iter().sum())
                     .collect();
@@ -408,8 +406,7 @@ impl Layer {
 mod tests {
     use super::*;
     use errflow_tensor::init;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use errflow_tensor::rng::StdRng;
 
     fn dense_layer(seed: u64) -> Layer {
         let mut rng = StdRng::seed_from_u64(seed);

@@ -9,9 +9,8 @@
 use crate::activation::Activation;
 use crate::layer::{Layer, LayerCache, LayerGrads};
 use errflow_tensor::conv::{global_avg_pool, ConvSpec, MapShape};
+use errflow_tensor::rng::StdRng;
 use errflow_tensor::{init, Matrix};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
 /// Read-only view of one linear/conv layer inside a block.
 #[derive(Debug, Clone, Copy)]
@@ -57,6 +56,16 @@ pub struct BlockView<'a> {
 pub trait Model {
     /// Runs inference on a single input.
     fn forward(&self, x: &[f32]) -> Vec<f32>;
+
+    /// Runs inference on a batch of inputs.
+    ///
+    /// The default loops [`Model::forward`]; architectures whose layers
+    /// lower to GEMM (e.g. [`Mlp`]) override it with a single batched
+    /// matrix-matrix pass per layer, which is what the serving layer's
+    /// request batcher relies on for throughput.
+    fn forward_batch(&self, xs: &[Vec<f32>]) -> Vec<Vec<f32>> {
+        xs.iter().map(|x| self.forward(x)).collect()
+    }
 
     /// Number of scalar inputs (`n_0` in the paper).
     fn input_dim(&self) -> usize;
@@ -116,7 +125,10 @@ impl Mlp {
         seed: u64,
         psn_seed: Option<u64>,
     ) -> Self {
-        assert!(dims.len() >= 2, "an MLP needs at least input and output dims");
+        assert!(
+            dims.len() >= 2,
+            "an MLP needs at least input and output dims"
+        );
         let mut rng = StdRng::seed_from_u64(seed);
         let mut layers = Vec::with_capacity(dims.len() - 1);
         for i in 0..dims.len() - 1 {
@@ -188,6 +200,38 @@ impl Model for Mlp {
             h = layer.forward(&h);
         }
         h
+    }
+
+    /// Batched forward as one GEMM per layer: `H ← act(H·Wᵀ + b)` with the
+    /// batch stacked row-wise.  Falls back to the per-sample loop if any
+    /// layer is not dense.
+    fn forward_batch(&self, xs: &[Vec<f32>]) -> Vec<Vec<f32>> {
+        if xs.is_empty() {
+            return Vec::new();
+        }
+        let all_dense = self
+            .layers
+            .iter()
+            .all(|l| matches!(l.kind(), crate::layer::LayerKind::Dense));
+        if !all_dense {
+            return xs.iter().map(|x| self.forward(x)).collect();
+        }
+        let mut h = Matrix::from_rows(xs).expect("batch rows share the input dim");
+        for layer in &self.layers {
+            let wt = layer.weights().transpose();
+            let mut z = h.matmul(&wt).expect("batch/weight dims agree");
+            let bias = layer.bias();
+            let act = layer.activation();
+            for r in 0..z.rows() {
+                let row = z.row_mut(r);
+                for (zi, &b) in row.iter_mut().zip(bias) {
+                    *zi += b;
+                }
+                act.apply_slice(row);
+            }
+            h = z;
+        }
+        (0..h.rows()).map(|r| h.row(r).to_vec()).collect()
     }
 
     fn input_dim(&self) -> usize {
@@ -436,11 +480,7 @@ impl ConvNet {
             let (d_a, g2) = block.conv2.backward(&bc.c2, &d_s);
             let (d_x_path, g1) = block.conv1.backward(&bc.c1, &d_a);
             // Shortcut adds d_s directly to the input gradient.
-            d_h = d_x_path
-                .iter()
-                .zip(&d_s)
-                .map(|(&a, &b)| a + b)
-                .collect();
+            d_h = d_x_path.iter().zip(&d_s).map(|(&a, &b)| a + b).collect();
             rev_block_grads.push((g1, g2));
         }
         let (_, stem_grads) = self.stem.backward(&cache.stem, &d_h);
@@ -576,10 +616,15 @@ impl Model for ConvNet {
 mod tests {
     use super::*;
     use errflow_tensor::norms::l2;
-    use rand::Rng;
 
     fn small_mlp() -> Mlp {
-        Mlp::new(&[4, 8, 8, 3], Activation::Tanh, Activation::Identity, 1, None)
+        Mlp::new(
+            &[4, 8, 8, 3],
+            Activation::Tanh,
+            Activation::Identity,
+            1,
+            None,
+        )
     }
 
     #[test]
@@ -621,7 +666,10 @@ mod tests {
             mm.layers_mut()[li].refresh();
             let fd = (loss(&mp, &x) - loss(&mm, &x)) / (2.0 * h);
             let an = grads[li].d_raw.as_slice()[0];
-            assert!((fd - an).abs() < 2e-2 * fd.abs().max(1.0), "layer {li}: fd={fd} an={an}");
+            assert!(
+                (fd - an).abs() < 2e-2 * fd.abs().max(1.0),
+                "layer {li}: fd={fd} an={an}"
+            );
         }
     }
 
@@ -646,15 +694,7 @@ mod tests {
     }
 
     fn small_convnet() -> ConvNet {
-        ConvNet::new(
-            MapShape::new(2, 6, 6),
-            4,
-            2,
-            3,
-            Activation::Relu,
-            7,
-            None,
-        )
+        ConvNet::new(MapShape::new(2, 6, 6), 4, 2, 3, Activation::Relu, 7, None)
     }
 
     #[test]
@@ -702,7 +742,10 @@ mod tests {
         mm.layers_mut()[5].refresh();
         let fd = (loss(&mp, &x) - loss(&mm, &x)) / (2.0 * h);
         let an = grads[5].d_raw.as_slice()[0];
-        assert!((fd - an).abs() < 5e-2 * fd.abs().max(1.0), "head: fd={fd} an={an}");
+        assert!(
+            (fd - an).abs() < 5e-2 * fd.abs().max(1.0),
+            "head: fd={fd} an={an}"
+        );
         // Stem weight check.
         let mut sp = m.clone();
         sp.layers_mut()[0].raw_mut()[0] += h;
@@ -712,7 +755,10 @@ mod tests {
         sm.layers_mut()[0].refresh();
         let fd = (loss(&sp, &x) - loss(&sm, &x)) / (2.0 * h);
         let an = grads[0].d_raw.as_slice()[0];
-        assert!((fd - an).abs() < 5e-2 * fd.abs().max(0.1), "stem: fd={fd} an={an}");
+        assert!(
+            (fd - an).abs() < 5e-2 * fd.abs().max(0.1),
+            "stem: fd={fd} an={an}"
+        );
     }
 
     #[test]
@@ -741,5 +787,43 @@ mod tests {
     fn convnet_flops_positive_and_dominated_by_convs() {
         let m = small_convnet();
         assert!(m.flops() > m.layers()[5].flops() * 10.0);
+    }
+
+    #[test]
+    fn mlp_forward_batch_matches_per_sample() {
+        let m = Mlp::new(
+            &[7, 24, 24, 5],
+            Activation::PRelu(0.25),
+            Activation::Identity,
+            13,
+            None,
+        );
+        let mut rng = StdRng::seed_from_u64(4);
+        let xs: Vec<Vec<f32>> = (0..9)
+            .map(|_| (0..7).map(|_| rng.gen_range(-1.0f32..1.0)).collect())
+            .collect();
+        let batched = m.forward_batch(&xs);
+        assert_eq!(batched.len(), xs.len());
+        for (x, yb) in xs.iter().zip(&batched) {
+            let y = m.forward(x);
+            assert_eq!(y.len(), yb.len());
+            for (a, b) in y.iter().zip(yb) {
+                assert!((a - b).abs() <= 1e-5 * a.abs().max(1.0), "{a} vs {b}");
+            }
+        }
+        assert!(m.forward_batch(&[]).is_empty());
+    }
+
+    #[test]
+    fn convnet_forward_batch_falls_back_to_per_sample() {
+        let m = small_convnet();
+        let mut rng = StdRng::seed_from_u64(5);
+        let xs: Vec<Vec<f32>> = (0..3)
+            .map(|_| (0..72).map(|_| rng.gen_range(0.0f32..1.0)).collect())
+            .collect();
+        let batched = m.forward_batch(&xs);
+        for (x, yb) in xs.iter().zip(&batched) {
+            assert_eq!(&m.forward(x), yb);
+        }
     }
 }

@@ -20,9 +20,8 @@
 //! step, exactly as in SN-GAN training).
 
 use errflow_tensor::norms::l2;
+use errflow_tensor::rng::StdRng;
 use errflow_tensor::Matrix;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 /// Per-layer PSN state: the learnable scale `α` and the power-iteration
 /// vectors approximating the top singular pair of the *raw* matrix `V`.
@@ -221,8 +220,8 @@ mod tests {
             mp.set(r, c, mp.get(r, c) + h);
             let mut mm = raw.clone();
             mm.set(r, c, mm.get(r, c) - h);
-            let fd = (loss(&mp, st.alpha, &sigma_exact) - loss(&mm, st.alpha, &sigma_exact))
-                / (2.0 * h);
+            let fd =
+                (loss(&mp, st.alpha, &sigma_exact) - loss(&mm, st.alpha, &sigma_exact)) / (2.0 * h);
             let an = gv.get(r, c);
             assert!(
                 (fd - an).abs() < 5e-2 * fd.abs().max(1.0),

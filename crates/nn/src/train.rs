@@ -11,9 +11,8 @@ use crate::layer::{Layer, LayerGrads};
 use crate::loss::Loss;
 use crate::model::{ConvNet, Mlp};
 use crate::optim::{Adam, Optimizer, Sgd};
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::SeedableRng;
+use errflow_tensor::rng::SliceRandom;
+use errflow_tensor::rng::StdRng;
 
 /// An in-memory supervised dataset.
 #[derive(Debug, Clone, Default)]
@@ -252,7 +251,6 @@ mod tests {
     use crate::activation::Activation;
     use crate::model::Model;
     use errflow_tensor::conv::MapShape;
-    use rand::Rng;
 
     /// Tiny regression problem: learn y = [x0 + x1, x0 − x1].
     fn linear_dataset(n: usize, seed: u64) -> Dataset {
@@ -374,15 +372,11 @@ mod tests {
             for y in 0..6 {
                 for x in 0..6 {
                     let base = if (y < 3) == top { 0.8 } else { -0.8 };
-                    img[y * 6 + x] = base + rng.gen_range(-0.1..0.1);
+                    img[y * 6 + x] = base + rng.gen_range(-0.1f32..0.1);
                 }
             }
             inputs.push(img);
-            targets.push(if top {
-                vec![1.0, 0.0]
-            } else {
-                vec![0.0, 1.0]
-            });
+            targets.push(if top { vec![1.0, 0.0] } else { vec![0.0, 1.0] });
         }
         let data = Dataset::new(inputs, targets);
         let mut model = ConvNet::new(shape, 4, 1, 2, Activation::Relu, 10, None);

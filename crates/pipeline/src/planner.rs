@@ -162,7 +162,11 @@ impl<'m, M: Model> Planner<'m, M> {
         Self::with_analysis(model, calibration_inputs, analysis)
     }
 
-    fn with_analysis(
+    /// Builds a planner around a **precomputed** analysis.  The spectral
+    /// analysis is the expensive part of construction; callers that plan
+    /// repeatedly for the same model (e.g. the serving layer's plan cache)
+    /// compute it once and clone it in here per rebuild.
+    pub fn with_analysis(
         model: &'m M,
         calibration_inputs: &[Vec<f32>],
         analysis: NetworkAnalysis,
@@ -303,8 +307,12 @@ impl<'m, M: Model> Planner<'m, M> {
         let mut probe_tols = budgets.clone();
         probe_tols.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
         probe_tols.dedup();
-        let model =
-            crate::ratio_model::RatioModel::probe(compressor, payload_sample, &probe_tols, make_bound)?;
+        let model = crate::ratio_model::RatioModel::probe(
+            compressor,
+            payload_sample,
+            &probe_tols,
+            make_bound,
+        )?;
 
         let mut best: Option<(PipelinePlan, f64)> = None;
         for i in 0..19 {
@@ -410,8 +418,7 @@ mod tests {
     use super::*;
     use errflow_compress::{MgardCompressor, SzCompressor, ZfpCompressor};
     use errflow_nn::{Activation, Mlp};
-    use rand::rngs::StdRng;
-    use rand::{Rng, SeedableRng};
+    use errflow_tensor::rng::StdRng;
 
     fn model() -> Mlp {
         Mlp::new(
@@ -538,7 +545,13 @@ mod tests {
         ];
         for be in &backends {
             let report = planner
-                .execute(&plan, be.as_ref(), &data, Norm::L2, PayloadLayout::FeatureMajor)
+                .execute(
+                    &plan,
+                    be.as_ref(),
+                    &data,
+                    Norm::L2,
+                    PayloadLayout::FeatureMajor,
+                )
                 .unwrap();
             // The achieved relative error must stay below the predicted
             // relative bound (the paper's headline validation).
@@ -571,7 +584,13 @@ mod tests {
         assert!(best_plan.predicted_total_bound <= best_plan.abs_tolerance * (1.0 + 1e-12));
         // The optimal plan must still execute soundly.
         let report = planner
-            .execute(&best_plan, &sz, &data, Norm::L2, PayloadLayout::FeatureMajor)
+            .execute(
+                &best_plan,
+                &sz,
+                &data,
+                Norm::L2,
+                PayloadLayout::FeatureMajor,
+            )
             .unwrap();
         assert!(report.achieved_rel_error.max <= report.predicted_rel_bound);
     }

@@ -141,7 +141,10 @@ mod tests {
     fn probes_sorted_and_ratios_sensible() {
         let m = model();
         assert_eq!(m.probes().len(), 3);
-        assert!(m.probes().windows(2).all(|p| p[0].tolerance < p[1].tolerance));
+        assert!(m
+            .probes()
+            .windows(2)
+            .all(|p| p[0].tolerance < p[1].tolerance));
         assert!(m.probes().iter().all(|p| p.ratio >= 1.0));
     }
 
@@ -178,9 +181,7 @@ mod tests {
         let m = model();
         let sz = SzCompressor::default();
         let data = smooth(20_000);
-        let (_, stats) = sz
-            .roundtrip(&data, &ErrorBound::abs_linf(1e-3))
-            .unwrap();
+        let (_, stats) = sz.roundtrip(&data, &ErrorBound::abs_linf(1e-3)).unwrap();
         let predicted = m.predict_ratio(1e-3);
         let actual = stats.ratio();
         assert!(

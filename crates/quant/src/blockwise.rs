@@ -100,8 +100,7 @@ mod tests {
     use super::*;
     use crate::rowwise::rowwise_injection;
     use crate::QuantFormat;
-    use rand::rngs::StdRng;
-    use rand::{Rng, SeedableRng};
+    use errflow_tensor::rng::StdRng;
 
     fn checkerboard(seed: u64) -> Matrix {
         // Quadrants with very different scales: the block-wise sweet spot.

@@ -247,7 +247,10 @@ mod tests {
         let q_fp16 = QuantFormat::Fp16.step_size(&w);
         let q_bf16 = QuantFormat::Bf16.step_size(&w);
         let q_int8 = QuantFormat::Int8.step_size(&w);
-        assert!((q_tf32 - q_fp16).abs() < 1e-12, "TF32 and FP16 share mantissa width");
+        assert!(
+            (q_tf32 - q_fp16).abs() < 1e-12,
+            "TF32 and FP16 share mantissa width"
+        );
         assert!(q_bf16 > q_fp16);
         assert!(q_int8 > q_fp16);
     }

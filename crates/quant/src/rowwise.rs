@@ -93,8 +93,7 @@ pub fn rowwise_injection(steps: &[f64]) -> f64 {
 mod tests {
     use super::*;
     use crate::QuantFormat;
-    use rand::rngs::StdRng;
-    use rand::{Rng, SeedableRng};
+    use errflow_tensor::rng::StdRng;
 
     /// A matrix with wildly different per-row ranges — the case row-wise
     /// quantization exists for.

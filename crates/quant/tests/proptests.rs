@@ -1,81 +1,110 @@
-//! Property-based tests of the quantization contracts.
+//! Property-based tests of the quantization contracts, run as plain
+//! `#[test]` loops over the workspace's seeded PRNG (64+ random cases per
+//! property — no external test-framework dependency).
 
 use errflow_quant::affine::quantize_int8;
 use errflow_quant::fp::{round_mantissa, round_to_bf16, round_to_fp16, round_to_tf32};
 use errflow_quant::QuantFormat;
+use errflow_tensor::rng::StdRng;
 use errflow_tensor::Matrix;
-use proptest::prelude::*;
 
-proptest! {
-    #[test]
-    fn float_rounding_is_idempotent(x in -1e4f32..1e4) {
-        prop_assert_eq!(round_to_bf16(round_to_bf16(x)), round_to_bf16(x));
-        prop_assert_eq!(round_to_tf32(round_to_tf32(x)), round_to_tf32(x));
-        prop_assert_eq!(round_to_fp16(round_to_fp16(x)), round_to_fp16(x));
+const CASES: usize = 64;
+
+#[test]
+fn float_rounding_is_idempotent() {
+    let mut rng = StdRng::seed_from_u64(0xB0);
+    for _ in 0..CASES {
+        let x = rng.gen_range(-1e4f32..1e4);
+        assert_eq!(round_to_bf16(round_to_bf16(x)), round_to_bf16(x));
+        assert_eq!(round_to_tf32(round_to_tf32(x)), round_to_tf32(x));
+        assert_eq!(round_to_fp16(round_to_fp16(x)), round_to_fp16(x));
     }
+}
 
-    #[test]
-    fn float_rounding_error_within_half_ulp(x in 1e-3f32..1e3) {
-        prop_assert!((round_to_tf32(x) - x).abs() <= x * 2f32.powi(-11) + 1e-12);
-        prop_assert!((round_to_bf16(x) - x).abs() <= x * 2f32.powi(-8) + 1e-12);
-        prop_assert!((round_to_fp16(x) - x).abs() <= x * 2f32.powi(-11) + 1e-12);
+#[test]
+fn float_rounding_error_within_half_ulp() {
+    let mut rng = StdRng::seed_from_u64(0xB1);
+    for _ in 0..CASES {
+        let x = rng.gen_range(1e-3f32..1e3);
+        assert!((round_to_tf32(x) - x).abs() <= x * 2f32.powi(-11) + 1e-12);
+        assert!((round_to_bf16(x) - x).abs() <= x * 2f32.powi(-8) + 1e-12);
+        assert!((round_to_fp16(x) - x).abs() <= x * 2f32.powi(-11) + 1e-12);
     }
+}
 
-    #[test]
-    fn rounding_preserves_sign_and_order(a in -1e3f32..1e3, b in -1e3f32..1e3) {
+#[test]
+fn rounding_preserves_sign_and_order() {
+    let mut rng = StdRng::seed_from_u64(0xB2);
+    for _ in 0..CASES {
+        let a = rng.gen_range(-1e3f32..1e3);
+        let b = rng.gen_range(-1e3f32..1e3);
         // Rounding is monotone: a ≤ b → round(a) ≤ round(b).
         let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
-        prop_assert!(round_to_bf16(lo) <= round_to_bf16(hi));
-        prop_assert!(round_to_fp16(lo) <= round_to_fp16(hi));
-        prop_assert!(round_to_tf32(lo) <= round_to_tf32(hi));
+        assert!(round_to_bf16(lo) <= round_to_bf16(hi));
+        assert!(round_to_fp16(lo) <= round_to_fp16(hi));
+        assert!(round_to_tf32(lo) <= round_to_tf32(hi));
     }
+}
 
-    #[test]
-    fn generic_mantissa_dominates_named(x in 1e-2f32..1e2, m in 4u32..20) {
+#[test]
+fn generic_mantissa_dominates_named() {
+    let mut rng = StdRng::seed_from_u64(0xB3);
+    for _ in 0..CASES {
+        let x = rng.gen_range(1e-2f32..1e2);
+        let m = rng.gen_range(4u32..20);
         // More mantissa bits never increases the error.
         let coarse = (round_mantissa(x, m) - x).abs();
         let fine = (round_mantissa(x, m + 3) - x).abs();
-        prop_assert!(fine <= coarse + 1e-12);
+        assert!(fine <= coarse + 1e-12);
     }
+}
 
-    #[test]
-    fn int8_roundtrip_within_half_step(
-        vals in proptest::collection::vec(-50.0f32..50.0, 1..100),
-    ) {
-        let n = vals.len();
+#[test]
+fn int8_roundtrip_within_half_step() {
+    let mut rng = StdRng::seed_from_u64(0xB4);
+    for _ in 0..CASES {
+        let n = rng.gen_range(1..100usize);
+        let vals: Vec<f32> = (0..n).map(|_| rng.gen_range(-50.0f32..50.0)).collect();
         let w = Matrix::from_vec(1, n, vals.clone()).unwrap();
         let q = quantize_int8(&w);
         let back = q.dequantize();
         for (&a, &b) in vals.iter().zip(back.as_slice()) {
-            prop_assert!((a - b).abs() <= 0.5 * q.scale() + 1e-5);
+            assert!((a - b).abs() <= 0.5 * q.scale() + 1e-5);
         }
     }
+}
 
-    #[test]
-    fn step_size_scales_linearly(
-        vals in proptest::collection::vec(0.01f32..10.0, 4..64),
-        scale in 1u32..8,
-    ) {
+#[test]
+fn step_size_scales_linearly() {
+    let mut rng = StdRng::seed_from_u64(0xB5);
+    for _ in 0..CASES {
+        let n = rng.gen_range(4..64usize);
+        let vals: Vec<f32> = (0..n).map(|_| rng.gen_range(0.01f32..10.0)).collect();
+        let scale = rng.gen_range(1u32..8);
         // q(c·W) = c·q(W) for power-of-two c (exact binade shifts).
-        let n = vals.len();
-        let w = Matrix::from_vec(1, n, vals.clone()).unwrap();
+        let w = Matrix::from_vec(1, n, vals).unwrap();
         let c = 2f32.powi(scale as i32);
         let w2 = w.scale(c);
         for f in [QuantFormat::Tf32, QuantFormat::Bf16, QuantFormat::Int8] {
             let q1 = f.step_size(&w);
             let q2 = f.step_size(&w2);
-            prop_assert!(
+            assert!(
                 (q2 - c as f64 * q1).abs() <= 1e-6 * q2.abs().max(1e-12),
-                "{}: {} vs {}", f, q1, q2
+                "{}: {} vs {}",
+                f,
+                q1,
+                q2
             );
         }
     }
+}
 
-    #[test]
-    fn quantized_matrix_error_within_rms_step_times_margin(
-        vals in proptest::collection::vec(-4.0f32..4.0, 4..64),
-    ) {
-        let n = vals.len();
+#[test]
+fn quantized_matrix_error_within_rms_step_times_margin() {
+    let mut rng = StdRng::seed_from_u64(0xB6);
+    for _ in 0..CASES {
+        let n = rng.gen_range(4..64usize);
+        let vals: Vec<f32> = (0..n).map(|_| rng.gen_range(-4.0f32..4.0)).collect();
         let w = Matrix::from_vec(1, n, vals).unwrap();
         for f in [QuantFormat::Tf32, QuantFormat::Fp16, QuantFormat::Bf16] {
             let q = f.step_size(&w);
@@ -88,7 +117,7 @@ proptest! {
                 .fold(0.0, f64::max);
             // RMS step q under-weights the largest binade by at most the
             // dynamic-range factor; 16x covers the tested value range.
-            prop_assert!(max_err <= 16.0 * q + 1e-12, "{}: {} vs q={}", f, max_err, q);
+            assert!(max_err <= 16.0 * q + 1e-12, "{}: {} vs q={}", f, max_err, q);
         }
     }
 }

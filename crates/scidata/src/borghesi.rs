@@ -13,8 +13,8 @@
 use crate::field::{turbulence_field, Field};
 use crate::normalize::Normalizer;
 use errflow_nn::Dataset;
-use rand::rngs::StdRng;
-use rand::{seq::SliceRandom, SeedableRng};
+use errflow_tensor::rng::SliceRandom;
+use errflow_tensor::rng::StdRng;
 
 /// Number of thermochemical input variables.
 pub const NUM_VARS: usize = 13;

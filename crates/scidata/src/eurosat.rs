@@ -10,8 +10,7 @@
 //! paper's choice for this task.
 
 use errflow_nn::Dataset;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use errflow_tensor::rng::StdRng;
 
 /// Spectral bands per image (Sentinel-2 has 13).
 pub const NUM_BANDS: usize = 13;
@@ -67,7 +66,7 @@ pub fn generate_images(size: usize, n: usize, seed: u64) -> Vec<LabeledImage> {
                         let u = x as f32 / size as f32;
                         let v = y as f32 / size as f32;
                         let value = s * jitter * class_texture(class, u, v)
-                            + rng.gen_range(-0.03..0.03)
+                            + rng.gen_range(-0.03f32..0.03)
                             + 0.05 * b as f32 / NUM_BANDS as f32;
                         // 16-bit quantization of reflectance in [0, 1.5].
                         let q = (value.clamp(0.0, 1.5) / 1.5 * 65535.0).round() / 65535.0 * 1.5;
@@ -132,10 +131,7 @@ mod tests {
         for im in generate_images(4, 5, 3) {
             for &p in &im.pixels {
                 let level = (p + 1.0) * 0.75 / 1.5 * 65535.0;
-                assert!(
-                    (level - level.round()).abs() < 1e-2,
-                    "p={p} level={level}"
-                );
+                assert!((level - level.round()).abs() < 1e-2, "p={p} level={level}");
             }
         }
     }

@@ -1,8 +1,7 @@
 //! Smooth 2-D field generators: the spatial substrate of the synthetic
 //! scientific datasets.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use errflow_tensor::rng::StdRng;
 
 /// A scalar field on an `nx × ny` grid, stored row-major.
 #[derive(Debug, Clone)]
@@ -41,7 +40,11 @@ impl Field {
         let mut out = vec![0.0f32; self.data.len()];
         for j in 0..self.ny {
             for i in 0..self.nx {
-                let l = if i > 0 { self.at(i - 1, j) } else { self.at(i, j) };
+                let l = if i > 0 {
+                    self.at(i - 1, j)
+                } else {
+                    self.at(i, j)
+                };
                 let r = if i + 1 < self.nx {
                     self.at(i + 1, j)
                 } else {
@@ -63,7 +66,11 @@ impl Field {
         let mut out = vec![0.0f32; self.data.len()];
         for j in 0..self.ny {
             for i in 0..self.nx {
-                let d = if j > 0 { self.at(i, j - 1) } else { self.at(i, j) };
+                let d = if j > 0 {
+                    self.at(i, j - 1)
+                } else {
+                    self.at(i, j)
+                };
                 let u = if j + 1 < self.ny {
                     self.at(i, j + 1)
                 } else {
@@ -91,8 +98,7 @@ pub fn vortex_field(nx: usize, ny: usize, strength: f32) -> Field {
         let r2 = dx * dx + dy * dy;
         // Lamb–Oseen-style vortex: swirl amplitude peaks near the core and
         // decays smoothly outward.
-        strength * (-r2 * 18.0).exp() * (8.0 * (dx * dy)).sin()
-            + 0.4 * strength * (-r2 * 6.0).exp()
+        strength * (-r2 * 18.0).exp() * (8.0 * (dx * dy)).sin() + 0.4 * strength * (-r2 * 6.0).exp()
     })
 }
 
@@ -103,8 +109,8 @@ pub fn turbulence_field(nx: usize, ny: usize, seed: u64, roughness: f32) -> Fiel
     let mut rng = StdRng::seed_from_u64(seed);
     let modes: Vec<(f32, f32, f32, f32)> = (1..=12)
         .map(|k| {
-            let kx = rng.gen_range(0.5..1.5) * k as f32;
-            let ky = rng.gen_range(0.5..1.5) * k as f32;
+            let kx = rng.gen_range(0.5f32..1.5) * k as f32;
+            let ky = rng.gen_range(0.5f32..1.5) * k as f32;
             let phase = rng.gen_range(0.0..std::f32::consts::TAU);
             let amp = (k as f32).powf(-roughness);
             (kx, ky, phase, amp)

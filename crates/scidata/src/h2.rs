@@ -12,8 +12,8 @@
 use crate::field::{vortex_field, Field};
 use crate::normalize::Normalizer;
 use errflow_nn::Dataset;
-use rand::rngs::StdRng;
-use rand::{seq::SliceRandom, SeedableRng};
+use errflow_tensor::rng::SliceRandom;
+use errflow_tensor::rng::StdRng;
 
 /// Number of chemical species in the mechanism.
 pub const NUM_SPECIES: usize = 9;

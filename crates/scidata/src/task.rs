@@ -4,9 +4,7 @@
 use crate::{borghesi, eurosat, h2};
 use errflow_nn::loss::Loss;
 use errflow_nn::train::{train_convnet, train_mlp, OptimizerKind, TrainConfig, TrainReport};
-use errflow_nn::{
-    Activation, BlockView, ConvNet, Dataset, Mlp, Model, Regularizer,
-};
+use errflow_nn::{Activation, BlockView, ConvNet, Dataset, Mlp, Model, Regularizer};
 use errflow_tensor::conv::MapShape;
 use errflow_tensor::Matrix;
 
@@ -77,6 +75,13 @@ impl Model for TaskModel {
         match self {
             TaskModel::Mlp(m) => m.forward(x),
             TaskModel::Conv(m) => m.forward(x),
+        }
+    }
+
+    fn forward_batch(&self, xs: &[Vec<f32>]) -> Vec<Vec<f32>> {
+        match self {
+            TaskModel::Mlp(m) => m.forward_batch(xs),
+            TaskModel::Conv(m) => m.forward_batch(xs),
         }
     }
 

@@ -1,0 +1,82 @@
+//! Batch assembly: stacking the samples of coalesced same-plan jobs into
+//! one input matrix for a single `forward_batch` call, and splitting the
+//! output rows back out per job.
+//!
+//! The queue's `pop_batch` guarantees every job in a batch shares a plan
+//! (same quantized model, same certified bound), so their samples can ride
+//! one batched GEMM pass; these two helpers are the glue on either side.
+
+/// Concatenates each job's samples into one flat batch, remembering the
+/// per-job sample counts for [`split_outputs`].
+pub fn assemble_inputs(per_job: Vec<Vec<Vec<f32>>>) -> (Vec<Vec<f32>>, Vec<usize>) {
+    let counts: Vec<usize> = per_job.iter().map(Vec::len).collect();
+    let mut flat = Vec::with_capacity(counts.iter().sum());
+    for samples in per_job {
+        flat.extend(samples);
+    }
+    (flat, counts)
+}
+
+/// Splits batched outputs back into per-job groups (inverse of
+/// [`assemble_inputs`] on the output side).
+///
+/// # Panics
+/// If `outputs.len()` differs from the total of `counts` — that would mean
+/// the model dropped or invented rows, which must never go unnoticed.
+pub fn split_outputs(mut outputs: Vec<Vec<f32>>, counts: &[usize]) -> Vec<Vec<Vec<f32>>> {
+    assert_eq!(
+        outputs.len(),
+        counts.iter().sum::<usize>(),
+        "batched forward must return one output row per input sample"
+    );
+    let mut per_job = Vec::with_capacity(counts.len());
+    for &n in counts.iter().rev() {
+        let tail = outputs.split_off(outputs.len() - n);
+        per_job.push(tail);
+    }
+    per_job.reverse();
+    per_job
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(v: f32) -> Vec<f32> {
+        vec![v, v + 0.5]
+    }
+
+    #[test]
+    fn assemble_then_split_roundtrips() {
+        let jobs = vec![
+            vec![sample(0.0), sample(1.0)],
+            vec![sample(2.0)],
+            vec![sample(3.0), sample(4.0), sample(5.0)],
+        ];
+        let (flat, counts) = assemble_inputs(jobs.clone());
+        assert_eq!(flat.len(), 6);
+        assert_eq!(counts, vec![2, 1, 3]);
+        assert_eq!(split_outputs(flat, &counts), jobs);
+    }
+
+    #[test]
+    fn empty_job_list() {
+        let (flat, counts) = assemble_inputs(Vec::new());
+        assert!(flat.is_empty());
+        assert!(counts.is_empty());
+        assert!(split_outputs(flat, &counts).is_empty());
+    }
+
+    #[test]
+    fn single_job_passthrough() {
+        let jobs = vec![vec![sample(7.0)]];
+        let (flat, counts) = assemble_inputs(jobs.clone());
+        assert_eq!(split_outputs(flat, &counts), jobs);
+    }
+
+    #[test]
+    #[should_panic(expected = "one output row per input sample")]
+    fn row_count_mismatch_panics() {
+        split_outputs(vec![sample(0.0)], &[2]);
+    }
+}

@@ -1,0 +1,51 @@
+//! # errflow-serve
+//!
+//! Concurrent batched inference serving with certified error bounds —
+//! the deployment layer over the paper's error-flow pipeline.
+//!
+//! The offline pipeline (`errflow-pipeline`) answers *"which quantization
+//! format and compression budget satisfy this tolerance?"* once, for one
+//! dataset.  This crate turns that into a **server**: many clients submit
+//! payloads with per-request QoI tolerances, and the server returns
+//! predictions that each carry the certified relative error bound of the
+//! plan that produced them — never exceeding the tolerance asked for.
+//!
+//! Architecture (one `Server`):
+//!
+//! ```text
+//!  clients ──▶ admission control ──▶ bounded MPMC queue ──▶ worker pool
+//!              (QueueFull / block)    (Mutex + Condvar)        │
+//!                                                              ▼
+//!                     plan cache (LRU over tolerance buckets)  │
+//!                     miss: Planner::with_analysis + quantize  │
+//!                                                              ▼
+//!                     per-job chunked compression roundtrip    │
+//!                                                              ▼
+//!                     same-plan batch → ONE forward_batch GEMM pass
+//!                                                              ▼
+//!                     responses: predictions + certified bound
+//! ```
+//!
+//! - [`queue`]: the bounded queue with explicit backpressure and
+//!   same-key batch draining.
+//! - [`cache`]: log-space tolerance bucketing (floors preserve
+//!   soundness) and the LRU plan cache with hit/miss counters.
+//! - [`batch`]: stacking coalesced jobs into one batched forward pass.
+//! - [`server`]: the worker pool and request lifecycle.
+//! - [`stats`]: counters and the fixed-size log₂ latency histogram
+//!   behind `Server::stats`.
+//! - [`loadgen`]: the closed-loop synthetic driver behind
+//!   `errflow-cli serve-bench`.
+
+pub mod batch;
+pub mod cache;
+pub mod loadgen;
+pub mod queue;
+pub mod server;
+pub mod stats;
+
+pub use cache::{bucket_tolerance, PlanCache, PlanKey};
+pub use loadgen::{run_loadgen, BenchSummary, LoadgenConfig};
+pub use queue::{BoundedQueue, QueueFull};
+pub use server::{BackendKind, Request, Response, ServeConfig, ServeError, Server, Ticket};
+pub use stats::{LatencyHistogram, LatencySummary, StatsSnapshot};

@@ -1,0 +1,650 @@
+//! The inference server: admission control → plan cache → batched
+//! execution → certified responses.
+//!
+//! A [`Server`] owns one model, its (expensive, computed-once) spectral
+//! [`NetworkAnalysis`], and a pool of worker threads behind a bounded
+//! [`BoundedQueue`].  Each request carries a payload of samples, a
+//! relative QoI tolerance, and the norm/layout it is expressed in; the
+//! worker pool answers with predictions **plus the certified relative
+//! error bound** of the plan that produced them — always ≤ the requested
+//! tolerance, because plans are cached at the tolerance bucket's *floor*
+//! (see [`crate::cache`]).
+//!
+//! Request lifecycle:
+//!
+//! 1. [`Server::try_submit`] validates the payload and applies admission
+//!    control: at capacity it returns [`ServeError::QueueFull`]
+//!    immediately (callers shed or retry).  [`Server::submit`] blocks
+//!    instead.
+//! 2. A worker pops a batch of same-plan-key jobs, resolves the plan
+//!    through the LRU [`crate::cache::PlanCache`] (miss = rebuild a
+//!    [`Planner`] from the precomputed analysis, plan at the bucket
+//!    floor, quantize the weights), runs every payload through the
+//!    error-bounded compression roundtrip, and executes **one** batched
+//!    forward pass over all decompressed samples.
+//! 3. The caller collects its [`Response`] through the returned
+//!    [`Ticket`].
+
+use crate::batch::{assemble_inputs, split_outputs};
+use crate::cache::{bucket_tolerance, PlanCache, PlanKey};
+use crate::queue::{BoundedQueue, QueueFull};
+use crate::stats::{ServerStats, StatsSnapshot};
+use errflow_compress::chunked::ChunkedCompressor;
+use errflow_compress::{Compressor, ErrorBound, MgardCompressor, SzCompressor, ZfpCompressor};
+use errflow_core::{quantize_model, NetworkAnalysis};
+use errflow_nn::Model;
+use errflow_pipeline::planner::{flatten, unflatten, PayloadLayout};
+use errflow_pipeline::{PipelinePlan, Planner, PlannerConfig};
+use errflow_quant::QuantFormat;
+use errflow_tensor::norms::Norm;
+use std::hash::{Hash, Hasher};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Which error-bounded compression backend ingests request payloads.
+/// Every backend is wrapped in a [`ChunkedCompressor`] so decompression
+/// fans out across chunk-decode threads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BackendKind {
+    /// SZ-class predictive coder.
+    Sz,
+    /// ZFP-class transform coder.
+    Zfp,
+    /// MGARD-class multigrid coder.
+    Mgard,
+}
+
+impl BackendKind {
+    /// Parses a backend name as used by the CLI (`sz|zfp|mgard`).
+    pub fn parse(name: &str) -> Result<Self, String> {
+        match name {
+            "sz" => Ok(BackendKind::Sz),
+            "zfp" => Ok(BackendKind::Zfp),
+            "mgard" => Ok(BackendKind::Mgard),
+            other => Err(format!("unknown backend: {other}")),
+        }
+    }
+
+    /// The backend's short name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            BackendKind::Sz => "sz",
+            BackendKind::Zfp => "zfp",
+            BackendKind::Mgard => "mgard",
+        }
+    }
+
+    fn build(&self, decode_threads: usize) -> Box<dyn Compressor> {
+        let threads = decode_threads.max(1);
+        match self {
+            BackendKind::Sz => {
+                Box::new(ChunkedCompressor::new(SzCompressor::default()).with_threads(threads))
+            }
+            BackendKind::Zfp => {
+                Box::new(ChunkedCompressor::new(ZfpCompressor::default()).with_threads(threads))
+            }
+            BackendKind::Mgard => {
+                Box::new(ChunkedCompressor::new(MgardCompressor::default()).with_threads(threads))
+            }
+        }
+    }
+}
+
+/// Server construction parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct ServeConfig {
+    /// Worker threads.  `0` builds an admission-only server that enqueues
+    /// but never executes — useful for backpressure tests.
+    pub workers: usize,
+    /// Bounded queue capacity (the admission-control limit).
+    pub queue_capacity: usize,
+    /// Maximum jobs coalesced into one batched forward pass.
+    pub max_batch: usize,
+    /// Plan-cache capacity (LRU-evicted).
+    pub cache_capacity: usize,
+    /// Fraction of each tolerance allocated to quantization (planner
+    /// policy; see [`PlannerConfig::quant_share`]).
+    pub quant_share: f64,
+    /// Compression backend for payload ingest.
+    pub backend: BackendKind,
+    /// Chunk-decode threads per worker's [`ChunkedCompressor`].
+    pub decode_threads: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            workers: 4,
+            queue_capacity: 64,
+            max_batch: 16,
+            cache_capacity: 32,
+            quant_share: 0.5,
+            backend: BackendKind::Sz,
+            decode_threads: 2,
+        }
+    }
+}
+
+/// One inference request.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// Input samples (each of the model's input dimension).
+    pub samples: Vec<Vec<f32>>,
+    /// Relative QoI tolerance the response bound must not exceed.
+    pub rel_tolerance: f64,
+    /// Norm the tolerance (and bound) are expressed in.
+    pub norm: Norm,
+    /// How the samples flatten into the compression payload.
+    pub layout: PayloadLayout,
+}
+
+impl Request {
+    /// A request with the default norm (L∞) and feature-major layout.
+    pub fn new(samples: Vec<Vec<f32>>, rel_tolerance: f64) -> Self {
+        Request {
+            samples,
+            rel_tolerance,
+            norm: Norm::LInf,
+            layout: PayloadLayout::FeatureMajor,
+        }
+    }
+}
+
+/// A fulfilled request: predictions plus the certificate they ship with.
+#[derive(Debug, Clone)]
+pub struct Response {
+    /// One prediction per request sample, in order.
+    pub outputs: Vec<Vec<f32>>,
+    /// Certified relative QoI error bound (≤ the requested tolerance).
+    pub rel_bound: f64,
+    /// Weight format the plan selected.
+    pub format: QuantFormat,
+    /// Tolerance the plan was computed at (the request's bucket floor).
+    pub plan_tolerance: f64,
+    /// `true` when the plan came from the cache.
+    pub cache_hit: bool,
+    /// Jobs that shared this batched forward pass.
+    pub batch_size: usize,
+    /// End-to-end latency (admission → response).
+    pub latency: Duration,
+}
+
+/// Why a request was rejected or failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServeError {
+    /// Admission control: the queue is at capacity.  Retry later or shed.
+    QueueFull,
+    /// The request payload failed validation.
+    Invalid(String),
+    /// The compression roundtrip failed.
+    Compression(String),
+    /// The server shut down before the request completed.
+    Shutdown,
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::QueueFull => write!(f, "queue full (admission control)"),
+            ServeError::Invalid(m) => write!(f, "invalid request: {m}"),
+            ServeError::Compression(m) => write!(f, "compression failed: {m}"),
+            ServeError::Shutdown => write!(f, "server shut down"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+/// One-shot response slot a worker fulfills and a client waits on.
+#[derive(Debug)]
+struct Slot {
+    result: Mutex<Option<Result<Response, ServeError>>>,
+    ready: Condvar,
+}
+
+impl Slot {
+    fn new() -> Self {
+        Slot {
+            result: Mutex::new(None),
+            ready: Condvar::new(),
+        }
+    }
+
+    fn fulfill(&self, r: Result<Response, ServeError>) {
+        *self.result.lock().expect("slot lock") = Some(r);
+        self.ready.notify_all();
+    }
+
+    fn wait(&self) -> Result<Response, ServeError> {
+        let mut guard = self.result.lock().expect("slot lock");
+        loop {
+            if let Some(r) = guard.take() {
+                return r;
+            }
+            guard = self.ready.wait(guard).expect("slot lock");
+        }
+    }
+}
+
+/// Handle to a pending request; [`Ticket::wait`] blocks for the response.
+#[derive(Debug)]
+pub struct Ticket {
+    slot: Arc<Slot>,
+}
+
+impl Ticket {
+    /// Blocks until the request completes (or the server shuts down).
+    pub fn wait(self) -> Result<Response, ServeError> {
+        self.slot.wait()
+    }
+}
+
+/// A queued unit of work.
+struct Job {
+    samples: Vec<Vec<f32>>,
+    key: PlanKey,
+    /// Bucket-floor tolerance the plan is computed at.
+    plan_tol: f64,
+    norm: Norm,
+    layout: PayloadLayout,
+    slot: Arc<Slot>,
+    t0: Instant,
+}
+
+/// Everything a plan-cache entry needs to serve a hit without touching
+/// the planner: the plan, the pre-quantized weights, and the certified
+/// relative bound.
+struct CachedPlan<M> {
+    plan: PipelinePlan,
+    quantized: M,
+    rel_bound: f64,
+}
+
+struct Inner<M> {
+    model: M,
+    analysis: NetworkAnalysis,
+    calibration: Vec<Vec<f32>>,
+    cache: PlanCache<CachedPlan<M>>,
+    stats: ServerStats,
+    cfg: ServeConfig,
+    model_id: u64,
+    input_dim: usize,
+}
+
+/// The concurrent batched inference server.  See the module docs for the
+/// request lifecycle.
+pub struct Server<M: Model + Clone + Send + Sync + 'static> {
+    inner: Arc<Inner<M>>,
+    queue: Arc<BoundedQueue<Job>>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+}
+
+/// Norm discriminant for [`PlanKey`].
+fn norm_code(norm: Norm) -> u8 {
+    match norm {
+        Norm::L2 => 0,
+        Norm::LInf => 1,
+    }
+}
+
+/// Layout discriminant for [`PlanKey`].
+fn layout_code(layout: PayloadLayout) -> u8 {
+    match layout {
+        PayloadLayout::FeatureMajor => 0,
+        PayloadLayout::SampleMajor => 1,
+    }
+}
+
+/// Converts a plan's admissible input L2 budget into the compressor's
+/// native bound mode (same rule as `Planner::compressor_bound`, restated
+/// here so cache hits never need a planner instance).
+fn compressor_bound(
+    plan: &PipelinePlan,
+    compressor: &dyn Compressor,
+    payload_len: usize,
+) -> ErrorBound {
+    let l2 = ErrorBound::abs_l2(plan.input_budget_l2);
+    if compressor.supports(&l2) {
+        l2
+    } else {
+        ErrorBound::abs_linf(plan.input_budget_l2 / (payload_len.max(1) as f64).sqrt())
+    }
+}
+
+impl<M: Model + Clone + Send + Sync + 'static> Server<M> {
+    /// Builds the server: runs the spectral analysis once, then spawns the
+    /// worker pool.  `calibration` fixes the reference QoI magnitudes that
+    /// relative tolerances are measured against (as in [`Planner::new`]).
+    pub fn new(model: M, calibration: Vec<Vec<f32>>, cfg: ServeConfig) -> Self {
+        assert!(!calibration.is_empty(), "need calibration inputs");
+        assert!(
+            (0.0..=1.0).contains(&cfg.quant_share),
+            "quant_share must be in [0, 1]"
+        );
+        let input_dim = model.input_dim();
+        for x in &calibration {
+            assert_eq!(x.len(), input_dim, "calibration sample dim mismatch");
+        }
+        let analysis = NetworkAnalysis::of(&model);
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        (input_dim, model.output_dim(), model.num_params()).hash(&mut h);
+        model.flops().to_bits().hash(&mut h);
+        let inner = Arc::new(Inner {
+            model,
+            analysis,
+            calibration,
+            cache: PlanCache::new(cfg.cache_capacity),
+            stats: ServerStats::default(),
+            cfg,
+            model_id: h.finish(),
+            input_dim,
+        });
+        let queue = Arc::new(BoundedQueue::new(cfg.queue_capacity));
+        let workers = (0..cfg.workers)
+            .map(|i| {
+                let inner = Arc::clone(&inner);
+                let queue = Arc::clone(&queue);
+                std::thread::Builder::new()
+                    .name(format!("errflow-serve-{i}"))
+                    .spawn(move || worker_loop(&inner, &queue))
+                    .expect("spawn worker")
+            })
+            .collect();
+        Server {
+            inner,
+            queue,
+            workers,
+        }
+    }
+
+    /// The served model's input dimension.
+    pub fn input_dim(&self) -> usize {
+        self.inner.input_dim
+    }
+
+    fn make_job(&self, req: Request) -> Result<(Job, Ticket), ServeError> {
+        if req.samples.is_empty() {
+            return Err(ServeError::Invalid("empty payload".into()));
+        }
+        if req.samples.iter().any(|s| s.len() != self.inner.input_dim) {
+            return Err(ServeError::Invalid(format!(
+                "sample dim != model input dim {}",
+                self.inner.input_dim
+            )));
+        }
+        if !(req.rel_tolerance.is_finite() && req.rel_tolerance > 0.0) {
+            return Err(ServeError::Invalid("tolerance must be positive".into()));
+        }
+        let (bucket, plan_tol) = bucket_tolerance(req.rel_tolerance);
+        let key = PlanKey {
+            model_id: self.inner.model_id,
+            tol_bucket: bucket,
+            norm: norm_code(req.norm),
+            layout: layout_code(req.layout),
+        };
+        let slot = Arc::new(Slot::new());
+        let ticket = Ticket {
+            slot: Arc::clone(&slot),
+        };
+        Ok((
+            Job {
+                samples: req.samples,
+                key,
+                plan_tol,
+                norm: req.norm,
+                layout: req.layout,
+                slot,
+                t0: Instant::now(),
+            },
+            ticket,
+        ))
+    }
+
+    /// Submits without blocking.  Returns [`ServeError::QueueFull`] when
+    /// admission control rejects the request (the payload is dropped; the
+    /// caller owns retry policy).
+    pub fn try_submit(&self, req: Request) -> Result<Ticket, ServeError> {
+        let (job, ticket) = self.make_job(req)?;
+        match self.queue.try_push(job) {
+            Ok(()) => {
+                ServerStats::bump(&self.inner.stats.submitted);
+                Ok(ticket)
+            }
+            Err(QueueFull(_)) => {
+                ServerStats::bump(&self.inner.stats.rejected);
+                Err(ServeError::QueueFull)
+            }
+        }
+    }
+
+    /// Submits, blocking while the queue is at capacity (backpressure is
+    /// exerted on the caller instead of surfacing [`ServeError::QueueFull`]).
+    pub fn submit(&self, req: Request) -> Result<Ticket, ServeError> {
+        let (job, ticket) = self.make_job(req)?;
+        match self.queue.push(job) {
+            Ok(()) => {
+                ServerStats::bump(&self.inner.stats.submitted);
+                Ok(ticket)
+            }
+            Err(QueueFull(_)) => Err(ServeError::Shutdown),
+        }
+    }
+
+    /// Convenience: submit (blocking) and wait for the response.
+    pub fn process(&self, req: Request) -> Result<Response, ServeError> {
+        self.submit(req)?.wait()
+    }
+
+    /// Point-in-time statistics: counters, queue depth, cache hit/miss,
+    /// latency distribution.
+    pub fn stats(&self) -> StatsSnapshot {
+        use std::sync::atomic::Ordering::Relaxed;
+        let s = &self.inner.stats;
+        StatsSnapshot {
+            submitted: s.submitted.load(Relaxed),
+            rejected: s.rejected.load(Relaxed),
+            completed: s.completed.load(Relaxed),
+            failed: s.failed.load(Relaxed),
+            batches: s.batches.load(Relaxed),
+            batched_jobs: s.batched_jobs.load(Relaxed),
+            queue_depth: self.queue.len(),
+            cache_hits: self.inner.cache.hits(),
+            cache_misses: self.inner.cache.misses(),
+            latency: s.latency.summary(),
+        }
+    }
+
+    /// Graceful shutdown: stop admitting, let workers drain the backlog,
+    /// fail anything left (only possible with zero workers) with
+    /// [`ServeError::Shutdown`].  Also runs on drop.
+    pub fn shutdown(&mut self) {
+        self.queue.close();
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+        for job in self.queue.drain() {
+            job.slot.fulfill(Err(ServeError::Shutdown));
+        }
+    }
+}
+
+impl<M: Model + Clone + Send + Sync + 'static> Drop for Server<M> {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn worker_loop<M: Model + Clone + Send + Sync>(inner: &Inner<M>, queue: &BoundedQueue<Job>) {
+    let compressor = inner.cfg.backend.build(inner.cfg.decode_threads);
+    while let Some(batch) = queue.pop_batch(inner.cfg.max_batch.max(1), |j: &Job| j.key) {
+        inner.stats.note_batch(batch.len());
+        let plan_tol = batch[0].plan_tol;
+        let norm = batch[0].norm;
+        let (cached, hit) = inner.cache.get_or_insert_with(batch[0].key, || {
+            // Miss: rebuild a planner around the precomputed analysis
+            // (cheap — only re-derives QoI references), plan at the bucket
+            // floor, and quantize the weights once for all future hits.
+            let planner =
+                Planner::with_analysis(&inner.model, &inner.calibration, inner.analysis.clone());
+            let plan = planner.plan(&PlannerConfig {
+                rel_tolerance: plan_tol,
+                norm,
+                quant_share: inner.cfg.quant_share,
+            });
+            // The planner guarantees predicted_total_bound ≤ plan_tol ·
+            // qoi_ref; the min() strips the division's last-ulp rounding
+            // so the certificate never lands above the tolerance it was
+            // planned for.
+            let rel_bound =
+                (plan.predicted_total_bound / planner.qoi_reference(norm)).min(plan_tol);
+            CachedPlan {
+                plan,
+                rel_bound,
+                quantized: quantize_model(&inner.model, plan.format),
+            }
+        });
+
+        // Error-bounded ingest: compress + decompress each payload under
+        // the plan's input budget (chunk decode fans out across threads).
+        let mut ok_jobs = Vec::with_capacity(batch.len());
+        let mut recon_per_job = Vec::with_capacity(batch.len());
+        for job in batch {
+            let n = job.samples.len();
+            let d = job.samples[0].len();
+            let payload = flatten(&job.samples, job.layout);
+            let bound = compressor_bound(&cached.plan, compressor.as_ref(), payload.len());
+            let roundtrip = compressor
+                .compress(&payload, &bound)
+                .and_then(|stream| compressor.decompress(&stream));
+            match roundtrip {
+                Ok(flat) => {
+                    recon_per_job.push(unflatten(&flat, n, d, job.layout));
+                    ok_jobs.push(job);
+                }
+                Err(e) => {
+                    ServerStats::bump(&inner.stats.failed);
+                    job.slot
+                        .fulfill(Err(ServeError::Compression(e.to_string())));
+                }
+            }
+        }
+        if ok_jobs.is_empty() {
+            continue;
+        }
+
+        // One batched forward pass over every coalesced sample.
+        let batch_size = ok_jobs.len();
+        let (flat_inputs, counts) = assemble_inputs(recon_per_job);
+        let outputs = cached.quantized.forward_batch(&flat_inputs);
+        for (job, outputs) in ok_jobs.into_iter().zip(split_outputs(outputs, &counts)) {
+            let latency = job.t0.elapsed();
+            inner.stats.latency.record(latency);
+            ServerStats::bump(&inner.stats.completed);
+            job.slot.fulfill(Ok(Response {
+                outputs,
+                rel_bound: cached.rel_bound,
+                format: cached.plan.format,
+                plan_tolerance: plan_tol,
+                cache_hit: hit,
+                batch_size,
+                latency,
+            }));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use errflow_nn::{Activation, Mlp};
+
+    fn tiny_model() -> Mlp {
+        Mlp::new(&[4, 8, 2], Activation::Tanh, Activation::Identity, 3, None)
+    }
+
+    fn calibration(n: usize) -> Vec<Vec<f32>> {
+        let mut rng = errflow_tensor::rng::StdRng::seed_from_u64(17);
+        (0..n)
+            .map(|_| (0..4).map(|_| rng.gen_range(-1.0f32..1.0)).collect())
+            .collect()
+    }
+
+    #[test]
+    fn backend_parsing() {
+        assert_eq!(BackendKind::parse("sz"), Ok(BackendKind::Sz));
+        assert_eq!(BackendKind::parse("zfp"), Ok(BackendKind::Zfp));
+        assert_eq!(BackendKind::parse("mgard"), Ok(BackendKind::Mgard));
+        assert!(BackendKind::parse("gzip").is_err());
+        assert_eq!(BackendKind::Mgard.name(), "mgard");
+    }
+
+    #[test]
+    fn invalid_requests_rejected_synchronously() {
+        let server = Server::new(
+            tiny_model(),
+            calibration(8),
+            ServeConfig {
+                workers: 0,
+                ..ServeConfig::default()
+            },
+        );
+        let empty = Request::new(Vec::new(), 1e-2);
+        assert!(matches!(
+            server.try_submit(empty),
+            Err(ServeError::Invalid(_))
+        ));
+        let wrong_dim = Request::new(vec![vec![0.0; 3]], 1e-2);
+        assert!(matches!(
+            server.try_submit(wrong_dim),
+            Err(ServeError::Invalid(_))
+        ));
+        let bad_tol = Request::new(vec![vec![0.0; 4]], -1.0);
+        assert!(matches!(
+            server.try_submit(bad_tol),
+            Err(ServeError::Invalid(_))
+        ));
+        assert_eq!(server.stats().submitted, 0);
+    }
+
+    #[test]
+    fn single_request_roundtrip() {
+        let server = Server::new(
+            tiny_model(),
+            calibration(8),
+            ServeConfig {
+                workers: 1,
+                ..ServeConfig::default()
+            },
+        );
+        let resp = server
+            .process(Request::new(vec![vec![0.1, -0.2, 0.3, 0.0]], 1e-2))
+            .unwrap();
+        assert_eq!(resp.outputs.len(), 1);
+        assert_eq!(resp.outputs[0].len(), 2);
+        assert!(resp.rel_bound <= 1e-2, "bound {} > tol", resp.rel_bound);
+        assert!(resp.rel_bound > 0.0);
+        assert!(resp.plan_tolerance <= 1e-2);
+        assert!(!resp.cache_hit, "first request must be a cache miss");
+        let snap = server.stats();
+        assert_eq!(snap.completed, 1);
+        assert_eq!(snap.cache_misses, 1);
+    }
+
+    #[test]
+    fn shutdown_fails_unserved_requests() {
+        let mut server = Server::new(
+            tiny_model(),
+            calibration(8),
+            ServeConfig {
+                workers: 0,
+                queue_capacity: 4,
+                ..ServeConfig::default()
+            },
+        );
+        let ticket = server
+            .try_submit(Request::new(vec![vec![0.0; 4]], 1e-2))
+            .unwrap();
+        server.shutdown();
+        assert_eq!(ticket.wait().unwrap_err(), ServeError::Shutdown);
+    }
+}

@@ -1,0 +1,268 @@
+//! Lock-free server statistics: request counters and a fixed-size
+//! log-scale latency histogram.
+//!
+//! Latencies are recorded in nanoseconds into 64 power-of-two buckets
+//! (bucket *i* covers `[2^i, 2^(i+1))` ns), so the histogram needs no
+//! allocation, no lock, and covers sub-microsecond to multi-century in
+//! constant space.  Quantiles are read by walking the cumulative counts;
+//! a bucket's reported value is its geometric midpoint, so quantile error
+//! is bounded by the √2 bucket ratio — plenty for p50/p99 dashboards.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+const BUCKETS: usize = 64;
+
+/// A fixed-size concurrent histogram of latencies in nanoseconds.
+#[derive(Debug)]
+pub struct LatencyHistogram {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    sum_ns: AtomicU64,
+    min_ns: AtomicU64,
+    max_ns: AtomicU64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LatencyHistogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        LatencyHistogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum_ns: AtomicU64::new(0),
+            min_ns: AtomicU64::new(u64::MAX),
+            max_ns: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one latency observation.
+    pub fn record(&self, latency: std::time::Duration) {
+        let ns = (latency.as_nanos() as u64).max(1);
+        let bucket = (63 - ns.leading_zeros()) as usize;
+        self.buckets[bucket].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum_ns.fetch_add(ns, Ordering::Relaxed);
+        self.min_ns.fetch_min(ns, Ordering::Relaxed);
+        self.max_ns.fetch_max(ns, Ordering::Relaxed);
+    }
+
+    /// Number of recorded observations.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Point-in-time summary of the recorded distribution.
+    pub fn summary(&self) -> LatencySummary {
+        let count = self.count();
+        if count == 0 {
+            return LatencySummary::default();
+        }
+        LatencySummary {
+            count,
+            min_us: self.min_ns.load(Ordering::Relaxed) as f64 / 1e3,
+            max_us: self.max_ns.load(Ordering::Relaxed) as f64 / 1e3,
+            mean_us: self.sum_ns.load(Ordering::Relaxed) as f64 / count as f64 / 1e3,
+            p50_us: self.quantile(0.50) / 1e3,
+            p99_us: self.quantile(0.99) / 1e3,
+        }
+    }
+
+    /// Approximate `q`-quantile in nanoseconds (geometric bucket midpoint).
+    fn quantile(&self, q: f64) -> f64 {
+        let total = self.count();
+        if total == 0 {
+            return 0.0;
+        }
+        let rank = (q * total as f64).ceil().max(1.0) as u64;
+        let mut cum = 0u64;
+        for (i, b) in self.buckets.iter().enumerate() {
+            cum += b.load(Ordering::Relaxed);
+            if cum >= rank {
+                // Geometric midpoint of [2^i, 2^(i+1)).
+                return 2f64.powi(i as i32) * std::f64::consts::SQRT_2;
+            }
+        }
+        2f64.powi(BUCKETS as i32 - 1)
+    }
+}
+
+/// Snapshot of the latency distribution, in microseconds.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct LatencySummary {
+    /// Number of observations.
+    pub count: u64,
+    /// Smallest observed latency.
+    pub min_us: f64,
+    /// Largest observed latency.
+    pub max_us: f64,
+    /// Arithmetic mean.
+    pub mean_us: f64,
+    /// Median (histogram-approximate).
+    pub p50_us: f64,
+    /// 99th percentile (histogram-approximate).
+    pub p99_us: f64,
+}
+
+/// Live server counters (all relaxed atomics; written on hot paths).
+#[derive(Debug, Default)]
+pub struct ServerStats {
+    /// Requests admitted into the queue.
+    pub submitted: AtomicU64,
+    /// Requests rejected with `QueueFull` by admission control.
+    pub rejected: AtomicU64,
+    /// Requests completed successfully.
+    pub completed: AtomicU64,
+    /// Requests that failed during processing.
+    pub failed: AtomicU64,
+    /// Batched forward passes executed.
+    pub batches: AtomicU64,
+    /// Jobs carried by those batches (`batched_jobs / batches` = mean
+    /// coalescing factor).
+    pub batched_jobs: AtomicU64,
+    /// End-to-end request latency (enqueue → response).
+    pub latency: LatencyHistogram,
+}
+
+impl ServerStats {
+    #[inline]
+    pub(crate) fn bump(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn note_batch(&self, jobs: usize) {
+        self.batches.fetch_add(1, Ordering::Relaxed);
+        self.batched_jobs.fetch_add(jobs as u64, Ordering::Relaxed);
+    }
+}
+
+/// Point-in-time view of [`ServerStats`] plus queue/cache gauges, as
+/// returned by `Server::stats`.
+#[derive(Debug, Clone, Copy)]
+pub struct StatsSnapshot {
+    /// Requests admitted into the queue.
+    pub submitted: u64,
+    /// Requests rejected by admission control.
+    pub rejected: u64,
+    /// Requests completed successfully.
+    pub completed: u64,
+    /// Requests failed during processing.
+    pub failed: u64,
+    /// Batched forward passes executed.
+    pub batches: u64,
+    /// Total jobs carried by batches.
+    pub batched_jobs: u64,
+    /// Jobs currently waiting in the queue.
+    pub queue_depth: usize,
+    /// Plan-cache lookups served from cache.
+    pub cache_hits: u64,
+    /// Plan-cache lookups that planned from scratch.
+    pub cache_misses: u64,
+    /// Latency distribution snapshot.
+    pub latency: LatencySummary,
+}
+
+impl StatsSnapshot {
+    /// `cache_hits / (cache_hits + cache_misses)`, or 0 before any lookup.
+    pub fn cache_hit_rate(&self) -> f64 {
+        let t = self.cache_hits + self.cache_misses;
+        if t == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / t as f64
+        }
+    }
+
+    /// Mean jobs per batched forward pass.
+    pub fn mean_batch_size(&self) -> f64 {
+        if self.batches == 0 {
+            0.0
+        } else {
+            self.batched_jobs as f64 / self.batches as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn empty_histogram_summarises_to_zero() {
+        let h = LatencyHistogram::new();
+        assert_eq!(h.summary(), LatencySummary::default());
+    }
+
+    #[test]
+    fn summary_orders_quantiles() {
+        let h = LatencyHistogram::new();
+        for us in [5u64, 10, 20, 40, 80, 160, 320, 640, 1280, 100_000] {
+            h.record(Duration::from_micros(us));
+        }
+        let s = h.summary();
+        assert_eq!(s.count, 10);
+        assert!(s.min_us <= s.p50_us, "{s:?}");
+        assert!(s.p50_us <= s.p99_us, "{s:?}");
+        assert!(s.p99_us <= s.max_us * std::f64::consts::SQRT_2, "{s:?}");
+        assert!((s.min_us - 5.0).abs() < 1e-9);
+        assert!((s.max_us - 100_000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn quantiles_land_in_the_right_bucket() {
+        let h = LatencyHistogram::new();
+        // 99 fast observations, 1 slow: p50 fast, p99+ reaches the tail.
+        for _ in 0..99 {
+            h.record(Duration::from_micros(10));
+        }
+        h.record(Duration::from_millis(50));
+        let s = h.summary();
+        assert!(s.p50_us < 20.0, "{s:?}");
+        assert!(s.p99_us < 20.0, "p99 of 99/100 fast is still fast: {s:?}");
+        assert!(s.max_us >= 50_000.0);
+        // Mean is pulled up by the tail.
+        assert!(s.mean_us > 100.0, "{s:?}");
+    }
+
+    #[test]
+    fn histogram_is_thread_safe() {
+        let h = std::sync::Arc::new(LatencyHistogram::new());
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let h = std::sync::Arc::clone(&h);
+                std::thread::spawn(move || {
+                    for _ in 0..1000 {
+                        h.record(Duration::from_micros(100));
+                    }
+                })
+            })
+            .collect();
+        for t in handles {
+            t.join().unwrap();
+        }
+        assert_eq!(h.count(), 4000);
+    }
+
+    #[test]
+    fn snapshot_derived_metrics() {
+        let snap = StatsSnapshot {
+            submitted: 10,
+            rejected: 2,
+            completed: 10,
+            failed: 0,
+            batches: 4,
+            batched_jobs: 10,
+            queue_depth: 0,
+            cache_hits: 9,
+            cache_misses: 1,
+            latency: LatencySummary::default(),
+        };
+        assert!((snap.cache_hit_rate() - 0.9).abs() < 1e-12);
+        assert!((snap.mean_batch_size() - 2.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,84 @@
+//! The synthetic load driver end-to-end: a miniature `serve-bench` run
+//! must certify every response and keep the plan cache hot under a
+//! single-tolerance workload.
+
+use errflow_nn::{Activation, Mlp};
+use errflow_serve::{run_loadgen, LoadgenConfig, ServeConfig, Server};
+use errflow_tensor::norms::Norm;
+use errflow_tensor::rng::StdRng;
+
+#[test]
+fn single_tolerance_load_is_cache_hot_and_certified() {
+    let model = Mlp::new(&[5, 16, 3], Activation::Tanh, Activation::Identity, 2, None);
+    let mut rng = StdRng::seed_from_u64(3);
+    let calibration: Vec<Vec<f32>> = (0..24)
+        .map(|_| (0..5).map(|_| rng.gen_range(-1.0f32..1.0)).collect())
+        .collect();
+    let server = Server::new(
+        model,
+        calibration,
+        ServeConfig {
+            workers: 2,
+            queue_capacity: 16,
+            ..ServeConfig::default()
+        },
+    );
+    let cfg = LoadgenConfig {
+        clients: 3,
+        requests_per_client: 25,
+        samples_per_request: 8,
+        tolerances: vec![1e-2],
+        norm: Norm::L2,
+        seed: 11,
+        ..LoadgenConfig::default()
+    };
+    let summary = run_loadgen(&server, &cfg);
+    assert_eq!(summary.requests, 75);
+    assert!(summary.all_bounds_certified);
+    assert!(summary.max_rel_bound <= 1e-2);
+    // One tolerance → one planning miss; everything else hits.
+    assert_eq!(summary.cache_misses, 1);
+    assert!(
+        summary.cache_hit_rate > 0.9,
+        "hit rate {} too low",
+        summary.cache_hit_rate
+    );
+    assert!(summary.throughput_rps > 0.0);
+    assert!(summary.latency.count >= 75);
+    assert!(summary.latency.p50_us > 0.0);
+    // The JSON surface reflects the run.
+    let j = summary.to_json();
+    assert!(j.contains("\"requests\":75"), "{j}");
+    assert!(j.contains("\"all_bounds_certified\":true"), "{j}");
+}
+
+#[test]
+fn mixed_tolerances_churn_the_cache_but_stay_sound() {
+    let model = Mlp::new(&[5, 16, 3], Activation::Tanh, Activation::Identity, 2, None);
+    let mut rng = StdRng::seed_from_u64(4);
+    let calibration: Vec<Vec<f32>> = (0..24)
+        .map(|_| (0..5).map(|_| rng.gen_range(-1.0f32..1.0)).collect())
+        .collect();
+    let server = Server::new(
+        model,
+        calibration,
+        ServeConfig {
+            workers: 2,
+            ..ServeConfig::default()
+        },
+    );
+    let cfg = LoadgenConfig {
+        clients: 2,
+        requests_per_client: 12,
+        samples_per_request: 8,
+        // Three distinct buckets → exactly three planning misses.
+        tolerances: vec![1e-1, 1e-2, 1e-3],
+        norm: Norm::L2,
+        seed: 12,
+        ..LoadgenConfig::default()
+    };
+    let summary = run_loadgen(&server, &cfg);
+    assert!(summary.all_bounds_certified);
+    assert_eq!(summary.cache_misses, 3);
+    assert!(summary.cache_hits >= 1);
+}

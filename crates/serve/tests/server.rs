@@ -1,0 +1,217 @@
+//! End-to-end serving tests: concurrent submission against the bounded
+//! queue, plan-cache behaviour, and admission-control backpressure.
+
+use errflow_nn::{Activation, Mlp, Model};
+use errflow_pipeline::planner::PayloadLayout;
+use errflow_scidata::task::TrainingMode;
+use errflow_scidata::{SyntheticTask, TaskKind};
+use errflow_serve::{BackendKind, Request, ServeConfig, ServeError, Server};
+use errflow_tensor::norms::Norm;
+use errflow_tensor::rng::StdRng;
+
+fn model() -> Mlp {
+    Mlp::new(
+        &[6, 24, 24, 4],
+        Activation::Tanh,
+        Activation::Identity,
+        11,
+        None,
+    )
+}
+
+/// Smooth random-walk samples (compressible, like the planner tests use).
+fn samples(rng: &mut StdRng, n: usize, d: usize) -> Vec<Vec<f32>> {
+    let mut cur: Vec<f32> = (0..d).map(|_| rng.gen_range(-0.5f32..0.5)).collect();
+    (0..n)
+        .map(|_| {
+            for v in &mut cur {
+                *v = (*v + rng.gen_range(-0.02f32..0.02)).clamp(-1.0, 1.0);
+            }
+            cur.clone()
+        })
+        .collect()
+}
+
+fn calibration(seed: u64) -> Vec<Vec<f32>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    samples(&mut rng, 32, 6)
+}
+
+/// Many submitters race a small queue; every request must come back with
+/// the right shape and a certified bound within its tolerance.
+#[test]
+fn concurrency_smoke_all_results_returned_and_certified() {
+    let server = Server::new(
+        model(),
+        calibration(1),
+        ServeConfig {
+            workers: 3,
+            queue_capacity: 8,
+            max_batch: 4,
+            ..ServeConfig::default()
+        },
+    );
+    let submitters = 6;
+    let per = 20;
+    let tol = 1e-2;
+    std::thread::scope(|scope| {
+        for s in 0..submitters {
+            let server = &server;
+            scope.spawn(move || {
+                let mut rng = StdRng::seed_from_u64(100 + s);
+                for _ in 0..per {
+                    let payload = samples(&mut rng, 16, 6);
+                    let mut req = Request::new(payload, tol);
+                    req.norm = Norm::L2;
+                    // Blocking submit: backpressure stalls the caller
+                    // instead of dropping work.
+                    let resp = server.submit(req).unwrap().wait().unwrap();
+                    assert_eq!(resp.outputs.len(), 16);
+                    assert!(resp.outputs.iter().all(|y| y.len() == 4));
+                    assert!(
+                        resp.rel_bound <= tol,
+                        "bound {} > tolerance {tol}",
+                        resp.rel_bound
+                    );
+                    assert!(resp.batch_size >= 1);
+                }
+            });
+        }
+    });
+    let snap = server.stats();
+    assert_eq!(snap.completed, (submitters * per) as u64);
+    assert_eq!(snap.failed, 0);
+    assert_eq!(snap.queue_depth, 0);
+    // Same tolerance everywhere → exactly one planning miss.
+    assert_eq!(snap.cache_misses, 1);
+    assert!(snap.latency.count == snap.completed);
+}
+
+/// The second identical request must be a plan-cache hit and carry the
+/// identical plan (same format, same certified bound).
+#[test]
+fn second_identical_request_hits_the_plan_cache() {
+    let server = Server::new(
+        model(),
+        calibration(2),
+        ServeConfig {
+            workers: 1,
+            ..ServeConfig::default()
+        },
+    );
+    let mut rng = StdRng::seed_from_u64(5);
+    let payload = samples(&mut rng, 8, 6);
+    let first = server.process(Request::new(payload.clone(), 3e-3)).unwrap();
+    let second = server.process(Request::new(payload, 3e-3)).unwrap();
+    assert!(!first.cache_hit);
+    assert!(second.cache_hit);
+    assert_eq!(first.format, second.format);
+    assert_eq!(first.rel_bound, second.rel_bound);
+    assert_eq!(first.plan_tolerance, second.plan_tolerance);
+    let snap = server.stats();
+    assert_eq!((snap.cache_hits, snap.cache_misses), (1, 1));
+
+    // A different tolerance bucket, norm, or layout is a different plan.
+    let mut rng = StdRng::seed_from_u64(6);
+    let other = server
+        .process(Request::new(samples(&mut rng, 8, 6), 3e-1))
+        .unwrap();
+    assert!(!other.cache_hit);
+    assert_eq!(server.stats().cache_misses, 2);
+}
+
+/// With workers stalled (none running), the queue fills to capacity and
+/// `try_submit` reports `QueueFull` — the admission-control contract.
+#[test]
+fn backpressure_rejects_at_capacity_with_workers_stalled() {
+    let capacity = 3;
+    let mut server = Server::new(
+        model(),
+        calibration(3),
+        ServeConfig {
+            workers: 0, // permanently stalled pool
+            queue_capacity: capacity,
+            ..ServeConfig::default()
+        },
+    );
+    let mut rng = StdRng::seed_from_u64(7);
+    let mut tickets = Vec::new();
+    for _ in 0..capacity {
+        tickets.push(
+            server
+                .try_submit(Request::new(samples(&mut rng, 4, 6), 1e-2))
+                .unwrap(),
+        );
+    }
+    for _ in 0..2 {
+        let err = server
+            .try_submit(Request::new(samples(&mut rng, 4, 6), 1e-2))
+            .unwrap_err();
+        assert_eq!(err, ServeError::QueueFull);
+    }
+    let snap = server.stats();
+    assert_eq!(snap.submitted, capacity as u64);
+    assert_eq!(snap.rejected, 2);
+    assert_eq!(snap.queue_depth, capacity);
+
+    // Shutdown fails the stalled requests instead of hanging their waiters.
+    server.shutdown();
+    for t in tickets {
+        assert_eq!(t.wait().unwrap_err(), ServeError::Shutdown);
+    }
+}
+
+/// Batched and per-sample inference agree through the full serving path.
+#[test]
+fn served_predictions_match_direct_inference_shape_and_bound_scaling() {
+    let server = Server::new(
+        model(),
+        calibration(4),
+        ServeConfig {
+            workers: 2,
+            ..ServeConfig::default()
+        },
+    );
+    let mut rng = StdRng::seed_from_u64(9);
+    let payload = samples(&mut rng, 12, 6);
+    // A looser tolerance can only loosen (or keep) the certified bound.
+    let tight = server.process(Request::new(payload.clone(), 1e-3)).unwrap();
+    let loose = server.process(Request::new(payload, 1e-1)).unwrap();
+    assert!(tight.rel_bound <= 1e-3);
+    assert!(loose.rel_bound <= 1e-1);
+    assert!(tight.rel_bound <= loose.rel_bound);
+}
+
+/// The server is generic over `Model`: a scidata `TaskModel` (enum over
+/// MLP/ConvNet) serves through the same path, exercising the
+/// `forward_batch` delegation.
+#[test]
+fn serves_task_models_and_every_backend() {
+    let task = SyntheticTask::of_kind_small(TaskKind::H2Combustion, 3);
+    let m = task.build_model(TrainingMode::Psn);
+    let cal: Vec<Vec<f32>> = task.ordered_inputs().iter().take(24).cloned().collect();
+    for backend in [BackendKind::Sz, BackendKind::Zfp, BackendKind::Mgard] {
+        let server = Server::new(
+            m.clone(),
+            cal.clone(),
+            ServeConfig {
+                workers: 2,
+                backend,
+                ..ServeConfig::default()
+            },
+        );
+        let payload: Vec<Vec<f32>> = task.ordered_inputs().iter().take(16).cloned().collect();
+        let mut req = Request::new(payload, 1e-2);
+        req.norm = Norm::L2;
+        req.layout = PayloadLayout::FeatureMajor;
+        let resp = server.process(req).unwrap();
+        assert_eq!(resp.outputs.len(), 16);
+        assert!(resp.outputs.iter().all(|y| y.len() == m.output_dim()));
+        assert!(
+            resp.rel_bound <= 1e-2,
+            "{}: {}",
+            backend.name(),
+            resp.rel_bound
+        );
+    }
+}

@@ -318,7 +318,7 @@ mod tests {
     #[test]
     fn col2im_is_adjoint_of_im2col() {
         // ⟨im2col(x), Y⟩ = ⟨x, col2im(Y)⟩ — the defining adjoint property.
-        use rand::{rngs::StdRng, Rng, SeedableRng};
+        use crate::rng::StdRng;
         let mut rng = StdRng::seed_from_u64(17);
         let shape = MapShape::new(2, 5, 5);
         let spec = ConvSpec::square(3, 1, 1);

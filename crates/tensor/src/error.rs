@@ -61,10 +61,7 @@ mod tests {
             lhs: (2, 3),
             rhs: (4, 5),
         };
-        assert_eq!(
-            e.to_string(),
-            "matmul: shape mismatch between 2x3 and 4x5"
-        );
+        assert_eq!(e.to_string(), "matmul: shape mismatch between 2x3 and 4x5");
     }
 
     #[test]

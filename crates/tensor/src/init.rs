@@ -4,8 +4,7 @@
 //! test, and figure in the repository is bit-reproducible run to run.
 
 use crate::matrix::Matrix;
-use rand::rngs::StdRng;
-use rand::Rng;
+use crate::rng::StdRng;
 
 /// Xavier/Glorot uniform initialisation: `U(-a, a)` with
 /// `a = √(6/(fan_in+fan_out))`.  Appropriate for Tanh networks (the H2
@@ -35,7 +34,6 @@ pub fn uniform_vec(n: usize, scale: f32, rng: &mut StdRng) -> Vec<f32> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
 
     #[test]
     fn xavier_within_bound() {

@@ -15,6 +15,8 @@
 //!   exact cross-check in tests.
 //! * [`conv`] — im2col-based 2-D convolution used by the ResNet models.
 //! * [`init`] — deterministic Xavier/He/uniform weight initialisation.
+//! * [`rng`] — the seeded, dependency-free PRNG (xoshiro256++) all
+//!   randomness in the workspace flows through.
 //! * [`stats`] — small statistics helpers (mean, variance, geometric mean)
 //!   used by the benchmark harness when aggregating achieved errors.
 
@@ -23,6 +25,7 @@ pub mod error;
 pub mod init;
 pub mod matrix;
 pub mod norms;
+pub mod rng;
 pub mod spectral;
 pub mod stats;
 

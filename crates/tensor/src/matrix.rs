@@ -340,7 +340,11 @@ impl Matrix {
 
     /// Frobenius norm `√Σ w_ij²`.
     pub fn frobenius_norm(&self) -> f32 {
-        self.data.iter().map(|&v| (v as f64) * (v as f64)).sum::<f64>().sqrt() as f32
+        self.data
+            .iter()
+            .map(|&v| (v as f64) * (v as f64))
+            .sum::<f64>()
+            .sqrt() as f32
     }
 
     /// Largest absolute element.

@@ -71,7 +71,10 @@ impl std::fmt::Display for Norm {
 
 /// Euclidean norm with `f64` accumulation.
 pub fn l2(v: &[f32]) -> f64 {
-    v.iter().map(|&x| (x as f64) * (x as f64)).sum::<f64>().sqrt()
+    v.iter()
+        .map(|&x| (x as f64) * (x as f64))
+        .sum::<f64>()
+        .sqrt()
 }
 
 /// Max (L∞) norm.

@@ -13,9 +13,8 @@
 use crate::error::TensorError;
 use crate::matrix::Matrix;
 use crate::norms::l2;
+use crate::rng::StdRng;
 use crate::Result;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 /// Options for [`power_iteration`].
 #[derive(Debug, Clone, Copy)]
@@ -228,7 +227,6 @@ fn normalize(v: &mut [f32]) {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::Rng;
 
     #[test]
     fn identity_has_unit_spectral_norm() {

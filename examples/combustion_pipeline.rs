@@ -31,7 +31,14 @@ fn main() {
     println!("tolerance sweep on the H2 reaction-rate QoI (L-infinity, quant share 50%):\n");
     println!(
         "{:>10} {:>8} {:>7} {:>12} {:>12} {:>9} {:>9} {:>9}",
-        "tolerance", "backend", "format", "pred_bound", "achieved", "io_GB/s", "ex_GB/s", "e2e_GB/s"
+        "tolerance",
+        "backend",
+        "format",
+        "pred_bound",
+        "achieved",
+        "io_GB/s",
+        "ex_GB/s",
+        "e2e_GB/s"
     );
     for tol in [1e-4, 1e-3, 1e-2] {
         for backend in &backends {

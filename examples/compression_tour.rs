@@ -68,6 +68,8 @@ fn main() {
     println!(
         "chunked-parallel sz @1e-4: {:.1}x ratio across {} cores",
         stats.ratio(),
-        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
     );
 }

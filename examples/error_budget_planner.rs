@@ -27,8 +27,10 @@ fn main() {
         "{:>11} | {:>24} | {:>24} | {:>24}",
         "tolerance", "share=0.1", "share=0.5", "share=0.9"
     );
-    println!("{:>11} | {:>15} {:>8} | {:>15} {:>8} | {:>15} {:>8}",
-        "", "input_budget", "format", "input_budget", "format", "input_budget", "format");
+    println!(
+        "{:>11} | {:>15} {:>8} | {:>15} {:>8} | {:>15} {:>8}",
+        "", "input_budget", "format", "input_budget", "format", "input_budget", "format"
+    );
     let mut exp = -6;
     while exp <= 0 {
         let tol = 10f64.powi(exp);

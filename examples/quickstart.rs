@@ -27,7 +27,10 @@ fn main() {
     //    error bounds of Ineq. (3).
     let analysis = NetworkAnalysis::of(&model);
     println!("layer spectral norms: {:?}", analysis.sigmas());
-    println!("network amplification (Πσ): {:.3}", analysis.amplification());
+    println!(
+        "network amplification (Πσ): {:.3}",
+        analysis.amplification()
+    );
 
     // 3. Predict the output error bound for FP16 weights + a 1e-4 input
     //    compression error — *before* touching the data.

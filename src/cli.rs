@@ -1,9 +1,10 @@
 //! Command-line interface: train → analyse → plan → run, from the shell.
 //!
 //! ```sh
-//! errflow-cli analyze --task h2
-//! errflow-cli plan    --task borghesi --tol 1e-3 --norm l2 --share 0.5
-//! errflow-cli run     --task h2 --tol 1e-2 --backend sz --share 0.5
+//! errflow-cli analyze     --task h2
+//! errflow-cli plan        --task borghesi --tol 1e-3 --norm l2 --share 0.5
+//! errflow-cli run         --task h2 --tol 1e-2 --backend sz --share 0.5
+//! errflow-cli serve-bench --clients 4 --requests 200 --tol 1e-2
 //! ```
 //!
 //! Argument parsing is hand-rolled (no extra dependencies); [`parse_args`]
@@ -17,6 +18,7 @@ use crate::pipeline::{Planner, PlannerConfig};
 use crate::quant::QuantFormat;
 use crate::scidata::task::TrainingMode;
 use crate::scidata::{SyntheticTask, TaskKind};
+use crate::serve::{run_loadgen, BackendKind, LoadgenConfig, ServeConfig, Server};
 use crate::tensor::norms::Norm;
 
 /// A parsed CLI invocation.
@@ -63,6 +65,36 @@ pub enum Command {
         /// RNG seed.
         seed: u64,
     },
+    /// Drive the inference server with synthetic closed-loop load and
+    /// print a JSON summary.
+    ServeBench {
+        /// Workload.
+        task: TaskKind,
+        /// Relative QoI tolerance every client requests.
+        tol: f64,
+        /// Tolerance norm.
+        norm: Norm,
+        /// Quantization share of the tolerance.
+        share: f64,
+        /// Compression backend name.
+        backend: String,
+        /// Concurrent client threads.
+        clients: usize,
+        /// Requests per client.
+        requests: usize,
+        /// Server worker threads.
+        workers: usize,
+        /// Bounded-queue capacity (admission control limit).
+        queue_cap: usize,
+        /// Maximum jobs per batched forward pass.
+        batch: usize,
+        /// Samples per request payload.
+        samples: usize,
+        /// Distinct tolerance buckets cycled by clients (1 = steady SLO).
+        mix: usize,
+        /// RNG seed.
+        seed: u64,
+    },
     /// Print usage.
     Help,
 }
@@ -83,6 +115,19 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
     let mut share = 0.5f64;
     let mut calibrated = false;
     let mut backend = "sz".to_string();
+    let mut clients = 4usize;
+    let mut requests = 200usize;
+    let mut workers = 4usize;
+    let mut queue_cap = 64usize;
+    let mut batch = 16usize;
+    let mut samples = 64usize;
+    let mut mix = 1usize;
+    // serve-bench defaults to a loose tolerance; `plan`/`run` keep 1e-3.
+    let serve_bench = cmd == "serve-bench";
+    if serve_bench {
+        tol = 1e-2;
+        norm = Norm::L2;
+    }
 
     while let Some(flag) = it.next() {
         let mut value = |name: &str| -> Result<&String, String> {
@@ -115,11 +160,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                     .parse()
                     .map_err(|e| format!("--seed: {e}"))?
             }
-            "--tol" => {
-                tol = value("--tol")?
-                    .parse()
-                    .map_err(|e| format!("--tol: {e}"))?
-            }
+            "--tol" => tol = value("--tol")?.parse().map_err(|e| format!("--tol: {e}"))?,
             "--norm" => {
                 norm = match value("--norm")?.as_str() {
                     "linf" | "l-inf" | "inf" => Norm::LInf,
@@ -134,6 +175,37 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
             }
             "--calibrated" => calibrated = true,
             "--backend" => backend = value("--backend")?.clone(),
+            "--clients" => {
+                clients = value("--clients")?
+                    .parse()
+                    .map_err(|e| format!("--clients: {e}"))?
+            }
+            "--requests" => {
+                requests = value("--requests")?
+                    .parse()
+                    .map_err(|e| format!("--requests: {e}"))?
+            }
+            "--workers" => {
+                workers = value("--workers")?
+                    .parse()
+                    .map_err(|e| format!("--workers: {e}"))?
+            }
+            "--queue-cap" => {
+                queue_cap = value("--queue-cap")?
+                    .parse()
+                    .map_err(|e| format!("--queue-cap: {e}"))?
+            }
+            "--batch" => {
+                batch = value("--batch")?
+                    .parse()
+                    .map_err(|e| format!("--batch: {e}"))?
+            }
+            "--samples" => {
+                samples = value("--samples")?
+                    .parse()
+                    .map_err(|e| format!("--samples: {e}"))?
+            }
+            "--mix" => mix = value("--mix")?.parse().map_err(|e| format!("--mix: {e}"))?,
             other => return Err(format!("unknown flag: {other}")),
         }
     }
@@ -160,6 +232,21 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
             backend,
             seed,
         }),
+        "serve-bench" => Ok(Command::ServeBench {
+            task,
+            tol,
+            norm,
+            share,
+            backend,
+            clients,
+            requests,
+            workers,
+            queue_cap,
+            batch,
+            samples,
+            mix,
+            seed,
+        }),
         other => Err(format!("unknown command: {other}")),
     }
 }
@@ -172,7 +259,14 @@ USAGE:
   errflow-cli analyze --task <h2|borghesi|eurosat> [--mode psn|plain|wd] [--epochs N] [--seed N]
   errflow-cli plan    --task <...> --tol <rel> [--norm linf|l2] [--share F] [--calibrated] [--seed N]
   errflow-cli run     --task <...> --tol <rel> --backend <sz|zfp|mgard> [--norm linf|l2] [--share F] [--seed N]
+  errflow-cli serve-bench [--task <...>] [--tol <rel>] [--norm linf|l2] [--share F] [--backend <...>]
+                          [--clients N] [--requests M] [--workers N] [--queue-cap N] [--batch N]
+                          [--samples N] [--mix K] [--seed N]
   errflow-cli help
+
+serve-bench drives the in-process inference server with N closed-loop
+clients submitting M requests each and prints a JSON summary (throughput,
+latency percentiles, plan-cache hit rate, certified-bound check).
 ";
 
 fn backend_by_name(name: &str) -> Result<Box<dyn Compressor>, String> {
@@ -272,15 +366,17 @@ pub fn run(cmd: Command) -> i32 {
                 TaskKind::EuroSat => PayloadLayout::SampleMajor,
                 _ => PayloadLayout::FeatureMajor,
             };
-            let inputs: Vec<Vec<f32>> =
-                t.ordered_inputs().iter().take(256).cloned().collect();
+            let inputs: Vec<Vec<f32>> = t.ordered_inputs().iter().take(256).cloned().collect();
             match planner.execute(&plan, be.as_ref(), &inputs, norm, layout) {
                 Ok(report) => {
                     println!("format:          {}", plan.format);
                     println!("compression:     {:.1}x", report.stats.ratio());
                     println!("predicted bound: {:.4e}", report.predicted_rel_bound);
                     println!("achieved (max):  {:.4e}", report.achieved_rel_error.max);
-                    println!("achieved (geo):  {:.4e}", report.achieved_rel_error.geo_mean);
+                    println!(
+                        "achieved (geo):  {:.4e}",
+                        report.achieved_rel_error.geo_mean
+                    );
                     println!("I/O throughput:  {:.3} GB/s", report.io_gbps);
                     println!("exec throughput: {:.3} GB/s", report.exec_gbps);
                     println!("end-to-end:      {:.3} GB/s", report.end_to_end_gbps);
@@ -293,6 +389,73 @@ pub fn run(cmd: Command) -> i32 {
                     2
                 }
             }
+        }
+        Command::ServeBench {
+            task,
+            tol,
+            norm,
+            share,
+            backend,
+            clients,
+            requests,
+            workers,
+            queue_cap,
+            batch,
+            samples,
+            mix,
+            seed,
+        } => {
+            let backend = match BackendKind::parse(&backend) {
+                Ok(b) => b,
+                Err(e) => {
+                    eprintln!("{e}");
+                    return 2;
+                }
+            };
+            if clients == 0 || requests == 0 || workers == 0 || mix == 0 {
+                eprintln!("--clients, --requests, --workers, and --mix must be positive");
+                return 2;
+            }
+            let t = SyntheticTask::of_kind_small(task, seed);
+            eprintln!(
+                "serve-bench: training {} model, then {clients} clients x {requests} requests...",
+                task.name()
+            );
+            let model = t.trained_model(TrainingMode::Psn, 6);
+            let cal: Vec<Vec<f32>> = t.ordered_inputs().iter().take(64).cloned().collect();
+            let server = Server::new(
+                model,
+                cal,
+                ServeConfig {
+                    workers,
+                    queue_capacity: queue_cap,
+                    max_batch: batch,
+                    quant_share: share,
+                    backend,
+                    ..ServeConfig::default()
+                },
+            );
+            // `--mix K` spreads requests over K log-spaced tolerance
+            // buckets at and below `--tol` to exercise plan-cache churn;
+            // the default K=1 is the steady single-SLO workload.
+            let tolerances: Vec<f64> = (0..mix).map(|i| tol * 10f64.powi(-(i as i32))).collect();
+            let summary = run_loadgen(
+                &server,
+                &LoadgenConfig {
+                    clients,
+                    requests_per_client: requests,
+                    samples_per_request: samples,
+                    tolerances,
+                    norm,
+                    layout: match task {
+                        TaskKind::EuroSat => PayloadLayout::SampleMajor,
+                        _ => PayloadLayout::FeatureMajor,
+                    },
+                    seed,
+                },
+            );
+            println!("{}", summary.to_json());
+            i32::from(!summary.all_bounds_certified)
         }
     }
 }
@@ -371,6 +534,63 @@ mod tests {
         assert!(parse_args(&args("plan --tol nope")).is_err());
         assert!(parse_args(&args("plan --tol")).is_err());
         assert!(parse_args(&args("run --norm l3")).is_err());
+    }
+
+    #[test]
+    fn parse_serve_bench_defaults_and_overrides() {
+        let c = parse_args(&args("serve-bench")).unwrap();
+        match c {
+            Command::ServeBench {
+                task,
+                tol,
+                norm,
+                clients,
+                requests,
+                workers,
+                queue_cap,
+                batch,
+                samples,
+                mix,
+                ..
+            } => {
+                assert_eq!(task, TaskKind::H2Combustion);
+                assert_eq!(tol, 1e-2);
+                assert_eq!(norm, Norm::L2);
+                assert_eq!((clients, requests), (4, 200));
+                assert_eq!((workers, queue_cap, batch), (4, 64, 16));
+                assert_eq!((samples, mix), (64, 1));
+            }
+            _ => panic!("wrong command"),
+        }
+        let c = parse_args(&args(
+            "serve-bench --task borghesi --tol 1e-3 --clients 8 --requests 50 \
+             --workers 2 --queue-cap 16 --batch 4 --samples 32 --mix 3 --backend zfp",
+        ))
+        .unwrap();
+        match c {
+            Command::ServeBench {
+                task,
+                tol,
+                clients,
+                requests,
+                workers,
+                queue_cap,
+                batch,
+                samples,
+                mix,
+                backend,
+                ..
+            } => {
+                assert_eq!(task, TaskKind::BorghesiFlame);
+                assert_eq!(tol, 1e-3);
+                assert_eq!((clients, requests), (8, 50));
+                assert_eq!((workers, queue_cap, batch), (2, 16, 4));
+                assert_eq!((samples, mix), (32, 3));
+                assert_eq!(backend, "zfp");
+            }
+            _ => panic!("wrong command"),
+        }
+        assert!(parse_args(&args("serve-bench --clients nope")).is_err());
     }
 
     #[test]

@@ -31,6 +31,7 @@
 //! | [`core`] | the paper's error-flow bounds (Inequalities 3 and 5) |
 //! | [`scidata`] | synthetic scientific workload generators |
 //! | [`pipeline`] | tolerance allocation and the end-to-end inference pipeline |
+//! | [`serve`] | concurrent batched inference server with plan caching |
 
 pub mod cli;
 
@@ -40,17 +41,21 @@ pub use errflow_nn as nn;
 pub use errflow_pipeline as pipeline;
 pub use errflow_quant as quant;
 pub use errflow_scidata as scidata;
+pub use errflow_serve as serve;
 pub use errflow_tensor as tensor;
 
 /// One-stop imports for the common workflow: build/train a model, analyse its
 /// spectra, predict bounds, and plan a compression+quantization pipeline.
 pub mod prelude {
-    pub use errflow_compress::{Compressor, ErrorBound, MgardCompressor, SzCompressor, ZfpCompressor};
+    pub use errflow_compress::{
+        Compressor, ErrorBound, MgardCompressor, SzCompressor, ZfpCompressor,
+    };
     pub use errflow_core::{BoundBreakdown, NetworkAnalysis};
     pub use errflow_nn::{Activation, Mlp, Model, TrainConfig};
     pub use errflow_pipeline::{PipelinePlan, Planner, PlannerConfig};
     pub use errflow_quant::QuantFormat;
     pub use errflow_scidata::SyntheticTask;
+    pub use errflow_serve::{Request, ServeConfig, Server};
     pub use errflow_tensor::norms::Norm;
     pub use errflow_tensor::Matrix;
 }

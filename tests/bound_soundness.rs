@@ -93,13 +93,7 @@ fn planner_end_to_end_never_violates_tolerance() {
                     // The plan itself must respect the budget split.
                     assert!(plan.predicted_total_bound <= plan.abs_tolerance * (1.0 + 1e-12));
                     let report = planner
-                        .execute(
-                            &plan,
-                            &SzCompressor::default(),
-                            &inputs,
-                            norm,
-                            layout(kind),
-                        )
+                        .execute(&plan, &SzCompressor::default(), &inputs, norm, layout(kind))
                         .unwrap();
                     assert!(
                         report.achieved_rel_error.max <= report.predicted_rel_bound + 1e-12,

@@ -29,7 +29,13 @@ fn chunked_backend_in_planner_is_sound_and_consistent() {
     let inputs: Vec<Vec<f32>> = task.ordered_inputs().iter().take(200).cloned().collect();
     let chunked = ChunkedCompressor::new(SzCompressor::default()).with_chunk_values(512);
     let report = planner
-        .execute(&plan, &chunked, &inputs, Norm::L2, PayloadLayout::FeatureMajor)
+        .execute(
+            &plan,
+            &chunked,
+            &inputs,
+            Norm::L2,
+            PayloadLayout::FeatureMajor,
+        )
         .unwrap();
     assert!(report.achieved_rel_error.max <= report.predicted_rel_bound);
 }
