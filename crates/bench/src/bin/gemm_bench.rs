@@ -1,0 +1,234 @@
+//! `gemm-bench` — throughput sweep for the blocked GEMM kernel.
+//!
+//! Sweeps square sizes and thread counts, comparing the blocked,
+//! panel-packed kernel (`errflow_tensor::gemm`) against the retained
+//! textbook baseline (`Matrix::matmul_naive`), and emits `BENCH_gemm.json`
+//! so the perf trajectory is tracked in-repo from PR 2 onward.
+//!
+//! ```sh
+//! cargo run --release -p errflow-bench --bin gemm-bench            # full sweep
+//! cargo run --release -p errflow-bench --bin gemm-bench -- --smoke # CI gate
+//! ```
+//!
+//! `--smoke` runs a reduced sweep and **fails** (exit 1) if the blocked
+//! kernel is slower than the naive loop at 512×512 — the regression gate
+//! wired into CI.
+
+use errflow_tensor::rng::StdRng;
+use errflow_tensor::{gemm, pool, Matrix};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+struct SizeResult {
+    size: usize,
+    naive_secs: f64,
+    /// `(threads, best_secs)` per swept thread count.
+    blocked: Vec<(usize, f64)>,
+    max_rel_err: f64,
+}
+
+fn gflops(size: usize, secs: f64) -> f64 {
+    2.0 * (size as f64).powi(3) / secs / 1e9
+}
+
+/// Best-of-`reps` wall time for one invocation of `f`.
+fn time_best(reps: usize, mut f: impl FnMut()) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps.max(1) {
+        let t0 = Instant::now();
+        f();
+        best = best.min(t0.elapsed().as_secs_f64());
+    }
+    best
+}
+
+/// Reps scaled so small sizes average over noise and big sizes stay cheap.
+fn reps_for(size: usize) -> usize {
+    match size {
+        0..=128 => 20,
+        129..=512 => 6,
+        513..=1024 => 3,
+        _ => 1,
+    }
+}
+
+fn run_size(size: usize, threads: &[usize], smoke: bool) -> SizeResult {
+    let mut rng = StdRng::seed_from_u64(size as u64 ^ 0x9e3779b97f4a7c15);
+    let a = Matrix::from_fn(size, size, |_, _| rng.gen_range(-1.0f32..1.0));
+    let b = Matrix::from_fn(size, size, |_, _| rng.gen_range(-1.0f32..1.0));
+    let reps = if smoke { 2 } else { reps_for(size) };
+
+    let mut naive_out = Matrix::zeros(0, 0);
+    let naive_secs = time_best(reps.min(3), || {
+        naive_out = a.matmul_naive(&b).expect("square shapes agree");
+    });
+
+    let mut blocked = Vec::new();
+    let mut max_rel_err = 0.0f64;
+    // Parity is measured BLAS-style: elementwise |blocked - naive|
+    // normalised by ‖C‖∞, which is insensitive to benign cancellation in
+    // near-zero elements (both kernels are exact reorderings of the same
+    // sum; they differ only in f32 rounding).
+    let c_scale = naive_out.max_abs().max(1.0) as f64;
+    for &t in threads {
+        let mut out = vec![0.0f32; size * size];
+        let secs = time_best(reps, || {
+            out.fill(0.0);
+            gemm::gemm(size, size, size, a.as_slice(), b.as_slice(), &mut out, t);
+        });
+        blocked.push((t, secs));
+        for (&x, &y) in out.iter().zip(naive_out.as_slice()) {
+            let rel = ((x as f64) - (y as f64)).abs() / c_scale;
+            max_rel_err = max_rel_err.max(rel);
+        }
+    }
+    SizeResult {
+        size,
+        naive_secs,
+        blocked,
+        max_rel_err,
+    }
+}
+
+fn to_json(results: &[SizeResult], threads: &[usize]) -> String {
+    let kernel = match gemm::kernel_kind() {
+        gemm::KernelKind::Avx2Fma => "avx2_fma",
+        gemm::KernelKind::Generic => "generic",
+    };
+    let mut s = String::new();
+    s.push_str("{\n");
+    let _ = writeln!(s, "  \"bench\": \"gemm\",");
+    let _ = writeln!(s, "  \"kernel\": \"{kernel}\",");
+    let _ = writeln!(
+        s,
+        "  \"available_parallelism\": {},",
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    );
+    let _ = writeln!(
+        s,
+        "  \"pool_concurrency\": {},",
+        pool::global().max_concurrency()
+    );
+    let _ = writeln!(
+        s,
+        "  \"blocking\": {{\"mc\": {}, \"kc\": {}, \"nc\": {}}},",
+        gemm::MC,
+        gemm::KC,
+        gemm::NC
+    );
+    let _ = writeln!(
+        s,
+        "  \"threads_swept\": [{}],",
+        threads
+            .iter()
+            .map(usize::to_string)
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+    s.push_str("  \"results\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        let _ = write!(
+            s,
+            "    {{\"size\": {}, \"naive_gflops\": {:.3}, \"max_rel_err\": {:.3e}, \"blocked\": [",
+            r.size,
+            gflops(r.size, r.naive_secs),
+            r.max_rel_err
+        );
+        for (j, &(t, secs)) in r.blocked.iter().enumerate() {
+            if j > 0 {
+                s.push_str(", ");
+            }
+            let _ = write!(
+                s,
+                "{{\"threads\": {t}, \"gflops\": {:.3}, \"speedup_vs_naive\": {:.2}}}",
+                gflops(r.size, secs),
+                r.naive_secs / secs
+            );
+        }
+        s.push_str("]}");
+        s.push_str(if i + 1 < results.len() { ",\n" } else { "\n" });
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_gemm.json".to_string());
+
+    let max_t = pool::global().max_concurrency();
+    let mut threads: Vec<usize> = vec![1, 2, 4]
+        .into_iter()
+        .filter(|&t| t == 1 || t <= max_t)
+        .collect();
+    if max_t > 4 {
+        threads.push(max_t);
+    }
+    let sizes: Vec<usize> = if smoke {
+        vec![128, 512]
+    } else {
+        vec![64, 128, 256, 512, 1024, 2048]
+    };
+
+    eprintln!(
+        "[gemm-bench] kernel={:?} pool_concurrency={max_t} sizes={sizes:?} threads={threads:?}",
+        gemm::kernel_kind()
+    );
+    let mut results = Vec::new();
+    for &size in &sizes {
+        let r = run_size(size, &threads, smoke);
+        eprintln!(
+            "[gemm-bench] {0}x{0}: naive {1:.2} GFLOP/s; blocked {2} (max rel err {3:.1e})",
+            size,
+            gflops(size, r.naive_secs),
+            r.blocked
+                .iter()
+                .map(|&(t, s)| format!(
+                    "{t}T {:.2} GFLOP/s ({:.1}x)",
+                    gflops(size, s),
+                    r.naive_secs / s
+                ))
+                .collect::<Vec<_>>()
+                .join(", "),
+            r.max_rel_err
+        );
+        assert!(
+            r.max_rel_err <= 1e-5,
+            "blocked/naive outputs diverged at {size}: {}",
+            r.max_rel_err
+        );
+        results.push(r);
+    }
+
+    let json = to_json(&results, &threads);
+    if smoke {
+        // CI gate: blocked must beat naive at the largest smoke size.
+        let gate = results.last().expect("smoke sweep is nonempty");
+        let best_blocked = gate
+            .blocked
+            .iter()
+            .map(|&(_, s)| s)
+            .fold(f64::INFINITY, f64::min);
+        let single_thread = gate.blocked[0].1;
+        println!("{json}");
+        if single_thread > gate.naive_secs && best_blocked > gate.naive_secs {
+            eprintln!(
+                "[gemm-bench] FAIL: blocked GEMM slower than naive at {0}x{0} \
+                 (blocked {1:.3}s vs naive {2:.3}s)",
+                gate.size, single_thread, gate.naive_secs
+            );
+            std::process::exit(1);
+        }
+        eprintln!("[gemm-bench] smoke OK");
+    } else {
+        std::fs::write(&out_path, &json).expect("write bench json");
+        eprintln!("[gemm-bench] wrote {out_path}");
+        println!("{json}");
+    }
+}

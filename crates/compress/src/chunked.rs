@@ -8,7 +8,10 @@
 //! split into fixed-size chunks, each compressed independently (error
 //! bounds are resolved to a *pointwise* budget over the whole payload
 //! first, so per-chunk compression still honours the global bound), and
-//! decompression fans the chunks out across `std::thread` workers.
+//! decompression fans the chunks out on the shared workspace thread pool
+//! ([`errflow_tensor::pool`]) — no threads are spawned per call, and the
+//! configured `threads` limit caps this job's concurrency without
+//! starving other pool users.
 
 use crate::error_bound::{BoundMode, ErrorBound};
 use crate::traits::{CompressError, Compressor};
@@ -133,7 +136,13 @@ impl<C: Compressor> Compressor for ChunkedCompressor<C> {
     }
 }
 
-/// Maps `f` over `items` on up to `threads` workers, preserving order.
+/// Maps `f` over `items` with at most `threads` concurrent workers,
+/// preserving order.
+///
+/// Runs on the shared workspace pool ([`errflow_tensor::pool::global`])
+/// rather than spawning threads per call; the submitting thread
+/// participates, so `threads` is the total concurrency cap for this job
+/// (enforced by the pool even when other jobs are queued).
 fn run_parallel<I: Sync, O: Send>(
     threads: usize,
     items: &[I],
@@ -144,19 +153,10 @@ fn run_parallel<I: Sync, O: Send>(
     }
     let mut results: Vec<Option<Result<O, CompressError>>> =
         (0..items.len()).map(|_| None).collect();
-    let next = std::sync::atomic::AtomicUsize::new(0);
     let results_mutex = std::sync::Mutex::new(&mut results);
-    std::thread::scope(|scope| {
-        for _ in 0..threads.min(items.len()) {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                if i >= items.len() {
-                    break;
-                }
-                let r = f(&items[i]);
-                results_mutex.lock().expect("no poisoned workers")[i] = Some(r);
-            });
-        }
+    errflow_tensor::pool::global().parallel_for(items.len(), threads, |i| {
+        let r = f(&items[i]);
+        results_mutex.lock().expect("no poisoned workers")[i] = Some(r);
     });
     results
         .into_iter()
@@ -248,6 +248,81 @@ mod tests {
             .unwrap();
         let overhead = chunked.len() as f64 / flat.len() as f64;
         assert!(overhead < 1.25, "chunking overhead {overhead:.2}x");
+    }
+
+    /// Backend that records the peak number of simultaneously-running
+    /// compress/decompress calls, so the thread cap can be asserted.
+    struct ConcurrencyProbe {
+        inner: SzCompressor,
+        active: std::sync::atomic::AtomicUsize,
+        peak: std::sync::atomic::AtomicUsize,
+    }
+
+    impl ConcurrencyProbe {
+        fn new() -> Self {
+            ConcurrencyProbe {
+                inner: SzCompressor::default(),
+                active: std::sync::atomic::AtomicUsize::new(0),
+                peak: std::sync::atomic::AtomicUsize::new(0),
+            }
+        }
+
+        fn enter(&self) {
+            use std::sync::atomic::Ordering;
+            let now = self.active.fetch_add(1, Ordering::SeqCst) + 1;
+            self.peak.fetch_max(now, Ordering::SeqCst);
+            // Hold the slot long enough that overlapping calls would be
+            // observed if the cap were violated.
+            std::thread::sleep(std::time::Duration::from_millis(2));
+        }
+
+        fn exit(&self) {
+            self.active
+                .fetch_sub(1, std::sync::atomic::Ordering::SeqCst);
+        }
+    }
+
+    impl Compressor for &ConcurrencyProbe {
+        fn name(&self) -> &'static str {
+            "concurrency-probe"
+        }
+
+        fn supports(&self, bound: &ErrorBound) -> bool {
+            self.inner.supports(bound)
+        }
+
+        fn compress(&self, data: &[f32], bound: &ErrorBound) -> Result<Vec<u8>, CompressError> {
+            self.enter();
+            let r = self.inner.compress(data, bound);
+            self.exit();
+            r
+        }
+
+        fn decompress(&self, stream: &[u8]) -> Result<Vec<f32>, CompressError> {
+            self.enter();
+            let r = self.inner.decompress(stream);
+            self.exit();
+            r
+        }
+    }
+
+    #[test]
+    fn worker_count_never_exceeds_configured_limit() {
+        let probe = ConcurrencyProbe::new();
+        let c = ChunkedCompressor::new(&probe)
+            .with_chunk_values(4_096)
+            .with_threads(2);
+        let data = smooth(120_000); // ~30 chunks
+        let bound = ErrorBound::abs_linf(1e-4);
+        let stream = c.compress(&data, &bound).unwrap();
+        let recon = c.decompress(&stream).unwrap();
+        assert!(bound.verify(&data, &recon));
+        let peak = probe.peak.load(std::sync::atomic::Ordering::SeqCst);
+        assert!(peak >= 1, "probe never ran");
+        assert!(
+            peak <= 2,
+            "observed {peak} concurrent backend calls with threads=2"
+        );
     }
 
     #[test]

@@ -205,6 +205,10 @@ impl Model for Mlp {
     /// Batched forward as one GEMM per layer: `H ← act(H·Wᵀ + b)` with the
     /// batch stacked row-wise.  Falls back to the per-sample loop if any
     /// layer is not dense.
+    ///
+    /// `H·Wᵀ` feeds `W` straight to the blocked kernel's transposed
+    /// packing ([`Matrix::matmul_transb`]), so no per-layer transpose is
+    /// materialised.
     fn forward_batch(&self, xs: &[Vec<f32>]) -> Vec<Vec<f32>> {
         if xs.is_empty() {
             return Vec::new();
@@ -218,8 +222,9 @@ impl Model for Mlp {
         }
         let mut h = Matrix::from_rows(xs).expect("batch rows share the input dim");
         for layer in &self.layers {
-            let wt = layer.weights().transpose();
-            let mut z = h.matmul(&wt).expect("batch/weight dims agree");
+            let mut z = h
+                .matmul_transb(layer.weights())
+                .expect("batch/weight dims agree");
             let bias = layer.bias();
             let act = layer.activation();
             for r in 0..z.rows() {

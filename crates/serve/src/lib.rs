@@ -13,8 +13,10 @@
 //! Architecture (one `Server`):
 //!
 //! ```text
-//!  clients ──▶ admission control ──▶ bounded MPMC queue ──▶ worker pool
+//!  clients ──▶ admission control ──▶ bounded MPMC queue ──▶ workers
 //!              (QueueFull / block)    (Mutex + Condvar)        │
+//!                     (dedicated threads on the shared         │
+//!                      errflow_tensor::pool thread pool)       │
 //!                                                              ▼
 //!                     plan cache (LRU over tolerance buckets)  │
 //!                     miss: Planner::with_analysis + quantize  │

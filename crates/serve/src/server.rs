@@ -2,8 +2,12 @@
 //! execution → certified responses.
 //!
 //! A [`Server`] owns one model, its (expensive, computed-once) spectral
-//! [`NetworkAnalysis`], and a pool of worker threads behind a bounded
-//! [`BoundedQueue`].  Each request carries a payload of samples, a
+//! [`NetworkAnalysis`], and a set of worker threads behind a bounded
+//! [`BoundedQueue`].  Workers are *dedicated* threads registered with the
+//! shared workspace pool ([`errflow_tensor::pool`]): they block on the
+//! queue (so they sit outside the pool's compute-worker set) while their
+//! chunk-decode and GEMM fan-out runs on the pool's compute workers.
+//! Each request carries a payload of samples, a
 //! relative QoI tolerance, and the norm/layout it is expressed in; the
 //! worker pool answers with predictions **plus the certified relative
 //! error bound** of the plan that produced them — always ≤ the requested
@@ -340,14 +344,17 @@ impl<M: Model + Clone + Send + Sync + 'static> Server<M> {
             input_dim,
         });
         let queue = Arc::new(BoundedQueue::new(cfg.queue_capacity));
+        // Workers are pool-accounted *dedicated* threads: they block on the
+        // queue, so they live outside the compute-worker set, while their
+        // chunk-decode fan-out rides the shared pool's compute workers.
         let workers = (0..cfg.workers)
             .map(|i| {
                 let inner = Arc::clone(&inner);
                 let queue = Arc::clone(&queue);
-                std::thread::Builder::new()
-                    .name(format!("errflow-serve-{i}"))
-                    .spawn(move || worker_loop(&inner, &queue))
-                    .expect("spawn worker")
+                errflow_tensor::pool::global()
+                    .spawn_dedicated(format!("errflow-serve-{i}"), move || {
+                        worker_loop(&inner, &queue)
+                    })
             })
             .collect();
         Server {

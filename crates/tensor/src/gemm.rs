@@ -1,0 +1,722 @@
+//! Cache-blocked, panel-packed, multi-threaded GEMM kernel.
+//!
+//! Every hot path in the workspace — power iteration for Ineq. 3 spectral
+//! analysis, PSN training, im2col convolution, and the serving layer's
+//! batched forward pass — bottoms out in dense matrix products.  This
+//! module replaces the textbook `i-k-j` loop (kept as
+//! [`crate::Matrix::matmul_naive`] for reference and testing) with the
+//! standard high-performance decomposition:
+//!
+//! * **Blocking** — the iteration space is tiled `NC × KC × MC` so the
+//!   packed `KC×NC` panel of `B` stays in L2/L3 and each `MC×KC` block of
+//!   `A` stays in L2 while it is reused across the whole `B` panel.
+//! * **Packing** — `A` blocks are repacked into `MR`-row panels and `B`
+//!   blocks into `NR`-column panels, so the microkernel streams both
+//!   operands contiguously regardless of the caller's leading dimensions
+//!   (this is also what makes `C += A·Bᵀ` free: only the pack changes).
+//! * **Microkernel** — a fixed `MR×NR` register tile accumulated over the
+//!   packed `KC` dimension with no bounds checks in the hot loop.  The
+//!   body is plain scalar Rust written to autovectorize; on x86-64 the
+//!   same body is additionally compiled under
+//!   `#[target_feature(enable = "avx2,fma")]` and selected at runtime, so
+//!   generic builds still get 256-bit FMA arithmetic without giving up
+//!   portability.
+//! * **Row-band parallelism** — bands of `MC` rows of `C` are distributed
+//!   over the shared workspace [`crate::pool`].  Bands write disjoint rows,
+//!   so results are bitwise identical for every thread count.
+//!
+//! Entry points take raw row-major slices; [`crate::Matrix`] wraps them.
+
+use crate::pool;
+
+// ---------------------------------------------------------------------------
+// Blocking parameters
+// ---------------------------------------------------------------------------
+
+/// Rows of `C` per parallel band and per packed `A` block (L2-sized:
+/// `MC·KC·4 B = 128 KiB`).
+pub const MC: usize = 128;
+/// Depth of the packed `A`/`B` blocks (the microkernel's accumulation
+/// length; `KC·NR·4 B` panels stay L1-resident).
+pub const KC: usize = 256;
+/// Columns of the packed `B` panel (`KC·NC·4 B = 2 MiB`, L3-sized).
+pub const NC: usize = 2048;
+
+/// Microkernel tile for the portable autovectorized path: `4×8` keeps the
+/// accumulator tile plus one `B` row and an `A` broadcast inside the 16
+/// baseline SSE2 registers.
+const MR_GEN: usize = 4;
+const NR_GEN: usize = 8;
+
+/// Microkernel tile for the AVX2+FMA path: `4×16` is eight 256-bit
+/// accumulators (two per row), enough independent FMA chains to hide
+/// latency while leaving registers for the `B` loads and `A` broadcast.
+#[cfg(target_arch = "x86_64")]
+const MR_AVX: usize = 4;
+#[cfg(target_arch = "x86_64")]
+const NR_AVX: usize = 16;
+
+/// Products with `m·n·k` at or below this run the simple unblocked kernel:
+/// packing overhead is quadratic and dominates tiny products.
+const SMALL_GEMM: usize = 32 * 32 * 32;
+
+/// `rows·cols` below which GEMV stays on the calling thread.
+const SMALL_GEMV: usize = 64 * 1024;
+
+// ---------------------------------------------------------------------------
+// Microkernel
+// ---------------------------------------------------------------------------
+
+/// The shared microkernel body: `acc[MR][NR] += Ap · Bp` over the packed
+/// depth.  `ap` is `kc` columns of `MR` values, `bp` is `kc` rows of `NR`
+/// values; both are exact-size panels so the loop carries no bounds checks
+/// after the `chunks_exact` split.  `FMA` selects fused `mul_add` (only
+/// profitable when the target actually has the instruction — on soft-fma
+/// targets it would fall back to a library call).
+#[inline(always)]
+fn microkernel_body<const MR: usize, const NR: usize, const FMA: bool>(
+    ap: &[f32],
+    bp: &[f32],
+    acc: &mut [[f32; NR]; MR],
+) {
+    for (a, b) in ap.chunks_exact(MR).zip(bp.chunks_exact(NR)) {
+        let a: &[f32; MR] = a.try_into().expect("packed A panel column");
+        let b: &[f32; NR] = b.try_into().expect("packed B panel row");
+        for i in 0..MR {
+            let ai = a[i];
+            for j in 0..NR {
+                acc[i][j] = if FMA {
+                    ai.mul_add(b[j], acc[i][j])
+                } else {
+                    acc[i][j] + ai * b[j]
+                };
+            }
+        }
+    }
+}
+
+/// Portable microkernel: relies on LLVM autovectorizing the fully unrolled
+/// `MR×NR` tile (SSE2 on baseline x86-64, NEON on aarch64).
+fn microkernel_generic(ap: &[f32], bp: &[f32], acc: &mut [[f32; NR_GEN]; MR_GEN]) {
+    microkernel_body::<MR_GEN, NR_GEN, false>(ap, bp, acc);
+}
+
+/// AVX2+FMA instantiation of the same body.
+///
+/// # Safety
+/// Callers must have verified `avx2` and `fma` CPU support (see
+/// [`kernel_kind`]).
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2,fma")]
+unsafe fn microkernel_avx2(ap: &[f32], bp: &[f32], acc: &mut [[f32; NR_AVX]; MR_AVX]) {
+    microkernel_body::<MR_AVX, NR_AVX, true>(ap, bp, acc);
+}
+
+/// Which instantiation of the kernel this CPU runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KernelKind {
+    /// Portable autovectorized microkernel.
+    Generic,
+    /// Runtime-detected AVX2+FMA microkernel (x86-64 only).
+    Avx2Fma,
+}
+
+/// Runtime CPU dispatch, detected once per process.
+pub fn kernel_kind() -> KernelKind {
+    #[cfg(target_arch = "x86_64")]
+    {
+        use std::sync::OnceLock;
+        static KIND: OnceLock<KernelKind> = OnceLock::new();
+        *KIND.get_or_init(|| {
+            if std::arch::is_x86_feature_detected!("avx2")
+                && std::arch::is_x86_feature_detected!("fma")
+            {
+                KernelKind::Avx2Fma
+            } else {
+                KernelKind::Generic
+            }
+        })
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        KernelKind::Generic
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Packing
+// ---------------------------------------------------------------------------
+
+/// How the `B` operand is laid out in memory.
+#[derive(Debug, Clone, Copy)]
+enum BLayout {
+    /// `B` is `k×n` row-major: element `(p, j)` at `p·n + j`.
+    Normal,
+    /// The buffer holds `Bᵀ` as `n×k` row-major: element `(p, j)` at
+    /// `j·k + p`.  Used by `C += A·Bᵀ` (e.g. batched MLP layers, which
+    /// apply `H·Wᵀ` without materialising the transpose).
+    Transposed,
+}
+
+/// Borrowed `B` operand with logical shape `k×n`.
+#[derive(Clone, Copy)]
+struct BRef<'a> {
+    data: &'a [f32],
+    layout: BLayout,
+    k: usize,
+    n: usize,
+}
+
+/// Packs the `kc×nc` block of `B` at `(pc, jc)` into `NR`-column panels:
+/// panel-major, depth-major inside a panel, `NR` contiguous values per
+/// depth step, zero-padded to full `NR` at the right edge.
+fn pack_b<const NR: usize>(
+    b: BRef<'_>,
+    pc: usize,
+    jc: usize,
+    kc: usize,
+    nc: usize,
+    buf: &mut [f32],
+) {
+    let panels = nc.div_ceil(NR);
+    for jp in 0..panels {
+        let j0 = jc + jp * NR;
+        let width = NR.min(jc + nc - j0);
+        let dst = &mut buf[jp * kc * NR..][..kc * NR];
+        match b.layout {
+            BLayout::Normal => {
+                for p in 0..kc {
+                    let src = &b.data[(pc + p) * b.n + j0..][..width];
+                    let row = &mut dst[p * NR..][..NR];
+                    row[..width].copy_from_slice(src);
+                    row[width..].fill(0.0);
+                }
+            }
+            BLayout::Transposed => {
+                for w in 0..width {
+                    let col = &b.data[(j0 + w) * b.k + pc..][..kc];
+                    for (p, &v) in col.iter().enumerate() {
+                        dst[p * NR + w] = v;
+                    }
+                }
+                for p in 0..kc {
+                    dst[p * NR + width..p * NR + NR].fill(0.0);
+                }
+            }
+        }
+    }
+}
+
+/// Packs the `mc×kc` block of `A` at `(ic, pc)` into `MR`-row panels:
+/// panel-major, depth-major inside a panel, `MR` contiguous values per
+/// depth step, zero-padded to full `MR` at the bottom edge.
+fn pack_a<const MR: usize>(
+    a: &[f32],
+    lda: usize,
+    ic: usize,
+    pc: usize,
+    mc: usize,
+    kc: usize,
+    buf: &mut [f32],
+) {
+    let panels = mc.div_ceil(MR);
+    for ip in 0..panels {
+        let i0 = ic + ip * MR;
+        let height = MR.min(ic + mc - i0);
+        let dst = &mut buf[ip * kc * MR..][..kc * MR];
+        for p in 0..kc {
+            let col = &mut dst[p * MR..][..MR];
+            for (r, slot) in col[..height].iter_mut().enumerate() {
+                *slot = a[(i0 + r) * lda + pc + p];
+            }
+            col[height..].fill(0.0);
+        }
+    }
+}
+
+/// Accumulates a microkernel tile into `C` (`ldc`-strided), clipping to the
+/// `mr_eff×nr_eff` valid region at the matrix edges.
+#[inline(always)]
+fn store_tile<const MR: usize, const NR: usize>(
+    acc: &[[f32; NR]; MR],
+    c: &mut [f32],
+    ldc: usize,
+    row: usize,
+    col: usize,
+    mr_eff: usize,
+    nr_eff: usize,
+) {
+    if mr_eff == MR && nr_eff == NR {
+        for (i, acc_row) in acc.iter().enumerate() {
+            let dst = &mut c[(row + i) * ldc + col..][..NR];
+            for j in 0..NR {
+                dst[j] += acc_row[j];
+            }
+        }
+    } else {
+        for (i, acc_row) in acc.iter().take(mr_eff).enumerate() {
+            let dst = &mut c[(row + i) * ldc + col..][..nr_eff];
+            for (d, &v) in dst.iter_mut().zip(acc_row) {
+                *d += v;
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Blocked driver
+// ---------------------------------------------------------------------------
+
+/// `*mut f32` that may cross threads; each row band writes a disjoint row
+/// range of `C`, so shared access is race-free.
+#[derive(Clone, Copy)]
+struct BandPtr(*mut f32);
+unsafe impl Send for BandPtr {}
+unsafe impl Sync for BandPtr {}
+
+impl BandPtr {
+    /// Accessor (rather than field access) so closures capture the whole
+    /// `Sync` wrapper instead of the bare `*mut f32` field.
+    #[inline]
+    fn get(self) -> *mut f32 {
+        self.0
+    }
+}
+
+/// The blocked, packed, row-band-parallel driver, monomorphised per
+/// microkernel tile.
+fn gemm_blocked<const MR: usize, const NR: usize>(
+    m: usize,
+    n: usize,
+    k: usize,
+    a: &[f32],
+    b: BRef<'_>,
+    c: &mut [f32],
+    threads: usize,
+    mk: unsafe fn(&[f32], &[f32], &mut [[f32; NR]; MR]),
+) {
+    let nc_cap = NC.min(n.div_ceil(NR) * NR);
+    let kc_cap = KC.min(k);
+    let mut bbuf = vec![0.0f32; kc_cap * nc_cap];
+    let bands = m.div_ceil(MC);
+    let c_ptr = BandPtr(c.as_mut_ptr());
+
+    let mut jc = 0;
+    while jc < n {
+        let nc = NC.min(n - jc);
+        let mut pc = 0;
+        while pc < k {
+            let kc = KC.min(k - pc);
+            let b_panels = nc.div_ceil(NR);
+            let bpacked = &mut bbuf[..kc * b_panels * NR];
+            pack_b::<NR>(b, pc, jc, kc, nc, bpacked);
+            let bpacked = &*bpacked;
+
+            pool::global().parallel_for(bands, threads, move |band| {
+                let ic = band * MC;
+                let mc = MC.min(m - ic);
+                let a_panels = mc.div_ceil(MR);
+                let mut abuf = vec![0.0f32; a_panels * MR * kc];
+                pack_a::<MR>(a, k, ic, pc, mc, kc, &mut abuf);
+                // Safety: bands index disjoint row ranges of `C`, and the
+                // pool guarantees the job outlives no borrow (the caller
+                // blocks until every band finished).
+                let c_band =
+                    unsafe { std::slice::from_raw_parts_mut(c_ptr.get().add(ic * n), mc * n) };
+                for jp in 0..b_panels {
+                    let nr_eff = NR.min(nc - jp * NR);
+                    let bp = &bpacked[jp * kc * NR..][..kc * NR];
+                    for ip in 0..a_panels {
+                        let mr_eff = MR.min(mc - ip * MR);
+                        let ap = &abuf[ip * kc * MR..][..kc * MR];
+                        let mut acc = [[0.0f32; NR]; MR];
+                        // Safety: `mk` is either the safe generic kernel or
+                        // the AVX2 one selected only after feature
+                        // detection.
+                        unsafe { mk(ap, bp, &mut acc) };
+                        store_tile::<MR, NR>(
+                            &acc,
+                            c_band,
+                            n,
+                            ip * MR,
+                            jc + jp * NR,
+                            mr_eff,
+                            nr_eff,
+                        );
+                    }
+                }
+            });
+            pc += kc;
+        }
+        jc += nc;
+    }
+}
+
+/// Unblocked fallback for tiny products, where packing overhead dominates.
+/// Branch-free `i-k-j` (`Normal`) or row-dot (`Transposed`, where both
+/// operand rows are contiguous).
+fn gemm_simple(m: usize, n: usize, k: usize, a: &[f32], b: BRef<'_>, c: &mut [f32]) {
+    match b.layout {
+        BLayout::Normal => {
+            for i in 0..m {
+                let crow = &mut c[i * n..(i + 1) * n];
+                let arow = &a[i * k..(i + 1) * k];
+                for (p, &aip) in arow.iter().enumerate() {
+                    let brow = &b.data[p * n..(p + 1) * n];
+                    for (cv, &bv) in crow.iter_mut().zip(brow) {
+                        *cv += aip * bv;
+                    }
+                }
+            }
+        }
+        BLayout::Transposed => {
+            for i in 0..m {
+                let arow = &a[i * k..(i + 1) * k];
+                let crow = &mut c[i * n..(i + 1) * n];
+                for (j, cv) in crow.iter_mut().enumerate() {
+                    *cv += dot(arow, &b.data[j * k..(j + 1) * k]);
+                }
+            }
+        }
+    }
+}
+
+fn gemm_dispatch(
+    m: usize,
+    n: usize,
+    k: usize,
+    a: &[f32],
+    b: BRef<'_>,
+    c: &mut [f32],
+    threads: usize,
+) {
+    assert_eq!(a.len(), m * k, "A buffer does not match {m}x{k}");
+    assert_eq!(b.data.len(), k * n, "B buffer does not match {k}x{n}");
+    assert_eq!(c.len(), m * n, "C buffer does not match {m}x{n}");
+    if m == 0 || n == 0 || k == 0 {
+        return;
+    }
+    if m * n * k <= SMALL_GEMM {
+        gemm_simple(m, n, k, a, b, c);
+        return;
+    }
+    match kernel_kind() {
+        #[cfg(target_arch = "x86_64")]
+        KernelKind::Avx2Fma => {
+            gemm_blocked::<MR_AVX, NR_AVX>(m, n, k, a, b, c, threads, microkernel_avx2)
+        }
+        _ => gemm_blocked::<MR_GEN, NR_GEN>(
+            m,
+            n,
+            k,
+            a,
+            b,
+            c,
+            threads,
+            microkernel_generic as unsafe fn(&[f32], &[f32], &mut [[f32; NR_GEN]; MR_GEN]),
+        ),
+    }
+}
+
+/// A sensible thread budget for a product of `flops = m·n·k` multiply-adds:
+/// single-threaded below the parallel threshold, the whole shared pool
+/// above it.
+pub fn auto_threads(flops: usize) -> usize {
+    if flops < 1 << 18 {
+        1
+    } else {
+        pool::global().max_concurrency()
+    }
+}
+
+/// `C += A·B` on row-major slices, using up to `threads` threads
+/// (`A: m×k`, `B: k×n`, `C: m×n`).  Deterministic: results are bitwise
+/// identical for every `threads` value.
+pub fn gemm(m: usize, n: usize, k: usize, a: &[f32], b: &[f32], c: &mut [f32], threads: usize) {
+    gemm_dispatch(
+        m,
+        n,
+        k,
+        a,
+        BRef {
+            data: b,
+            layout: BLayout::Normal,
+            k,
+            n,
+        },
+        c,
+        threads,
+    );
+}
+
+/// `C += A·Bᵀ` where the buffer holds `Bᵀ` as `n×k` row-major
+/// (`A: m×k`, `C: m×n`).  Same kernel as [`gemm`]; only the `B` pack
+/// indexing differs.
+pub fn gemm_transb(
+    m: usize,
+    n: usize,
+    k: usize,
+    a: &[f32],
+    bt: &[f32],
+    c: &mut [f32],
+    threads: usize,
+) {
+    gemm_dispatch(
+        m,
+        n,
+        k,
+        a,
+        BRef {
+            data: bt,
+            layout: BLayout::Transposed,
+            k,
+            n,
+        },
+        c,
+        threads,
+    );
+}
+
+// ---------------------------------------------------------------------------
+// GEMV
+// ---------------------------------------------------------------------------
+
+/// Dot product with eight independent accumulator lanes so LLVM can
+/// vectorize the reduction (a single running sum is a serial dependency
+/// chain the autovectorizer must preserve).
+#[inline]
+pub fn dot(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    const LANES: usize = 8;
+    let mut acc = [0.0f32; LANES];
+    let mut ca = a.chunks_exact(LANES);
+    let mut cb = b.chunks_exact(LANES);
+    for (x, y) in (&mut ca).zip(&mut cb) {
+        for l in 0..LANES {
+            acc[l] += x[l] * y[l];
+        }
+    }
+    let mut s = 0.0f32;
+    for v in acc {
+        s += v;
+    }
+    for (x, y) in ca.remainder().iter().zip(cb.remainder()) {
+        s += x * y;
+    }
+    s
+}
+
+/// `y = A·x` (`A: rows×cols` row-major).  Rows are split into bands over
+/// the shared pool when the product is large enough to amortise dispatch.
+pub fn gemv(rows: usize, cols: usize, a: &[f32], x: &[f32], y: &mut [f32], threads: usize) {
+    assert_eq!(
+        a.len(),
+        rows * cols,
+        "A buffer does not match {rows}x{cols}"
+    );
+    assert_eq!(x.len(), cols, "x length != cols");
+    assert_eq!(y.len(), rows, "y length != rows");
+    if rows == 0 {
+        return;
+    }
+    if threads <= 1 || rows * cols < SMALL_GEMV {
+        for (r, out) in y.iter_mut().enumerate() {
+            *out = dot(&a[r * cols..(r + 1) * cols], x);
+        }
+        return;
+    }
+    let band = rows
+        .div_ceil(pool::global().max_concurrency().max(1))
+        .max(1);
+    let bands = rows.div_ceil(band);
+    let y_ptr = BandPtr(y.as_mut_ptr());
+    pool::global().parallel_for(bands, threads, move |t| {
+        let r0 = t * band;
+        let r1 = rows.min(r0 + band);
+        // Safety: bands cover disjoint `y` ranges; the pool blocks until
+        // all bands finish.
+        let y_band = unsafe { std::slice::from_raw_parts_mut(y_ptr.get().add(r0), r1 - r0) };
+        for (i, out) in y_band.iter_mut().enumerate() {
+            let r = r0 + i;
+            *out = dot(&a[r * cols..(r + 1) * cols], x);
+        }
+    });
+}
+
+/// `y = Aᵀ·x` (`A: rows×cols` row-major, `x` of length `rows`) without
+/// materialising the transpose: a branch-free AXPY per row, which streams
+/// both `y` and the row contiguously and autovectorizes.
+pub fn gemv_t(rows: usize, cols: usize, a: &[f32], x: &[f32], y: &mut [f32]) {
+    assert_eq!(
+        a.len(),
+        rows * cols,
+        "A buffer does not match {rows}x{cols}"
+    );
+    assert_eq!(x.len(), rows, "x length != rows");
+    assert_eq!(y.len(), cols, "y length != cols");
+    for (r, &xr) in x.iter().enumerate() {
+        let row = &a[r * cols..(r + 1) * cols];
+        for (out, &w) in y.iter_mut().zip(row) {
+            *out += xr * w;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::StdRng;
+
+    fn random(n: usize, rng: &mut StdRng) -> Vec<f32> {
+        (0..n).map(|_| rng.gen_range(-1.0f32..1.0)).collect()
+    }
+
+    /// Reference triple loop in f64 for tight parity checks.
+    fn reference(m: usize, n: usize, k: usize, a: &[f32], b: &[f32]) -> Vec<f64> {
+        let mut c = vec![0.0f64; m * n];
+        for i in 0..m {
+            for p in 0..k {
+                let aip = a[i * k + p] as f64;
+                for j in 0..n {
+                    c[i * n + j] += aip * b[p * n + j] as f64;
+                }
+            }
+        }
+        c
+    }
+
+    fn assert_close(m: usize, n: usize, got: &[f32], want: &[f64]) {
+        for (i, (&g, &w)) in got.iter().zip(want).enumerate() {
+            let tol = 1e-5 * w.abs().max(1.0);
+            assert!(
+                (g as f64 - w).abs() <= tol,
+                "({m}x{n}) element {i}: got {g}, want {w}"
+            );
+        }
+    }
+
+    #[test]
+    fn matches_reference_across_shapes() {
+        let mut rng = StdRng::seed_from_u64(42);
+        for &(m, n, k) in &[
+            (1usize, 1usize, 1usize),
+            (1, 7, 5),
+            (5, 1, 3),
+            (3, 4, 1),
+            (17, 19, 23),
+            (33, 65, 129),
+            (64, 64, 64),
+            (100, 1, 50),
+            (1, 100, 50),
+            (130, 70, 300),
+        ] {
+            let a = random(m * k, &mut rng);
+            let b = random(k * n, &mut rng);
+            let mut c = vec![0.0f32; m * n];
+            gemm(m, n, k, &a, &b, &mut c, 4);
+            assert_close(m, n, &c, &reference(m, n, k, &a, &b));
+        }
+    }
+
+    #[test]
+    fn degenerate_dimensions_are_noops() {
+        for &(m, n, k) in &[(0usize, 5usize, 4usize), (5, 0, 4), (5, 4, 0)] {
+            let a = vec![1.0f32; m * k];
+            let b = vec![1.0f32; k * n];
+            let mut c = vec![0.0f32; m * n];
+            gemm(m, n, k, &a, &b, &mut c, 4);
+            assert!(c.iter().all(|&v| v == 0.0));
+        }
+    }
+
+    #[test]
+    fn accumulates_into_c() {
+        let a = vec![1.0f32; 4];
+        let b = vec![1.0f32; 4];
+        let mut c = vec![10.0f32; 4];
+        gemm(2, 2, 2, &a, &b, &mut c, 1);
+        assert!(c.iter().all(|&v| v == 12.0));
+    }
+
+    #[test]
+    fn deterministic_across_thread_counts() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let (m, n, k) = (200, 150, 170);
+        let a = random(m * k, &mut rng);
+        let b = random(k * n, &mut rng);
+        let mut reference_c = vec![0.0f32; m * n];
+        gemm(m, n, k, &a, &b, &mut reference_c, 1);
+        for threads in [2usize, 3, 4, 8] {
+            let mut c = vec![0.0f32; m * n];
+            gemm(m, n, k, &a, &b, &mut c, threads);
+            assert_eq!(c, reference_c, "threads={threads} changed the result");
+        }
+    }
+
+    #[test]
+    fn transb_matches_normal() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for &(m, n, k) in &[(5usize, 9usize, 7usize), (40, 60, 130), (129, 31, 257)] {
+            let a = random(m * k, &mut rng);
+            let b = random(k * n, &mut rng);
+            // bt[j*k + p] = b[p*n + j]
+            let mut bt = vec![0.0f32; n * k];
+            for p in 0..k {
+                for j in 0..n {
+                    bt[j * k + p] = b[p * n + j];
+                }
+            }
+            let mut c = vec![0.0f32; m * n];
+            gemm_transb(m, n, k, &a, &bt, &mut c, 4);
+            assert_close(m, n, &c, &reference(m, n, k, &a, &b));
+        }
+    }
+
+    #[test]
+    fn gemv_matches_reference() {
+        let mut rng = StdRng::seed_from_u64(11);
+        for &(rows, cols) in &[(1usize, 1usize), (3, 17), (65, 33), (300, 400)] {
+            let a = random(rows * cols, &mut rng);
+            let x = random(cols, &mut rng);
+            let mut y = vec![0.0f32; rows];
+            gemv(rows, cols, &a, &x, &mut y, 4);
+            for r in 0..rows {
+                let want: f64 = (0..cols)
+                    .map(|c| a[r * cols + c] as f64 * x[c] as f64)
+                    .sum();
+                assert!((y[r] as f64 - want).abs() <= 1e-5 * want.abs().max(1.0));
+            }
+        }
+    }
+
+    #[test]
+    fn gemv_t_matches_reference() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let (rows, cols) = (37, 53);
+        let a = random(rows * cols, &mut rng);
+        let x = random(rows, &mut rng);
+        let mut y = vec![0.0f32; cols];
+        gemv_t(rows, cols, &a, &x, &mut y);
+        for c in 0..cols {
+            let want: f64 = (0..rows)
+                .map(|r| a[r * cols + c] as f64 * x[r] as f64)
+                .sum();
+            assert!((y[c] as f64 - want).abs() <= 1e-5 * want.abs().max(1.0));
+        }
+    }
+
+    #[test]
+    fn dot_handles_remainders() {
+        for n in [0usize, 1, 7, 8, 9, 31] {
+            let a: Vec<f32> = (0..n).map(|i| i as f32).collect();
+            let b = vec![2.0f32; n];
+            let want: f32 = (0..n).map(|i| 2.0 * i as f32).sum();
+            assert_eq!(dot(&a, &b), want);
+        }
+    }
+
+    #[test]
+    fn kernel_kind_is_stable() {
+        assert_eq!(kernel_kind(), kernel_kind());
+    }
+}

@@ -8,6 +8,13 @@
 //!
 //! * [`Matrix`] — row-major `f32` dense matrix with GEMM, GEMV and the
 //!   element-wise operations needed by the neural-network substrate.
+//! * [`gemm`] — the cache-blocked, panel-packed, multi-threaded GEMM/GEMV
+//!   kernel every `Matrix` product routes through (with a runtime
+//!   AVX2+FMA microkernel on x86-64); the textbook loop survives as
+//!   [`Matrix::matmul_naive`] for reference and benchmarking.
+//! * [`pool`] — the shared workspace thread pool: persistent workers,
+//!   caller participation, per-job concurrency caps.  GEMM row bands,
+//!   chunked compression and the serving layer all run on it.
 //! * [`norms`] — L1/L2/L∞ vector norms and the L2↔L∞ conversion inequality
 //!   used throughout the paper (`(1/√n)‖·‖₂ ≤ ‖·‖∞ ≤ ‖·‖₂`).
 //! * [`spectral`] — power iteration (von Mises & Pollaczek-Geiringer, the
@@ -22,9 +29,11 @@
 
 pub mod conv;
 pub mod error;
+pub mod gemm;
 pub mod init;
 pub mod matrix;
 pub mod norms;
+pub mod pool;
 pub mod rng;
 pub mod spectral;
 pub mod stats;

@@ -2,12 +2,14 @@
 //!
 //! The layouts and operations here are deliberately minimal: the neural
 //! networks in the paper (compact MLPs and ResNet blocks) only need GEMM,
-//! GEMV, transpose, and element-wise maps.  GEMM uses the cache-friendly
-//! `i-k-j` loop order with an accumulation row, which is the standard
-//! textbook optimisation for row-major data and is fast enough to train the
-//! paper's models on a CPU.
+//! GEMV, transpose, and element-wise maps.  All matrix products route
+//! through the blocked, packed, multi-threaded kernel in [`crate::gemm`];
+//! the textbook `i-k-j` loop survives as [`Matrix::matmul_naive`] as the
+//! reference implementation for parity tests and the `gemm-bench`
+//! baseline.
 
 use crate::error::TensorError;
+use crate::gemm;
 use crate::Result;
 
 /// A dense row-major matrix of `f32` values.
@@ -187,9 +189,67 @@ impl Matrix {
 
     /// GEMM: `self · rhs`, shape-checked.
     ///
-    /// Uses the `i-k-j` loop order so the innermost loop streams through both
-    /// the output row and the `rhs` row contiguously.
+    /// Routes through the blocked, panel-packed, multi-threaded kernel in
+    /// [`crate::gemm`] (thread budget chosen from the product size); see
+    /// [`Matrix::matmul_naive`] for the reference loop.
     pub fn matmul(&self, rhs: &Matrix) -> Result<Matrix> {
+        if self.cols != rhs.rows {
+            return Err(TensorError::ShapeMismatch {
+                op: "matmul",
+                lhs: self.shape(),
+                rhs: rhs.shape(),
+            });
+        }
+        let mut out = Matrix::zeros(self.rows, rhs.cols);
+        let threads = gemm::auto_threads(self.rows * self.cols * rhs.cols);
+        gemm::gemm(
+            self.rows,
+            rhs.cols,
+            self.cols,
+            &self.data,
+            &rhs.data,
+            &mut out.data,
+            threads,
+        );
+        Ok(out)
+    }
+
+    /// GEMM against a stored transpose: `self · rhsᵀ` where `rhs` has shape
+    /// `(n, self.cols)`.
+    ///
+    /// Batched layer application is `H·Wᵀ`; this entry point feeds `W`
+    /// directly to the kernel's transposed packing, avoiding the
+    /// materialised transpose per layer.
+    pub fn matmul_transb(&self, rhs: &Matrix) -> Result<Matrix> {
+        if self.cols != rhs.cols {
+            return Err(TensorError::ShapeMismatch {
+                op: "matmul_transb",
+                lhs: self.shape(),
+                rhs: rhs.shape(),
+            });
+        }
+        let mut out = Matrix::zeros(self.rows, rhs.rows);
+        let threads = gemm::auto_threads(self.rows * self.cols * rhs.rows);
+        gemm::gemm_transb(
+            self.rows,
+            rhs.rows,
+            self.cols,
+            &self.data,
+            &rhs.data,
+            &mut out.data,
+            threads,
+        );
+        Ok(out)
+    }
+
+    /// Reference GEMM: the textbook single-threaded `i-k-j` loop.
+    ///
+    /// Kept as the parity baseline for the blocked kernel (tests assert
+    /// agreement within 1e-5 relative error) and as the `gemm-bench`
+    /// speedup denominator.  Branch-free on purpose: the old
+    /// `if a == 0.0 { continue; }` early-out defeated autovectorization of
+    /// the inner AXPY and mispredicted on dense weights.
+    pub fn matmul_naive(&self, rhs: &Matrix) -> Result<Matrix> {
         if self.cols != rhs.rows {
             return Err(TensorError::ShapeMismatch {
                 op: "matmul",
@@ -202,9 +262,6 @@ impl Matrix {
             let out_row = &mut out.data[i * rhs.cols..(i + 1) * rhs.cols];
             for k in 0..self.cols {
                 let a = self.data[i * self.cols + k];
-                if a == 0.0 {
-                    continue;
-                }
                 let rhs_row = &rhs.data[k * rhs.cols..(k + 1) * rhs.cols];
                 for (o, &b) in out_row.iter_mut().zip(rhs_row) {
                     *o += a * b;
@@ -215,6 +272,10 @@ impl Matrix {
     }
 
     /// GEMV: `self · x` for a vector `x` of length `cols`.
+    ///
+    /// Routed through [`crate::gemm::gemv`]: lane-split dot products that
+    /// autovectorize, with row bands fanned out over the shared pool for
+    /// large matrices (this is the power-iteration hot path).
     pub fn matvec(&self, x: &[f32]) -> Result<Vec<f32>> {
         if x.len() != self.cols {
             return Err(TensorError::ShapeMismatch {
@@ -224,21 +285,15 @@ impl Matrix {
             });
         }
         let mut out = vec![0.0f32; self.rows];
-        for (r, o) in out.iter_mut().enumerate() {
-            let row = self.row(r);
-            let mut acc = 0.0f32;
-            for (&w, &v) in row.iter().zip(x) {
-                acc += w * v;
-            }
-            *o = acc;
-        }
+        let threads = gemm::auto_threads(self.rows * self.cols);
+        gemm::gemv(self.rows, self.cols, &self.data, x, &mut out, threads);
         Ok(out)
     }
 
     /// Transposed GEMV: `selfᵀ · x` for a vector `x` of length `rows`.
     ///
-    /// Used by backpropagation (`Wᵀ δ`) without materialising the transpose.
-    #[allow(clippy::needless_range_loop)] // indexes both x and rows
+    /// Used by backpropagation (`Wᵀ δ`) without materialising the
+    /// transpose.  Branch-free AXPY per row (see [`crate::gemm::gemv_t`]).
     pub fn matvec_t(&self, x: &[f32]) -> Result<Vec<f32>> {
         if x.len() != self.rows {
             return Err(TensorError::ShapeMismatch {
@@ -248,16 +303,7 @@ impl Matrix {
             });
         }
         let mut out = vec![0.0f32; self.cols];
-        for r in 0..self.rows {
-            let a = x[r];
-            if a == 0.0 {
-                continue;
-            }
-            let row = self.row(r);
-            for (o, &w) in out.iter_mut().zip(row) {
-                *o += a * w;
-            }
-        }
+        gemm::gemv_t(self.rows, self.cols, &self.data, x, &mut out);
         Ok(out)
     }
 
@@ -428,6 +474,57 @@ mod tests {
     fn matmul_shape_mismatch() {
         let a = m23();
         assert!(a.matmul(&m23()).is_err());
+    }
+
+    #[test]
+    fn matmul_naive_matches_blocked_kernel() {
+        use crate::rng::StdRng;
+        let mut rng = StdRng::seed_from_u64(21);
+        for &(m, n, k) in &[
+            (1usize, 1usize, 1usize),
+            (2, 3, 4),
+            (33, 65, 40),
+            (70, 50, 90),
+        ] {
+            let a = Matrix::from_fn(m, k, |_, _| rng.gen_range(-1.0f32..1.0));
+            let b = Matrix::from_fn(k, n, |_, _| rng.gen_range(-1.0f32..1.0));
+            let fast = a.matmul(&b).unwrap();
+            let naive = a.matmul_naive(&b).unwrap();
+            for (f, w) in fast.as_slice().iter().zip(naive.as_slice()) {
+                assert!(
+                    (f - w).abs() <= 1e-5 * w.abs().max(1.0),
+                    "({m}x{n}x{k}): {f} vs {w}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn matmul_naive_exact_zero_rows_and_columns() {
+        // The zero-skip branch is gone; exact-result parity on sparse
+        // inputs must hold regardless.
+        let mut a = Matrix::zeros(3, 3);
+        a.set(1, 1, 2.0);
+        let b = Matrix::from_vec(3, 2, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]).unwrap();
+        let naive = a.matmul_naive(&b).unwrap();
+        let fast = a.matmul(&b).unwrap();
+        assert_eq!(naive, fast);
+        assert_eq!(naive.as_slice(), &[0.0, 0.0, 6.0, 8.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn matmul_transb_matches_explicit_transpose() {
+        use crate::rng::StdRng;
+        let mut rng = StdRng::seed_from_u64(23);
+        let a = Matrix::from_fn(13, 29, |_, _| rng.gen_range(-1.0f32..1.0));
+        let w = Matrix::from_fn(17, 29, |_, _| rng.gen_range(-1.0f32..1.0));
+        let via_transpose = a.matmul(&w.transpose()).unwrap();
+        let fused = a.matmul_transb(&w).unwrap();
+        assert_eq!(fused.shape(), (13, 17));
+        for (f, t) in fused.as_slice().iter().zip(via_transpose.as_slice()) {
+            assert!((f - t).abs() <= 1e-5 * t.abs().max(1.0), "{f} vs {t}");
+        }
+        assert!(a.matmul_transb(&Matrix::zeros(4, 5)).is_err());
     }
 
     #[test]
