@@ -77,6 +77,24 @@ impl BitWriter {
         self.buf.extend_from_slice(&bytes[..tail_bytes]);
         self.buf
     }
+
+    /// Clears the writer for reuse without releasing its buffer — lets a
+    /// scratch-held writer encode repeatedly with zero steady-state
+    /// allocations.
+    pub fn reset(&mut self) {
+        self.buf.clear();
+        self.acc = 0;
+        self.nbits = 0;
+    }
+
+    /// Appends the packed bytes (including the partial tail byte, if any)
+    /// to `out` without consuming the writer.  Byte-for-byte identical to
+    /// what [`BitWriter::into_bytes`] would return.
+    pub fn append_bytes_to(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.buf);
+        let tail_bytes = self.nbits.div_ceil(8) as usize;
+        out.extend_from_slice(&self.acc.to_le_bytes()[..tail_bytes]);
+    }
 }
 
 /// Sequential bit source with 64-bit buffered reads.
@@ -101,16 +119,12 @@ impl<'a> BitReader<'a> {
 
     /// Loads up to 57 bits starting at the current position (unchecked
     /// beyond stream end — missing bytes read as zero).
+    ///
+    /// The in-bounds case compiles to a single unaligned 8-byte load plus a
+    /// shift; only the last ≤ 7 bytes of a stream take the zero-padded copy.
     #[inline]
     fn peek_word(&self) -> u64 {
-        let byte = self.pos / 8;
-        let shift = (self.pos % 8) as u32;
-        let mut word = [0u8; 8];
-        let end = (byte + 8).min(self.buf.len());
-        if byte < self.buf.len() {
-            word[..end - byte].copy_from_slice(&self.buf[byte..end]);
-        }
-        u64::from_le_bytes(word) >> shift
+        load_word(self.buf, self.pos)
     }
 
     /// Reads one bit; `None` at end of stream.
@@ -162,6 +176,20 @@ impl<'a> BitReader<'a> {
         self.peek_word() & ((1u64 << n) - 1)
     }
 
+    /// Reads `n ≤ 57` bits without an end-of-stream check: bits past the
+    /// stream end read as zero.  This is the ZFP bit-plane inner-loop fast
+    /// path — the caller must have verified (once per block, not per read)
+    /// that the stream still holds every bit the block can consume, so the
+    /// zero-padding case is unreachable on that path.
+    #[inline]
+    pub fn read_bits_unchecked(&mut self, n: u32) -> u64 {
+        debug_assert!(n >= 1 && n <= 57);
+        debug_assert!(self.pos + n as usize <= self.bit_capacity());
+        let v = self.peek_word() & ((1u64 << n) - 1);
+        self.pos += n as usize;
+        v
+    }
+
     /// Advances the cursor by `n` bits (clamped to the stream end).
     #[inline]
     pub fn skip_bits(&mut self, n: u32) {
@@ -177,6 +205,27 @@ impl<'a> BitReader<'a> {
     /// Current bit offset.
     pub fn bit_pos(&self) -> usize {
         self.pos
+    }
+}
+
+/// Loads up to 57 valid bits of `buf` starting at absolute bit `pos`,
+/// LSB-first; bits past the end of `buf` read as zero.
+///
+/// Shared by [`BitReader`] and the Huffman decoder's register-refill loop.
+/// The common (fully in-bounds) case is one unaligned little-endian load
+/// and a shift.
+#[inline]
+pub(crate) fn load_word(buf: &[u8], pos: usize) -> u64 {
+    let byte = pos >> 3;
+    let shift = (pos & 7) as u32;
+    if let Some(w) = buf.get(byte..byte + 8) {
+        u64::from_le_bytes(w.try_into().expect("8 bytes")) >> shift
+    } else {
+        let mut word = [0u8; 8];
+        if byte < buf.len() {
+            word[..buf.len() - byte].copy_from_slice(&buf[byte..]);
+        }
+        u64::from_le_bytes(word) >> shift
     }
 }
 
@@ -276,6 +325,43 @@ mod tests {
         assert_eq!(r.read_bits(4), Some(0b1100));
         // Peeking past the end pads with zeros.
         assert_eq!(r.peek_bits_lossy(8), 0);
+    }
+
+    #[test]
+    fn unchecked_reads_match_checked() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let ops: Vec<(u64, u32)> = (0..2000)
+            .map(|_| {
+                let n = rng.gen_range(1..=57u32);
+                (rng.gen::<u64>() & ((1 << n) - 1), n)
+            })
+            .collect();
+        let mut w = BitWriter::new();
+        for &(v, n) in &ops {
+            w.write_bits(v, n);
+        }
+        let bytes = w.into_bytes();
+        let mut checked = BitReader::new(&bytes);
+        let mut unchecked = BitReader::new(&bytes);
+        for &(v, n) in &ops {
+            assert_eq!(checked.read_bits(n), Some(v));
+            assert_eq!(unchecked.read_bits_unchecked(n), v, "width {n}");
+            assert_eq!(checked.bit_pos(), unchecked.bit_pos());
+        }
+    }
+
+    #[test]
+    fn load_word_handles_tails() {
+        let buf = [0xAB, 0xCD, 0xEF];
+        // Full in-bounds load is impossible (3 bytes); tail path pads zeros.
+        assert_eq!(load_word(&buf, 0), 0x00EFCDAB);
+        assert_eq!(load_word(&buf, 8), 0x00EFCD);
+        assert_eq!(load_word(&buf, 20), 0x0E);
+        assert_eq!(load_word(&buf, 24), 0);
+        assert_eq!(load_word(&[], 0), 0);
+        // In-bounds path: 9 bytes, read at bit 4.
+        let long = [0x10, 0x32, 0x54, 0x76, 0x98, 0xBA, 0xDC, 0xFE, 0x0F];
+        assert_eq!(load_word(&long, 4), 0x0FEDCBA987654321);
     }
 
     #[test]

@@ -13,11 +13,31 @@
 //! configured `threads` limit caps this job's concurrency without
 //! starving other pool users.
 
+//! Decompression is allocation-free per chunk in the steady state: the
+//! output buffer is pre-sized once, split into disjoint per-chunk slices,
+//! and each worker decodes straight into its slice through a pooled
+//! [`CodecScratch`](crate::CodecScratch) — no per-chunk `Vec`s and no
+//! reassembly copies.  Streams whose headers don't match the canonical
+//! chunk layout fall back to the original collect-then-concatenate path,
+//! so accepted-stream behaviour is unchanged.
+
 use crate::error_bound::{BoundMode, ErrorBound};
+use crate::scratch::{self, CodecScratch};
 use crate::traits::{CompressError, Compressor};
+use std::sync::Mutex;
 
 /// Default chunk size in values (256 KiB of f32).
-const DEFAULT_CHUNK: usize = 65_536;
+pub const DEFAULT_CHUNK: usize = 65_536;
+
+/// The pre-sized decode path only trusts a header-declared element count
+/// up to this many values (bounds the up-front allocation at 256 MiB).
+const PRESIZE_MAX_VALUES: usize = 1 << 26;
+
+/// ... and only when the declared count stays within this expansion factor
+/// of the stream itself.  Fully run-length-collapsed chunks reach ≈ 1000
+/// values per stream byte, so 4096× leaves real streams comfortable margin
+/// while keeping corrupt-header allocations proportional to input size.
+const PRESIZE_MAX_RATIO: usize = 4096;
 
 /// A parallel, chunked wrapper around any compression backend.
 pub struct ChunkedCompressor<C> {
@@ -27,15 +47,14 @@ pub struct ChunkedCompressor<C> {
 }
 
 impl<C: Compressor> ChunkedCompressor<C> {
-    /// Wraps `inner` with the default chunk size and all available cores.
+    /// Wraps `inner` with the default chunk size and the shared workspace
+    /// pool's configured concurrency — which honours the `ERRFLOW_THREADS`
+    /// override, so one env knob governs every parallel path consistently.
     pub fn new(inner: C) -> Self {
-        let threads = std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(1);
         ChunkedCompressor {
             inner,
             chunk_values: DEFAULT_CHUNK,
-            threads,
+            threads: errflow_tensor::pool::global().max_concurrency(),
         }
     }
 
@@ -61,6 +80,71 @@ impl<C: Compressor> ChunkedCompressor<C> {
             _ => ErrorBound::abs_linf(bound.pointwise_budget(data)),
         }
     }
+
+    /// Decodes every chunk into its disjoint slice of `out` (already split
+    /// to the canonical layout), fanning out on the shared pool with pooled
+    /// scratch per task.  Any chunk error aborts with the first error.
+    fn decompress_presized(
+        &self,
+        slices: &[&[u8]],
+        expected: &[usize],
+        out: &mut [f32],
+    ) -> Result<(), CompressError> {
+        debug_assert_eq!(slices.len(), expected.len());
+        debug_assert_eq!(expected.iter().sum::<usize>(), out.len());
+        let mut parts: Vec<(&[u8], &mut [f32])> = Vec::with_capacity(slices.len());
+        let mut rest = out;
+        for (&s, &len) in slices.iter().zip(expected) {
+            let (head, tail) = rest.split_at_mut(len);
+            rest = tail;
+            parts.push((s, head));
+        }
+        if self.threads <= 1 || parts.len() <= 1 {
+            for (s, dst) in parts {
+                let mut scratch = scratch::acquire();
+                self.inner.decompress_into(s, dst, &mut scratch)?;
+            }
+            return Ok(());
+        }
+        let cells: Vec<Mutex<Option<(&[u8], &mut [f32])>>> =
+            parts.into_iter().map(|p| Mutex::new(Some(p))).collect();
+        let first_err: Mutex<Option<CompressError>> = Mutex::new(None);
+        errflow_tensor::pool::global().parallel_for(cells.len(), self.threads, |i| {
+            let taken = cells[i].lock().expect("no poisoned workers").take();
+            if let Some((s, dst)) = taken {
+                let mut scratch = scratch::acquire();
+                if let Err(e) = self.inner.decompress_into(s, dst, &mut scratch) {
+                    first_err
+                        .lock()
+                        .expect("no poisoned workers")
+                        .get_or_insert(e);
+                }
+            }
+        });
+        match first_err.into_inner().expect("no poisoned workers") {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
+    }
+}
+
+/// Per-chunk element counts for the canonical layout `compress` produces:
+/// `n_chunks == ⌈n / chunk_values⌉` full chunks with a short tail.  `None`
+/// when the header doesn't match that layout (the caller then takes the
+/// legacy concatenation path, preserving old behaviour for non-canonical
+/// streams).
+fn chunk_layout(n: usize, chunk_values: usize, n_chunks: usize) -> Option<Vec<usize>> {
+    if n == 0 {
+        return (n_chunks == 0).then(Vec::new);
+    }
+    if chunk_values == 0 || n_chunks != n.div_ceil(chunk_values) {
+        return None;
+    }
+    Some(
+        (0..n_chunks)
+            .map(|i| chunk_values.min(n - i * chunk_values))
+            .collect(),
+    )
 }
 
 impl<C: Compressor> Compressor for ChunkedCompressor<C> {
@@ -96,31 +180,26 @@ impl<C: Compressor> Compressor for ChunkedCompressor<C> {
     }
 
     fn decompress(&self, stream: &[u8]) -> Result<Vec<f32>, CompressError> {
-        if stream.len() < 20 {
-            return Err(CompressError::CorruptStream(
-                "chunk header too short".into(),
-            ));
+        let (n, chunk_values, slices) = parse_chunk_stream(stream)?;
+
+        // Fast path: the header matches the canonical layout `compress`
+        // emits and the declared count is plausible for the stream size, so
+        // the output can be pre-sized once and every chunk decoded straight
+        // into its slice with pooled scratch — no per-chunk Vecs, no
+        // reassembly copy.  Any failure falls through to the legacy path so
+        // accept/reject behaviour (and error text) is unchanged.
+        if n <= PRESIZE_MAX_VALUES && n <= stream.len().saturating_mul(PRESIZE_MAX_RATIO) {
+            if let Some(expected) = chunk_layout(n, chunk_values, slices.len()) {
+                let mut out = vec![0.0f32; n];
+                if self
+                    .decompress_presized(&slices, &expected, &mut out)
+                    .is_ok()
+                {
+                    return Ok(out);
+                }
+            }
         }
-        let n = u64::from_le_bytes(stream[0..8].try_into().expect("8 bytes")) as usize;
-        let _chunk_values = u64::from_le_bytes(stream[8..16].try_into().expect("8 bytes"));
-        let n_chunks = u32::from_le_bytes(stream[16..20].try_into().expect("4 bytes")) as usize;
-        let mut pos = 20usize;
-        let mut lens = Vec::with_capacity(crate::traits::safe_capacity(n_chunks, stream.len()));
-        for _ in 0..n_chunks {
-            let bytes = stream
-                .get(pos..pos + 8)
-                .ok_or_else(|| CompressError::CorruptStream("truncated chunk table".into()))?;
-            pos += 8;
-            lens.push(u64::from_le_bytes(bytes.try_into().expect("8 bytes")) as usize);
-        }
-        let mut slices = Vec::with_capacity(crate::traits::safe_capacity(n_chunks, stream.len()));
-        for &len in &lens {
-            let s = stream
-                .get(pos..pos + len)
-                .ok_or_else(|| CompressError::CorruptStream("truncated chunk".into()))?;
-            pos += len;
-            slices.push(s);
-        }
+
         let parts = run_parallel(self.threads, &slices, |s| self.inner.decompress(s))?;
         let mut out = Vec::with_capacity(crate::traits::safe_capacity(n, stream.len()));
         for p in parts {
@@ -134,6 +213,65 @@ impl<C: Compressor> Compressor for ChunkedCompressor<C> {
         }
         Ok(out)
     }
+
+    fn decompress_into(
+        &self,
+        stream: &[u8],
+        out: &mut [f32],
+        _scratch: &mut CodecScratch,
+    ) -> Result<(), CompressError> {
+        let (n, chunk_values, slices) = parse_chunk_stream(stream)?;
+        if n != out.len() {
+            return Err(CompressError::CorruptStream(format!(
+                "stream declares {n} values, expected {}",
+                out.len()
+            )));
+        }
+        if let Some(expected) = chunk_layout(n, chunk_values, slices.len()) {
+            if self.decompress_presized(&slices, &expected, out).is_ok() {
+                return Ok(());
+            }
+        }
+        // Non-canonical layout or a chunk failed in place: redo via the
+        // legacy path so errors match `decompress` exactly (the output
+        // buffer may hold partial data from the failed attempt, which the
+        // full rewrite below repairs on success).
+        let v = self.decompress(stream)?;
+        out.copy_from_slice(&v);
+        Ok(())
+    }
+}
+
+/// Parses the chunked container header, returning the declared element
+/// count, the declared chunk size, and the per-chunk byte slices.
+#[allow(clippy::type_complexity)]
+fn parse_chunk_stream(stream: &[u8]) -> Result<(usize, usize, Vec<&[u8]>), CompressError> {
+    if stream.len() < 20 {
+        return Err(CompressError::CorruptStream(
+            "chunk header too short".into(),
+        ));
+    }
+    let n = u64::from_le_bytes(stream[0..8].try_into().expect("8 bytes")) as usize;
+    let chunk_values = u64::from_le_bytes(stream[8..16].try_into().expect("8 bytes")) as usize;
+    let n_chunks = u32::from_le_bytes(stream[16..20].try_into().expect("4 bytes")) as usize;
+    let mut pos = 20usize;
+    let mut lens = Vec::with_capacity(crate::traits::safe_capacity(n_chunks, stream.len()));
+    for _ in 0..n_chunks {
+        let bytes = stream
+            .get(pos..pos + 8)
+            .ok_or_else(|| CompressError::CorruptStream("truncated chunk table".into()))?;
+        pos += 8;
+        lens.push(u64::from_le_bytes(bytes.try_into().expect("8 bytes")) as usize);
+    }
+    let mut slices = Vec::with_capacity(crate::traits::safe_capacity(n_chunks, stream.len()));
+    for &len in &lens {
+        let s = stream
+            .get(pos..pos + len)
+            .ok_or_else(|| CompressError::CorruptStream("truncated chunk".into()))?;
+        pos += len;
+        slices.push(s);
+    }
+    Ok((n, chunk_values, slices))
 }
 
 /// Maps `f` over `items` with at most `threads` concurrent workers,
@@ -323,6 +461,56 @@ mod tests {
             peak <= 2,
             "observed {peak} concurrent backend calls with threads=2"
         );
+    }
+
+    #[test]
+    fn default_threads_follow_shared_pool() {
+        // The satellite fix: `new()` derives its worker count from the
+        // shared workspace pool (ERRFLOW_THREADS-aware), not from
+        // `available_parallelism` directly.
+        let c = ChunkedCompressor::new(SzCompressor::default());
+        assert_eq!(c.threads, errflow_tensor::pool::global().max_concurrency());
+    }
+
+    #[test]
+    fn decompress_into_matches_decompress() {
+        let data = smooth(150_000);
+        let bound = ErrorBound::abs_linf(1e-4);
+        let c = ChunkedCompressor::new(MgardCompressor::default());
+        let stream = c.compress(&data, &bound).unwrap();
+        let via_vec = c.decompress(&stream).unwrap();
+        let mut via_into = vec![0.0f32; data.len()];
+        let mut scratch = CodecScratch::new();
+        c.decompress_into(&stream, &mut via_into, &mut scratch)
+            .unwrap();
+        assert_eq!(via_vec, via_into);
+        // Wrong-length output buffers are rejected.
+        let mut short = vec![0.0f32; data.len() - 1];
+        assert!(c
+            .decompress_into(&stream, &mut short, &mut scratch)
+            .is_err());
+    }
+
+    #[test]
+    fn non_canonical_layout_falls_back_to_legacy_path() {
+        // Hand-build a container whose chunk_values field disagrees with
+        // the actual chunk split; the legacy path must still decode it.
+        let data = smooth(10_000);
+        let bound = ErrorBound::abs_linf(1e-4);
+        let sz = SzCompressor::default();
+        let a = sz.compress(&data[..7_000], &bound).unwrap();
+        let b = sz.compress(&data[7_000..], &bound).unwrap();
+        let mut stream = Vec::new();
+        stream.extend_from_slice(&(data.len() as u64).to_le_bytes());
+        stream.extend_from_slice(&(9_999u64).to_le_bytes()); // bogus chunk size
+        stream.extend_from_slice(&(2u32).to_le_bytes());
+        stream.extend_from_slice(&(a.len() as u64).to_le_bytes());
+        stream.extend_from_slice(&(b.len() as u64).to_le_bytes());
+        stream.extend_from_slice(&a);
+        stream.extend_from_slice(&b);
+        let c = ChunkedCompressor::new(SzCompressor::default());
+        let recon = c.decompress(&stream).unwrap();
+        assert!(bound.verify(&data, &recon));
     }
 
     #[test]

@@ -7,26 +7,48 @@
 //! and the payload; canonical code assignment makes decode tables cheap to
 //! rebuild.
 //!
-//! Decoding is table-driven: a `2^13`-entry prefix table resolves every
-//! code of ≤ 13 bits in one lookup (the common case by construction of
-//! Huffman codes over skewed distributions); longer codes fall back to a
-//! bit-by-bit canonical walk.  This path dominates decompression throughput
-//! for the SZ/MGARD backends, which is what the paper's I/O figures measure.
+//! Decoding is table-driven and **register-batched**: the decoder loads a
+//! 57-bit window of the payload into a 64-bit register once, then decodes
+//! as many symbols as fit (typically 4–10 for skewed alphabets) with one
+//! table lookup + shift each before refilling.  A `2^13`-entry prefix table
+//! resolves every code of ≤ 13 bits in one lookup (the common case by
+//! construction of Huffman codes over skewed distributions); longer codes
+//! fall back to a bit-by-bit canonical walk.  This path dominates
+//! decompression throughput for the SZ/MGARD backends, which is what the
+//! paper's I/O figures measure.
+//!
+//! Both directions carry reusable scratch state ([`DecodeScratch`],
+//! [`EncodeScratch`]) so steady-state coding performs no per-call
+//! `HashMap`/table allocations; the plain [`encode`]/[`decode`] entry
+//! points reuse a thread-local scratch transparently.  The byte format is
+//! identical to the pre-optimization coder (checked by the parity tests in
+//! [`crate::reference`]).
 
-use crate::bitstream::{BitReader, BitWriter};
+use crate::bitstream::{load_word, BitWriter};
 use crate::traits::CompressError;
+use std::cell::RefCell;
 use std::collections::{BinaryHeap, HashMap};
 
 /// Width of the fast decode table (bits).
-const PEEK: u32 = 13;
+pub const PEEK: u32 = 13;
 
 /// Marker symbol standing for "a run follows" after RLE.
-const RUN_MARKER: u32 = u32::MAX;
+pub const RUN_MARKER: u32 = u32::MAX;
 
 /// Minimum repeat length worth collapsing into a run.  Below this, plain
 /// Huffman (≈1 bit/symbol for the dominant code) beats the marker + varint
 /// overhead of a run token.
-const MIN_RUN: usize = 48;
+pub const MIN_RUN: usize = 48;
+
+/// Alphabets whose non-marker symbols all fit below this bound use dense
+/// array frequency counting and code lookup instead of `HashMap`s.  The
+/// SZ/MGARD quantization codes (≤ 2·`MAX_CODE`+1 = 65 535) always qualify.
+const DENSE_SYMS: usize = 1 << 17;
+
+/// Payloads shorter than this skip building the `2^PEEK`-entry fast table
+/// (a ~512 KiB fill) and decode every symbol through the canonical walk —
+/// cheaper for the small per-request payloads the serve path sees.
+const TABLE_MIN_SYMBOLS: usize = 512;
 
 /// Reverses the low `len` bits of `v`.
 #[inline]
@@ -34,9 +56,54 @@ fn bitrev(v: u64, len: u8) -> u64 {
     v.reverse_bits() >> (64 - len as u32)
 }
 
+/// Reusable decoder state: the prefix table, canonical decode arrays, and
+/// the intermediate symbol buffer for RLE expansion.  Obtain one via
+/// `Default` (or as part of [`crate::CodecScratch`]) and pass it to
+/// [`decode_into`]; buffers grow to the high-water mark and stay there.
+#[derive(Debug, Default)]
+pub struct DecodeScratch {
+    /// `2^PEEK` entries of `(symbol, code length)`; length 0 = slow path.
+    table: Vec<(u32, u8)>,
+    /// Parsed `(symbol, length)` pairs in canonical order.
+    lengths: Vec<(u32, u8)>,
+    /// Per-length first canonical code.
+    first_code: Vec<u64>,
+    /// Per-length code count.
+    count: Vec<u32>,
+    /// Per-length offset of the first symbol in canonical order.
+    offset: Vec<u32>,
+    /// Symbols in canonical order (parallel to `lengths`).
+    syms: Vec<u32>,
+    /// Decoded pre-RLE-expansion symbol stream.
+    transformed: Vec<u32>,
+    /// Parsed run lengths.
+    runs: Vec<u32>,
+}
+
+/// Reusable encoder state: frequency table, code lookup, RLE buffers, and
+/// the payload bit writer.
+#[derive(Debug, Default)]
+pub struct EncodeScratch {
+    /// Dense symbol frequency counts (dense alphabets only).
+    freq: Vec<u64>,
+    /// Dense symbol → (bit-reversed code, length) lookup.
+    lut: Vec<(u64, u8)>,
+    /// RLE-collapsed symbol stream.
+    transformed: Vec<u32>,
+    /// Collected run lengths.
+    runs: Vec<u32>,
+    /// Payload writer (buffer reused across calls).
+    writer: BitWriter,
+}
+
+thread_local! {
+    static ENC_SCRATCH: RefCell<EncodeScratch> = RefCell::new(EncodeScratch::default());
+    static DEC_SCRATCH: RefCell<DecodeScratch> = RefCell::new(DecodeScratch::default());
+}
+
 /// Encodes a symbol sequence; returns a self-describing byte stream.
 ///
-/// Runs of ≥ `MIN_RUN` (48) identical symbols are collapsed to a
+/// Runs of ≥ [`MIN_RUN`] identical symbols are collapsed to a
 /// `(symbol, RUN_MARKER)` pair plus an out-of-band run length, so smooth
 /// data — where the quantizer emits the same code for long stretches —
 /// decodes at memory speed instead of per-symbol entropy-decode speed.
@@ -45,35 +112,43 @@ fn bitrev(v: u64, len: u8) -> u64 {
 /// ever uses the marker value itself.
 pub fn encode(symbols: &[u32]) -> Vec<u8> {
     let mut out = Vec::new();
+    encode_into(symbols, &mut out);
+    out
+}
+
+/// [`encode`] appending to an existing buffer, reusing a thread-local
+/// [`EncodeScratch`] so steady-state encoding allocates nothing but the
+/// output bytes.
+pub fn encode_into(symbols: &[u32], out: &mut Vec<u8>) {
+    ENC_SCRATCH.with(|s| encode_with(symbols, out, &mut s.borrow_mut()));
+}
+
+/// [`encode_into`] with caller-owned scratch state.
+pub fn encode_with(symbols: &[u32], out: &mut Vec<u8>, s: &mut EncodeScratch) {
     out.extend_from_slice(&(symbols.len() as u64).to_le_bytes());
 
     let rle_ok = !symbols.contains(&RUN_MARKER);
-    let (transformed, runs) = if rle_ok {
-        rle_collapse(symbols)
+    s.transformed.clear();
+    s.runs.clear();
+    let transformed: &[u32] = if rle_ok {
+        rle_collapse_into(symbols, &mut s.transformed, &mut s.runs);
+        &s.transformed
     } else {
-        (symbols.to_vec(), Vec::new())
+        symbols
     };
     out.push(rle_ok as u8);
-    out.extend_from_slice(&(runs.len() as u32).to_le_bytes());
-    for &r in &runs {
-        write_varint(&mut out, r);
+    out.extend_from_slice(&(s.runs.len() as u32).to_le_bytes());
+    for &r in &s.runs {
+        write_varint(out, r);
     }
 
     out.extend_from_slice(&(transformed.len() as u64).to_le_bytes());
     if transformed.is_empty() {
         out.extend_from_slice(&0u32.to_le_bytes());
-        return out;
+        return;
     }
-    let symbols = &transformed[..];
 
-    let lengths = code_lengths(symbols);
-    let codes = canonical_codes(&lengths);
-    // Pre-reverse every code: the writer emits LSB-first, so writing the
-    // bit-reversed code produces the MSB-first stream order decoding needs.
-    let reversed: HashMap<u32, (u64, u8)> = codes
-        .iter()
-        .map(|(&sym, &(code, len))| (sym, (bitrev(code, len), len)))
-        .collect();
+    let lengths = code_lengths(transformed, &mut s.freq);
 
     // Header: number of distinct symbols, then (symbol, length) pairs in
     // canonical order.
@@ -83,22 +158,72 @@ pub fn encode(symbols: &[u32]) -> Vec<u8> {
         out.push(len);
     }
 
-    let mut w = BitWriter::new();
-    for s in symbols {
-        let &(rev, len) = reversed.get(s).expect("symbol has a code");
-        w.write_bits(rev, len as u32);
+    // Symbol → (bit-reversed code, length): the writer emits LSB-first, so
+    // writing the bit-reversed canonical code produces the MSB-first stream
+    // order decoding needs.  Dense array lookup for small alphabets, map
+    // fallback otherwise.
+    let max_sym = lengths
+        .iter()
+        .filter(|&&(sym, _)| sym != RUN_MARKER)
+        .map(|&(sym, _)| sym)
+        .max()
+        .unwrap_or(0) as usize;
+    let dense = max_sym < DENSE_SYMS;
+    let mut marker_code = (0u64, 0u8);
+    let mut map: HashMap<u32, (u64, u8)> = HashMap::new();
+    if dense {
+        s.lut.clear();
+        s.lut.resize(max_sym + 1, (0, 0));
+    } else {
+        map.reserve(lengths.len());
     }
-    let payload = w.into_bytes();
-    out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
-    out.extend_from_slice(&payload);
-    out
+    {
+        let mut code = 0u64;
+        let mut prev_len = 0u8;
+        for &(sym, len) in &lengths {
+            code = code.wrapping_shl((len - prev_len) as u32);
+            let rev = (bitrev(code, len), len);
+            if dense {
+                if sym == RUN_MARKER {
+                    marker_code = rev;
+                } else {
+                    s.lut[sym as usize] = rev;
+                }
+            } else {
+                map.insert(sym, rev);
+            }
+            code += 1;
+            prev_len = len;
+        }
+    }
+
+    let w = &mut s.writer;
+    w.reset();
+    if dense {
+        for &sym in transformed {
+            let (rev, len) = if sym == RUN_MARKER {
+                marker_code
+            } else {
+                s.lut[sym as usize]
+            };
+            w.write_bits(rev, len as u32);
+        }
+    } else {
+        for sym in transformed {
+            let &(rev, len) = map.get(sym).expect("symbol has a code");
+            w.write_bits(rev, len as u32);
+        }
+    }
+    let payload_len = w.bit_len().div_ceil(8);
+    out.extend_from_slice(&(payload_len as u64).to_le_bytes());
+    w.append_bytes_to(out);
 }
 
-/// Collapses runs of ≥ `MIN_RUN` identical symbols.  A run of `s` with
-/// length `L` becomes `[s, RUN_MARKER]` plus an out-of-band count `L − 1`.
-fn rle_collapse(symbols: &[u32]) -> (Vec<u32>, Vec<u32>) {
-    let mut transformed = Vec::with_capacity(symbols.len());
-    let mut runs = Vec::new();
+/// Collapses runs of ≥ [`MIN_RUN`] identical symbols into `transformed` /
+/// `runs`.  A run of `s` with length `L` becomes `[s, RUN_MARKER]` plus an
+/// out-of-band count `L − 1`.
+fn rle_collapse_into(symbols: &[u32], transformed: &mut Vec<u32>, runs: &mut Vec<u32>) {
+    transformed.reserve(symbols.len());
     let mut i = 0;
     while i < symbols.len() {
         let s = symbols[i];
@@ -112,20 +237,22 @@ fn rle_collapse(symbols: &[u32]) -> (Vec<u32>, Vec<u32>) {
             transformed.push(RUN_MARKER);
             runs.push((len - 1) as u32);
         } else {
-            transformed.extend(std::iter::repeat_n(s, len));
+            transformed.extend(std::iter::repeat(s).take(len));
         }
         i = j;
     }
-    (transformed, runs)
 }
 
-/// Inverse of [`rle_collapse`].
-fn rle_expand(
+/// Inverse of [`rle_collapse_into`].  Appends to `out`; run expansion is a
+/// single `Vec::resize` fill per run (memset speed for the dominant-symbol
+/// stretches that make up smooth-field streams).
+fn rle_expand_into(
     transformed: &[u32],
     runs: &[u32],
     n_original: usize,
-) -> Result<Vec<u32>, CompressError> {
-    let mut out = Vec::with_capacity(crate::traits::safe_capacity(
+    out: &mut Vec<u32>,
+) -> Result<(), CompressError> {
+    out.reserve(crate::traits::safe_capacity(
         n_original,
         transformed.len() * 4,
     ));
@@ -138,14 +265,21 @@ fn rle_expand(
             let &prev = out
                 .last()
                 .ok_or_else(|| CompressError::CorruptStream("run marker at stream start".into()))?;
-            out.extend(std::iter::repeat_n(prev, count as usize));
+            // Reject before materialising: a corrupt run length must not
+            // drive a giant allocation just to fail the length check.
+            if count as usize > n_original - out.len() {
+                return Err(CompressError::CorruptStream(
+                    "expanded stream longer than declared".into(),
+                ));
+            }
+            out.resize(out.len() + count as usize, prev);
         } else {
+            if out.len() >= n_original {
+                return Err(CompressError::CorruptStream(
+                    "expanded stream longer than declared".into(),
+                ));
+            }
             out.push(s);
-        }
-        if out.len() > n_original {
-            return Err(CompressError::CorruptStream(
-                "expanded stream longer than declared".into(),
-            ));
         }
     }
     if out.len() != n_original {
@@ -154,12 +288,28 @@ fn rle_expand(
             out.len()
         )));
     }
-    Ok(out)
+    Ok(())
 }
 
 /// Decodes a stream produced by [`encode`].  Returns the symbols and the
 /// number of bytes consumed from `stream`.
 pub fn decode(stream: &[u8]) -> Result<(Vec<u32>, usize), CompressError> {
+    DEC_SCRATCH.with(|s| {
+        let mut out = Vec::new();
+        let consumed = decode_into(stream, &mut out, &mut s.borrow_mut())?;
+        Ok((out, consumed))
+    })
+}
+
+/// [`decode`] into a caller-owned buffer with reusable scratch state.
+/// `out` is cleared first; on success it holds the decoded symbols and the
+/// return value is the number of bytes consumed from `stream`.
+pub fn decode_into(
+    stream: &[u8],
+    out: &mut Vec<u32>,
+    s: &mut DecodeScratch,
+) -> Result<usize, CompressError> {
+    out.clear();
     let mut pos = 0usize;
     let n_original = read_u64(stream, &mut pos)? as usize;
     let rle_used = *stream
@@ -168,9 +318,11 @@ pub fn decode(stream: &[u8]) -> Result<(Vec<u32>, usize), CompressError> {
         != 0;
     pos += 1;
     let n_runs = read_u32(stream, &mut pos)? as usize;
-    let mut runs = Vec::with_capacity(crate::traits::safe_capacity(n_runs, stream.len()));
+    s.runs.clear();
+    s.runs
+        .reserve(crate::traits::safe_capacity(n_runs, stream.len()));
     for _ in 0..n_runs {
-        runs.push(read_varint(stream, &mut pos)?);
+        s.runs.push(read_varint(stream, &mut pos)?);
     }
     let n_symbols = read_u64(stream, &mut pos)? as usize;
     let n_distinct = read_u32(stream, &mut pos)? as usize;
@@ -180,14 +332,16 @@ pub fn decode(stream: &[u8]) -> Result<(Vec<u32>, usize), CompressError> {
                 "empty payload for nonempty stream".into(),
             ));
         }
-        return Ok((Vec::new(), pos));
+        return Ok(pos);
     }
     if n_distinct == 0 {
         return Err(CompressError::CorruptStream(
             "nonempty payload with empty alphabet".into(),
         ));
     }
-    let mut lengths = Vec::with_capacity(crate::traits::safe_capacity(n_distinct, stream.len()));
+    s.lengths.clear();
+    s.lengths
+        .reserve(crate::traits::safe_capacity(n_distinct, stream.len()));
     for _ in 0..n_distinct {
         let sym = read_u32(stream, &mut pos)?;
         let len = *stream
@@ -199,69 +353,69 @@ pub fn decode(stream: &[u8]) -> Result<(Vec<u32>, usize), CompressError> {
                 "invalid code length {len}"
             )));
         }
-        if let Some(&(_, prev)) = lengths.last() {
+        if let Some(&(_, prev)) = s.lengths.last() {
             if len < prev {
                 return Err(CompressError::CorruptStream(
                     "code table not in canonical order".into(),
                 ));
             }
         }
-        lengths.push((sym, len));
+        s.lengths.push((sym, len));
     }
     // Kraft check: Σ 2^(max−len) must not exceed 2^max, or the canonical
     // code assignment overflows (only possible with corrupt tables).
+    let max_len = s.lengths.last().map(|&(_, l)| l).unwrap_or(1);
     {
-        let max_len = lengths.last().map(|&(_, l)| l).unwrap_or(1) as u32;
         let mut kraft: u128 = 0;
-        for &(_, len) in &lengths {
-            kraft += 1u128 << (max_len - len as u32);
+        for &(_, len) in &s.lengths {
+            kraft += 1u128 << (max_len as u32 - len as u32);
         }
-        if kraft > (1u128 << max_len) {
+        if kraft > (1u128 << max_len as u32) {
             return Err(CompressError::CorruptStream(
                 "code table violates the Kraft inequality".into(),
             ));
         }
     }
-    let codes = canonical_codes(&lengths);
 
-    // Fast table: peeked PEEK bits → (symbol, code length); len 0 = slow path.
-    let mut table = vec![(0u32, 0u8); 1 << PEEK];
-    // Canonical decode arrays for the slow path: for each code length,
-    // the first canonical code, the number of codes, and the offset of its
-    // first symbol in canonical order.  Decoding a long code is then O(1)
-    // array arithmetic per length instead of a hash probe per bit.
-    let mut max_len = 1u8;
-    for &(_, len) in &lengths {
-        max_len = max_len.max(len);
+    // Build the canonical decode arrays and (for payloads worth it) the
+    // fast prefix table, in one pass over the canonical code assignment.
+    let with_table = n_symbols >= TABLE_MIN_SYMBOLS;
+    if with_table {
+        s.table.clear();
+        s.table.resize(1 << PEEK, (0, 0));
     }
-    let mut first_code = vec![0u64; max_len as usize + 1];
-    let mut count = vec![0u32; max_len as usize + 1];
-    let mut offset = vec![0u32; max_len as usize + 1];
+    s.first_code.clear();
+    s.first_code.resize(max_len as usize + 1, 0);
+    s.count.clear();
+    s.count.resize(max_len as usize + 1, 0);
+    s.offset.clear();
+    s.offset.resize(max_len as usize + 1, 0);
+    s.syms.clear();
     {
         let mut code = 0u64;
         let mut prev_len = 0u8;
-        for (i, &(_, len)) in lengths.iter().enumerate() {
-            code <<= len - prev_len;
-            if count[len as usize] == 0 {
-                first_code[len as usize] = code;
-                offset[len as usize] = i as u32;
+        for (i, &(sym, len)) in s.lengths.iter().enumerate() {
+            // wrapping_shl: a Kraft-valid but corrupt table can open with a
+            // 64-bit code; decode then yields garbage (rejected downstream)
+            // instead of a shift panic.
+            code = code.wrapping_shl((len - prev_len) as u32);
+            if s.count[len as usize] == 0 {
+                s.first_code[len as usize] = code;
+                s.offset[len as usize] = i as u32;
             }
-            count[len as usize] += 1;
+            s.count[len as usize] += 1;
+            s.syms.push(sym);
+            if with_table && (len as u32) <= PEEK {
+                let base = bitrev(code, len) as usize;
+                let step = 1usize << len;
+                let mut idx = base;
+                while idx < (1 << PEEK) {
+                    s.table[idx] = (sym, len);
+                    idx += step;
+                }
+            }
             code += 1;
             prev_len = len;
-        }
-    }
-    // lengths is already in canonical symbol order.
-    let canonical_syms: Vec<u32> = lengths.iter().map(|&(s, _)| s).collect();
-    for (&sym, &(code, len)) in &codes {
-        if (len as u32) <= PEEK {
-            let base = bitrev(code, len) as usize;
-            let step = 1usize << len;
-            let mut idx = base;
-            while idx < (1 << PEEK) {
-                table[idx] = (sym, len);
-                idx += step;
-            }
         }
     }
 
@@ -271,63 +425,149 @@ pub fn decode(stream: &[u8]) -> Result<(Vec<u32>, usize), CompressError> {
         .ok_or_else(|| CompressError::CorruptStream("truncated payload".into()))?;
     let consumed = pos + payload_len;
 
-    let mut r = BitReader::new(payload);
-    let mut out = Vec::with_capacity(crate::traits::safe_capacity(n_symbols, payload.len()));
-    while out.len() < n_symbols {
-        let peek = r.peek_bits_lossy(PEEK) as usize;
-        let (sym, len) = table[peek];
-        if len > 0 && (len as usize) <= r.remaining_bits() {
-            r.skip_bits(len as u32);
-            out.push(sym);
-            continue;
-        }
-        // Slow path: long code or near end of stream — canonical decode by
-        // length (O(1) per candidate length).
-        let mut code = 0u64;
-        let mut clen = 0usize;
-        let sym = loop {
-            let bit = r
-                .read_bit()
-                .ok_or_else(|| CompressError::CorruptStream("payload ended early".into()))?;
-            code = (code << 1) | bit as u64;
-            clen += 1;
-            if clen > max_len as usize {
-                return Err(CompressError::CorruptStream(
-                    "no symbol matches the read prefix".into(),
-                ));
-            }
-            let c = count[clen] as u64;
-            if c > 0 && code >= first_code[clen] && code < first_code[clen] + c {
-                let idx = offset[clen] as u64 + (code - first_code[clen]);
-                break canonical_syms[idx as usize];
-            }
-        };
-        out.push(sym);
-    }
-    let expanded = if rle_used {
-        rle_expand(&out, &runs, n_original)?
+    let DecodeScratch {
+        table,
+        first_code,
+        count,
+        offset,
+        syms,
+        transformed,
+        runs,
+        ..
+    } = s;
+    let canon = CanonicalArrays {
+        first_code,
+        count,
+        offset,
+        syms,
+        max_len,
+    };
+    if rle_used {
+        transformed.clear();
+        transformed.reserve(crate::traits::safe_capacity(n_symbols, payload.len()));
+        decode_symbols(payload, n_symbols, with_table, table, &canon, transformed)?;
+        rle_expand_into(transformed, runs, n_original, out)?;
     } else {
+        out.reserve(crate::traits::safe_capacity(n_symbols, payload.len()));
+        decode_symbols(payload, n_symbols, with_table, table, &canon, out)?;
         if out.len() != n_original {
             return Err(CompressError::CorruptStream(format!(
                 "decoded {} symbols, expected {n_original}",
                 out.len()
             )));
         }
-        out
-    };
-    Ok((expanded, consumed))
+    }
+    Ok(consumed)
+}
+
+/// Borrowed canonical decode arrays for the slow (long-code) path.
+struct CanonicalArrays<'a> {
+    first_code: &'a [u64],
+    count: &'a [u32],
+    offset: &'a [u32],
+    syms: &'a [u32],
+    max_len: u8,
+}
+
+/// Decodes exactly `n_symbols` symbols from `payload` into `out`.
+///
+/// Hot loop: refill a 64-bit register with ≥ 57 payload bits, then decode
+/// table hits back-to-back with one lookup + shift each until fewer than
+/// `PEEK` trustworthy bits remain in the register.  Long codes (table miss)
+/// and the last < `PEEK` bits of the stream take the canonical walk.
+fn decode_symbols(
+    payload: &[u8],
+    n_symbols: usize,
+    with_table: bool,
+    table: &[(u32, u8)],
+    canon: &CanonicalArrays<'_>,
+    out: &mut Vec<u32>,
+) -> Result<(), CompressError> {
+    let total_bits = payload.len() * 8;
+    let mut bitpos = 0usize;
+    if !with_table {
+        while out.len() < n_symbols {
+            out.push(decode_one_slow(payload, &mut bitpos, total_bits, canon)?);
+        }
+        return Ok(());
+    }
+    let mask = (1u64 << PEEK) - 1;
+    let peek = PEEK as usize;
+    while out.len() < n_symbols {
+        let rem = total_bits - bitpos;
+        if rem >= peek {
+            let mut word = load_word(payload, bitpos);
+            let mut left = rem.min(57);
+            let mut long_code = false;
+            while left >= peek && out.len() < n_symbols {
+                let (sym, len) = table[(word & mask) as usize];
+                if len == 0 {
+                    long_code = true;
+                    break;
+                }
+                let l = len as usize;
+                word >>= l;
+                bitpos += l;
+                left -= l;
+                out.push(sym);
+            }
+            if long_code {
+                out.push(decode_one_slow(payload, &mut bitpos, total_bits, canon)?);
+            }
+            continue;
+        }
+        // Tail: fewer than PEEK bits remain in the whole stream, so the
+        // peek pads with zeros; only accept a table hit that fits.
+        let (sym, len) = table[(load_word(payload, bitpos) & mask) as usize];
+        if len > 0 && len as usize <= rem {
+            bitpos += len as usize;
+            out.push(sym);
+        } else {
+            out.push(decode_one_slow(payload, &mut bitpos, total_bits, canon)?);
+        }
+    }
+    Ok(())
+}
+
+/// Canonical decode of one symbol, bit by bit: O(1) array arithmetic per
+/// candidate length instead of a hash probe per bit.
+#[cold]
+fn decode_one_slow(
+    payload: &[u8],
+    bitpos: &mut usize,
+    total_bits: usize,
+    canon: &CanonicalArrays<'_>,
+) -> Result<u32, CompressError> {
+    let mut code = 0u64;
+    let mut clen = 0usize;
+    loop {
+        if *bitpos >= total_bits {
+            return Err(CompressError::CorruptStream("payload ended early".into()));
+        }
+        let bit = (payload[*bitpos >> 3] >> (*bitpos & 7)) & 1;
+        *bitpos += 1;
+        code = (code << 1) | bit as u64;
+        clen += 1;
+        if clen > canon.max_len as usize {
+            return Err(CompressError::CorruptStream(
+                "no symbol matches the read prefix".into(),
+            ));
+        }
+        let c = canon.count[clen] as u64;
+        if c > 0 && code >= canon.first_code[clen] && code < canon.first_code[clen] + c {
+            let idx = canon.offset[clen] as u64 + (code - canon.first_code[clen]);
+            return Ok(canon.syms[idx as usize]);
+        }
+    }
 }
 
 /// Computes Huffman code lengths from symbol frequencies, returned in
-/// canonical order (ascending length, then ascending symbol).
-fn code_lengths(symbols: &[u32]) -> Vec<(u32, u8)> {
-    let mut freq: HashMap<u32, u64> = HashMap::new();
-    for &s in symbols {
-        *freq.entry(s).or_insert(0) += 1;
-    }
-    if freq.len() == 1 {
-        let (&sym, _) = freq.iter().next().expect("one symbol");
-        return vec![(sym, 1)];
+/// canonical order (ascending length, then ascending symbol).  `freq` is
+/// reusable dense-counting scratch.
+fn code_lengths(symbols: &[u32], freq: &mut Vec<u64>) -> Vec<(u32, u8)> {
+    let sorted = frequencies(symbols, freq);
+    if sorted.len() == 1 {
+        return vec![(sorted[0].0, 1)];
     }
 
     // Huffman tree via a min-heap of (freq, tie, node-id).
@@ -351,8 +591,6 @@ fn code_lengths(symbols: &[u32]) -> Vec<(u32, u8)> {
     }
     let mut nodes: Vec<Node> = Vec::new();
     let mut heap = BinaryHeap::new();
-    let mut sorted: Vec<(u32, u64)> = freq.into_iter().collect();
-    sorted.sort_unstable();
     let mut tie = 0u32;
     for (sym, f) in sorted {
         nodes.push(Node::Leaf(sym));
@@ -384,18 +622,54 @@ fn code_lengths(symbols: &[u32]) -> Vec<(u32, u8)> {
     lengths
 }
 
-/// Assigns canonical codes given `(symbol, length)` pairs in canonical order.
-fn canonical_codes(lengths: &[(u32, u8)]) -> HashMap<u32, (u64, u8)> {
-    let mut codes = HashMap::with_capacity(lengths.len());
-    let mut code = 0u64;
-    let mut prev_len = 0u8;
-    for &(sym, len) in lengths {
-        code <<= len - prev_len;
-        codes.insert(sym, (code, len));
-        code += 1;
-        prev_len = len;
+/// Symbol frequencies in ascending symbol order.  Dense counting (array
+/// indexed by symbol, `RUN_MARKER` tracked separately) when every
+/// non-marker symbol is below [`DENSE_SYMS`]; `HashMap` fallback otherwise.
+/// Both paths produce the identical list a sort of hash entries would.
+fn frequencies(symbols: &[u32], freq: &mut Vec<u64>) -> Vec<(u32, u64)> {
+    let mut max_sym = 0u32;
+    let mut dense = true;
+    for &s in symbols {
+        if s != RUN_MARKER {
+            if (s as usize) < DENSE_SYMS {
+                max_sym = max_sym.max(s);
+            } else {
+                dense = false;
+                break;
+            }
+        }
     }
-    codes
+    if dense {
+        freq.clear();
+        freq.resize(max_sym as usize + 1, 0);
+        let mut marker = 0u64;
+        for &s in symbols {
+            if s == RUN_MARKER {
+                marker += 1;
+            } else {
+                freq[s as usize] += 1;
+            }
+        }
+        let mut sorted: Vec<(u32, u64)> = freq
+            .iter()
+            .enumerate()
+            .filter(|&(_, &f)| f > 0)
+            .map(|(s, &f)| (s as u32, f))
+            .collect();
+        if marker > 0 {
+            // RUN_MARKER is u32::MAX: appending keeps ascending order.
+            sorted.push((RUN_MARKER, marker));
+        }
+        sorted
+    } else {
+        let mut map: HashMap<u32, u64> = HashMap::new();
+        for &s in symbols {
+            *map.entry(s).or_insert(0) += 1;
+        }
+        let mut sorted: Vec<(u32, u64)> = map.into_iter().collect();
+        sorted.sort_unstable();
+        sorted
+    }
 }
 
 /// LEB128 varint encoding for run lengths.
@@ -457,6 +731,12 @@ mod tests {
         let (dec, consumed) = decode(&enc).expect("decode");
         assert_eq!(dec, symbols);
         assert_eq!(consumed, enc.len());
+        // Caller-owned scratch path matches the thread-local path.
+        let mut scratch = DecodeScratch::default();
+        let mut out = Vec::new();
+        let consumed2 = decode_into(&enc, &mut out, &mut scratch).expect("decode_into");
+        assert_eq!(out, symbols);
+        assert_eq!(consumed2, consumed);
     }
 
     #[test]
@@ -519,6 +799,8 @@ mod tests {
 
     #[test]
     fn large_symbol_values_roundtrip() {
+        // Symbols beyond DENSE_SYMS exercise the HashMap fallback on both
+        // frequency counting and code lookup.
         roundtrip(&[u32::MAX, 0, u32::MAX - 1, 12345678, u32::MAX]);
     }
 
@@ -541,27 +823,6 @@ mod tests {
     }
 
     #[test]
-    fn canonical_codes_are_prefix_free() {
-        let lengths = vec![(10u32, 2u8), (20, 2), (30, 3), (40, 3)];
-        let codes = canonical_codes(&lengths);
-        let all: Vec<(u64, u8)> = codes.values().copied().collect();
-        for (i, &(c1, l1)) in all.iter().enumerate() {
-            for &(c2, l2) in &all[i + 1..] {
-                let (short, slen, long, llen) = if l1 <= l2 {
-                    (c1, l1, c2, l2)
-                } else {
-                    (c2, l2, c1, l1)
-                };
-                if slen == llen {
-                    assert_ne!(short, long);
-                } else {
-                    assert_ne!(short, long >> (llen - slen), "prefix violation");
-                }
-            }
-        }
-    }
-
-    #[test]
     fn varint_roundtrip() {
         for v in [0u32, 1, 127, 128, 300, 65_535, u32::MAX] {
             let mut buf = Vec::new();
@@ -579,10 +840,13 @@ mod tests {
         symbols.extend([1, 2, 3]);
         symbols.extend(vec![9u32; 50]);
         symbols.extend([4, 4, 4]); // below MIN_RUN: kept verbatim
-        let (t, runs) = rle_collapse(&symbols);
+        let mut t = Vec::new();
+        let mut runs = Vec::new();
+        rle_collapse_into(&symbols, &mut t, &mut runs);
         assert!(t.len() < symbols.len());
         assert_eq!(runs.len(), 2);
-        let back = rle_expand(&t, &runs, symbols.len()).unwrap();
+        let mut back = Vec::new();
+        rle_expand_into(&t, &runs, symbols.len(), &mut back).unwrap();
         assert_eq!(back, symbols);
     }
 
@@ -617,6 +881,39 @@ mod tests {
             for v in 0u64..(1 << len.min(10)) {
                 assert_eq!(bitrev(bitrev(v, len), len), v);
             }
+        }
+    }
+
+    #[test]
+    fn scratch_is_reusable_across_streams() {
+        let mut enc_scratch = EncodeScratch::default();
+        let mut dec_scratch = DecodeScratch::default();
+        let mut rng = StdRng::seed_from_u64(0xAB);
+        for round in 0..8 {
+            let n = 100 + round * 321;
+            let symbols: Vec<u32> = (0..n).map(|_| rng.gen_range(0..64)).collect();
+            let mut enc = Vec::new();
+            encode_with(&symbols, &mut enc, &mut enc_scratch);
+            assert_eq!(enc, encode(&symbols), "scratch encode must be identical");
+            let mut out = Vec::new();
+            let consumed = decode_into(&enc, &mut out, &mut dec_scratch).unwrap();
+            assert_eq!(out, symbols);
+            assert_eq!(consumed, enc.len());
+        }
+    }
+
+    #[test]
+    fn table_threshold_paths_agree() {
+        // Payloads just below/above TABLE_MIN_SYMBOLS take different decode
+        // paths; both must roundtrip the same streams.
+        let mut rng = StdRng::seed_from_u64(0xCD);
+        for n in [
+            TABLE_MIN_SYMBOLS - 1,
+            TABLE_MIN_SYMBOLS,
+            TABLE_MIN_SYMBOLS + 1,
+        ] {
+            let symbols: Vec<u32> = (0..n).map(|_| rng.gen_range(0..33)).collect();
+            roundtrip(&symbols);
         }
     }
 

@@ -26,6 +26,8 @@ pub mod error_bound;
 pub mod huffman;
 pub mod metrics;
 pub mod mgard;
+pub mod reference;
+pub mod scratch;
 pub mod sz;
 pub mod sz2d;
 pub mod traits;
@@ -35,6 +37,7 @@ pub use chunked::ChunkedCompressor;
 pub use error_bound::{BoundMode, ErrorBound};
 pub use metrics::CompressionStats;
 pub use mgard::MgardCompressor;
+pub use scratch::CodecScratch;
 pub use sz::SzCompressor;
 pub use sz2d::Sz2dCompressor;
 pub use traits::{CompressError, Compressor};

@@ -15,8 +15,14 @@
 //! Reconstruction is verified in `f32` during compression; any value that
 //! would violate the bound is escaped verbatim.
 
+//! Both directions stage the level hierarchy in reused workspace buffers
+//! (pooled [`CodecScratch`](crate::CodecScratch)): compression flattens the
+//! nested grids into one arena and reconstruction ping-pongs between two
+//! level buffers, so steady-state coding allocates nothing per call.
+
 use crate::error_bound::ErrorBound;
 use crate::huffman;
+use crate::scratch::{self, CodecScratch};
 use crate::traits::{check_tolerance, CompressError, Compressor};
 
 const MAX_CODE: i64 = 32_767;
@@ -34,6 +40,125 @@ impl MgardCompressor {
     /// Creates the compressor with default settings.
     pub fn new() -> Self {
         MgardCompressor
+    }
+
+    /// Parses the header, reads the coarse level into `scratch.fa`, and
+    /// entropy-decodes the coefficient symbols into `scratch.symbols`.
+    /// Returns `(n, eb, level_lengths, outlier_table_offset)`.  All count
+    /// validation happens here, before any data-sized allocation.
+    fn decode_core(
+        stream: &[u8],
+        scratch: &mut CodecScratch,
+    ) -> Result<(usize, f64, Vec<usize>, usize), CompressError> {
+        if stream.len() < 20 {
+            return Err(CompressError::CorruptStream("header too short".into()));
+        }
+        let n = u64::from_le_bytes(stream[0..8].try_into().expect("8 bytes")) as usize;
+        let eb = f64::from_le_bytes(stream[8..16].try_into().expect("8 bytes"));
+        let coarse_len = u32::from_le_bytes(stream[16..20].try_into().expect("4 bytes")) as usize;
+        let lens = level_lengths(n);
+        if coarse_len != *lens.last().expect("at least one level") {
+            return Err(CompressError::CorruptStream(format!(
+                "coarse length {coarse_len} inconsistent with n={n}"
+            )));
+        }
+        let mut pos = 20usize;
+        let coarse = &mut scratch.fa;
+        coarse.clear();
+        coarse.reserve(crate::traits::safe_capacity(coarse_len, stream.len()));
+        for _ in 0..coarse_len {
+            let bytes = stream
+                .get(pos..pos + 4)
+                .ok_or_else(|| CompressError::CorruptStream("truncated coarse level".into()))?;
+            pos += 4;
+            coarse.push(f32::from_le_bytes(bytes.try_into().expect("4 bytes")));
+        }
+        let consumed =
+            huffman::decode_into(&stream[pos..], &mut scratch.symbols, &mut scratch.huff)?;
+        pos += consumed;
+
+        let expected_symbols: usize = lens
+            .iter()
+            .take(lens.len().saturating_sub(1))
+            .map(|&len| len / 2)
+            .sum();
+        if scratch.symbols.len() != expected_symbols {
+            return Err(CompressError::CorruptStream(format!(
+                "expected {expected_symbols} coefficients, decoded {}",
+                scratch.symbols.len()
+            )));
+        }
+        Ok((n, eb, lens, pos))
+    }
+
+    /// Closed-loop reconstruction coarsest → finest, ping-ponging between
+    /// the scratch buffers; the finest level lands directly in `out`
+    /// (`out.len() == lens[0]`).  Expects the coarse level in `scratch.fa`
+    /// and the coefficient symbols in `scratch.symbols`.
+    fn reconstruct(
+        stream: &[u8],
+        mut pos: usize,
+        eb: f64,
+        lens: &[usize],
+        scratch: &mut CodecScratch,
+        out: &mut [f32],
+    ) -> Result<(), CompressError> {
+        debug_assert_eq!(out.len(), lens[0]);
+        let CodecScratch {
+            symbols, fa, fb, ..
+        } = scratch;
+        if lens.len() == 1 {
+            out.copy_from_slice(fa);
+            return Ok(());
+        }
+        let mut sym_idx = 0usize;
+        let (mut cur, mut next) = (&mut *fa, &mut *fb);
+        for k in (0..lens.len() - 1).rev() {
+            let len = lens[k];
+            if k == 0 {
+                Self::reconstruct_level(stream, &mut pos, eb, symbols, &mut sym_idx, cur, out)?;
+            } else {
+                next.clear();
+                next.resize(len, 0.0);
+                Self::reconstruct_level(stream, &mut pos, eb, symbols, &mut sym_idx, cur, next)?;
+                std::mem::swap(&mut cur, &mut next);
+            }
+        }
+        Ok(())
+    }
+
+    /// Reconstructs one level: even nodes copy the coarser level, odd nodes
+    /// add the dequantized coefficient to the interpolation of their
+    /// neighbours (or take a verbatim outlier from `stream`).
+    fn reconstruct_level(
+        stream: &[u8],
+        pos: &mut usize,
+        eb: f64,
+        symbols: &[u32],
+        sym_idx: &mut usize,
+        coarse: &[f32],
+        recon: &mut [f32],
+    ) -> Result<(), CompressError> {
+        let len = recon.len();
+        for (j, &v) in coarse.iter().enumerate() {
+            recon[2 * j] = v;
+        }
+        for i in (1..len).step_by(2) {
+            let sym = symbols[*sym_idx];
+            *sym_idx += 1;
+            if sym == ESCAPE {
+                let bytes = stream.get(*pos..*pos + 4).ok_or_else(|| {
+                    CompressError::CorruptStream("truncated outlier table".into())
+                })?;
+                *pos += 4;
+                recon[i] = f32::from_le_bytes(bytes.try_into().expect("4 bytes"));
+            } else {
+                let code = sym as i64 - MAX_CODE - 1;
+                let pred = interpolate(recon, i, len);
+                recon[i] = (pred as f64 + 2.0 * eb * code as f64) as f32;
+            }
+        }
+        Ok(())
     }
 }
 
@@ -74,29 +199,51 @@ impl Compressor for MgardCompressor {
         let eb = bound.pointwise_budget(data);
         let lens = level_lengths(data.len());
 
-        // Build the value hierarchy: levels[k][j] = levels[k-1][2j].
-        let mut levels: Vec<Vec<f32>> = Vec::with_capacity(lens.len());
-        levels.push(data.to_vec());
-        for k in 1..lens.len() {
-            let prev = &levels[k - 1];
-            levels.push(prev.iter().step_by(2).copied().collect());
-        }
+        let mut pooled = scratch::acquire();
+        let CodecScratch {
+            symbols,
+            fa,
+            fb,
+            fc,
+            ..
+        } = &mut *pooled;
 
-        let coarse = levels.last().cloned().unwrap_or_default();
-        let mut symbols: Vec<u32> = Vec::new();
+        // Flatten the value hierarchy into one arena: level k starts at
+        // offsets[k] and satisfies fa[offsets[k] + j] = fa[offsets[k-1] + 2j].
+        let total: usize = lens.iter().sum();
+        fa.clear();
+        fa.reserve(total);
+        fa.extend_from_slice(data);
+        let mut offsets = vec![0usize; lens.len()];
+        for k in 1..lens.len() {
+            offsets[k] = fa.len();
+            let start = offsets[k - 1];
+            for j in (0..lens[k - 1]).step_by(2) {
+                let v = fa[start + j];
+                fa.push(v);
+            }
+        }
+        let coarse_start = *offsets.last().expect("at least one level");
+        let coarse_len = *lens.last().expect("at least one level");
+
+        symbols.clear();
         let mut outliers: Vec<f32> = Vec::new();
 
-        // Closed-loop reconstruction, coarsest → finest.
-        let mut recon_coarse = coarse.clone();
+        // Closed-loop reconstruction, coarsest → finest, ping-ponging
+        // between the two workspace buffers instead of allocating per level.
+        fb.clear();
+        fb.extend_from_slice(&fa[coarse_start..coarse_start + coarse_len]);
+        let (mut cur, mut next) = (&mut *fb, &mut *fc);
         for k in (0..lens.len().saturating_sub(1)).rev() {
             let len = lens[k];
-            let mut recon = vec![0.0f32; len];
-            for (j, &v) in recon_coarse.iter().enumerate() {
-                recon[2 * j] = v;
+            next.clear();
+            next.resize(len, 0.0);
+            for (j, &v) in cur.iter().enumerate() {
+                next[2 * j] = v;
             }
             for i in (1..len).step_by(2) {
-                let x = levels[k][i];
-                let pred = interpolate(&recon, i, len);
+                let x = fa[offsets[k] + i];
+                let pred = interpolate(next, i, len);
                 let d = x as f64 - pred as f64;
                 let code = (d / (2.0 * eb)).round() as i64;
                 let mut accepted = false;
@@ -106,27 +253,27 @@ impl Compressor for MgardCompressor {
                     let r = (pred as f64 + 2.0 * eb * code as f64) as f32;
                     if ((x - r).abs() as f64) <= eb && r.is_finite() {
                         symbols.push((code + MAX_CODE + 1) as u32);
-                        recon[i] = r;
+                        next[i] = r;
                         accepted = true;
                     }
                 }
                 if !accepted {
                     symbols.push(ESCAPE);
                     outliers.push(x);
-                    recon[i] = x;
+                    next[i] = x;
                 }
             }
-            recon_coarse = recon;
+            std::mem::swap(&mut cur, &mut next);
         }
 
         let mut out = Vec::new();
         out.extend_from_slice(&(data.len() as u64).to_le_bytes());
         out.extend_from_slice(&eb.to_le_bytes());
-        out.extend_from_slice(&(coarse.len() as u32).to_le_bytes());
-        for v in &coarse {
+        out.extend_from_slice(&(coarse_len as u32).to_le_bytes());
+        for v in &fa[coarse_start..coarse_start + coarse_len] {
             out.extend_from_slice(&v.to_le_bytes());
         }
-        out.extend_from_slice(&huffman::encode(&symbols));
+        huffman::encode_into(symbols, &mut out);
         for v in &outliers {
             out.extend_from_slice(&v.to_le_bytes());
         }
@@ -134,67 +281,29 @@ impl Compressor for MgardCompressor {
     }
 
     fn decompress(&self, stream: &[u8]) -> Result<Vec<f32>, CompressError> {
-        if stream.len() < 20 {
-            return Err(CompressError::CorruptStream("header too short".into()));
-        }
-        let n = u64::from_le_bytes(stream[0..8].try_into().expect("8 bytes")) as usize;
-        let eb = f64::from_le_bytes(stream[8..16].try_into().expect("8 bytes"));
-        let coarse_len = u32::from_le_bytes(stream[16..20].try_into().expect("4 bytes")) as usize;
-        let lens = level_lengths(n);
-        if coarse_len != *lens.last().expect("at least one level") {
+        let mut pooled = scratch::acquire();
+        let (n, eb, lens, pos) = Self::decode_core(stream, &mut pooled)?;
+        // n equals decoded-symbol count + coarse count at this point, both
+        // already bounded by actual stream contents — safe to allocate.
+        let mut out = vec![0.0f32; n];
+        Self::reconstruct(stream, pos, eb, &lens, &mut pooled, &mut out)?;
+        Ok(out)
+    }
+
+    fn decompress_into(
+        &self,
+        stream: &[u8],
+        out: &mut [f32],
+        scratch: &mut CodecScratch,
+    ) -> Result<(), CompressError> {
+        let (n, eb, lens, pos) = Self::decode_core(stream, scratch)?;
+        if n != out.len() {
             return Err(CompressError::CorruptStream(format!(
-                "coarse length {coarse_len} inconsistent with n={n}"
+                "stream declares {n} values, expected {}",
+                out.len()
             )));
         }
-        let mut pos = 20usize;
-        let mut coarse = Vec::with_capacity(crate::traits::safe_capacity(coarse_len, stream.len()));
-        for _ in 0..coarse_len {
-            let bytes = stream
-                .get(pos..pos + 4)
-                .ok_or_else(|| CompressError::CorruptStream("truncated coarse level".into()))?;
-            pos += 4;
-            coarse.push(f32::from_le_bytes(bytes.try_into().expect("4 bytes")));
-        }
-        let (symbols, consumed) = huffman::decode(&stream[pos..])?;
-        pos += consumed;
-
-        let expected_symbols: usize = lens
-            .iter()
-            .take(lens.len().saturating_sub(1))
-            .map(|&len| len / 2)
-            .sum();
-        if symbols.len() != expected_symbols {
-            return Err(CompressError::CorruptStream(format!(
-                "expected {expected_symbols} coefficients, decoded {}",
-                symbols.len()
-            )));
-        }
-
-        let mut sym_iter = symbols.into_iter();
-        let mut recon_coarse = coarse;
-        for k in (0..lens.len().saturating_sub(1)).rev() {
-            let len = lens[k];
-            let mut recon = vec![0.0f32; len];
-            for (j, &v) in recon_coarse.iter().enumerate() {
-                recon[2 * j] = v;
-            }
-            for i in (1..len).step_by(2) {
-                let sym = sym_iter.next().expect("symbol count verified");
-                if sym == ESCAPE {
-                    let bytes = stream.get(pos..pos + 4).ok_or_else(|| {
-                        CompressError::CorruptStream("truncated outlier table".into())
-                    })?;
-                    pos += 4;
-                    recon[i] = f32::from_le_bytes(bytes.try_into().expect("4 bytes"));
-                } else {
-                    let code = sym as i64 - MAX_CODE - 1;
-                    let pred = interpolate(&recon, i, len);
-                    recon[i] = (pred as f64 + 2.0 * eb * code as f64) as f32;
-                }
-            }
-            recon_coarse = recon;
-        }
-        Ok(recon_coarse)
+        Self::reconstruct(stream, pos, eb, &lens, scratch, out)
     }
 }
 

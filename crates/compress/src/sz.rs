@@ -14,9 +14,17 @@
 //! crate's canonical Huffman coder.  The error-bound contract is *strict*:
 //! the quantizer verifies each reconstruction in `f32` and escapes to a
 //! verbatim outlier whenever rounding would violate the budget.
+//!
+//! Both directions run as a single fused pass: the predictor only ever
+//! looks two elements back, so compression keeps the reconstructed history
+//! in two registers (predict + quantize + verify per element, no
+//! reconstruction buffer), and [`Compressor::decompress_into`] streams the
+//! inverse straight into the caller's slice through pooled
+//! [`CodecScratch`](crate::CodecScratch) state.
 
 use crate::error_bound::ErrorBound;
 use crate::huffman;
+use crate::scratch::{self, CodecScratch};
 use crate::traits::{check_tolerance, CompressError, Compressor};
 
 /// Quantization codes live in `[-MAX_CODE, MAX_CODE]`; residuals outside
@@ -36,16 +44,71 @@ impl SzCompressor {
         SzCompressor
     }
 
-    /// Predicts element `i` from reconstructed history: linear
+    /// Predicts element `i` from the last two reconstructed values: linear
     /// extrapolation `2·x̃_{i−1} − x̃_{i−2}` when two predecessors exist,
     /// Lorenzo (`x̃_{i−1}`) with one, zero otherwise.
     #[inline]
-    fn predict(recon: &[f32], i: usize) -> f64 {
+    fn predict(i: usize, prev: f32, prev2: f32) -> f64 {
         match i {
             0 => 0.0,
-            1 => recon[0] as f64,
-            _ => 2.0 * recon[i - 1] as f64 - recon[i - 2] as f64,
+            1 => prev as f64,
+            _ => 2.0 * prev as f64 - prev2 as f64,
         }
+    }
+
+    /// Parses the header and entropy-decodes the quantization symbols into
+    /// `scratch.symbols`.  Returns `(n, eb, outlier_table_offset)`.  All
+    /// size validation happens here, before any data-sized allocation.
+    fn decode_core(
+        stream: &[u8],
+        scratch: &mut CodecScratch,
+    ) -> Result<(usize, f64, usize), CompressError> {
+        if stream.len() < 16 {
+            return Err(CompressError::CorruptStream("header too short".into()));
+        }
+        let n = u64::from_le_bytes(stream[0..8].try_into().expect("8 bytes")) as usize;
+        let eb = f64::from_le_bytes(stream[8..16].try_into().expect("8 bytes"));
+        let consumed =
+            huffman::decode_into(&stream[16..], &mut scratch.symbols, &mut scratch.huff)?;
+        if scratch.symbols.len() != n {
+            return Err(CompressError::CorruptStream(format!(
+                "expected {n} symbols, decoded {}",
+                scratch.symbols.len()
+            )));
+        }
+        Ok((n, eb, 16 + consumed))
+    }
+
+    /// Fused inverse pass: reconstructs `out` (length == symbol count) from
+    /// the quantization symbols and the outlier table at `stream[pos..]`,
+    /// carrying the two-element history in registers.
+    fn reconstruct(
+        stream: &[u8],
+        mut pos: usize,
+        eb: f64,
+        symbols: &[u32],
+        out: &mut [f32],
+    ) -> Result<(), CompressError> {
+        debug_assert_eq!(symbols.len(), out.len());
+        let mut prev = 0.0f32;
+        let mut prev2 = 0.0f32;
+        for (i, (&sym, slot)) in symbols.iter().zip(out.iter_mut()).enumerate() {
+            let v = if sym == ESCAPE {
+                let bytes = stream.get(pos..pos + 4).ok_or_else(|| {
+                    CompressError::CorruptStream("truncated outlier table".into())
+                })?;
+                pos += 4;
+                f32::from_le_bytes(bytes.try_into().expect("4 bytes"))
+            } else {
+                let code = sym as i64 - MAX_CODE - 1;
+                let pred = Self::predict(i, prev, prev2);
+                (pred + 2.0 * eb * code as f64) as f32
+            };
+            *slot = v;
+            prev2 = prev;
+            prev = v;
+        }
+        Ok(())
     }
 }
 
@@ -62,12 +125,18 @@ impl Compressor for SzCompressor {
     fn compress(&self, data: &[f32], bound: &ErrorBound) -> Result<Vec<u8>, CompressError> {
         check_tolerance(bound.tolerance)?;
         let eb = bound.pointwise_budget(data);
-        let mut symbols: Vec<u32> = Vec::with_capacity(data.len());
+        let mut scratch = scratch::acquire();
+        let CodecScratch { symbols, .. } = &mut *scratch;
+        symbols.clear();
+        symbols.reserve(data.len());
         let mut outliers: Vec<f32> = Vec::new();
-        let mut recon: Vec<f32> = Vec::with_capacity(data.len());
 
+        // Fused predict + quantize + verify: the reconstruction history the
+        // predictor needs is just the last two values, carried in registers.
+        let mut prev = 0.0f32;
+        let mut prev2 = 0.0f32;
         for (i, &x) in data.iter().enumerate() {
-            let pred = Self::predict(&recon, i);
+            let pred = Self::predict(i, prev, prev2);
             let residual = x as f64 - pred;
             let code = (residual / (2.0 * eb)).round() as i64;
             let mut accepted = false;
@@ -79,21 +148,23 @@ impl Compressor for SzCompressor {
                 // verify rather than trust the algebra.
                 if ((x - r).abs() as f64) <= eb && r.is_finite() {
                     symbols.push((code + MAX_CODE + 1) as u32);
-                    recon.push(r);
+                    prev2 = prev;
+                    prev = r;
                     accepted = true;
                 }
             }
             if !accepted {
                 symbols.push(ESCAPE);
                 outliers.push(x);
-                recon.push(x);
+                prev2 = prev;
+                prev = x;
             }
         }
 
         let mut out = Vec::new();
         out.extend_from_slice(&(data.len() as u64).to_le_bytes());
         out.extend_from_slice(&eb.to_le_bytes());
-        out.extend_from_slice(&huffman::encode(&symbols));
+        huffman::encode_into(symbols, &mut out);
         for v in &outliers {
             out.extend_from_slice(&v.to_le_bytes());
         }
@@ -101,34 +172,29 @@ impl Compressor for SzCompressor {
     }
 
     fn decompress(&self, stream: &[u8]) -> Result<Vec<f32>, CompressError> {
-        if stream.len() < 16 {
-            return Err(CompressError::CorruptStream("header too short".into()));
-        }
-        let n = u64::from_le_bytes(stream[0..8].try_into().expect("8 bytes")) as usize;
-        let eb = f64::from_le_bytes(stream[8..16].try_into().expect("8 bytes"));
-        let (symbols, consumed) = huffman::decode(&stream[16..])?;
-        if symbols.len() != n {
+        let mut scratch = scratch::acquire();
+        let (n, eb, pos) = Self::decode_core(stream, &mut scratch)?;
+        // n == symbols.len() here, which the entropy decoder already
+        // bounded by the actual payload size — safe to allocate.
+        let mut recon = vec![0.0f32; n];
+        Self::reconstruct(stream, pos, eb, &scratch.symbols, &mut recon)?;
+        Ok(recon)
+    }
+
+    fn decompress_into(
+        &self,
+        stream: &[u8],
+        out: &mut [f32],
+        scratch: &mut CodecScratch,
+    ) -> Result<(), CompressError> {
+        let (n, eb, pos) = Self::decode_core(stream, scratch)?;
+        if n != out.len() {
             return Err(CompressError::CorruptStream(format!(
-                "expected {n} symbols, decoded {}",
-                symbols.len()
+                "stream declares {n} values, expected {}",
+                out.len()
             )));
         }
-        let mut pos = 16 + consumed;
-        let mut recon: Vec<f32> = Vec::with_capacity(crate::traits::safe_capacity(n, stream.len()));
-        for (i, &sym) in symbols.iter().enumerate() {
-            if sym == ESCAPE {
-                let bytes = stream.get(pos..pos + 4).ok_or_else(|| {
-                    CompressError::CorruptStream("truncated outlier table".into())
-                })?;
-                pos += 4;
-                recon.push(f32::from_le_bytes(bytes.try_into().expect("4 bytes")));
-            } else {
-                let code = sym as i64 - MAX_CODE - 1;
-                let pred = Self::predict(&recon, i);
-                recon.push((pred + 2.0 * eb * code as f64) as f32);
-            }
-        }
-        Ok(recon)
+        Self::reconstruct(stream, pos, eb, &scratch.symbols, out)
     }
 }
 

@@ -54,6 +54,32 @@ pub trait Compressor: Send + Sync {
     /// Decompresses a stream produced by [`Compressor::compress`].
     fn decompress(&self, stream: &[u8]) -> Result<Vec<f32>, CompressError>;
 
+    /// Decompresses into a caller-provided buffer, reusing `scratch` for
+    /// all transient state.  Errors if the stream does not decode to
+    /// exactly `out.len()` values.
+    ///
+    /// The optimized backends override this with allocation-free decode
+    /// paths; the default falls back to [`Compressor::decompress`] plus a
+    /// copy, so custom backends stay correct without extra work.
+    fn decompress_into(
+        &self,
+        stream: &[u8],
+        out: &mut [f32],
+        scratch: &mut crate::scratch::CodecScratch,
+    ) -> Result<(), CompressError> {
+        let _ = scratch;
+        let v = self.decompress(stream)?;
+        if v.len() != out.len() {
+            return Err(CompressError::CorruptStream(format!(
+                "stream decoded to {} values, expected {}",
+                v.len(),
+                out.len()
+            )));
+        }
+        out.copy_from_slice(&v);
+        Ok(())
+    }
+
     /// Convenience: compress + decompress + collect timing/ratio stats.
     fn roundtrip(
         &self,

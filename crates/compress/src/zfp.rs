@@ -98,19 +98,71 @@ impl Compressor for ZfpCompressor {
     }
 
     fn decompress(&self, stream: &[u8]) -> Result<Vec<f32>, CompressError> {
-        if stream.len() < 8 {
-            return Err(CompressError::CorruptStream("header too short".into()));
-        }
-        let n = u64::from_le_bytes(stream[0..8].try_into().expect("8 bytes")) as usize;
-        let mut r = BitReader::new(&stream[8..]);
-        let mut out = Vec::with_capacity(crate::traits::safe_capacity(n, stream.len()));
-        while out.len() < n {
-            let take = (n - out.len()).min(4);
-            let block = decode_block(&mut r)?;
-            out.extend_from_slice(&block[..take]);
-        }
+        let n = parse_header(stream)?;
+        let mut out = vec![0.0f32; n];
+        decode_into_slice(&stream[8..], &mut out)?;
         Ok(out)
     }
+
+    fn decompress_into(
+        &self,
+        stream: &[u8],
+        out: &mut [f32],
+        _scratch: &mut crate::scratch::CodecScratch,
+    ) -> Result<(), CompressError> {
+        let n = parse_header(stream)?;
+        if n != out.len() {
+            return Err(CompressError::CorruptStream(format!(
+                "stream declares {n} values, expected {}",
+                out.len()
+            )));
+        }
+        decode_into_slice(&stream[8..], out)
+    }
+}
+
+/// Upper bound on the bits one encoded block can occupy: flag + emax(10) +
+/// cut(6) + width(6) + 4 × (sign + 63-bit magnitude).  Used to decide when
+/// the unchecked decode path is safe for a whole block at once.
+const MAX_BLOCK_BITS: usize = 1 + 10 + 6 + 6 + 4 * (1 + 63);
+
+/// Parses and validates the stream header, returning the element count.
+///
+/// The declared count is validated against the payload size *before* any
+/// allocation: every block consumes at least 2 bits (the zero-block case),
+/// so a stream whose payload cannot cover `⌈n/4⌉` blocks is rejected here
+/// instead of erroring mid-decode — and `n` is thereby bounded by 16× the
+/// stream size, making `vec![0.0; n]` safe.
+fn parse_header(stream: &[u8]) -> Result<usize, CompressError> {
+    if stream.len() < 8 {
+        return Err(CompressError::CorruptStream("header too short".into()));
+    }
+    let n = u64::from_le_bytes(stream[0..8].try_into().expect("8 bytes")) as usize;
+    let payload_bits = (stream.len() - 8).saturating_mul(8);
+    let min_bits = n.div_ceil(4).saturating_mul(2);
+    if min_bits > payload_bits {
+        return Err(CompressError::CorruptStream(format!(
+            "declared {n} values but payload holds only {payload_bits} bits"
+        )));
+    }
+    Ok(n)
+}
+
+/// Decodes the block payload straight into `out`, 4 values per block, with
+/// no per-block allocations.  Blocks whose worst-case footprint fits the
+/// remaining stream take the unchecked bit-read fast path (bounds verified
+/// once per block); only the last few blocks pay per-read checks.
+fn decode_into_slice(payload: &[u8], out: &mut [f32]) -> Result<(), CompressError> {
+    let mut r = BitReader::new(payload);
+    for chunk in out.chunks_mut(4) {
+        if r.remaining_bits() >= MAX_BLOCK_BITS {
+            decode_block_unchecked(&mut r, chunk);
+        } else {
+            let block = decode_block(&mut r)?;
+            chunk.copy_from_slice(&block[..chunk.len()]);
+        }
+    }
+    Ok(())
 }
 
 fn encode_block(values: &[f32], budget: f64, w: &mut BitWriter) {
@@ -230,6 +282,56 @@ fn decode_block(r: &mut BitReader<'_>) -> Result<[f32; 4], CompressError> {
     inv_transform(&mut ints);
     let scale = 2f64.powi(emax - (PRECISION - 2));
     Ok(std::array::from_fn(|i| (ints[i] as f64 * scale) as f32))
+}
+
+/// [`decode_block`] without per-read end-of-stream checks, writing straight
+/// into `out` (`1..=4` values).  Caller must have verified the stream holds
+/// at least [`MAX_BLOCK_BITS`] more bits; decoding is then infallible and
+/// the bit cursor advances exactly as the checked path would.
+fn decode_block_unchecked(r: &mut BitReader<'_>, out: &mut [f32]) {
+    debug_assert!(r.remaining_bits() >= MAX_BLOCK_BITS);
+    debug_assert!(!out.is_empty() && out.len() <= 4);
+    if r.read_bits_unchecked(1) == 1 {
+        if r.read_bits_unchecked(1) == 0 {
+            out.fill(0.0);
+            return;
+        }
+        let mut vals = [0.0f32; 4];
+        for v in &mut vals {
+            *v = f32::from_bits(r.read_bits_unchecked(32) as u32);
+        }
+        out.copy_from_slice(&vals[..out.len()]);
+        return;
+    }
+    let emax = r.read_bits_unchecked(10) as i32 - 256;
+    let cut = r.read_bits_unchecked(6) as u32;
+    let width = r.read_bits_unchecked(6) as u32;
+    let mut ints = [0i64; 4];
+    for v in &mut ints {
+        let neg = r.read_bits_unchecked(1) == 1;
+        let raw: u64 = if width == 0 {
+            0
+        } else if width <= 57 {
+            r.read_bits_unchecked(width)
+        } else {
+            // 58..=63-bit magnitudes split across two register loads.
+            let lo = r.read_bits_unchecked(57);
+            lo | (r.read_bits_unchecked(width - 57) << 57)
+        };
+        let mag = raw as i64;
+        // Midpoint reconstruction of the truncated low bits (wrapping:
+        // corrupt streams can declare absurd cut/width combinations).
+        let mut val = mag.wrapping_shl(cut);
+        if cut > 0 && mag != 0 {
+            val = val.wrapping_add(1i64.wrapping_shl(cut - 1));
+        }
+        *v = if neg { val.wrapping_neg() } else { val };
+    }
+    inv_transform(&mut ints);
+    let scale = 2f64.powi(emax - (PRECISION - 2));
+    for (slot, &i) in out.iter_mut().zip(ints.iter()) {
+        *slot = (i as f64 * scale) as f32;
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,134 @@
+//! Edge cases of the Huffman/RLE entropy stage that the fast decode paths
+//! must get exactly right: run lengths straddling the RLE threshold,
+//! payloads that *contain* the run-marker sentinel as data, codes longer
+//! than the prefix-table width, and degenerate single-symbol streams.
+//!
+//! Every case checks byte-for-byte stream stability via the frozen
+//! seed-path decoder in `errflow_compress::reference`, so "optimized" can
+//! never silently come to mean "different format".
+
+use errflow_compress::huffman::{decode, encode, MIN_RUN, PEEK, RUN_MARKER};
+use errflow_compress::reference;
+use errflow_tensor::rng::StdRng;
+
+/// Round-trips through the optimized decoder AND the frozen seed-path
+/// decoder, asserting both agree with the input.
+fn roundtrip_both(symbols: &[u32]) {
+    let stream = encode(symbols);
+    let (fast, consumed) = decode(&stream).expect("optimized decode");
+    assert_eq!(fast, symbols, "optimized decoder mismatch");
+    assert_eq!(consumed, stream.len());
+    let (slow, ref_consumed) = reference::huffman_decode(&stream).expect("reference decode");
+    assert_eq!(slow, symbols, "reference decoder mismatch");
+    assert_eq!(ref_consumed, consumed);
+}
+
+#[test]
+fn runs_at_and_adjacent_to_min_run() {
+    // Runs of length MIN_RUN−1 stay literal; MIN_RUN and MIN_RUN+1 collapse.
+    for run_len in [MIN_RUN - 1, MIN_RUN, MIN_RUN + 1] {
+        let mut symbols = vec![1u32, 2, 3];
+        symbols.extend(std::iter::repeat(7u32).take(run_len));
+        symbols.extend_from_slice(&[4, 5, 6]);
+        roundtrip_both(&symbols);
+    }
+}
+
+#[test]
+fn run_at_stream_start_and_end() {
+    let mut head_run = vec![9u32; MIN_RUN + 5];
+    head_run.extend_from_slice(&[1, 2, 3]);
+    roundtrip_both(&head_run);
+
+    let mut tail_run = vec![1u32, 2, 3];
+    tail_run.extend(std::iter::repeat(9u32).take(MIN_RUN + 5));
+    roundtrip_both(&tail_run);
+
+    // Entire stream is one run.
+    roundtrip_both(&vec![3u32; MIN_RUN * 4]);
+}
+
+#[test]
+fn back_to_back_runs_of_different_symbols() {
+    let mut symbols = Vec::new();
+    for s in 0..6u32 {
+        symbols.extend(std::iter::repeat(s).take(MIN_RUN + s as usize));
+    }
+    roundtrip_both(&symbols);
+}
+
+#[test]
+fn inputs_containing_run_marker_disable_rle() {
+    // RUN_MARKER (u32::MAX) appearing as *data* must force the literal
+    // (non-RLE) encoding and still round-trip exactly.
+    let symbols = vec![RUN_MARKER, 1, 2, RUN_MARKER, RUN_MARKER, 3];
+    roundtrip_both(&symbols);
+
+    // Even a long run of the marker itself cannot use RLE.
+    let mut marker_run = vec![5u32; 10];
+    marker_run.extend(std::iter::repeat(RUN_MARKER).take(MIN_RUN * 2));
+    marker_run.extend_from_slice(&[5; 10]);
+    roundtrip_both(&marker_run);
+}
+
+#[test]
+fn codes_longer_than_peek_table_width() {
+    // A steeply skewed distribution over many symbols forces code lengths
+    // past the PEEK-bit prefix table, exercising the slow canonical path
+    // inside the fast word-batched decoder.
+    let mut symbols = Vec::new();
+    for s in 0..200u32 {
+        // Geometric-ish frequencies: symbol s appears ~2^(s/8)-fold less.
+        let copies = (1usize << (12 - (s as usize / 16).min(12))).max(1);
+        symbols.extend(std::iter::repeat(s).take(copies));
+    }
+    // Deterministic shuffle so long-code symbols interleave with short.
+    let mut rng = StdRng::seed_from_u64(99);
+    for i in (1..symbols.len()).rev() {
+        let j = rng.gen_range(0..(i + 1) as u64) as usize;
+        symbols.swap(i, j);
+    }
+    let stream = encode(&symbols);
+    // Sanity: the code table really does exceed the PEEK width.  Header is
+    // n:u64, rle:u8, runs:u32 (+varints), transformed:u64, n_codes:u32;
+    // the shuffle leaves no collapsible runs, so offsets are fixed.
+    let n_runs = u32::from_le_bytes(stream[9..13].try_into().unwrap());
+    assert_eq!(n_runs, 0, "shuffle should leave no RLE runs");
+    let n_codes = u32::from_le_bytes(stream[21..25].try_into().unwrap());
+    assert!(n_codes >= 200, "expected a wide alphabet, got {n_codes}");
+    let max_len = (0..n_codes as usize)
+        .map(|i| stream[25 + 5 * i + 4])
+        .max()
+        .unwrap();
+    assert!(
+        u32::from(max_len) > PEEK,
+        "distribution failed to force a code past {PEEK} bits (max {max_len})"
+    );
+    roundtrip_both(&symbols);
+}
+
+#[test]
+fn single_symbol_streams() {
+    // One distinct symbol: the canonical code is a single 1-bit code.
+    roundtrip_both(&[42u32]);
+    roundtrip_both(&vec![42u32; 5]);
+    roundtrip_both(&vec![42u32; MIN_RUN]); // also collapses to one run
+    roundtrip_both(&[RUN_MARKER]); // the marker alone, as data
+}
+
+#[test]
+fn empty_stream() {
+    roundtrip_both(&[]);
+}
+
+#[test]
+fn large_alphabet_spills_dense_tables() {
+    // Symbols above the dense-LUT range exercise the HashMap fallback on
+    // encode and the canonical arrays (no prefix table hit) on decode.
+    let mut rng = StdRng::seed_from_u64(7);
+    let mut symbols: Vec<u32> = (0..4000)
+        .map(|_| rng.gen_range(0..(1u64 << 22)) as u32)
+        .collect();
+    symbols.extend(std::iter::repeat(1u32 << 21).take(MIN_RUN * 2));
+    roundtrip_both(&symbols);
+}

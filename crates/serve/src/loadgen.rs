@@ -83,6 +83,14 @@ pub struct BenchSummary {
     pub max_rel_bound: f64,
     /// `true` iff every response's bound was ≤ its requested tolerance.
     pub all_bounds_certified: bool,
+    /// Compressed bytes fed into payload decompression over the run.
+    pub decomp_bytes_in: u64,
+    /// Decompressed bytes produced over the run.
+    pub decomp_bytes_out: u64,
+    /// Payload decompression throughput (GB/s of decompressed output).
+    pub decomp_gbps: f64,
+    /// Codec scratch-pool hit rate at the end of the run (process-wide).
+    pub scratch_hit_rate: f64,
 }
 
 impl BenchSummary {
@@ -103,7 +111,9 @@ impl BenchSummary {
                 "\"latency_us\":{{\"min\":{},\"mean\":{},\"p50\":{},\"p99\":{},\"max\":{}}},",
                 "\"cache\":{{\"hits\":{},\"misses\":{},\"hit_rate\":{}}},",
                 "\"batches\":{},\"mean_batch_size\":{},",
-                "\"max_rel_bound\":{},\"all_bounds_certified\":{}}}"
+                "\"max_rel_bound\":{},\"all_bounds_certified\":{},",
+                "\"decomp\":{{\"bytes_in\":{},\"bytes_out\":{},\"gbps\":{},",
+                "\"scratch_hit_rate\":{}}}}}"
             ),
             self.clients,
             self.requests,
@@ -122,6 +132,10 @@ impl BenchSummary {
             num(self.mean_batch_size),
             num(self.max_rel_bound),
             self.all_bounds_certified,
+            self.decomp_bytes_in,
+            self.decomp_bytes_out,
+            num(self.decomp_gbps),
+            num(self.scratch_hit_rate),
         )
     }
 }
@@ -226,6 +240,10 @@ pub fn run_loadgen<M: Model + Clone + Send + Sync + 'static>(
         mean_batch_size: snap.mean_batch_size(),
         max_rel_bound: f64::from_bits(max_bound_bits.load(Ordering::Relaxed)),
         all_bounds_certified: true, // enforced inline by the asserts above
+        decomp_bytes_in: snap.decomp_bytes_in,
+        decomp_bytes_out: snap.decomp_bytes_out,
+        decomp_gbps: snap.decomp_gbps(),
+        scratch_hit_rate: snap.scratch_hit_rate(),
     }
 }
 
@@ -256,6 +274,10 @@ mod tests {
             mean_batch_size: 1.6,
             max_rel_bound: 0.0056,
             all_bounds_certified: true,
+            decomp_bytes_in: 100_000,
+            decomp_bytes_out: 800_000,
+            decomp_gbps: 2.5,
+            scratch_hit_rate: 0.97,
         };
         let j = s.to_json();
         assert!(j.starts_with('{') && j.ends_with('}'));
@@ -263,6 +285,8 @@ mod tests {
         assert!(j.contains("\"hit_rate\":0.99875"), "{j}");
         assert!(j.contains("\"all_bounds_certified\":true"), "{j}");
         assert!(j.contains("\"p99\":2896"), "{j}");
+        assert!(j.contains("\"gbps\":2.5"), "{j}");
+        assert!(j.contains("\"scratch_hit_rate\":0.97"), "{j}");
         // Balanced braces (nested latency/cache objects).
         assert_eq!(j.matches('{').count(), j.matches('}').count());
     }
@@ -283,9 +307,14 @@ mod tests {
             mean_batch_size: 0.0,
             max_rel_bound: 0.0,
             all_bounds_certified: true,
+            decomp_bytes_in: 0,
+            decomp_bytes_out: 0,
+            decomp_gbps: f64::NAN,
+            scratch_hit_rate: 0.0,
         };
         let j = s.to_json();
         assert!(j.contains("\"throughput_rps\":null"), "{j}");
         assert!(j.contains("\"hit_rate\":null"), "{j}");
+        assert!(j.contains("\"gbps\":null"), "{j}");
     }
 }

@@ -457,6 +457,11 @@ impl<M: Model + Clone + Send + Sync + 'static> Server<M> {
             queue_depth: self.queue.len(),
             cache_hits: self.inner.cache.hits(),
             cache_misses: self.inner.cache.misses(),
+            decomp_ns: s.decomp_ns.load(Relaxed),
+            decomp_bytes_in: s.decomp_bytes_in.load(Relaxed),
+            decomp_bytes_out: s.decomp_bytes_out.load(Relaxed),
+            scratch_hits: errflow_compress::scratch::pool_stats().0,
+            scratch_misses: errflow_compress::scratch::pool_stats().1,
             latency: s.latency.summary(),
         }
     }
@@ -520,9 +525,18 @@ fn worker_loop<M: Model + Clone + Send + Sync>(inner: &Inner<M>, queue: &Bounded
             let d = job.samples[0].len();
             let payload = flatten(&job.samples, job.layout);
             let bound = compressor_bound(&cached.plan, compressor.as_ref(), payload.len());
-            let roundtrip = compressor
-                .compress(&payload, &bound)
-                .and_then(|stream| compressor.decompress(&stream));
+            // Compress and decode separately so decompression throughput
+            // (the paper's ingest-side bottleneck) can be tracked on its own.
+            let roundtrip = compressor.compress(&payload, &bound).and_then(|stream| {
+                let t_dec = Instant::now();
+                let flat = compressor.decompress(&stream)?;
+                inner.stats.note_decomp(
+                    t_dec.elapsed().as_nanos() as u64,
+                    stream.len() as u64,
+                    (flat.len() * 4) as u64,
+                );
+                Ok(flat)
+            });
             match roundtrip {
                 Ok(flat) => {
                     recon_per_job.push(unflatten(&flat, n, d, job.layout));

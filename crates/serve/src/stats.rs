@@ -124,6 +124,12 @@ pub struct ServerStats {
     /// Jobs carried by those batches (`batched_jobs / batches` = mean
     /// coalescing factor).
     pub batched_jobs: AtomicU64,
+    /// Wall time spent decompressing request payloads, in nanoseconds.
+    pub decomp_ns: AtomicU64,
+    /// Compressed bytes fed into payload decompression.
+    pub decomp_bytes_in: AtomicU64,
+    /// Decompressed bytes produced (values × 4).
+    pub decomp_bytes_out: AtomicU64,
     /// End-to-end request latency (enqueue → response).
     pub latency: LatencyHistogram,
 }
@@ -137,6 +143,13 @@ impl ServerStats {
     pub(crate) fn note_batch(&self, jobs: usize) {
         self.batches.fetch_add(1, Ordering::Relaxed);
         self.batched_jobs.fetch_add(jobs as u64, Ordering::Relaxed);
+    }
+
+    pub(crate) fn note_decomp(&self, ns: u64, bytes_in: u64, bytes_out: u64) {
+        self.decomp_ns.fetch_add(ns, Ordering::Relaxed);
+        self.decomp_bytes_in.fetch_add(bytes_in, Ordering::Relaxed);
+        self.decomp_bytes_out
+            .fetch_add(bytes_out, Ordering::Relaxed);
     }
 }
 
@@ -162,6 +175,17 @@ pub struct StatsSnapshot {
     pub cache_hits: u64,
     /// Plan-cache lookups that planned from scratch.
     pub cache_misses: u64,
+    /// Wall time spent decompressing request payloads, in nanoseconds.
+    pub decomp_ns: u64,
+    /// Compressed bytes fed into payload decompression.
+    pub decomp_bytes_in: u64,
+    /// Decompressed bytes produced (values × 4).
+    pub decomp_bytes_out: u64,
+    /// Codec scratch-pool hits since process start (process-wide — the
+    /// pool is shared by every compressor in the process).
+    pub scratch_hits: u64,
+    /// Codec scratch-pool misses since process start.
+    pub scratch_misses: u64,
     /// Latency distribution snapshot.
     pub latency: LatencySummary,
 }
@@ -183,6 +207,27 @@ impl StatsSnapshot {
             0.0
         } else {
             self.batched_jobs as f64 / self.batches as f64
+        }
+    }
+
+    /// Payload decompression throughput in GB/s of decompressed output
+    /// (bytes per nanosecond), or 0 before any payload was decoded.
+    pub fn decomp_gbps(&self) -> f64 {
+        if self.decomp_ns == 0 {
+            0.0
+        } else {
+            self.decomp_bytes_out as f64 / self.decomp_ns as f64
+        }
+    }
+
+    /// `scratch_hits / (scratch_hits + scratch_misses)`, or 0 before any
+    /// acquisition.  Near 1.0 once the codec scratch pool is warm.
+    pub fn scratch_hit_rate(&self) -> f64 {
+        let t = self.scratch_hits + self.scratch_misses;
+        if t == 0 {
+            0.0
+        } else {
+            self.scratch_hits as f64 / t as f64
         }
     }
 }
@@ -260,9 +305,41 @@ mod tests {
             queue_depth: 0,
             cache_hits: 9,
             cache_misses: 1,
+            decomp_ns: 1_000_000,
+            decomp_bytes_in: 400_000,
+            decomp_bytes_out: 4_000_000,
+            scratch_hits: 30,
+            scratch_misses: 10,
             latency: LatencySummary::default(),
         };
         assert!((snap.cache_hit_rate() - 0.9).abs() < 1e-12);
         assert!((snap.mean_batch_size() - 2.5).abs() < 1e-12);
+        // 4 MB decoded in 1 ms = 4 GB/s (bytes per nanosecond).
+        assert!((snap.decomp_gbps() - 4.0).abs() < 1e-12);
+        assert!((snap.scratch_hit_rate() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zeroed_snapshot_rates_are_zero() {
+        let snap = StatsSnapshot {
+            submitted: 0,
+            rejected: 0,
+            completed: 0,
+            failed: 0,
+            batches: 0,
+            batched_jobs: 0,
+            queue_depth: 0,
+            cache_hits: 0,
+            cache_misses: 0,
+            decomp_ns: 0,
+            decomp_bytes_in: 0,
+            decomp_bytes_out: 0,
+            scratch_hits: 0,
+            scratch_misses: 0,
+            latency: LatencySummary::default(),
+        };
+        assert_eq!(snap.decomp_gbps(), 0.0);
+        assert_eq!(snap.scratch_hit_rate(), 0.0);
+        assert_eq!(snap.cache_hit_rate(), 0.0);
     }
 }

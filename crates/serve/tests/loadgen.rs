@@ -46,10 +46,16 @@ fn single_tolerance_load_is_cache_hot_and_certified() {
     assert!(summary.throughput_rps > 0.0);
     assert!(summary.latency.count >= 75);
     assert!(summary.latency.p50_us > 0.0);
+    // Every request's payload went through the compression roundtrip, so
+    // decompression throughput must have been recorded.
+    assert!(summary.decomp_bytes_in > 0);
+    assert!(summary.decomp_bytes_out > 0);
+    assert!(summary.decomp_gbps > 0.0);
     // The JSON surface reflects the run.
     let j = summary.to_json();
     assert!(j.contains("\"requests\":75"), "{j}");
     assert!(j.contains("\"all_bounds_certified\":true"), "{j}");
+    assert!(j.contains("\"decomp\":{"), "{j}");
 }
 
 #[test]
