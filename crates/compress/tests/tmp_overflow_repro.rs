@@ -1,0 +1,23 @@
+// Temporary repro: crafted canonical table with a complete 64-bit code set.
+use errflow_compress::huffman;
+
+#[test]
+fn complete_64bit_table_does_not_panic() {
+    let mut s = Vec::new();
+    s.extend_from_slice(&1u64.to_le_bytes()); // n_original
+    s.push(0); // rle flag
+    s.extend_from_slice(&0u32.to_le_bytes()); // n_runs
+    s.extend_from_slice(&1u64.to_le_bytes()); // n_symbols
+    s.extend_from_slice(&65u32.to_le_bytes()); // n_distinct
+    for i in 0u32..64 {
+        s.extend_from_slice(&i.to_le_bytes());
+        s.push((i + 1) as u8); // lengths 1..=64
+    }
+    s.extend_from_slice(&64u32.to_le_bytes());
+    s.push(64); // second length-64 code -> Kraft sum exactly 2^64
+    s.extend_from_slice(&1u64.to_le_bytes()); // payload_len
+    s.push(0x00); // payload: one 0 bit decodes symbol 0
+    let r = huffman::decode(&s);
+    // Accept or reject is fine; panicking is not.
+    let _ = r;
+}
