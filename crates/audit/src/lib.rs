@@ -1,0 +1,26 @@
+//! errflow-audit: dependency-free static analysis for the errflow workspace.
+//!
+//! The unsafe SIMD microkernels, unchecked bitstream readers, and
+//! lock-sharing thread pool introduced by the performance work are exactly
+//! the code where a latent bug silently corrupts the error bounds the system
+//! certifies. This crate enforces the workspace's soundness conventions as
+//! machine-checked invariants:
+//!
+//! 1. `safety-comment` — every `unsafe` site carries a `// SAFETY:` note.
+//! 2. `unchecked-contract` — `*_unchecked` calls carry a `debug_assert!`
+//!    contract or adjacent SAFETY note.
+//! 3. `no-panic` — no `unwrap`/`expect`/`panic!` in serve/compress library
+//!    paths (ratcheted: the count may only decrease).
+//! 4. `unchecked-header-cast` — untrusted codec header fields flow through
+//!    checked-cast helpers before indexing or allocation.
+//! 5. `thread-discipline` — no `thread::spawn` outside the shared pool.
+//!
+//! The analysis is a hand-rolled lexer (comment/string/char-literal aware)
+//! feeding token-level rules — no regex over raw lines, no syn, no deps.
+
+pub mod lexer;
+pub mod report;
+pub mod rules;
+
+pub use report::{audit_tree, check, counts, render_human, render_json, CheckOutcome, Ratchet};
+pub use rules::{audit_source, Finding};

@@ -1,0 +1,516 @@
+//! Rule engine: per-file context (test spans, fn bodies, allow annotations)
+//! plus the five workspace invariants.
+//!
+//! Rule identifiers are stable strings — they appear in reports, in
+//! `// audit:allow(<rule>)` annotations, and as keys in the ratchet file.
+
+use crate::lexer::{lex, Lexed, TokKind};
+use std::collections::HashMap;
+
+pub const RULE_SAFETY: &str = "safety-comment";
+pub const RULE_UNCHECKED: &str = "unchecked-contract";
+pub const RULE_NO_PANIC: &str = "no-panic";
+pub const RULE_HEADER_CAST: &str = "unchecked-header-cast";
+pub const RULE_THREADS: &str = "thread-discipline";
+
+pub const ALL_RULES: [&str; 5] = [
+    RULE_SAFETY,
+    RULE_UNCHECKED,
+    RULE_NO_PANIC,
+    RULE_HEADER_CAST,
+    RULE_THREADS,
+];
+
+/// Rules where a finding — waived or not — fails `--check`. Only the panic
+/// ratchet accepts `audit:allow` annotations; the unsafe/untrusted-input
+/// rules must be satisfied structurally.
+pub fn is_hard_rule(rule: &str) -> bool {
+    rule != RULE_NO_PANIC
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FileClass {
+    /// `src/*.rs` of a library crate (and the root crate).
+    Lib,
+    /// `src/bin/*.rs`.
+    Bin,
+    /// `examples/` or `benches/`.
+    Aux,
+    /// Integration tests under `tests/`.
+    Test,
+    Other,
+}
+
+pub fn classify(rel: &str) -> FileClass {
+    let rel = rel.trim_start_matches("./");
+    if rel.contains("/tests/") || rel.starts_with("tests/") {
+        FileClass::Test
+    } else if rel.contains("/examples/")
+        || rel.starts_with("examples/")
+        || rel.contains("/benches/")
+        || rel.starts_with("benches/")
+    {
+        FileClass::Aux
+    } else if rel.contains("src/bin/") {
+        FileClass::Bin
+    } else if rel.contains("/src/") || rel.starts_with("src/") {
+        FileClass::Lib
+    } else {
+        FileClass::Other
+    }
+}
+
+#[derive(Debug, Clone)]
+pub struct Finding {
+    pub rule: &'static str,
+    pub file: String,
+    pub line: u32,
+    pub message: String,
+    /// True when an `// audit:allow(rule)` annotation covers the site. Waived
+    /// findings are excluded from ratchet counts but still reported, and they
+    /// are still fatal for hard rules.
+    pub waived: bool,
+}
+
+/// Span of a function body as a token-index range `[open_brace, close_brace]`.
+struct FnSpan {
+    name: String,
+    body: (usize, usize),
+}
+
+struct FileCtx<'a> {
+    rel: &'a str,
+    lx: &'a Lexed<'a>,
+    class: FileClass,
+    /// Token-index ranges covered by `#[cfg(test)] mod ... { }`.
+    test_spans: Vec<(usize, usize)>,
+    fns: Vec<FnSpan>,
+    /// Line → rules waived on that line and the next.
+    allows: HashMap<u32, Vec<String>>,
+}
+
+impl<'a> FileCtx<'a> {
+    fn in_test(&self, tok: usize) -> bool {
+        self.class == FileClass::Test || self.test_spans.iter().any(|&(a, b)| tok >= a && tok <= b)
+    }
+
+    /// Innermost function body containing token `tok`.
+    fn enclosing_fn(&self, tok: usize) -> Option<&FnSpan> {
+        self.fns
+            .iter()
+            .filter(|f| tok >= f.body.0 && tok <= f.body.1)
+            .min_by_key(|f| f.body.1 - f.body.0)
+    }
+
+    fn waived(&self, rule: &str, line: u32) -> bool {
+        [line, line.saturating_sub(1)].iter().any(|l| {
+            self.allows
+                .get(l)
+                .is_some_and(|rs| rs.iter().any(|r| r == rule))
+        })
+    }
+
+    /// True when some comment containing `needle` ends within `window` lines
+    /// above (or on) `line`.
+    fn comment_near(&self, needle: &str, line: u32, window: u32) -> bool {
+        self.lx.comments.iter().any(|c| {
+            c.end_line <= line
+                && c.end_line + window >= line
+                && self.lx.comment_text(c).contains(needle)
+        })
+    }
+}
+
+/// Finds the matching close brace for the open brace at token `open`.
+fn match_brace(lx: &Lexed, open: usize) -> usize {
+    let mut depth = 0usize;
+    for i in open..lx.tokens.len() {
+        match lx.tokens[i].kind {
+            TokKind::Punct(b'{') => depth += 1,
+            TokKind::Punct(b'}') => {
+                depth -= 1;
+                if depth == 0 {
+                    return i;
+                }
+            }
+            _ => {}
+        }
+    }
+    lx.tokens.len().saturating_sub(1)
+}
+
+fn build_ctx<'a>(rel: &'a str, lx: &'a Lexed<'a>, class: FileClass) -> FileCtx<'a> {
+    // #[cfg(test)] mod spans: `#` `[` ... cfg ... test ... `]` then (more
+    // attributes) then `mod name {`.
+    let mut test_spans = Vec::new();
+    let n = lx.tokens.len();
+    let mut i = 0usize;
+    while i < n {
+        if lx.is_punct(i, b'#') && lx.is_punct(i + 1, b'[') {
+            // Find matching `]`.
+            let mut depth = 0usize;
+            let mut close = i + 1;
+            let mut saw_cfg = false;
+            let mut saw_test = false;
+            for j in i + 1..n {
+                match lx.tokens[j].kind {
+                    TokKind::Punct(b'[') => depth += 1,
+                    TokKind::Punct(b']') => {
+                        depth -= 1;
+                        if depth == 0 {
+                            close = j;
+                            break;
+                        }
+                    }
+                    TokKind::Ident => {
+                        let t = lx.text(j);
+                        saw_cfg |= t == "cfg";
+                        saw_test |= t == "test";
+                    }
+                    _ => {}
+                }
+            }
+            if saw_cfg && saw_test {
+                // Skip any further attributes, then expect `mod name {`.
+                let mut k = close + 1;
+                while lx.is_punct(k, b'#') && lx.is_punct(k + 1, b'[') {
+                    let mut d = 0usize;
+                    while k < n {
+                        match lx.tokens[k].kind {
+                            TokKind::Punct(b'[') => d += 1,
+                            TokKind::Punct(b']') => {
+                                d -= 1;
+                                if d == 0 {
+                                    k += 1;
+                                    break;
+                                }
+                            }
+                            _ => {}
+                        }
+                        k += 1;
+                    }
+                }
+                if lx.is_ident(k, "mod") {
+                    let mut open = k + 1;
+                    while open < n && !lx.is_punct(open, b'{') {
+                        if lx.is_punct(open, b';') {
+                            break; // out-of-line module
+                        }
+                        open += 1;
+                    }
+                    if lx.is_punct(open, b'{') {
+                        test_spans.push((i, match_brace(lx, open)));
+                    }
+                }
+            }
+            i = close + 1;
+            continue;
+        }
+        i += 1;
+    }
+
+    // Function spans: `fn` + ident name, scan to the first `{` at paren depth
+    // zero (a `;` first means a bodiless trait/extern decl). `fn` followed by
+    // `(` is a function-pointer type, not a declaration.
+    let mut fns = Vec::new();
+    for i in 0..n {
+        if lx.is_ident(i, "fn")
+            && matches!(lx.tokens.get(i + 1), Some(t) if t.kind == TokKind::Ident)
+        {
+            let name = lx.text(i + 1).to_string();
+            let mut depth = 0i32;
+            let mut j = i + 2;
+            while j < n {
+                match lx.tokens[j].kind {
+                    TokKind::Punct(b'(') => depth += 1,
+                    TokKind::Punct(b')') => depth -= 1,
+                    TokKind::Punct(b';') if depth == 0 => break,
+                    TokKind::Punct(b'{') if depth == 0 => {
+                        fns.push(FnSpan {
+                            name,
+                            body: (j, match_brace(lx, j)),
+                        });
+                        break;
+                    }
+                    _ => {}
+                }
+                j += 1;
+            }
+        }
+    }
+
+    // `// audit:allow(rule-a, rule-b) reason` annotations.  The reason may
+    // wrap over several comment lines; the waiver attaches to the *end* of
+    // the contiguous comment block so it covers the line right below it.
+    let mut allows: HashMap<u32, Vec<String>> = HashMap::new();
+    for (ci, c) in lx.comments.iter().enumerate() {
+        let text = lx.comment_text(c);
+        if let Some(at) = text.find("audit:allow(") {
+            if let Some(close) = text[at..].find(')') {
+                let inner = &text[at + "audit:allow(".len()..at + close];
+                let rules: Vec<String> = inner
+                    .split(',')
+                    .map(|r| r.trim().to_string())
+                    .filter(|r| !r.is_empty())
+                    .collect();
+                let mut end = c.end_line;
+                for next in &lx.comments[ci + 1..] {
+                    if next.line == end + 1 {
+                        end = next.end_line;
+                    } else {
+                        break;
+                    }
+                }
+                allows.entry(end).or_default().extend(rules);
+            }
+        }
+    }
+
+    FileCtx {
+        rel,
+        lx,
+        class,
+        test_spans,
+        fns,
+        allows,
+    }
+}
+
+/// Runs every rule against one source file. `rel` must be the
+/// workspace-relative path with `/` separators — rule scoping keys off it.
+pub fn audit_source(rel: &str, src: &str) -> Vec<Finding> {
+    let lx = lex(src);
+    let class = classify(rel);
+    let ctx = build_ctx(rel, &lx, class);
+    let mut out = Vec::new();
+    rule_safety_comment(&ctx, &mut out);
+    rule_unchecked_contract(&ctx, &mut out);
+    rule_no_panic(&ctx, &mut out);
+    rule_header_cast(&ctx, &mut out);
+    rule_thread_discipline(&ctx, &mut out);
+    out.sort_by_key(|f| f.line);
+    out
+}
+
+fn push(ctx: &FileCtx, out: &mut Vec<Finding>, rule: &'static str, line: u32, message: String) {
+    out.push(Finding {
+        rule,
+        file: ctx.rel.to_string(),
+        line,
+        message,
+        waived: ctx.waived(rule, line),
+    });
+}
+
+/// Rule 1: every `unsafe` block / fn / impl / trait carries an adjacent
+/// `// SAFETY:` justification (a `# Safety` doc section also satisfies it
+/// for `unsafe fn` declarations). `unsafe fn(..)` pointer *types* are not
+/// declaration sites and are skipped.
+fn rule_safety_comment(ctx: &FileCtx, out: &mut Vec<Finding>) {
+    if !matches!(ctx.class, FileClass::Lib | FileClass::Bin | FileClass::Aux) {
+        return;
+    }
+    let lx = ctx.lx;
+    for i in 0..lx.tokens.len() {
+        if !lx.is_ident(i, "unsafe") || ctx.in_test(i) {
+            continue;
+        }
+        let what = if lx.is_punct(i + 1, b'{') {
+            "unsafe block"
+        } else if lx.is_ident(i + 1, "impl") {
+            "unsafe impl"
+        } else if lx.is_ident(i + 1, "trait") {
+            "unsafe trait"
+        } else if lx.is_ident(i + 1, "fn")
+            && matches!(lx.tokens.get(i + 2), Some(t) if t.kind == TokKind::Ident)
+        {
+            "unsafe fn"
+        } else if lx.is_ident(i + 1, "extern") {
+            "unsafe extern"
+        } else {
+            continue; // `unsafe fn(..)` pointer type or similar
+        };
+        let line = lx.tokens[i].line;
+        let justified = ctx.comment_near("SAFETY:", line, 6)
+            || (what == "unsafe fn" && ctx.comment_near("# Safety", line, 8));
+        if !justified {
+            push(
+                ctx,
+                out,
+                RULE_SAFETY,
+                line,
+                format!("{what} without an adjacent `// SAFETY:` justification"),
+            );
+        }
+    }
+}
+
+/// Rule 2: `*_unchecked` call sites in compress/tensor must have a
+/// `debug_assert!` contract in the enclosing function or a `SAFETY:` note
+/// immediately above the call. Definitions (`fn foo_unchecked`) are exempt —
+/// the contract belongs at the call site.
+fn rule_unchecked_contract(ctx: &FileCtx, out: &mut Vec<Finding>) {
+    let scoped =
+        ctx.rel.starts_with("crates/compress/src") || ctx.rel.starts_with("crates/tensor/src");
+    if !scoped || ctx.class != FileClass::Lib {
+        return;
+    }
+    let lx = ctx.lx;
+    for i in 0..lx.tokens.len() {
+        let t = &lx.tokens[i];
+        if t.kind != TokKind::Ident || !lx.text(i).ends_with("_unchecked") || ctx.in_test(i) {
+            continue;
+        }
+        if i > 0 && lx.is_ident(i - 1, "fn") {
+            continue; // definition, not a call
+        }
+        // Call syntax: `name(` or `name::<..>(`.
+        if !(lx.is_punct(i + 1, b'(') || lx.is_punct(i + 1, b':')) {
+            continue;
+        }
+        let has_contract = match ctx.enclosing_fn(i) {
+            Some(f) => (f.body.0..=f.body.1).any(|j| {
+                lx.tokens[j].kind == TokKind::Ident && lx.text(j).starts_with("debug_assert")
+            }),
+            None => false,
+        };
+        if !has_contract && !ctx.comment_near("SAFETY:", t.line, 3) {
+            push(
+                ctx,
+                out,
+                RULE_UNCHECKED,
+                t.line,
+                format!(
+                    "`{}` call without a debug_assert! contract in the enclosing fn or an adjacent SAFETY note",
+                    lx.text(i)
+                ),
+            );
+        }
+    }
+}
+
+/// Rule 3 (ratcheted): no `.unwrap()` / `.expect(..)` / `panic!` in library
+/// request/decode paths — `serve/src` and `compress/src`, tests and bins
+/// excluded. Sites may be waived with `// audit:allow(no-panic) reason`.
+fn rule_no_panic(ctx: &FileCtx, out: &mut Vec<Finding>) {
+    let scoped =
+        ctx.rel.starts_with("crates/serve/src") || ctx.rel.starts_with("crates/compress/src");
+    if !scoped || ctx.class != FileClass::Lib {
+        return;
+    }
+    let lx = ctx.lx;
+    for i in 0..lx.tokens.len() {
+        if lx.tokens[i].kind != TokKind::Ident || ctx.in_test(i) {
+            continue;
+        }
+        let text = lx.text(i);
+        let hit = match text {
+            "unwrap" | "expect" => i > 0 && lx.is_punct(i - 1, b'.') && lx.is_punct(i + 1, b'('),
+            "panic" | "unreachable" | "todo" | "unimplemented" => lx.is_punct(i + 1, b'!'),
+            _ => false,
+        };
+        if hit {
+            push(
+                ctx,
+                out,
+                RULE_NO_PANIC,
+                lx.tokens[i].line,
+                format!("`{text}` in a library path — return a typed error or annotate with audit:allow(no-panic)"),
+            );
+        }
+    }
+}
+
+const HEADER_READ_TRIGGERS: [&str; 6] = [
+    "from_le_bytes",
+    "from_be_bytes",
+    "read_u64",
+    "read_u32",
+    "read_u16",
+    "read_varint",
+];
+
+/// Rule 4: inside codec decode/parse functions in `compress/src`, a raw
+/// `as usize` cast in the same statement as a header-field read is flagged —
+/// untrusted counts must flow through the checked helpers in `traits.rs`
+/// before they are used for indexing or allocation. `reference.rs` (the
+/// frozen seed-parity oracle) is out of scope by configuration.
+fn rule_header_cast(ctx: &FileCtx, out: &mut Vec<Finding>) {
+    if !ctx.rel.starts_with("crates/compress/src")
+        || ctx.class != FileClass::Lib
+        || ctx.rel.ends_with("/reference.rs")
+    {
+        return;
+    }
+    let lx = ctx.lx;
+    for f in &ctx.fns {
+        let lower = f.name.to_lowercase();
+        if !(lower.contains("decode") || lower.contains("decompress") || lower.contains("parse")) {
+            continue;
+        }
+        for i in f.body.0..=f.body.1 {
+            if !(lx.is_ident(i, "as") && lx.is_ident(i + 1, "usize")) || ctx.in_test(i) {
+                continue;
+            }
+            // Scan back to the start of the statement and look for a read.
+            let mut j = i;
+            let mut tainted = false;
+            while j > f.body.0 {
+                j -= 1;
+                match lx.tokens[j].kind {
+                    TokKind::Punct(b';') | TokKind::Punct(b'{') | TokKind::Punct(b'}') => break,
+                    TokKind::Ident => {
+                        if HEADER_READ_TRIGGERS.contains(&lx.text(j)) {
+                            tainted = true;
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            if tainted {
+                push(
+                    ctx,
+                    out,
+                    RULE_HEADER_CAST,
+                    lx.tokens[i].line,
+                    format!(
+                        "raw `as usize` on a header read in `{}` — use the checked helpers in compress::traits",
+                        f.name
+                    ),
+                );
+            }
+        }
+    }
+}
+
+/// Rule 5: no `std::thread::spawn` / `thread::Builder` outside
+/// `tensor/src/pool.rs`. Scoped `thread::scope` spawns are allowed — they
+/// are joined before the caller returns.
+fn rule_thread_discipline(ctx: &FileCtx, out: &mut Vec<Finding>) {
+    if ctx.rel.ends_with("tensor/src/pool.rs")
+        || !matches!(ctx.class, FileClass::Lib | FileClass::Bin | FileClass::Aux)
+    {
+        return;
+    }
+    let lx = ctx.lx;
+    for i in 3..lx.tokens.len() {
+        let text = match lx.tokens[i].kind {
+            TokKind::Ident => lx.text(i),
+            _ => continue,
+        };
+        if !(text == "spawn" || text == "Builder") || ctx.in_test(i) {
+            continue;
+        }
+        let path_call =
+            lx.is_punct(i - 1, b':') && lx.is_punct(i - 2, b':') && lx.is_ident(i - 3, "thread");
+        if path_call {
+            push(
+                ctx,
+                out,
+                RULE_THREADS,
+                lx.tokens[i].line,
+                format!("`thread::{text}` outside tensor/src/pool.rs — route work through the shared pool"),
+            );
+        }
+    }
+}

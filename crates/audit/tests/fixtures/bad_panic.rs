@@ -1,0 +1,6 @@
+// Fixture: an unwrap on a library request path.
+// Expected: exactly one no-panic finding.
+
+pub fn must(v: Option<u32>) -> u32 {
+    v.unwrap()
+}

@@ -1,0 +1,8 @@
+// Fixture: an unsafe block with no SAFETY justification anywhere near it.
+// Expected: exactly one safety-comment finding.
+
+pub fn write_through(p: *mut u8) {
+    unsafe {
+        *p = 1;
+    }
+}

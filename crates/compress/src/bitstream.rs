@@ -218,8 +218,11 @@ impl<'a> BitReader<'a> {
 pub(crate) fn load_word(buf: &[u8], pos: usize) -> u64 {
     let byte = pos >> 3;
     let shift = (pos & 7) as u32;
-    if let Some(w) = buf.get(byte..byte + 8) {
-        u64::from_le_bytes(w.try_into().expect("8 bytes")) >> shift
+    if let Some(&w) = buf
+        .get(byte..byte + 8)
+        .and_then(|s| <&[u8; 8]>::try_from(s).ok())
+    {
+        u64::from_le_bytes(w) >> shift
     } else {
         let mut word = [0u8; 8];
         if byte < buf.len() {

@@ -110,18 +110,18 @@ impl<C: Compressor> ChunkedCompressor<C> {
             parts.into_iter().map(|p| Mutex::new(Some(p))).collect();
         let first_err: Mutex<Option<CompressError>> = Mutex::new(None);
         errflow_tensor::pool::global().parallel_for(cells.len(), self.threads, |i| {
-            let taken = cells[i].lock().expect("no poisoned workers").take();
+            let taken = errflow_tensor::sync::lock_recover(&cells[i]).take();
             if let Some((s, dst)) = taken {
                 let mut scratch = scratch::acquire();
                 if let Err(e) = self.inner.decompress_into(s, dst, &mut scratch) {
-                    first_err
-                        .lock()
-                        .expect("no poisoned workers")
-                        .get_or_insert(e);
+                    errflow_tensor::sync::lock_recover(&first_err).get_or_insert(e);
                 }
             }
         });
-        match first_err.into_inner().expect("no poisoned workers") {
+        match first_err
+            .into_inner()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+        {
             Some(e) => Err(e),
             None => Ok(()),
         }
@@ -246,27 +246,33 @@ impl<C: Compressor> Compressor for ChunkedCompressor<C> {
 /// count, the declared chunk size, and the per-chunk byte slices.
 #[allow(clippy::type_complexity)]
 fn parse_chunk_stream(stream: &[u8]) -> Result<(usize, usize, Vec<&[u8]>), CompressError> {
-    if stream.len() < 20 {
+    let mut pos = 0usize;
+    let n = crate::traits::read_len_u64(stream, &mut pos, "element count")?;
+    let chunk_values = crate::traits::read_len_u64(stream, &mut pos, "chunk size")?;
+    let n_chunks = crate::traits::read_len_u32(stream, &mut pos, "chunk count")?;
+    // Every chunk costs an 8-byte table entry: reject forged counts before
+    // reserving anything.
+    if n_chunks
+        .checked_mul(8)
+        .is_none_or(|bytes| bytes > stream.len() - pos)
+    {
         return Err(CompressError::CorruptStream(
-            "chunk header too short".into(),
+            "declared chunk table exceeds stream length".into(),
         ));
     }
-    let n = u64::from_le_bytes(stream[0..8].try_into().expect("8 bytes")) as usize;
-    let chunk_values = u64::from_le_bytes(stream[8..16].try_into().expect("8 bytes")) as usize;
-    let n_chunks = u32::from_le_bytes(stream[16..20].try_into().expect("4 bytes")) as usize;
-    let mut pos = 20usize;
     let mut lens = Vec::with_capacity(crate::traits::safe_capacity(n_chunks, stream.len()));
     for _ in 0..n_chunks {
-        let bytes = stream
-            .get(pos..pos + 8)
-            .ok_or_else(|| CompressError::CorruptStream("truncated chunk table".into()))?;
-        pos += 8;
-        lens.push(u64::from_le_bytes(bytes.try_into().expect("8 bytes")) as usize);
+        lens.push(crate::traits::read_len_u64(
+            stream,
+            &mut pos,
+            "chunk length",
+        )?);
     }
     let mut slices = Vec::with_capacity(crate::traits::safe_capacity(n_chunks, stream.len()));
     for &len in &lens {
         let s = stream
-            .get(pos..pos + len)
+            .get(pos..)
+            .and_then(|rest| rest.get(..len))
             .ok_or_else(|| CompressError::CorruptStream("truncated chunk".into()))?;
         pos += len;
         slices.push(s);
@@ -294,11 +300,20 @@ fn run_parallel<I: Sync, O: Send>(
     let results_mutex = std::sync::Mutex::new(&mut results);
     errflow_tensor::pool::global().parallel_for(items.len(), threads, |i| {
         let r = f(&items[i]);
-        results_mutex.lock().expect("no poisoned workers")[i] = Some(r);
+        errflow_tensor::sync::lock_recover(&results_mutex)[i] = Some(r);
     });
     results
         .into_iter()
-        .map(|r| r.expect("every index visited"))
+        .map(|r| {
+            // `parallel_for` returns only after every index ran; a missing
+            // slot means a task died, which surfaces as a decode error
+            // rather than a panic.
+            r.unwrap_or_else(|| {
+                Err(CompressError::CorruptStream(
+                    "internal: parallel chunk task did not complete".into(),
+                ))
+            })
+        })
         .collect()
 }
 

@@ -25,7 +25,7 @@
 //! [`crate::reference`]).
 
 use crate::bitstream::{load_word, BitWriter};
-use crate::traits::CompressError;
+use crate::traits::{read_len_u32, read_len_u64, read_u8, CompressError};
 use std::cell::RefCell;
 use std::collections::{BinaryHeap, HashMap};
 
@@ -311,21 +311,24 @@ pub fn decode_into(
 ) -> Result<usize, CompressError> {
     out.clear();
     let mut pos = 0usize;
-    let n_original = read_u64(stream, &mut pos)? as usize;
-    let rle_used = *stream
-        .get(pos)
-        .ok_or_else(|| CompressError::CorruptStream("truncated rle flag".into()))?
-        != 0;
-    pos += 1;
-    let n_runs = read_u32(stream, &mut pos)? as usize;
+    let n_original = read_len_u64(stream, &mut pos, "n_original")?;
+    let rle_used = read_u8(stream, &mut pos, "rle flag")? != 0;
+    let n_runs = read_len_u32(stream, &mut pos, "n_runs")?;
+    // Every run costs at least one varint byte: reject forged counts before
+    // reserving anything.
+    if n_runs > stream.len() - pos {
+        return Err(CompressError::CorruptStream(
+            "declared run count exceeds stream length".into(),
+        ));
+    }
     s.runs.clear();
     s.runs
         .reserve(crate::traits::safe_capacity(n_runs, stream.len()));
     for _ in 0..n_runs {
         s.runs.push(read_varint(stream, &mut pos)?);
     }
-    let n_symbols = read_u64(stream, &mut pos)? as usize;
-    let n_distinct = read_u32(stream, &mut pos)? as usize;
+    let n_symbols = read_len_u64(stream, &mut pos, "n_symbols")?;
+    let n_distinct = read_len_u32(stream, &mut pos, "n_distinct")?;
     if n_symbols == 0 {
         if n_original != 0 {
             return Err(CompressError::CorruptStream(
@@ -339,15 +342,36 @@ pub fn decode_into(
             "nonempty payload with empty alphabet".into(),
         ));
     }
+    // Transformed-length accounting: without RLE, the payload decodes to
+    // exactly `n_original` symbols; with RLE, every transformed symbol
+    // except run markers (at most one per run) emits at least one output
+    // symbol.  Reject inconsistent headers before any table allocation.
+    if !rle_used && n_symbols != n_original {
+        return Err(CompressError::CorruptStream(
+            "symbol count disagrees with declared output length".into(),
+        ));
+    }
+    if rle_used && n_symbols > n_original.saturating_add(s.runs.len()) {
+        return Err(CompressError::CorruptStream(
+            "symbol count exceeds declared output length plus runs".into(),
+        ));
+    }
+    // Each code-table entry is 5 bytes (u32 symbol + u8 length): a valid
+    // `n_distinct` never exceeds what the remaining stream can hold.
+    if n_distinct
+        .checked_mul(5)
+        .is_none_or(|bytes| bytes > stream.len() - pos)
+    {
+        return Err(CompressError::CorruptStream(
+            "declared code table exceeds stream length".into(),
+        ));
+    }
     s.lengths.clear();
     s.lengths
         .reserve(crate::traits::safe_capacity(n_distinct, stream.len()));
     for _ in 0..n_distinct {
-        let sym = read_u32(stream, &mut pos)?;
-        let len = *stream
-            .get(pos)
-            .ok_or_else(|| CompressError::CorruptStream("truncated code table".into()))?;
-        pos += 1;
+        let sym = read_len_u32(stream, &mut pos, "code table symbol")? as u32;
+        let len = read_u8(stream, &mut pos, "code table length")?;
         if len == 0 || len > 64 {
             return Err(CompressError::CorruptStream(format!(
                 "invalid code length {len}"
@@ -414,15 +438,28 @@ pub fn decode_into(
                     idx += step;
                 }
             }
-            code += 1;
+            // wrapping_add: a Kraft-*complete* table whose last code is the
+            // all-ones 64-bit code makes this final increment wrap; the
+            // value is never read again (the Kraft check rejects any table
+            // that would assign a code past it).
+            code = code.wrapping_add(1);
             prev_len = len;
         }
     }
 
-    let payload_len = read_u64(stream, &mut pos)? as usize;
+    let payload_len = read_len_u64(stream, &mut pos, "payload_len")?;
+    // Overflow-proof bounds check: slice from `pos` first, then take
+    // `payload_len` — `pos + payload_len` is never materialised.
     let payload = stream
-        .get(pos..pos + payload_len)
+        .get(pos..)
+        .and_then(|rest| rest.get(..payload_len))
         .ok_or_else(|| CompressError::CorruptStream("truncated payload".into()))?;
+    // Every decoded symbol consumes at least one payload bit.
+    if n_symbols > payload_len.saturating_mul(8) {
+        return Err(CompressError::CorruptStream(
+            "declared symbol count exceeds payload bits".into(),
+        ));
+    }
     let consumed = pos + payload_len;
 
     let DecodeScratch {
@@ -598,13 +635,16 @@ fn code_lengths(symbols: &[u32], freq: &mut Vec<u64>) -> Vec<(u32, u8)> {
         tie += 1;
     }
     while heap.len() > 1 {
-        let a = heap.pop().expect("len>1");
-        let b = heap.pop().expect("len>1");
+        let (Some(a), Some(b)) = (heap.pop(), heap.pop()) else {
+            break;
+        };
         nodes.push(Node::Internal(a.2, b.2));
         heap.push(Item(a.0 + b.0, tie, nodes.len() - 1));
         tie += 1;
     }
-    let root = heap.pop().expect("nonempty").2;
+    let Some(root) = heap.pop().map(|item| item.2) else {
+        return Vec::new();
+    };
 
     // Walk depths iteratively.
     let mut lengths: Vec<(u32, u8)> = Vec::new();
@@ -703,22 +743,6 @@ fn read_varint(buf: &[u8], pos: &mut usize) -> Result<u32, CompressError> {
             return Err(CompressError::CorruptStream("varint overflow".into()));
         }
     }
-}
-
-fn read_u64(buf: &[u8], pos: &mut usize) -> Result<u64, CompressError> {
-    let bytes = buf
-        .get(*pos..*pos + 8)
-        .ok_or_else(|| CompressError::CorruptStream("truncated u64".into()))?;
-    *pos += 8;
-    Ok(u64::from_le_bytes(bytes.try_into().expect("8 bytes")))
-}
-
-fn read_u32(buf: &[u8], pos: &mut usize) -> Result<u32, CompressError> {
-    let bytes = buf
-        .get(*pos..*pos + 4)
-        .ok_or_else(|| CompressError::CorruptStream("truncated u32".into()))?;
-    *pos += 4;
-    Ok(u32::from_le_bytes(bytes.try_into().expect("4 bytes")))
 }
 
 #[cfg(test)]

@@ -50,28 +50,24 @@ impl MgardCompressor {
         stream: &[u8],
         scratch: &mut CodecScratch,
     ) -> Result<(usize, f64, Vec<usize>, usize), CompressError> {
-        if stream.len() < 20 {
-            return Err(CompressError::CorruptStream("header too short".into()));
-        }
-        let n = u64::from_le_bytes(stream[0..8].try_into().expect("8 bytes")) as usize;
-        let eb = f64::from_le_bytes(stream[8..16].try_into().expect("8 bytes"));
-        let coarse_len = u32::from_le_bytes(stream[16..20].try_into().expect("4 bytes")) as usize;
+        let mut pos = 0usize;
+        let n = crate::traits::read_len_u64(stream, &mut pos, "element count")?;
+        let eb = crate::traits::read_f64(stream, &mut pos, "error bound")?;
+        let coarse_len = crate::traits::read_len_u32(stream, &mut pos, "coarse length")?;
         let lens = level_lengths(n);
-        if coarse_len != *lens.last().expect("at least one level") {
+        let expected_coarse = lens.last().copied().ok_or_else(|| {
+            CompressError::CorruptStream("no levels for declared element count".into())
+        })?;
+        if coarse_len != expected_coarse {
             return Err(CompressError::CorruptStream(format!(
                 "coarse length {coarse_len} inconsistent with n={n}"
             )));
         }
-        let mut pos = 20usize;
         let coarse = &mut scratch.fa;
         coarse.clear();
         coarse.reserve(crate::traits::safe_capacity(coarse_len, stream.len()));
         for _ in 0..coarse_len {
-            let bytes = stream
-                .get(pos..pos + 4)
-                .ok_or_else(|| CompressError::CorruptStream("truncated coarse level".into()))?;
-            pos += 4;
-            coarse.push(f32::from_le_bytes(bytes.try_into().expect("4 bytes")));
+            coarse.push(crate::traits::read_f32(stream, &mut pos, "coarse level")?);
         }
         let consumed =
             huffman::decode_into(&stream[pos..], &mut scratch.symbols, &mut scratch.huff)?;
@@ -147,11 +143,7 @@ impl MgardCompressor {
             let sym = symbols[*sym_idx];
             *sym_idx += 1;
             if sym == ESCAPE {
-                let bytes = stream.get(*pos..*pos + 4).ok_or_else(|| {
-                    CompressError::CorruptStream("truncated outlier table".into())
-                })?;
-                *pos += 4;
-                recon[i] = f32::from_le_bytes(bytes.try_into().expect("4 bytes"));
+                recon[i] = crate::traits::read_f32(stream, pos, "outlier table")?;
             } else {
                 let code = sym as i64 - MAX_CODE - 1;
                 let pred = interpolate(recon, i, len);
@@ -223,8 +215,10 @@ impl Compressor for MgardCompressor {
                 fa.push(v);
             }
         }
-        let coarse_start = *offsets.last().expect("at least one level");
-        let coarse_len = *lens.last().expect("at least one level");
+        // `level_lengths` always returns at least one level for nonempty
+        // data; empty lists degrade to an empty coarse band.
+        let coarse_start = offsets.last().copied().unwrap_or(0);
+        let coarse_len = lens.last().copied().unwrap_or(0);
 
         symbols.clear();
         let mut outliers: Vec<f32> = Vec::new();

@@ -63,11 +63,9 @@ impl SzCompressor {
         stream: &[u8],
         scratch: &mut CodecScratch,
     ) -> Result<(usize, f64, usize), CompressError> {
-        if stream.len() < 16 {
-            return Err(CompressError::CorruptStream("header too short".into()));
-        }
-        let n = u64::from_le_bytes(stream[0..8].try_into().expect("8 bytes")) as usize;
-        let eb = f64::from_le_bytes(stream[8..16].try_into().expect("8 bytes"));
+        let mut hdr = 0usize;
+        let n = crate::traits::read_len_u64(stream, &mut hdr, "element count")?;
+        let eb = crate::traits::read_f64(stream, &mut hdr, "error bound")?;
         let consumed =
             huffman::decode_into(&stream[16..], &mut scratch.symbols, &mut scratch.huff)?;
         if scratch.symbols.len() != n {
@@ -94,11 +92,7 @@ impl SzCompressor {
         let mut prev2 = 0.0f32;
         for (i, (&sym, slot)) in symbols.iter().zip(out.iter_mut()).enumerate() {
             let v = if sym == ESCAPE {
-                let bytes = stream.get(pos..pos + 4).ok_or_else(|| {
-                    CompressError::CorruptStream("truncated outlier table".into())
-                })?;
-                pos += 4;
-                f32::from_le_bytes(bytes.try_into().expect("4 bytes"))
+                crate::traits::read_f32(stream, &mut pos, "outlier table")?
             } else {
                 let code = sym as i64 - MAX_CODE - 1;
                 let pred = Self::predict(i, prev, prev2);

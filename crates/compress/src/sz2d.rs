@@ -97,12 +97,10 @@ impl Sz2dCompressor {
     /// Decompresses a stream produced by [`Sz2dCompressor::compress`];
     /// returns `(values, nx, ny)`.
     pub fn decompress(&self, stream: &[u8]) -> Result<(Vec<f32>, usize, usize), CompressError> {
-        if stream.len() < 24 {
-            return Err(CompressError::CorruptStream("header too short".into()));
-        }
-        let nx = u64::from_le_bytes(stream[0..8].try_into().expect("8 bytes")) as usize;
-        let ny = u64::from_le_bytes(stream[8..16].try_into().expect("8 bytes")) as usize;
-        let eb = f64::from_le_bytes(stream[16..24].try_into().expect("8 bytes"));
+        let mut hdr = 0usize;
+        let nx = crate::traits::read_len_u64(stream, &mut hdr, "grid width")?;
+        let ny = crate::traits::read_len_u64(stream, &mut hdr, "grid height")?;
+        let eb = crate::traits::read_f64(stream, &mut hdr, "error bound")?;
         let n = nx
             .checked_mul(ny)
             .ok_or_else(|| CompressError::CorruptStream("grid dimensions overflow".into()))?;
@@ -115,16 +113,11 @@ impl Sz2dCompressor {
         }
         let mut pos = 24 + consumed;
         let mut recon = vec![0.0f32; n];
-        let mut it = symbols.into_iter();
         for j in 0..ny {
             for i in 0..nx {
-                let sym = it.next().expect("count checked");
+                let sym = symbols[j * nx + i]; // length == n checked above
                 if sym == ESCAPE {
-                    let bytes = stream.get(pos..pos + 4).ok_or_else(|| {
-                        CompressError::CorruptStream("truncated outlier table".into())
-                    })?;
-                    pos += 4;
-                    recon[j * nx + i] = f32::from_le_bytes(bytes.try_into().expect("4 bytes"));
+                    recon[j * nx + i] = crate::traits::read_f32(stream, &mut pos, "outlier table")?;
                 } else {
                     let code = sym as i64 - MAX_CODE - 1;
                     let pred = Self::predict(&recon, nx, i, j);

@@ -113,6 +113,86 @@ pub fn safe_capacity(declared: usize, remaining_bytes: usize) -> usize {
     declared.min(remaining_bytes.saturating_mul(8)).min(1 << 24)
 }
 
+/// Checked header readers: every untrusted header field in a codec decoder
+/// flows through one of these before it is used for indexing or allocation
+/// (enforced by the `unchecked-header-cast` audit rule).  Each reader
+/// advances `pos` past the field and fails with [`CompressError`] on
+/// truncation or a count that does not fit `usize`.
+mod header {
+    use super::CompressError;
+
+    fn truncated(what: &'static str) -> CompressError {
+        CompressError::CorruptStream(format!("truncated header: {what}"))
+    }
+
+    fn take<'a, const N: usize>(
+        stream: &'a [u8],
+        pos: &mut usize,
+        what: &'static str,
+    ) -> Result<[u8; N], CompressError> {
+        let bytes = stream
+            .get(*pos..)
+            .and_then(|rest| rest.get(..N))
+            .ok_or_else(|| truncated(what))?;
+        *pos += N;
+        let mut arr = [0u8; N];
+        arr.copy_from_slice(bytes);
+        Ok(arr)
+    }
+
+    /// Reads a little-endian `u64` count/length field as a checked `usize`.
+    pub fn read_len_u64(
+        stream: &[u8],
+        pos: &mut usize,
+        what: &'static str,
+    ) -> Result<usize, CompressError> {
+        let v = u64::from_le_bytes(take::<8>(stream, pos, what)?);
+        usize::try_from(v).map_err(|_| {
+            CompressError::CorruptStream(format!("header field {what} ({v}) overflows usize"))
+        })
+    }
+
+    /// Reads a little-endian `u32` count/length field as a `usize`.
+    pub fn read_len_u32(
+        stream: &[u8],
+        pos: &mut usize,
+        what: &'static str,
+    ) -> Result<usize, CompressError> {
+        Ok(u32::from_le_bytes(take::<4>(stream, pos, what)?) as usize)
+    }
+
+    /// Reads a little-endian `f64` header field (tolerances, scales).
+    pub fn read_f64(
+        stream: &[u8],
+        pos: &mut usize,
+        what: &'static str,
+    ) -> Result<f64, CompressError> {
+        Ok(f64::from_le_bytes(take::<8>(stream, pos, what)?))
+    }
+
+    /// Reads a little-endian `f32` value (outlier / coarse payloads).
+    pub fn read_f32(
+        stream: &[u8],
+        pos: &mut usize,
+        what: &'static str,
+    ) -> Result<f32, CompressError> {
+        Ok(f32::from_le_bytes(take::<4>(stream, pos, what)?))
+    }
+
+    /// Reads one raw byte (flags).
+    pub fn read_u8(
+        stream: &[u8],
+        pos: &mut usize,
+        what: &'static str,
+    ) -> Result<u8, CompressError> {
+        let b = *stream.get(*pos).ok_or_else(|| truncated(what))?;
+        *pos += 1;
+        Ok(b)
+    }
+}
+
+pub use header::{read_f32, read_f64, read_len_u32, read_len_u64, read_u8};
+
 /// Validates a tolerance (shared by all backends).
 pub fn check_tolerance(tol: f64) -> Result<(), CompressError> {
     if !tol.is_finite() || tol <= 0.0 {
@@ -141,6 +221,32 @@ mod tests {
         assert_eq!(safe_capacity(10, 1000), 10);
         assert_eq!(safe_capacity(usize::MAX, 2), 16);
         assert_eq!(safe_capacity(usize::MAX, usize::MAX), 1 << 24);
+    }
+
+    #[test]
+    fn header_readers_advance_and_check_bounds() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&7u64.to_le_bytes());
+        buf.extend_from_slice(&3u32.to_le_bytes());
+        buf.extend_from_slice(&1.5f64.to_le_bytes());
+        buf.push(0xAB);
+        let mut pos = 0;
+        assert_eq!(read_len_u64(&buf, &mut pos, "n").unwrap(), 7);
+        assert_eq!(read_len_u32(&buf, &mut pos, "m").unwrap(), 3);
+        assert_eq!(read_f64(&buf, &mut pos, "tol").unwrap(), 1.5);
+        assert_eq!(read_u8(&buf, &mut pos, "flag").unwrap(), 0xAB);
+        assert_eq!(pos, buf.len());
+        assert!(read_u8(&buf, &mut pos, "flag").is_err());
+        assert!(read_len_u64(&buf, &mut pos, "n").is_err());
+    }
+
+    #[test]
+    fn header_readers_tolerate_huge_positions() {
+        let buf = [0u8; 16];
+        // A position beyond the stream must error, not wrap or panic.
+        let mut pos = usize::MAX - 3;
+        assert!(read_len_u32(&buf, &mut pos, "n").is_err());
+        assert!(read_f32(&buf, &mut pos, "v").is_err());
     }
 
     #[test]

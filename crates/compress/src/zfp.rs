@@ -134,10 +134,8 @@ const MAX_BLOCK_BITS: usize = 1 + 10 + 6 + 6 + 4 * (1 + 63);
 /// instead of erroring mid-decode — and `n` is thereby bounded by 16× the
 /// stream size, making `vec![0.0; n]` safe.
 fn parse_header(stream: &[u8]) -> Result<usize, CompressError> {
-    if stream.len() < 8 {
-        return Err(CompressError::CorruptStream("header too short".into()));
-    }
-    let n = u64::from_le_bytes(stream[0..8].try_into().expect("8 bytes")) as usize;
+    let mut pos = 0usize;
+    let n = crate::traits::read_len_u64(stream, &mut pos, "element count")?;
     let payload_bits = (stream.len() - 8).saturating_mul(8);
     let min_bits = n.div_ceil(4).saturating_mul(2);
     if min_bits > payload_bits {
@@ -156,6 +154,9 @@ fn decode_into_slice(payload: &[u8], out: &mut [f32]) -> Result<(), CompressErro
     let mut r = BitReader::new(payload);
     for chunk in out.chunks_mut(4) {
         if r.remaining_bits() >= MAX_BLOCK_BITS {
+            // SAFETY: (contract, not UB) the unchecked reader requires the
+            // whole worst-case block footprint in-bounds, guaranteed by the
+            // `remaining_bits()` guard above (and re-asserted inside).
             decode_block_unchecked(&mut r, chunk);
         } else {
             let block = decode_block(&mut r)?;
@@ -169,9 +170,10 @@ fn encode_block(values: &[f32], budget: f64, w: &mut BitWriter) {
     debug_assert!(!values.is_empty() && values.len() <= 4);
     // Pad short tail blocks by repeating the last value (cheap to code).
     let mut block = [0.0f32; 4];
+    let pad = values.last().copied().unwrap_or(0.0);
     #[allow(clippy::needless_range_loop)] // pads the tail from `values`
     for i in 0..4 {
-        block[i] = *values.get(i).unwrap_or(values.last().expect("nonempty"));
+        block[i] = *values.get(i).unwrap_or(&pad);
     }
     let max_abs = block.iter().fold(0.0f32, |m, &v| m.max(v.abs()));
     if max_abs == 0.0 || !max_abs.is_finite() {
@@ -222,7 +224,7 @@ fn encode_block(values: &[f32], budget: f64, w: &mut BitWriter) {
         .iter()
         .map(|&k| 64 - k.unsigned_abs().leading_zeros())
         .max()
-        .expect("4 values");
+        .unwrap_or(0);
     w.write_bits((emax + 256) as u64, 10);
     w.write_bits(cut as u64, 6);
     w.write_bits(width as u64, 6);

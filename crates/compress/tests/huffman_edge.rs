@@ -132,3 +132,80 @@ fn large_alphabet_spills_dense_tables() {
     symbols.extend(std::iter::repeat(1u32 << 21).take(MIN_RUN * 2));
     roundtrip_both(&symbols);
 }
+
+#[test]
+fn complete_64bit_kraft_table_does_not_panic() {
+    // A crafted canonical table with lengths 1..=64 plus a second 64-bit
+    // code: the Kraft sum is exactly 2^64, so the final canonical code is
+    // the all-ones 64-bit value and the post-assignment increment wraps.
+    // Accepting or rejecting the stream are both fine; panicking is not.
+    let mut s = Vec::new();
+    s.extend_from_slice(&1u64.to_le_bytes()); // n_original
+    s.push(0); // rle flag
+    s.extend_from_slice(&0u32.to_le_bytes()); // n_runs
+    s.extend_from_slice(&1u64.to_le_bytes()); // n_symbols
+    s.extend_from_slice(&65u32.to_le_bytes()); // n_distinct
+    for i in 0u32..64 {
+        s.extend_from_slice(&i.to_le_bytes());
+        s.push((i + 1) as u8); // lengths 1..=64
+    }
+    s.extend_from_slice(&64u32.to_le_bytes());
+    s.push(64); // second length-64 code -> Kraft sum exactly 2^64
+    s.extend_from_slice(&1u64.to_le_bytes()); // payload_len
+    s.push(0x00); // payload: one 0 bit decodes symbol 0
+    let _ = decode(&s);
+}
+
+#[test]
+fn forged_header_lengths_are_rejected_not_trusted() {
+    // Build one valid stream, then corrupt each header length field to a
+    // value the stream cannot hold; every variant must return an error
+    // (never panic, never allocate per the forged count).
+    let valid = encode(&[1u32, 2, 3, 2, 1, 2, 3]);
+
+    // n_distinct forged to u32::MAX: the 5-bytes-per-entry bound trips.
+    let mut forged = valid.clone();
+    forged[21..25].copy_from_slice(&u32::MAX.to_le_bytes());
+    assert!(
+        decode(&forged).is_err(),
+        "forged n_distinct must be rejected"
+    );
+
+    // n_symbols forged far past the declared output length.
+    let mut forged = valid.clone();
+    forged[13..21].copy_from_slice(&u64::MAX.to_le_bytes());
+    assert!(
+        decode(&forged).is_err(),
+        "forged n_symbols must be rejected"
+    );
+
+    // payload_len forged past the end of the stream.  Its offset: header is
+    // n:u64 rle:u8 n_runs:u32 (no runs) n_symbols:u64 n_distinct:u32
+    // + 5 bytes per table entry, then payload_len:u64.
+    let mut forged = valid.clone();
+    let n_distinct = u32::from_le_bytes(valid[21..25].try_into().unwrap()) as usize;
+    let off = 25 + 5 * n_distinct;
+    forged[off..off + 8].copy_from_slice(&u64::MAX.to_le_bytes());
+    assert!(
+        decode(&forged).is_err(),
+        "forged payload_len must be rejected"
+    );
+
+    // n_runs forged huge with the rle flag off.
+    let mut forged = valid;
+    forged[9..13].copy_from_slice(&u32::MAX.to_le_bytes());
+    assert!(decode(&forged).is_err(), "forged n_runs must be rejected");
+}
+
+#[test]
+fn truncated_streams_error_cleanly() {
+    let valid = encode(&[9u32, 9, 9, 9, 8, 7, 6, 5]);
+    for cut in 0..valid.len() {
+        // Every prefix must produce Err, not a panic or a bogus Ok.
+        assert!(
+            decode(&valid[..cut]).is_err(),
+            "truncation at {cut} of {} decoded successfully",
+            valid.len()
+        );
+    }
+}

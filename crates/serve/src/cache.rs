@@ -81,7 +81,7 @@ impl<V> PlanCache<V> {
     /// `build` runs under the cache lock, which intentionally serialises
     /// concurrent misses on the same key: one worker plans, the rest hit.
     pub fn get_or_insert_with(&self, key: PlanKey, build: impl FnOnce() -> V) -> (Arc<V>, bool) {
-        let mut guard = self.map.lock().expect("cache lock");
+        let mut guard = errflow_tensor::sync::lock_recover(&self.map);
         let (map, stamp) = &mut *guard;
         *stamp += 1;
         if let Some(e) = map.get_mut(&key) {
@@ -91,12 +91,11 @@ impl<V> PlanCache<V> {
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
         if map.len() >= self.capacity {
-            let lru = map
-                .iter()
-                .min_by_key(|(_, e)| e.stamp)
-                .map(|(k, _)| *k)
-                .expect("nonempty map");
-            map.remove(&lru);
+            // `capacity > 0` and the map is at capacity, so an LRU entry
+            // exists; a (theoretically) empty map just skips eviction.
+            if let Some(lru) = map.iter().min_by_key(|(_, e)| e.stamp).map(|(k, _)| *k) {
+                map.remove(&lru);
+            }
         }
         let value = Arc::new(build());
         map.insert(
@@ -111,7 +110,7 @@ impl<V> PlanCache<V> {
 
     /// Number of cached plans.
     pub fn len(&self) -> usize {
-        self.map.lock().expect("cache lock").0.len()
+        errflow_tensor::sync::lock_recover(&self.map).0.len()
     }
 
     /// `true` when nothing is cached.

@@ -9,6 +9,7 @@
 //! additionally drains queued items that share the head item's key, which
 //! is how same-plan requests coalesce into one batched forward pass.
 
+use errflow_tensor::sync::{lock_recover, wait_recover};
 use std::collections::VecDeque;
 use std::sync::{Condvar, Mutex};
 
@@ -54,7 +55,7 @@ impl<T> BoundedQueue<T> {
 
     /// Current queue depth.
     pub fn len(&self) -> usize {
-        self.state.lock().expect("queue lock").items.len()
+        lock_recover(&self.state).items.len()
     }
 
     /// `true` when no items are queued.
@@ -65,7 +66,7 @@ impl<T> BoundedQueue<T> {
     /// Enqueues without blocking; rejects with [`QueueFull`] when the queue
     /// is at capacity or closed.
     pub fn try_push(&self, item: T) -> Result<(), QueueFull<T>> {
-        let mut s = self.state.lock().expect("queue lock");
+        let mut s = lock_recover(&self.state);
         if s.closed || s.items.len() >= self.capacity {
             return Err(QueueFull(item));
         }
@@ -78,9 +79,9 @@ impl<T> BoundedQueue<T> {
     /// Enqueues, blocking while the queue is at capacity.  Returns the item
     /// back if the queue closes before space frees up.
     pub fn push(&self, item: T) -> Result<(), QueueFull<T>> {
-        let mut s = self.state.lock().expect("queue lock");
+        let mut s = lock_recover(&self.state);
         while !s.closed && s.items.len() >= self.capacity {
-            s = self.not_full.wait(s).expect("queue lock");
+            s = wait_recover(&self.not_full, s);
         }
         if s.closed {
             return Err(QueueFull(item));
@@ -94,7 +95,7 @@ impl<T> BoundedQueue<T> {
     /// Dequeues one item, blocking while the queue is empty.  Returns
     /// `None` once the queue is closed **and** drained.
     pub fn pop(&self) -> Option<T> {
-        let mut s = self.state.lock().expect("queue lock");
+        let mut s = lock_recover(&self.state);
         loop {
             if let Some(item) = s.items.pop_front() {
                 drop(s);
@@ -104,7 +105,7 @@ impl<T> BoundedQueue<T> {
             if s.closed {
                 return None;
             }
-            s = self.not_empty.wait(s).expect("queue lock");
+            s = wait_recover(&self.not_empty, s);
         }
     }
 
@@ -116,7 +117,7 @@ impl<T> BoundedQueue<T> {
     /// under the same cached plan ride the same batched forward pass.
     pub fn pop_batch<K: PartialEq>(&self, max: usize, key: impl Fn(&T) -> K) -> Option<Vec<T>> {
         assert!(max > 0, "batch size must be nonzero");
-        let mut s = self.state.lock().expect("queue lock");
+        let mut s = lock_recover(&self.state);
         loop {
             if let Some(head) = s.items.pop_front() {
                 let k = key(&head);
@@ -124,7 +125,11 @@ impl<T> BoundedQueue<T> {
                 let mut i = 0;
                 while batch.len() < max && i < s.items.len() {
                     if key(&s.items[i]) == k {
-                        batch.push(s.items.remove(i).expect("index in range"));
+                        // `i < len` holds, so remove always yields an item.
+                        match s.items.remove(i) {
+                            Some(item) => batch.push(item),
+                            None => break,
+                        }
                     } else {
                         i += 1;
                     }
@@ -137,14 +142,14 @@ impl<T> BoundedQueue<T> {
             if s.closed {
                 return None;
             }
-            s = self.not_empty.wait(s).expect("queue lock");
+            s = wait_recover(&self.not_empty, s);
         }
     }
 
     /// Closes the queue: producers are rejected from now on, consumers
     /// drain the remaining items and then observe `None`.
     pub fn close(&self) {
-        self.state.lock().expect("queue lock").closed = true;
+        lock_recover(&self.state).closed = true;
         self.not_empty.notify_all();
         self.not_full.notify_all();
     }
@@ -152,7 +157,7 @@ impl<T> BoundedQueue<T> {
     /// Removes and returns every queued item (used at shutdown to fail
     /// outstanding requests instead of leaving waiters hanging).
     pub fn drain(&self) -> Vec<T> {
-        let mut s = self.state.lock().expect("queue lock");
+        let mut s = lock_recover(&self.state);
         let out = s.items.drain(..).collect();
         drop(s);
         self.not_full.notify_all();

@@ -215,17 +215,20 @@ impl Slot {
     }
 
     fn fulfill(&self, r: Result<Response, ServeError>) {
-        *self.result.lock().expect("slot lock") = Some(r);
+        *errflow_tensor::sync::lock_recover(&self.result) = Some(r);
         self.ready.notify_all();
     }
 
     fn wait(&self) -> Result<Response, ServeError> {
-        let mut guard = self.result.lock().expect("slot lock");
+        // Poison-recovering waits: if a batch worker panics while holding a
+        // slot lock, the waiting client gets a ServeError (or the already
+        // delivered response), never a cascading panic.
+        let mut guard = errflow_tensor::sync::lock_recover(&self.result);
         loop {
             if let Some(r) = guard.take() {
                 return r;
             }
-            guard = self.ready.wait(guard).expect("slot lock");
+            guard = errflow_tensor::sync::wait_recover(&self.ready, guard);
         }
     }
 }

@@ -271,7 +271,12 @@ fn store_tile<const MR: usize, const NR: usize>(
 /// range of `C`, so shared access is race-free.
 #[derive(Clone, Copy)]
 struct BandPtr(*mut f32);
+// SAFETY: BandPtr is only handed to `parallel_for` closures that index
+// disjoint row bands of the target buffer, and the caller blocks until every
+// band completes, so the pointee outlives all cross-thread use.
 unsafe impl Send for BandPtr {}
+// SAFETY: concurrent access is to disjoint ranges only (see Send above); no
+// two bands ever alias the same elements.
 unsafe impl Sync for BandPtr {}
 
 impl BandPtr {
@@ -318,9 +323,11 @@ fn gemm_blocked<const MR: usize, const NR: usize>(
                 let a_panels = mc.div_ceil(MR);
                 let mut abuf = vec![0.0f32; a_panels * MR * kc];
                 pack_a::<MR>(a, k, ic, pc, mc, kc, &mut abuf);
-                // Safety: bands index disjoint row ranges of `C`, and the
-                // pool guarantees the job outlives no borrow (the caller
-                // blocks until every band finished).
+                debug_assert!(ic + mc <= m, "band exceeds C's row range");
+                // SAFETY: bands index disjoint row ranges of `C` (band i
+                // covers rows [i*MC, i*MC+mc)), and the pool blocks the
+                // caller until every band finishes, so `c` outlives the
+                // borrow and no two bands alias.
                 let c_band =
                     unsafe { std::slice::from_raw_parts_mut(c_ptr.get().add(ic * n), mc * n) };
                 for jp in 0..b_panels {
@@ -330,9 +337,11 @@ fn gemm_blocked<const MR: usize, const NR: usize>(
                         let mr_eff = MR.min(mc - ip * MR);
                         let ap = &abuf[ip * kc * MR..][..kc * MR];
                         let mut acc = [[0.0f32; NR]; MR];
-                        // Safety: `mk` is either the safe generic kernel or
-                        // the AVX2 one selected only after feature
-                        // detection.
+                        debug_assert!(ap.len() >= kc * MR && bp.len() >= kc * NR);
+                        // SAFETY: `mk` is either the safe generic kernel or
+                        // the AVX2 one, selected only after runtime feature
+                        // detection; both require fully packed `ap`/`bp`
+                        // panels, asserted above.
                         unsafe { mk(ap, bp, &mut acc) };
                         store_tile::<MR, NR>(
                             &acc,
@@ -533,8 +542,10 @@ pub fn gemv(rows: usize, cols: usize, a: &[f32], x: &[f32], y: &mut [f32], threa
     pool::global().parallel_for(bands, threads, move |t| {
         let r0 = t * band;
         let r1 = rows.min(r0 + band);
-        // Safety: bands cover disjoint `y` ranges; the pool blocks until
-        // all bands finish.
+        debug_assert!(r0 <= r1 && r1 <= rows, "band exceeds y's range");
+        // SAFETY: bands cover disjoint `y` ranges ([r0, r1) per band) and
+        // the pool blocks the caller until all bands finish, so `y` outlives
+        // the borrow and no two bands alias.
         let y_band = unsafe { std::slice::from_raw_parts_mut(y_ptr.get().add(r0), r1 - r0) };
         for (i, out) in y_band.iter_mut().enumerate() {
             let r = r0 + i;

@@ -37,6 +37,7 @@ pub mod pool;
 pub mod rng;
 pub mod spectral;
 pub mod stats;
+pub mod sync;
 
 pub use error::TensorError;
 pub use matrix::Matrix;

@@ -37,7 +37,12 @@ use std::thread::JoinHandle;
 /// has finished, so the pointee outlives every dereference.
 struct RawTask(*const (dyn Fn(usize) + Sync));
 
+// SAFETY: the pointee is a `Sync` closure that the submitting thread keeps
+// alive until every claimed task finished (`parallel_for` blocks on the
+// job's done flag), so sending the pointer to workers cannot outlive it.
 unsafe impl Send for RawTask {}
+// SAFETY: the pointee is `Sync` by construction (`dyn Fn(usize) + Sync`),
+// so shared `&RawTask` access from many workers is sound.
 unsafe impl Sync for RawTask {}
 
 /// One `parallel_for` invocation: a task counter workers race on.
@@ -61,7 +66,7 @@ struct Job {
 impl Job {
     /// Claims and runs tasks until the counter is exhausted.
     fn run_tasks(&self) {
-        // Safety: see `RawTask` — the caller keeps the closure alive until
+        // SAFETY: see `RawTask` — the caller keeps the closure alive until
         // `finished == n_tasks`, and we bump `finished` only after `f`
         // returns.
         let f = unsafe { &*self.f.0 };
@@ -76,7 +81,9 @@ impl Job {
             // AcqRel chains every participant's writes into whoever observes
             // the final count, so the caller sees all task side effects.
             if self.finished.fetch_add(1, Ordering::AcqRel) + 1 == self.n_tasks {
-                let mut done = self.done.lock().expect("pool job lock");
+                // Poison-recovering lock: a panicked task must still mark the
+                // job done, or the caller waits forever.
+                let mut done = crate::sync::lock_recover(&self.done);
                 *done = true;
                 self.done_cv.notify_all();
             }
@@ -157,7 +164,7 @@ impl ThreadPool {
             return;
         }
         let f_ref: &(dyn Fn(usize) + Sync) = &f;
-        // Safety: extending the closure's lifetime is sound because this
+        // SAFETY: extending the closure's lifetime is sound because this
         // function does not return until `finished == n_tasks` (the wait
         // below runs even when a task panicked).
         let f_static: *const (dyn Fn(usize) + Sync) = unsafe { std::mem::transmute(f_ref) };
@@ -172,27 +179,19 @@ impl ThreadPool {
             done: Mutex::new(false),
             done_cv: Condvar::new(),
         });
-        self.shared
-            .queue
-            .lock()
-            .expect("pool queue lock")
-            .push_back(Arc::clone(&job));
+        crate::sync::lock_recover(&self.shared.queue).push_back(Arc::clone(&job));
         self.shared.work_ready.notify_all();
 
         job.run_tasks();
 
-        let mut done = job.done.lock().expect("pool job lock");
+        let mut done = crate::sync::lock_recover(&job.done);
         while !*done {
-            done = job.done_cv.wait(done).expect("pool job lock");
+            done = crate::sync::wait_recover(&job.done_cv, done);
         }
         drop(done);
         // Drop the job from the queue in case no worker ever woke to
         // retire it.
-        self.shared
-            .queue
-            .lock()
-            .expect("pool queue lock")
-            .retain(|j| !Arc::ptr_eq(j, &job));
+        crate::sync::lock_recover(&self.shared.queue).retain(|j| !Arc::ptr_eq(j, &job));
         if job.panicked.load(Ordering::Relaxed) {
             panic!("thread pool task panicked");
         }
@@ -244,7 +243,7 @@ impl Drop for ThreadPool {
 fn worker_loop(shared: &Shared) {
     loop {
         let job = {
-            let mut queue = shared.queue.lock().expect("pool queue lock");
+            let mut queue = crate::sync::lock_recover(&shared.queue);
             loop {
                 if shared.shutdown.load(Ordering::Relaxed) {
                     return;
@@ -263,7 +262,7 @@ fn worker_loop(shared: &Shared) {
                 });
                 match joined {
                     Some(j) => break j,
-                    None => queue = shared.work_ready.wait(queue).expect("pool queue lock"),
+                    None => queue = crate::sync::wait_recover(&shared.work_ready, queue),
                 }
             }
         };

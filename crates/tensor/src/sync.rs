@@ -1,0 +1,68 @@
+//! Poison-tolerant lock helpers shared across the workspace.
+//!
+//! Every `Mutex`/`Condvar` in errflow guards state that remains structurally
+//! valid if a thread panics while holding the lock — job counters, queues of
+//! requests, scratch free-lists.  Panic poisoning is therefore pure
+//! collateral damage: propagating it turns one failed request into a wedged
+//! server (every subsequent `lock().unwrap()` panics too).  These helpers
+//! recover the guard from a poisoned lock so one panicked worker cannot take
+//! the process down with it.
+//!
+//! Do **not** use them for state with multi-step invariants that a mid-update
+//! panic could tear; none exists in the workspace today (all guarded updates
+//! are single push/pop/flag writes).
+
+use std::sync::{Condvar, Mutex, MutexGuard, PoisonError};
+
+/// Locks `m`, recovering from poisoning.
+#[inline]
+pub fn lock_recover<T: ?Sized>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Waits on `cv`, recovering the guard from poisoning.
+#[inline]
+pub fn wait_recover<'a, T>(cv: &Condvar, guard: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
+    cv.wait(guard).unwrap_or_else(PoisonError::into_inner)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::{Arc, Mutex};
+
+    #[test]
+    fn lock_recover_survives_poison() {
+        let m = Arc::new(Mutex::new(7usize));
+        let m2 = Arc::clone(&m);
+        let _ = std::thread::spawn(move || {
+            let _guard = m2.lock().unwrap();
+            panic!("poison the lock");
+        })
+        .join();
+        assert!(m.is_poisoned());
+        assert_eq!(*lock_recover(&m), 7);
+        *lock_recover(&m) = 9;
+        assert_eq!(*lock_recover(&m), 9);
+    }
+
+    #[test]
+    fn wait_recover_returns_usable_guard() {
+        use std::sync::Condvar;
+        use std::time::Duration;
+        let pair = Arc::new((Mutex::new(false), Condvar::new()));
+        let pair2 = Arc::clone(&pair);
+        let h = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(10));
+            *lock_recover(&pair2.0) = true;
+            pair2.1.notify_all();
+        });
+        let (m, cv) = &*pair;
+        let mut ready = lock_recover(m);
+        while !*ready {
+            ready = wait_recover(cv, ready);
+        }
+        assert!(*ready);
+        h.join().unwrap();
+    }
+}
