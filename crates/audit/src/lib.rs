@@ -9,8 +9,8 @@
 //! 1. `safety-comment` — every `unsafe` site carries a `// SAFETY:` note.
 //! 2. `unchecked-contract` — `*_unchecked` calls carry a `debug_assert!`
 //!    contract or adjacent SAFETY note.
-//! 3. `no-panic` — no `unwrap`/`expect`/`panic!` in serve/compress library
-//!    paths (ratcheted: the count may only decrease).
+//! 3. `no-panic` — no `unwrap`/`expect`/`panic!` in serve/compress/obs
+//!    library paths (ratcheted: the count may only decrease).
 //! 4. `unchecked-header-cast` — untrusted codec header fields flow through
 //!    checked-cast helpers before indexing or allocation.
 //! 5. `thread-discipline` — no `thread::spawn` outside the shared pool.

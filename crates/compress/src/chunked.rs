@@ -159,6 +159,7 @@ impl<C: Compressor> Compressor for ChunkedCompressor<C> {
     }
 
     fn compress(&self, data: &[f32], bound: &ErrorBound) -> Result<Vec<u8>, CompressError> {
+        let _span = errflow_obs::trace::span("codec.chunked.compress");
         crate::traits::check_tolerance(bound.tolerance)?;
         let per_chunk = self.chunk_bound(data, bound);
         let chunks: Vec<&[f32]> = data.chunks(self.chunk_values.max(1)).collect();
@@ -180,6 +181,7 @@ impl<C: Compressor> Compressor for ChunkedCompressor<C> {
     }
 
     fn decompress(&self, stream: &[u8]) -> Result<Vec<f32>, CompressError> {
+        let _span = errflow_obs::trace::span("codec.chunked.decompress");
         let (n, chunk_values, slices) = parse_chunk_stream(stream)?;
 
         // Fast path: the header matches the canonical layout `compress`

@@ -125,6 +125,9 @@ pub fn encode_into(symbols: &[u32], out: &mut Vec<u8>) {
 
 /// [`encode_into`] with caller-owned scratch state.
 pub fn encode_with(symbols: &[u32], out: &mut Vec<u8>, s: &mut EncodeScratch) {
+    // Every encode path (`encode`, `encode_into`) funnels through here, so
+    // one span covers them all.
+    let _span = errflow_obs::trace::span("codec.huffman.encode");
     out.extend_from_slice(&(symbols.len() as u64).to_le_bytes());
 
     let rle_ok = !symbols.contains(&RUN_MARKER);
@@ -210,6 +213,9 @@ pub fn encode_with(symbols: &[u32], out: &mut Vec<u8>, s: &mut EncodeScratch) {
         }
     } else {
         for sym in transformed {
+            // audit:allow(no-panic) encode-side invariant: `map` was built
+            // from the histogram of this very slice, so every symbol has a
+            // code; a miss is a bug, not an input condition.
             let &(rev, len) = map.get(sym).expect("symbol has a code");
             w.write_bits(rev, len as u32);
         }
@@ -309,6 +315,7 @@ pub fn decode_into(
     out: &mut Vec<u32>,
     s: &mut DecodeScratch,
 ) -> Result<usize, CompressError> {
+    let _span = errflow_obs::trace::span("codec.huffman.decode");
     out.clear();
     let mut pos = 0usize;
     let n_original = read_len_u64(stream, &mut pos, "n_original")?;

@@ -187,6 +187,7 @@ impl Compressor for MgardCompressor {
     }
 
     fn compress(&self, data: &[f32], bound: &ErrorBound) -> Result<Vec<u8>, CompressError> {
+        let _span = errflow_obs::trace::span("codec.mgard.compress");
         check_tolerance(bound.tolerance)?;
         let eb = bound.pointwise_budget(data);
         let lens = level_lengths(data.len());
@@ -275,6 +276,7 @@ impl Compressor for MgardCompressor {
     }
 
     fn decompress(&self, stream: &[u8]) -> Result<Vec<f32>, CompressError> {
+        let _span = errflow_obs::trace::span("codec.mgard.decompress");
         let mut pooled = scratch::acquire();
         let (n, eb, lens, pos) = Self::decode_core(stream, &mut pooled)?;
         // n equals decoded-symbol count + coarse count at this point, both

@@ -105,12 +105,21 @@ fn bitrev(v: u64, len: u8) -> u64 {
     v.reverse_bits() >> (64 - len as u32)
 }
 
+/// Checked fixed-width slice-to-array conversion: corrupt-stream error
+/// instead of a panic when the slice is not exactly `N` bytes.
+#[inline]
+fn fixed<const N: usize>(bytes: &[u8], what: &str) -> Result<[u8; N], CompressError> {
+    bytes
+        .try_into()
+        .map_err(|_| CompressError::CorruptStream(format!("truncated {what}")))
+}
+
 fn read_u64(buf: &[u8], pos: &mut usize) -> Result<u64, CompressError> {
     let bytes = buf
         .get(*pos..*pos + 8)
         .ok_or_else(|| CompressError::CorruptStream("truncated u64".into()))?;
     *pos += 8;
-    Ok(u64::from_le_bytes(bytes.try_into().expect("8 bytes")))
+    Ok(u64::from_le_bytes(fixed(bytes, "u64")?))
 }
 
 fn read_u32(buf: &[u8], pos: &mut usize) -> Result<u32, CompressError> {
@@ -118,7 +127,7 @@ fn read_u32(buf: &[u8], pos: &mut usize) -> Result<u32, CompressError> {
         .get(*pos..*pos + 4)
         .ok_or_else(|| CompressError::CorruptStream("truncated u32".into()))?;
     *pos += 4;
-    Ok(u32::from_le_bytes(bytes.try_into().expect("4 bytes")))
+    Ok(u32::from_le_bytes(fixed(bytes, "u32")?))
 }
 
 fn read_varint(buf: &[u8], pos: &mut usize) -> Result<u32, CompressError> {
@@ -344,8 +353,8 @@ pub fn sz_decompress(stream: &[u8]) -> Result<Vec<f32>, CompressError> {
     if stream.len() < 16 {
         return Err(CompressError::CorruptStream("header too short".into()));
     }
-    let n = u64::from_le_bytes(stream[0..8].try_into().expect("8 bytes")) as usize;
-    let eb = f64::from_le_bytes(stream[8..16].try_into().expect("8 bytes"));
+    let n = u64::from_le_bytes(fixed(&stream[0..8], "length header")?) as usize;
+    let eb = f64::from_le_bytes(fixed(&stream[8..16], "bound header")?);
     let (symbols, consumed) = huffman_decode(&stream[16..])?;
     if symbols.len() != n {
         return Err(CompressError::CorruptStream(format!(
@@ -361,7 +370,7 @@ pub fn sz_decompress(stream: &[u8]) -> Result<Vec<f32>, CompressError> {
                 .get(pos..pos + 4)
                 .ok_or_else(|| CompressError::CorruptStream("truncated outlier table".into()))?;
             pos += 4;
-            recon.push(f32::from_le_bytes(bytes.try_into().expect("4 bytes")));
+            recon.push(f32::from_le_bytes(fixed(bytes, "outlier")?));
         } else {
             let code = sym as i64 - MAX_CODE - 1;
             let pred = match i {
@@ -444,7 +453,7 @@ pub fn zfp_decompress(stream: &[u8]) -> Result<Vec<f32>, CompressError> {
     if stream.len() < 8 {
         return Err(CompressError::CorruptStream("header too short".into()));
     }
-    let n = u64::from_le_bytes(stream[0..8].try_into().expect("8 bytes")) as usize;
+    let n = u64::from_le_bytes(fixed(&stream[0..8], "length header")?) as usize;
     let mut r = RefBitReader::new(&stream[8..]);
     let mut out = Vec::with_capacity(safe_capacity(n, stream.len()));
     while out.len() < n {
@@ -482,11 +491,13 @@ pub fn mgard_decompress(stream: &[u8]) -> Result<Vec<f32>, CompressError> {
     if stream.len() < 20 {
         return Err(CompressError::CorruptStream("header too short".into()));
     }
-    let n = u64::from_le_bytes(stream[0..8].try_into().expect("8 bytes")) as usize;
-    let eb = f64::from_le_bytes(stream[8..16].try_into().expect("8 bytes"));
-    let coarse_len = u32::from_le_bytes(stream[16..20].try_into().expect("4 bytes")) as usize;
+    let n = u64::from_le_bytes(fixed(&stream[0..8], "length header")?) as usize;
+    let eb = f64::from_le_bytes(fixed(&stream[8..16], "bound header")?);
+    let coarse_len = u32::from_le_bytes(fixed(&stream[16..20], "coarse header")?) as usize;
     let lens = level_lengths(n);
-    if coarse_len != *lens.last().expect("at least one level") {
+    // `level_lengths` always returns at least one level (it starts from
+    // `vec![n]`), so the fallback never fires.
+    if coarse_len != lens.last().copied().unwrap_or(n) {
         return Err(CompressError::CorruptStream(format!(
             "coarse length {coarse_len} inconsistent with n={n}"
         )));
@@ -498,7 +509,7 @@ pub fn mgard_decompress(stream: &[u8]) -> Result<Vec<f32>, CompressError> {
             .get(pos..pos + 4)
             .ok_or_else(|| CompressError::CorruptStream("truncated coarse level".into()))?;
         pos += 4;
-        coarse.push(f32::from_le_bytes(bytes.try_into().expect("4 bytes")));
+        coarse.push(f32::from_le_bytes(fixed(bytes, "coarse level")?));
     }
     let (symbols, consumed) = huffman_decode(&stream[pos..])?;
     pos += consumed;
@@ -524,13 +535,15 @@ pub fn mgard_decompress(stream: &[u8]) -> Result<Vec<f32>, CompressError> {
             recon[2 * j] = v;
         }
         for i in (1..len).step_by(2) {
-            let sym = sym_iter.next().expect("symbol count verified");
+            let sym = sym_iter.next().ok_or_else(|| {
+                CompressError::CorruptStream("coefficient stream exhausted".into())
+            })?;
             if sym == ESCAPE {
                 let bytes = stream.get(pos..pos + 4).ok_or_else(|| {
                     CompressError::CorruptStream("truncated outlier table".into())
                 })?;
                 pos += 4;
-                recon[i] = f32::from_le_bytes(bytes.try_into().expect("4 bytes"));
+                recon[i] = f32::from_le_bytes(fixed(bytes, "outlier")?);
             } else {
                 let code = sym as i64 - MAX_CODE - 1;
                 let pred = interpolate(&recon, i, len);

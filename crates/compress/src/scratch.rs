@@ -9,9 +9,9 @@
 //! [`pool_stats`] and surfaced in the serve stats block.
 
 use crate::huffman::DecodeScratch;
+use errflow_obs::Counter;
 use std::ops::{Deref, DerefMut};
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::{Mutex, OnceLock};
 
 /// Transient buffers shared by the SZ/ZFP/MGARD decode paths.  Buffers grow
 /// to the high-water mark of the streams they serve and stay there.
@@ -43,8 +43,19 @@ impl CodecScratch {
 const POOL_CAP: usize = 32;
 
 static POOL: Mutex<Vec<CodecScratch>> = Mutex::new(Vec::new());
-static HITS: AtomicU64 = AtomicU64::new(0);
-static MISSES: AtomicU64 = AtomicU64::new(0);
+
+/// Hit/miss counters live in the process-wide metrics registry
+/// (`compress.scratch.{hits,misses}`) so exposition sees them; the cached
+/// handles keep the hot path at one relaxed atomic add.
+fn hits() -> &'static Counter {
+    static HITS: OnceLock<Counter> = OnceLock::new();
+    HITS.get_or_init(|| errflow_obs::counter("compress.scratch.hits"))
+}
+
+fn misses() -> &'static Counter {
+    static MISSES: OnceLock<Counter> = OnceLock::new();
+    MISSES.get_or_init(|| errflow_obs::counter("compress.scratch.misses"))
+}
 
 /// A pooled [`CodecScratch`], returned to the global pool on drop.
 #[derive(Debug)]
@@ -83,11 +94,11 @@ pub fn acquire() -> PooledScratch {
     let reused = errflow_tensor::sync::lock_recover(&POOL).pop();
     match reused {
         Some(s) => {
-            HITS.fetch_add(1, Ordering::Relaxed);
+            hits().inc();
             PooledScratch(Some(s))
         }
         None => {
-            MISSES.fetch_add(1, Ordering::Relaxed);
+            misses().inc();
             PooledScratch(Some(CodecScratch::new()))
         }
     }
@@ -97,7 +108,7 @@ pub fn acquire() -> PooledScratch {
 /// steady state shows a hit rate near 1.0; the first `POOL_CAP` concurrent
 /// decodes are unavoidable misses.
 pub fn pool_stats() -> (u64, u64) {
-    (HITS.load(Ordering::Relaxed), MISSES.load(Ordering::Relaxed))
+    (hits().get(), misses().get())
 }
 
 #[cfg(test)]

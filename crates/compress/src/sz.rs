@@ -117,6 +117,7 @@ impl Compressor for SzCompressor {
     }
 
     fn compress(&self, data: &[f32], bound: &ErrorBound) -> Result<Vec<u8>, CompressError> {
+        let _span = errflow_obs::trace::span("codec.sz.compress");
         check_tolerance(bound.tolerance)?;
         let eb = bound.pointwise_budget(data);
         let mut scratch = scratch::acquire();
@@ -166,6 +167,7 @@ impl Compressor for SzCompressor {
     }
 
     fn decompress(&self, stream: &[u8]) -> Result<Vec<f32>, CompressError> {
+        let _span = errflow_obs::trace::span("codec.sz.decompress");
         let mut scratch = scratch::acquire();
         let (n, eb, pos) = Self::decode_core(stream, &mut scratch)?;
         // n == symbols.len() here, which the entropy decoder already

@@ -78,6 +78,7 @@ impl Compressor for ZfpCompressor {
     }
 
     fn compress(&self, data: &[f32], bound: &ErrorBound) -> Result<Vec<u8>, CompressError> {
+        let _span = errflow_obs::trace::span("codec.zfp.compress");
         check_tolerance(bound.tolerance)?;
         if bound.mode.is_l2() {
             return Err(CompressError::UnsupportedBound {
@@ -98,6 +99,7 @@ impl Compressor for ZfpCompressor {
     }
 
     fn decompress(&self, stream: &[u8]) -> Result<Vec<f32>, CompressError> {
+        let _span = errflow_obs::trace::span("codec.zfp.decompress");
         let n = parse_header(stream)?;
         let mut out = vec![0.0f32; n];
         decode_into_slice(&stream[8..], &mut out)?;

@@ -1,0 +1,305 @@
+//! Fixed-size log₂-bucket histograms.
+//!
+//! [`Log2Histogram`] records unsigned integer observations into 64
+//! power-of-two buckets (bucket *i* covers `[2^i, 2^(i+1))`), so it needs
+//! no allocation, no lock, and covers the full `u64` range in constant
+//! space.  Quantiles walk the cumulative counts; a bucket's reported value
+//! is its geometric midpoint, so quantile error is bounded by the √2
+//! bucket ratio — plenty for p50/p99 dashboards.
+//!
+//! [`LatencyHistogram`] is the latency-flavoured wrapper the serve layer
+//! uses (observations are `Duration`s recorded in nanoseconds, summaries
+//! in microseconds).  Both types [`merge`](Log2Histogram::merge) so
+//! multi-worker histograms aggregate into one summary.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Number of power-of-two buckets (covers the full `u64` range).
+pub const BUCKETS: usize = 64;
+
+/// A fixed-size concurrent histogram of `u64` observations on a log₂
+/// bucket grid.  All operations are relaxed atomics — safe to record from
+/// any thread, cheap enough for hot paths.
+#[derive(Debug)]
+pub struct Log2Histogram {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for Log2Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Log2Histogram {
+    /// Creates an empty histogram.
+    pub const fn new() -> Self {
+        // `const` so histograms can live in statics (the registry keeps
+        // them behind `Arc`, but e.g. per-stage arrays are plain fields).
+        #[allow(clippy::declare_interior_mutable_const)]
+        const ZERO: AtomicU64 = AtomicU64::new(0);
+        Log2Histogram {
+            buckets: [ZERO; BUCKETS],
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one observation.  Zero is clamped to 1 so it lands in
+    /// bucket 0 rather than underflowing the log.
+    pub fn record(&self, value: u64) {
+        let v = value.max(1);
+        let bucket = (63 - v.leading_zeros()) as usize;
+        self.buckets[bucket].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.min.fetch_min(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Number of recorded observations.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of recorded observations (after zero-clamping).
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Smallest recorded observation, or `u64::MAX` when empty.
+    pub fn min(&self) -> u64 {
+        self.min.load(Ordering::Relaxed)
+    }
+
+    /// Largest recorded observation, or 0 when empty.
+    pub fn max(&self) -> u64 {
+        self.max.load(Ordering::Relaxed)
+    }
+
+    /// Point-in-time copy of the per-bucket counts (bucket *i* covers
+    /// `[2^i, 2^(i+1))`).
+    pub fn buckets(&self) -> [u64; BUCKETS] {
+        std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed))
+    }
+
+    /// Folds `other`'s observations into `self`: bucket counts, count and
+    /// sum add; min/max combine.  After the merge, `self` summarises the
+    /// union of both recording streams — the aggregation primitive for
+    /// per-worker histograms.
+    pub fn merge(&self, other: &Log2Histogram) {
+        for i in 0..BUCKETS {
+            let c = other.buckets[i].load(Ordering::Relaxed);
+            if c > 0 {
+                self.buckets[i].fetch_add(c, Ordering::Relaxed);
+            }
+        }
+        self.count
+            .fetch_add(other.count.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.sum
+            .fetch_add(other.sum.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.min
+            .fetch_min(other.min.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.max
+            .fetch_max(other.max.load(Ordering::Relaxed), Ordering::Relaxed);
+    }
+
+    /// Approximate `q`-quantile (geometric bucket midpoint).
+    pub fn quantile(&self, q: f64) -> f64 {
+        let total = self.count();
+        if total == 0 {
+            return 0.0;
+        }
+        let rank = (q * total as f64).ceil().max(1.0) as u64;
+        let mut cum = 0u64;
+        for (i, b) in self.buckets.iter().enumerate() {
+            cum += b.load(Ordering::Relaxed);
+            if cum >= rank {
+                // Geometric midpoint of [2^i, 2^(i+1)).
+                return 2f64.powi(i as i32) * std::f64::consts::SQRT_2;
+            }
+        }
+        2f64.powi(BUCKETS as i32 - 1)
+    }
+}
+
+/// Snapshot of a latency distribution, in microseconds.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct LatencySummary {
+    /// Number of observations.
+    pub count: u64,
+    /// Smallest observed latency.
+    pub min_us: f64,
+    /// Largest observed latency.
+    pub max_us: f64,
+    /// Arithmetic mean.
+    pub mean_us: f64,
+    /// Median (histogram-approximate).
+    pub p50_us: f64,
+    /// 99th percentile (histogram-approximate).
+    pub p99_us: f64,
+}
+
+/// A [`Log2Histogram`] of latencies recorded in nanoseconds and
+/// summarised in microseconds — the histogram behind `Server::stats`.
+#[derive(Debug, Default)]
+pub struct LatencyHistogram {
+    inner: Log2Histogram,
+}
+
+impl LatencyHistogram {
+    /// Creates an empty histogram.
+    pub const fn new() -> Self {
+        LatencyHistogram {
+            inner: Log2Histogram::new(),
+        }
+    }
+
+    /// Records one latency observation.
+    pub fn record(&self, latency: Duration) {
+        self.inner.record(latency.as_nanos() as u64);
+    }
+
+    /// Records one latency observation given in nanoseconds.
+    pub fn record_ns(&self, ns: u64) {
+        self.inner.record(ns);
+    }
+
+    /// Number of recorded observations.
+    pub fn count(&self) -> u64 {
+        self.inner.count()
+    }
+
+    /// Point-in-time copy of the per-bucket counts (bucket *i* covers
+    /// `[2^i, 2^(i+1))` nanoseconds).
+    pub fn buckets(&self) -> [u64; BUCKETS] {
+        self.inner.buckets()
+    }
+
+    /// Folds `other`'s observations into `self` (see
+    /// [`Log2Histogram::merge`]) so per-worker latency histograms can be
+    /// aggregated into one summary.
+    pub fn merge(&self, other: &LatencyHistogram) {
+        self.inner.merge(&other.inner);
+    }
+
+    /// The underlying unit-agnostic histogram.
+    pub fn as_log2(&self) -> &Log2Histogram {
+        &self.inner
+    }
+
+    /// Point-in-time summary of the recorded distribution.
+    pub fn summary(&self) -> LatencySummary {
+        let count = self.inner.count();
+        if count == 0 {
+            return LatencySummary::default();
+        }
+        LatencySummary {
+            count,
+            min_us: self.inner.min() as f64 / 1e3,
+            max_us: self.inner.max() as f64 / 1e3,
+            mean_us: self.inner.sum() as f64 / count as f64 / 1e3,
+            p50_us: self.inner.quantile(0.50) / 1e3,
+            p99_us: self.inner.quantile(0.99) / 1e3,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram_summarises_to_zero() {
+        let h = LatencyHistogram::new();
+        assert_eq!(h.summary(), LatencySummary::default());
+        assert_eq!(h.buckets(), [0; BUCKETS]);
+    }
+
+    #[test]
+    fn records_land_in_log2_buckets() {
+        let h = Log2Histogram::new();
+        h.record(0); // clamps to 1 → bucket 0
+        h.record(1);
+        h.record(7); // bucket 2
+        h.record(8); // bucket 3
+        let b = h.buckets();
+        assert_eq!(b[0], 2);
+        assert_eq!(b[2], 1);
+        assert_eq!(b[3], 1);
+        assert_eq!(h.count(), 4);
+        assert_eq!(h.min(), 1);
+        assert_eq!(h.max(), 8);
+    }
+
+    #[test]
+    fn merged_quantiles_match_single_combined_histogram() {
+        // Two workers record disjoint halves of a distribution; merging
+        // their histograms must reproduce exactly the histogram that
+        // recorded everything — buckets, count, sum, min, max, and hence
+        // every quantile.
+        let a = LatencyHistogram::new();
+        let b = LatencyHistogram::new();
+        let combined = LatencyHistogram::new();
+        let mut ns = 17u64;
+        for i in 0..2000u64 {
+            // A deterministic spread over ~6 decades.
+            ns = ns
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let v = 50 + ns % (10_000_000 * (1 + i % 7));
+            if i % 2 == 0 {
+                a.record_ns(v);
+            } else {
+                b.record_ns(v);
+            }
+            combined.record_ns(v);
+        }
+        a.merge(&b);
+        assert_eq!(a.buckets(), combined.buckets());
+        let (ma, mc) = (a.summary(), combined.summary());
+        assert_eq!(ma.count, mc.count);
+        assert_eq!(ma.p50_us, mc.p50_us, "{ma:?} vs {mc:?}");
+        assert_eq!(ma.p99_us, mc.p99_us);
+        assert_eq!(ma.min_us, mc.min_us);
+        assert_eq!(ma.max_us, mc.max_us);
+        assert!((ma.mean_us - mc.mean_us).abs() < 1e-9);
+        for q in [0.01, 0.25, 0.5, 0.9, 0.99, 0.999] {
+            assert_eq!(a.as_log2().quantile(q), combined.as_log2().quantile(q));
+        }
+    }
+
+    #[test]
+    fn merge_into_empty_is_identity() {
+        let src = Log2Histogram::new();
+        for v in [3, 900, 12_345, 1 << 40] {
+            src.record(v);
+        }
+        let dst = Log2Histogram::new();
+        dst.merge(&src);
+        assert_eq!(dst.buckets(), src.buckets());
+        assert_eq!(dst.count(), src.count());
+        assert_eq!(dst.sum(), src.sum());
+        assert_eq!(dst.min(), src.min());
+        assert_eq!(dst.max(), src.max());
+    }
+
+    #[test]
+    fn quantiles_are_ordered() {
+        let h = Log2Histogram::new();
+        for us in [5u64, 10, 20, 40, 80, 160, 320, 640, 1280, 100_000] {
+            h.record(us * 1000);
+        }
+        let q50 = h.quantile(0.5);
+        let q99 = h.quantile(0.99);
+        assert!(q50 <= q99);
+        assert!(h.min() as f64 <= q50 * std::f64::consts::SQRT_2);
+    }
+}

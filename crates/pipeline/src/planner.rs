@@ -374,7 +374,10 @@ impl<'m, M: Model> Planner<'m, M> {
         let d = samples[0].len();
         let payload = flatten(samples, layout);
         let bound = self.compressor_bound(plan, compressor, payload.len());
-        let (recon_payload, mut stats) = compressor.roundtrip(&payload, &bound)?;
+        let (recon_payload, mut stats) = {
+            let _span = errflow_obs::trace::span("pipeline.roundtrip");
+            compressor.roundtrip(&payload, &bound)?
+        };
         // Small payloads make one-shot wall-clock timing noisy; re-time the
         // decompression over enough repetitions for a stable GB/s figure.
         if stats.decompress_secs < 5e-3 {
@@ -388,7 +391,11 @@ impl<'m, M: Model> Planner<'m, M> {
         }
         let recon = unflatten(&recon_payload, samples.len(), d, layout);
 
-        let quantized = quantize_model(self.model, plan.format);
+        let quantized = {
+            let _span = errflow_obs::trace::span("pipeline.quantize");
+            quantize_model(self.model, plan.format)
+        };
+        let _fwd_span = errflow_obs::trace::span("pipeline.forward");
         let mut rel_errors = Vec::with_capacity(samples.len());
         for (x, xt) in samples.iter().zip(&recon) {
             let y = self.model.forward(x);

@@ -13,8 +13,8 @@
 //! Eviction is LRU over a fixed capacity; hit/miss counters feed the
 //! server's stats surface.
 
+use errflow_obs::ScopedCounter;
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
 /// Log-space tolerance buckets per decade.
@@ -59,8 +59,10 @@ struct Entry<V> {
 pub struct PlanCache<V> {
     capacity: usize,
     map: Mutex<(HashMap<PlanKey, Entry<V>>, u64)>,
-    hits: AtomicU64,
-    misses: AtomicU64,
+    /// Per-instance hit/miss counters, mirrored into the process-wide
+    /// `serve.plan_cache.{hits,misses}` registry metrics.
+    hits: ScopedCounter,
+    misses: ScopedCounter,
 }
 
 impl<V> PlanCache<V> {
@@ -70,8 +72,8 @@ impl<V> PlanCache<V> {
         PlanCache {
             capacity,
             map: Mutex::new((HashMap::new(), 0)),
-            hits: AtomicU64::new(0),
-            misses: AtomicU64::new(0),
+            hits: ScopedCounter::new("serve.plan_cache.hits"),
+            misses: ScopedCounter::new("serve.plan_cache.misses"),
         }
     }
 
@@ -86,10 +88,10 @@ impl<V> PlanCache<V> {
         *stamp += 1;
         if let Some(e) = map.get_mut(&key) {
             e.stamp = *stamp;
-            self.hits.fetch_add(1, Ordering::Relaxed);
+            self.hits.inc();
             return (Arc::clone(&e.value), true);
         }
-        self.misses.fetch_add(1, Ordering::Relaxed);
+        self.misses.inc();
         if map.len() >= self.capacity {
             // `capacity > 0` and the map is at capacity, so an LRU entry
             // exists; a (theoretically) empty map just skips eviction.
@@ -118,14 +120,14 @@ impl<V> PlanCache<V> {
         self.len() == 0
     }
 
-    /// Lookups served from the cache.
+    /// Lookups served from the cache (this instance only).
     pub fn hits(&self) -> u64 {
-        self.hits.load(Ordering::Relaxed)
+        self.hits.get()
     }
 
-    /// Lookups that had to plan from scratch.
+    /// Lookups that had to plan from scratch (this instance only).
     pub fn misses(&self) -> u64 {
-        self.misses.load(Ordering::Relaxed)
+        self.misses.get()
     }
 
     /// `hits / (hits + misses)`, or 0 before any lookup.

@@ -34,8 +34,9 @@
 //!   soundness) and the LRU plan cache with hit/miss counters.
 //! - [`batch`]: stacking coalesced jobs into one batched forward pass.
 //! - [`server`]: the worker pool and request lifecycle.
-//! - [`stats`]: counters and the fixed-size log₂ latency histogram
-//!   behind `Server::stats`.
+//! - [`stats`]: per-instance counters (mirrored into the process-wide
+//!   [`errflow_obs`] registry), the end-to-end latency histogram, and the
+//!   per-stage breakdown behind `Server::stats`.
 //! - [`loadgen`]: the closed-loop synthetic driver behind
 //!   `errflow-cli serve-bench`.
 
@@ -50,4 +51,4 @@ pub use cache::{bucket_tolerance, PlanCache, PlanKey};
 pub use loadgen::{run_loadgen, BenchSummary, LoadgenConfig};
 pub use queue::{BoundedQueue, QueueFull};
 pub use server::{BackendKind, Request, Response, ServeConfig, ServeError, Server, Ticket};
-pub use stats::{LatencyHistogram, LatencySummary, StatsSnapshot};
+pub use stats::{LatencyHistogram, LatencySummary, RequestStages, StageBreakdown, StatsSnapshot};

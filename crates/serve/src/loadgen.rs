@@ -11,7 +11,7 @@
 //! certified `rel_bound` must be ≤ the tolerance its request asked for.
 
 use crate::server::{Request, ServeError, Server};
-use crate::stats::LatencySummary;
+use crate::stats::{LatencySummary, StageBreakdown};
 use errflow_nn::Model;
 use errflow_pipeline::planner::PayloadLayout;
 use errflow_tensor::norms::Norm;
@@ -89,8 +89,16 @@ pub struct BenchSummary {
     pub decomp_bytes_out: u64,
     /// Payload decompression throughput (GB/s of decompressed output).
     pub decomp_gbps: f64,
-    /// Codec scratch-pool hit rate at the end of the run (process-wide).
+    /// Codec scratch-pool hit rate over the server's lifetime (per-server
+    /// delta; see [`crate::stats::StatsSnapshot::scratch_hits`]).
     pub scratch_hit_rate: f64,
+    /// Per-stage latency breakdown (batch wait / plan / decompress /
+    /// forward / respond).
+    pub stages: StageBreakdown,
+    /// Responses whose certified bound passed the plan-tolerance check.
+    pub bound_pass: u64,
+    /// Responses whose certified bound failed the check (must be 0).
+    pub bound_fail: u64,
 }
 
 impl BenchSummary {
@@ -104,11 +112,23 @@ impl BenchSummary {
                 "null".to_string()
             }
         };
+        let stage = |s: &LatencySummary| {
+            format!(
+                "{{\"count\":{},\"mean_us\":{},\"p50_us\":{},\"p99_us\":{}}}",
+                s.count,
+                num(s.mean_us),
+                num(s.p50_us),
+                num(s.p99_us),
+            )
+        };
         format!(
             concat!(
                 "{{\"clients\":{},\"requests\":{},\"rejections\":{},",
                 "\"wall_secs\":{},\"throughput_rps\":{},",
                 "\"latency_us\":{{\"min\":{},\"mean\":{},\"p50\":{},\"p99\":{},\"max\":{}}},",
+                "\"stages\":{{\"batch_wait\":{},\"plan\":{},\"decompress\":{},",
+                "\"forward\":{},\"respond\":{}}},",
+                "\"bounds\":{{\"pass\":{},\"fail\":{}}},",
                 "\"cache\":{{\"hits\":{},\"misses\":{},\"hit_rate\":{}}},",
                 "\"batches\":{},\"mean_batch_size\":{},",
                 "\"max_rel_bound\":{},\"all_bounds_certified\":{},",
@@ -125,6 +145,13 @@ impl BenchSummary {
             num(self.latency.p50_us),
             num(self.latency.p99_us),
             num(self.latency.max_us),
+            stage(&self.stages.batch_wait),
+            stage(&self.stages.plan),
+            stage(&self.stages.decompress),
+            stage(&self.stages.forward),
+            stage(&self.stages.respond),
+            self.bound_pass,
+            self.bound_fail,
             self.cache_hits,
             self.cache_misses,
             num(self.cache_hit_rate),
@@ -249,6 +276,9 @@ pub fn run_loadgen<M: Model + Clone + Send + Sync + 'static>(
         decomp_bytes_out: snap.decomp_bytes_out,
         decomp_gbps: snap.decomp_gbps(),
         scratch_hit_rate: snap.scratch_hit_rate(),
+        stages: snap.stages,
+        bound_pass: snap.bound_pass,
+        bound_fail: snap.bound_fail,
     }
 }
 
@@ -283,6 +313,19 @@ mod tests {
             decomp_bytes_out: 800_000,
             decomp_gbps: 2.5,
             scratch_hit_rate: 0.97,
+            stages: StageBreakdown {
+                decompress: LatencySummary {
+                    count: 800,
+                    min_us: 10.0,
+                    max_us: 90.0,
+                    mean_us: 40.0,
+                    p50_us: 35.0,
+                    p99_us: 88.0,
+                },
+                ..StageBreakdown::default()
+            },
+            bound_pass: 800,
+            bound_fail: 0,
         };
         let j = s.to_json();
         assert!(j.starts_with('{') && j.ends_with('}'));
@@ -292,7 +335,12 @@ mod tests {
         assert!(j.contains("\"p99\":2896"), "{j}");
         assert!(j.contains("\"gbps\":2.5"), "{j}");
         assert!(j.contains("\"scratch_hit_rate\":0.97"), "{j}");
-        // Balanced braces (nested latency/cache objects).
+        assert!(
+            j.contains("\"decompress\":{\"count\":800,\"mean_us\":40,"),
+            "{j}"
+        );
+        assert!(j.contains("\"bounds\":{\"pass\":800,\"fail\":0}"), "{j}");
+        // Balanced braces (nested latency/stages/cache objects).
         assert_eq!(j.matches('{').count(), j.matches('}').count());
     }
 
@@ -316,6 +364,9 @@ mod tests {
             decomp_bytes_out: 0,
             decomp_gbps: f64::NAN,
             scratch_hit_rate: 0.0,
+            stages: StageBreakdown::default(),
+            bound_pass: 0,
+            bound_fail: 0,
         };
         let j = s.to_json();
         assert!(j.contains("\"throughput_rps\":null"), "{j}");

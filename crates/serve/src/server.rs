@@ -32,7 +32,7 @@
 use crate::batch::{assemble_inputs, split_outputs};
 use crate::cache::{bucket_tolerance, PlanCache, PlanKey};
 use crate::queue::{BoundedQueue, QueueFull};
-use crate::stats::{ServerStats, StatsSnapshot};
+use crate::stats::{RequestStages, ServerStats, StatsSnapshot};
 use errflow_compress::chunked::ChunkedCompressor;
 use errflow_compress::{Compressor, ErrorBound, MgardCompressor, SzCompressor, ZfpCompressor};
 use errflow_core::{quantize_model, NetworkAnalysis};
@@ -171,6 +171,9 @@ pub struct Response {
     pub batch_size: usize,
     /// End-to-end latency (admission → response).
     pub latency: Duration,
+    /// Where the request's time went (disjoint stage intervals; their sum
+    /// is ≤ `latency`).
+    pub stages: RequestStages,
 }
 
 /// Why a request was rejected or failed.
@@ -256,6 +259,9 @@ struct Job {
     layout: PayloadLayout,
     slot: Arc<Slot>,
     t0: Instant,
+    /// Admission time on the trace clock, so the queue-wait interval can
+    /// be recorded as a cross-thread span at dequeue.
+    t0_trace_ns: u64,
 }
 
 /// Everything a plan-cache entry needs to serve a hit without touching
@@ -276,6 +282,10 @@ struct Inner<M> {
     cfg: ServeConfig,
     model_id: u64,
     input_dim: usize,
+    /// Process-wide scratch-pool `(hits, misses)` at construction time;
+    /// `Server::stats` reports deltas against it so the snapshot describes
+    /// *this* server's traffic, not every compressor in the process.
+    scratch_base: (u64, u64),
 }
 
 /// The concurrent batched inference server.  See the module docs for the
@@ -345,6 +355,7 @@ impl<M: Model + Clone + Send + Sync + 'static> Server<M> {
             cfg,
             model_id: h.finish(),
             input_dim,
+            scratch_base: errflow_compress::scratch::pool_stats(),
         });
         let queue = Arc::new(BoundedQueue::new(cfg.queue_capacity));
         // Workers are pool-accounted *dedicated* threads: they block on the
@@ -405,6 +416,7 @@ impl<M: Model + Clone + Send + Sync + 'static> Server<M> {
                 layout: req.layout,
                 slot,
                 t0: Instant::now(),
+                t0_trace_ns: errflow_obs::trace::now_ns(),
             },
             ticket,
         ))
@@ -414,14 +426,15 @@ impl<M: Model + Clone + Send + Sync + 'static> Server<M> {
     /// admission control rejects the request (the payload is dropped; the
     /// caller owns retry policy).
     pub fn try_submit(&self, req: Request) -> Result<Ticket, ServeError> {
+        let _span = errflow_obs::trace::span("serve.enqueue");
         let (job, ticket) = self.make_job(req)?;
         match self.queue.try_push(job) {
             Ok(()) => {
-                ServerStats::bump(&self.inner.stats.submitted);
+                self.inner.stats.submitted.inc();
                 Ok(ticket)
             }
             Err(QueueFull(_)) => {
-                ServerStats::bump(&self.inner.stats.rejected);
+                self.inner.stats.rejected.inc();
                 Err(ServeError::QueueFull)
             }
         }
@@ -430,10 +443,11 @@ impl<M: Model + Clone + Send + Sync + 'static> Server<M> {
     /// Submits, blocking while the queue is at capacity (backpressure is
     /// exerted on the caller instead of surfacing [`ServeError::QueueFull`]).
     pub fn submit(&self, req: Request) -> Result<Ticket, ServeError> {
+        let _span = errflow_obs::trace::span("serve.enqueue");
         let (job, ticket) = self.make_job(req)?;
         match self.queue.push(job) {
             Ok(()) => {
-                ServerStats::bump(&self.inner.stats.submitted);
+                self.inner.stats.submitted.inc();
                 Ok(ticket)
             }
             Err(QueueFull(_)) => Err(ServeError::Shutdown),
@@ -448,24 +462,31 @@ impl<M: Model + Clone + Send + Sync + 'static> Server<M> {
     /// Point-in-time statistics: counters, queue depth, cache hit/miss,
     /// latency distribution.
     pub fn stats(&self) -> StatsSnapshot {
-        use std::sync::atomic::Ordering::Relaxed;
         let s = &self.inner.stats;
+        // The scratch pool is process-wide; report the delta since this
+        // server was built (saturating: concurrent pool traffic makes the
+        // counters race ahead of the baseline, never behind it).
+        let (hits, misses) = errflow_compress::scratch::pool_stats();
+        let (base_hits, base_misses) = self.inner.scratch_base;
         StatsSnapshot {
-            submitted: s.submitted.load(Relaxed),
-            rejected: s.rejected.load(Relaxed),
-            completed: s.completed.load(Relaxed),
-            failed: s.failed.load(Relaxed),
-            batches: s.batches.load(Relaxed),
-            batched_jobs: s.batched_jobs.load(Relaxed),
+            submitted: s.submitted.get(),
+            rejected: s.rejected.get(),
+            completed: s.completed.get(),
+            failed: s.failed.get(),
+            batches: s.batches.get(),
+            batched_jobs: s.batched_jobs.get(),
             queue_depth: self.queue.len(),
             cache_hits: self.inner.cache.hits(),
             cache_misses: self.inner.cache.misses(),
-            decomp_ns: s.decomp_ns.load(Relaxed),
-            decomp_bytes_in: s.decomp_bytes_in.load(Relaxed),
-            decomp_bytes_out: s.decomp_bytes_out.load(Relaxed),
-            scratch_hits: errflow_compress::scratch::pool_stats().0,
-            scratch_misses: errflow_compress::scratch::pool_stats().1,
+            decomp_ns: s.decomp_ns.get(),
+            decomp_bytes_in: s.decomp_bytes_in.get(),
+            decomp_bytes_out: s.decomp_bytes_out.get(),
+            scratch_hits: hits.saturating_sub(base_hits),
+            scratch_misses: misses.saturating_sub(base_misses),
+            bound_pass: s.stages.bound_pass.get(),
+            bound_fail: s.stages.bound_fail.get(),
             latency: s.latency.summary(),
+            stages: s.stages.breakdown(),
         }
     }
 
@@ -492,61 +513,94 @@ impl<M: Model + Clone + Send + Sync + 'static> Drop for Server<M> {
 fn worker_loop<M: Model + Clone + Send + Sync>(inner: &Inner<M>, queue: &BoundedQueue<Job>) {
     let compressor = inner.cfg.backend.build(inner.cfg.decode_threads);
     while let Some(batch) = queue.pop_batch(inner.cfg.max_batch.max(1), |j: &Job| j.key) {
+        // Stage attribution invariant: every interval recorded below is a
+        // disjoint slice of wall time inside [job.t0, fulfill), so each
+        // request's stage sum is ≤ its end-to-end latency.  Batch-level
+        // intervals (plan, forward) are attributed in full to every job in
+        // the batch; that keeps the invariant because they are still
+        // disjoint from the job's own batch-wait/decompress/respond slices.
+        let dequeued = Instant::now();
+        let dequeued_trace_ns = errflow_obs::trace::now_ns();
         inner.stats.note_batch(batch.len());
+        let mut batch_wait_ns = Vec::with_capacity(batch.len());
+        for job in &batch {
+            let wait = dequeued.duration_since(job.t0).as_nanos() as u64;
+            inner.stats.stages.batch_wait.record_ns(wait);
+            // Queue wait crosses threads, so it is recorded as an explicit
+            // interval rather than a scoped guard.
+            errflow_obs::trace::record_span("serve.batch_wait", job.t0_trace_ns, dequeued_trace_ns);
+            batch_wait_ns.push(wait);
+        }
+
         let plan_tol = batch[0].plan_tol;
         let norm = batch[0].norm;
-        let (cached, hit) = inner.cache.get_or_insert_with(batch[0].key, || {
-            // Miss: rebuild a planner around the precomputed analysis
-            // (cheap — only re-derives QoI references), plan at the bucket
-            // floor, and quantize the weights once for all future hits.
-            let planner =
-                Planner::with_analysis(&inner.model, &inner.calibration, inner.analysis.clone());
-            let plan = planner.plan(&PlannerConfig {
-                rel_tolerance: plan_tol,
-                norm,
-                quant_share: inner.cfg.quant_share,
-            });
-            // The planner guarantees predicted_total_bound ≤ plan_tol ·
-            // qoi_ref; the min() strips the division's last-ulp rounding
-            // so the certificate never lands above the tolerance it was
-            // planned for.
-            let rel_bound =
-                (plan.predicted_total_bound / planner.qoi_reference(norm)).min(plan_tol);
-            CachedPlan {
-                plan,
-                rel_bound,
-                quantized: quantize_model(&inner.model, plan.format),
-            }
-        });
+        let t_plan = Instant::now();
+        let (cached, hit) = {
+            let _span = errflow_obs::trace::span("serve.plan");
+            inner.cache.get_or_insert_with(batch[0].key, || {
+                // Miss: rebuild a planner around the precomputed analysis
+                // (cheap — only re-derives QoI references), plan at the bucket
+                // floor, and quantize the weights once for all future hits.
+                let planner = Planner::with_analysis(
+                    &inner.model,
+                    &inner.calibration,
+                    inner.analysis.clone(),
+                );
+                let plan = planner.plan(&PlannerConfig {
+                    rel_tolerance: plan_tol,
+                    norm,
+                    quant_share: inner.cfg.quant_share,
+                });
+                // The planner guarantees predicted_total_bound ≤ plan_tol ·
+                // qoi_ref; the min() strips the division's last-ulp rounding
+                // so the certificate never lands above the tolerance it was
+                // planned for.
+                let rel_bound =
+                    (plan.predicted_total_bound / planner.qoi_reference(norm)).min(plan_tol);
+                CachedPlan {
+                    plan,
+                    rel_bound,
+                    quantized: quantize_model(&inner.model, plan.format),
+                }
+            })
+        };
+        let plan_ns = t_plan.elapsed().as_nanos() as u64;
+        inner.stats.stages.plan.record_ns(plan_ns);
 
         // Error-bounded ingest: compress + decompress each payload under
         // the plan's input budget (chunk decode fans out across threads).
         let mut ok_jobs = Vec::with_capacity(batch.len());
+        let mut ok_waits = Vec::with_capacity(batch.len());
+        let mut decompress_ns = Vec::with_capacity(batch.len());
         let mut recon_per_job = Vec::with_capacity(batch.len());
-        for job in batch {
+        for (job, wait) in batch.into_iter().zip(batch_wait_ns) {
             let n = job.samples.len();
             let d = job.samples[0].len();
             let payload = flatten(&job.samples, job.layout);
             let bound = compressor_bound(&cached.plan, compressor.as_ref(), payload.len());
             // Compress and decode separately so decompression throughput
             // (the paper's ingest-side bottleneck) can be tracked on its own.
+            let mut dec_ns = 0u64;
             let roundtrip = compressor.compress(&payload, &bound).and_then(|stream| {
+                let _span = errflow_obs::trace::span("serve.decompress");
                 let t_dec = Instant::now();
                 let flat = compressor.decompress(&stream)?;
-                inner.stats.note_decomp(
-                    t_dec.elapsed().as_nanos() as u64,
-                    stream.len() as u64,
-                    (flat.len() * 4) as u64,
-                );
+                dec_ns = t_dec.elapsed().as_nanos() as u64;
+                inner
+                    .stats
+                    .note_decomp(dec_ns, stream.len() as u64, (flat.len() * 4) as u64);
                 Ok(flat)
             });
             match roundtrip {
                 Ok(flat) => {
+                    inner.stats.stages.decompress.record_ns(dec_ns);
                     recon_per_job.push(unflatten(&flat, n, d, job.layout));
                     ok_jobs.push(job);
+                    ok_waits.push(wait);
+                    decompress_ns.push(dec_ns);
                 }
                 Err(e) => {
-                    ServerStats::bump(&inner.stats.failed);
+                    inner.stats.failed.inc();
                     job.slot
                         .fulfill(Err(ServeError::Compression(e.to_string())));
                 }
@@ -558,12 +612,39 @@ fn worker_loop<M: Model + Clone + Send + Sync>(inner: &Inner<M>, queue: &Bounded
 
         // One batched forward pass over every coalesced sample.
         let batch_size = ok_jobs.len();
-        let (flat_inputs, counts) = assemble_inputs(recon_per_job);
-        let outputs = cached.quantized.forward_batch(&flat_inputs);
-        for (job, outputs) in ok_jobs.into_iter().zip(split_outputs(outputs, &counts)) {
+        let (flat_inputs, counts) = {
+            let _span = errflow_obs::trace::span("serve.batch_assemble");
+            assemble_inputs(recon_per_job)
+        };
+        let t_fwd = Instant::now();
+        let outputs = {
+            let _span = errflow_obs::trace::span("serve.forward");
+            cached.quantized.forward_batch(&flat_inputs)
+        };
+        let forward_ns = t_fwd.elapsed().as_nanos() as u64;
+        inner.stats.stages.forward.record_ns(forward_ns);
+
+        let t_respond = Instant::now();
+        let _respond_span = errflow_obs::trace::span("serve.respond");
+        for ((job, outputs), (wait, dec_ns)) in ok_jobs
+            .into_iter()
+            .zip(split_outputs(outputs, &counts))
+            .zip(ok_waits.into_iter().zip(decompress_ns))
+        {
+            // Certification check: the cached plan's bound must not exceed
+            // the bucket-floor tolerance the request mapped to.
+            if cached.rel_bound <= job.plan_tol {
+                inner.stats.stages.bound_pass.inc();
+            } else {
+                inner.stats.stages.bound_fail.inc();
+            }
+            // respond_ns is measured *before* the end-to-end latency so the
+            // stage sum stays ≤ latency for this request.
+            let respond_ns = t_respond.elapsed().as_nanos() as u64;
+            inner.stats.stages.respond.record_ns(respond_ns);
             let latency = job.t0.elapsed();
             inner.stats.latency.record(latency);
-            ServerStats::bump(&inner.stats.completed);
+            inner.stats.completed.inc();
             job.slot.fulfill(Ok(Response {
                 outputs,
                 rel_bound: cached.rel_bound,
@@ -572,6 +653,13 @@ fn worker_loop<M: Model + Clone + Send + Sync>(inner: &Inner<M>, queue: &Bounded
                 cache_hit: hit,
                 batch_size,
                 latency,
+                stages: RequestStages {
+                    batch_wait_ns: wait,
+                    plan_ns,
+                    decompress_ns: dec_ns,
+                    forward_ns,
+                    respond_ns,
+                },
             }));
         }
     }

@@ -1,155 +1,211 @@
-//! Lock-free server statistics: request counters and a fixed-size
-//! log-scale latency histogram.
+//! Server statistics: per-instance counters mirrored into the process-wide
+//! [`errflow_obs`] metrics registry, plus end-to-end and per-stage latency
+//! histograms.
 //!
-//! Latencies are recorded in nanoseconds into 64 power-of-two buckets
-//! (bucket *i* covers `[2^i, 2^(i+1))` ns), so the histogram needs no
-//! allocation, no lock, and covers sub-microsecond to multi-century in
-//! constant space.  Quantiles are read by walking the cumulative counts;
-//! a bucket's reported value is its geometric midpoint, so quantile error
-//! is bounded by the √2 bucket ratio — plenty for p50/p99 dashboards.
+//! The histogram machinery (log₂ buckets, quantiles, merging) lives in
+//! [`errflow_obs::hist`]; this module re-exports [`LatencyHistogram`] and
+//! [`LatencySummary`] so existing `errflow_serve::stats` users keep
+//! compiling.  Counters are [`ScopedCounter`]s: `.get()` reads the
+//! *instance* value (tests construct several servers in one process and
+//! assert exact per-server counts), while every bump also lands in the
+//! named registry metric for Prometheus/JSON exposition.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use errflow_obs::ScopedCounter;
+pub use errflow_obs::{LatencyHistogram, LatencySummary};
+use std::sync::Arc;
+use std::time::Duration;
 
-const BUCKETS: usize = 64;
-
-/// A fixed-size concurrent histogram of latencies in nanoseconds.
+/// An instance-local latency histogram that mirrors every observation into
+/// a named process-wide registry histogram.  [`summary`](Self::summary)
+/// reads the instance view; exposition sees the process total.
 #[derive(Debug)]
-pub struct LatencyHistogram {
-    buckets: [AtomicU64; BUCKETS],
-    count: AtomicU64,
-    sum_ns: AtomicU64,
-    min_ns: AtomicU64,
-    max_ns: AtomicU64,
+pub struct MirroredHistogram {
+    local: LatencyHistogram,
+    global: Arc<errflow_obs::Log2Histogram>,
 }
 
-impl Default for LatencyHistogram {
-    fn default() -> Self {
-        Self::new()
-    }
-}
-
-impl LatencyHistogram {
-    /// Creates an empty histogram.
-    pub fn new() -> Self {
-        LatencyHistogram {
-            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
-            count: AtomicU64::new(0),
-            sum_ns: AtomicU64::new(0),
-            min_ns: AtomicU64::new(u64::MAX),
-            max_ns: AtomicU64::new(0),
+impl MirroredHistogram {
+    /// Creates a fresh instance histogram mirroring into `global_name`.
+    pub fn new(global_name: &str) -> Self {
+        MirroredHistogram {
+            local: LatencyHistogram::new(),
+            global: errflow_obs::histogram(global_name),
         }
     }
 
     /// Records one latency observation.
-    pub fn record(&self, latency: std::time::Duration) {
-        let ns = (latency.as_nanos() as u64).max(1);
-        let bucket = (63 - ns.leading_zeros()) as usize;
-        self.buckets[bucket].fetch_add(1, Ordering::Relaxed);
-        self.count.fetch_add(1, Ordering::Relaxed);
-        self.sum_ns.fetch_add(ns, Ordering::Relaxed);
-        self.min_ns.fetch_min(ns, Ordering::Relaxed);
-        self.max_ns.fetch_max(ns, Ordering::Relaxed);
+    pub fn record(&self, latency: Duration) {
+        self.record_ns(latency.as_nanos() as u64);
     }
 
-    /// Number of recorded observations.
+    /// Records one latency observation given in nanoseconds.
+    pub fn record_ns(&self, ns: u64) {
+        self.local.record_ns(ns);
+        self.global.record(ns);
+    }
+
+    /// Number of observations recorded through this instance.
     pub fn count(&self) -> u64 {
-        self.count.load(Ordering::Relaxed)
+        self.local.count()
     }
 
-    /// Point-in-time summary of the recorded distribution.
+    /// Point-in-time summary of the instance distribution.
     pub fn summary(&self) -> LatencySummary {
-        let count = self.count();
-        if count == 0 {
-            return LatencySummary::default();
-        }
-        LatencySummary {
-            count,
-            min_us: self.min_ns.load(Ordering::Relaxed) as f64 / 1e3,
-            max_us: self.max_ns.load(Ordering::Relaxed) as f64 / 1e3,
-            mean_us: self.sum_ns.load(Ordering::Relaxed) as f64 / count as f64 / 1e3,
-            p50_us: self.quantile(0.50) / 1e3,
-            p99_us: self.quantile(0.99) / 1e3,
-        }
-    }
-
-    /// Approximate `q`-quantile in nanoseconds (geometric bucket midpoint).
-    fn quantile(&self, q: f64) -> f64 {
-        let total = self.count();
-        if total == 0 {
-            return 0.0;
-        }
-        let rank = (q * total as f64).ceil().max(1.0) as u64;
-        let mut cum = 0u64;
-        for (i, b) in self.buckets.iter().enumerate() {
-            cum += b.load(Ordering::Relaxed);
-            if cum >= rank {
-                // Geometric midpoint of [2^i, 2^(i+1)).
-                return 2f64.powi(i as i32) * std::f64::consts::SQRT_2;
-            }
-        }
-        2f64.powi(BUCKETS as i32 - 1)
+        self.local.summary()
     }
 }
 
-/// Snapshot of the latency distribution, in microseconds.
+/// Where a completed request spent its time, in nanoseconds.  Shipped on
+/// every [`crate::Response`].
+///
+/// The intervals are disjoint slices of the request's life, so their sum
+/// is ≤ the end-to-end latency (the remainder is bookkeeping between
+/// stages).  Batch-level stages (`plan_ns`, `forward_ns`) are shared by
+/// every request in the batch and attributed in full to each.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RequestStages {
+    /// Admission → a worker dequeued the job.
+    pub batch_wait_ns: u64,
+    /// Plan-cache lookup (miss: plan + quantize) for the job's batch.
+    pub plan_ns: u64,
+    /// Decompressing this job's own payload.
+    pub decompress_ns: u64,
+    /// The batched forward pass the job shared.
+    pub forward_ns: u64,
+    /// Forward-pass end → this job's response was fulfilled.
+    pub respond_ns: u64,
+}
+
+impl RequestStages {
+    /// Total attributed time; ≤ the response's end-to-end latency.
+    pub fn sum_ns(&self) -> u64 {
+        self.batch_wait_ns + self.plan_ns + self.decompress_ns + self.forward_ns + self.respond_ns
+    }
+}
+
+/// Per-stage latency histograms plus bound-certification counters.
+///
+/// Per-job stages (`batch_wait`, `decompress`, `respond`) record one
+/// observation per job; batch-level stages (`plan`, `forward`) record one
+/// per batch, so their counts equal the batch count, not the job count.
+#[derive(Debug)]
+pub struct StageStats {
+    /// Admission → dequeue, per job.
+    pub batch_wait: MirroredHistogram,
+    /// Plan-cache lookup, per batch.
+    pub plan: MirroredHistogram,
+    /// Payload decompression, per job.
+    pub decompress: MirroredHistogram,
+    /// Batched forward pass, per batch.
+    pub forward: MirroredHistogram,
+    /// Forward end → response fulfilled, per job.
+    pub respond: MirroredHistogram,
+    /// Responses whose certified bound was ≤ the plan tolerance.
+    pub bound_pass: ScopedCounter,
+    /// Responses whose certified bound exceeded the plan tolerance (a
+    /// broken certificate — must stay 0).
+    pub bound_fail: ScopedCounter,
+}
+
+impl Default for StageStats {
+    fn default() -> Self {
+        StageStats {
+            batch_wait: MirroredHistogram::new("serve.stage.batch_wait_ns"),
+            plan: MirroredHistogram::new("serve.stage.plan_ns"),
+            decompress: MirroredHistogram::new("serve.stage.decompress_ns"),
+            forward: MirroredHistogram::new("serve.stage.forward_ns"),
+            respond: MirroredHistogram::new("serve.stage.respond_ns"),
+            bound_pass: ScopedCounter::new("serve.bound_pass"),
+            bound_fail: ScopedCounter::new("serve.bound_fail"),
+        }
+    }
+}
+
+impl StageStats {
+    /// Point-in-time per-stage summaries.
+    pub fn breakdown(&self) -> StageBreakdown {
+        StageBreakdown {
+            batch_wait: self.batch_wait.summary(),
+            plan: self.plan.summary(),
+            decompress: self.decompress.summary(),
+            forward: self.forward.summary(),
+            respond: self.respond.summary(),
+        }
+    }
+}
+
+/// Snapshot of the per-stage latency distributions (microseconds).
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
-pub struct LatencySummary {
-    /// Number of observations.
-    pub count: u64,
-    /// Smallest observed latency.
-    pub min_us: f64,
-    /// Largest observed latency.
-    pub max_us: f64,
-    /// Arithmetic mean.
-    pub mean_us: f64,
-    /// Median (histogram-approximate).
-    pub p50_us: f64,
-    /// 99th percentile (histogram-approximate).
-    pub p99_us: f64,
+pub struct StageBreakdown {
+    /// Admission → dequeue, per job.
+    pub batch_wait: LatencySummary,
+    /// Plan-cache lookup, per batch.
+    pub plan: LatencySummary,
+    /// Payload decompression, per job.
+    pub decompress: LatencySummary,
+    /// Batched forward pass, per batch.
+    pub forward: LatencySummary,
+    /// Forward end → response fulfilled, per job.
+    pub respond: LatencySummary,
 }
 
-/// Live server counters (all relaxed atomics; written on hot paths).
-#[derive(Debug, Default)]
+/// Live server counters.  Every counter is per-instance and mirrored into
+/// the `serve.*` registry metrics (process totals) for exposition.
+#[derive(Debug)]
 pub struct ServerStats {
     /// Requests admitted into the queue.
-    pub submitted: AtomicU64,
+    pub submitted: ScopedCounter,
     /// Requests rejected with `QueueFull` by admission control.
-    pub rejected: AtomicU64,
+    pub rejected: ScopedCounter,
     /// Requests completed successfully.
-    pub completed: AtomicU64,
+    pub completed: ScopedCounter,
     /// Requests that failed during processing.
-    pub failed: AtomicU64,
+    pub failed: ScopedCounter,
     /// Batched forward passes executed.
-    pub batches: AtomicU64,
+    pub batches: ScopedCounter,
     /// Jobs carried by those batches (`batched_jobs / batches` = mean
     /// coalescing factor).
-    pub batched_jobs: AtomicU64,
+    pub batched_jobs: ScopedCounter,
     /// Wall time spent decompressing request payloads, in nanoseconds.
-    pub decomp_ns: AtomicU64,
+    pub decomp_ns: ScopedCounter,
     /// Compressed bytes fed into payload decompression.
-    pub decomp_bytes_in: AtomicU64,
+    pub decomp_bytes_in: ScopedCounter,
     /// Decompressed bytes produced (values × 4).
-    pub decomp_bytes_out: AtomicU64,
+    pub decomp_bytes_out: ScopedCounter,
     /// End-to-end request latency (enqueue → response).
-    pub latency: LatencyHistogram,
+    pub latency: MirroredHistogram,
+    /// Per-stage latency breakdown and bound-certification counters.
+    pub stages: StageStats,
+}
+
+impl Default for ServerStats {
+    fn default() -> Self {
+        ServerStats {
+            submitted: ScopedCounter::new("serve.submitted"),
+            rejected: ScopedCounter::new("serve.rejected"),
+            completed: ScopedCounter::new("serve.completed"),
+            failed: ScopedCounter::new("serve.failed"),
+            batches: ScopedCounter::new("serve.batches"),
+            batched_jobs: ScopedCounter::new("serve.batched_jobs"),
+            decomp_ns: ScopedCounter::new("serve.decomp_ns"),
+            decomp_bytes_in: ScopedCounter::new("serve.decomp_bytes_in"),
+            decomp_bytes_out: ScopedCounter::new("serve.decomp_bytes_out"),
+            latency: MirroredHistogram::new("serve.latency_ns"),
+            stages: StageStats::default(),
+        }
+    }
 }
 
 impl ServerStats {
-    #[inline]
-    pub(crate) fn bump(counter: &AtomicU64) {
-        counter.fetch_add(1, Ordering::Relaxed);
-    }
-
     pub(crate) fn note_batch(&self, jobs: usize) {
-        self.batches.fetch_add(1, Ordering::Relaxed);
-        self.batched_jobs.fetch_add(jobs as u64, Ordering::Relaxed);
+        self.batches.inc();
+        self.batched_jobs.add(jobs as u64);
     }
 
     pub(crate) fn note_decomp(&self, ns: u64, bytes_in: u64, bytes_out: u64) {
-        self.decomp_ns.fetch_add(ns, Ordering::Relaxed);
-        self.decomp_bytes_in.fetch_add(bytes_in, Ordering::Relaxed);
-        self.decomp_bytes_out
-            .fetch_add(bytes_out, Ordering::Relaxed);
+        self.decomp_ns.add(ns);
+        self.decomp_bytes_in.add(bytes_in);
+        self.decomp_bytes_out.add(bytes_out);
     }
 }
 
@@ -181,13 +237,23 @@ pub struct StatsSnapshot {
     pub decomp_bytes_in: u64,
     /// Decompressed bytes produced (values × 4).
     pub decomp_bytes_out: u64,
-    /// Codec scratch-pool hits since process start (process-wide — the
-    /// pool is shared by every compressor in the process).
+    /// Codec scratch-pool hits **since this server was built** (the pool
+    /// itself is process-wide and shared by every compressor; the snapshot
+    /// reports the delta over this server's lifetime so concurrent servers
+    /// don't read each other's traffic as their own).
     pub scratch_hits: u64,
-    /// Codec scratch-pool misses since process start.
+    /// Codec scratch-pool misses since this server was built (delta, as
+    /// with `scratch_hits`).
     pub scratch_misses: u64,
+    /// Responses whose certified bound was ≤ the plan tolerance.
+    pub bound_pass: u64,
+    /// Responses whose certified bound exceeded the plan tolerance (must
+    /// stay 0; a nonzero value is a broken certificate).
+    pub bound_fail: u64,
     /// Latency distribution snapshot.
     pub latency: LatencySummary,
+    /// Per-stage latency breakdown.
+    pub stages: StageBreakdown,
 }
 
 impl StatsSnapshot {
@@ -220,8 +286,9 @@ impl StatsSnapshot {
         }
     }
 
-    /// `scratch_hits / (scratch_hits + scratch_misses)`, or 0 before any
-    /// acquisition.  Near 1.0 once the codec scratch pool is warm.
+    /// `scratch_hits / (scratch_hits + scratch_misses)` over this server's
+    /// lifetime, or 0 before any acquisition.  Near 1.0 once the codec
+    /// scratch pool is warm.
     pub fn scratch_hit_rate(&self) -> f64 {
         let t = self.scratch_hits + self.scratch_misses;
         if t == 0 {
@@ -236,6 +303,29 @@ impl StatsSnapshot {
 mod tests {
     use super::*;
     use std::time::Duration;
+
+    fn zero_snapshot() -> StatsSnapshot {
+        StatsSnapshot {
+            submitted: 0,
+            rejected: 0,
+            completed: 0,
+            failed: 0,
+            batches: 0,
+            batched_jobs: 0,
+            queue_depth: 0,
+            cache_hits: 0,
+            cache_misses: 0,
+            decomp_ns: 0,
+            decomp_bytes_in: 0,
+            decomp_bytes_out: 0,
+            scratch_hits: 0,
+            scratch_misses: 0,
+            bound_pass: 0,
+            bound_fail: 0,
+            latency: LatencySummary::default(),
+            stages: StageBreakdown::default(),
+        }
+    }
 
     #[test]
     fn empty_histogram_summarises_to_zero() {
@@ -294,15 +384,53 @@ mod tests {
     }
 
     #[test]
+    fn mirrored_histogram_is_instance_scoped() {
+        let a = MirroredHistogram::new("test.serve.stats.mirrored");
+        let b = MirroredHistogram::new("test.serve.stats.mirrored");
+        a.record_ns(1000);
+        a.record_ns(2000);
+        b.record_ns(500);
+        assert_eq!(a.count(), 2, "instance A sees only its own records");
+        assert_eq!(b.count(), 1);
+        // The registry histogram accumulated all three.
+        assert!(errflow_obs::histogram("test.serve.stats.mirrored").count() >= 3);
+    }
+
+    #[test]
+    fn server_stats_counters_are_per_instance() {
+        let a = ServerStats::default();
+        let b = ServerStats::default();
+        a.submitted.inc();
+        a.note_batch(3);
+        b.submitted.add(5);
+        assert_eq!(a.submitted.get(), 1);
+        assert_eq!(b.submitted.get(), 5);
+        assert_eq!(a.batches.get(), 1);
+        assert_eq!(a.batched_jobs.get(), 3);
+        assert_eq!(b.batches.get(), 0);
+    }
+
+    #[test]
+    fn request_stages_sum() {
+        let s = RequestStages {
+            batch_wait_ns: 10,
+            plan_ns: 20,
+            decompress_ns: 30,
+            forward_ns: 40,
+            respond_ns: 50,
+        };
+        assert_eq!(s.sum_ns(), 150);
+        assert_eq!(RequestStages::default().sum_ns(), 0);
+    }
+
+    #[test]
     fn snapshot_derived_metrics() {
         let snap = StatsSnapshot {
             submitted: 10,
             rejected: 2,
             completed: 10,
-            failed: 0,
             batches: 4,
             batched_jobs: 10,
-            queue_depth: 0,
             cache_hits: 9,
             cache_misses: 1,
             decomp_ns: 1_000_000,
@@ -310,7 +438,8 @@ mod tests {
             decomp_bytes_out: 4_000_000,
             scratch_hits: 30,
             scratch_misses: 10,
-            latency: LatencySummary::default(),
+            bound_pass: 10,
+            ..zero_snapshot()
         };
         assert!((snap.cache_hit_rate() - 0.9).abs() < 1e-12);
         assert!((snap.mean_batch_size() - 2.5).abs() < 1e-12);
@@ -321,23 +450,7 @@ mod tests {
 
     #[test]
     fn zeroed_snapshot_rates_are_zero() {
-        let snap = StatsSnapshot {
-            submitted: 0,
-            rejected: 0,
-            completed: 0,
-            failed: 0,
-            batches: 0,
-            batched_jobs: 0,
-            queue_depth: 0,
-            cache_hits: 0,
-            cache_misses: 0,
-            decomp_ns: 0,
-            decomp_bytes_in: 0,
-            decomp_bytes_out: 0,
-            scratch_hits: 0,
-            scratch_misses: 0,
-            latency: LatencySummary::default(),
-        };
+        let snap = zero_snapshot();
         assert_eq!(snap.decomp_gbps(), 0.0);
         assert_eq!(snap.scratch_hit_rate(), 0.0);
         assert_eq!(snap.cache_hit_rate(), 0.0);

@@ -1,0 +1,64 @@
+//! Overhead guard: span tracing must cost < 3% of serve throughput.
+//!
+//! Tracing is toggled at runtime (`errflow_obs::trace::set_enabled`) and
+//! the same binary drives identical loadgen runs with it on and off,
+//! interleaved.  Comparing the *minimum* wall time of each arm filters
+//! scheduler noise (noise is additive, so the minimum is the cleanest
+//! estimate of true cost).  With `--features obs-off` the recording paths
+//! compile to no-ops and the guard holds trivially.
+
+use errflow_nn::{Activation, Mlp};
+use errflow_serve::{run_loadgen, LoadgenConfig, ServeConfig, Server};
+
+fn tiny_model() -> Mlp {
+    Mlp::new(&[4, 16, 2], Activation::Tanh, Activation::Identity, 3, None)
+}
+
+fn calibration(n: usize) -> Vec<Vec<f32>> {
+    let mut rng = errflow_tensor::rng::StdRng::seed_from_u64(17);
+    (0..n)
+        .map(|_| (0..4).map(|_| rng.gen_range(-1.0f32..1.0)).collect())
+        .collect()
+}
+
+#[test]
+fn tracing_overhead_is_under_three_percent() {
+    let server = Server::new(
+        tiny_model(),
+        calibration(8),
+        ServeConfig {
+            workers: 2,
+            ..ServeConfig::default()
+        },
+    );
+    let cfg = LoadgenConfig {
+        clients: 2,
+        requests_per_client: 60,
+        samples_per_request: 16,
+        tolerances: vec![1e-2],
+        seed: 42,
+        ..LoadgenConfig::default()
+    };
+    // Warm up: plan cache, scratch pool, thread pool, allocator.
+    run_loadgen(&server, &cfg);
+
+    let rounds = 5;
+    let mut best_off = f64::INFINITY;
+    let mut best_on = f64::INFINITY;
+    for _ in 0..rounds {
+        errflow_obs::trace::set_enabled(false);
+        best_off = best_off.min(run_loadgen(&server, &cfg).wall_secs);
+        errflow_obs::trace::set_enabled(true);
+        best_on = best_on.min(run_loadgen(&server, &cfg).wall_secs);
+        // Keep the ring buffers from growing run over run.
+        errflow_obs::trace::clear();
+    }
+    errflow_obs::trace::set_enabled(true);
+
+    let ratio = best_on / best_off;
+    assert!(
+        ratio < 1.03,
+        "tracing overhead too high: enabled {best_on:.6}s vs disabled {best_off:.6}s \
+         (ratio {ratio:.4}, limit 1.03)"
+    );
+}

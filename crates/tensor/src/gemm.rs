@@ -409,6 +409,10 @@ fn gemm_dispatch(
         gemm_simple(m, n, k, a, b, c);
         return;
     }
+    // Only blocked products get a span: small GEMMs return above without
+    // touching the tracer, so per-sample matvec chains stay unobserved
+    // rather than flooding the ring buffers.
+    let _span = errflow_obs::trace::span("tensor.gemm");
     match kernel_kind() {
         #[cfg(target_arch = "x86_64")]
         KernelKind::Avx2Fma => {

@@ -70,10 +70,16 @@ impl Job {
         // `finished == n_tasks`, and we bump `finished` only after `f`
         // returns.
         let f = unsafe { &*self.f.0 };
+        // One span per participating thread per job, opened lazily so a
+        // worker that finds the counter already exhausted records nothing.
+        let mut span = None;
         loop {
             let i = self.next.fetch_add(1, Ordering::Relaxed);
             if i >= self.n_tasks {
                 return;
+            }
+            if span.is_none() {
+                span = Some(errflow_obs::trace::span("pool.job"));
             }
             if std::panic::catch_unwind(AssertUnwindSafe(|| f(i))).is_err() {
                 self.panicked.store(true, Ordering::Relaxed);

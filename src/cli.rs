@@ -94,6 +94,11 @@ pub enum Command {
         mix: usize,
         /// RNG seed.
         seed: u64,
+        /// Smoke mode: shrink the run and fail unless the per-stage
+        /// breakdown recorded observations (CI's obs health check).
+        smoke: bool,
+        /// Write a chrome://tracing trace-event JSON of the run here.
+        trace_out: Option<String>,
     },
     /// Print usage.
     Help,
@@ -122,6 +127,8 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
     let mut batch = 16usize;
     let mut samples = 64usize;
     let mut mix = 1usize;
+    let mut smoke = false;
+    let mut trace_out: Option<String> = None;
     // serve-bench defaults to a loose tolerance; `plan`/`run` keep 1e-3.
     let serve_bench = cmd == "serve-bench";
     if serve_bench {
@@ -206,6 +213,8 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                     .map_err(|e| format!("--samples: {e}"))?
             }
             "--mix" => mix = value("--mix")?.parse().map_err(|e| format!("--mix: {e}"))?,
+            "--smoke" => smoke = true,
+            "--trace-out" => trace_out = Some(value("--trace-out")?.clone()),
             other => return Err(format!("unknown flag: {other}")),
         }
     }
@@ -246,6 +255,8 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
             samples,
             mix,
             seed,
+            smoke,
+            trace_out,
         }),
         other => Err(format!("unknown command: {other}")),
     }
@@ -261,12 +272,16 @@ USAGE:
   errflow-cli run     --task <...> --tol <rel> --backend <sz|zfp|mgard> [--norm linf|l2] [--share F] [--seed N]
   errflow-cli serve-bench [--task <...>] [--tol <rel>] [--norm linf|l2] [--share F] [--backend <...>]
                           [--clients N] [--requests M] [--workers N] [--queue-cap N] [--batch N]
-                          [--samples N] [--mix K] [--seed N]
+                          [--samples N] [--mix K] [--seed N] [--smoke] [--trace-out FILE]
   errflow-cli help
 
 serve-bench drives the in-process inference server with N closed-loop
 clients submitting M requests each and prints a JSON summary (throughput,
-latency percentiles, plan-cache hit rate, certified-bound check).
+latency percentiles, per-stage breakdown, plan-cache hit rate,
+certified-bound check).  --smoke shrinks the run and fails unless the
+stage breakdown recorded observations; --trace-out writes a
+chrome://tracing trace-event JSON of the run (load it at chrome://tracing
+or https://ui.perfetto.dev).
 ";
 
 fn backend_by_name(name: &str) -> Result<Box<dyn Compressor>, String> {
@@ -404,6 +419,8 @@ pub fn run(cmd: Command) -> i32 {
             samples,
             mix,
             seed,
+            smoke,
+            trace_out,
         } => {
             let backend = match BackendKind::parse(&backend) {
                 Ok(b) => b,
@@ -416,6 +433,12 @@ pub fn run(cmd: Command) -> i32 {
                 eprintln!("--clients, --requests, --workers, and --mix must be positive");
                 return 2;
             }
+            // Smoke mode: a fast run that still exercises every stage.
+            let (clients, requests, samples) = if smoke {
+                (clients.min(2), requests.min(8), samples.min(16))
+            } else {
+                (clients, requests, samples)
+            };
             let t = SyntheticTask::of_kind_small(task, seed);
             eprintln!(
                 "serve-bench: training {} model, then {clients} clients x {requests} requests...",
@@ -455,6 +478,35 @@ pub fn run(cmd: Command) -> i32 {
                 },
             );
             println!("{}", summary.to_json());
+            if let Some(path) = trace_out {
+                let trace = crate::obs::trace::export_chrome_trace();
+                match std::fs::write(&path, trace) {
+                    Ok(()) => eprintln!("trace written to {path}"),
+                    Err(e) => {
+                        eprintln!("failed to write trace to {path}: {e}");
+                        return 2;
+                    }
+                }
+            }
+            if smoke {
+                // CI health check: the observability surface must have seen
+                // the run — every stage histogram populated and every
+                // completed response bound-certified.
+                let s = &summary.stages;
+                let stages_ok = s.batch_wait.count > 0
+                    && s.plan.count > 0
+                    && s.decompress.count > 0
+                    && s.forward.count > 0
+                    && s.respond.count > 0;
+                let bounds_ok = summary.bound_pass > 0 && summary.bound_fail == 0;
+                eprintln!(
+                    "smoke: stage breakdown populated = {stages_ok}, \
+                     bound certification counters ok = {bounds_ok}"
+                );
+                if !(stages_ok && bounds_ok) {
+                    return 3;
+                }
+            }
             i32::from(!summary.all_bounds_certified)
         }
     }
@@ -591,6 +643,30 @@ mod tests {
             _ => panic!("wrong command"),
         }
         assert!(parse_args(&args("serve-bench --clients nope")).is_err());
+    }
+
+    #[test]
+    fn parse_serve_bench_obs_flags() {
+        let c = parse_args(&args("serve-bench --smoke --trace-out /tmp/trace.json")).unwrap();
+        match c {
+            Command::ServeBench {
+                smoke, trace_out, ..
+            } => {
+                assert!(smoke);
+                assert_eq!(trace_out.as_deref(), Some("/tmp/trace.json"));
+            }
+            _ => panic!("wrong command"),
+        }
+        match parse_args(&args("serve-bench")).unwrap() {
+            Command::ServeBench {
+                smoke, trace_out, ..
+            } => {
+                assert!(!smoke);
+                assert_eq!(trace_out, None);
+            }
+            _ => panic!("wrong command"),
+        }
+        assert!(parse_args(&args("serve-bench --trace-out")).is_err());
     }
 
     #[test]
