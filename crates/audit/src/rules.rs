@@ -390,13 +390,15 @@ fn rule_unchecked_contract(ctx: &FileCtx, out: &mut Vec<Finding>) {
 }
 
 /// Rule 3 (ratcheted): no `.unwrap()` / `.expect(..)` / `panic!` in library
-/// request/decode paths — `serve/src`, `compress/src`, and `obs/src`
-/// (observability must never take a server down), tests and bins excluded.
-/// Sites may be waived with `// audit:allow(no-panic) reason`.
+/// request/decode paths — `serve/src`, `compress/src`, `obs/src`
+/// (observability must never take a server down), and `net/src` (frame
+/// parsers face untrusted bytes), tests and bins excluded.  Sites may be
+/// waived with `// audit:allow(no-panic) reason`.
 fn rule_no_panic(ctx: &FileCtx, out: &mut Vec<Finding>) {
     let scoped = ctx.rel.starts_with("crates/serve/src")
         || ctx.rel.starts_with("crates/compress/src")
-        || ctx.rel.starts_with("crates/obs/src");
+        || ctx.rel.starts_with("crates/obs/src")
+        || ctx.rel.starts_with("crates/net/src");
     if !scoped || ctx.class != FileClass::Lib {
         return;
     }

@@ -68,6 +68,18 @@ fn library_unwrap_fires_no_panic_rule_once() {
 }
 
 #[test]
+fn net_crate_is_in_no_panic_scope() {
+    // The wire-protocol frontend parses untrusted bytes; its library code
+    // is held to the same no-panic standard as serve/compress/obs.
+    let src = include_str!("fixtures/bad_panic.rs");
+    only_rule(
+        &audit_source("crates/net/src/fixture.rs", src),
+        RULE_NO_PANIC,
+    );
+    assert!(audit_source("crates/net/tests/fixture.rs", src).is_empty());
+}
+
+#[test]
 fn clean_fixture_has_zero_findings() {
     let src = include_str!("fixtures/clean.rs");
     for path in [COMPRESS_PATH, SERVE_PATH, "crates/tensor/src/fixture.rs"] {

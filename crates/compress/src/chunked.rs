@@ -47,14 +47,22 @@ pub struct ChunkedCompressor<C> {
 }
 
 impl<C: Compressor> ChunkedCompressor<C> {
-    /// Wraps `inner` with the default chunk size and the shared workspace
-    /// pool's configured concurrency — which honours the `ERRFLOW_THREADS`
-    /// override, so one env knob governs every parallel path consistently.
+    /// Wraps `inner` with the default chunk size and a thread count sized
+    /// for throughput: the shared pool's concurrency (which honours the
+    /// `ERRFLOW_THREADS` override, so one env knob governs every parallel
+    /// path) clamped to the machine's real parallelism.  The clamp matters
+    /// on small hosts — the pool floors itself at 4 threads to keep
+    /// concurrency paths exercised, but fanning a decode out 4-wide on a
+    /// 1-core box measures pure oversubscription (the flat 1.09× chunked
+    /// scaling recorded in `BENCH_compress.json`).
     pub fn new(inner: C) -> Self {
         ChunkedCompressor {
             inner,
             chunk_values: DEFAULT_CHUNK,
-            threads: errflow_tensor::pool::global().max_concurrency(),
+            threads: errflow_tensor::pool::global()
+                .max_concurrency()
+                .min(errflow_tensor::pool::hardware_threads())
+                .max(1),
         }
     }
 
@@ -481,12 +489,17 @@ mod tests {
     }
 
     #[test]
-    fn default_threads_follow_shared_pool() {
-        // The satellite fix: `new()` derives its worker count from the
-        // shared workspace pool (ERRFLOW_THREADS-aware), not from
-        // `available_parallelism` directly.
+    fn default_threads_follow_shared_pool_clamped_to_hardware() {
+        // `new()` derives its worker count from the shared workspace pool
+        // (ERRFLOW_THREADS-aware) but clamps to the machine's real
+        // parallelism: the pool's 4-thread exercise floor must not make a
+        // 1-core host fan decodes out 4-wide (that oversubscription was
+        // the flat 1.09× chunked scaling in BENCH_compress.json).
         let c = ChunkedCompressor::new(SzCompressor::default());
-        assert_eq!(c.threads, errflow_tensor::pool::global().max_concurrency());
+        let pool_cap = errflow_tensor::pool::global().max_concurrency();
+        let hw = errflow_tensor::pool::hardware_threads();
+        assert_eq!(c.threads, pool_cap.min(hw).max(1));
+        assert!(c.threads <= pool_cap);
     }
 
     #[test]

@@ -1,0 +1,127 @@
+//! Blocking wire-protocol client for the errflow-net frontend.
+//!
+//! One [`NetClient`] owns one TCP connection and issues requests
+//! synchronously: encode → write → read exactly one reply frame.  The
+//! load generator runs many clients on closed-loop threads; applications
+//! embedding the client get typed errors ([`NetError`]) including the
+//! server's own error frames, whose `retryable` flag distinguishes
+//! backpressure ([`crate::proto::ErrorCode::QueueFull`]) from hard
+//! failures.
+
+use crate::proto::{
+    self, ErrorFrame, FrameHeader, FrameType, ProtoError, RequestFrame, ResponseFrame, HEADER_LEN,
+};
+use std::io::{ErrorKind, Read, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+/// Anything a request can fail with on the client side.
+#[derive(Debug)]
+pub enum NetError {
+    /// Socket-level failure (connect, read, write, timeout).
+    Io(std::io::Error),
+    /// The server's reply did not parse.
+    Proto(ProtoError),
+    /// The server answered with a typed error frame.
+    Server(ErrorFrame),
+}
+
+impl NetError {
+    /// True for transient conditions worth retrying (backpressure).
+    pub fn retryable(&self) -> bool {
+        match self {
+            NetError::Server(e) => e.retryable,
+            _ => false,
+        }
+    }
+}
+
+impl std::fmt::Display for NetError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NetError::Io(e) => write!(f, "io error: {e}"),
+            NetError::Proto(e) => write!(f, "protocol error: {e}"),
+            NetError::Server(e) => write!(f, "server error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for NetError {}
+
+impl From<std::io::Error> for NetError {
+    fn from(e: std::io::Error) -> Self {
+        NetError::Io(e)
+    }
+}
+
+impl From<ProtoError> for NetError {
+    fn from(e: ProtoError) -> Self {
+        NetError::Proto(e)
+    }
+}
+
+/// A synchronous connection to a [`crate::server::NetServer`].
+#[derive(Debug)]
+pub struct NetClient {
+    stream: TcpStream,
+}
+
+impl NetClient {
+    /// Connects (blocking) with Nagle disabled — frames are latency-bound.
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> Result<Self, NetError> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(NetClient { stream })
+    }
+
+    /// Bounds each blocking read; `None` waits indefinitely.
+    pub fn set_read_timeout(&self, t: Option<Duration>) -> Result<(), NetError> {
+        self.stream.set_read_timeout(t)?;
+        Ok(())
+    }
+
+    /// Sends one request and blocks for its reply.  A server error frame
+    /// comes back as [`NetError::Server`] — check
+    /// [`NetError::retryable`] before giving up, backpressure
+    /// (`QueueFull`) keeps the connection usable.
+    pub fn request(&mut self, req: &RequestFrame) -> Result<ResponseFrame, NetError> {
+        let bytes = proto::encode_request(req)?;
+        self.stream.write_all(&bytes)?;
+        let (header, body) = self.read_frame()?;
+        match header.frame_type {
+            FrameType::Response => Ok(proto::decode_response(&body)?),
+            FrameType::Error => Err(NetError::Server(proto::decode_error(&body)?)),
+            FrameType::Request => Err(NetError::Proto(ProtoError::Corrupt(
+                "server sent a request frame".to_string(),
+            ))),
+        }
+    }
+
+    fn read_frame(&mut self) -> Result<(FrameHeader, Vec<u8>), NetError> {
+        let mut head = [0u8; HEADER_LEN];
+        read_full(&mut self.stream, &mut head)?;
+        let header = proto::parse_header(&head)?;
+        let mut body = vec![0u8; header.body_len];
+        read_full(&mut self.stream, &mut body)?;
+        Ok((header, body))
+    }
+}
+
+/// `read_exact` that retries `Interrupted` and maps EOF to a clean error.
+fn read_full(stream: &mut TcpStream, buf: &mut [u8]) -> Result<(), NetError> {
+    let mut got = 0usize;
+    while got < buf.len() {
+        match stream.read(&mut buf[got..]) {
+            Ok(0) => {
+                return Err(NetError::Io(std::io::Error::new(
+                    ErrorKind::UnexpectedEof,
+                    "server closed mid-frame",
+                )))
+            }
+            Ok(n) => got += n,
+            Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+            Err(e) => return Err(NetError::Io(e)),
+        }
+    }
+    Ok(())
+}

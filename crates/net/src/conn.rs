@@ -1,0 +1,360 @@
+//! Per-connection state machine: incremental frame reassembly over a
+//! nonblocking socket, partial-write buffering, and idle tracking.
+//!
+//! A [`Conn`] owns one nonblocking [`TcpStream`].  The io loop drives it
+//! with readiness events: [`Conn::on_readable`] pulls whatever bytes the
+//! kernel has and returns the complete frames they finish (a frame may
+//! arrive over many reads — partial headers and bodies are buffered);
+//! [`Conn::flush`] pushes pending output until the kernel would block.
+//! Nothing here blocks, parses past a declared length, or panics on
+//! malformed input — framing errors surface as [`ConnEvent::Malformed`].
+
+use crate::proto::{self, FrameHeader, ProtoError, RequestFrame, HEADER_LEN};
+use std::io::{ErrorKind, Read, Write};
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+/// Bytes pulled from the kernel per `read` call.
+const READ_CHUNK: usize = 16 * 1024;
+
+/// What a readable event produced.
+#[derive(Debug)]
+pub enum ConnEvent {
+    /// A complete, well-formed request frame, plus the ingress interval
+    /// (first byte of this frame seen → frame decoded).
+    Request {
+        /// The decoded request.
+        frame: RequestFrame,
+        /// Frame read + decode time.
+        ingress: Duration,
+    },
+    /// The stream produced an unparsable frame.  The caller should send a
+    /// typed error frame and close once it flushes — framing is lost.
+    Malformed(ProtoError),
+    /// Peer closed its write side (EOF) or the socket errored.
+    Closed,
+}
+
+/// One client connection.
+#[derive(Debug)]
+pub struct Conn {
+    stream: TcpStream,
+    /// Unparsed input bytes (partial header or body).
+    buf: Vec<u8>,
+    /// Parsed header of the frame whose body is still arriving.
+    pending: Option<FrameHeader>,
+    /// When the first byte of the in-progress frame was seen.
+    frame_start: Option<Instant>,
+    /// Encoded output not yet accepted by the kernel.
+    out: Vec<u8>,
+    /// Prefix of `out` already written.
+    out_pos: usize,
+    /// Last read or write activity (idle-timeout bookkeeping).
+    last_activity: Instant,
+    /// Requests submitted whose completions have not yet been encoded.
+    pub inflight: usize,
+    /// Socket is gone (EOF/error) but the slot lingers until `inflight`
+    /// completions have drained.
+    pub dead: bool,
+    /// Close once `out` drains (set after a malformed-frame error frame).
+    pub close_after_flush: bool,
+}
+
+impl Conn {
+    /// Wraps an accepted stream (made nonblocking here).
+    pub fn new(stream: TcpStream) -> std::io::Result<Self> {
+        stream.set_nonblocking(true)?;
+        stream.set_nodelay(true)?;
+        Ok(Conn {
+            stream,
+            buf: Vec::new(),
+            pending: None,
+            frame_start: None,
+            out: Vec::new(),
+            out_pos: 0,
+            last_activity: Instant::now(),
+            inflight: 0,
+            dead: false,
+            close_after_flush: false,
+        })
+    }
+
+    /// The raw descriptor for readiness polling.
+    #[cfg(unix)]
+    pub fn fd(&self) -> i32 {
+        use std::os::unix::io::AsRawFd;
+        self.stream.as_raw_fd()
+    }
+
+    /// Non-Unix fallback: the sleepy poller ignores descriptors.
+    #[cfg(not(unix))]
+    pub fn fd(&self) -> i32 {
+        0
+    }
+
+    /// Unsent output bytes are pending.
+    pub fn wants_write(&self) -> bool {
+        self.out_pos < self.out.len()
+    }
+
+    /// How long the connection has been idle.
+    pub fn idle_for(&self, now: Instant) -> Duration {
+        now.duration_since(self.last_activity)
+    }
+
+    /// Reads everything the kernel has and returns the events the bytes
+    /// complete.  After a [`ConnEvent::Malformed`] no further parsing is
+    /// attempted (framing is unsynchronized); after [`ConnEvent::Closed`]
+    /// the socket is done.
+    pub fn on_readable(&mut self) -> Vec<ConnEvent> {
+        let mut events = Vec::new();
+        let mut chunk = [0u8; READ_CHUNK];
+        loop {
+            match self.stream.read(&mut chunk) {
+                Ok(0) => {
+                    // Mid-frame disconnect: any partial frame is dropped on
+                    // the floor by design — there is nobody to answer.
+                    events.push(ConnEvent::Closed);
+                    break;
+                }
+                Ok(n) => {
+                    self.last_activity = Instant::now();
+                    if self.buf.is_empty() && self.frame_start.is_none() {
+                        self.frame_start = Some(Instant::now());
+                    }
+                    self.buf.extend_from_slice(&chunk[..n]);
+                    if !self.drain_frames(&mut events) {
+                        break; // malformed: stop reading this connection
+                    }
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    events.push(ConnEvent::Closed);
+                    break;
+                }
+            }
+        }
+        events
+    }
+
+    /// Parses as many complete frames as `buf` holds.  Returns `false`
+    /// once a malformed frame stops the connection.
+    fn drain_frames(&mut self, events: &mut Vec<ConnEvent>) -> bool {
+        loop {
+            let header = match self.pending {
+                Some(h) => h,
+                None => {
+                    if self.buf.len() < HEADER_LEN {
+                        return true; // partial header: wait for more bytes
+                    }
+                    match proto::parse_header(&self.buf[..HEADER_LEN]) {
+                        Ok(h) => {
+                            self.pending = Some(h);
+                            h
+                        }
+                        Err(e) => {
+                            events.push(ConnEvent::Malformed(e));
+                            return false;
+                        }
+                    }
+                }
+            };
+            if self.buf.len() < HEADER_LEN + header.body_len {
+                return true; // partial body: wait for more bytes
+            }
+            let body = &self.buf[HEADER_LEN..HEADER_LEN + header.body_len];
+            let event = match header.frame_type {
+                proto::FrameType::Request => match proto::decode_request(body) {
+                    Ok(frame) => ConnEvent::Request {
+                        frame,
+                        ingress: self.frame_start.map_or(Duration::ZERO, |t0| t0.elapsed()),
+                    },
+                    Err(e) => ConnEvent::Malformed(e),
+                },
+                // Clients must not send response/error frames.
+                other => ConnEvent::Malformed(ProtoError::Corrupt(format!(
+                    "unexpected {other:?} frame from client"
+                ))),
+            };
+            let malformed = matches!(event, ConnEvent::Malformed(_));
+            events.push(event);
+            self.buf.drain(..HEADER_LEN + header.body_len);
+            self.pending = None;
+            self.frame_start = if self.buf.is_empty() {
+                None
+            } else {
+                Some(Instant::now())
+            };
+            if malformed {
+                return false;
+            }
+        }
+    }
+
+    /// Queues encoded frame bytes for writing (call [`Conn::flush`] after).
+    pub fn queue(&mut self, bytes: &[u8]) {
+        // Compact lazily: drop the already-written prefix when it dominates.
+        if self.out_pos > 0 && self.out_pos * 2 >= self.out.len() {
+            self.out.drain(..self.out_pos);
+            self.out_pos = 0;
+        }
+        self.out.extend_from_slice(bytes);
+    }
+
+    /// Writes pending output until done or the kernel would block.
+    /// Returns `Ok(true)` when the buffer fully drained.
+    pub fn flush(&mut self) -> std::io::Result<bool> {
+        while self.out_pos < self.out.len() {
+            match self.stream.write(&self.out[self.out_pos..]) {
+                Ok(0) => {
+                    return Err(std::io::Error::new(
+                        ErrorKind::WriteZero,
+                        "socket accepted no bytes",
+                    ))
+                }
+                Ok(n) => {
+                    self.out_pos += n;
+                    self.last_activity = Instant::now();
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => return Ok(false),
+                Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e),
+            }
+        }
+        self.out.clear();
+        self.out_pos = 0;
+        Ok(true)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use errflow_pipeline::planner::PayloadLayout;
+    use errflow_tensor::norms::Norm;
+    use std::net::TcpListener;
+
+    fn pair() -> (TcpStream, Conn) {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let tx = TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+        let (rx, _) = listener.accept().unwrap();
+        (tx, Conn::new(rx).unwrap())
+    }
+
+    fn sample_frame() -> Vec<u8> {
+        proto::encode_request(&RequestFrame {
+            model_id: 0,
+            rel_tolerance: 1e-2,
+            norm: Norm::L2,
+            layout: PayloadLayout::FeatureMajor,
+            samples: vec![vec![0.5f32; 4]; 2],
+        })
+        .unwrap()
+    }
+
+    #[test]
+    fn reassembles_frame_split_across_reads() {
+        let (mut tx, mut conn) = pair();
+        let frame = sample_frame();
+        // Drip the frame in three fragments, poking the state machine
+        // between them: no event until the final byte arrives.
+        let cuts = [5, HEADER_LEN + 3, frame.len()];
+        let mut sent = 0usize;
+        for (i, &cut) in cuts.iter().enumerate() {
+            tx.write_all(&frame[sent..cut]).unwrap();
+            tx.flush().unwrap();
+            sent = cut;
+            // Give loopback a moment to deliver.
+            std::thread::sleep(Duration::from_millis(10));
+            let events = conn.on_readable();
+            if i + 1 < cuts.len() {
+                assert!(events.is_empty(), "partial frame produced {events:?}");
+            } else {
+                assert_eq!(events.len(), 1);
+                assert!(matches!(events[0], ConnEvent::Request { .. }));
+            }
+        }
+    }
+
+    #[test]
+    fn two_frames_in_one_read() {
+        let (mut tx, mut conn) = pair();
+        let frame = sample_frame();
+        let mut both = frame.clone();
+        both.extend_from_slice(&frame);
+        tx.write_all(&both).unwrap();
+        std::thread::sleep(Duration::from_millis(10));
+        let events = conn.on_readable();
+        assert_eq!(events.len(), 2, "{events:?}");
+        assert!(events
+            .iter()
+            .all(|e| matches!(e, ConnEvent::Request { .. })));
+    }
+
+    #[test]
+    fn garbage_bytes_produce_malformed_not_panic() {
+        let (mut tx, mut conn) = pair();
+        tx.write_all(&[0xFFu8; 64]).unwrap();
+        std::thread::sleep(Duration::from_millis(10));
+        let events = conn.on_readable();
+        assert_eq!(events.len(), 1);
+        assert!(matches!(events[0], ConnEvent::Malformed(_)));
+    }
+
+    #[test]
+    fn mid_frame_disconnect_reports_closed() {
+        let (mut tx, mut conn) = pair();
+        let frame = sample_frame();
+        tx.write_all(&frame[..HEADER_LEN + 2]).unwrap();
+        tx.flush().unwrap();
+        drop(tx); // disconnect mid-body
+        std::thread::sleep(Duration::from_millis(10));
+        let events = conn.on_readable();
+        assert!(
+            events.iter().any(|e| matches!(e, ConnEvent::Closed)),
+            "{events:?}"
+        );
+        assert!(!events
+            .iter()
+            .any(|e| matches!(e, ConnEvent::Request { .. })));
+    }
+
+    #[test]
+    fn partial_write_flushes_incrementally() {
+        let (tx, mut conn) = pair();
+        // Saturate: queue chunks (the peer not reading) until the kernel
+        // buffers fill and flush leaves bytes pending.  Buffer sizes are
+        // auto-tuned, so grow until we actually hit a partial write.
+        let chunk_bytes = vec![0xABu8; 1024 * 1024];
+        let mut queued = 0usize;
+        for _ in 0..512 {
+            conn.queue(&chunk_bytes);
+            queued += chunk_bytes.len();
+            if !conn.flush().unwrap() {
+                break;
+            }
+        }
+        assert!(conn.wants_write(), "512 MiB must not fit in kernel buffers");
+        // Now let the peer read everything; flush must finish.
+        let mut rx = tx;
+        rx.set_nonblocking(true).unwrap();
+        let mut got = 0usize;
+        let mut chunk = vec![0u8; 65536];
+        while got < queued {
+            match rx.read(&mut chunk) {
+                Ok(0) => break,
+                Ok(n) => got += n,
+                Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                    if conn.flush().unwrap() && got >= queued {
+                        break;
+                    }
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+                Err(e) => panic!("read: {e}"),
+            }
+        }
+        assert_eq!(got, queued);
+        assert!(!conn.wants_write());
+    }
+}

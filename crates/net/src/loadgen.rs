@@ -1,0 +1,199 @@
+//! Closed-loop load generation over the real socket path.
+//!
+//! The in-process loadgen ([`errflow_serve::loadgen`]) measures the serve
+//! pipeline with ingress/egress at zero; this one drives the same workload
+//! (same payload walk, same tolerance cycling, same certificate asserts)
+//! through [`NetClient`] connections against a live [`crate::server::NetServer`],
+//! so the per-request timings include real framing, syscalls, and loopback
+//! queueing.  The headline number is `overhead_p50_us`: client-observed
+//! round-trip p50 minus server-side end-to-end p50, i.e. what the network
+//! frontend costs on top of in-process dispatch.
+
+use crate::client::NetClient;
+use crate::proto::RequestFrame;
+use errflow_nn::Model;
+use errflow_serve::loadgen::{next_payload, BenchSummary, LoadgenConfig};
+use errflow_serve::server::Server;
+use errflow_serve::stats::{LatencyHistogram, LatencySummary};
+use errflow_tensor::rng::StdRng;
+use errflow_tensor::sync::lock_recover;
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Results of one socket-path load run: the in-process summary plus the
+/// wire-level view.
+#[derive(Debug, Clone)]
+pub struct NetBenchSummary {
+    /// Server-side aggregates (same shape as the in-process bench).
+    pub base: BenchSummary,
+    /// Client-observed round-trip latency (encode → response decoded).
+    pub rtt: LatencySummary,
+    /// Frontend overhead: the exact median of per-request paired
+    /// differences (client RTT minus the server-reported `latency_ns`
+    /// carried in that same response), in microseconds.  Pairing per
+    /// request avoids the log2-histogram bucket quantization that makes
+    /// `rtt.p50_us - base.latency.p50_us` jump in powers of two.  The
+    /// acceptance target is ~100µs on loopback.
+    pub overhead_p50_us: f64,
+    /// Retryable backpressure error frames received (each was retried).
+    pub net_rejections: u64,
+}
+
+impl NetBenchSummary {
+    /// JSON with the base summary's fields plus a `net` object spliced in.
+    pub fn to_json(&self) -> String {
+        let num = |v: f64| {
+            if v.is_finite() {
+                format!("{v}")
+            } else {
+                "null".to_string()
+            }
+        };
+        let base = self.base.to_json();
+        let net = format!(
+            concat!(
+                "\"net\":{{\"rtt_us\":{{\"min\":{},\"mean\":{},\"p50\":{},\"p99\":{},\"max\":{}}},",
+                "\"overhead_p50_us\":{},\"rejections\":{}}},"
+            ),
+            num(self.rtt.min_us),
+            num(self.rtt.mean_us),
+            num(self.rtt.p50_us),
+            num(self.rtt.p99_us),
+            num(self.rtt.max_us),
+            num(self.overhead_p50_us),
+            self.net_rejections,
+        );
+        // Splice right after the opening brace of the base object.
+        let mut out = String::with_capacity(base.len() + net.len());
+        out.push('{');
+        out.push_str(&net);
+        out.push_str(&base[1..]);
+        out
+    }
+}
+
+/// Drives `addr` with the closed-loop workload from `cfg`, one
+/// [`NetClient`] connection per client thread.  `server` is the in-process
+/// handle backing the frontend — used only to snapshot stats and the input
+/// dimension; all requests travel over the socket.
+///
+/// # Panics
+/// On certificate violations, non-retryable server errors, or transport
+/// failures — this is a test harness and must surface bugs loudly.
+pub fn run_net_loadgen<M: Model + Clone + Send + Sync + 'static>(
+    server: &Server<M>,
+    addr: SocketAddr,
+    cfg: &LoadgenConfig,
+) -> NetBenchSummary {
+    assert!(cfg.clients > 0 && cfg.requests_per_client > 0, "empty load");
+    assert!(!cfg.tolerances.is_empty(), "need at least one tolerance");
+    let d = server.input_dim();
+    let rejections = AtomicU64::new(0);
+    let max_bound_bits = AtomicU64::new(0f64.to_bits());
+    let rtt = LatencyHistogram::new();
+    // Per-request RTT − server-latency differences, kept exact for the
+    // overhead percentile (runs are small enough to store them all).
+    let overheads: Mutex<Vec<u64>> = Mutex::new(Vec::new());
+
+    let t0 = Instant::now();
+    std::thread::scope(|scope| {
+        for c in 0..cfg.clients {
+            let rejections = &rejections;
+            let max_bound_bits = &max_bound_bits;
+            let rtt = &rtt;
+            let overheads = &overheads;
+            let cfg = &*cfg;
+            scope.spawn(move || {
+                // audit:allow(no-panic) the load generator is a test
+                // harness: transport failures must surface loudly.
+                let mut client = NetClient::connect(addr).expect("connect to net frontend");
+                client
+                    .set_read_timeout(Some(Duration::from_secs(30)))
+                    // audit:allow(no-panic) same harness rule.
+                    .expect("set read timeout");
+                let mut rng = StdRng::seed_from_u64(cfg.seed.wrapping_add(c as u64 * 7919));
+                let mut state: Vec<f32> = (0..d).map(|_| rng.gen_range(-0.5f32..0.5)).collect();
+                for r in 0..cfg.requests_per_client {
+                    let tol = cfg.tolerances[r % cfg.tolerances.len()];
+                    let samples = next_payload(&mut rng, &mut state, cfg.samples_per_request);
+                    let frame = RequestFrame {
+                        model_id: 0, // 0 = "any model"
+                        rel_tolerance: tol,
+                        norm: cfg.norm,
+                        layout: cfg.layout,
+                        samples,
+                    };
+                    let resp = loop {
+                        let sent = Instant::now();
+                        match client.request(&frame) {
+                            Ok(resp) => {
+                                let trip = sent.elapsed();
+                                rtt.record(trip);
+                                lock_recover(&overheads)
+                                    .push((trip.as_nanos() as u64).saturating_sub(resp.latency_ns));
+                                break resp;
+                            }
+                            Err(e) if e.retryable() => {
+                                // Backpressure frame: the connection stays
+                                // usable; retry after a short backoff.
+                                rejections.fetch_add(1, Ordering::Relaxed);
+                                std::thread::sleep(Duration::from_micros(200));
+                            }
+                            // audit:allow(no-panic) harness rule: a failed
+                            // request is a bug, not an operational state.
+                            Err(e) => panic!("net request failed: {e}"),
+                        }
+                    };
+                    assert!(
+                        resp.rel_bound <= tol,
+                        "certificate violated over the wire: bound {} > tolerance {tol}",
+                        resp.rel_bound
+                    );
+                    assert_eq!(resp.outputs.len(), cfg.samples_per_request);
+                    assert!(
+                        resp.stages.ingress_ns > 0 || resp.stages.egress_ns > 0,
+                        "wire responses must carry frontend stage timings"
+                    );
+                    let mut cur = max_bound_bits.load(Ordering::Relaxed);
+                    while f64::from_bits(cur) < resp.rel_bound {
+                        match max_bound_bits.compare_exchange_weak(
+                            cur,
+                            resp.rel_bound.to_bits(),
+                            Ordering::Relaxed,
+                            Ordering::Relaxed,
+                        ) {
+                            Ok(_) => break,
+                            Err(seen) => cur = seen,
+                        }
+                    }
+                }
+            });
+        }
+    });
+    let wall_secs = t0.elapsed().as_secs_f64();
+
+    let snap = server.stats();
+    let requests = (cfg.clients * cfg.requests_per_client) as u64;
+    let base = BenchSummary::from_stats(
+        &snap,
+        cfg.clients,
+        requests,
+        rejections.load(Ordering::Relaxed),
+        wall_secs,
+        f64::from_bits(max_bound_bits.load(Ordering::Relaxed)),
+    );
+    let rtt = rtt.summary();
+    let mut diffs = lock_recover(&overheads).clone();
+    diffs.sort_unstable();
+    let overhead_p50_us = diffs
+        .get(diffs.len() / 2)
+        .map_or(f64::NAN, |&ns| ns as f64 / 1e3);
+    NetBenchSummary {
+        base,
+        rtt,
+        overhead_p50_us,
+        net_rejections: rejections.load(Ordering::Relaxed),
+    }
+}

@@ -1,0 +1,708 @@
+//! The errflow wire protocol: compact length-prefixed binary frames.
+//!
+//! Every frame is a fixed 16-byte header followed by a body:
+//!
+//! ```text
+//!  offset  size  field
+//!  0       4     magic  b"EFNP"
+//!  4       1     protocol version (1)
+//!  5       1     frame type: 1 = Request, 2 = Response, 3 = Error
+//!  6       2     reserved (must be 0)
+//!  8       8     body length, u64 LE (≤ MAX_BODY)
+//! ```
+//!
+//! All multi-byte fields are little-endian.  Header and body fields are
+//! parsed with the checked readers from [`errflow_compress::traits`] —
+//! the same helpers the codec decoders use for untrusted streams — so a
+//! truncated or forged field yields a typed [`ProtoError`], never a panic
+//! or an unchecked allocation.
+//!
+//! One request frame maps to one response **or** one error frame, in
+//! order; the protocol has no request ids (a connection is a closed loop —
+//! clients wanting pipelining open several connections).  Error frames
+//! carry a `retryable` flag: backpressure ([`ErrorCode::QueueFull`]) is
+//! retryable and the connection stays open; malformed framing is not (the
+//! byte stream is unsynchronized after it, so the server closes after the
+//! error frame is flushed).
+
+use errflow_compress::traits::{read_f32, read_f64, read_len_u32, read_len_u64, read_u8};
+use errflow_compress::CompressError;
+use errflow_pipeline::planner::PayloadLayout;
+use errflow_quant::QuantFormat;
+use errflow_serve::{RequestStages, ServeError};
+use errflow_tensor::norms::Norm;
+
+/// Frame magic: "errflow net protocol".
+pub const MAGIC: [u8; 4] = *b"EFNP";
+/// Protocol version carried in every frame header.
+pub const VERSION: u8 = 1;
+/// Fixed frame-header size in bytes.
+pub const HEADER_LEN: usize = 16;
+/// Upper bound on a frame body: a forged length field beyond this is
+/// rejected before any allocation (64 MiB ≈ 16 Mi f32 samples).
+pub const MAX_BODY: usize = 1 << 26;
+
+/// What a frame carries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FrameType {
+    /// Client → server inference request.
+    Request,
+    /// Server → client fulfilled response.
+    Response,
+    /// Server → client typed error.
+    Error,
+}
+
+impl FrameType {
+    /// Wire code of this frame type.
+    pub fn code(self) -> u8 {
+        match self {
+            FrameType::Request => 1,
+            FrameType::Response => 2,
+            FrameType::Error => 3,
+        }
+    }
+
+    fn from_code(code: u8) -> Result<Self, ProtoError> {
+        match code {
+            1 => Ok(FrameType::Request),
+            2 => Ok(FrameType::Response),
+            3 => Ok(FrameType::Error),
+            other => Err(ProtoError::BadFrameType(other)),
+        }
+    }
+}
+
+/// Typed protocol failures.  Every malformed input maps to one of these —
+/// decoding never panics and never allocates from an unchecked length.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProtoError {
+    /// The first four bytes were not [`MAGIC`].
+    BadMagic([u8; 4]),
+    /// Unsupported protocol version.
+    BadVersion(u8),
+    /// Unknown frame-type code.
+    BadFrameType(u8),
+    /// Header-declared body length exceeds [`MAX_BODY`].
+    BodyTooLarge(u64),
+    /// Truncated or internally inconsistent frame content.
+    Corrupt(String),
+}
+
+impl std::fmt::Display for ProtoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProtoError::BadMagic(m) => write!(f, "bad frame magic {m:02x?}"),
+            ProtoError::BadVersion(v) => write!(f, "unsupported protocol version {v}"),
+            ProtoError::BadFrameType(t) => write!(f, "unknown frame type {t}"),
+            ProtoError::BodyTooLarge(n) => {
+                write!(f, "declared body length {n} exceeds cap {MAX_BODY}")
+            }
+            ProtoError::Corrupt(m) => write!(f, "corrupt frame: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ProtoError {}
+
+impl From<CompressError> for ProtoError {
+    fn from(e: CompressError) -> Self {
+        ProtoError::Corrupt(e.to_string())
+    }
+}
+
+/// A validated frame header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FrameHeader {
+    /// What the body decodes as.
+    pub frame_type: FrameType,
+    /// Exact body length that follows the header.
+    pub body_len: usize,
+}
+
+/// Parses and validates a frame header from the first [`HEADER_LEN`] bytes
+/// of `buf`.  Magic and version are checked before the length field is
+/// trusted, so a garbage stream fails fast.
+pub fn parse_header(buf: &[u8]) -> Result<FrameHeader, ProtoError> {
+    let mut pos = 0usize;
+    let mut magic = [0u8; 4];
+    for b in &mut magic {
+        *b = read_u8(buf, &mut pos, "frame magic")?;
+    }
+    if magic != MAGIC {
+        return Err(ProtoError::BadMagic(magic));
+    }
+    let version = read_u8(buf, &mut pos, "protocol version")?;
+    if version != VERSION {
+        return Err(ProtoError::BadVersion(version));
+    }
+    let type_code = read_u8(buf, &mut pos, "frame type")?;
+    let frame_type = FrameType::from_code(type_code)?;
+    let reserved =
+        read_u8(buf, &mut pos, "reserved")? as u16 | (read_u8(buf, &mut pos, "reserved")? as u16);
+    if reserved != 0 {
+        return Err(ProtoError::Corrupt("nonzero reserved header bytes".into()));
+    }
+    let body_len = read_len_u64(buf, &mut pos, "frame body length")?;
+    if body_len > MAX_BODY {
+        return Err(ProtoError::BodyTooLarge(body_len as u64));
+    }
+    Ok(FrameHeader {
+        frame_type,
+        body_len,
+    })
+}
+
+fn put_header(out: &mut Vec<u8>, frame_type: FrameType, body_len: usize) {
+    out.extend_from_slice(&MAGIC);
+    out.push(VERSION);
+    out.push(frame_type.code());
+    out.extend_from_slice(&[0u8, 0u8]);
+    out.extend_from_slice(&(body_len as u64).to_le_bytes());
+}
+
+/// Norm wire codes (shared with the serve plan key encoding).
+fn norm_code(norm: Norm) -> u8 {
+    match norm {
+        Norm::L2 => 0,
+        Norm::LInf => 1,
+    }
+}
+
+fn norm_from_code(code: u8) -> Result<Norm, ProtoError> {
+    match code {
+        0 => Ok(Norm::L2),
+        1 => Ok(Norm::LInf),
+        other => Err(ProtoError::Corrupt(format!("unknown norm code {other}"))),
+    }
+}
+
+fn layout_code(layout: PayloadLayout) -> u8 {
+    match layout {
+        PayloadLayout::FeatureMajor => 0,
+        PayloadLayout::SampleMajor => 1,
+    }
+}
+
+fn layout_from_code(code: u8) -> Result<PayloadLayout, ProtoError> {
+    match code {
+        0 => Ok(PayloadLayout::FeatureMajor),
+        1 => Ok(PayloadLayout::SampleMajor),
+        other => Err(ProtoError::Corrupt(format!("unknown layout code {other}"))),
+    }
+}
+
+/// Wire code of a quantization format (index into [`QuantFormat::ALL`]).
+pub fn format_code(f: QuantFormat) -> u8 {
+    match f {
+        QuantFormat::Fp32 => 0,
+        QuantFormat::Tf32 => 1,
+        QuantFormat::Fp16 => 2,
+        QuantFormat::Bf16 => 3,
+        QuantFormat::Int8 => 4,
+    }
+}
+
+/// Inverse of [`format_code`].
+pub fn format_from_code(code: u8) -> Result<QuantFormat, ProtoError> {
+    QuantFormat::ALL
+        .get(code as usize)
+        .copied()
+        .ok_or_else(|| ProtoError::Corrupt(format!("unknown format code {code}")))
+}
+
+/// A decoded inference request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RequestFrame {
+    /// Served-model identifier the client expects (`0` = any model).
+    pub model_id: u64,
+    /// Relative QoI tolerance.
+    pub rel_tolerance: f64,
+    /// Norm the tolerance is expressed in.
+    pub norm: Norm,
+    /// Payload flattening layout.
+    pub layout: PayloadLayout,
+    /// Input samples (rectangular: every row has the same length).
+    pub samples: Vec<Vec<f32>>,
+}
+
+/// Encodes a request as a complete frame (header + body).  Fails on a
+/// ragged payload — the wire format carries one `(n, dim)` pair.
+pub fn encode_request(req: &RequestFrame) -> Result<Vec<u8>, ProtoError> {
+    let n = req.samples.len();
+    let dim = req.samples.first().map_or(0, Vec::len);
+    if req.samples.iter().any(|s| s.len() != dim) {
+        return Err(ProtoError::Corrupt("ragged request payload".into()));
+    }
+    let body_len = 8 + 8 + 1 + 1 + 4 + 4 + n * dim * 4;
+    if body_len > MAX_BODY {
+        return Err(ProtoError::BodyTooLarge(body_len as u64));
+    }
+    let mut out = Vec::with_capacity(HEADER_LEN + body_len);
+    put_header(&mut out, FrameType::Request, body_len);
+    out.extend_from_slice(&req.model_id.to_le_bytes());
+    out.extend_from_slice(&req.rel_tolerance.to_le_bytes());
+    out.push(norm_code(req.norm));
+    out.push(layout_code(req.layout));
+    out.extend_from_slice(&(n as u32).to_le_bytes());
+    out.extend_from_slice(&(dim as u32).to_le_bytes());
+    for s in &req.samples {
+        for v in s {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+    }
+    Ok(out)
+}
+
+/// Decodes a request body (the bytes after the header).  The declared
+/// `(n_samples, dim)` pair must account for exactly the remaining bytes,
+/// so a forged count can neither over-allocate nor leave trailing bytes.
+pub fn decode_request(body: &[u8]) -> Result<RequestFrame, ProtoError> {
+    let mut pos = 0usize;
+    let model_id = read_len_u64(body, &mut pos, "model id")? as u64;
+    let rel_tolerance = read_f64(body, &mut pos, "tolerance")?;
+    let norm = norm_from_code(read_u8(body, &mut pos, "norm")?)?;
+    let layout = layout_from_code(read_u8(body, &mut pos, "layout")?)?;
+    let n = read_len_u32(body, &mut pos, "sample count")?;
+    let dim = read_len_u32(body, &mut pos, "sample dim")?;
+    let payload_bytes = n
+        .checked_mul(dim)
+        .and_then(|e| e.checked_mul(4))
+        .ok_or_else(|| ProtoError::Corrupt("sample count × dim overflows".into()))?;
+    let remaining = body.len() - pos;
+    if payload_bytes != remaining {
+        return Err(ProtoError::Corrupt(format!(
+            "payload declares {payload_bytes} bytes but frame carries {remaining}"
+        )));
+    }
+    let mut samples = Vec::with_capacity(n.min(MAX_BODY / 4));
+    for _ in 0..n {
+        let mut row = Vec::with_capacity(dim);
+        for _ in 0..dim {
+            row.push(read_f32(body, &mut pos, "sample value")?);
+        }
+        samples.push(row);
+    }
+    Ok(RequestFrame {
+        model_id,
+        rel_tolerance,
+        norm,
+        layout,
+        samples,
+    })
+}
+
+/// A decoded inference response: outputs plus the certificate and the
+/// per-stage timing breakdown (including the net-frontend `ingress` and
+/// `egress` stages).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResponseFrame {
+    /// One prediction per request sample, in order.
+    pub outputs: Vec<Vec<f32>>,
+    /// Certified relative QoI error bound.
+    pub rel_bound: f64,
+    /// Tolerance the plan was computed at (the bucket floor).
+    pub plan_tolerance: f64,
+    /// Weight format the plan selected.
+    pub format: QuantFormat,
+    /// `true` when the plan came from the cache.
+    pub cache_hit: bool,
+    /// Jobs that shared this batched forward pass.
+    pub batch_size: u32,
+    /// Server-side end-to-end latency in nanoseconds (admission →
+    /// fulfill; excludes ingress/egress, which are reported as stages).
+    pub latency_ns: u64,
+    /// Per-stage timing breakdown.
+    pub stages: RequestStages,
+}
+
+/// Encodes a response as a complete frame.  Fails on ragged outputs.
+pub fn encode_response(resp: &ResponseFrame) -> Result<Vec<u8>, ProtoError> {
+    let n = resp.outputs.len();
+    let dim = resp.outputs.first().map_or(0, Vec::len);
+    if resp.outputs.iter().any(|o| o.len() != dim) {
+        return Err(ProtoError::Corrupt("ragged response outputs".into()));
+    }
+    let body_len = 8 + 8 + 1 + 1 + 4 + 8 + 7 * 8 + 4 + 4 + n * dim * 4;
+    if body_len > MAX_BODY {
+        return Err(ProtoError::BodyTooLarge(body_len as u64));
+    }
+    let mut out = Vec::with_capacity(HEADER_LEN + body_len);
+    put_header(&mut out, FrameType::Response, body_len);
+    out.extend_from_slice(&resp.rel_bound.to_le_bytes());
+    out.extend_from_slice(&resp.plan_tolerance.to_le_bytes());
+    out.push(format_code(resp.format));
+    out.push(resp.cache_hit as u8);
+    out.extend_from_slice(&resp.batch_size.to_le_bytes());
+    out.extend_from_slice(&resp.latency_ns.to_le_bytes());
+    let s = &resp.stages;
+    for ns in [
+        s.ingress_ns,
+        s.batch_wait_ns,
+        s.plan_ns,
+        s.decompress_ns,
+        s.forward_ns,
+        s.respond_ns,
+        s.egress_ns,
+    ] {
+        out.extend_from_slice(&ns.to_le_bytes());
+    }
+    out.extend_from_slice(&(n as u32).to_le_bytes());
+    out.extend_from_slice(&(dim as u32).to_le_bytes());
+    for o in &resp.outputs {
+        for v in o {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+    }
+    Ok(out)
+}
+
+/// Decodes a response body.
+pub fn decode_response(body: &[u8]) -> Result<ResponseFrame, ProtoError> {
+    let mut pos = 0usize;
+    let rel_bound = read_f64(body, &mut pos, "rel bound")?;
+    let plan_tolerance = read_f64(body, &mut pos, "plan tolerance")?;
+    let format = format_from_code(read_u8(body, &mut pos, "format")?)?;
+    let cache_hit = read_u8(body, &mut pos, "cache hit")? != 0;
+    let batch_size = read_len_u32(body, &mut pos, "batch size")? as u32;
+    let latency_ns = read_len_u64(body, &mut pos, "latency")? as u64;
+    let mut stage_ns = [0u64; 7];
+    for ns in &mut stage_ns {
+        *ns = read_len_u64(body, &mut pos, "stage ns")? as u64;
+    }
+    let n = read_len_u32(body, &mut pos, "output count")?;
+    let dim = read_len_u32(body, &mut pos, "output dim")?;
+    let payload_bytes = n
+        .checked_mul(dim)
+        .and_then(|e| e.checked_mul(4))
+        .ok_or_else(|| ProtoError::Corrupt("output count × dim overflows".into()))?;
+    let remaining = body.len() - pos;
+    if payload_bytes != remaining {
+        return Err(ProtoError::Corrupt(format!(
+            "outputs declare {payload_bytes} bytes but frame carries {remaining}"
+        )));
+    }
+    let mut outputs = Vec::with_capacity(n.min(MAX_BODY / 4));
+    for _ in 0..n {
+        let mut row = Vec::with_capacity(dim);
+        for _ in 0..dim {
+            row.push(read_f32(body, &mut pos, "output value")?);
+        }
+        outputs.push(row);
+    }
+    Ok(ResponseFrame {
+        outputs,
+        rel_bound,
+        plan_tolerance,
+        format,
+        cache_hit,
+        batch_size,
+        latency_ns,
+        stages: RequestStages {
+            ingress_ns: stage_ns[0],
+            batch_wait_ns: stage_ns[1],
+            plan_ns: stage_ns[2],
+            decompress_ns: stage_ns[3],
+            forward_ns: stage_ns[4],
+            respond_ns: stage_ns[5],
+            egress_ns: stage_ns[6],
+        },
+    })
+}
+
+/// Wire error codes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorCode {
+    /// Admission control rejected the request — **retryable** backpressure;
+    /// the connection stays open.
+    QueueFull,
+    /// The request was well-framed but semantically invalid (bad tolerance,
+    /// wrong sample dim, wrong model id).
+    Invalid,
+    /// The server's compression roundtrip failed.
+    Compression,
+    /// The server is shutting down.
+    Shutdown,
+    /// The frame itself was malformed; the connection closes after this
+    /// error frame because the byte stream is no longer synchronized.
+    Malformed,
+}
+
+impl ErrorCode {
+    /// Wire code.
+    pub fn code(self) -> u8 {
+        match self {
+            ErrorCode::QueueFull => 1,
+            ErrorCode::Invalid => 2,
+            ErrorCode::Compression => 3,
+            ErrorCode::Shutdown => 4,
+            ErrorCode::Malformed => 5,
+        }
+    }
+
+    fn from_code(code: u8) -> Result<Self, ProtoError> {
+        match code {
+            1 => Ok(ErrorCode::QueueFull),
+            2 => Ok(ErrorCode::Invalid),
+            3 => Ok(ErrorCode::Compression),
+            4 => Ok(ErrorCode::Shutdown),
+            5 => Ok(ErrorCode::Malformed),
+            other => Err(ProtoError::Corrupt(format!("unknown error code {other}"))),
+        }
+    }
+}
+
+/// A typed server-side error delivered to the client.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ErrorFrame {
+    /// What failed.
+    pub code: ErrorCode,
+    /// `true` when the client may retry the same request on the same
+    /// connection (backpressure).
+    pub retryable: bool,
+    /// Human-readable detail.
+    pub message: String,
+}
+
+impl std::fmt::Display for ErrorFrame {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{:?}{}: {}",
+            self.code,
+            if self.retryable { " (retryable)" } else { "" },
+            self.message
+        )
+    }
+}
+
+impl ErrorFrame {
+    /// Maps a serve-side error to its wire form.  [`ServeError::QueueFull`]
+    /// becomes the retryable backpressure code — the connection stays open.
+    pub fn from_serve(e: &ServeError) -> Self {
+        match e {
+            ServeError::QueueFull => ErrorFrame {
+                code: ErrorCode::QueueFull,
+                retryable: true,
+                message: "admission queue full; retry".into(),
+            },
+            ServeError::Invalid(m) => ErrorFrame {
+                code: ErrorCode::Invalid,
+                retryable: false,
+                message: m.clone(),
+            },
+            ServeError::Compression(m) => ErrorFrame {
+                code: ErrorCode::Compression,
+                retryable: false,
+                message: m.clone(),
+            },
+            ServeError::Shutdown => ErrorFrame {
+                code: ErrorCode::Shutdown,
+                retryable: false,
+                message: "server shutting down".into(),
+            },
+        }
+    }
+
+    /// The error frame sent for an unparsable frame, before closing.
+    pub fn malformed(e: &ProtoError) -> Self {
+        ErrorFrame {
+            code: ErrorCode::Malformed,
+            retryable: false,
+            message: e.to_string(),
+        }
+    }
+}
+
+/// Encodes an error as a complete frame.  The message is truncated to fit
+/// [`MAX_BODY`] rather than failing — an error path must not error.
+pub fn encode_error(err: &ErrorFrame) -> Vec<u8> {
+    let msg = err.message.as_bytes();
+    let msg = &msg[..msg.len().min(4096)];
+    let body_len = 1 + 1 + 4 + msg.len();
+    let mut out = Vec::with_capacity(HEADER_LEN + body_len);
+    put_header(&mut out, FrameType::Error, body_len);
+    out.push(err.code.code());
+    out.push(err.retryable as u8);
+    out.extend_from_slice(&(msg.len() as u32).to_le_bytes());
+    out.extend_from_slice(msg);
+    out
+}
+
+/// Decodes an error body.
+pub fn decode_error(body: &[u8]) -> Result<ErrorFrame, ProtoError> {
+    let mut pos = 0usize;
+    let code = ErrorCode::from_code(read_u8(body, &mut pos, "error code")?)?;
+    let retryable = read_u8(body, &mut pos, "retryable flag")? != 0;
+    let msg_len = read_len_u32(body, &mut pos, "message length")?;
+    let remaining = body.len() - pos;
+    if msg_len != remaining {
+        return Err(ProtoError::Corrupt(format!(
+            "error message declares {msg_len} bytes but frame carries {remaining}"
+        )));
+    }
+    let message = String::from_utf8_lossy(&body[pos..]).into_owned();
+    Ok(ErrorFrame {
+        code,
+        retryable,
+        message,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_request() -> RequestFrame {
+        RequestFrame {
+            model_id: 0xDEAD_BEEF_CAFE_0001,
+            rel_tolerance: 1e-3,
+            norm: Norm::LInf,
+            layout: PayloadLayout::SampleMajor,
+            samples: vec![vec![1.0, -2.5, 0.25], vec![0.0, 3.5, -0.125]],
+        }
+    }
+
+    #[test]
+    fn request_roundtrip() {
+        let req = sample_request();
+        let frame = encode_request(&req).unwrap();
+        let header = parse_header(&frame[..HEADER_LEN]).unwrap();
+        assert_eq!(header.frame_type, FrameType::Request);
+        assert_eq!(frame.len(), HEADER_LEN + header.body_len);
+        let decoded = decode_request(&frame[HEADER_LEN..]).unwrap();
+        assert_eq!(decoded, req);
+    }
+
+    #[test]
+    fn response_roundtrip() {
+        let resp = ResponseFrame {
+            outputs: vec![vec![0.5, -1.5], vec![2.0, 4.0]],
+            rel_bound: 9.5e-4,
+            plan_tolerance: 1e-3,
+            format: QuantFormat::Fp16,
+            cache_hit: true,
+            batch_size: 3,
+            latency_ns: 123_456,
+            stages: RequestStages {
+                ingress_ns: 10,
+                batch_wait_ns: 20,
+                plan_ns: 30,
+                decompress_ns: 40,
+                forward_ns: 50,
+                respond_ns: 60,
+                egress_ns: 70,
+            },
+        };
+        let frame = encode_response(&resp).unwrap();
+        let header = parse_header(&frame[..HEADER_LEN]).unwrap();
+        assert_eq!(header.frame_type, FrameType::Response);
+        let decoded = decode_response(&frame[HEADER_LEN..]).unwrap();
+        assert_eq!(decoded, resp);
+    }
+
+    #[test]
+    fn error_roundtrip_and_serve_mapping() {
+        let ef = ErrorFrame::from_serve(&ServeError::QueueFull);
+        assert_eq!(ef.code, ErrorCode::QueueFull);
+        assert!(ef.retryable, "backpressure must be retryable");
+        let frame = encode_error(&ef);
+        let header = parse_header(&frame[..HEADER_LEN]).unwrap();
+        assert_eq!(header.frame_type, FrameType::Error);
+        assert_eq!(decode_error(&frame[HEADER_LEN..]).unwrap(), ef);
+
+        let inv = ErrorFrame::from_serve(&ServeError::Invalid("dim".into()));
+        assert_eq!(inv.code, ErrorCode::Invalid);
+        assert!(!inv.retryable);
+    }
+
+    #[test]
+    fn header_rejects_bad_magic_version_type() {
+        let mut frame = encode_request(&sample_request()).unwrap();
+        frame[0] = b'X';
+        assert!(matches!(
+            parse_header(&frame[..HEADER_LEN]),
+            Err(ProtoError::BadMagic(_))
+        ));
+
+        let mut frame = encode_request(&sample_request()).unwrap();
+        frame[4] = 99;
+        assert_eq!(
+            parse_header(&frame[..HEADER_LEN]),
+            Err(ProtoError::BadVersion(99))
+        );
+
+        let mut frame = encode_request(&sample_request()).unwrap();
+        frame[5] = 42;
+        assert_eq!(
+            parse_header(&frame[..HEADER_LEN]),
+            Err(ProtoError::BadFrameType(42))
+        );
+    }
+
+    #[test]
+    fn header_rejects_forged_huge_length() {
+        let mut frame = encode_request(&sample_request()).unwrap();
+        frame[8..16].copy_from_slice(&(u64::MAX).to_le_bytes());
+        assert!(matches!(
+            parse_header(&frame[..HEADER_LEN]),
+            Err(ProtoError::BodyTooLarge(_)) | Err(ProtoError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn truncated_header_is_typed_error() {
+        let frame = encode_request(&sample_request()).unwrap();
+        for cut in 0..HEADER_LEN {
+            assert!(
+                parse_header(&frame[..cut]).is_err(),
+                "header cut at {cut} must fail"
+            );
+        }
+    }
+
+    #[test]
+    fn truncated_body_is_typed_error() {
+        let frame = encode_request(&sample_request()).unwrap();
+        let body = &frame[HEADER_LEN..];
+        for cut in 0..body.len() {
+            assert!(
+                decode_request(&body[..cut]).is_err(),
+                "body cut at {cut} must fail"
+            );
+        }
+    }
+
+    #[test]
+    fn forged_sample_count_cannot_overallocate() {
+        let frame = encode_request(&sample_request()).unwrap();
+        let mut body = frame[HEADER_LEN..].to_vec();
+        // n_samples lives right after model_id(8) + tol(8) + norm(1) +
+        // layout(1) = offset 18.
+        body[18..22].copy_from_slice(&u32::MAX.to_le_bytes());
+        let err = decode_request(&body).unwrap_err();
+        assert!(matches!(err, ProtoError::Corrupt(_)), "{err}");
+    }
+
+    #[test]
+    fn zero_length_body_is_typed_error() {
+        assert!(decode_request(&[]).is_err());
+        assert!(decode_response(&[]).is_err());
+        assert!(decode_error(&[]).is_err());
+    }
+
+    #[test]
+    fn ragged_payload_rejected_at_encode() {
+        let mut req = sample_request();
+        req.samples[1].pop();
+        assert!(matches!(encode_request(&req), Err(ProtoError::Corrupt(_))));
+    }
+
+    #[test]
+    fn format_codes_roundtrip() {
+        for f in QuantFormat::ALL {
+            assert_eq!(format_from_code(format_code(f)).unwrap(), f);
+        }
+        assert!(format_from_code(200).is_err());
+    }
+}

@@ -45,10 +45,12 @@ pub mod cache;
 pub mod loadgen;
 pub mod queue;
 pub mod server;
+pub mod shard;
 pub mod stats;
 
 pub use cache::{bucket_tolerance, PlanCache, PlanKey};
 pub use loadgen::{run_loadgen, BenchSummary, LoadgenConfig};
 pub use queue::{BoundedQueue, QueueFull};
 pub use server::{BackendKind, Request, Response, ServeConfig, ServeError, Server, Ticket};
+pub use shard::ShardedQueue;
 pub use stats::{LatencyHistogram, LatencySummary, RequestStages, StageBreakdown, StatsSnapshot};

@@ -92,8 +92,9 @@ pub struct BenchSummary {
     /// Codec scratch-pool hit rate over the server's lifetime (per-server
     /// delta; see [`crate::stats::StatsSnapshot::scratch_hits`]).
     pub scratch_hit_rate: f64,
-    /// Per-stage latency breakdown (batch wait / plan / decompress /
-    /// forward / respond).
+    /// Per-stage latency breakdown (ingress / batch wait / plan /
+    /// decompress / forward / respond / egress — the net-frontend stages
+    /// are empty for in-process runs).
     pub stages: StageBreakdown,
     /// Responses whose certified bound passed the plan-tolerance check.
     pub bound_pass: u64,
@@ -102,6 +103,42 @@ pub struct BenchSummary {
 }
 
 impl BenchSummary {
+    /// Builds a summary from a server stats snapshot plus the run-level
+    /// aggregates only the driving loop knows (wall time, rejections, the
+    /// max observed bound).  Shared by the in-process loadgen here and the
+    /// socket-path loadgen in `errflow-net`.
+    pub fn from_stats(
+        snap: &crate::stats::StatsSnapshot,
+        clients: usize,
+        requests: u64,
+        rejections: u64,
+        wall_secs: f64,
+        max_rel_bound: f64,
+    ) -> Self {
+        BenchSummary {
+            clients,
+            requests,
+            rejections,
+            wall_secs,
+            throughput_rps: requests as f64 / wall_secs.max(1e-9),
+            latency: snap.latency,
+            cache_hits: snap.cache_hits,
+            cache_misses: snap.cache_misses,
+            cache_hit_rate: snap.cache_hit_rate(),
+            batches: snap.batches,
+            mean_batch_size: snap.mean_batch_size(),
+            max_rel_bound,
+            all_bounds_certified: true, // callers assert per response
+            decomp_bytes_in: snap.decomp_bytes_in,
+            decomp_bytes_out: snap.decomp_bytes_out,
+            decomp_gbps: snap.decomp_gbps(),
+            scratch_hit_rate: snap.scratch_hit_rate(),
+            stages: snap.stages,
+            bound_pass: snap.bound_pass,
+            bound_fail: snap.bound_fail,
+        }
+    }
+
     /// Serializes the summary as a single JSON object (hand-rolled; the
     /// workspace carries no serialization dependency).
     pub fn to_json(&self) -> String {
@@ -126,8 +163,8 @@ impl BenchSummary {
                 "{{\"clients\":{},\"requests\":{},\"rejections\":{},",
                 "\"wall_secs\":{},\"throughput_rps\":{},",
                 "\"latency_us\":{{\"min\":{},\"mean\":{},\"p50\":{},\"p99\":{},\"max\":{}}},",
-                "\"stages\":{{\"batch_wait\":{},\"plan\":{},\"decompress\":{},",
-                "\"forward\":{},\"respond\":{}}},",
+                "\"stages\":{{\"ingress\":{},\"batch_wait\":{},\"plan\":{},\"decompress\":{},",
+                "\"forward\":{},\"respond\":{},\"egress\":{}}},",
                 "\"bounds\":{{\"pass\":{},\"fail\":{}}},",
                 "\"cache\":{{\"hits\":{},\"misses\":{},\"hit_rate\":{}}},",
                 "\"batches\":{},\"mean_batch_size\":{},",
@@ -145,11 +182,13 @@ impl BenchSummary {
             num(self.latency.p50_us),
             num(self.latency.p99_us),
             num(self.latency.max_us),
+            stage(&self.stages.ingress),
             stage(&self.stages.batch_wait),
             stage(&self.stages.plan),
             stage(&self.stages.decompress),
             stage(&self.stages.forward),
             stage(&self.stages.respond),
+            stage(&self.stages.egress),
             self.bound_pass,
             self.bound_fail,
             self.cache_hits,
@@ -169,8 +208,9 @@ impl BenchSummary {
 
 /// Generates the next spatially-correlated payload: a smooth random walk
 /// through `[-1, 1]^d` feature space, so flattened payloads compress like
-/// the scientific fields the pipeline targets.
-fn next_payload(rng: &mut StdRng, state: &mut Vec<f32>, n: usize) -> Vec<Vec<f32>> {
+/// the scientific fields the pipeline targets.  Public so the socket-path
+/// loadgen in `errflow-net` drives the exact same workload.
+pub fn next_payload(rng: &mut StdRng, state: &mut Vec<f32>, n: usize) -> Vec<Vec<f32>> {
     (0..n)
         .map(|_| {
             for v in state.iter_mut() {
@@ -258,28 +298,15 @@ pub fn run_loadgen<M: Model + Clone + Send + Sync + 'static>(
 
     let snap = server.stats();
     let requests = (cfg.clients * cfg.requests_per_client) as u64;
-    BenchSummary {
-        clients: cfg.clients,
+    // all_bounds_certified is enforced inline by the per-response asserts.
+    BenchSummary::from_stats(
+        &snap,
+        cfg.clients,
         requests,
-        rejections: rejections.load(Ordering::Relaxed),
+        rejections.load(Ordering::Relaxed),
         wall_secs,
-        throughput_rps: requests as f64 / wall_secs.max(1e-9),
-        latency: snap.latency,
-        cache_hits: snap.cache_hits,
-        cache_misses: snap.cache_misses,
-        cache_hit_rate: snap.cache_hit_rate(),
-        batches: snap.batches,
-        mean_batch_size: snap.mean_batch_size(),
-        max_rel_bound: f64::from_bits(max_bound_bits.load(Ordering::Relaxed)),
-        all_bounds_certified: true, // enforced inline by the asserts above
-        decomp_bytes_in: snap.decomp_bytes_in,
-        decomp_bytes_out: snap.decomp_bytes_out,
-        decomp_gbps: snap.decomp_gbps(),
-        scratch_hit_rate: snap.scratch_hit_rate(),
-        stages: snap.stages,
-        bound_pass: snap.bound_pass,
-        bound_fail: snap.bound_fail,
-    }
+        f64::from_bits(max_bound_bits.load(Ordering::Relaxed)),
+    )
 }
 
 #[cfg(test)]

@@ -3,7 +3,8 @@
 //!
 //! A [`Server`] owns one model, its (expensive, computed-once) spectral
 //! [`NetworkAnalysis`], and a set of worker threads behind a bounded
-//! [`BoundedQueue`].  Workers are *dedicated* threads registered with the
+//! per-worker [`ShardedQueue`] (work-stealing; see [`crate::shard`]).
+//! Workers are *dedicated* threads registered with the
 //! shared workspace pool ([`errflow_tensor::pool`]): they block on the
 //! queue (so they sit outside the pool's compute-worker set) while their
 //! chunk-decode and GEMM fan-out runs on the pool's compute workers.
@@ -31,7 +32,8 @@
 
 use crate::batch::{assemble_inputs, split_outputs};
 use crate::cache::{bucket_tolerance, PlanCache, PlanKey};
-use crate::queue::{BoundedQueue, QueueFull};
+use crate::queue::QueueFull;
+use crate::shard::ShardedQueue;
 use crate::stats::{RequestStages, ServerStats, StatsSnapshot};
 use errflow_compress::chunked::ChunkedCompressor;
 use errflow_compress::{Compressor, ErrorBound, MgardCompressor, SzCompressor, ZfpCompressor};
@@ -249,6 +251,24 @@ impl Ticket {
     }
 }
 
+/// How a completed job hands its result back: a [`Slot`] a [`Ticket`]
+/// holder blocks on (in-process path), or a completion hook invoked on the
+/// worker thread (the `errflow-net` path — the hook must not block; it
+/// forwards the result to the connection's io thread).
+enum Responder {
+    Slot(Arc<Slot>),
+    Hook(Box<dyn FnOnce(Result<Response, ServeError>) + Send>),
+}
+
+impl Responder {
+    fn fulfill(self, r: Result<Response, ServeError>) {
+        match self {
+            Responder::Slot(slot) => slot.fulfill(r),
+            Responder::Hook(hook) => hook(r),
+        }
+    }
+}
+
 /// A queued unit of work.
 struct Job {
     samples: Vec<Vec<f32>>,
@@ -257,7 +277,9 @@ struct Job {
     plan_tol: f64,
     norm: Norm,
     layout: PayloadLayout,
-    slot: Arc<Slot>,
+    responder: Responder,
+    /// Frontend frame read + decode time (0 for in-process submissions).
+    ingress_ns: u64,
     t0: Instant,
     /// Admission time on the trace clock, so the queue-wait interval can
     /// be recorded as a cross-thread span at dequeue.
@@ -292,7 +314,7 @@ struct Inner<M> {
 /// request lifecycle.
 pub struct Server<M: Model + Clone + Send + Sync + 'static> {
     inner: Arc<Inner<M>>,
-    queue: Arc<BoundedQueue<Job>>,
+    queue: Arc<ShardedQueue<Job>>,
     workers: Vec<std::thread::JoinHandle<()>>,
 }
 
@@ -357,7 +379,10 @@ impl<M: Model + Clone + Send + Sync + 'static> Server<M> {
             input_dim,
             scratch_base: errflow_compress::scratch::pool_stats(),
         });
-        let queue = Arc::new(BoundedQueue::new(cfg.queue_capacity));
+        // One shard per worker so every worker has a home deque to drain
+        // before stealing; an admission-only server (workers = 0) still
+        // needs one shard to enqueue into.
+        let queue = Arc::new(ShardedQueue::new(cfg.workers.max(1), cfg.queue_capacity));
         // Workers are pool-accounted *dedicated* threads: they block on the
         // queue, so they live outside the compute-worker set, while their
         // chunk-decode fan-out rides the shared pool's compute workers.
@@ -367,7 +392,7 @@ impl<M: Model + Clone + Send + Sync + 'static> Server<M> {
                 let queue = Arc::clone(&queue);
                 errflow_tensor::pool::global()
                     .spawn_dedicated(format!("errflow-serve-{i}"), move || {
-                        worker_loop(&inner, &queue)
+                        worker_loop(&inner, &queue, i)
                     })
             })
             .collect();
@@ -383,7 +408,16 @@ impl<M: Model + Clone + Send + Sync + 'static> Server<M> {
         self.inner.input_dim
     }
 
-    fn make_job(&self, req: Request) -> Result<(Job, Ticket), ServeError> {
+    /// Stable identifier of the served model (a structural hash).  The
+    /// wire protocol carries it so a client can assert it is talking to
+    /// the model it expects; `0` in a request frame means "any model".
+    pub fn model_id(&self) -> u64 {
+        self.inner.model_id
+    }
+
+    /// Validates a request and resolves its plan key + bucket-floor
+    /// tolerance (shared by every submission path).
+    fn validate(&self, req: &Request) -> Result<(PlanKey, f64), ServeError> {
         if req.samples.is_empty() {
             return Err(ServeError::Invalid("empty payload".into()));
         }
@@ -403,23 +437,36 @@ impl<M: Model + Clone + Send + Sync + 'static> Server<M> {
             norm: norm_code(req.norm),
             layout: layout_code(req.layout),
         };
+        Ok((key, plan_tol))
+    }
+
+    fn build_job(
+        &self,
+        req: Request,
+        ingress_ns: u64,
+        responder: Responder,
+    ) -> Result<Job, ServeError> {
+        let (key, plan_tol) = self.validate(&req)?;
+        Ok(Job {
+            samples: req.samples,
+            key,
+            plan_tol,
+            norm: req.norm,
+            layout: req.layout,
+            responder,
+            ingress_ns,
+            t0: Instant::now(),
+            t0_trace_ns: errflow_obs::trace::now_ns(),
+        })
+    }
+
+    fn make_job(&self, req: Request) -> Result<(Job, Ticket), ServeError> {
         let slot = Arc::new(Slot::new());
         let ticket = Ticket {
             slot: Arc::clone(&slot),
         };
-        Ok((
-            Job {
-                samples: req.samples,
-                key,
-                plan_tol,
-                norm: req.norm,
-                layout: req.layout,
-                slot,
-                t0: Instant::now(),
-                t0_trace_ns: errflow_obs::trace::now_ns(),
-            },
-            ticket,
-        ))
+        let job = self.build_job(req, 0, Responder::Slot(slot))?;
+        Ok((job, ticket))
     }
 
     /// Submits without blocking.  Returns [`ServeError::QueueFull`] when
@@ -457,6 +504,43 @@ impl<M: Model + Clone + Send + Sync + 'static> Server<M> {
     /// Convenience: submit (blocking) and wait for the response.
     pub fn process(&self, req: Request) -> Result<Response, ServeError> {
         self.submit(req)?.wait()
+    }
+
+    /// Non-blocking submission with a completion hook instead of a
+    /// [`Ticket`] — the `errflow-net` ingress path.  The hook runs on the
+    /// worker thread that completes the job, so it must not block (the net
+    /// frontend forwards the result to the connection's io thread and
+    /// returns).  `ingress_ns` is the frontend's frame read + decode time;
+    /// it is attributed to the request's [`RequestStages`].
+    ///
+    /// On [`ServeError::QueueFull`] or validation failure the hook is never
+    /// invoked and the error returns synchronously, so the caller can map
+    /// it to a retryable wire error without waiting.
+    pub fn try_submit_with(
+        &self,
+        req: Request,
+        ingress_ns: u64,
+        hook: impl FnOnce(Result<Response, ServeError>) + Send + 'static,
+    ) -> Result<(), ServeError> {
+        let _span = errflow_obs::trace::span("serve.enqueue");
+        let job = self.build_job(req, ingress_ns, Responder::Hook(Box::new(hook)))?;
+        match self.queue.try_push(job) {
+            Ok(()) => {
+                self.inner.stats.submitted.inc();
+                Ok(())
+            }
+            Err(QueueFull(_)) => {
+                self.inner.stats.rejected.inc();
+                Err(ServeError::QueueFull)
+            }
+        }
+    }
+
+    /// Records a frontend egress interval (response encode + socket write)
+    /// into this server's stage statistics.  Called by the net frontend;
+    /// in-process traffic never records egress.
+    pub fn note_egress_ns(&self, ns: u64) {
+        self.inner.stats.stages.egress.record_ns(ns);
     }
 
     /// Point-in-time statistics: counters, queue depth, cache hit/miss,
@@ -499,7 +583,7 @@ impl<M: Model + Clone + Send + Sync + 'static> Server<M> {
             let _ = w.join();
         }
         for job in self.queue.drain() {
-            job.slot.fulfill(Err(ServeError::Shutdown));
+            job.responder.fulfill(Err(ServeError::Shutdown));
         }
     }
 }
@@ -510,9 +594,13 @@ impl<M: Model + Clone + Send + Sync + 'static> Drop for Server<M> {
     }
 }
 
-fn worker_loop<M: Model + Clone + Send + Sync>(inner: &Inner<M>, queue: &BoundedQueue<Job>) {
+fn worker_loop<M: Model + Clone + Send + Sync>(
+    inner: &Inner<M>,
+    queue: &ShardedQueue<Job>,
+    worker: usize,
+) {
     let compressor = inner.cfg.backend.build(inner.cfg.decode_threads);
-    while let Some(batch) = queue.pop_batch(inner.cfg.max_batch.max(1), |j: &Job| j.key) {
+    while let Some(batch) = queue.pop_batch(worker, inner.cfg.max_batch.max(1), |j: &Job| j.key) {
         // Stage attribution invariant: every interval recorded below is a
         // disjoint slice of wall time inside [job.t0, fulfill), so each
         // request's stage sum is ≤ its end-to-end latency.  Batch-level
@@ -526,6 +614,9 @@ fn worker_loop<M: Model + Clone + Send + Sync>(inner: &Inner<M>, queue: &Bounded
         for job in &batch {
             let wait = dequeued.duration_since(job.t0).as_nanos() as u64;
             inner.stats.stages.batch_wait.record_ns(wait);
+            if job.ingress_ns > 0 {
+                inner.stats.stages.ingress.record_ns(job.ingress_ns);
+            }
             // Queue wait crosses threads, so it is recorded as an explicit
             // interval rather than a scoped guard.
             errflow_obs::trace::record_span("serve.batch_wait", job.t0_trace_ns, dequeued_trace_ns);
@@ -601,7 +692,7 @@ fn worker_loop<M: Model + Clone + Send + Sync>(inner: &Inner<M>, queue: &Bounded
                 }
                 Err(e) => {
                     inner.stats.failed.inc();
-                    job.slot
+                    job.responder
                         .fulfill(Err(ServeError::Compression(e.to_string())));
                 }
             }
@@ -645,7 +736,10 @@ fn worker_loop<M: Model + Clone + Send + Sync>(inner: &Inner<M>, queue: &Bounded
             let latency = job.t0.elapsed();
             inner.stats.latency.record(latency);
             inner.stats.completed.inc();
-            job.slot.fulfill(Ok(Response {
+            // egress_ns stays 0 here: the net frontend stamps it into the
+            // wire frame during encode (after this fulfill) and records it
+            // via `Server::note_egress_ns`.
+            job.responder.fulfill(Ok(Response {
                 outputs,
                 rel_bound: cached.rel_bound,
                 format: cached.plan.format,
@@ -654,11 +748,13 @@ fn worker_loop<M: Model + Clone + Send + Sync>(inner: &Inner<M>, queue: &Bounded
                 batch_size,
                 latency,
                 stages: RequestStages {
+                    ingress_ns: job.ingress_ns,
                     batch_wait_ns: wait,
                     plan_ns,
                     decompress_ns: dec_ns,
                     forward_ns,
                     respond_ns,
+                    egress_ns: 0,
                 },
             }));
         }

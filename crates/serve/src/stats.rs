@@ -62,8 +62,17 @@ impl MirroredHistogram {
 /// is ≤ the end-to-end latency (the remainder is bookkeeping between
 /// stages).  Batch-level stages (`plan_ns`, `forward_ns`) are shared by
 /// every request in the batch and attributed in full to each.
+///
+/// For in-process submissions `ingress_ns`/`egress_ns` are 0 and the sum
+/// is ≤ [`crate::Response::latency`].  For requests arriving over the
+/// wire (`errflow-net`) the frontend stamps both, and the sum is ≤ the
+/// *client-observed* round trip (the server-side latency window opens
+/// after ingress and closes before egress).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct RequestStages {
+    /// Network frontend: reading + decoding the request frame (0 for
+    /// in-process submissions — the wire path is the only producer).
+    pub ingress_ns: u64,
     /// Admission → a worker dequeued the job.
     pub batch_wait_ns: u64,
     /// Plan-cache lookup (miss: plan + quantize) for the job's batch.
@@ -74,12 +83,22 @@ pub struct RequestStages {
     pub forward_ns: u64,
     /// Forward-pass end → this job's response was fulfilled.
     pub respond_ns: u64,
+    /// Network frontend: encoding the response frame (0 for in-process;
+    /// stamped by the wire path *before* the frame leaves, so the value a
+    /// client sees covers serialization, not the final socket write).
+    pub egress_ns: u64,
 }
 
 impl RequestStages {
     /// Total attributed time; ≤ the response's end-to-end latency.
     pub fn sum_ns(&self) -> u64 {
-        self.batch_wait_ns + self.plan_ns + self.decompress_ns + self.forward_ns + self.respond_ns
+        self.ingress_ns
+            + self.batch_wait_ns
+            + self.plan_ns
+            + self.decompress_ns
+            + self.forward_ns
+            + self.respond_ns
+            + self.egress_ns
     }
 }
 
@@ -90,6 +109,9 @@ impl RequestStages {
 /// per batch, so their counts equal the batch count, not the job count.
 #[derive(Debug)]
 pub struct StageStats {
+    /// Wire-frame read + decode, per job (net frontend only — empty for
+    /// in-process traffic).
+    pub ingress: MirroredHistogram,
     /// Admission → dequeue, per job.
     pub batch_wait: MirroredHistogram,
     /// Plan-cache lookup, per batch.
@@ -100,6 +122,9 @@ pub struct StageStats {
     pub forward: MirroredHistogram,
     /// Forward end → response fulfilled, per job.
     pub respond: MirroredHistogram,
+    /// Response encode + write, per job (net frontend only — empty for
+    /// in-process traffic).
+    pub egress: MirroredHistogram,
     /// Responses whose certified bound was ≤ the plan tolerance.
     pub bound_pass: ScopedCounter,
     /// Responses whose certified bound exceeded the plan tolerance (a
@@ -110,11 +135,13 @@ pub struct StageStats {
 impl Default for StageStats {
     fn default() -> Self {
         StageStats {
+            ingress: MirroredHistogram::new("serve.stage.ingress_ns"),
             batch_wait: MirroredHistogram::new("serve.stage.batch_wait_ns"),
             plan: MirroredHistogram::new("serve.stage.plan_ns"),
             decompress: MirroredHistogram::new("serve.stage.decompress_ns"),
             forward: MirroredHistogram::new("serve.stage.forward_ns"),
             respond: MirroredHistogram::new("serve.stage.respond_ns"),
+            egress: MirroredHistogram::new("serve.stage.egress_ns"),
             bound_pass: ScopedCounter::new("serve.bound_pass"),
             bound_fail: ScopedCounter::new("serve.bound_fail"),
         }
@@ -125,11 +152,13 @@ impl StageStats {
     /// Point-in-time per-stage summaries.
     pub fn breakdown(&self) -> StageBreakdown {
         StageBreakdown {
+            ingress: self.ingress.summary(),
             batch_wait: self.batch_wait.summary(),
             plan: self.plan.summary(),
             decompress: self.decompress.summary(),
             forward: self.forward.summary(),
             respond: self.respond.summary(),
+            egress: self.egress.summary(),
         }
     }
 }
@@ -137,6 +166,8 @@ impl StageStats {
 /// Snapshot of the per-stage latency distributions (microseconds).
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct StageBreakdown {
+    /// Wire-frame read + decode, per job (net frontend only).
+    pub ingress: LatencySummary,
     /// Admission → dequeue, per job.
     pub batch_wait: LatencySummary,
     /// Plan-cache lookup, per batch.
@@ -147,6 +178,8 @@ pub struct StageBreakdown {
     pub forward: LatencySummary,
     /// Forward end → response fulfilled, per job.
     pub respond: LatencySummary,
+    /// Response encode + write, per job (net frontend only).
+    pub egress: LatencySummary,
 }
 
 /// Live server counters.  Every counter is per-instance and mirrored into
@@ -413,13 +446,15 @@ mod tests {
     #[test]
     fn request_stages_sum() {
         let s = RequestStages {
+            ingress_ns: 5,
             batch_wait_ns: 10,
             plan_ns: 20,
             decompress_ns: 30,
             forward_ns: 40,
             respond_ns: 50,
+            egress_ns: 7,
         };
-        assert_eq!(s.sum_ns(), 150);
+        assert_eq!(s.sum_ns(), 162);
         assert_eq!(RequestStages::default().sum_ns(), 0);
     }
 

@@ -280,6 +280,34 @@ fn worker_loop(shared: &Shared) {
     }
 }
 
+/// The `ERRFLOW_THREADS` override when set to a positive integer.
+fn env_threads() -> Option<usize> {
+    std::env::var("ERRFLOW_THREADS")
+        .ok()
+        .and_then(|s| s.parse::<usize>().ok())
+        .filter(|&n| n > 0)
+}
+
+/// Concurrency that actually speeds up compute-bound fan-out: the
+/// `ERRFLOW_THREADS` override when set, otherwise `available_parallelism`
+/// **without** the exercise floor [`global`] applies.
+///
+/// The distinction matters on small machines: the global pool floors its
+/// size at 4 total threads so concurrency paths stay exercised even on a
+/// 1-core CI box, but a data-parallel hot path that sizes its fan-out
+/// from the pool then runs 4 software threads on 1 core and measures
+/// pure oversubscription (this was the flat chunked-decode scaling —
+/// 1.09× at 4 threads — in `BENCH_compress.json`).  Throughput-sized
+/// defaults should use this; the floored pool remains the right cap for
+/// correctness-exercising paths.
+pub fn hardware_threads() -> usize {
+    env_threads().unwrap_or_else(|| {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    })
+}
+
 /// The process-wide shared pool.
 ///
 /// Sized from `ERRFLOW_THREADS` when set (total concurrency: workers =
@@ -287,19 +315,17 @@ fn worker_loop(shared: &Shared) {
 /// floor of 4 total so concurrency paths are exercised (and the thread-count
 /// sweep in `gemm-bench` is meaningful) even on small CI machines —
 /// oversubscription is benign for correctness and mild for throughput.
+/// Paths that size fan-out for throughput should clamp with
+/// [`hardware_threads`].
 pub fn global() -> &'static ThreadPool {
     static POOL: OnceLock<ThreadPool> = OnceLock::new();
     POOL.get_or_init(|| {
-        let total = std::env::var("ERRFLOW_THREADS")
-            .ok()
-            .and_then(|s| s.parse::<usize>().ok())
-            .filter(|&n| n > 0)
-            .unwrap_or_else(|| {
-                std::thread::available_parallelism()
-                    .map(|n| n.get())
-                    .unwrap_or(1)
-                    .max(4)
-            });
+        let total = env_threads().unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+                .max(4)
+        });
         ThreadPool::new(total - 1)
     })
 }

@@ -12,6 +12,7 @@
 
 use crate::compress::{Compressor, MgardCompressor, SzCompressor, ZfpCompressor};
 use crate::core::NetworkAnalysis;
+use crate::net::{run_net_loadgen, NetConfig, NetServer};
 use crate::nn::Model;
 use crate::pipeline::planner::PayloadLayout;
 use crate::pipeline::{Planner, PlannerConfig};
@@ -99,6 +100,13 @@ pub enum Command {
         smoke: bool,
         /// Write a chrome://tracing trace-event JSON of the run here.
         trace_out: Option<String>,
+        /// Drive the load through the wire-protocol TCP frontend instead
+        /// of in-process submission.
+        net: bool,
+        /// Port the net frontend binds (0 = ephemeral; loopback only).
+        port: u16,
+        /// Dedicated io (acceptor/reader) threads for the net frontend.
+        io_threads: usize,
     },
     /// Print usage.
     Help,
@@ -129,6 +137,9 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
     let mut mix = 1usize;
     let mut smoke = false;
     let mut trace_out: Option<String> = None;
+    let mut net = false;
+    let mut port = 0u16;
+    let mut io_threads = 1usize;
     // serve-bench defaults to a loose tolerance; `plan`/`run` keep 1e-3.
     let serve_bench = cmd == "serve-bench";
     if serve_bench {
@@ -215,6 +226,17 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
             "--mix" => mix = value("--mix")?.parse().map_err(|e| format!("--mix: {e}"))?,
             "--smoke" => smoke = true,
             "--trace-out" => trace_out = Some(value("--trace-out")?.clone()),
+            "--net" => net = true,
+            "--port" => {
+                port = value("--port")?
+                    .parse()
+                    .map_err(|e| format!("--port: {e}"))?
+            }
+            "--io-threads" => {
+                io_threads = value("--io-threads")?
+                    .parse()
+                    .map_err(|e| format!("--io-threads: {e}"))?
+            }
             other => return Err(format!("unknown flag: {other}")),
         }
     }
@@ -257,6 +279,9 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
             seed,
             smoke,
             trace_out,
+            net,
+            port,
+            io_threads,
         }),
         other => Err(format!("unknown command: {other}")),
     }
@@ -273,6 +298,7 @@ USAGE:
   errflow-cli serve-bench [--task <...>] [--tol <rel>] [--norm linf|l2] [--share F] [--backend <...>]
                           [--clients N] [--requests M] [--workers N] [--queue-cap N] [--batch N]
                           [--samples N] [--mix K] [--seed N] [--smoke] [--trace-out FILE]
+                          [--net] [--port P] [--io-threads N]
   errflow-cli help
 
 serve-bench drives the in-process inference server with N closed-loop
@@ -281,7 +307,11 @@ latency percentiles, per-stage breakdown, plan-cache hit rate,
 certified-bound check).  --smoke shrinks the run and fails unless the
 stage breakdown recorded observations; --trace-out writes a
 chrome://tracing trace-event JSON of the run (load it at chrome://tracing
-or https://ui.perfetto.dev).
+or https://ui.perfetto.dev).  --net routes the load through the
+wire-protocol TCP frontend on 127.0.0.1 (--port, 0 = ephemeral;
+--io-threads acceptor/reader threads) and adds client RTT plus frontend
+overhead to the summary; with --smoke it also fails if the ingress/egress
+stages are empty or the p50 frontend overhead exceeds 250µs.
 ";
 
 fn backend_by_name(name: &str) -> Result<Box<dyn Compressor>, String> {
@@ -421,6 +451,9 @@ pub fn run(cmd: Command) -> i32 {
             seed,
             smoke,
             trace_out,
+            net,
+            port,
+            io_threads,
         } => {
             let backend = match BackendKind::parse(&backend) {
                 Ok(b) => b,
@@ -441,12 +474,13 @@ pub fn run(cmd: Command) -> i32 {
             };
             let t = SyntheticTask::of_kind_small(task, seed);
             eprintln!(
-                "serve-bench: training {} model, then {clients} clients x {requests} requests...",
-                task.name()
+                "serve-bench: training {} model, then {clients} clients x {requests} requests{}...",
+                task.name(),
+                if net { " over TCP" } else { "" }
             );
             let model = t.trained_model(TrainingMode::Psn, 6);
             let cal: Vec<Vec<f32>> = t.ordered_inputs().iter().take(64).cloned().collect();
-            let server = Server::new(
+            let server = std::sync::Arc::new(Server::new(
                 model,
                 cal,
                 ServeConfig {
@@ -457,27 +491,49 @@ pub fn run(cmd: Command) -> i32 {
                     backend,
                     ..ServeConfig::default()
                 },
-            );
+            ));
             // `--mix K` spreads requests over K log-spaced tolerance
             // buckets at and below `--tol` to exercise plan-cache churn;
             // the default K=1 is the steady single-SLO workload.
             let tolerances: Vec<f64> = (0..mix).map(|i| tol * 10f64.powi(-(i as i32))).collect();
-            let summary = run_loadgen(
-                &server,
-                &LoadgenConfig {
-                    clients,
-                    requests_per_client: requests,
-                    samples_per_request: samples,
-                    tolerances,
-                    norm,
-                    layout: match task {
-                        TaskKind::EuroSat => PayloadLayout::SampleMajor,
-                        _ => PayloadLayout::FeatureMajor,
-                    },
-                    seed,
+            let lg_cfg = LoadgenConfig {
+                clients,
+                requests_per_client: requests,
+                samples_per_request: samples,
+                tolerances,
+                norm,
+                layout: match task {
+                    TaskKind::EuroSat => PayloadLayout::SampleMajor,
+                    _ => PayloadLayout::FeatureMajor,
                 },
-            );
-            println!("{}", summary.to_json());
+                seed,
+            };
+            // In net mode the closed loop runs through real sockets and the
+            // summary grows a `net` block (client RTT + frontend overhead).
+            let (summary, net_overhead_us) = if net {
+                let frontend = match NetServer::start(
+                    std::sync::Arc::clone(&server),
+                    &format!("127.0.0.1:{port}"),
+                    NetConfig {
+                        io_threads,
+                        ..NetConfig::default()
+                    },
+                ) {
+                    Ok(f) => f,
+                    Err(e) => {
+                        eprintln!("failed to start net frontend: {e}");
+                        return 2;
+                    }
+                };
+                eprintln!("net frontend listening on {}", frontend.local_addr());
+                let s = run_net_loadgen(&server, frontend.local_addr(), &lg_cfg);
+                println!("{}", s.to_json());
+                (s.base, Some(s.overhead_p50_us))
+            } else {
+                let s = run_loadgen(&server, &lg_cfg);
+                println!("{}", s.to_json());
+                (s, None)
+            };
             if let Some(path) = trace_out {
                 let trace = crate::obs::trace::export_chrome_trace();
                 match std::fs::write(&path, trace) {
@@ -499,11 +555,27 @@ pub fn run(cmd: Command) -> i32 {
                     && s.forward.count > 0
                     && s.respond.count > 0;
                 let bounds_ok = summary.bound_pass > 0 && summary.bound_fail == 0;
+                // Net mode additionally gates on the frontend itself: the
+                // ingress/egress stages must be populated and the p50
+                // overhead over in-process dispatch must stay under the CI
+                // budget (the local target is ~100µs; CI machines are
+                // noisy, so the gate is 250µs).
+                let net_ok = match net_overhead_us {
+                    None => true,
+                    Some(overhead) => {
+                        let frontend_stages_ok = s.ingress.count > 0 && s.egress.count > 0;
+                        eprintln!(
+                            "smoke: net frontend stages populated = {frontend_stages_ok}, \
+                             p50 overhead = {overhead:.1}us (budget 250us)"
+                        );
+                        frontend_stages_ok && overhead.is_finite() && overhead <= 250.0
+                    }
+                };
                 eprintln!(
                     "smoke: stage breakdown populated = {stages_ok}, \
                      bound certification counters ok = {bounds_ok}"
                 );
-                if !(stages_ok && bounds_ok) {
+                if !(stages_ok && bounds_ok && net_ok) {
                     return 3;
                 }
             }
@@ -667,6 +739,38 @@ mod tests {
             _ => panic!("wrong command"),
         }
         assert!(parse_args(&args("serve-bench --trace-out")).is_err());
+    }
+
+    #[test]
+    fn parse_serve_bench_net_flags() {
+        match parse_args(&args("serve-bench --net --port 9000 --io-threads 2")).unwrap() {
+            Command::ServeBench {
+                net,
+                port,
+                io_threads,
+                ..
+            } => {
+                assert!(net);
+                assert_eq!(port, 9000);
+                assert_eq!(io_threads, 2);
+            }
+            _ => panic!("wrong command"),
+        }
+        match parse_args(&args("serve-bench")).unwrap() {
+            Command::ServeBench {
+                net,
+                port,
+                io_threads,
+                ..
+            } => {
+                assert!(!net);
+                assert_eq!(port, 0);
+                assert_eq!(io_threads, 1);
+            }
+            _ => panic!("wrong command"),
+        }
+        assert!(parse_args(&args("serve-bench --port many")).is_err());
+        assert!(parse_args(&args("serve-bench --io-threads")).is_err());
     }
 
     #[test]

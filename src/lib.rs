@@ -32,12 +32,14 @@
 //! | [`scidata`] | synthetic scientific workload generators |
 //! | [`pipeline`] | tolerance allocation and the end-to-end inference pipeline |
 //! | [`serve`] | concurrent batched inference server with plan caching |
+//! | [`net`] | wire-protocol TCP frontend + client for the server |
 //! | [`obs`] | metrics registry, span tracing, latency histograms |
 
 pub mod cli;
 
 pub use errflow_compress as compress;
 pub use errflow_core as core;
+pub use errflow_net as net;
 pub use errflow_nn as nn;
 pub use errflow_obs as obs;
 pub use errflow_pipeline as pipeline;
