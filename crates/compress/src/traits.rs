@@ -152,6 +152,18 @@ mod header {
         })
     }
 
+    /// Reads a little-endian `u64` *value* field (ids, timings).  Unlike
+    /// [`read_len_u64`] the value is not a length, so it is returned
+    /// full-range instead of being checked against `usize` — a model id
+    /// above `u32::MAX` must still decode on 32-bit targets.
+    pub fn read_u64(
+        stream: &[u8],
+        pos: &mut usize,
+        what: &'static str,
+    ) -> Result<u64, CompressError> {
+        Ok(u64::from_le_bytes(take::<8>(stream, pos, what)?))
+    }
+
     /// Reads a little-endian `u32` count/length field as a `usize`.
     pub fn read_len_u32(
         stream: &[u8],
@@ -191,7 +203,7 @@ mod header {
     }
 }
 
-pub use header::{read_f32, read_f64, read_len_u32, read_len_u64, read_u8};
+pub use header::{read_f32, read_f64, read_len_u32, read_len_u64, read_u64, read_u8};
 
 /// Validates a tolerance (shared by all backends).
 pub fn check_tolerance(tol: f64) -> Result<(), CompressError> {

@@ -25,7 +25,7 @@
 //! byte stream is unsynchronized after it, so the server closes after the
 //! error frame is flushed).
 
-use errflow_compress::traits::{read_f32, read_f64, read_len_u32, read_len_u64, read_u8};
+use errflow_compress::traits::{read_f32, read_f64, read_len_u32, read_len_u64, read_u64, read_u8};
 use errflow_compress::CompressError;
 use errflow_pipeline::planner::PayloadLayout;
 use errflow_quant::QuantFormat;
@@ -138,8 +138,8 @@ pub fn parse_header(buf: &[u8]) -> Result<FrameHeader, ProtoError> {
     }
     let type_code = read_u8(buf, &mut pos, "frame type")?;
     let frame_type = FrameType::from_code(type_code)?;
-    let reserved =
-        read_u8(buf, &mut pos, "reserved")? as u16 | (read_u8(buf, &mut pos, "reserved")? as u16);
+    let reserved = (read_u8(buf, &mut pos, "reserved")? as u16)
+        | ((read_u8(buf, &mut pos, "reserved")? as u16) << 8);
     if reserved != 0 {
         return Err(ProtoError::Corrupt("nonzero reserved header bytes".into()));
     }
@@ -259,7 +259,7 @@ pub fn encode_request(req: &RequestFrame) -> Result<Vec<u8>, ProtoError> {
 /// so a forged count can neither over-allocate nor leave trailing bytes.
 pub fn decode_request(body: &[u8]) -> Result<RequestFrame, ProtoError> {
     let mut pos = 0usize;
-    let model_id = read_len_u64(body, &mut pos, "model id")? as u64;
+    let model_id = read_u64(body, &mut pos, "model id")?;
     let rel_tolerance = read_f64(body, &mut pos, "tolerance")?;
     let norm = norm_from_code(read_u8(body, &mut pos, "norm")?)?;
     let layout = layout_from_code(read_u8(body, &mut pos, "layout")?)?;
@@ -365,10 +365,10 @@ pub fn decode_response(body: &[u8]) -> Result<ResponseFrame, ProtoError> {
     let format = format_from_code(read_u8(body, &mut pos, "format")?)?;
     let cache_hit = read_u8(body, &mut pos, "cache hit")? != 0;
     let batch_size = read_len_u32(body, &mut pos, "batch size")? as u32;
-    let latency_ns = read_len_u64(body, &mut pos, "latency")? as u64;
+    let latency_ns = read_u64(body, &mut pos, "latency")?;
     let mut stage_ns = [0u64; 7];
     for ns in &mut stage_ns {
-        *ns = read_len_u64(body, &mut pos, "stage ns")? as u64;
+        *ns = read_u64(body, &mut pos, "stage ns")?;
     }
     let n = read_len_u32(body, &mut pos, "output count")?;
     let dim = read_len_u32(body, &mut pos, "output dim")?;
@@ -638,6 +638,23 @@ mod tests {
             parse_header(&frame[..HEADER_LEN]),
             Err(ProtoError::BadFrameType(42))
         );
+    }
+
+    #[test]
+    fn header_rejects_nonzero_reserved_bytes() {
+        // Each reserved byte independently (the high byte is shifted into
+        // place, so it must trip the check on its own).
+        for idx in [6usize, 7] {
+            let mut frame = encode_request(&sample_request()).unwrap();
+            frame[idx] = 1;
+            assert!(
+                matches!(
+                    parse_header(&frame[..HEADER_LEN]),
+                    Err(ProtoError::Corrupt(_))
+                ),
+                "reserved byte {idx} must reject"
+            );
+        }
     }
 
     #[test]

@@ -97,6 +97,9 @@ fn wake_pair() -> std::io::Result<(TcpStream, TcpStream)> {
     let tx = TcpStream::connect(listener.local_addr()?)?;
     let (rx, _) = listener.accept()?;
     rx.set_nonblocking(true)?;
+    // Nonblocking on the write side too: a serve worker must never stall
+    // on a full loopback buffer (a failed wake is harmless, see wake()).
+    tx.set_nonblocking(true)?;
     tx.set_nodelay(true)?;
     Ok((tx, rx))
 }
@@ -301,7 +304,7 @@ fn io_loop<M: Model + Clone + Send + Sync + 'static>(io: IoLoop<M>) {
 
         // Deliver completed jobs to their connections.
         for c in std::mem::take(&mut *lock_recover(&shared.completions)) {
-            deliver_completion(&io, &metrics, &mut conns, &gens, c);
+            deliver_completion(&io, &metrics, &mut conns, &mut gens, c);
         }
 
         // Accept new connections (thread 0 only).
@@ -332,7 +335,9 @@ fn io_loop<M: Model + Clone + Send + Sync + 'static>(io: IoLoop<M>) {
             reap(&io, &metrics, &mut conns, &mut gens, slot);
         }
 
-        // Idle sweep.
+        // Idle + dead-slot sweep.  Dead conns are excluded from the poll
+        // set, so they get no readiness event to ride a reap on — sweep
+        // them every tick (the completion path also reaps eagerly).
         let now = Instant::now();
         for slot in 0..conns.len() {
             let expire = conns[slot].as_ref().is_some_and(|c| {
@@ -345,8 +350,8 @@ fn io_loop<M: Model + Clone + Send + Sync + 'static>(io: IoLoop<M>) {
                 if let Some(c) = conns[slot].as_mut() {
                     c.dead = true;
                 }
-                reap(&io, &metrics, &mut conns, &mut gens, slot);
             }
+            reap(&io, &metrics, &mut conns, &mut gens, slot);
         }
     }
 
@@ -528,7 +533,7 @@ fn deliver_completion<M: Model + Clone + Send + Sync + 'static>(
     io: &IoLoop<M>,
     metrics: &NetMetrics,
     conns: &mut [Option<Conn>],
-    gens: &[u64],
+    gens: &mut [u64],
     c: Completion,
 ) {
     let Completion {
@@ -544,7 +549,10 @@ fn deliver_completion<M: Model + Clone + Send + Sync + 'static>(
         return;
     };
     conn.inflight = conn.inflight.saturating_sub(1);
-    if !conn.dead {
+    // A dead peer gets nothing; a connection closing after a malformed
+    // frame gets nothing *after* the error frame (the protocol closes
+    // there — no trailing responses for earlier in-flight requests).
+    if !conn.dead && !conn.close_after_flush {
         let bytes = match result {
             Ok(resp) => {
                 metrics.responses.inc();
@@ -582,4 +590,8 @@ fn deliver_completion<M: Model + Clone + Send + Sync + 'static>(
         io.server
             .note_egress_ns(fulfilled.elapsed().as_nanos() as u64);
     }
+    // This decrement may be the last thing the slot was waiting on (the
+    // peer vanished with requests in flight) — free it here, not on a
+    // readiness event a dead conn will never get.
+    reap(io, metrics, conns, gens, slot);
 }

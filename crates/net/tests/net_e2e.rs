@@ -196,6 +196,76 @@ fn wrong_model_id_is_invalid_but_connection_stays_open() {
 }
 
 #[test]
+fn disconnect_with_inflight_request_frees_the_connection_slot() {
+    // Regression: a client vanishing with a request still in flight used
+    // to leak its connection slot forever (the dead conn left the poll
+    // set before its completion drained), so `max_connections` such
+    // disconnects bricked the server for all future clients.
+    let server = test_server(1, 8);
+    let net = NetServer::start(
+        Arc::clone(&server),
+        "127.0.0.1:0",
+        NetConfig {
+            max_connections: 2,
+            ..NetConfig::default()
+        },
+    )
+    .expect("start net server");
+
+    let frame = proto::encode_request(&request_frame(2)).expect("encode");
+    // Churn well past the connection limit, always disconnecting before
+    // the response comes back.
+    for _ in 0..6 {
+        let mut stream = TcpStream::connect(net.local_addr()).expect("connect");
+        stream.write_all(&frame).expect("write request");
+        drop(stream); // gone before the completion delivers
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    // A few poll ticks for the last completions to drain and reap.
+    std::thread::sleep(Duration::from_millis(400));
+
+    // Every slot must be free again: a fresh connection is admitted and
+    // served end to end.
+    let mut stream = TcpStream::connect(net.local_addr()).expect("connect after churn");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .expect("read timeout");
+    stream.write_all(&frame).expect("write request");
+    let (ftype, body) = read_frame(&mut stream);
+    assert_eq!(ftype, FrameType::Response, "leaked slots rejected a fresh connection");
+    let resp = proto::decode_response(&body).expect("decode response");
+    assert_eq!(resp.outputs.len(), 2);
+}
+
+#[test]
+fn no_trailing_frames_after_malformed_error() {
+    // A request and garbage in the same burst: the request goes in flight,
+    // then the malformed bytes trigger the error frame.  The completion of
+    // that earlier request must NOT be sent behind the error frame — the
+    // protocol says the connection closes after it.
+    let server = test_server(1, 8);
+    let net = NetServer::start(Arc::clone(&server), "127.0.0.1:0", NetConfig::default())
+        .expect("start net server");
+
+    let mut stream = TcpStream::connect(net.local_addr()).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .expect("read timeout");
+    let mut bytes = proto::encode_request(&request_frame(2)).expect("encode");
+    bytes.extend_from_slice(&[0xFFu8; 32]);
+    stream.write_all(&bytes).expect("write request + garbage");
+
+    let (ftype, body) = read_frame(&mut stream);
+    assert_eq!(ftype, FrameType::Error, "first frame back must be the error");
+    let err = proto::decode_error(&body).expect("decode error frame");
+    assert_eq!(err.code, ErrorCode::Malformed);
+    // Then EOF — no response frame trails the error.
+    let mut probe = [0u8; 1];
+    let n = stream.read(&mut probe).expect("read after error frame");
+    assert_eq!(n, 0, "got trailing bytes after the malformed error frame");
+}
+
+#[test]
 fn idle_connections_are_reaped() {
     let server = test_server(1, 8);
     let net = NetServer::start(
