@@ -17,7 +17,7 @@ use errflow_scidata::TaskKind;
 use errflow_tensor::norms::Norm;
 
 fn main() {
-    let backend = errflow_compress::SzCompressor;
+    let backend = errflow_compress::SzCompressor::default();
     let mut table = Table::new(
         "Ablation — fixed vs best tolerance allocation (SZ, L-infinity)",
         &[

@@ -27,7 +27,7 @@ fn main() {
             "tightness(bound/achieved)",
         ],
     );
-    let sz = SzCompressor;
+    let sz = SzCompressor::default();
     for kind in TaskKind::ALL {
         for (label, mode) in [
             ("psn", TrainingMode::Psn),

@@ -147,7 +147,7 @@ fn main() {
         "Fig. 10 (left)".into(),
     )
     .print();
-    let sz = errflow_compress::SzCompressor;
+    let sz = errflow_compress::SzCompressor::default();
     retitle(
         pipeline_table(
             std::slice::from_ref(&psn[0]),
@@ -164,7 +164,7 @@ fn main() {
 
     // ---- Figs. 11–15 ----------------------------------------------------
     let mgard = errflow_compress::MgardCompressor;
-    let zfp = errflow_compress::ZfpCompressor;
+    let zfp = errflow_compress::ZfpCompressor::default();
     let specs: [(&str, &dyn errflow_compress::Compressor, Norm); 5] = [
         ("Fig. 11", &mgard, Norm::LInf),
         ("Fig. 12", &mgard, Norm::L2),

@@ -28,6 +28,10 @@ use std::time::Instant;
 
 struct CodecResult {
     backend: &'static str,
+    /// Stream container version the row measured: `"v1"` (legacy layout,
+    /// bit-identical to the frozen reference decoder) or `"v2"`
+    /// (interleaved multi-stream).
+    format: &'static str,
     n: usize,
     rel_tol: f64,
     ratio: f64,
@@ -35,6 +39,9 @@ struct CodecResult {
     decompress_secs: f64,
     decompress_into_secs: f64,
     reference_secs: f64,
+    /// Whether the row was proven bit-identical against the reference
+    /// decoder (v1 rows only — the oracle predates v2).
+    bit_identical: bool,
 }
 
 struct ChunkedResult {
@@ -43,6 +50,10 @@ struct ChunkedResult {
     /// `(threads, best_secs)` per swept thread count.
     threads: Vec<(usize, f64)>,
 }
+
+/// Conservative absolute floors for v2 single-thread decode throughput
+/// (`decompress_into`, GB/s) at the default chunk size — see CI gate 2.
+const SMOKE_DECODE_FLOORS_GBPS: &[(&str, f64)] = &[("sz", 0.35), ("zfp", 0.5)];
 
 fn gbps(n_values: usize, secs: f64) -> f64 {
     (n_values * 4) as f64 / secs / 1e9
@@ -71,20 +82,51 @@ fn field(n: usize) -> Vec<f32> {
         .collect()
 }
 
-fn backends() -> Vec<(&'static str, Box<dyn Compressor>)> {
+/// `(backend, format, measured compressor, v1 seed compressor)`.  The seed
+/// compressor emits the legacy layout the frozen reference decoder
+/// understands; for v1 rows it is the measured compressor itself, so the
+/// row is additionally proven bit-identical against the oracle.
+#[allow(clippy::type_complexity)]
+fn backends() -> Vec<(&'static str, &'static str, Box<dyn Compressor>, Box<dyn Compressor>)> {
     vec![
         (
             "sz",
+            "v2",
             Box::new(SzCompressor::default()) as Box<dyn Compressor>,
+            Box::new(SzCompressor::v1_format()) as Box<dyn Compressor>,
         ),
-        ("zfp", Box::new(ZfpCompressor::default())),
-        ("mgard", Box::new(MgardCompressor::default())),
+        (
+            "zfp",
+            "v2",
+            Box::new(ZfpCompressor::default()),
+            Box::new(ZfpCompressor::v1_format()),
+        ),
+        (
+            "sz",
+            "v1",
+            Box::new(SzCompressor::v1_format()),
+            Box::new(SzCompressor::v1_format()),
+        ),
+        (
+            "zfp",
+            "v1",
+            Box::new(ZfpCompressor::v1_format()),
+            Box::new(ZfpCompressor::v1_format()),
+        ),
+        (
+            "mgard",
+            "v1",
+            Box::new(MgardCompressor::default()),
+            Box::new(MgardCompressor::default()),
+        ),
     ]
 }
 
 fn run_codec(
     backend: &'static str,
+    format: &'static str,
     c: &dyn Compressor,
+    seed_c: &dyn Compressor,
     data: &[f32],
     rel_tol: f64,
     reps: usize,
@@ -93,19 +135,23 @@ fn run_codec(
     let bound = ErrorBound::rel_linf(rel_tol);
     let stream = c.compress(data, &bound).expect("compress");
 
-    // Correctness first: optimized and seed-path decoders must agree
-    // bit-for-bit, and both must satisfy the bound.
+    // Correctness first.  v1 rows must agree bit-for-bit with the frozen
+    // seed-path decoder; v2 rows (which the oracle predates) are held to
+    // the error-bound contract plus decompress/decompress_into agreement.
     let fast = c.decompress(&stream).expect("decompress");
-    let slow = reference::decompress(backend, &stream).expect("reference decompress");
-    assert_eq!(fast.len(), slow.len(), "{backend}: length mismatch");
-    for (i, (a, b)) in fast.iter().zip(&slow).enumerate() {
-        assert_eq!(
-            a.to_bits(),
-            b.to_bits(),
-            "{backend}: optimized and reference decoders diverged at index {i}"
-        );
+    let bit_identical = format == "v1";
+    if bit_identical {
+        let slow = reference::decompress(backend, &stream).expect("reference decompress");
+        assert_eq!(fast.len(), slow.len(), "{backend}: length mismatch");
+        for (i, (a, b)) in fast.iter().zip(&slow).enumerate() {
+            assert_eq!(
+                a.to_bits(),
+                b.to_bits(),
+                "{backend}: optimized and reference decoders diverged at index {i}"
+            );
+        }
     }
-    assert!(bound.verify(data, &fast), "{backend}: bound violated");
+    assert!(bound.verify(data, &fast), "{backend}/{format}: bound violated");
 
     let compress_secs = time_best(reps, || {
         std::hint::black_box(c.compress(data, &bound).expect("compress"));
@@ -121,12 +167,16 @@ fn run_codec(
         std::hint::black_box(&out);
     });
     assert_eq!(out, fast, "{backend}: decompress_into diverged");
+    // Seed baseline: the frozen decoder on a legacy-layout stream of the
+    // same data, so every row's speedup is against the same yardstick.
+    let seed_stream = seed_c.compress(data, &bound).expect("seed compress");
     let reference_secs = time_best(reps, || {
-        std::hint::black_box(reference::decompress(backend, &stream).expect("reference"));
+        std::hint::black_box(reference::decompress(backend, &seed_stream).expect("reference"));
     });
 
     CodecResult {
         backend,
+        format,
         n,
         rel_tol,
         ratio: (n * 4) as f64 / stream.len() as f64,
@@ -134,6 +184,7 @@ fn run_codec(
         decompress_secs,
         decompress_into_secs,
         reference_secs,
+        bit_identical,
     }
 }
 
@@ -191,11 +242,13 @@ fn to_json(codec: &[CodecResult], chunked: &[ChunkedResult]) -> String {
     for (i, r) in codec.iter().enumerate() {
         let _ = write!(
             s,
-            "    {{\"backend\": \"{}\", \"n\": {}, \"rel_tol\": {:.0e}, \"ratio\": {:.2}, \
+            "    {{\"backend\": \"{}\", \"format\": \"{}\", \"n\": {}, \"rel_tol\": {:.0e}, \
+             \"ratio\": {:.2}, \
              \"compress_gbps\": {:.3}, \"decompress_gbps\": {:.3}, \
              \"decompress_into_gbps\": {:.3}, \"reference_gbps\": {:.3}, \
-             \"speedup_vs_reference\": {:.2}, \"bit_identical\": true}}",
+             \"speedup_vs_reference\": {:.2}, \"bit_identical\": {}}}",
             r.backend,
+            r.format,
             r.n,
             r.rel_tol,
             r.ratio,
@@ -204,11 +257,13 @@ fn to_json(codec: &[CodecResult], chunked: &[ChunkedResult]) -> String {
             gbps(r.n, r.decompress_into_secs),
             gbps(r.n, r.reference_secs),
             r.reference_secs / r.decompress_secs,
+            r.bit_identical,
         );
         s.push_str(if i + 1 < codec.len() { ",\n" } else { "\n" });
     }
     s.push_str("  ],\n");
     s.push_str("  \"chunked\": [\n");
+    let hw = pool::hardware_threads();
     for (i, r) in chunked.iter().enumerate() {
         let t1 = r.threads.first().map_or(f64::NAN, |&(_, s)| s);
         let _ = write!(
@@ -222,9 +277,11 @@ fn to_json(codec: &[CodecResult], chunked: &[ChunkedResult]) -> String {
             }
             let _ = write!(
                 s,
-                "{{\"threads\": {t}, \"gbps\": {:.3}, \"speedup_vs_1t\": {:.2}}}",
+                "{{\"threads\": {t}, \"gbps\": {:.3}, \"speedup_vs_1t\": {:.2}, \
+                 \"oversubscribed\": {}}}",
                 gbps(r.n, secs),
-                t1 / secs
+                t1 / secs,
+                t > hw,
             );
         }
         s.push_str("]}");
@@ -270,12 +327,16 @@ fn main() {
         vec![1e-2, 1e-4, 1e-6]
     };
     let max_t = pool::global().max_concurrency();
+    let hw = pool::hardware_threads();
     let mut thread_counts: Vec<usize> = vec![1, 2, 4]
         .into_iter()
         .filter(|&t| t == 1 || t <= max_t)
         .collect();
-    if max_t > 4 {
-        thread_counts.push(max_t);
+    // The sweep extension is capped at the physical core count: widths
+    // beyond it only measure oversubscription (and the standard 2/4-wide
+    // points already carry an `"oversubscribed"` marker when they do).
+    if max_t > 4 && hw > 4 {
+        thread_counts.push(max_t.min(hw));
     }
 
     eprintln!(
@@ -287,15 +348,17 @@ fn main() {
         let reps = if smoke {
             2
         } else if n <= DEFAULT_CHUNK {
-            7
+            // Best-of needs headroom against scheduler noise on shared
+            // hosts; the single-chunk sizes are cheap enough to repeat.
+            11
         } else {
             3
         };
         for &tol in &tolerances {
-            for (name, c) in backends() {
-                let r = run_codec(name, c.as_ref(), &data, tol, reps);
+            for (name, format, c, seed_c) in backends() {
+                let r = run_codec(name, format, c.as_ref(), seed_c.as_ref(), &data, tol, reps);
                 eprintln!(
-                    "[compress-bench] {name} n={n} tol={tol:.0e}: ratio {0:.1}x; \
+                    "[compress-bench] {name}/{format} n={n} tol={tol:.0e}: ratio {0:.1}x; \
                      comp {1:.2} GB/s; decomp {2:.2} GB/s (into {3:.2}); \
                      reference {4:.2} GB/s ({5:.1}x speedup)",
                     r.ratio,
@@ -332,18 +395,39 @@ fn main() {
     let json = to_json(&codec, &chunked);
     if smoke {
         println!("{json}");
-        // CI gate: at the default chunk size every optimized decoder must
+        // CI gate 1: at the default chunk size every optimized decoder must
         // be at least as fast as its frozen seed-path baseline (5% timing
         // slack for loaded CI machines).
         let mut failed = false;
         for r in codec.iter().filter(|r| r.n == DEFAULT_CHUNK) {
             if r.decompress_secs > r.reference_secs * 1.05 {
                 eprintln!(
-                    "[compress-bench] FAIL: {} optimized decode {:.4}s slower than \
+                    "[compress-bench] FAIL: {}/{} optimized decode {:.4}s slower than \
                      seed path {:.4}s at n={}",
-                    r.backend, r.decompress_secs, r.reference_secs, r.n
+                    r.backend, r.format, r.decompress_secs, r.reference_secs, r.n
                 );
                 failed = true;
+            }
+        }
+        // CI gate 2: absolute decode-throughput floors for the v2 SIMD
+        // kernels, set well below (≈ 40% of) the numbers recorded in
+        // BENCH_compress.json so only a real regression — a kernel
+        // silently falling back to scalar, a format change serializing
+        // the lanes — trips them on a loaded CI box.
+        for &(backend, floor) in SMOKE_DECODE_FLOORS_GBPS {
+            for r in codec
+                .iter()
+                .filter(|r| r.backend == backend && r.format == "v2" && r.n == DEFAULT_CHUNK)
+            {
+                let got = gbps(r.n, r.decompress_into_secs);
+                if got < floor {
+                    eprintln!(
+                        "[compress-bench] FAIL: {backend}/v2 decompress_into {got:.3} GB/s \
+                         below the {floor:.3} GB/s smoke floor at n={}",
+                        r.n
+                    );
+                    failed = true;
+                }
             }
         }
         if failed {

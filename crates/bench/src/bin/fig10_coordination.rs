@@ -11,7 +11,7 @@ fn main() {
     let tols = [1e-5, 3e-5, 1e-4, 3e-4, 1e-3, 3e-3, 1e-2, 3e-2, 1e-1];
     coordination_table(&tt, Norm::LInf, &tols, true).print();
     // Right panel: phase throughputs with quantization prioritised.
-    let backend = errflow_compress::SzCompressor;
+    let backend = errflow_compress::SzCompressor::default();
     pipeline_table(
         std::slice::from_ref(&tt),
         &backend,

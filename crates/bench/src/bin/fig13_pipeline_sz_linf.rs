@@ -5,7 +5,7 @@ use errflow_tensor::norms::Norm;
 
 fn main() {
     let tasks = TrainedTask::prepare_all_psn(7);
-    let backend = errflow_compress::SzCompressor;
+    let backend = errflow_compress::SzCompressor::default();
     pipeline_table(
         &tasks,
         &backend,

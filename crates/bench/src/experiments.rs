@@ -198,7 +198,7 @@ pub fn per_feature_table(tt: &TrainedTask, norm: Norm, level: f64, sample_cap: u
         Norm::LInf => ErrorBound::rel_linf(level),
         Norm::L2 => ErrorBound::rel_l2(level),
     };
-    let sz = errflow_compress::SzCompressor;
+    let sz = errflow_compress::SzCompressor::default();
     let stream = sz.compress(&payload, &bound_mode).expect("sz supports all");
     let recon_payload = sz.decompress(&stream).expect("own stream");
     let recon = unflatten(&recon_payload, inputs.len(), inputs[0].len(), layout);

@@ -123,8 +123,18 @@ impl<'a> BitReader<'a> {
     /// The in-bounds case compiles to a single unaligned 8-byte load plus a
     /// shift; only the last ≤ 7 bytes of a stream take the zero-padded copy.
     #[inline]
-    fn peek_word(&self) -> u64 {
+    pub(crate) fn peek_word(&self) -> u64 {
         load_word(self.buf, self.pos)
+    }
+
+    /// Advances the cursor by `n` bits with no end-of-stream clamp.  Pairs
+    /// with [`BitReader::peek_word`] to pull several fields out of one
+    /// 57-bit window; the caller must have verified (e.g. once per block)
+    /// that `n` more bits exist.
+    #[inline]
+    pub(crate) fn advance_unchecked(&mut self, n: usize) {
+        debug_assert!(self.pos + n <= self.bit_capacity());
+        self.pos += n;
     }
 
     /// Reads one bit; `None` at end of stream.

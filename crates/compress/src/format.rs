@@ -1,0 +1,161 @@
+//! Versioned stream-format constants and helpers for the v2 interleaved
+//! layout.
+//!
+//! **v1** streams (the seed format, frozen in [`crate::reference`]) encode
+//! one serial entropy/bit stream per payload: decode throughput is capped
+//! by the single symbol-to-symbol dependency chain.  **v2** streams split
+//! each payload into [`V2_STREAMS`] independently-decodable sub-streams so
+//! the decoder can run several dependency chains at once — interleaved
+//! scalar chains on portable hosts, gather-based AVX2 lanes where
+//! available (see `huffman_simd` / `zfp_simd`).
+//!
+//! A v2 stream opens with [`MAGIC_V2`]: eight bytes whose top byte is
+//! `0xBF`, so reinterpreted as the little-endian `u64` element count that
+//! opens every v1 header it exceeds `2^63` — no decodable v1 stream can
+//! collide (v1 counts are bounded by payload size long before that), and
+//! v1 decoders reject such a count as implausible rather than misparsing.
+//! The byte after the magic tags the backend, so a ZFP v2 stream handed to
+//! the SZ decoder fails with a typed error instead of being misread.
+
+use crate::traits::CompressError;
+
+/// v2 stream magic: `b"EFv2"` plus three discriminator bytes and a high
+/// byte ≥ `0x80` (see module docs for why the high byte matters).
+pub const MAGIC_V2: [u8; 8] = *b"EFv2\x9e\xad\xf5\xbf";
+
+/// Sub-streams per v2 payload.  Four matches both the AVX2 kernels' lane
+/// width (4 × 64-bit bit-windows per ymm register) and the ILP sweet spot
+/// of the interleaved scalar fallback; it is recorded per stream, so the
+/// constant can change without invalidating old v2 streams.
+pub const V2_STREAMS: usize = 4;
+
+/// Upper bound on the per-stream sub-stream count a decoder will accept.
+/// Caps scratch fan-out on forged headers.
+pub const MAX_STREAMS: usize = 16;
+
+/// Backend tag byte following the magic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BackendTag {
+    /// SZ-class predictor/quantizer stream.
+    Sz = 1,
+    /// ZFP-class block stream.
+    Zfp = 2,
+}
+
+/// `true` when `stream` opens with the v2 magic.
+pub fn is_v2(stream: &[u8]) -> bool {
+    stream.len() >= 8 && stream[..8] == MAGIC_V2
+}
+
+/// Parses the fixed v2 preamble (magic, backend tag, sub-stream count),
+/// advancing `pos` past it.  The caller has already checked [`is_v2`];
+/// this validates the tag and bounds the stream count.
+pub fn read_preamble(
+    stream: &[u8],
+    pos: &mut usize,
+    expect: BackendTag,
+) -> Result<usize, CompressError> {
+    *pos += 8; // magic, checked by `is_v2`
+    let tag = crate::traits::read_u8(stream, pos, "v2 backend tag")?;
+    if tag != expect as u8 {
+        return Err(CompressError::CorruptStream(format!(
+            "v2 stream tagged for backend {tag}, expected {}",
+            expect as u8
+        )));
+    }
+    let s = crate::traits::read_u8(stream, pos, "v2 stream count")? as usize;
+    if s == 0 || s > MAX_STREAMS {
+        return Err(CompressError::CorruptStream(format!(
+            "v2 sub-stream count {s} outside 1..={MAX_STREAMS}"
+        )));
+    }
+    Ok(s)
+}
+
+/// Writes the fixed v2 preamble.
+pub fn write_preamble(out: &mut Vec<u8>, tag: BackendTag, n_streams: usize) {
+    debug_assert!(n_streams >= 1 && n_streams <= MAX_STREAMS);
+    out.extend_from_slice(&MAGIC_V2);
+    out.push(tag as u8);
+    out.push(n_streams as u8);
+}
+
+/// Splits `n` items into `s` contiguous segments whose lengths differ by at
+/// most one (the first `n % s` segments get the extra item).  Returns
+/// `(offset, len)` per segment; segments may be empty when `n < s`.
+///
+/// Both encoder and decoder derive the segmentation from `(n, s)` alone, so
+/// the split never needs to be serialized — headers still declare the
+/// per-segment counts and the decoder cross-checks them against this
+/// function, making a forged header a typed error rather than a skew.
+pub fn split_even(n: usize, s: usize) -> Vec<(usize, usize)> {
+    debug_assert!(s >= 1);
+    let base = n / s;
+    let extra = n % s;
+    let mut out = Vec::with_capacity(s);
+    let mut off = 0usize;
+    for i in 0..s {
+        let len = base + usize::from(i < extra);
+        out.push((off, len));
+        off += len;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn magic_exceeds_any_plausible_v1_count() {
+        let as_count = u64::from_le_bytes(MAGIC_V2);
+        assert!(as_count > 1 << 63);
+    }
+
+    #[test]
+    fn split_even_covers_exactly() {
+        for n in [0usize, 1, 2, 3, 4, 5, 7, 8, 100, 65_536, 1_000_003] {
+            for s in [1usize, 2, 3, 4, 8] {
+                let parts = split_even(n, s);
+                assert_eq!(parts.len(), s);
+                let mut off = 0;
+                for &(o, l) in &parts {
+                    assert_eq!(o, off);
+                    off += l;
+                }
+                assert_eq!(off, n);
+                let lens: Vec<usize> = parts.iter().map(|&(_, l)| l).collect();
+                let max = lens.iter().max().copied().unwrap_or(0);
+                let min = lens.iter().min().copied().unwrap_or(0);
+                assert!(max - min <= 1, "n={n} s={s} lens={lens:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn preamble_roundtrip_and_rejections() {
+        let mut buf = Vec::new();
+        write_preamble(&mut buf, BackendTag::Sz, V2_STREAMS);
+        assert!(is_v2(&buf));
+        let mut pos = 0;
+        assert_eq!(
+            read_preamble(&buf, &mut pos, BackendTag::Sz).unwrap(),
+            V2_STREAMS
+        );
+        assert_eq!(pos, 10);
+        // Wrong backend tag.
+        let mut pos = 0;
+        assert!(read_preamble(&buf, &mut pos, BackendTag::Zfp).is_err());
+        // Zero / oversized stream counts.
+        for bad in [0usize, MAX_STREAMS + 1] {
+            let mut buf = Vec::new();
+            buf.extend_from_slice(&MAGIC_V2);
+            buf.push(BackendTag::Sz as u8);
+            buf.push(bad as u8);
+            let mut pos = 0;
+            assert!(read_preamble(&buf, &mut pos, BackendTag::Sz).is_err());
+        }
+        assert!(!is_v2(&[1, 2, 3]));
+        assert!(!is_v2(b"EFv1\x9e\xad\xf5\xbf"));
+    }
+}

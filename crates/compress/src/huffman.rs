@@ -23,6 +23,20 @@
 //! points reuse a thread-local scratch transparently.  The byte format is
 //! identical to the pre-optimization coder (checked by the parity tests in
 //! [`crate::reference`]).
+//!
+//! ## Multi-stream (v2) coding
+//!
+//! Serial Huffman decode is latency-bound: every symbol's table lookup
+//! depends on the previous symbol's length, so one dependency chain caps
+//! throughput regardless of ILP or SIMD width.  The multi-stream entry
+//! points ([`encode_multi`], [`decode_multi_into`]) break that chain by
+//! splitting the input into [`crate::format::V2_STREAMS`] contiguous
+//! segments that share one code table but carry **independent payloads**:
+//! the decoder runs one chain per sub-stream — four interleaved scalar
+//! chains portably, or four gather-driven register lanes on AVX2 hosts
+//! (see `huffman_simd`).  Runs are collapsed per segment, so a run never
+//! straddles a sub-stream boundary.  This block format is the entropy
+//! layer of the v2 container streams written by [`crate::SzCompressor`].
 
 use crate::bitstream::{load_word, BitWriter};
 use crate::traits::{read_len_u32, read_len_u64, read_u8, CompressError};
@@ -64,6 +78,11 @@ fn bitrev(v: u64, len: u8) -> u64 {
 pub struct DecodeScratch {
     /// `2^PEEK` entries of `(symbol, code length)`; length 0 = slow path.
     table: Vec<(u32, u8)>,
+    /// `2^PEEK` packed entries `len << 32 | sym` for the multi-stream
+    /// decoder (a single-`u64` layout the AVX2 gather kernel can fetch in
+    /// one instruction); length 0 = slow path.  Only one of `table` /
+    /// `table64` is filled per decode, depending on the entry point.
+    table64: Vec<u64>,
     /// Parsed `(symbol, length)` pairs in canonical order.
     lengths: Vec<(u32, u8)>,
     /// Per-length first canonical code.
@@ -94,6 +113,8 @@ pub struct EncodeScratch {
     runs: Vec<u32>,
     /// Payload writer (buffer reused across calls).
     writer: BitWriter,
+    /// Per-sub-stream payload staging for the multi-stream encoder.
+    payload_buf: Vec<u8>,
 }
 
 thread_local! {
@@ -161,10 +182,24 @@ pub fn encode_with(symbols: &[u32], out: &mut Vec<u8>, s: &mut EncodeScratch) {
         out.push(len);
     }
 
-    // Symbol → (bit-reversed code, length): the writer emits LSB-first, so
-    // writing the bit-reversed canonical code produces the MSB-first stream
-    // order decoding needs.  Dense array lookup for small alphabets, map
-    // fallback otherwise.
+    let (dense, marker_code, map) = build_encode_lut(&lengths, &mut s.lut);
+    let w = &mut s.writer;
+    w.reset();
+    write_payload_symbols(w, transformed, dense, &s.lut, marker_code, &map);
+    let payload_len = w.bit_len().div_ceil(8);
+    out.extend_from_slice(&(payload_len as u64).to_le_bytes());
+    w.append_bytes_to(out);
+}
+
+/// Builds the symbol → (bit-reversed code, length) lookup shared by the
+/// single- and multi-stream encoders.  The writer emits LSB-first, so
+/// storing the bit-reversed canonical code produces the MSB-first stream
+/// order decoding needs.  Dense array lookup for small alphabets (with the
+/// `RUN_MARKER` code held out-of-band), `HashMap` fallback otherwise.
+fn build_encode_lut(
+    lengths: &[(u32, u8)],
+    lut: &mut Vec<(u64, u8)>,
+) -> (bool, (u64, u8), HashMap<u32, (u64, u8)>) {
     let max_sym = lengths
         .iter()
         .filter(|&&(sym, _)| sym != RUN_MARKER)
@@ -175,44 +210,52 @@ pub fn encode_with(symbols: &[u32], out: &mut Vec<u8>, s: &mut EncodeScratch) {
     let mut marker_code = (0u64, 0u8);
     let mut map: HashMap<u32, (u64, u8)> = HashMap::new();
     if dense {
-        s.lut.clear();
-        s.lut.resize(max_sym + 1, (0, 0));
+        lut.clear();
+        lut.resize(max_sym + 1, (0, 0));
     } else {
         map.reserve(lengths.len());
     }
-    {
-        let mut code = 0u64;
-        let mut prev_len = 0u8;
-        for &(sym, len) in &lengths {
-            code = code.wrapping_shl((len - prev_len) as u32);
-            let rev = (bitrev(code, len), len);
-            if dense {
-                if sym == RUN_MARKER {
-                    marker_code = rev;
-                } else {
-                    s.lut[sym as usize] = rev;
-                }
+    let mut code = 0u64;
+    let mut prev_len = 0u8;
+    for &(sym, len) in lengths {
+        code = code.wrapping_shl((len - prev_len) as u32);
+        let rev = (bitrev(code, len), len);
+        if dense {
+            if sym == RUN_MARKER {
+                marker_code = rev;
             } else {
-                map.insert(sym, rev);
+                lut[sym as usize] = rev;
             }
-            code += 1;
-            prev_len = len;
+        } else {
+            map.insert(sym, rev);
         }
+        code += 1;
+        prev_len = len;
     }
+    (dense, marker_code, map)
+}
 
-    let w = &mut s.writer;
-    w.reset();
+/// Writes one payload's worth of symbols through the lookup built by
+/// [`build_encode_lut`].
+fn write_payload_symbols(
+    w: &mut BitWriter,
+    symbols: &[u32],
+    dense: bool,
+    lut: &[(u64, u8)],
+    marker_code: (u64, u8),
+    map: &HashMap<u32, (u64, u8)>,
+) {
     if dense {
-        for &sym in transformed {
+        for &sym in symbols {
             let (rev, len) = if sym == RUN_MARKER {
                 marker_code
             } else {
-                s.lut[sym as usize]
+                lut[sym as usize]
             };
             w.write_bits(rev, len as u32);
         }
     } else {
-        for sym in transformed {
+        for sym in symbols {
             // audit:allow(no-panic) encode-side invariant: `map` was built
             // from the histogram of this very slice, so every symbol has a
             // code; a miss is a bug, not an input condition.
@@ -220,9 +263,112 @@ pub fn encode_with(symbols: &[u32], out: &mut Vec<u8>, s: &mut EncodeScratch) {
             w.write_bits(rev, len as u32);
         }
     }
-    let payload_len = w.bit_len().div_ceil(8);
-    out.extend_from_slice(&(payload_len as u64).to_le_bytes());
-    w.append_bytes_to(out);
+}
+
+/// Multi-stream variant of [`encode`]: `segments` are encoded against one
+/// shared code table but into independent payloads, one per segment, so
+/// they can be decoded as parallel lanes.  See the module docs.
+pub fn encode_multi(segments: &[&[u32]]) -> Vec<u8> {
+    let mut out = Vec::new();
+    encode_multi_into(segments, &mut out);
+    out
+}
+
+/// [`encode_multi`] appending to an existing buffer via the thread-local
+/// [`EncodeScratch`].
+pub fn encode_multi_into(segments: &[&[u32]], out: &mut Vec<u8>) {
+    ENC_SCRATCH.with(|s| encode_multi_with(segments, out, &mut s.borrow_mut()));
+}
+
+/// [`encode_multi_into`] with caller-owned scratch state.
+///
+/// Block layout (all integers little-endian):
+///
+/// ```text
+/// n_original u64 | n_streams u8 | rle u8
+/// per stream: n_original_s u64 | n_runs_s u32 | runs varint* | n_symbols_s u64
+/// n_distinct u32 | (symbol u32, len u8)*          — shared code table
+/// per stream: payload_len_s u64
+/// concatenated payloads
+/// ```
+///
+/// RLE runs are collapsed **per segment**, so a run marker never leads a
+/// sub-stream and expansion needs no cross-lane state.
+pub fn encode_multi_with(segments: &[&[u32]], out: &mut Vec<u8>, s: &mut EncodeScratch) {
+    let _span = errflow_obs::trace::span("codec.huffman.encode_multi");
+    debug_assert!(
+        !segments.is_empty() && segments.len() <= crate::format::MAX_STREAMS,
+        "segment count {} outside 1..={}",
+        segments.len(),
+        crate::format::MAX_STREAMS
+    );
+    let n_original: usize = segments.iter().map(|seg| seg.len()).sum();
+    out.extend_from_slice(&(n_original as u64).to_le_bytes());
+    out.push(segments.len() as u8);
+    let rle_ok = segments.iter().all(|seg| !seg.contains(&RUN_MARKER));
+    out.push(rle_ok as u8);
+
+    s.transformed.clear();
+    s.runs.clear();
+    let mut t_bounds = Vec::with_capacity(segments.len() + 1);
+    let mut r_bounds = Vec::with_capacity(segments.len() + 1);
+    t_bounds.push(0usize);
+    r_bounds.push(0usize);
+    for seg in segments {
+        if rle_ok {
+            rle_collapse_into(seg, &mut s.transformed, &mut s.runs);
+        } else {
+            s.transformed.extend_from_slice(seg);
+        }
+        t_bounds.push(s.transformed.len());
+        r_bounds.push(s.runs.len());
+    }
+    for (i, seg) in segments.iter().enumerate() {
+        out.extend_from_slice(&(seg.len() as u64).to_le_bytes());
+        let seg_runs = &s.runs[r_bounds[i]..r_bounds[i + 1]];
+        out.extend_from_slice(&(seg_runs.len() as u32).to_le_bytes());
+        for &r in seg_runs {
+            write_varint(out, r);
+        }
+        out.extend_from_slice(&((t_bounds[i + 1] - t_bounds[i]) as u64).to_le_bytes());
+    }
+    if s.transformed.is_empty() {
+        out.extend_from_slice(&0u32.to_le_bytes());
+        for _ in segments {
+            out.extend_from_slice(&0u64.to_le_bytes());
+        }
+        return;
+    }
+
+    let lengths = code_lengths(&s.transformed, &mut s.freq);
+    out.extend_from_slice(&(lengths.len() as u32).to_le_bytes());
+    for &(sym, len) in &lengths {
+        out.extend_from_slice(&sym.to_le_bytes());
+        out.push(len);
+    }
+
+    let (dense, marker_code, map) = build_encode_lut(&lengths, &mut s.lut);
+    s.payload_buf.clear();
+    let mut payload_lens = Vec::with_capacity(segments.len());
+    for i in 0..segments.len() {
+        let w = &mut s.writer;
+        w.reset();
+        write_payload_symbols(
+            w,
+            &s.transformed[t_bounds[i]..t_bounds[i + 1]],
+            dense,
+            &s.lut,
+            marker_code,
+            &map,
+        );
+        let before = s.payload_buf.len();
+        w.append_bytes_to(&mut s.payload_buf);
+        payload_lens.push((s.payload_buf.len() - before) as u64);
+    }
+    for &l in &payload_lens {
+        out.extend_from_slice(&l.to_le_bytes());
+    }
+    out.extend_from_slice(&s.payload_buf);
 }
 
 /// Collapses runs of ≥ [`MIN_RUN`] identical symbols into `transformed` /
@@ -262,25 +408,44 @@ fn rle_expand_into(
         n_original,
         transformed.len() * 4,
     ));
+    rle_expand_segment(transformed, runs, n_original, out)
+}
+
+/// Segment-scoped RLE expansion: appends exactly `n_original` symbols onto
+/// `out` (which may already hold earlier segments).  A run marker's
+/// predecessor must lie **inside** this segment — the encoder collapses
+/// runs per segment, so a marker leading a segment is corruption, and a
+/// run can never replicate another sub-stream's data.
+fn rle_expand_segment(
+    transformed: &[u32],
+    runs: &[u32],
+    n_original: usize,
+    out: &mut Vec<u32>,
+) -> Result<(), CompressError> {
+    let seg_start = out.len();
+    let target = seg_start + n_original;
     let mut run_it = runs.iter();
     for &s in transformed {
         if s == RUN_MARKER {
             let &count = run_it.next().ok_or_else(|| {
                 CompressError::CorruptStream("run marker without a run length".into())
             })?;
-            let &prev = out
-                .last()
-                .ok_or_else(|| CompressError::CorruptStream("run marker at stream start".into()))?;
+            if out.len() == seg_start {
+                return Err(CompressError::CorruptStream(
+                    "run marker at stream start".into(),
+                ));
+            }
+            let prev = out[out.len() - 1];
             // Reject before materialising: a corrupt run length must not
             // drive a giant allocation just to fail the length check.
-            if count as usize > n_original - out.len() {
+            if count as usize > target - out.len() {
                 return Err(CompressError::CorruptStream(
                     "expanded stream longer than declared".into(),
                 ));
             }
             out.resize(out.len() + count as usize, prev);
         } else {
-            if out.len() >= n_original {
+            if out.len() >= target {
                 return Err(CompressError::CorruptStream(
                     "expanded stream longer than declared".into(),
                 ));
@@ -288,10 +453,10 @@ fn rle_expand_into(
             out.push(s);
         }
     }
-    if out.len() != n_original {
+    if out.len() != target {
         return Err(CompressError::CorruptStream(format!(
             "expanded to {} symbols, expected {n_original}",
-            out.len()
+            out.len() - seg_start
         )));
     }
     Ok(())
@@ -363,96 +528,17 @@ pub fn decode_into(
             "symbol count exceeds declared output length plus runs".into(),
         ));
     }
-    // Each code-table entry is 5 bytes (u32 symbol + u8 length): a valid
-    // `n_distinct` never exceeds what the remaining stream can hold.
-    if n_distinct
-        .checked_mul(5)
-        .is_none_or(|bytes| bytes > stream.len() - pos)
-    {
-        return Err(CompressError::CorruptStream(
-            "declared code table exceeds stream length".into(),
-        ));
-    }
-    s.lengths.clear();
-    s.lengths
-        .reserve(crate::traits::safe_capacity(n_distinct, stream.len()));
-    for _ in 0..n_distinct {
-        let sym = read_len_u32(stream, &mut pos, "code table symbol")? as u32;
-        let len = read_u8(stream, &mut pos, "code table length")?;
-        if len == 0 || len > 64 {
-            return Err(CompressError::CorruptStream(format!(
-                "invalid code length {len}"
-            )));
-        }
-        if let Some(&(_, prev)) = s.lengths.last() {
-            if len < prev {
-                return Err(CompressError::CorruptStream(
-                    "code table not in canonical order".into(),
-                ));
-            }
-        }
-        s.lengths.push((sym, len));
-    }
-    // Kraft check: Σ 2^(max−len) must not exceed 2^max, or the canonical
-    // code assignment overflows (only possible with corrupt tables).
-    let max_len = s.lengths.last().map(|&(_, l)| l).unwrap_or(1);
-    {
-        let mut kraft: u128 = 0;
-        for &(_, len) in &s.lengths {
-            kraft += 1u128 << (max_len as u32 - len as u32);
-        }
-        if kraft > (1u128 << max_len as u32) {
-            return Err(CompressError::CorruptStream(
-                "code table violates the Kraft inequality".into(),
-            ));
-        }
-    }
-
-    // Build the canonical decode arrays and (for payloads worth it) the
-    // fast prefix table, in one pass over the canonical code assignment.
+    let max_len = parse_code_table(stream, &mut pos, s, n_distinct)?;
     let with_table = n_symbols >= TABLE_MIN_SYMBOLS;
-    if with_table {
-        s.table.clear();
-        s.table.resize(1 << PEEK, (0, 0));
-    }
-    s.first_code.clear();
-    s.first_code.resize(max_len as usize + 1, 0);
-    s.count.clear();
-    s.count.resize(max_len as usize + 1, 0);
-    s.offset.clear();
-    s.offset.resize(max_len as usize + 1, 0);
-    s.syms.clear();
-    {
-        let mut code = 0u64;
-        let mut prev_len = 0u8;
-        for (i, &(sym, len)) in s.lengths.iter().enumerate() {
-            // wrapping_shl: a Kraft-valid but corrupt table can open with a
-            // 64-bit code; decode then yields garbage (rejected downstream)
-            // instead of a shift panic.
-            code = code.wrapping_shl((len - prev_len) as u32);
-            if s.count[len as usize] == 0 {
-                s.first_code[len as usize] = code;
-                s.offset[len as usize] = i as u32;
-            }
-            s.count[len as usize] += 1;
-            s.syms.push(sym);
-            if with_table && (len as u32) <= PEEK {
-                let base = bitrev(code, len) as usize;
-                let step = 1usize << len;
-                let mut idx = base;
-                while idx < (1 << PEEK) {
-                    s.table[idx] = (sym, len);
-                    idx += step;
-                }
-            }
-            // wrapping_add: a Kraft-*complete* table whose last code is the
-            // all-ones 64-bit code makes this final increment wrap; the
-            // value is never read again (the Kraft check rejects any table
-            // that would assign a code past it).
-            code = code.wrapping_add(1);
-            prev_len = len;
-        }
-    }
+    build_canon_arrays(
+        s,
+        max_len,
+        if with_table {
+            FastTable::Pairs
+        } else {
+            FastTable::None
+        },
+    );
 
     let payload_len = read_len_u64(stream, &mut pos, "payload_len")?;
     // Overflow-proof bounds check: slice from `pos` first, then take
@@ -504,8 +590,633 @@ pub fn decode_into(
     Ok(consumed)
 }
 
+/// Parses and validates the `(symbol, length)` code-table section shared
+/// by the single- and multi-stream decoders, leaving the canonical-order
+/// pairs in `s.lengths`.  Returns the maximum code length.
+fn parse_code_table(
+    stream: &[u8],
+    pos: &mut usize,
+    s: &mut DecodeScratch,
+    n_distinct: usize,
+) -> Result<u8, CompressError> {
+    // Each code-table entry is 5 bytes (u32 symbol + u8 length): a valid
+    // `n_distinct` never exceeds what the remaining stream can hold.
+    if n_distinct
+        .checked_mul(5)
+        .is_none_or(|bytes| bytes > stream.len() - *pos)
+    {
+        return Err(CompressError::CorruptStream(
+            "declared code table exceeds stream length".into(),
+        ));
+    }
+    s.lengths.clear();
+    s.lengths
+        .reserve(crate::traits::safe_capacity(n_distinct, stream.len()));
+    for _ in 0..n_distinct {
+        let sym = read_len_u32(stream, pos, "code table symbol")? as u32;
+        let len = read_u8(stream, pos, "code table length")?;
+        if len == 0 || len > 64 {
+            return Err(CompressError::CorruptStream(format!(
+                "invalid code length {len}"
+            )));
+        }
+        if let Some(&(_, prev)) = s.lengths.last() {
+            if len < prev {
+                return Err(CompressError::CorruptStream(
+                    "code table not in canonical order".into(),
+                ));
+            }
+        }
+        s.lengths.push((sym, len));
+    }
+    // Kraft check: Σ 2^(max−len) must not exceed 2^max, or the canonical
+    // code assignment overflows (only possible with corrupt tables).
+    let max_len = s.lengths.last().map(|&(_, l)| l).unwrap_or(1);
+    let mut kraft: u128 = 0;
+    for &(_, len) in &s.lengths {
+        kraft += 1u128 << (max_len as u32 - len as u32);
+    }
+    if kraft > (1u128 << max_len as u32) {
+        return Err(CompressError::CorruptStream(
+            "code table violates the Kraft inequality".into(),
+        ));
+    }
+    Ok(max_len)
+}
+
+/// Which fast prefix table [`build_canon_arrays`] should fill alongside
+/// the canonical arrays.
+enum FastTable {
+    /// No fast table — every symbol takes the canonical walk (small
+    /// payloads, where the `2^PEEK` fill would dominate).
+    None,
+    /// `(symbol, length)` pair entries — the single-stream decode layout.
+    Pairs,
+    /// Packed `len << 32 | sym` entries — the multi-stream layout the
+    /// AVX2 gather kernel fetches as single `u64`s.
+    Packed,
+}
+
+/// Builds the canonical decode arrays and the requested fast prefix table
+/// in one pass over the canonical code assignment in `s.lengths`.
+fn build_canon_arrays(s: &mut DecodeScratch, max_len: u8, fast: FastTable) {
+    match fast {
+        FastTable::None => {}
+        FastTable::Pairs => {
+            s.table.clear();
+            s.table.resize(1 << PEEK, (0, 0));
+        }
+        FastTable::Packed => {
+            s.table64.clear();
+            s.table64.resize(1 << PEEK, 0);
+        }
+    }
+    s.first_code.clear();
+    s.first_code.resize(max_len as usize + 1, 0);
+    s.count.clear();
+    s.count.resize(max_len as usize + 1, 0);
+    s.offset.clear();
+    s.offset.resize(max_len as usize + 1, 0);
+    s.syms.clear();
+    let mut code = 0u64;
+    let mut prev_len = 0u8;
+    for (i, &(sym, len)) in s.lengths.iter().enumerate() {
+        // wrapping_shl: a Kraft-valid but corrupt table can open with a
+        // 64-bit code; decode then yields garbage (rejected downstream)
+        // instead of a shift panic.
+        code = code.wrapping_shl((len - prev_len) as u32);
+        if s.count[len as usize] == 0 {
+            s.first_code[len as usize] = code;
+            s.offset[len as usize] = i as u32;
+        }
+        s.count[len as usize] += 1;
+        s.syms.push(sym);
+        if (len as u32) <= PEEK {
+            let base = bitrev(code, len) as usize;
+            let step = 1usize << len;
+            match fast {
+                FastTable::None => {}
+                FastTable::Pairs => {
+                    let mut idx = base;
+                    while idx < (1 << PEEK) {
+                        s.table[idx] = (sym, len);
+                        idx += step;
+                    }
+                }
+                FastTable::Packed => {
+                    let packed = ((len as u64) << 32) | sym as u64;
+                    let mut idx = base;
+                    while idx < (1 << PEEK) {
+                        s.table64[idx] = packed;
+                        idx += step;
+                    }
+                }
+            }
+        }
+        // wrapping_add: a Kraft-*complete* table whose last code is the
+        // all-ones 64-bit code makes this final increment wrap; the
+        // value is never read again (the Kraft check rejects any table
+        // that would assign a code past it).
+        code = code.wrapping_add(1);
+        prev_len = len;
+    }
+}
+
+/// One parsed sub-stream of a multi-stream block.
+struct SubStream {
+    /// Declared post-expansion symbol count.
+    n_original: usize,
+    /// Declared pre-expansion (payload) symbol count.
+    n_symbols: usize,
+    /// This sub-stream's slice of the shared run-length buffer.
+    runs: std::ops::Range<usize>,
+    /// `(byte offset, byte length)` of this sub-stream's payload within
+    /// the shared payload region.
+    payload: (usize, usize),
+}
+
+/// Decodes a multi-stream block produced by [`encode_multi`].  Returns the
+/// symbols and the number of bytes consumed.
+pub fn decode_multi(stream: &[u8]) -> Result<(Vec<u32>, usize), CompressError> {
+    DEC_SCRATCH.with(|s| {
+        let mut out = Vec::new();
+        let consumed = decode_multi_into(stream, &mut out, &mut s.borrow_mut())?;
+        Ok((out, consumed))
+    })
+}
+
+/// [`decode_multi`] into a caller-owned buffer with reusable scratch.
+///
+/// Validation mirrors [`decode_into`] per sub-stream, plus the cross-stream
+/// invariants: per-stream output counts must sum to the declared total, and
+/// per-stream payload lengths must all fit the remaining stream.  Decoding
+/// then runs one lane per sub-stream — the AVX2 gather kernel when the host
+/// supports it, interleaved-capable scalar lanes otherwise.
+pub fn decode_multi_into(
+    stream: &[u8],
+    out: &mut Vec<u32>,
+    s: &mut DecodeScratch,
+) -> Result<usize, CompressError> {
+    let _span = errflow_obs::trace::span("codec.huffman.decode_multi");
+    out.clear();
+    let mut pos = 0usize;
+    let n_original = read_len_u64(stream, &mut pos, "n_original")?;
+    let n_streams = read_u8(stream, &mut pos, "stream count")? as usize;
+    if n_streams == 0 || n_streams > crate::format::MAX_STREAMS {
+        return Err(CompressError::CorruptStream(format!(
+            "sub-stream count {n_streams} outside 1..={}",
+            crate::format::MAX_STREAMS
+        )));
+    }
+    let rle_used = read_u8(stream, &mut pos, "rle flag")? != 0;
+    s.runs.clear();
+    let mut subs: Vec<SubStream> = Vec::with_capacity(n_streams);
+    let mut sum_original = 0usize;
+    let mut sum_symbols = 0usize;
+    for _ in 0..n_streams {
+        let n_orig_s = read_len_u64(stream, &mut pos, "sub-stream n_original")?;
+        let n_runs = read_len_u32(stream, &mut pos, "sub-stream n_runs")?;
+        // Every run costs at least one varint byte: reject forged counts
+        // before reserving anything.
+        if n_runs > stream.len() - pos {
+            return Err(CompressError::CorruptStream(
+                "declared run count exceeds stream length".into(),
+            ));
+        }
+        let runs_start = s.runs.len();
+        s.runs
+            .reserve(crate::traits::safe_capacity(n_runs, stream.len()));
+        for _ in 0..n_runs {
+            s.runs.push(read_varint(stream, &mut pos)?);
+        }
+        let n_sym = read_len_u64(stream, &mut pos, "sub-stream n_symbols")?;
+        if !rle_used && n_sym != n_orig_s {
+            return Err(CompressError::CorruptStream(
+                "symbol count disagrees with declared output length".into(),
+            ));
+        }
+        if rle_used && n_sym > n_orig_s.saturating_add(n_runs) {
+            return Err(CompressError::CorruptStream(
+                "symbol count exceeds declared output length plus runs".into(),
+            ));
+        }
+        sum_original = sum_original.checked_add(n_orig_s).ok_or_else(|| {
+            CompressError::CorruptStream("sub-stream output lengths overflow".into())
+        })?;
+        sum_symbols = sum_symbols.checked_add(n_sym).ok_or_else(|| {
+            CompressError::CorruptStream("sub-stream symbol counts overflow".into())
+        })?;
+        subs.push(SubStream {
+            n_original: n_orig_s,
+            n_symbols: n_sym,
+            runs: runs_start..s.runs.len(),
+            payload: (0, 0),
+        });
+    }
+    if sum_original != n_original {
+        return Err(CompressError::CorruptStream(
+            "sub-stream output lengths don't sum to the declared total".into(),
+        ));
+    }
+    let n_distinct = read_len_u32(stream, &mut pos, "n_distinct")?;
+    if sum_symbols == 0 {
+        if n_original != 0 {
+            return Err(CompressError::CorruptStream(
+                "empty payload for nonempty stream".into(),
+            ));
+        }
+        if n_distinct != 0 {
+            return Err(CompressError::CorruptStream(
+                "code table without symbols".into(),
+            ));
+        }
+        for _ in 0..n_streams {
+            if read_len_u64(stream, &mut pos, "sub-stream payload length")? != 0 {
+                return Err(CompressError::CorruptStream(
+                    "payload bytes without symbols".into(),
+                ));
+            }
+        }
+        return Ok(pos);
+    }
+    if n_distinct == 0 {
+        return Err(CompressError::CorruptStream(
+            "nonempty payload with empty alphabet".into(),
+        ));
+    }
+    let max_len = parse_code_table(stream, &mut pos, s, n_distinct)?;
+    let with_table = sum_symbols >= TABLE_MIN_SYMBOLS;
+    build_canon_arrays(
+        s,
+        max_len,
+        if with_table {
+            FastTable::Packed
+        } else {
+            FastTable::None
+        },
+    );
+
+    let mut total_payload = 0usize;
+    let mut byte_cursor = 0usize;
+    for sub in &mut subs {
+        let l = read_len_u64(stream, &mut pos, "sub-stream payload length")?;
+        sub.payload = (byte_cursor, l);
+        total_payload = total_payload.checked_add(l).ok_or_else(|| {
+            CompressError::CorruptStream("sub-stream payload lengths overflow".into())
+        })?;
+        byte_cursor = total_payload;
+    }
+    // Overflow-proof bounds check: slice from `pos` first, then take
+    // `total_payload` — `pos + total_payload` is never materialised.
+    let payload = stream
+        .get(pos..)
+        .and_then(|rest| rest.get(..total_payload))
+        .ok_or_else(|| CompressError::CorruptStream("truncated payload".into()))?;
+    // Every decoded symbol consumes at least one bit of its own payload.
+    for sub in &subs {
+        if sub.n_symbols > sub.payload.1.saturating_mul(8) {
+            return Err(CompressError::CorruptStream(
+                "declared symbol count exceeds payload bits".into(),
+            ));
+        }
+    }
+    let consumed = pos + total_payload;
+
+    let DecodeScratch {
+        table64,
+        first_code,
+        count,
+        offset,
+        syms,
+        transformed,
+        runs,
+        ..
+    } = s;
+    let canon = CanonicalArrays {
+        first_code,
+        count,
+        offset,
+        syms,
+        max_len,
+    };
+    let table64: &[u64] = if with_table { table64 } else { &[] };
+    if rle_used {
+        transformed.clear();
+        // Bounded: each sub-stream's symbol count is capped at 8× its
+        // payload bytes above, so the sum is capped by the stream length.
+        transformed.resize(sum_symbols, 0);
+        decode_lanes(payload, &subs, table64, &canon, transformed)?;
+        out.reserve(crate::traits::safe_capacity(
+            n_original,
+            transformed.len() * 4,
+        ));
+        let mut t_off = 0usize;
+        for sub in &subs {
+            let seg = &transformed[t_off..t_off + sub.n_symbols];
+            t_off += sub.n_symbols;
+            rle_expand_segment(seg, &runs[sub.runs.clone()], sub.n_original, out)?;
+        }
+    } else {
+        out.resize(n_original, 0);
+        decode_lanes(payload, &subs, table64, &canon, out)?;
+    }
+    Ok(consumed)
+}
+
+// Test-only switch routing 4-stream decodes through the AVX2 gather
+// kernel, so its parity with the interleaved scalar loop stays covered
+// without mutating process environment from tests.
+#[cfg(all(test, target_arch = "x86_64"))]
+thread_local! {
+    static FORCE_GATHER: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+}
+
+#[cfg(all(test, target_arch = "x86_64"))]
+fn force_gather_for_test() -> bool {
+    FORCE_GATHER.with(|f| f.get())
+}
+
+#[cfg(all(not(test), target_arch = "x86_64"))]
+fn force_gather_for_test() -> bool {
+    false
+}
+
+/// Per-lane decode cursor shared between the scalar lane decoder and the
+/// AVX2 kernel: an absolute bit position in the shared payload region, the
+/// lane's end bit, and how many symbols it has produced.
+pub(crate) struct LaneCursor {
+    pub(crate) bitpos: usize,
+    pub(crate) end_bit: usize,
+    pub(crate) written: usize,
+}
+
+/// Decodes every sub-stream into its contiguous region of `dst` (regions
+/// ordered by sub-stream, sized `n_symbols` each).  Dispatches to the AVX2
+/// gather kernel when available; the resumable scalar lane decoder runs
+/// the tail (and the whole decode on portable hosts).
+fn decode_lanes(
+    payload: &[u8],
+    subs: &[SubStream],
+    table64: &[u64],
+    canon: &CanonicalArrays<'_>,
+    dst: &mut [u32],
+) -> Result<(), CompressError> {
+    debug_assert_eq!(dst.len(), subs.iter().map(|s| s.n_symbols).sum::<usize>());
+    let mut regions: Vec<&mut [u32]> = Vec::with_capacity(subs.len());
+    let mut rest: &mut [u32] = dst;
+    for sub in subs {
+        let (head, tail) = std::mem::take(&mut rest).split_at_mut(sub.n_symbols);
+        regions.push(head);
+        rest = tail;
+    }
+    let mut cursors: Vec<LaneCursor> = subs
+        .iter()
+        .map(|sub| LaneCursor {
+            bitpos: sub.payload.0 * 8,
+            end_bit: (sub.payload.0 + sub.payload.1) * 8,
+            written: 0,
+        })
+        .collect();
+    if cursors.len() == 4 && !table64.is_empty() {
+        // Two interchangeable hot-loop arms, both leaving cursors resumable
+        // for the scalar finish below.  The interleaved scalar loop is the
+        // default: four dependent load→lookup→shift chains overlap in the
+        // out-of-order core and beat AVX2 `vpgatherqq` table lookups (whose
+        // gather latency dominates) on every x86 host we've measured.  The
+        // gather kernel stays selectable for A/B measurement on future
+        // micro-architectures with faster gathers.
+        #[cfg(target_arch = "x86_64")]
+        let use_gather = errflow_tensor::simd::has_avx2()
+            && !errflow_tensor::simd::force_scalar()
+            && (std::env::var_os("ERRFLOW_HUFF_GATHER").is_some_and(|v| v == "1")
+                || force_gather_for_test());
+        #[cfg(not(target_arch = "x86_64"))]
+        let use_gather = false;
+        if use_gather {
+            #[cfg(target_arch = "x86_64")]
+            crate::huffman_simd::decode_lanes_avx2(
+                payload,
+                table64,
+                canon,
+                &mut cursors,
+                &mut regions,
+            )?;
+        } else {
+            decode_lanes_ilp4(payload, table64, canon, &mut cursors, &mut regions)?;
+        }
+    }
+    for (cur, region) in cursors.iter_mut().zip(regions.iter_mut()) {
+        decode_lane_scalar(
+            payload,
+            &mut cur.bitpos,
+            cur.end_bit,
+            table64,
+            canon,
+            region,
+            &mut cur.written,
+        )?;
+        // The SIMD kernel consumes bits without re-checking the lane
+        // boundary per symbol; a lane that ran past its own payload (only
+        // possible on a corrupt stream) is rejected here.
+        if cur.bitpos > cur.end_bit {
+            return Err(CompressError::CorruptStream(
+                "sub-stream payload overread".into(),
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Interleaved 4-lane table decode — the multi-stream hot loop.
+///
+/// One lane's decode is a serial chain: window load → table lookup → shift
+/// by the code length → next lookup, ~3 dependent loads per symbol.  Four
+/// sub-streams give four *independent* chains, and interleaving them lets
+/// the out-of-order core run all four at once, hiding most of each chain's
+/// latency behind the others'.
+///
+/// Round structure: enter only while every lane has ≥ 57 trustworthy bits
+/// (`end_bit - bitpos`) and ≥ 4 symbols of space, load one 57-bit window
+/// per lane, then commit 4 symbols per lane lockstep.  4 × `PEEK` ≤ 52
+/// bits, so a window of table hits never runs dry mid-round and — by the
+/// prefix property — a hit never consumes another lane's bits even when
+/// the window loaded past this lane's end.  A table miss (long code,
+/// `len` 0) takes the canonical walk inline for just that lane and reloads
+/// its window, so one skewed lane doesn't kick the other three off the
+/// fast path; only a lane left with < 57 bits by a long code ends the loop
+/// (it is near its tail anyway).  Exit always lands every cursor on a
+/// committed-symbol boundary, and the resumable scalar decoder finishes
+/// the lane tails.
+fn decode_lanes_ilp4(
+    payload: &[u8],
+    table64: &[u64],
+    canon: &CanonicalArrays<'_>,
+    cursors: &mut [LaneCursor],
+    regions: &mut [&mut [u32]],
+) -> Result<(), CompressError> {
+    debug_assert_eq!(cursors.len(), 4);
+    debug_assert_eq!(regions.len(), 4);
+    let mask = (1u64 << PEEK) - 1;
+    let mut pos: [usize; 4] = std::array::from_fn(|i| cursors[i].bitpos);
+    let mut wr: [usize; 4] = std::array::from_fn(|i| cursors[i].written);
+    let end: [usize; 4] = std::array::from_fn(|i| cursors[i].end_bit);
+    let cap: [usize; 4] = std::array::from_fn(|i| regions[i].len());
+    loop {
+        // Fast rounds: pure table hits, no calls, no per-symbol branches
+        // beyond the lockstep miss test — this is the loop that has to
+        // schedule well.
+        let mut miss = false;
+        'fast: loop {
+            for i in 0..4 {
+                if cap[i] - wr[i] < 4 || end[i].saturating_sub(pos[i]) < 57 {
+                    break 'fast;
+                }
+            }
+            let mut w: [u64; 4] = std::array::from_fn(|i| load_word(payload, pos[i]));
+            for _step in 0..4 {
+                let e: [u64; 4] = std::array::from_fn(|i| table64[(w[i] & mask) as usize]);
+                // Test all four lanes *before* committing any, so a miss
+                // exits with the lanes in lockstep.
+                if e.iter().any(|&entry| entry >> 32 == 0) {
+                    miss = true;
+                    break 'fast;
+                }
+                for i in 0..4 {
+                    let len = (e[i] >> 32) as usize;
+                    w[i] >>= len;
+                    pos[i] += len;
+                    regions[i][wr[i]] = e[i] as u32;
+                    wr[i] += 1;
+                }
+            }
+        }
+        if !miss {
+            break;
+        }
+        // Long-code recovery, off the hot path: walk one canonical symbol
+        // for each lane whose next code misses the table (≤ 3 commits since
+        // the round-entry check, so every lane still has ≥ 1 slot and ≥
+        // PEEK trustworthy bits), then resume fast rounds.
+        for i in 0..4 {
+            if end[i].saturating_sub(pos[i]) < PEEK as usize {
+                continue;
+            }
+            let entry = table64[(load_word(payload, pos[i]) & mask) as usize];
+            if entry >> 32 != 0 {
+                continue;
+            }
+            let sym = match decode_one_slow(payload, &mut pos[i], end[i], canon) {
+                Ok(sym) => sym,
+                Err(err) => {
+                    // Keep cursors resumable even on a corrupt stream so
+                    // callers observe consistent state.
+                    for l in 0..4 {
+                        cursors[l].bitpos = pos[l];
+                        cursors[l].written = wr[l];
+                    }
+                    return Err(err);
+                }
+            };
+            regions[i][wr[i]] = sym;
+            wr[i] += 1;
+        }
+    }
+    for i in 0..4 {
+        cursors[i].bitpos = pos[i];
+        cursors[i].written = wr[i];
+    }
+    Ok(())
+}
+
+/// Resumable register-batched decode of one lane: fills `dst[*written..]`
+/// reading from `payload` between `*bitpos` and `end_bit`.  Identical hot
+/// loop to [`decode_symbols`], but against the packed `table64` layout, a
+/// slice destination, and lane-relative bounds — bits past `end_bit`
+/// belong to the *next* lane and are never consumed, though the 57-bit
+/// window may harmlessly observe them (a table entry only ever commits
+/// bits of the code itself).
+fn decode_lane_scalar(
+    payload: &[u8],
+    bitpos: &mut usize,
+    end_bit: usize,
+    table64: &[u64],
+    canon: &CanonicalArrays<'_>,
+    dst: &mut [u32],
+    written: &mut usize,
+) -> Result<(), CompressError> {
+    if table64.is_empty() {
+        while *written < dst.len() {
+            dst[*written] = decode_one_slow(payload, bitpos, end_bit, canon)?;
+            *written += 1;
+        }
+        return Ok(());
+    }
+    let mask = (1u64 << PEEK) - 1;
+    let peek = PEEK as usize;
+    while *written < dst.len() {
+        let rem = end_bit.saturating_sub(*bitpos);
+        if rem >= peek {
+            let mut word = load_word(payload, *bitpos);
+            let mut left = rem.min(57);
+            let mut long_code = false;
+            while left >= peek && *written < dst.len() {
+                let entry = table64[(word & mask) as usize];
+                let len = (entry >> 32) as usize;
+                if len == 0 {
+                    long_code = true;
+                    break;
+                }
+                word >>= len;
+                *bitpos += len;
+                left -= len;
+                dst[*written] = entry as u32;
+                *written += 1;
+            }
+            if long_code {
+                dst[*written] = decode_one_slow(payload, bitpos, end_bit, canon)?;
+                *written += 1;
+            }
+            continue;
+        }
+        // Lane tail: fewer than PEEK trustworthy bits remain, so only
+        // accept a table hit whose code fits inside the lane.
+        let entry = table64[(load_word(payload, *bitpos) & mask) as usize];
+        let len = (entry >> 32) as usize;
+        if len > 0 && len <= rem {
+            *bitpos += len;
+            dst[*written] = entry as u32;
+            *written += 1;
+        } else {
+            dst[*written] = decode_one_slow(payload, bitpos, end_bit, canon)?;
+            *written += 1;
+        }
+    }
+    Ok(())
+}
+
+/// Decodes a single symbol of one lane — the re-sync step the AVX2 kernel
+/// takes when a lane hits a long code (table miss).
+pub(crate) fn decode_one_symbol(
+    payload: &[u8],
+    bitpos: &mut usize,
+    end_bit: usize,
+    table64: &[u64],
+    canon: &CanonicalArrays<'_>,
+) -> Result<u32, CompressError> {
+    let rem = end_bit.saturating_sub(*bitpos);
+    if !table64.is_empty() && rem > 0 {
+        let entry = table64[(load_word(payload, *bitpos) & ((1u64 << PEEK) - 1)) as usize];
+        let len = (entry >> 32) as usize;
+        if len > 0 && len <= rem {
+            *bitpos += len;
+            return Ok(entry as u32);
+        }
+    }
+    decode_one_slow(payload, bitpos, end_bit, canon)
+}
+
 /// Borrowed canonical decode arrays for the slow (long-code) path.
-struct CanonicalArrays<'a> {
+pub(crate) struct CanonicalArrays<'a> {
     first_code: &'a [u64],
     count: &'a [u32],
     offset: &'a [u32],
@@ -959,6 +1670,45 @@ mod tests {
             let (dec, consumed) = decode(&enc).expect("decode");
             assert_eq!(dec, symbols);
             assert_eq!(consumed, enc.len());
+        }
+    }
+
+    /// The AVX2 gather kernel (the env-selectable multi-stream arm) must
+    /// decode exactly like the default interleaved scalar loop, including
+    /// skewed alphabets whose long codes miss the fast table.
+    #[cfg(target_arch = "x86_64")]
+    #[test]
+    fn prop_multi_stream_gather_kernel_matches_scalar() {
+        if !errflow_tensor::simd::has_avx2() {
+            eprintln!("skipping: host lacks AVX2");
+            return;
+        }
+        let mut rng = StdRng::seed_from_u64(0xFACE);
+        for round in 0..32 {
+            let n = rng.gen_range(1usize..40_000);
+            let symbols: Vec<u32> = if round % 3 == 0 {
+                // Geometric-ish skew: long tail of rare symbols → codes
+                // beyond PEEK → gather kernel long-code re-sync path.
+                (0..n)
+                    .map(|_| {
+                        let r: f64 = rng.gen_range(0.0..1.0);
+                        (-(1.0 - r).ln() * 80.0) as u32
+                    })
+                    .collect()
+            } else {
+                (0..n).map(|_| rng.gen_range(0..500)).collect()
+            };
+            let segs = crate::format::split_even(n, 4);
+            let seg_slices: Vec<&[u32]> =
+                segs.iter().map(|&(off, len)| &symbols[off..off + len]).collect();
+            let enc = encode_multi(&seg_slices);
+            let (scalar, consumed) = decode_multi(&enc).expect("scalar decode");
+            assert_eq!(scalar, symbols);
+            assert_eq!(consumed, enc.len());
+            FORCE_GATHER.with(|f| f.set(true));
+            let gathered = decode_multi(&enc).map(|(s, _)| s);
+            FORCE_GATHER.with(|f| f.set(false));
+            assert_eq!(gathered.expect("gather decode"), symbols, "round {round}");
         }
     }
 }

@@ -1,0 +1,150 @@
+//! AVX2 gather-based 4-lane Huffman decode kernel.
+//!
+//! The multi-stream (v2) Huffman block carries four independent
+//! sub-streams sharing one code table (see [`crate::huffman`]'s module
+//! docs).  This kernel keeps one bit cursor per sub-stream in a 256-bit
+//! register lane and advances all four decode chains together:
+//!
+//! 1. **Window gather** — one `vpgatherqq` pulls a 64-bit window of the
+//!    payload at each lane's byte offset; a variable shift then aligns
+//!    each window to its cursor's bit offset, leaving ≥ 57 valid bits per
+//!    lane.
+//! 2. **Table gather** — the low [`PEEK`] bits of every lane index a
+//!    second `vpgatherqq` into the packed prefix table
+//!    (`len << 32 | sym`), so four table lookups issue as one
+//!    instruction.
+//! 3. **Shift + advance** — variable shifts consume each lane's code
+//!    length; four decode steps run per window refill
+//!    (4 × [`PEEK`] = 52 bits, inside the 57-bit guarantee).
+//!
+//! A table miss (`len == 0`, code longer than [`PEEK`] bits) ends the
+//! round early and every unfinished lane takes one scalar re-sync symbol,
+//! keeping the four chains in step.  Lanes within four symbols of their
+//! end — or whose cursor sits in the payload's last 8 bytes, where an
+//! unguarded window gather would run off the buffer — are finished by the
+//! resumable scalar lane decoder in [`crate::huffman`].
+//!
+//! The kernel is bit-exact with the scalar lane decoder on valid streams
+//! (checked by the `ERRFLOW_NO_SIMD=1` parity tests).  On corrupt streams
+//! it may transiently consume bits past a lane's own boundary (never past
+//! the payload buffer); the caller re-checks every lane's final bit
+//! position and rejects such streams with a typed error.
+
+#![cfg(target_arch = "x86_64")]
+
+use crate::huffman::{decode_one_symbol, CanonicalArrays, LaneCursor, PEEK};
+use crate::traits::CompressError;
+
+/// Runs the gather kernel over four lanes until only scalar-sized tails
+/// remain, updating `cursors` in place.  The caller guarantees AVX2
+/// support (via `errflow_tensor::simd::has_avx2`), exactly four
+/// lanes/regions, and a full `2^PEEK` packed table.
+pub(crate) fn decode_lanes_avx2(
+    payload: &[u8],
+    table64: &[u64],
+    canon: &CanonicalArrays<'_>,
+    cursors: &mut [LaneCursor],
+    regions: &mut [&mut [u32]],
+) -> Result<(), CompressError> {
+    debug_assert_eq!(cursors.len(), 4);
+    debug_assert_eq!(regions.len(), 4);
+    debug_assert_eq!(table64.len(), 1usize << PEEK);
+    if payload.len() < 8 || cursors.len() != 4 || regions.len() != 4 {
+        return Ok(()); // scalar lanes handle degenerate shapes
+    }
+    let _span = errflow_obs::trace::span("codec.huffman.decode.avx2");
+    // SAFETY: this module is only called behind a runtime
+    // `simd::has_avx2()` check (re-asserted by the caller), which is
+    // exactly the target feature `kernel` is compiled with.
+    unsafe { kernel(payload, table64, canon, cursors, regions) }
+}
+
+// SAFETY: callers must guarantee AVX2 is available (enforced by the
+// runtime dispatch in `decode_lanes_avx2`); all memory accesses inside are
+// bounds-checked or masked as annotated per gather.
+#[target_feature(enable = "avx2")]
+unsafe fn kernel(
+    payload: &[u8],
+    table64: &[u64],
+    canon: &CanonicalArrays<'_>,
+    cursors: &mut [LaneCursor],
+    regions: &mut [&mut [u32]],
+) -> Result<(), CompressError> {
+    use std::arch::x86_64::*;
+
+    // Largest byte offset from which an 8-byte window load stays inside
+    // `payload` (checked non-underflowing by the `len < 8` guard above).
+    let max_byte = payload.len() - 8;
+    let mask = _mm256_set1_epi64x(((1u64 << PEEK) - 1) as i64);
+    'outer: loop {
+        // A full round decodes 4 symbols per lane from one window refill;
+        // any lane that cannot guarantee that falls back to scalar.
+        for i in 0..4 {
+            if regions[i].len() - cursors[i].written < 4 || (cursors[i].bitpos >> 3) > max_byte {
+                break 'outer;
+            }
+        }
+        let byte_off = _mm256_setr_epi64x(
+            (cursors[0].bitpos >> 3) as i64,
+            (cursors[1].bitpos >> 3) as i64,
+            (cursors[2].bitpos >> 3) as i64,
+            (cursors[3].bitpos >> 3) as i64,
+        );
+        // SAFETY: every lane's byte offset was checked ≤ `max_byte`, so
+        // each gathered element reads `payload[off..off + 8]`, in bounds.
+        let mut words =
+            _mm256_i64gather_epi64::<1>(payload.as_ptr() as *const i64, byte_off);
+        let bit_align = _mm256_setr_epi64x(
+            (cursors[0].bitpos & 7) as i64,
+            (cursors[1].bitpos & 7) as i64,
+            (cursors[2].bitpos & 7) as i64,
+            (cursors[3].bitpos & 7) as i64,
+        );
+        words = _mm256_srlv_epi64(words, bit_align);
+        // ≥ 57 trustworthy bits per lane from here.
+        let mut pos = _mm256_setr_epi64x(
+            cursors[0].bitpos as i64,
+            cursors[1].bitpos as i64,
+            cursors[2].bitpos as i64,
+            cursors[3].bitpos as i64,
+        );
+        let mut hit_long = false;
+        for _step in 0..4 {
+            let idx = _mm256_and_si256(words, mask);
+            // SAFETY: `idx` lanes are masked to < 2^PEEK and `table64`
+            // holds exactly 2^PEEK entries (asserted on entry).
+            let entries = _mm256_i64gather_epi64::<8>(table64.as_ptr() as *const i64, idx);
+            let lens = _mm256_srli_epi64::<32>(entries);
+            if _mm256_movemask_epi8(_mm256_cmpeq_epi64(lens, _mm256_setzero_si256())) != 0 {
+                hit_long = true;
+                break;
+            }
+            words = _mm256_srlv_epi64(words, lens);
+            pos = _mm256_add_epi64(pos, lens);
+            let mut ent = [0u64; 4];
+            _mm256_storeu_si256(ent.as_mut_ptr() as *mut __m256i, entries);
+            for i in 0..4 {
+                regions[i][cursors[i].written] = ent[i] as u32;
+                cursors[i].written += 1;
+            }
+        }
+        let mut new_pos = [0i64; 4];
+        _mm256_storeu_si256(new_pos.as_mut_ptr() as *mut __m256i, pos);
+        for i in 0..4 {
+            cursors[i].bitpos = new_pos[i] as usize;
+        }
+        if hit_long {
+            // One scalar symbol per unfinished lane re-syncs all four
+            // chains past the long code (any lane may have been the miss).
+            for i in 0..4 {
+                if cursors[i].written < regions[i].len() {
+                    let c = &mut cursors[i];
+                    regions[i][c.written] =
+                        decode_one_symbol(payload, &mut c.bitpos, c.end_bit, table64, canon)?;
+                    c.written += 1;
+                }
+            }
+        }
+    }
+    Ok(())
+}

@@ -23,7 +23,9 @@
 pub mod bitstream;
 pub mod chunked;
 pub mod error_bound;
+pub mod format;
 pub mod huffman;
+mod huffman_simd;
 pub mod metrics;
 pub mod mgard;
 pub mod reference;
@@ -32,6 +34,7 @@ pub mod sz;
 pub mod sz2d;
 pub mod traits;
 pub mod zfp;
+mod zfp_simd;
 
 pub use chunked::ChunkedCompressor;
 pub use error_bound::{BoundMode, ErrorBound};
@@ -46,8 +49,8 @@ pub use zfp::ZfpCompressor;
 /// All three compressor backends, boxed, for sweep experiments.
 pub fn all_backends() -> Vec<Box<dyn Compressor>> {
     vec![
-        Box::new(ZfpCompressor),
-        Box::new(SzCompressor),
+        Box::new(ZfpCompressor::default()),
+        Box::new(SzCompressor::default()),
         Box::new(MgardCompressor),
     ]
 }

@@ -611,9 +611,12 @@ mod tests {
     fn backend_parity_with_optimized_decoders() {
         let data = smooth_field(10_000);
         let bound = ErrorBound::rel_linf(1e-4);
+        // The frozen oracle predates the v2 containers, so sz/zfp pin the
+        // legacy layout here; v2 parity is covered by the cross-version
+        // integration tests.
         for c in [
-            &SzCompressor::new() as &dyn Compressor,
-            &ZfpCompressor::new(),
+            &SzCompressor::v1_format() as &dyn Compressor,
+            &ZfpCompressor::v1_format(),
             &MgardCompressor::new(),
         ] {
             let stream = c.compress(&data, &bound).expect("compress");

@@ -15,22 +15,46 @@
 //! **pointwise (L∞) tolerances only** — requesting an L2 bound returns
 //! [`CompressError::UnsupportedBound`], matching the restriction the paper
 //! notes for Figs. 8, 12 and 14.
+//!
+//! ## Stream versions
+//!
+//! By default the encoder writes the **v2 interleaved container**: the
+//! [`crate::format::MAGIC_V2`] preamble, then the block payload split into
+//! [`crate::format::V2_STREAMS`] independently-decodable sub-streams
+//! (blocks distributed contiguously and evenly).  One serial bit stream
+//! has a carried dependency per block read; four sub-streams let the
+//! decoder run four block pipelines at once — interleaved scalar reads
+//! portably, with the transform/scale stage vectorized over one block per
+//! AVX2 lane (see `zfp_simd`).  [`ZfpCompressor::v1_format`] keeps
+//! emitting the legacy single-stream layout, which every decoder still
+//! accepts (and the frozen [`crate::reference`] oracle proves bit-exact).
 
 use crate::bitstream::{BitReader, BitWriter};
 use crate::error_bound::ErrorBound;
+use crate::format::{self, BackendTag, V2_STREAMS};
 use crate::traits::{check_tolerance, CompressError, Compressor};
 
 /// Working integer precision (bits of the normalised significand).
-const PRECISION: i32 = 38;
+pub(crate) const PRECISION: i32 = 38;
 
 /// ZFP-class compressor (see module docs).
 #[derive(Debug, Clone, Default)]
-pub struct ZfpCompressor;
+pub struct ZfpCompressor {
+    /// Emit the legacy v1 single-stream layout instead of v2.
+    emit_v1: bool,
+}
 
 impl ZfpCompressor {
-    /// Creates the compressor with default settings.
+    /// Creates the compressor with default settings (v2 streams).
     pub fn new() -> Self {
-        ZfpCompressor
+        ZfpCompressor::default()
+    }
+
+    /// Creates a compressor that emits the legacy v1 single-stream layout
+    /// (bit-identical to the frozen reference encoder).  Decoding accepts
+    /// both layouts regardless of this setting.
+    pub fn v1_format() -> Self {
+        ZfpCompressor { emit_v1: true }
     }
 }
 
@@ -87,6 +111,9 @@ impl Compressor for ZfpCompressor {
             });
         }
         let budget = bound.pointwise_budget(data);
+        if !self.emit_v1 {
+            return Ok(compress_v2(data, budget));
+        }
         let mut w = BitWriter::new();
         for chunk in data.chunks(4) {
             encode_block(chunk, budget, &mut w);
@@ -100,6 +127,14 @@ impl Compressor for ZfpCompressor {
 
     fn decompress(&self, stream: &[u8]) -> Result<Vec<f32>, CompressError> {
         let _span = errflow_obs::trace::span("codec.zfp.decompress");
+        if format::is_v2(stream) {
+            let hdr = parse_header_v2(stream)?;
+            // Allocation is safe: `parse_header_v2` bounded `n` by the
+            // per-stream 2-bits-per-block minimum.
+            let mut out = vec![0.0f32; hdr.n];
+            decompress_v2_into(stream, &hdr, &mut out)?;
+            return Ok(out);
+        }
         let n = parse_header(stream)?;
         let mut out = vec![0.0f32; n];
         decode_into_slice(&stream[8..], &mut out)?;
@@ -112,6 +147,17 @@ impl Compressor for ZfpCompressor {
         out: &mut [f32],
         _scratch: &mut crate::scratch::CodecScratch,
     ) -> Result<(), CompressError> {
+        if format::is_v2(stream) {
+            let hdr = parse_header_v2(stream)?;
+            if hdr.n != out.len() {
+                return Err(CompressError::CorruptStream(format!(
+                    "stream declares {} values, expected {}",
+                    hdr.n,
+                    out.len()
+                )));
+            }
+            return decompress_v2_into(stream, &hdr, out);
+        }
         let n = parse_header(stream)?;
         if n != out.len() {
             return Err(CompressError::CorruptStream(format!(
@@ -123,10 +169,129 @@ impl Compressor for ZfpCompressor {
     }
 }
 
+/// Encodes `data` into the v2 interleaved container: blocks are split
+/// evenly into [`V2_STREAMS`] contiguous runs, each encoded into its own
+/// bit stream so decode lanes carry independent dependency chains.
+fn compress_v2(data: &[f32], budget: f64) -> Vec<u8> {
+    let n_blocks = data.len().div_ceil(4);
+    let parts = format::split_even(n_blocks, V2_STREAMS);
+    let mut payloads: Vec<Vec<u8>> = Vec::with_capacity(parts.len());
+    for &(block_off, block_len) in &parts {
+        let mut w = BitWriter::new();
+        let v0 = (block_off * 4).min(data.len());
+        let v1 = ((block_off + block_len) * 4).min(data.len());
+        for chunk in data[v0..v1].chunks(4) {
+            encode_block(chunk, budget, &mut w);
+        }
+        payloads.push(w.into_bytes());
+    }
+    let total: usize = payloads.iter().map(|p| p.len()).sum();
+    let mut out = Vec::with_capacity(18 + 8 * payloads.len() + total);
+    format::write_preamble(&mut out, BackendTag::Zfp, V2_STREAMS);
+    out.extend_from_slice(&(data.len() as u64).to_le_bytes());
+    for p in &payloads {
+        out.extend_from_slice(&(p.len() as u64).to_le_bytes());
+    }
+    for p in &payloads {
+        out.extend_from_slice(p);
+    }
+    out
+}
+
+/// Parsed v2 container header.
+struct V2Header {
+    /// Declared element count.
+    n: usize,
+    /// `(byte offset, byte length)` of each sub-stream within the payload
+    /// region.
+    payloads: Vec<(usize, usize)>,
+    /// Byte offset of the payload region within the stream.
+    payload_off: usize,
+}
+
+/// Parses and validates the v2 header.  The declared sub-stream lengths
+/// must sum to **exactly** the remaining payload bytes — a mismatch is a
+/// typed [`CompressError::CorruptStream`], never a silent truncation — and
+/// each sub-stream must be able to hold its share of blocks at the 2-bit
+/// minimum, which bounds `n` before any allocation.
+fn parse_header_v2(stream: &[u8]) -> Result<V2Header, CompressError> {
+    let mut pos = 0usize;
+    let n_streams = format::read_preamble(stream, &mut pos, BackendTag::Zfp)?;
+    let n = crate::traits::read_len_u64(stream, &mut pos, "element count")?;
+    let mut payloads = Vec::with_capacity(n_streams);
+    let mut total = 0usize;
+    for _ in 0..n_streams {
+        let l = crate::traits::read_len_u64(stream, &mut pos, "sub-stream payload length")?;
+        payloads.push((total, l));
+        total = total.checked_add(l).ok_or_else(|| {
+            CompressError::CorruptStream("sub-stream payload lengths overflow".into())
+        })?;
+    }
+    if stream.len() - pos != total {
+        return Err(CompressError::CorruptStream(format!(
+            "v2 sub-stream lengths sum to {total} bytes but the payload holds {}",
+            stream.len() - pos
+        )));
+    }
+    let parts = format::split_even(n.div_ceil(4), n_streams);
+    for (i, &(_, blocks)) in parts.iter().enumerate() {
+        if blocks.saturating_mul(2) > payloads[i].1.saturating_mul(8) {
+            return Err(CompressError::CorruptStream(format!(
+                "sub-stream {i} declares {blocks} blocks but holds only {} bits",
+                payloads[i].1.saturating_mul(8)
+            )));
+        }
+    }
+    Ok(V2Header {
+        n,
+        payloads,
+        payload_off: pos,
+    })
+}
+
+/// Decodes a v2 container into `out` (already sized to `hdr.n`): one
+/// decode lane per sub-stream, through the AVX2 block kernel when the host
+/// supports it.
+fn decompress_v2_into(
+    stream: &[u8],
+    hdr: &V2Header,
+    out: &mut [f32],
+) -> Result<(), CompressError> {
+    let payload = &stream[hdr.payload_off..];
+    let parts = format::split_even(out.len().div_ceil(4), hdr.payloads.len());
+    errflow_obs::counter("codec.decode.streams.zfp").add(hdr.payloads.len() as u64);
+    #[cfg(target_arch = "x86_64")]
+    if hdr.payloads.len() == 4
+        && errflow_tensor::simd::has_avx2()
+        && !errflow_tensor::simd::force_scalar()
+    {
+        return crate::zfp_simd::decode_v2_avx2(payload, &hdr.payloads, &parts, out);
+    }
+    decompress_v2_scalar(payload, &hdr.payloads, &parts, out)
+}
+
+/// Portable v2 decode: each sub-stream through the serial block decoder.
+/// This is the non-AVX2 fallback, and the parity baseline the kernel is
+/// tested against.
+fn decompress_v2_scalar(
+    payload: &[u8],
+    payloads: &[(usize, usize)],
+    parts: &[(usize, usize)],
+    out: &mut [f32],
+) -> Result<(), CompressError> {
+    for (&(block_off, block_len), &(poff, plen)) in parts.iter().zip(payloads) {
+        let sub = &payload[poff..poff + plen];
+        let v0 = (block_off * 4).min(out.len());
+        let v1 = ((block_off + block_len) * 4).min(out.len());
+        decode_into_slice(sub, &mut out[v0..v1])?;
+    }
+    Ok(())
+}
+
 /// Upper bound on the bits one encoded block can occupy: flag + emax(10) +
 /// cut(6) + width(6) + 4 × (sign + 63-bit magnitude).  Used to decide when
 /// the unchecked decode path is safe for a whole block at once.
-const MAX_BLOCK_BITS: usize = 1 + 10 + 6 + 6 + 4 * (1 + 63);
+pub(crate) const MAX_BLOCK_BITS: usize = 1 + 10 + 6 + 6 + 4 * (1 + 63);
 
 /// Parses and validates the stream header, returning the element count.
 ///
@@ -154,14 +319,23 @@ fn parse_header(stream: &[u8]) -> Result<usize, CompressError> {
 /// once per block); only the last few blocks pay per-read checks.
 fn decode_into_slice(payload: &[u8], out: &mut [f32]) -> Result<(), CompressError> {
     let mut r = BitReader::new(payload);
+    decode_blocks_scalar(&mut r, out)
+}
+
+/// Scalar block-decode loop, resumable from any block boundary — the v1
+/// decode path in full, and the per-lane tail of the v2 AVX2 kernel.
+pub(crate) fn decode_blocks_scalar(
+    r: &mut BitReader<'_>,
+    out: &mut [f32],
+) -> Result<(), CompressError> {
     for chunk in out.chunks_mut(4) {
         if r.remaining_bits() >= MAX_BLOCK_BITS {
             // SAFETY: (contract, not UB) the unchecked reader requires the
             // whole worst-case block footprint in-bounds, guaranteed by the
             // `remaining_bits()` guard above (and re-asserted inside).
-            decode_block_unchecked(&mut r, chunk);
+            decode_block_unchecked(r, chunk);
         } else {
-            let block = decode_block(&mut r)?;
+            let block = decode_block(r)?;
             chunk.copy_from_slice(&block[..chunk.len()]);
         }
     }
@@ -284,8 +458,121 @@ fn decode_block(r: &mut BitReader<'_>) -> Result<[f32; 4], CompressError> {
         *v = if neg { val.wrapping_neg() } else { val };
     }
     inv_transform(&mut ints);
-    let scale = 2f64.powi(emax - (PRECISION - 2));
+    let scale = pow2(emax - (PRECISION - 2));
     Ok(std::array::from_fn(|i| (ints[i] as f64 * scale) as f32))
+}
+
+/// A block read off the bit stream but not yet reconstructed — the split
+/// point between the (inherently serial) bit reads and the transform/scale
+/// stage the AVX2 kernel vectorizes across four lanes.
+pub(crate) enum BlockRaw {
+    /// Zero-block flag: all four values are 0.0.
+    Zero,
+    /// Verbatim escape (non-finite values): raw IEEE bits.
+    Verbatim([f32; 4]),
+    /// Regular block: untransformed coefficients and the block exponent.
+    Normal {
+        /// Coefficients after midpoint reconstruction, pre-inverse-transform.
+        ints: [i64; 4],
+        /// Block exponent (`emax`).
+        emax: i32,
+    },
+}
+
+/// [`decode_block`]'s read stage without per-read end-of-stream checks.
+/// Caller must have verified the stream holds at least [`MAX_BLOCK_BITS`]
+/// more bits; the bit cursor then advances exactly as the checked path
+/// would.
+#[inline]
+pub(crate) fn read_block_raw_unchecked(r: &mut BitReader<'_>) -> BlockRaw {
+    debug_assert!(r.remaining_bits() >= MAX_BLOCK_BITS);
+    // The whole header — flag(1) [+ escape(1)] or flag(1) + emax(10) +
+    // cut(6) + width(6) — fits one 57-bit window, so it costs a single
+    // load instead of four dependent read rounds.
+    let w = r.peek_word();
+    if w & 1 == 1 {
+        r.advance_unchecked(2);
+        if w & 2 == 0 {
+            return BlockRaw::Zero;
+        }
+        let mut vals = [0.0f32; 4];
+        for v in &mut vals {
+            *v = f32::from_bits(r.read_bits_unchecked(32) as u32);
+        }
+        return BlockRaw::Verbatim(vals);
+    }
+    let emax = ((w >> 1) & 0x3FF) as i32 - 256;
+    let cut = ((w >> 11) & 0x3F) as u32;
+    let width = ((w >> 17) & 0x3F) as u32;
+    r.advance_unchecked(23);
+    let mut ints = [0i64; 4];
+    if width <= 56 {
+        // Fast path: sign + magnitude (≤ 57 bits together) come out of one
+        // window per coefficient, and the cursor advances by a
+        // block-constant stride, so the four loads pipeline.
+        let mask = if width == 0 { 0 } else { (1u64 << width) - 1 };
+        for v in &mut ints {
+            let cw = r.peek_word();
+            r.advance_unchecked(1 + width as usize);
+            *v = reconstruct_coeff((cw >> 1) & mask, cut, cw & 1 == 1);
+        }
+    } else {
+        for v in &mut ints {
+            let neg = r.read_bits_unchecked(1) == 1;
+            let raw: u64 = if width <= 57 {
+                r.read_bits_unchecked(width)
+            } else {
+                // 58..=63-bit magnitudes split across two register loads.
+                let lo = r.read_bits_unchecked(57);
+                lo | (r.read_bits_unchecked(width - 57) << 57)
+            };
+            *v = reconstruct_coeff(raw, cut, neg);
+        }
+    }
+    BlockRaw::Normal { ints, emax }
+}
+
+/// `2^e` by direct exponent-bit construction — `powi` is a library call,
+/// far too slow for the per-block decode hot path.  The block exponent is
+/// 10 bits (`emax ∈ [-256, 767]`), so `e = emax - 36` always lands in the
+/// normal-f64 range and the result is exactly `2f64.powi(e)`.
+#[inline]
+pub(crate) fn pow2(e: i32) -> f64 {
+    debug_assert!((-1022..=1023).contains(&e));
+    f64::from_bits(((e + 1023) as u64) << 52)
+}
+
+/// Midpoint reconstruction of the truncated low bits (wrapping: corrupt
+/// streams can declare absurd cut/width combinations).
+#[inline]
+pub(crate) fn reconstruct_coeff(raw: u64, cut: u32, neg: bool) -> i64 {
+    let mag = raw as i64;
+    let mut val = mag.wrapping_shl(cut);
+    if cut > 0 && mag != 0 {
+        val = val.wrapping_add(1i64.wrapping_shl(cut - 1));
+    }
+    if neg {
+        val.wrapping_neg()
+    } else {
+        val
+    }
+}
+
+/// Scalar reconstruction stage: inverse transform + scale (or the trivial
+/// zero/verbatim fills) into `out` (`1..=4` values).
+pub(crate) fn finish_block_scalar(raw: &BlockRaw, out: &mut [f32]) {
+    match raw {
+        BlockRaw::Zero => out.fill(0.0),
+        BlockRaw::Verbatim(vals) => out.copy_from_slice(&vals[..out.len()]),
+        BlockRaw::Normal { ints, emax } => {
+            let mut p = *ints;
+            inv_transform(&mut p);
+            let scale = pow2(emax - (PRECISION - 2));
+            for (slot, &i) in out.iter_mut().zip(p.iter()) {
+                *slot = (i as f64 * scale) as f32;
+            }
+        }
+    }
 }
 
 /// [`decode_block`] without per-read end-of-stream checks, writing straight
@@ -293,49 +580,9 @@ fn decode_block(r: &mut BitReader<'_>) -> Result<[f32; 4], CompressError> {
 /// at least [`MAX_BLOCK_BITS`] more bits; decoding is then infallible and
 /// the bit cursor advances exactly as the checked path would.
 fn decode_block_unchecked(r: &mut BitReader<'_>, out: &mut [f32]) {
-    debug_assert!(r.remaining_bits() >= MAX_BLOCK_BITS);
     debug_assert!(!out.is_empty() && out.len() <= 4);
-    if r.read_bits_unchecked(1) == 1 {
-        if r.read_bits_unchecked(1) == 0 {
-            out.fill(0.0);
-            return;
-        }
-        let mut vals = [0.0f32; 4];
-        for v in &mut vals {
-            *v = f32::from_bits(r.read_bits_unchecked(32) as u32);
-        }
-        out.copy_from_slice(&vals[..out.len()]);
-        return;
-    }
-    let emax = r.read_bits_unchecked(10) as i32 - 256;
-    let cut = r.read_bits_unchecked(6) as u32;
-    let width = r.read_bits_unchecked(6) as u32;
-    let mut ints = [0i64; 4];
-    for v in &mut ints {
-        let neg = r.read_bits_unchecked(1) == 1;
-        let raw: u64 = if width == 0 {
-            0
-        } else if width <= 57 {
-            r.read_bits_unchecked(width)
-        } else {
-            // 58..=63-bit magnitudes split across two register loads.
-            let lo = r.read_bits_unchecked(57);
-            lo | (r.read_bits_unchecked(width - 57) << 57)
-        };
-        let mag = raw as i64;
-        // Midpoint reconstruction of the truncated low bits (wrapping:
-        // corrupt streams can declare absurd cut/width combinations).
-        let mut val = mag.wrapping_shl(cut);
-        if cut > 0 && mag != 0 {
-            val = val.wrapping_add(1i64.wrapping_shl(cut - 1));
-        }
-        *v = if neg { val.wrapping_neg() } else { val };
-    }
-    inv_transform(&mut ints);
-    let scale = 2f64.powi(emax - (PRECISION - 2));
-    for (slot, &i) in out.iter_mut().zip(ints.iter()) {
-        *slot = (i as f64 * scale) as f32;
-    }
+    let raw = read_block_raw_unchecked(r);
+    finish_block_scalar(&raw, out);
 }
 
 #[cfg(test)]
@@ -499,6 +746,53 @@ mod tests {
             let (l, h) = haar_fwd(a, b);
             let (a2, b2) = haar_inv(l, h);
             assert_eq!((a, b), (a2, b2));
+        }
+    }
+
+    /// The AVX2 kernel must reconstruct bit-identically to the portable
+    /// scalar lane decode, across tolerances wide enough to exercise every
+    /// coefficient-width path (one-window, two-window, and the general
+    /// fallback) plus zero blocks and ragged tails.
+    #[cfg(target_arch = "x86_64")]
+    #[test]
+    fn prop_v2_avx2_kernel_matches_scalar() {
+        if !errflow_tensor::simd::has_avx2() {
+            eprintln!("skipping: host lacks AVX2");
+            return;
+        }
+        let mut rng = StdRng::seed_from_u64(0x2F2);
+        for round in 0..48 {
+            let n = rng.gen_range(1usize..3000);
+            let tol = 10f64.powf(rng.gen_range(-9.0f64..-1.0));
+            let mut data: Vec<f32> = (0..n)
+                .map(|i| ((i as f32) * 0.05).sin() * 20.0 + rng.gen_range(-1.0f32..1.0))
+                .collect();
+            if round % 3 == 0 {
+                // Zero runs force zero-block rounds into the kernel.
+                for v in data.iter_mut().take(n / 2) {
+                    *v = 0.0;
+                }
+            }
+            if round % 7 == 0 {
+                // Non-finite values force verbatim-escape blocks.
+                let at = rng.gen_range(0..n);
+                data[at] = f32::NAN;
+            }
+            let stream = compress_v2(&data, tol);
+            let hdr = parse_header_v2(&stream).unwrap();
+            let payload = &stream[hdr.payload_off..];
+            let parts = format::split_even(n.div_ceil(4), hdr.payloads.len());
+            let mut scalar = vec![0.0f32; n];
+            decompress_v2_scalar(payload, &hdr.payloads, &parts, &mut scalar).unwrap();
+            let mut simd = vec![0.0f32; n];
+            crate::zfp_simd::decode_v2_avx2(payload, &hdr.payloads, &parts, &mut simd).unwrap();
+            for (i, (a, b)) in scalar.iter().zip(&simd).enumerate() {
+                assert_eq!(
+                    a.to_bits(),
+                    b.to_bits(),
+                    "n={n} tol={tol:e}: kernel diverges at index {i}"
+                );
+            }
         }
     }
 }

@@ -1,0 +1,165 @@
+//! Cross-version (v1 ↔ v2) stream-format matrix.
+//!
+//! * v1 streams from the pinned `v1_format()` encoders must decode
+//!   **bit-identically** through the optimized decoders and the frozen
+//!   [`errflow_compress::reference`] oracle — the optimization work on the
+//!   hot paths must never change a v1 result.
+//! * v2 streams must round-trip within the requested bound under every
+//!   bound mode the backend supports.
+//! * A v2 header whose declared sub-stream / table lengths don't sum to
+//!   the actual payload must be rejected with a typed
+//!   [`CompressError::CorruptStream`], never silently truncated.
+
+use errflow_compress::{
+    reference, scratch, CompressError, Compressor, ErrorBound, SzCompressor, ZfpCompressor,
+};
+use errflow_tensor::rng::StdRng;
+
+/// Smooth field with mild noise — representative of the HPC data the
+/// paper's codecs target, with enough variation to exercise outliers.
+fn field(n: usize) -> Vec<f32> {
+    let mut rng = StdRng::seed_from_u64(0x5eed_f0e1);
+    (0..n)
+        .map(|i| {
+            let x = i as f32;
+            (x * 0.003).sin() * 3.0 + 0.2 * (x * 0.041).cos() + rng.gen_range(-0.002f32..0.002)
+        })
+        .collect()
+}
+
+#[test]
+fn v1_streams_decode_bit_identically_to_the_oracle() {
+    let data = field(4097);
+    let mut sc = scratch::acquire();
+    let v1_backends: Vec<(&str, Box<dyn Compressor>)> = vec![
+        ("sz", Box::new(SzCompressor::v1_format())),
+        ("zfp", Box::new(ZfpCompressor::v1_format())),
+    ];
+    for (name, v1) in &v1_backends {
+        let bound = ErrorBound::rel_linf(1e-4);
+        let stream = v1.compress(&data, &bound).unwrap();
+        let oracle = reference::decompress(name, &stream).unwrap();
+        let fast = v1.decompress(&stream).unwrap();
+        assert_eq!(oracle.len(), fast.len(), "{name}: length mismatch");
+        for (i, (a, b)) in oracle.iter().zip(&fast).enumerate() {
+            assert_eq!(
+                a.to_bits(),
+                b.to_bits(),
+                "{name}: v1 decode diverges from the oracle at index {i}"
+            );
+        }
+        let mut into = vec![0.0f32; data.len()];
+        v1.decompress_into(&stream, &mut into, &mut sc).unwrap();
+        assert!(oracle.iter().zip(&into).all(|(a, b)| a.to_bits() == b.to_bits()));
+    }
+}
+
+#[test]
+fn v2_round_trips_under_every_supported_bound_mode() {
+    let data = field(10_000);
+    let mut sc = scratch::acquire();
+    let bounds = [
+        ErrorBound::abs_linf(1e-3),
+        ErrorBound::rel_linf(1e-4),
+        ErrorBound::abs_l2(1e-3),
+    ];
+    let sz = SzCompressor::new();
+    let zfp = ZfpCompressor::new();
+    for bound in &bounds {
+        for c in [&sz as &dyn Compressor, &zfp] {
+            if !c.supports(bound) {
+                continue;
+            }
+            let stream = c.compress(&data, bound).unwrap();
+            let rec = c.decompress(&stream).unwrap();
+            assert!(
+                bound.verify(&data, &rec),
+                "{} v2 violates {bound:?}",
+                c.name()
+            );
+            let mut into = vec![0.0f32; data.len()];
+            c.decompress_into(&stream, &mut into, &mut sc).unwrap();
+            assert!(rec.iter().zip(&into).all(|(a, b)| a.to_bits() == b.to_bits()));
+        }
+    }
+}
+
+/// ZFP's v2 container re-encodes the *same* per-block stream, merely split
+/// at block boundaries — so v1 and v2 must reconstruct bit-identical
+/// values, not merely bound-respecting ones.
+#[test]
+fn zfp_v2_reconstruction_matches_v1_exactly() {
+    let data = field(8191);
+    let bound = ErrorBound::rel_linf(1e-5);
+    let v1 = ZfpCompressor::v1_format()
+        .decompress(&ZfpCompressor::v1_format().compress(&data, &bound).unwrap())
+        .unwrap();
+    let v2 = ZfpCompressor::new()
+        .decompress(&ZfpCompressor::new().compress(&data, &bound).unwrap())
+        .unwrap();
+    assert!(v1.iter().zip(&v2).all(|(a, b)| a.to_bits() == b.to_bits()));
+}
+
+/// Flip the first declared sub-stream length in a v2 ZFP header so the
+/// lengths no longer sum to the payload size.
+#[test]
+fn zfp_forged_substream_lengths_are_a_typed_corrupt_stream() {
+    let data = field(2048);
+    let zfp = ZfpCompressor::new();
+    let mut stream = zfp.compress(&data, &ErrorBound::abs_linf(1e-3)).unwrap();
+    // Layout: preamble (10) + n (8) + per-stream u64 lengths.
+    let len0 = u64::from_le_bytes(stream[18..26].try_into().unwrap());
+    stream[18..26].copy_from_slice(&(len0 + 1).to_le_bytes());
+    let mut out = vec![0.0f32; data.len()];
+    let mut sc = scratch::acquire();
+    let err = zfp.decompress_into(&stream, &mut out, &mut sc).unwrap_err();
+    match err {
+        CompressError::CorruptStream(msg) => {
+            assert!(msg.contains("sub-stream lengths"), "unexpected message: {msg}")
+        }
+        other => panic!("expected CorruptStream, got {other:?}"),
+    }
+    assert!(zfp.decompress(&stream).is_err());
+}
+
+/// Inflate a declared per-segment outlier count in a v2 SZ header so the
+/// outlier tables no longer match the trailing payload bytes.
+#[test]
+fn sz_forged_outlier_counts_are_a_typed_corrupt_stream() {
+    let data = field(2048);
+    let sz = SzCompressor::new();
+    let mut stream = sz.compress(&data, &ErrorBound::abs_linf(1e-3)).unwrap();
+    // Layout: preamble (10) + n (8) + eb (8) + per-stream u32 counts.
+    let c0 = u32::from_le_bytes(stream[26..30].try_into().unwrap());
+    stream[26..30].copy_from_slice(&(c0 + 1).to_le_bytes());
+    let mut out = vec![0.0f32; data.len()];
+    let mut sc = scratch::acquire();
+    let err = sz.decompress_into(&stream, &mut out, &mut sc).unwrap_err();
+    match err {
+        CompressError::CorruptStream(msg) => {
+            assert!(msg.contains("outlier table"), "unexpected message: {msg}")
+        }
+        other => panic!("expected CorruptStream, got {other:?}"),
+    }
+    assert!(sz.decompress(&stream).is_err());
+}
+
+/// Truncating the payload (without touching the header) must also be
+/// rejected by the strict length-sum check, for both backends.
+#[test]
+fn v2_truncated_payloads_are_rejected() {
+    let data = field(4096);
+    let bound = ErrorBound::abs_linf(1e-3);
+    for c in [
+        &SzCompressor::new() as &dyn Compressor,
+        &ZfpCompressor::new(),
+    ] {
+        let stream = c.compress(&data, &bound).unwrap();
+        let cut = &stream[..stream.len() - 3];
+        assert!(
+            matches!(c.decompress(cut), Err(CompressError::CorruptStream(_))),
+            "{}: truncated v2 stream must be CorruptStream",
+            c.name()
+        );
+    }
+}

@@ -92,6 +92,10 @@ pub struct BenchSummary {
     /// Codec scratch-pool hit rate over the server's lifetime (per-server
     /// delta; see [`crate::stats::StatsSnapshot::scratch_hits`]).
     pub scratch_hit_rate: f64,
+    /// Codec decode sub-streams consumed over the run (per-server delta;
+    /// see [`crate::stats::StatsSnapshot::decode_streams`]) — nonzero iff
+    /// the traffic hit the v2 multi-stream decode paths.
+    pub decode_streams: u64,
     /// Per-stage latency breakdown (ingress / batch wait / plan /
     /// decompress / forward / respond / egress — the net-frontend stages
     /// are empty for in-process runs).
@@ -133,6 +137,7 @@ impl BenchSummary {
             decomp_bytes_out: snap.decomp_bytes_out,
             decomp_gbps: snap.decomp_gbps(),
             scratch_hit_rate: snap.scratch_hit_rate(),
+            decode_streams: snap.decode_streams,
             stages: snap.stages,
             bound_pass: snap.bound_pass,
             bound_fail: snap.bound_fail,
@@ -170,7 +175,7 @@ impl BenchSummary {
                 "\"batches\":{},\"mean_batch_size\":{},",
                 "\"max_rel_bound\":{},\"all_bounds_certified\":{},",
                 "\"decomp\":{{\"bytes_in\":{},\"bytes_out\":{},\"gbps\":{},",
-                "\"scratch_hit_rate\":{}}}}}"
+                "\"scratch_hit_rate\":{},\"decode_streams\":{}}}}}"
             ),
             self.clients,
             self.requests,
@@ -202,6 +207,7 @@ impl BenchSummary {
             self.decomp_bytes_out,
             num(self.decomp_gbps),
             num(self.scratch_hit_rate),
+            self.decode_streams,
         )
     }
 }
@@ -340,6 +346,7 @@ mod tests {
             decomp_bytes_out: 800_000,
             decomp_gbps: 2.5,
             scratch_hit_rate: 0.97,
+            decode_streams: 3200,
             stages: StageBreakdown {
                 decompress: LatencySummary {
                     count: 800,
@@ -391,6 +398,7 @@ mod tests {
             decomp_bytes_out: 0,
             decomp_gbps: f64::NAN,
             scratch_hit_rate: 0.0,
+            decode_streams: 0,
             stages: StageBreakdown::default(),
             bound_pass: 0,
             bound_fail: 0,

@@ -308,6 +308,16 @@ struct Inner<M> {
     /// `Server::stats` reports deltas against it so the snapshot describes
     /// *this* server's traffic, not every compressor in the process.
     scratch_base: (u64, u64),
+    /// Process-wide `codec.decode.streams.*` total at construction time
+    /// (same delta convention as `scratch_base`).
+    decode_streams_base: u64,
+}
+
+/// Sum of the per-backend decode sub-stream counters the codecs bump on
+/// every v2 (multi-stream) decode.
+fn decode_streams_total() -> u64 {
+    errflow_obs::counter("codec.decode.streams.sz").get()
+        + errflow_obs::counter("codec.decode.streams.zfp").get()
 }
 
 /// The concurrent batched inference server.  See the module docs for the
@@ -378,6 +388,7 @@ impl<M: Model + Clone + Send + Sync + 'static> Server<M> {
             model_id: h.finish(),
             input_dim,
             scratch_base: errflow_compress::scratch::pool_stats(),
+            decode_streams_base: decode_streams_total(),
         });
         // One shard per worker so every worker has a home deque to drain
         // before stealing; an admission-only server (workers = 0) still
@@ -567,6 +578,8 @@ impl<M: Model + Clone + Send + Sync + 'static> Server<M> {
             decomp_bytes_out: s.decomp_bytes_out.get(),
             scratch_hits: hits.saturating_sub(base_hits),
             scratch_misses: misses.saturating_sub(base_misses),
+            decode_streams: decode_streams_total()
+                .saturating_sub(self.inner.decode_streams_base),
             bound_pass: s.stages.bound_pass.get(),
             bound_fail: s.stages.bound_fail.get(),
             latency: s.latency.summary(),

@@ -278,6 +278,13 @@ pub struct StatsSnapshot {
     /// Codec scratch-pool misses since this server was built (delta, as
     /// with `scratch_hits`).
     pub scratch_misses: u64,
+    /// Codec decode sub-streams consumed since this server was built
+    /// (delta, like `scratch_hits`): the sum of the per-backend
+    /// `codec.decode.streams.*` counters.  v2 payloads count their
+    /// interleaving factor (4 per decode) and v1 payloads count 0, so
+    /// `decode_streams / completed` reads as the SIMD-decode adoption rate
+    /// of this server's traffic.
+    pub decode_streams: u64,
     /// Responses whose certified bound was ≤ the plan tolerance.
     pub bound_pass: u64,
     /// Responses whose certified bound exceeded the plan tolerance (must
@@ -353,6 +360,7 @@ mod tests {
             decomp_bytes_out: 0,
             scratch_hits: 0,
             scratch_misses: 0,
+            decode_streams: 0,
             bound_pass: 0,
             bound_fail: 0,
             latency: LatencySummary::default(),

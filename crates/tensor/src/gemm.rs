@@ -121,24 +121,11 @@ pub enum KernelKind {
     Avx2Fma,
 }
 
-/// Runtime CPU dispatch, detected once per process.
+/// Runtime CPU dispatch via the shared [`crate::simd`] feature cache.
 pub fn kernel_kind() -> KernelKind {
-    #[cfg(target_arch = "x86_64")]
-    {
-        use std::sync::OnceLock;
-        static KIND: OnceLock<KernelKind> = OnceLock::new();
-        *KIND.get_or_init(|| {
-            if std::arch::is_x86_feature_detected!("avx2")
-                && std::arch::is_x86_feature_detected!("fma")
-            {
-                KernelKind::Avx2Fma
-            } else {
-                KernelKind::Generic
-            }
-        })
-    }
-    #[cfg(not(target_arch = "x86_64"))]
-    {
+    if crate::simd::has_avx2_fma() {
+        KernelKind::Avx2Fma
+    } else {
         KernelKind::Generic
     }
 }

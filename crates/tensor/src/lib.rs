@@ -35,6 +35,7 @@ pub mod matrix;
 pub mod norms;
 pub mod pool;
 pub mod rng;
+pub mod simd;
 pub mod spectral;
 pub mod stats;
 pub mod sync;

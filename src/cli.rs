@@ -316,8 +316,8 @@ stages are empty or the p50 frontend overhead exceeds 250µs.
 
 fn backend_by_name(name: &str) -> Result<Box<dyn Compressor>, String> {
     match name {
-        "sz" => Ok(Box::new(SzCompressor)),
-        "zfp" => Ok(Box::new(ZfpCompressor)),
+        "sz" => Ok(Box::new(SzCompressor::default())),
+        "zfp" => Ok(Box::new(ZfpCompressor::default())),
         "mgard" => Ok(Box::new(MgardCompressor)),
         other => Err(format!("unknown backend: {other}")),
     }
