@@ -87,7 +87,12 @@ fn field(n: usize) -> Vec<f32> {
 /// understands; for v1 rows it is the measured compressor itself, so the
 /// row is additionally proven bit-identical against the oracle.
 #[allow(clippy::type_complexity)]
-fn backends() -> Vec<(&'static str, &'static str, Box<dyn Compressor>, Box<dyn Compressor>)> {
+fn backends() -> Vec<(
+    &'static str,
+    &'static str,
+    Box<dyn Compressor>,
+    Box<dyn Compressor>,
+)> {
     vec![
         (
             "sz",
@@ -151,7 +156,10 @@ fn run_codec(
             );
         }
     }
-    assert!(bound.verify(data, &fast), "{backend}/{format}: bound violated");
+    assert!(
+        bound.verify(data, &fast),
+        "{backend}/{format}: bound violated"
+    );
 
     let compress_secs = time_best(reps, || {
         std::hint::black_box(c.compress(data, &bound).expect("compress"));
@@ -188,19 +196,25 @@ fn run_codec(
     }
 }
 
-fn run_chunked(n: usize, thread_counts: &[usize], reps: usize) -> ChunkedResult {
+fn run_chunked<C: Compressor>(
+    backend: &'static str,
+    make: impl Fn() -> C,
+    n: usize,
+    thread_counts: &[usize],
+    reps: usize,
+) -> ChunkedResult {
     let data = field(n);
     let bound = ErrorBound::rel_linf(1e-4);
-    let stream = ChunkedCompressor::new(SzCompressor::default())
+    let stream = ChunkedCompressor::new(make())
         .compress(&data, &bound)
         .expect("chunked compress");
     let mut threads = Vec::new();
     for &t in thread_counts {
-        let c = ChunkedCompressor::new(SzCompressor::default()).with_threads(t);
+        let c = ChunkedCompressor::new(make()).with_threads(t);
         let recon = c.decompress(&stream).expect("chunked decompress");
         assert!(
             bound.verify(&data, &recon),
-            "chunked bound violated at {t}T"
+            "{backend} bound violated at {t}T"
         );
         let secs = time_best(reps, || {
             std::hint::black_box(c.decompress(&stream).expect("chunked decompress"));
@@ -208,7 +222,7 @@ fn run_chunked(n: usize, thread_counts: &[usize], reps: usize) -> ChunkedResult 
         threads.push((t, secs));
     }
     ChunkedResult {
-        backend: "chunked-sz",
+        backend,
         n,
         threads,
     }
@@ -374,11 +388,46 @@ fn main() {
     }
 
     let chunked_n = if smoke { DEFAULT_CHUNK * 4 } else { 1 << 20 };
-    let chunked = vec![run_chunked(
-        chunked_n,
-        &thread_counts,
-        if smoke { 2 } else { 3 },
-    )];
+    let chunked_reps = if smoke { 2 } else { 3 };
+    // Every backend/format the serve path can wrap gets the thread sweep
+    // (mgard has no v2 container, so it is v1-only).
+    let chunked = vec![
+        run_chunked(
+            "chunked-sz-v2",
+            SzCompressor::default,
+            chunked_n,
+            &thread_counts,
+            chunked_reps,
+        ),
+        run_chunked(
+            "chunked-sz-v1",
+            SzCompressor::v1_format,
+            chunked_n,
+            &thread_counts,
+            chunked_reps,
+        ),
+        run_chunked(
+            "chunked-zfp-v2",
+            ZfpCompressor::default,
+            chunked_n,
+            &thread_counts,
+            chunked_reps,
+        ),
+        run_chunked(
+            "chunked-zfp-v1",
+            ZfpCompressor::v1_format,
+            chunked_n,
+            &thread_counts,
+            chunked_reps,
+        ),
+        run_chunked(
+            "chunked-mgard-v1",
+            MgardCompressor::default,
+            chunked_n,
+            &thread_counts,
+            chunked_reps,
+        ),
+    ];
     for r in &chunked {
         eprintln!(
             "[compress-bench] {} n={}: {}",

@@ -1,0 +1,256 @@
+//! `serve-bench-sweep` — payload-size × batch-cap throughput sweep for the
+//! serving hot path, emitting `BENCH_serve.json`.
+//!
+//! Each sweep point builds a fresh [`Server`] over the same MLP and drives
+//! it with the closed-loop loadgen behind `errflow-cli serve-bench`, so the
+//! numbers tracked in-repo measure exactly the production request path:
+//! admission → plan cache → error-bounded compression roundtrip → batched
+//! forward → certified response.
+//!
+//! ```sh
+//! cargo run --release -p errflow-bench --bin serve-bench-sweep                       # fresh sweep
+//! cargo run --release -p errflow-bench --bin serve-bench-sweep -- \
+//!     --baseline /tmp/before.json --out BENCH_serve.json                             # before/after
+//! ```
+//!
+//! With `--baseline <file>` the previous sweep is embedded verbatim under
+//! `"before"` and a per-point `speedup_vs_baseline` column is computed by
+//! pairing points in sweep order (the point grid is fixed, so order is
+//! identity across runs on the same version of this binary).
+
+use errflow_nn::{Activation, Mlp};
+use errflow_pipeline::planner::PayloadLayout;
+use errflow_serve::{run_loadgen, BenchSummary, LoadgenConfig, ServeConfig, Server};
+use errflow_tensor::norms::Norm;
+use errflow_tensor::pool;
+use errflow_tensor::rng::StdRng;
+use std::fmt::Write as _;
+
+/// Model input dimension; payload sizes are `samples × INPUT_DIM` values.
+const INPUT_DIM: usize = 256;
+
+/// The sweep grid: `(payload values per request, requests per client)`.
+/// 64 Ki / 256 Ki / 1 Mi values = 256 KiB / 1 MiB / 4 MiB payloads.
+const PAYLOADS: &[(usize, usize)] = &[(1 << 16, 12), (1 << 18, 8), (1 << 20, 6)];
+
+/// Batch caps swept at every payload size.
+const BATCH_CAPS: &[usize] = &[1, 4];
+
+struct SweepPoint {
+    payload_values: usize,
+    samples: usize,
+    batch_cap: usize,
+    layout: &'static str,
+    summary: BenchSummary,
+}
+
+fn model() -> Mlp {
+    Mlp::new(
+        &[INPUT_DIM, 128, 16],
+        Activation::Tanh,
+        Activation::Identity,
+        11,
+        None,
+    )
+}
+
+fn calibration(n: usize) -> Vec<Vec<f32>> {
+    let mut rng = StdRng::seed_from_u64(23);
+    (0..n)
+        .map(|_| {
+            (0..INPUT_DIM)
+                .map(|_| rng.gen_range(-1.0f32..1.0))
+                .collect()
+        })
+        .collect()
+}
+
+fn run_point(
+    payload_values: usize,
+    requests_per_client: usize,
+    batch_cap: usize,
+    layout: PayloadLayout,
+) -> SweepPoint {
+    let samples = payload_values / INPUT_DIM;
+    let server = Server::new(
+        model(),
+        calibration(8),
+        ServeConfig {
+            workers: 1,
+            max_batch: batch_cap,
+            ..ServeConfig::default()
+        },
+    );
+    let summary = run_loadgen(
+        &server,
+        &LoadgenConfig {
+            clients: 2,
+            requests_per_client,
+            samples_per_request: samples,
+            tolerances: vec![1e-3],
+            norm: Norm::L2,
+            layout,
+            seed: 41,
+        },
+    );
+    SweepPoint {
+        payload_values,
+        samples,
+        batch_cap,
+        layout: match layout {
+            PayloadLayout::FeatureMajor => "feature-major",
+            PayloadLayout::SampleMajor => "sample-major",
+        },
+        summary,
+    }
+}
+
+/// Extracts every `"throughput_rps":<number>` from a prior sweep's JSON, in
+/// order (hand-rolled: the workspace carries no JSON dependency).
+fn baseline_rps(json: &str) -> Vec<f64> {
+    const KEY: &str = "\"throughput_rps\":";
+    let mut out = Vec::new();
+    let mut rest = json;
+    while let Some(at) = rest.find(KEY) {
+        rest = &rest[at + KEY.len()..];
+        let end = rest
+            .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == '+'))
+            .unwrap_or(rest.len());
+        if let Ok(v) = rest[..end].parse::<f64>() {
+            out.push(v);
+        }
+    }
+    out
+}
+
+fn to_json(points: &[SweepPoint], baseline: Option<&str>) -> String {
+    // The baseline text embeds under "before"; pair its headline rps
+    // numbers (one per point, sweep order) to compute speedups.  A prior
+    // sweep's own "before" section is excluded by truncating at the
+    // `"before"` key if present.
+    let base_rps = baseline.map(|b| {
+        let own = b.find("\"before\"").map_or(b.len(), |i| i);
+        baseline_rps(&b[..own])
+    });
+    let mut s = String::new();
+    s.push_str("{\n");
+    let _ = writeln!(s, "  \"bench\": \"serve\",");
+    let _ = writeln!(
+        s,
+        "  \"pool_concurrency\": {},",
+        pool::global().max_concurrency()
+    );
+    let _ = writeln!(s, "  \"hardware_threads\": {},", pool::hardware_threads());
+    let _ = writeln!(
+        s,
+        "  \"model\": \"mlp-{INPUT_DIM}x128x16\", \"backend\": \"sz\", \"workers\": 1, \
+         \"clients\": 2, \"tolerance\": 1e-3, \"norm\": \"l2\","
+    );
+    s.push_str("  \"results\": [\n");
+    for (i, p) in points.iter().enumerate() {
+        let lat = &p.summary.latency;
+        let bw = &p.summary.stages.batch_wait;
+        let speedup = base_rps
+            .as_ref()
+            .and_then(|b| b.get(i))
+            .map(|&b| p.summary.throughput_rps / b);
+        let _ = write!(
+            s,
+            "    {{\"payload_values\": {}, \"samples\": {}, \"batch_cap\": {}, \
+             \"layout\": \"{}\",\n     \"throughput_rps\": {:.3}, \
+             \"payload_mbps\": {:.1}, \"decode_gbps\": {:.3}, \
+             \"batch_wait_share\": {:.3}, \"speedup_vs_baseline\": {},\n     \"summary\": {}}}",
+            p.payload_values,
+            p.samples,
+            p.batch_cap,
+            p.layout,
+            p.summary.throughput_rps,
+            p.summary.throughput_rps * (p.payload_values * 4) as f64 / 1e6,
+            p.summary.decomp_gbps,
+            if lat.mean_us > 0.0 {
+                bw.mean_us / lat.mean_us
+            } else {
+                0.0
+            },
+            speedup.map_or("null".to_string(), |v| format!("{v:.2}")),
+            p.summary.to_json(),
+        );
+        s.push_str(if i + 1 < points.len() { ",\n" } else { "\n" });
+    }
+    s.push_str("  ]");
+    if let Some(b) = baseline {
+        s.push_str(",\n  \"before\": ");
+        s.push_str(b.trim());
+    }
+    s.push_str("\n}\n");
+    s
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let flag = |name: &str| {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1))
+            .cloned()
+    };
+    let out_path = flag("--out").unwrap_or_else(|| "BENCH_serve.json".to_string());
+    let baseline = flag("--baseline").map(|p| std::fs::read_to_string(&p).expect("read baseline"));
+
+    let mut points = Vec::new();
+    for &(values, reqs) in PAYLOADS {
+        for &cap in BATCH_CAPS {
+            let p = run_point(values, reqs, cap, PayloadLayout::SampleMajor);
+            eprintln!(
+                "[serve-bench-sweep] {} values cap={cap} sample-major: {:.2} req/s \
+                 (p50 {:.0}us, decode {:.2} GB/s, mean batch {:.2})",
+                values,
+                p.summary.throughput_rps,
+                p.summary.latency.p50_us,
+                p.summary.decomp_gbps,
+                p.summary.mean_batch_size,
+            );
+            points.push(p);
+        }
+    }
+    // One feature-major point at the largest payload, so the layout cost
+    // (transpose on the decode path) stays visible in the tracked numbers.
+    let (values, reqs) = PAYLOADS[PAYLOADS.len() - 1];
+    let p = run_point(
+        values,
+        reqs,
+        BATCH_CAPS[BATCH_CAPS.len() - 1],
+        PayloadLayout::FeatureMajor,
+    );
+    eprintln!(
+        "[serve-bench-sweep] {} values cap={} feature-major: {:.2} req/s",
+        values,
+        BATCH_CAPS[BATCH_CAPS.len() - 1],
+        p.summary.throughput_rps,
+    );
+    points.push(p);
+
+    for p in &points {
+        assert!(p.summary.all_bounds_certified && p.summary.bound_fail == 0);
+        // Stage attribution must stay sound under whatever pipelining the
+        // server does: per-request stage sums are ≤ end-to-end latency, so
+        // the *mean* stage sum is ≤ the mean latency (small slack for
+        // histogram bucketing error).
+        let stage_sum_us = p.summary.stages.batch_wait.mean_us
+            + p.summary.stages.plan.mean_us
+            + p.summary.stages.decompress.mean_us
+            + p.summary.stages.forward.mean_us
+            + p.summary.stages.respond.mean_us;
+        assert!(
+            stage_sum_us <= p.summary.latency.mean_us * 1.10 + 100.0,
+            "stage sum {stage_sum_us:.0}us exceeds mean latency {:.0}us at n={}",
+            p.summary.latency.mean_us,
+            p.payload_values,
+        );
+    }
+
+    let json = to_json(&points, baseline.as_deref());
+    std::fs::write(&out_path, &json).expect("write bench json");
+    eprintln!("[serve-bench-sweep] wrote {out_path}");
+    println!("{json}");
+}

@@ -23,8 +23,13 @@
 
 use crate::error_bound::{BoundMode, ErrorBound};
 use crate::scratch::{self, CodecScratch};
-use crate::traits::{CompressError, Compressor};
+use crate::traits::{CompressError, Compressor, DecodeUnit};
 use std::sync::Mutex;
+
+/// [`DecodeUnit::tag`] marking a unit as one inner chunk stream (decoded
+/// through the wrapped backend); tag `0` keeps the trait default meaning of
+/// "whole container" for the non-canonical fallback.
+const UNIT_CHUNK: u8 = 1;
 
 /// Default chunk size in values (256 KiB of f32).
 pub const DEFAULT_CHUNK: usize = 65_536;
@@ -175,7 +180,10 @@ impl<C: Compressor> Compressor for ChunkedCompressor<C> {
             self.inner.compress(chunk, &per_chunk)
         })?;
 
-        let mut out = Vec::new();
+        // Exact container size is known up front — one allocation, no
+        // doubling reallocs while concatenating multi-MB chunk streams.
+        let total: usize = streams.iter().map(Vec::len).sum();
+        let mut out = Vec::with_capacity(20 + 8 * streams.len() + total);
         out.extend_from_slice(&(data.len() as u64).to_le_bytes());
         out.extend_from_slice(&(self.chunk_values as u64).to_le_bytes());
         out.extend_from_slice(&(streams.len() as u32).to_le_bytes());
@@ -249,6 +257,59 @@ impl<C: Compressor> Compressor for ChunkedCompressor<C> {
         let v = self.decompress(stream)?;
         out.copy_from_slice(&v);
         Ok(())
+    }
+
+    /// Exposes the container's chunks as units so callers can fan a batch
+    /// of payloads out jointly.  Non-canonical containers come back as one
+    /// whole-container unit (tag 0 → the wrapper's own `decompress_into`).
+    fn decode_units<'a>(
+        &self,
+        stream: &'a [u8],
+        expected_len: usize,
+    ) -> Result<Vec<DecodeUnit<'a>>, CompressError> {
+        let (n, chunk_values, slices) = parse_chunk_stream(stream)?;
+        if n != expected_len {
+            return Err(CompressError::CorruptStream(format!(
+                "stream declares {n} values, expected {expected_len}"
+            )));
+        }
+        if let Some(expected) = chunk_layout(n, chunk_values, slices.len()) {
+            let mut offset = 0usize;
+            return Ok(slices
+                .iter()
+                .zip(&expected)
+                .map(|(&s, &len)| {
+                    let unit = DecodeUnit {
+                        stream: s,
+                        offset,
+                        len,
+                        tag: UNIT_CHUNK,
+                    };
+                    offset += len;
+                    unit
+                })
+                .collect());
+        }
+        Ok(vec![DecodeUnit {
+            stream,
+            offset: 0,
+            len: n,
+            tag: 0,
+        }])
+    }
+
+    fn decode_unit_into(
+        &self,
+        unit: &DecodeUnit<'_>,
+        out: &mut [f32],
+        scratch: &mut CodecScratch,
+    ) -> Result<(), CompressError> {
+        debug_assert_eq!(unit.len, out.len(), "unit/output length mismatch");
+        if unit.tag == UNIT_CHUNK {
+            self.inner.decompress_into(unit.stream, out, scratch)
+        } else {
+            self.decompress_into(unit.stream, out, scratch)
+        }
     }
 }
 
@@ -519,6 +580,64 @@ mod tests {
         assert!(c
             .decompress_into(&stream, &mut short, &mut scratch)
             .is_err());
+    }
+
+    #[test]
+    fn decode_units_tile_payload_and_match_decompress() {
+        let data = smooth(150_000); // 3 chunks: 64Ki + 64Ki + tail
+        let bound = ErrorBound::abs_linf(1e-4);
+        let c = ChunkedCompressor::new(SzCompressor::default());
+        let stream = c.compress(&data, &bound).unwrap();
+        let units = c.decode_units(&stream, data.len()).unwrap();
+        assert_eq!(units.len(), 3);
+        assert_eq!(units[0].offset, 0);
+        let mut expected_off = 0usize;
+        let mut out = vec![0.0f32; data.len()];
+        let mut scratch = CodecScratch::new();
+        for u in &units {
+            assert_eq!(u.offset, expected_off, "units must be contiguous");
+            expected_off += u.len;
+            c.decode_unit_into(u, &mut out[u.offset..u.offset + u.len], &mut scratch)
+                .unwrap();
+        }
+        assert_eq!(expected_off, data.len(), "units must tile the payload");
+        assert_eq!(out, c.decompress(&stream).unwrap());
+        // Length mismatch is rejected up front.
+        assert!(c.decode_units(&stream, data.len() + 1).is_err());
+    }
+
+    #[test]
+    fn decode_units_non_canonical_container_is_one_whole_unit() {
+        // Three chunks with a chunk size that implies two: the layout is
+        // not canonical, so units must collapse to one whole container.
+        let data = smooth(10_000);
+        let bound = ErrorBound::abs_linf(1e-4);
+        let sz = SzCompressor::default();
+        let a = sz.compress(&data[..4_000], &bound).unwrap();
+        let b = sz.compress(&data[4_000..7_000], &bound).unwrap();
+        let d = sz.compress(&data[7_000..], &bound).unwrap();
+        let mut stream = Vec::new();
+        stream.extend_from_slice(&(data.len() as u64).to_le_bytes());
+        stream.extend_from_slice(&(9_999u64).to_le_bytes()); // bogus chunk size
+        stream.extend_from_slice(&(3u32).to_le_bytes());
+        for part in [&a, &b, &d] {
+            stream.extend_from_slice(&(part.len() as u64).to_le_bytes());
+        }
+        for part in [&a, &b, &d] {
+            stream.extend_from_slice(part);
+        }
+        let c = ChunkedCompressor::new(SzCompressor::default());
+        let units = c.decode_units(&stream, data.len()).unwrap();
+        assert_eq!(units.len(), 1);
+        assert_eq!(
+            (units[0].offset, units[0].len, units[0].tag),
+            (0, data.len(), 0)
+        );
+        let mut out = vec![0.0f32; data.len()];
+        let mut scratch = CodecScratch::new();
+        c.decode_unit_into(&units[0], &mut out, &mut scratch)
+            .unwrap();
+        assert!(bound.verify(&data, &out));
     }
 
     #[test]

@@ -80,6 +80,32 @@ pub fn write_preamble(out: &mut Vec<u8>, tag: BackendTag, n_streams: usize) {
     out.push(n_streams as u8);
 }
 
+/// Appends `vals` as little-endian `f32` bytes in bulk.  Per-value
+/// `extend_from_slice(&v.to_le_bytes())` pays Vec bookkeeping on every
+/// element; staging through a fixed stack buffer amortizes that to one
+/// append per 64 values, which matters for the outlier-storm streams
+/// tight error bounds produce (nearly every value verbatim).
+pub fn write_f32_table(out: &mut Vec<u8>, vals: &[f32]) {
+    out.reserve(4 * vals.len());
+    let mut buf = [0u8; 4 * 64];
+    for chunk in vals.chunks(64) {
+        for (dst, v) in buf.chunks_exact_mut(4).zip(chunk) {
+            dst.copy_from_slice(&v.to_le_bytes());
+        }
+        out.extend_from_slice(&buf[..4 * chunk.len()]);
+    }
+}
+
+/// Bulk little-endian `f32` read, the inverse of [`write_f32_table`]:
+/// fills `out` from exactly `4 * out.len()` bytes.  The per-element
+/// `from_le_bytes` loop vectorizes to a straight copy on LE hosts.
+pub fn read_f32_table(bytes: &[u8], out: &mut [f32]) {
+    debug_assert_eq!(bytes.len(), 4 * out.len());
+    for (slot, b) in out.iter_mut().zip(bytes.chunks_exact(4)) {
+        *slot = f32::from_le_bytes([b[0], b[1], b[2], b[3]]);
+    }
+}
+
 /// Splits `n` items into `s` contiguous segments whose lengths differ by at
 /// most one (the first `n % s` segments get the extra item).  Returns
 /// `(offset, len)` per segment; segments may be empty when `n < s`.

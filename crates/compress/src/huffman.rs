@@ -41,7 +41,7 @@
 use crate::bitstream::{load_word, BitWriter};
 use crate::traits::{read_len_u32, read_len_u64, read_u8, CompressError};
 use std::cell::RefCell;
-use std::collections::{BinaryHeap, HashMap};
+use std::collections::HashMap;
 
 /// Width of the fast decode table (bits).
 pub const PEEK: u32 = 13;
@@ -151,15 +151,12 @@ pub fn encode_with(symbols: &[u32], out: &mut Vec<u8>, s: &mut EncodeScratch) {
     let _span = errflow_obs::trace::span("codec.huffman.encode");
     out.extend_from_slice(&(symbols.len() as u64).to_le_bytes());
 
-    let rle_ok = !symbols.contains(&RUN_MARKER);
     s.transformed.clear();
     s.runs.clear();
-    let transformed: &[u32] = if rle_ok {
-        rle_collapse_into(symbols, &mut s.transformed, &mut s.runs);
-        &s.transformed
-    } else {
-        symbols
-    };
+    // Single fused pass: run detection doubles as the marker scan, so the
+    // input is read once instead of twice (`contains` + collapse).
+    let rle_ok = rle_collapse_checked(symbols, &mut s.transformed, &mut s.runs);
+    let transformed: &[u32] = if rle_ok { &s.transformed } else { symbols };
     out.push(rle_ok as u8);
     out.extend_from_slice(&(s.runs.len() as u32).to_le_bytes());
     for &r in &s.runs {
@@ -210,8 +207,12 @@ fn build_encode_lut(
     let mut marker_code = (0u64, 0u8);
     let mut map: HashMap<u32, (u64, u8)> = HashMap::new();
     if dense {
-        lut.clear();
-        lut.resize(max_sym + 1, (0, 0));
+        // Grow-only: entries left over from a previous block are never
+        // read, because every symbol the payload loop looks up appears in
+        // this block's `lengths` and is overwritten below.
+        if lut.len() <= max_sym {
+            lut.resize(max_sym + 1, (0, 0));
+        }
     } else {
         map.reserve(lengths.len());
     }
@@ -265,6 +266,53 @@ fn write_payload_symbols(
     }
 }
 
+/// Flag-byte value marking a raw fixed-width (16-bit) symbol payload in
+/// the multi-stream block: no code table, no RLE, symbols stored as `u16`
+/// little-endian.  Values `0`/`1` remain the Huffman payload's RLE flag.
+pub const FLAG_RAW16: u8 = 2;
+
+/// Estimated size in bytes of the Huffman-coded block for a collapsed
+/// symbol stream with histogram `sorted`, table included.  Uses integer
+/// `ilog2` in place of the tree build, so the raw-vs-Huffman decision
+/// costs one pass over the *distinct* symbols, not a tree construction.
+/// `log2(n/f)` rounded against raw16 (over-estimating code lengths), so
+/// borderline distributions keep the exact Huffman path.
+fn estimated_huffman_bytes(sorted: &[(u32, u64)], n_sym: u64) -> usize {
+    let log2n = u64::BITS - n_sym.max(1).leading_zeros(); // ceil-ish log2
+    let mut bits = 0u64;
+    for &(_, f) in sorted {
+        let len = (log2n - (u64::BITS - 1 - f.max(1).leading_zeros())).max(1);
+        bits += f * u64::from(len);
+    }
+    4 + 5 * sorted.len() + (bits / 8) as usize
+}
+
+/// Whether the multi-stream encoder should store this block as raw 16-bit
+/// symbols instead of Huffman codes.  Eligible only when the input itself
+/// is marker-free (`rle_ok`) and every symbol fits `u16`; chosen when the
+/// estimated Huffman block (codes + table + run varints) is no smaller
+/// than the fixed-width payload — the incompressible regime tight error
+/// bounds push the quantizer into, where the tree build and bit-packing
+/// are pure overhead.
+fn choose_raw16(rle_ok: bool, sorted: &[(u32, u64)], n_original: usize, n_runs: usize) -> bool {
+    if !rle_ok || n_original == 0 {
+        return false;
+    }
+    let max_sym = sorted
+        .iter()
+        .rev()
+        .find(|&&(sym, _)| sym != RUN_MARKER)
+        .map(|&(sym, _)| sym);
+    let Some(max_sym) = max_sym else {
+        return false;
+    };
+    if max_sym > u32::from(u16::MAX) {
+        return false;
+    }
+    let n_sym: u64 = sorted.iter().map(|&(_, f)| f).sum();
+    2 * n_original < estimated_huffman_bytes(sorted, n_sym) + 2 * n_runs
+}
+
 /// Multi-stream variant of [`encode`]: `segments` are encoded against one
 /// shared code table but into independent payloads, one per segment, so
 /// they can be decoded as parallel lanes.  See the module docs.
@@ -285,12 +333,20 @@ pub fn encode_multi_into(segments: &[&[u32]], out: &mut Vec<u8>) {
 /// Block layout (all integers little-endian):
 ///
 /// ```text
-/// n_original u64 | n_streams u8 | rle u8
+/// n_original u64 | n_streams u8 | flag u8
 /// per stream: n_original_s u64 | n_runs_s u32 | runs varint* | n_symbols_s u64
 /// n_distinct u32 | (symbol u32, len u8)*          — shared code table
 /// per stream: payload_len_s u64
 /// concatenated payloads
 /// ```
+///
+/// `flag` is `0`/`1` (Huffman payload, RLE off/on) or [`FLAG_RAW16`]:
+/// raw payloads store the original symbols as fixed-width `u16`
+/// little-endian with no runs and **no code-table section** (the
+/// `n_distinct` field and table are absent; payload lengths follow the
+/// per-stream headers directly).  The encoder picks raw16 when the
+/// histogram says Huffman cannot beat 16 bits/symbol — the incompressible
+/// regime where entropy coding is pure overhead in both directions.
 ///
 /// RLE runs are collapsed **per segment**, so a run marker never leads a
 /// sub-stream and expansion needs no cross-lane state.
@@ -305,8 +361,6 @@ pub fn encode_multi_with(segments: &[&[u32]], out: &mut Vec<u8>, s: &mut EncodeS
     let n_original: usize = segments.iter().map(|seg| seg.len()).sum();
     out.extend_from_slice(&(n_original as u64).to_le_bytes());
     out.push(segments.len() as u8);
-    let rle_ok = segments.iter().all(|seg| !seg.contains(&RUN_MARKER));
-    out.push(rle_ok as u8);
 
     s.transformed.clear();
     s.runs.clear();
@@ -314,15 +368,58 @@ pub fn encode_multi_with(segments: &[&[u32]], out: &mut Vec<u8>, s: &mut EncodeS
     let mut r_bounds = Vec::with_capacity(segments.len() + 1);
     t_bounds.push(0usize);
     r_bounds.push(0usize);
+    // Single fused pass per segment: run detection doubles as the marker
+    // scan.  If any segment uses the marker symbol itself, the whole block
+    // falls back to raw storage (rare — quantizer symbols never reach
+    // `u32::MAX`), so the restart below re-reads the inputs only then.
+    let mut rle_ok = true;
     for seg in segments {
-        if rle_ok {
-            rle_collapse_into(seg, &mut s.transformed, &mut s.runs);
-        } else {
-            s.transformed.extend_from_slice(seg);
+        if !rle_collapse_checked(seg, &mut s.transformed, &mut s.runs) {
+            rle_ok = false;
+            break;
         }
         t_bounds.push(s.transformed.len());
         r_bounds.push(s.runs.len());
     }
+    if !rle_ok {
+        s.transformed.clear();
+        s.runs.clear();
+        t_bounds.truncate(1);
+        r_bounds.truncate(1);
+        for seg in segments {
+            s.transformed.extend_from_slice(seg);
+            t_bounds.push(s.transformed.len());
+            r_bounds.push(s.runs.len());
+        }
+    }
+    // Histogram once, then pick the payload mode: the same frequencies
+    // feed either the raw16 decision (incompressible inputs skip the tree
+    // build and bit-packing entirely) or the Huffman tree below.
+    let sorted = if s.transformed.is_empty() {
+        Vec::new()
+    } else {
+        frequencies(&s.transformed, &mut s.freq)
+    };
+    if choose_raw16(rle_ok, &sorted, n_original, s.runs.len()) {
+        out.push(FLAG_RAW16);
+        for seg in segments {
+            out.extend_from_slice(&(seg.len() as u64).to_le_bytes());
+            out.extend_from_slice(&0u32.to_le_bytes());
+            out.extend_from_slice(&(seg.len() as u64).to_le_bytes());
+        }
+        for seg in segments {
+            out.extend_from_slice(&((seg.len() * 2) as u64).to_le_bytes());
+        }
+        for seg in segments {
+            let start = out.len();
+            out.resize(start + 2 * seg.len(), 0);
+            for (dst, &sym) in out[start..].chunks_exact_mut(2).zip(*seg) {
+                dst.copy_from_slice(&(sym as u16).to_le_bytes());
+            }
+        }
+        return;
+    }
+    out.push(rle_ok as u8);
     for (i, seg) in segments.iter().enumerate() {
         out.extend_from_slice(&(seg.len() as u64).to_le_bytes());
         let seg_runs = &s.runs[r_bounds[i]..r_bounds[i + 1]];
@@ -340,7 +437,7 @@ pub fn encode_multi_with(segments: &[&[u32]], out: &mut Vec<u8>, s: &mut EncodeS
         return;
     }
 
-    let lengths = code_lengths(&s.transformed, &mut s.freq);
+    let lengths = code_lengths_from_sorted(sorted);
     out.extend_from_slice(&(lengths.len() as u32).to_le_bytes());
     for &(sym, len) in &lengths {
         out.extend_from_slice(&sym.to_le_bytes());
@@ -374,11 +471,24 @@ pub fn encode_multi_with(segments: &[&[u32]], out: &mut Vec<u8>, s: &mut EncodeS
 /// Collapses runs of ≥ [`MIN_RUN`] identical symbols into `transformed` /
 /// `runs`.  A run of `s` with length `L` becomes `[s, RUN_MARKER]` plus an
 /// out-of-band count `L − 1`.
-fn rle_collapse_into(symbols: &[u32], transformed: &mut Vec<u32>, runs: &mut Vec<u32>) {
+///
+/// The same pass doubles as the marker scan: if the input itself contains
+/// [`RUN_MARKER`] the collapse is invalid, so everything this call appended
+/// is rolled back and `false` is returned — the caller stores the symbols
+/// raw.  Fusing the scan into run detection keeps encoding at one read of
+/// the input instead of two.
+fn rle_collapse_checked(symbols: &[u32], transformed: &mut Vec<u32>, runs: &mut Vec<u32>) -> bool {
+    let t_start = transformed.len();
+    let r_start = runs.len();
     transformed.reserve(symbols.len());
     let mut i = 0;
     while i < symbols.len() {
         let s = symbols[i];
+        if s == RUN_MARKER {
+            transformed.truncate(t_start);
+            runs.truncate(r_start);
+            return false;
+        }
         let mut j = i + 1;
         while j < symbols.len() && symbols[j] == s && j - i < u32::MAX as usize {
             j += 1;
@@ -393,9 +503,10 @@ fn rle_collapse_into(symbols: &[u32], transformed: &mut Vec<u32>, runs: &mut Vec
         }
         i = j;
     }
+    true
 }
 
-/// Inverse of [`rle_collapse_into`].  Appends to `out`; run expansion is a
+/// Inverse of [`rle_collapse_checked`].  Appends to `out`; run expansion is a
 /// single `Vec::resize` fill per run (memset speed for the dominant-symbol
 /// stretches that make up smooth-field streams).
 fn rle_expand_into(
@@ -768,7 +879,14 @@ pub fn decode_multi_into(
             crate::format::MAX_STREAMS
         )));
     }
-    let rle_used = read_u8(stream, &mut pos, "rle flag")? != 0;
+    let flag = read_u8(stream, &mut pos, "payload flag")?;
+    if flag > FLAG_RAW16 {
+        return Err(CompressError::CorruptStream(format!(
+            "unknown payload flag {flag}"
+        )));
+    }
+    let raw16 = flag == FLAG_RAW16;
+    let rle_used = flag == 1;
     s.runs.clear();
     let mut subs: Vec<SubStream> = Vec::with_capacity(n_streams);
     let mut sum_original = 0usize;
@@ -817,6 +935,49 @@ pub fn decode_multi_into(
         return Err(CompressError::CorruptStream(
             "sub-stream output lengths don't sum to the declared total".into(),
         ));
+    }
+    if raw16 {
+        // Raw fixed-width payload: no code-table section.  The shared
+        // header loop already enforced `n_symbols_s == n_original_s` per
+        // stream (the flag is not the RLE flag), so only the run tables
+        // and payload byte lengths need checking here.
+        if !s.runs.is_empty() {
+            return Err(CompressError::CorruptStream(
+                "raw16 payload with run tables".into(),
+            ));
+        }
+        let mut total_payload = 0usize;
+        for sub in &mut subs {
+            let l = read_len_u64(stream, &mut pos, "sub-stream payload length")?;
+            if l != 2 * sub.n_symbols {
+                return Err(CompressError::CorruptStream(
+                    "raw16 payload length disagrees with symbol count".into(),
+                ));
+            }
+            sub.payload = (total_payload, l);
+            total_payload = total_payload.checked_add(l).ok_or_else(|| {
+                CompressError::CorruptStream("sub-stream payload lengths overflow".into())
+            })?;
+        }
+        let payload = stream
+            .get(pos..)
+            .and_then(|rest| rest.get(..total_payload))
+            .ok_or_else(|| CompressError::CorruptStream("truncated payload".into()))?;
+        // total_payload == 2·n_original was just verified against the
+        // stream, so this resize is bounded by the input's actual size.
+        out.resize(n_original, 0);
+        let mut dst = out.as_mut_slice();
+        let mut rest = payload;
+        for sub in &subs {
+            let (bytes, tail) = rest.split_at(sub.payload.1);
+            rest = tail;
+            let (head, dst_tail) = dst.split_at_mut(sub.n_symbols);
+            dst = dst_tail;
+            for (slot, pair) in head.iter_mut().zip(bytes.chunks_exact(2)) {
+                *slot = u32::from(u16::from_le_bytes([pair[0], pair[1]]));
+            }
+        }
+        return Ok(pos + total_payload);
     }
     let n_distinct = read_len_u32(stream, &mut pos, "n_distinct")?;
     if sum_symbols == 0 {
@@ -1321,59 +1482,77 @@ fn decode_one_slow(
 /// reusable dense-counting scratch.
 fn code_lengths(symbols: &[u32], freq: &mut Vec<u64>) -> Vec<(u32, u8)> {
     let sorted = frequencies(symbols, freq);
+    code_lengths_from_sorted(sorted)
+}
+
+/// [`code_lengths`] continuation for callers that already hold the sorted
+/// `(symbol, frequency)` histogram (the multi-stream encoder histograms
+/// first to pick between Huffman and raw16 payloads).
+///
+/// Uses the two-queue construction: leaves sorted by frequency in one
+/// queue, merged nodes (whose frequencies come out non-decreasing) in a
+/// second, so each merge pops the global minimum from a queue front in
+/// O(1) instead of through a binary heap.  Tie-breaking matches the
+/// previous heap formulation exactly — on equal frequency a leaf wins
+/// over a merged node, equal-frequency leaves keep ascending-symbol
+/// order (the sort is stable), merged nodes are FIFO — so the emitted
+/// code lengths (and therefore the stream bytes) are unchanged.
+fn code_lengths_from_sorted(sorted: Vec<(u32, u64)>) -> Vec<(u32, u8)> {
+    if sorted.is_empty() {
+        return Vec::new();
+    }
     if sorted.len() == 1 {
         return vec![(sorted[0].0, 1)];
     }
 
-    // Huffman tree via a min-heap of (freq, tie, node-id).
-    #[derive(PartialEq, Eq)]
-    struct Item(u64, u32, usize);
-    impl Ord for Item {
-        fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-            // Reverse for a min-heap.
-            other.0.cmp(&self.0).then(other.1.cmp(&self.1))
-        }
-    }
-    impl PartialOrd for Item {
-        fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-            Some(self.cmp(other))
-        }
-    }
-
-    enum Node {
-        Leaf(u32),
-        Internal(usize, usize),
-    }
-    let mut nodes: Vec<Node> = Vec::new();
-    let mut heap = BinaryHeap::new();
-    let mut tie = 0u32;
-    for (sym, f) in sorted {
-        nodes.push(Node::Leaf(sym));
-        heap.push(Item(f, tie, nodes.len() - 1));
-        tie += 1;
-    }
-    while heap.len() > 1 {
-        let (Some(a), Some(b)) = (heap.pop(), heap.pop()) else {
-            break;
-        };
-        nodes.push(Node::Internal(a.2, b.2));
-        heap.push(Item(a.0 + b.0, tie, nodes.len() - 1));
-        tie += 1;
-    }
-    let Some(root) = heap.pop().map(|item| item.2) else {
-        return Vec::new();
-    };
-
-    // Walk depths iteratively.
-    let mut lengths: Vec<(u32, u8)> = Vec::new();
-    let mut stack = vec![(root, 0u8)];
-    while let Some((id, depth)) = stack.pop() {
-        match nodes[id] {
-            Node::Leaf(sym) => lengths.push((sym, depth.max(1))),
-            Node::Internal(l, r) => {
-                stack.push((l, depth + 1));
-                stack.push((r, depth + 1));
+    let n = sorted.len();
+    // Node ids: 0..n are leaves (positions in `sorted`), n.. are merged
+    // nodes in production order.
+    let mut leaves: Vec<(u64, u32)> = sorted
+        .iter()
+        .enumerate()
+        .map(|(i, &(_, f))| (f, i as u32))
+        .collect();
+    // The index is unique, so sorting the (freq, index) pair unstably is
+    // exactly the stable-by-frequency order without the temp allocation.
+    leaves.sort_unstable();
+    let mut merged: Vec<(u64, u32)> = Vec::with_capacity(n - 1);
+    let mut children: Vec<(u32, u32)> = Vec::with_capacity(n - 1);
+    let (mut i1, mut i2) = (0usize, 0usize);
+    // Each of the n-1 merges pops twice; n leaves + n-2 intermediate
+    // merged nodes cover all 2(n-1) pops, so the fronts below are always
+    // in bounds on whichever side is picked.
+    for _ in 0..n - 1 {
+        let pop_min = |i1: &mut usize, i2: &mut usize, merged: &[(u64, u32)]| {
+            let leaf_front = leaves.get(*i1).map_or(u64::MAX, |&(f, _)| f);
+            let merged_front = merged.get(*i2).map_or(u64::MAX, |&(f, _)| f);
+            if leaf_front <= merged_front {
+                let v = leaves[*i1];
+                *i1 += 1;
+                v
+            } else {
+                let v = merged[*i2];
+                *i2 += 1;
+                v
             }
+        };
+        let (fa, a) = pop_min(&mut i1, &mut i2, &merged);
+        let (fb, b) = pop_min(&mut i1, &mut i2, &merged);
+        let id = (n + children.len()) as u32;
+        children.push((a, b));
+        merged.push((fa + fb, id));
+    }
+
+    // Walk depths iteratively from the last merged node (the root).
+    let mut lengths: Vec<(u32, u8)> = Vec::with_capacity(n);
+    let mut stack = vec![((n + children.len() - 1) as u32, 0u8)];
+    while let Some((id, depth)) = stack.pop() {
+        if (id as usize) < n {
+            lengths.push((sorted[id as usize].0, depth.max(1)));
+        } else {
+            let (l, r) = children[id as usize - n];
+            stack.push((l, depth + 1));
+            stack.push((r, depth + 1));
         }
     }
     lengths.sort_unstable_by_key(|&(sym, len)| (len, sym));
@@ -1384,42 +1563,52 @@ fn code_lengths(symbols: &[u32], freq: &mut Vec<u64>) -> Vec<(u32, u8)> {
 /// indexed by symbol, `RUN_MARKER` tracked separately) when every
 /// non-marker symbol is below [`DENSE_SYMS`]; `HashMap` fallback otherwise.
 /// Both paths produce the identical list a sort of hash entries would.
+///
+/// `freq` is grow-only, all-zero scratch: the function records which
+/// entries it increments and zeroes exactly those before returning, so
+/// repeated calls touch O(distinct) memory instead of re-clearing and
+/// re-scanning the whole alphabet-sized array every time.
 fn frequencies(symbols: &[u32], freq: &mut Vec<u64>) -> Vec<(u32, u64)> {
-    let mut max_sym = 0u32;
+    // Optimistic single pass: count densely while recording touched
+    // entries, bailing to the HashMap path on the first symbol outside the
+    // dense range (after restoring the zeros).  The common quantizer
+    // alphabets never bail, so the input is read once, not twice.
+    if freq.len() < DENSE_SYMS {
+        freq.resize(DENSE_SYMS, 0);
+    }
+    let mut touched: Vec<u32> = Vec::new();
+    let mut marker = 0u64;
     let mut dense = true;
     for &s in symbols {
-        if s != RUN_MARKER {
-            if (s as usize) < DENSE_SYMS {
-                max_sym = max_sym.max(s);
-            } else {
-                dense = false;
-                break;
+        if s == RUN_MARKER {
+            marker += 1;
+        } else if (s as usize) < DENSE_SYMS {
+            let slot = &mut freq[s as usize];
+            if *slot == 0 {
+                touched.push(s);
             }
+            *slot += 1;
+        } else {
+            dense = false;
+            break;
         }
     }
     if dense {
-        freq.clear();
-        freq.resize(max_sym as usize + 1, 0);
-        let mut marker = 0u64;
-        for &s in symbols {
-            if s == RUN_MARKER {
-                marker += 1;
-            } else {
-                freq[s as usize] += 1;
-            }
+        touched.sort_unstable();
+        let mut sorted: Vec<(u32, u64)> = Vec::with_capacity(touched.len() + 1);
+        for &s in &touched {
+            sorted.push((s, freq[s as usize]));
+            freq[s as usize] = 0;
         }
-        let mut sorted: Vec<(u32, u64)> = freq
-            .iter()
-            .enumerate()
-            .filter(|&(_, &f)| f > 0)
-            .map(|(s, &f)| (s as u32, f))
-            .collect();
         if marker > 0 {
             // RUN_MARKER is u32::MAX: appending keeps ascending order.
             sorted.push((RUN_MARKER, marker));
         }
         sorted
     } else {
+        for &s in &touched {
+            freq[s as usize] = 0;
+        }
         let mut map: HashMap<u32, u64> = HashMap::new();
         for &s in symbols {
             *map.entry(s).or_insert(0) += 1;
@@ -1584,7 +1773,7 @@ mod tests {
         symbols.extend([4, 4, 4]); // below MIN_RUN: kept verbatim
         let mut t = Vec::new();
         let mut runs = Vec::new();
-        rle_collapse_into(&symbols, &mut t, &mut runs);
+        assert!(rle_collapse_checked(&symbols, &mut t, &mut runs));
         assert!(t.len() < symbols.len());
         assert_eq!(runs.len(), 2);
         let mut back = Vec::new();
@@ -1605,6 +1794,25 @@ mod tests {
         let mut symbols = vec![u32::MAX; 64];
         symbols.extend([1, 2, 3]);
         roundtrip(&symbols);
+    }
+
+    /// A marker symbol in a *later* segment must roll back the runs already
+    /// collapsed from earlier segments and store the whole block raw.
+    #[test]
+    fn multi_stream_marker_in_late_segment_disables_rle() {
+        let mut symbols = vec![7u32; 3 * 256];
+        symbols.extend(vec![9u32; 200]);
+        symbols[3 * 256 + 100] = RUN_MARKER;
+        let segs = crate::format::split_even(symbols.len(), 4);
+        let seg_slices: Vec<&[u32]> = segs
+            .iter()
+            .map(|&(off, len)| &symbols[off..off + len])
+            .collect();
+        let enc = encode_multi(&seg_slices);
+        assert_eq!(enc[9], 0, "rle byte must be off");
+        let (back, consumed) = decode_multi(&enc).expect("decode");
+        assert_eq!(back, symbols);
+        assert_eq!(consumed, enc.len());
     }
 
     #[test]
@@ -1699,8 +1907,10 @@ mod tests {
                 (0..n).map(|_| rng.gen_range(0..500)).collect()
             };
             let segs = crate::format::split_even(n, 4);
-            let seg_slices: Vec<&[u32]> =
-                segs.iter().map(|&(off, len)| &symbols[off..off + len]).collect();
+            let seg_slices: Vec<&[u32]> = segs
+                .iter()
+                .map(|&(off, len)| &symbols[off..off + len])
+                .collect();
             let enc = encode_multi(&seg_slices);
             let (scalar, consumed) = decode_multi(&enc).expect("scalar decode");
             assert_eq!(scalar, symbols);

@@ -92,8 +92,7 @@ unsafe fn kernel(
         );
         // SAFETY: every lane's byte offset was checked ≤ `max_byte`, so
         // each gathered element reads `payload[off..off + 8]`, in bounds.
-        let mut words =
-            _mm256_i64gather_epi64::<1>(payload.as_ptr() as *const i64, byte_off);
+        let mut words = _mm256_i64gather_epi64::<1>(payload.as_ptr() as *const i64, byte_off);
         let bit_align = _mm256_setr_epi64x(
             (cursors[0].bitpos & 7) as i64,
             (cursors[1].bitpos & 7) as i64,

@@ -43,7 +43,7 @@ pub use mgard::MgardCompressor;
 pub use scratch::CodecScratch;
 pub use sz::SzCompressor;
 pub use sz2d::Sz2dCompressor;
-pub use traits::{CompressError, Compressor};
+pub use traits::{CompressError, Compressor, DecodeUnit};
 pub use zfp::ZfpCompressor;
 
 /// All three compressor backends, boxed, for sweep experiments.

@@ -21,6 +21,7 @@
 //! level buffers, so steady-state coding allocates nothing per call.
 
 use crate::error_bound::ErrorBound;
+use crate::format;
 use crate::huffman;
 use crate::scratch::{self, CodecScratch};
 use crate::traits::{check_tolerance, CompressError, Compressor};
@@ -265,13 +266,9 @@ impl Compressor for MgardCompressor {
         out.extend_from_slice(&(data.len() as u64).to_le_bytes());
         out.extend_from_slice(&eb.to_le_bytes());
         out.extend_from_slice(&(coarse_len as u32).to_le_bytes());
-        for v in &fa[coarse_start..coarse_start + coarse_len] {
-            out.extend_from_slice(&v.to_le_bytes());
-        }
+        format::write_f32_table(&mut out, &fa[coarse_start..coarse_start + coarse_len]);
         huffman::encode_into(symbols, &mut out);
-        for v in &outliers {
-            out.extend_from_slice(&v.to_le_bytes());
-        }
+        format::write_f32_table(&mut out, &outliers);
         Ok(out)
     }
 

@@ -126,6 +126,107 @@ impl SzCompressor {
         outliers.len() - outliers_before
     }
 
+    /// One quantization step of one predictor chain (the v2 encode fast
+    /// path).  Same accept/reject semantics as [`Self::quantize_segment`],
+    /// restructured for chain latency: the bin width divide becomes a
+    /// multiply by the precomputed reciprocal, and the half-away-from-zero
+    /// round is done branchlessly on the magnitude (baseline x86-64 lowers
+    /// `f64::round` to a libm call, which would sit on the serial
+    /// predict→quantize→verify chain).  The magnitude guard runs *before*
+    /// rounding: anything at or past `MAX_CODE + 0.5` bins (including
+    /// NaN/inf, which fail the compare) escapes to an outlier exactly as
+    /// the reference round-then-range-check would.
+    #[inline(always)]
+    fn quant_step(
+        i: usize,
+        x: f32,
+        eb: f64,
+        inv2eb: f64,
+        prev: &mut f32,
+        prev2: &mut f32,
+        outliers: &mut Vec<f32>,
+    ) -> u32 {
+        let pred = Self::predict(i, *prev, *prev2);
+        let scaled = (x as f64 - pred) * inv2eb;
+        let a = scaled.abs();
+        if a < MAX_CODE as f64 + 0.5 {
+            // a < 32767.5 bounds the truncation and keeps code_abs ≤
+            // MAX_CODE after the half-up adjust, so the cast cannot
+            // saturate and the symbol stays in range.
+            let t = a as i64;
+            let code_abs = t + i64::from(a - t as f64 >= 0.5);
+            let code = if scaled < 0.0 { -code_abs } else { code_abs };
+            let r = (pred + 2.0 * eb * code as f64) as f32;
+            // Strict check in f32, exactly as the segment quantizer: the
+            // cast may add half an ulp, so verify rather than trust algebra.
+            if ((x - r).abs() as f64) <= eb && r.is_finite() {
+                *prev2 = *prev;
+                *prev = r;
+                return (code + MAX_CODE + 1) as u32;
+            }
+        }
+        outliers.push(x);
+        *prev2 = *prev;
+        *prev = x;
+        ESCAPE
+    }
+
+    /// Four-lane interleaved quantization: the encode-side twin of
+    /// [`Self::reconstruct_interleaved4`].  Each v2 segment is an
+    /// independent predictor chain (the predictor restarts per segment), so
+    /// one iteration advances four chains and their predict→scale→verify
+    /// latency chains overlap instead of serializing.  Fills `symbols`
+    /// (pre-sized to `data.len()`) in segment order, one outlier table per
+    /// lane.
+    fn quantize_interleaved4(
+        data: &[f32],
+        parts: &[(usize, usize)],
+        eb: f64,
+        symbols: &mut [u32],
+        outliers: &mut [Vec<f32>; 4],
+    ) {
+        debug_assert_eq!(parts.len(), 4);
+        debug_assert_eq!(symbols.len(), data.len());
+        let inv2eb = 1.0 / (2.0 * eb);
+        // `split_even` partitions the symbol buffer exactly, so the chained
+        // splits cannot go out of bounds.
+        let (s0, rest) = symbols.split_at_mut(parts[0].1);
+        let (s1, rest) = rest.split_at_mut(parts[1].1);
+        let (s2, s3) = rest.split_at_mut(parts[2].1);
+        let mut segs: [&mut [u32]; 4] = [s0, s1, s2, s3];
+        let mut prev = [0.0f32; 4];
+        let mut prev2 = [0.0f32; 4];
+        let min_len = parts.iter().map(|&(_, len)| len).min().unwrap_or(0);
+        // Full rounds: all four lanes active, equal-length slices so the
+        // bounds checks hoist out of the loop.
+        {
+            let d: [&[f32]; 4] = std::array::from_fn(|l| &data[parts[l].0..parts[l].0 + min_len]);
+            let [s0, s1, s2, s3] = &mut segs;
+            let [o0, o1, o2, o3] = outliers;
+            for i in 0..min_len {
+                s0[i] = Self::quant_step(i, d[0][i], eb, inv2eb, &mut prev[0], &mut prev2[0], o0);
+                s1[i] = Self::quant_step(i, d[1][i], eb, inv2eb, &mut prev[1], &mut prev2[1], o1);
+                s2[i] = Self::quant_step(i, d[2][i], eb, inv2eb, &mut prev[2], &mut prev2[2], o2);
+                s3[i] = Self::quant_step(i, d[3][i], eb, inv2eb, &mut prev[3], &mut prev2[3], o3);
+            }
+        }
+        // Ragged round: lanes one element longer than the shortest.
+        for l in 0..4 {
+            let (off, len) = parts[l];
+            if len > min_len {
+                segs[l][min_len] = Self::quant_step(
+                    min_len,
+                    data[off + min_len],
+                    eb,
+                    inv2eb,
+                    &mut prev[l],
+                    &mut prev2[l],
+                    &mut outliers[l],
+                );
+            }
+        }
+    }
+
     /// Encodes the v2 multi-stream container:
     ///
     /// ```text
@@ -136,27 +237,45 @@ impl SzCompressor {
     /// ```
     fn compress_v2(data: &[f32], eb: f64) -> Vec<u8> {
         let parts = format::split_even(data.len(), V2_STREAMS);
-        let mut symbols: Vec<u32> = Vec::with_capacity(data.len());
-        let mut outliers: Vec<f32> = Vec::new();
-        let mut counts = [0usize; V2_STREAMS];
-        for (s, &(off, len)) in parts.iter().enumerate() {
-            counts[s] = Self::quantize_segment(&data[off..off + len], eb, &mut symbols, &mut outliers);
+        let mut symbols: Vec<u32> = Vec::new();
+        let mut lanes: [Vec<f32>; V2_STREAMS] = Default::default();
+        // Size lanes for the outlier-storm case up front: near-lossless
+        // budgets escape almost every value, and doubling-growth reallocs
+        // on four megabyte-scale tables are pure memory traffic.
+        for (lane, &(_, len)) in lanes.iter_mut().zip(&parts) {
+            lane.reserve(len);
+        }
+        if V2_STREAMS == 4 {
+            // Interleaved fast path (mirrors the decode side): four lanes
+            // in flight hide the per-value chain latency.
+            symbols.resize(data.len(), ESCAPE);
+            Self::quantize_interleaved4(data, &parts, eb, &mut symbols, &mut lanes);
+        } else {
+            symbols.reserve(data.len());
+            for (s, &(off, len)) in parts.iter().enumerate() {
+                Self::quantize_segment(&data[off..off + len], eb, &mut symbols, &mut lanes[s]);
+            }
         }
 
-        let mut out = Vec::new();
+        // Reserve for the worst case (outlier-storm inputs where every value
+        // escapes): header + collapsed symbol block + verbatim outliers.
+        let n_outliers: usize = lanes.iter().map(Vec::len).sum();
+        let mut out = Vec::with_capacity(128 + symbols.len() + 4 * n_outliers);
         format::write_preamble(&mut out, BackendTag::Sz, V2_STREAMS);
         out.extend_from_slice(&(data.len() as u64).to_le_bytes());
         out.extend_from_slice(&eb.to_le_bytes());
-        for &c in &counts {
-            out.extend_from_slice(&(c as u32).to_le_bytes());
+        for lane in &lanes {
+            out.extend_from_slice(&(lane.len() as u32).to_le_bytes());
         }
         let segs: Vec<&[u32]> = parts
             .iter()
             .map(|&(off, len)| &symbols[off..off + len])
             .collect();
         huffman::encode_multi_into(&segs, &mut out);
-        for v in &outliers {
-            out.extend_from_slice(&v.to_le_bytes());
+        // Emit each lane's outlier table in place — the tables are already
+        // segment-ordered, so no concatenation pass is needed.
+        for lane in &lanes {
+            format::write_f32_table(&mut out, lane);
         }
         out
     }
@@ -193,6 +312,12 @@ impl SzCompressor {
         out: &mut [f32],
     ) -> Result<(), CompressError> {
         debug_assert_eq!(symbols.len(), out.len());
+        // All-escape fast path, as in `reconstruct_v2`: one table entry per
+        // element and all symbols escaped means the table IS the data.
+        if stream.len() - pos == 4 * out.len() && symbols.iter().all(|&s| s == ESCAPE) {
+            format::read_f32_table(&stream[pos..], out);
+            return Ok(());
+        }
         let mut prev = 0.0f32;
         let mut prev2 = 0.0f32;
         for (i, (&sym, slot)) in symbols.iter().zip(out.iter_mut()).enumerate() {
@@ -356,10 +481,46 @@ impl SzCompressor {
                 std::array::from_fn(|l| &symbols[parts[l].0..parts[l].0 + min_len]);
             let [r0, r1, r2, r3] = &mut regions;
             for i in 0..min_len {
-                r0[i] = Self::lane_step(stream, i, s[0][i], eb, &mut prev[0], &mut prev2[0], &mut cur[0], end[0])?;
-                r1[i] = Self::lane_step(stream, i, s[1][i], eb, &mut prev[1], &mut prev2[1], &mut cur[1], end[1])?;
-                r2[i] = Self::lane_step(stream, i, s[2][i], eb, &mut prev[2], &mut prev2[2], &mut cur[2], end[2])?;
-                r3[i] = Self::lane_step(stream, i, s[3][i], eb, &mut prev[3], &mut prev2[3], &mut cur[3], end[3])?;
+                r0[i] = Self::lane_step(
+                    stream,
+                    i,
+                    s[0][i],
+                    eb,
+                    &mut prev[0],
+                    &mut prev2[0],
+                    &mut cur[0],
+                    end[0],
+                )?;
+                r1[i] = Self::lane_step(
+                    stream,
+                    i,
+                    s[1][i],
+                    eb,
+                    &mut prev[1],
+                    &mut prev2[1],
+                    &mut cur[1],
+                    end[1],
+                )?;
+                r2[i] = Self::lane_step(
+                    stream,
+                    i,
+                    s[2][i],
+                    eb,
+                    &mut prev[2],
+                    &mut prev2[2],
+                    &mut cur[2],
+                    end[2],
+                )?;
+                r3[i] = Self::lane_step(
+                    stream,
+                    i,
+                    s[3][i],
+                    eb,
+                    &mut prev[3],
+                    &mut prev2[3],
+                    &mut cur[3],
+                    end[3],
+                )?;
             }
         }
         // Ragged round: lanes one element longer than the shortest.
@@ -368,7 +529,14 @@ impl SzCompressor {
             if len > min_len {
                 let sym = symbols[off + min_len];
                 regions[l][min_len] = Self::lane_step(
-                    stream, min_len, sym, eb, &mut prev[l], &mut prev2[l], &mut cur[l], end[l],
+                    stream,
+                    min_len,
+                    sym,
+                    eb,
+                    &mut prev[l],
+                    &mut prev2[l],
+                    &mut cur[l],
+                    end[l],
                 )?;
             }
         }
@@ -395,6 +563,23 @@ impl SzCompressor {
         let _span = errflow_obs::trace::span("codec.sz.v2.reconstruct");
         errflow_obs::counter("codec.decode.streams.sz").add(spans.len() as u64);
         let parts = format::split_even(out.len(), spans.len());
+        // All-escape fast path: when every lane's outlier table holds one
+        // value per element AND every symbol really is the escape, the
+        // predictor history is never consulted and each lane is its table
+        // verbatim.  Near-lossless tolerances (the serve hot path) put
+        // almost every value over budget, so this turns the whole inverse
+        // pass into a bulk copy.  The symbol scan keeps corrupt-stream
+        // behaviour identical to the slow path, which only reads one table
+        // entry per escape symbol.
+        let all_escape = spans.iter().zip(&parts).all(|(&(s0, s1), &(off, len))| {
+            s1 - s0 == 4 * len && symbols[off..off + len].iter().all(|&s| s == ESCAPE)
+        });
+        if all_escape {
+            for (&(s0, _), &(off, len)) in spans.iter().zip(&parts) {
+                format::read_f32_table(&stream[s0..s0 + 4 * len], &mut out[off..off + len]);
+            }
+            return Ok(());
+        }
         if spans.len() == 4 {
             return Self::reconstruct_interleaved4(stream, spans, eb, symbols, &parts, out);
         }
@@ -439,9 +624,7 @@ impl Compressor for SzCompressor {
         out.extend_from_slice(&(data.len() as u64).to_le_bytes());
         out.extend_from_slice(&eb.to_le_bytes());
         huffman::encode_into(symbols, &mut out);
-        for v in &outliers {
-            out.extend_from_slice(&v.to_le_bytes());
-        }
+        format::write_f32_table(&mut out, &outliers);
         Ok(out)
     }
 
@@ -647,6 +830,48 @@ mod tests {
             let recon = sz.decompress(&sz.compress(&data, &bound).unwrap()).unwrap();
             assert!(bound.verify(&data, &recon));
         }
+    }
+
+    #[test]
+    fn v2_interleaved_quantizer_matches_segment_quantizer() {
+        // With a power-of-two bin width the reciprocal multiply is exact,
+        // so the interleaved encoder's accept/reject and code decisions
+        // must match the per-segment reference bit for bit — including
+        // rounding ties (residuals at exact half-bin multiples), values at
+        // the MAX_CODE escape boundary, and verbatim extremes.
+        let eb = 0.25f64;
+        let mut rng = StdRng::seed_from_u64(0xE2);
+        let mut data: Vec<f32> = Vec::new();
+        for i in 0..4096 {
+            data.push((i % 13) as f32 * 0.25 - 1.5); // exact tie candidates
+        }
+        for _ in 0..2048 {
+            data.push(rng.gen_range(-50.0f32..50.0));
+        }
+        // Residuals near the code-range edge (MAX_CODE bins ≈ 16383.75
+        // from a zero history) and verbatim outliers.
+        data.extend_from_slice(&[16383.5, -16383.75, 16384.0, 1e30, -1e30, 0.0]);
+
+        let parts = format::split_even(data.len(), 4);
+        let mut want_symbols: Vec<u32> = Vec::new();
+        let mut want_outliers: Vec<f32> = Vec::new();
+        for &(off, len) in &parts {
+            SzCompressor::quantize_segment(
+                &data[off..off + len],
+                eb,
+                &mut want_symbols,
+                &mut want_outliers,
+            );
+        }
+
+        let mut got_symbols = vec![ESCAPE; data.len()];
+        let mut lanes: [Vec<f32>; 4] = Default::default();
+        SzCompressor::quantize_interleaved4(&data, &parts, eb, &mut got_symbols, &mut lanes);
+        let got_outliers: Vec<f32> = lanes.iter().flatten().copied().collect();
+
+        assert_eq!(got_symbols, want_symbols);
+        assert_eq!(got_outliers, want_outliers);
+        assert!(want_outliers.iter().any(|&v| v == 1e30), "extremes escape");
     }
 
     #[test]

@@ -36,6 +36,27 @@ impl fmt::Display for CompressError {
 
 impl std::error::Error for CompressError {}
 
+/// One independently-decodable span of a compressed stream, produced by
+/// [`Compressor::decode_units`]: `stream` decodes to the value range
+/// `[offset, offset + len)` of the full payload.
+///
+/// Units let a caller holding many streams flatten *all* their decode work
+/// into one parallel fan-out (the serving batcher's payload × chunk joint
+/// scheduling) instead of decoding stream-by-stream.
+#[derive(Clone, Copy)]
+pub struct DecodeUnit<'a> {
+    /// The unit's bytes (a sub-slice of the original stream).
+    pub stream: &'a [u8],
+    /// Start of this unit's values within the decoded payload.
+    pub offset: usize,
+    /// Number of values this unit decodes to.
+    pub len: usize,
+    /// Backend-private discriminator interpreted by
+    /// [`Compressor::decode_unit_into`] (e.g. chunk vs. whole-container).
+    /// `0` always means "decode via the backend's `decompress_into`".
+    pub tag: u8,
+}
+
 /// An error-bounded lossy compressor over `f32` buffers.
 ///
 /// Implementations guarantee: for any input and any supported
@@ -78,6 +99,40 @@ pub trait Compressor: Send + Sync {
         }
         out.copy_from_slice(&v);
         Ok(())
+    }
+
+    /// Splits `stream` into independently-decodable [`DecodeUnit`]s.
+    ///
+    /// Contract: the returned units are ordered, contiguous, and tile
+    /// exactly `[0, expected_len)`; each decodes via
+    /// [`Compressor::decode_unit_into`].  Errors if the stream does not
+    /// declare exactly `expected_len` values.  The default treats the whole
+    /// stream as one unit, so monolithic backends parallelise at payload
+    /// granularity; chunked containers override this to expose per-chunk
+    /// parallelism.
+    fn decode_units<'a>(
+        &self,
+        stream: &'a [u8],
+        expected_len: usize,
+    ) -> Result<Vec<DecodeUnit<'a>>, CompressError> {
+        Ok(vec![DecodeUnit {
+            stream,
+            offset: 0,
+            len: expected_len,
+            tag: 0,
+        }])
+    }
+
+    /// Decodes one unit from [`Compressor::decode_units`] into `out`
+    /// (which must be exactly `unit.len` values).
+    fn decode_unit_into(
+        &self,
+        unit: &DecodeUnit<'_>,
+        out: &mut [f32],
+        scratch: &mut crate::scratch::CodecScratch,
+    ) -> Result<(), CompressError> {
+        debug_assert_eq!(unit.len, out.len(), "unit/output length mismatch");
+        self.decompress_into(unit.stream, out, scratch)
     }
 
     /// Convenience: compress + decompress + collect timing/ratio stats.

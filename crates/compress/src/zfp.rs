@@ -252,11 +252,7 @@ fn parse_header_v2(stream: &[u8]) -> Result<V2Header, CompressError> {
 /// Decodes a v2 container into `out` (already sized to `hdr.n`): one
 /// decode lane per sub-stream, through the AVX2 block kernel when the host
 /// supports it.
-fn decompress_v2_into(
-    stream: &[u8],
-    hdr: &V2Header,
-    out: &mut [f32],
-) -> Result<(), CompressError> {
+fn decompress_v2_into(stream: &[u8], hdr: &V2Header, out: &mut [f32]) -> Result<(), CompressError> {
     let payload = &stream[hdr.payload_off..];
     let parts = format::split_even(out.len().div_ceil(4), hdr.payloads.len());
     errflow_obs::counter("codec.decode.streams.zfp").add(hdr.payloads.len() as u64);

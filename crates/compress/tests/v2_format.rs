@@ -50,7 +50,10 @@ fn v1_streams_decode_bit_identically_to_the_oracle() {
         }
         let mut into = vec![0.0f32; data.len()];
         v1.decompress_into(&stream, &mut into, &mut sc).unwrap();
-        assert!(oracle.iter().zip(&into).all(|(a, b)| a.to_bits() == b.to_bits()));
+        assert!(oracle
+            .iter()
+            .zip(&into)
+            .all(|(a, b)| a.to_bits() == b.to_bits()));
     }
 }
 
@@ -79,7 +82,10 @@ fn v2_round_trips_under_every_supported_bound_mode() {
             );
             let mut into = vec![0.0f32; data.len()];
             c.decompress_into(&stream, &mut into, &mut sc).unwrap();
-            assert!(rec.iter().zip(&into).all(|(a, b)| a.to_bits() == b.to_bits()));
+            assert!(rec
+                .iter()
+                .zip(&into)
+                .all(|(a, b)| a.to_bits() == b.to_bits()));
         }
     }
 }
@@ -115,7 +121,10 @@ fn zfp_forged_substream_lengths_are_a_typed_corrupt_stream() {
     let err = zfp.decompress_into(&stream, &mut out, &mut sc).unwrap_err();
     match err {
         CompressError::CorruptStream(msg) => {
-            assert!(msg.contains("sub-stream lengths"), "unexpected message: {msg}")
+            assert!(
+                msg.contains("sub-stream lengths"),
+                "unexpected message: {msg}"
+            )
         }
         other => panic!("expected CorruptStream, got {other:?}"),
     }

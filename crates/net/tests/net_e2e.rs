@@ -232,7 +232,11 @@ fn disconnect_with_inflight_request_frees_the_connection_slot() {
         .expect("read timeout");
     stream.write_all(&frame).expect("write request");
     let (ftype, body) = read_frame(&mut stream);
-    assert_eq!(ftype, FrameType::Response, "leaked slots rejected a fresh connection");
+    assert_eq!(
+        ftype,
+        FrameType::Response,
+        "leaked slots rejected a fresh connection"
+    );
     let resp = proto::decode_response(&body).expect("decode response");
     assert_eq!(resp.outputs.len(), 2);
 }
@@ -256,7 +260,11 @@ fn no_trailing_frames_after_malformed_error() {
     stream.write_all(&bytes).expect("write request + garbage");
 
     let (ftype, body) = read_frame(&mut stream);
-    assert_eq!(ftype, FrameType::Error, "first frame back must be the error");
+    assert_eq!(
+        ftype,
+        FrameType::Error,
+        "first frame back must be the error"
+    );
     let err = proto::decode_error(&body).expect("decode error frame");
     assert_eq!(err.code, ErrorCode::Malformed);
     // Then EOF — no response frame trails the error.

@@ -30,6 +30,6 @@ pub mod train;
 
 pub use activation::Activation;
 pub use layer::{Layer, LayerKind};
-pub use model::{BlockView, ConvNet, LayerView, Mlp, Model, ShortcutView};
+pub use model::{BlockView, ConvNet, LayerView, Mlp, Model, PackedWeights, ShortcutView};
 pub use optim::{Adam, Optimizer, Sgd};
 pub use train::{Dataset, Regularizer, TrainConfig, TrainReport};

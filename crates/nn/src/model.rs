@@ -52,6 +52,31 @@ pub struct BlockView<'a> {
     pub output_scale: f64,
 }
 
+/// A model's weight matrices packed once into the GEMM kernel's panel
+/// layout (see [`errflow_tensor::gemm::PackedB`]).
+///
+/// Produced by [`Model::pack_weights`] and consumed by
+/// [`Model::forward_batch_matrix`]: the serving layer packs each plan-cache
+/// entry's quantized weights at insert time, so cache hits never re-pack.
+pub struct PackedWeights {
+    layers: Vec<errflow_tensor::gemm::PackedB>,
+}
+
+impl PackedWeights {
+    /// Packed panels for layer `i`, in [`Mlp::layers`] order.
+    pub fn layer(&self, i: usize) -> Option<&errflow_tensor::gemm::PackedB> {
+        self.layers.get(i)
+    }
+
+    /// Extra bytes held by the panel buffers (for cache accounting).
+    pub fn packed_bytes(&self) -> usize {
+        self.layers
+            .iter()
+            .map(errflow_tensor::gemm::PackedB::packed_bytes)
+            .sum()
+    }
+}
+
 /// Common interface over the paper's model families.
 pub trait Model {
     /// Runs inference on a single input.
@@ -65,6 +90,28 @@ pub trait Model {
     /// request batcher relies on for throughput.
     fn forward_batch(&self, xs: &[Vec<f32>]) -> Vec<Vec<f32>> {
         xs.iter().map(|x| self.forward(x)).collect()
+    }
+
+    /// Packs the weight matrices for [`Model::forward_batch_matrix`].
+    ///
+    /// Returns `None` (the default) when the architecture has no batched
+    /// GEMM path to feed — callers then run unpacked.
+    fn pack_weights(&self) -> Option<PackedWeights> {
+        None
+    }
+
+    /// Batched forward over a row-stacked input matrix (one sample per
+    /// row), optionally reusing weights packed by [`Model::pack_weights`].
+    ///
+    /// This is the zero-copy serving entry point: the batcher decodes
+    /// payloads straight into the input matrix's row slabs and hands the
+    /// whole slab here without the per-sample `Vec` round trip.  The
+    /// default routes through [`Model::forward_batch`]; GEMM-lowered
+    /// architectures override it to stay in matrix form end to end.
+    fn forward_batch_matrix(&self, x: &Matrix, _packed: Option<&PackedWeights>) -> Matrix {
+        let rows: Vec<Vec<f32>> = (0..x.rows()).map(|r| x.row(r).to_vec()).collect();
+        let outs = self.forward_batch(&rows);
+        Matrix::from_rows(&outs).expect("batch outputs share the output dim")
     }
 
     /// Number of scalar inputs (`n_0` in the paper).
@@ -162,6 +209,13 @@ impl Mlp {
         &self.layers
     }
 
+    /// `true` when every layer lowers to a dense GEMM.
+    fn all_dense(&self) -> bool {
+        self.layers
+            .iter()
+            .all(|l| matches!(l.kind(), crate::layer::LayerKind::Dense))
+    }
+
     /// Mutable layer access (for the optimiser).
     pub fn layers_mut(&mut self) -> &mut [Layer] {
         &mut self.layers
@@ -206,25 +260,58 @@ impl Model for Mlp {
     /// batch stacked row-wise.  Falls back to the per-sample loop if any
     /// layer is not dense.
     ///
-    /// `H·Wᵀ` feeds `W` straight to the blocked kernel's transposed
-    /// packing ([`Matrix::matmul_transb`]), so no per-layer transpose is
-    /// materialised.
+    /// Delegates to [`Model::forward_batch_matrix`] (unpacked), so both
+    /// entry points share one GEMM pipeline.
     fn forward_batch(&self, xs: &[Vec<f32>]) -> Vec<Vec<f32>> {
         if xs.is_empty() {
             return Vec::new();
         }
-        let all_dense = self
-            .layers
-            .iter()
-            .all(|l| matches!(l.kind(), crate::layer::LayerKind::Dense));
-        if !all_dense {
+        if !self.all_dense() {
             return xs.iter().map(|x| self.forward(x)).collect();
         }
-        let mut h = Matrix::from_rows(xs).expect("batch rows share the input dim");
-        for layer in &self.layers {
-            let mut z = h
-                .matmul_transb(layer.weights())
-                .expect("batch/weight dims agree");
+        let h = Matrix::from_rows(xs).expect("batch rows share the input dim");
+        let out = self.forward_batch_matrix(&h, None);
+        (0..out.rows()).map(|r| out.row(r).to_vec()).collect()
+    }
+
+    /// One [`PackedB`](errflow_tensor::gemm::PackedB) per dense layer,
+    /// packed through the same transposed layout `matmul_transb` uses, so
+    /// packed and unpacked products are bitwise identical.
+    fn pack_weights(&self) -> Option<PackedWeights> {
+        if !self.all_dense() {
+            return None;
+        }
+        Some(PackedWeights {
+            layers: self
+                .layers
+                .iter()
+                .map(|l| {
+                    let w = l.weights();
+                    errflow_tensor::gemm::PackedB::pack_transb(w.as_slice(), w.cols(), w.rows())
+                })
+                .collect(),
+        })
+    }
+
+    /// `H ← act(H·Wᵀ + b)` per layer, staying in matrix form end to end;
+    /// layers whose panels are in `packed` skip the per-call `B` pack.
+    fn forward_batch_matrix(&self, x: &Matrix, packed: Option<&PackedWeights>) -> Matrix {
+        if !self.all_dense() {
+            let rows: Vec<Vec<f32>> = (0..x.rows()).map(|r| x.row(r).to_vec()).collect();
+            let outs: Vec<Vec<f32>> = rows.iter().map(|r| self.forward(r)).collect();
+            return Matrix::from_rows(&outs).expect("batch outputs share the output dim");
+        }
+        let mut h: Option<Matrix> = None;
+        for (li, layer) in self.layers.iter().enumerate() {
+            let cur = h.as_ref().unwrap_or(x);
+            let mut z = match packed.and_then(|p| p.layer(li)) {
+                Some(pb) => cur
+                    .matmul_transb_prepacked(pb)
+                    .expect("packed panels match the layer weights"),
+                None => cur
+                    .matmul_transb(layer.weights())
+                    .expect("batch/weight dims agree"),
+            };
             let bias = layer.bias();
             let act = layer.activation();
             for r in 0..z.rows() {
@@ -234,9 +321,9 @@ impl Model for Mlp {
                 }
                 act.apply_slice(row);
             }
-            h = z;
+            h = Some(z);
         }
-        (0..h.rows()).map(|r| h.row(r).to_vec()).collect()
+        h.unwrap_or_else(|| Matrix::zeros(x.rows(), self.output_dim()))
     }
 
     fn input_dim(&self) -> usize {
@@ -817,6 +904,45 @@ mod tests {
             }
         }
         assert!(m.forward_batch(&[]).is_empty());
+    }
+
+    #[test]
+    fn mlp_forward_batch_matrix_packed_bitwise_matches_unpacked() {
+        let m = Mlp::new(
+            &[6, 40, 40, 4],
+            Activation::Tanh,
+            Activation::Identity,
+            31,
+            None,
+        );
+        let mut rng = StdRng::seed_from_u64(6);
+        for batch in [1usize, 9, 300] {
+            let x = Matrix::from_fn(batch, 6, |_, _| rng.gen_range(-1.0f32..1.0));
+            let unpacked = m.forward_batch_matrix(&x, None);
+            let packed = m.pack_weights().expect("dense MLP packs");
+            assert!(packed.packed_bytes() > 0);
+            let got = m.forward_batch_matrix(&x, Some(&packed));
+            assert_eq!(got, unpacked, "batch={batch}");
+            // And both agree with the row-vector entry point.
+            let rows: Vec<Vec<f32>> = (0..batch).map(|r| x.row(r).to_vec()).collect();
+            let via_rows = m.forward_batch(&rows);
+            for (r, want) in via_rows.iter().enumerate() {
+                assert_eq!(got.row(r), want.as_slice(), "batch={batch} row={r}");
+            }
+        }
+    }
+
+    #[test]
+    fn convnet_pack_weights_is_none_and_matrix_path_falls_back() {
+        let m = small_convnet();
+        assert!(m.pack_weights().is_none());
+        let mut rng = StdRng::seed_from_u64(8);
+        let x = Matrix::from_fn(3, 72, |_, _| rng.gen_range(0.0f32..1.0));
+        let out = m.forward_batch_matrix(&x, None);
+        assert_eq!(out.shape(), (3, 3));
+        for r in 0..3 {
+            assert_eq!(out.row(r), m.forward(x.row(r)).as_slice());
+        }
     }
 
     #[test]

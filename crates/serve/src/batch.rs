@@ -1,82 +1,84 @@
-//! Batch assembly: stacking the samples of coalesced same-plan jobs into
-//! one input matrix for a single `forward_batch` call, and splitting the
-//! output rows back out per job.
+//! Batch glue for the fused decode → forward path: payload layout
+//! transposition into the batch input matrix and per-job output-row
+//! extraction.
 //!
 //! The queue's `pop_batch` guarantees every job in a batch shares a plan
-//! (same quantized model, same certified bound), so their samples can ride
-//! one batched GEMM pass; these two helpers are the glue on either side.
+//! (same quantized model, same certified bound), so their samples ride one
+//! batched GEMM pass over a single input [`Matrix`].  Sample-major
+//! payloads decode *directly* into their row slab of that matrix (see
+//! `server::prepare_batch`); feature-major payloads decode into a scratch
+//! slab and are transposed into place by [`transpose_into`].  After the
+//! forward pass, [`extract_rows`] splits the output matrix back into
+//! per-job sample vectors.
 
-/// Concatenates each job's samples into one flat batch, remembering the
-/// per-job sample counts for [`split_outputs`].
-pub fn assemble_inputs(per_job: Vec<Vec<Vec<f32>>>) -> (Vec<Vec<f32>>, Vec<usize>) {
-    let counts: Vec<usize> = per_job.iter().map(Vec::len).collect();
-    let mut flat = Vec::with_capacity(counts.iter().sum());
-    for samples in per_job {
-        flat.extend(samples);
+use errflow_tensor::Matrix;
+
+/// Transposes a feature-major flat payload (`flat[f * n + s]` = sample
+/// `s`, feature `f`) into a sample-major row slab (`out[s * d + f]`).
+///
+/// Returns `false` (leaving `out` untouched) when either slice does not
+/// hold exactly `n * d` values — the caller treats that as a corrupt
+/// payload rather than panicking on a hot serving path.
+pub fn transpose_into(flat: &[f32], n: usize, d: usize, out: &mut [f32]) -> bool {
+    let Some(total) = n.checked_mul(d) else {
+        return false;
+    };
+    if flat.len() != total || out.len() != total {
+        return false;
     }
-    (flat, counts)
+    for (s, row) in out.chunks_exact_mut(d.max(1)).enumerate() {
+        for (f, slot) in row.iter_mut().enumerate() {
+            *slot = flat[f * n + s];
+        }
+    }
+    true
 }
 
-/// Splits batched outputs back into per-job groups (inverse of
-/// [`assemble_inputs`] on the output side).
-///
-/// # Panics
-/// If `outputs.len()` differs from the total of `counts` — that would mean
-/// the model dropped or invented rows, which must never go unnoticed.
-pub fn split_outputs(mut outputs: Vec<Vec<f32>>, counts: &[usize]) -> Vec<Vec<Vec<f32>>> {
-    assert_eq!(
-        outputs.len(),
-        counts.iter().sum::<usize>(),
-        "batched forward must return one output row per input sample"
-    );
-    let mut per_job = Vec::with_capacity(counts.len());
-    for &n in counts.iter().rev() {
-        let tail = outputs.split_off(outputs.len() - n);
-        per_job.push(tail);
-    }
-    per_job.reverse();
-    per_job
+/// Copies `n` output rows starting at `r0` back out as per-sample vectors
+/// (the response format).  Rows outside the matrix are skipped, so a
+/// miscounted batch yields short output instead of a panic; the server
+/// asserts row accounting separately via its batch bookkeeping.
+pub fn extract_rows(out: &Matrix, r0: usize, n: usize) -> Vec<Vec<f32>> {
+    (r0..r0.saturating_add(n))
+        .filter(|&r| r < out.rows())
+        .map(|r| out.row(r).to_vec())
+        .collect()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
-    fn sample(v: f32) -> Vec<f32> {
-        vec![v, v + 0.5]
+    #[test]
+    fn transpose_feature_major_into_rows() {
+        // 3 samples × 2 features, feature-major: [f0s0 f0s1 f0s2 f1s0 f1s1 f1s2]
+        let flat = [1.0, 2.0, 3.0, 10.0, 20.0, 30.0];
+        let mut out = [0.0f32; 6];
+        assert!(transpose_into(&flat, 3, 2, &mut out));
+        assert_eq!(out, [1.0, 10.0, 2.0, 20.0, 3.0, 30.0]);
     }
 
     #[test]
-    fn assemble_then_split_roundtrips() {
-        let jobs = vec![
-            vec![sample(0.0), sample(1.0)],
-            vec![sample(2.0)],
-            vec![sample(3.0), sample(4.0), sample(5.0)],
-        ];
-        let (flat, counts) = assemble_inputs(jobs.clone());
-        assert_eq!(flat.len(), 6);
-        assert_eq!(counts, vec![2, 1, 3]);
-        assert_eq!(split_outputs(flat, &counts), jobs);
+    fn transpose_rejects_bad_lengths() {
+        let flat = [0.0f32; 5];
+        let mut out = [0.0f32; 6];
+        assert!(!transpose_into(&flat, 3, 2, &mut out));
+        let flat = [0.0f32; 6];
+        let mut short = [0.0f32; 5];
+        assert!(!transpose_into(&flat, 3, 2, &mut short));
     }
 
     #[test]
-    fn empty_job_list() {
-        let (flat, counts) = assemble_inputs(Vec::new());
-        assert!(flat.is_empty());
-        assert!(counts.is_empty());
-        assert!(split_outputs(flat, &counts).is_empty());
-    }
-
-    #[test]
-    fn single_job_passthrough() {
-        let jobs = vec![vec![sample(7.0)]];
-        let (flat, counts) = assemble_inputs(jobs.clone());
-        assert_eq!(split_outputs(flat, &counts), jobs);
-    }
-
-    #[test]
-    #[should_panic(expected = "one output row per input sample")]
-    fn row_count_mismatch_panics() {
-        split_outputs(vec![sample(0.0)], &[2]);
+    fn extract_rows_splits_output_matrix() {
+        let m = Matrix::from_fn(5, 2, |r, c| (r * 10 + c) as f32);
+        let rows = extract_rows(&m, 1, 3);
+        assert_eq!(
+            rows,
+            vec![vec![10.0, 11.0], vec![20.0, 21.0], vec![30.0, 31.0]]
+        );
+        assert_eq!(extract_rows(&m, 4, 1), vec![vec![40.0, 41.0]]);
+        // Out-of-range rows are dropped, never panicked on.
+        assert_eq!(extract_rows(&m, 4, 3).len(), 1);
+        assert!(extract_rows(&m, 9, 2).is_empty());
     }
 }

@@ -253,10 +253,26 @@ pub fn run_loadgen<M: Model + Clone + Send + Sync + 'static>(
                 let mut state: Vec<f32> = (0..d).map(|_| rng.gen_range(-0.5f32..0.5)).collect();
                 for r in 0..cfg.requests_per_client {
                     let tol = cfg.tolerances[r % cfg.tolerances.len()];
-                    let samples = next_payload(&mut rng, &mut state, cfg.samples_per_request);
+                    // Snapshot the generator state instead of cloning the
+                    // payload: submission moves the samples into the
+                    // request, and the rare `QueueFull` retry regenerates
+                    // the identical payload from the snapshot.  The common
+                    // accepted-first-try path stays zero-copy.
+                    let rng_snap = rng.clone();
+                    let state_snap = state.clone();
+                    let mut samples =
+                        Some(next_payload(&mut rng, &mut state, cfg.samples_per_request));
                     let ticket = loop {
+                        let payload = samples.take().unwrap_or_else(|| {
+                            let mut r = rng_snap.clone();
+                            let mut s = state_snap.clone();
+                            let p = next_payload(&mut r, &mut s, cfg.samples_per_request);
+                            rng = r;
+                            state = s;
+                            p
+                        });
                         let req = Request {
-                            samples: samples.clone(),
+                            samples: payload,
                             rel_tolerance: tol,
                             norm: cfg.norm,
                             layout: cfg.layout,

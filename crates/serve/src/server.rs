@@ -24,27 +24,34 @@
 //! 2. A worker pops a batch of same-plan-key jobs, resolves the plan
 //!    through the LRU [`crate::cache::PlanCache`] (miss = rebuild a
 //!    [`Planner`] from the precomputed analysis, plan at the bucket
-//!    floor, quantize the weights), runs every payload through the
-//!    error-bounded compression roundtrip, and executes **one** batched
-//!    forward pass over all decompressed samples.
+//!    floor, quantize the weights **and pack their GEMM panels**), runs
+//!    every payload through the error-bounded compression roundtrip with
+//!    chunk decode fused straight into the batch input matrix's row
+//!    slabs, and hands the prepared batch to a per-worker forward
+//!    consumer that executes **one** batched (packed-weight) forward
+//!    pass — so batch *N+1*'s decode overlaps batch *N*'s forward.
 //! 3. The caller collects its [`Response`] through the returned
 //!    [`Ticket`].
 
-use crate::batch::{assemble_inputs, split_outputs};
+use crate::batch::{extract_rows, transpose_into};
 use crate::cache::{bucket_tolerance, PlanCache, PlanKey};
 use crate::queue::QueueFull;
 use crate::shard::ShardedQueue;
 use crate::stats::{RequestStages, ServerStats, StatsSnapshot};
 use errflow_compress::chunked::ChunkedCompressor;
-use errflow_compress::{Compressor, ErrorBound, MgardCompressor, SzCompressor, ZfpCompressor};
+use errflow_compress::{
+    CompressError, Compressor, ErrorBound, MgardCompressor, SzCompressor, ZfpCompressor,
+};
 use errflow_core::{quantize_model, NetworkAnalysis};
-use errflow_nn::Model;
-use errflow_pipeline::planner::{flatten, unflatten, PayloadLayout};
+use errflow_nn::{Model, PackedWeights};
+use errflow_pipeline::planner::{flatten, PayloadLayout};
 use errflow_pipeline::{PipelinePlan, Planner, PlannerConfig};
 use errflow_quant::QuantFormat;
 use errflow_tensor::norms::Norm;
+use errflow_tensor::sync::lock_recover;
+use errflow_tensor::Matrix;
 use std::hash::{Hash, Hasher};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{mpsc, Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
 /// Which error-bounded compression backend ingests request payloads.
@@ -81,7 +88,13 @@ impl BackendKind {
     }
 
     fn build(&self, decode_threads: usize) -> Box<dyn Compressor> {
-        let threads = decode_threads.max(1);
+        // Clamp to the physical core count: the shared pool floors its
+        // size at 4 to keep concurrency paths exercised, but fanning the
+        // codec out wider than the hardware only adds dispatch overhead
+        // (see `pool::hardware_threads`).
+        let threads = decode_threads
+            .max(1)
+            .min(errflow_tensor::pool::hardware_threads());
         match self {
             BackendKind::Sz => {
                 Box::new(ChunkedCompressor::new(SzCompressor::default()).with_threads(threads))
@@ -287,11 +300,15 @@ struct Job {
 }
 
 /// Everything a plan-cache entry needs to serve a hit without touching
-/// the planner: the plan, the pre-quantized weights, and the certified
-/// relative bound.
+/// the planner: the plan, the pre-quantized weights (plus their GEMM
+/// panels, packed once at insert so cache hits never re-pack), and the
+/// certified relative bound.
 struct CachedPlan<M> {
     plan: PipelinePlan,
     quantized: M,
+    /// Packed weight panels for `forward_batch_matrix`; `None` for models
+    /// whose forward path is not GEMM-lowered.
+    packed: Option<PackedWeights>,
     rel_bound: f64,
 }
 
@@ -403,7 +420,7 @@ impl<M: Model + Clone + Send + Sync + 'static> Server<M> {
                 let queue = Arc::clone(&queue);
                 errflow_tensor::pool::global()
                     .spawn_dedicated(format!("errflow-serve-{i}"), move || {
-                        worker_loop(&inner, &queue, i)
+                        worker_loop(inner, queue, i)
                     })
             })
             .collect();
@@ -578,8 +595,7 @@ impl<M: Model + Clone + Send + Sync + 'static> Server<M> {
             decomp_bytes_out: s.decomp_bytes_out.get(),
             scratch_hits: hits.saturating_sub(base_hits),
             scratch_misses: misses.saturating_sub(base_misses),
-            decode_streams: decode_streams_total()
-                .saturating_sub(self.inner.decode_streams_base),
+            decode_streams: decode_streams_total().saturating_sub(self.inner.decode_streams_base),
             bound_pass: s.stages.bound_pass.get(),
             bound_fail: s.stages.bound_fail.get(),
             latency: s.latency.summary(),
@@ -607,19 +623,58 @@ impl<M: Model + Clone + Send + Sync + 'static> Drop for Server<M> {
     }
 }
 
-fn worker_loop<M: Model + Clone + Send + Sync>(
-    inner: &Inner<M>,
-    queue: &ShardedQueue<Job>,
+/// A batch whose payloads have been compressed and decoded into the batch
+/// input matrix — everything the forward consumer needs to run the batched
+/// pass and respond.  The producer → consumer handoff unit of the
+/// per-worker double buffer.
+struct PreparedBatch<M> {
+    /// Jobs that survived the compression roundtrip, in batch order.
+    jobs: Vec<Job>,
+    /// Per-job queue-wait nanoseconds (same order as `jobs`).
+    waits: Vec<u64>,
+    /// Per-job `(first_row, n_samples)` into `inputs` / the output matrix.
+    rows: Vec<(usize, usize)>,
+    /// The assembled batch input matrix (total samples × input dim).
+    inputs: Matrix,
+    cached: Arc<CachedPlan<M>>,
+    hit: bool,
+    plan_ns: u64,
+    plan_tol: f64,
+    /// The fused batch-level decode interval, attributed to every job.
+    dec_ns: u64,
+}
+
+fn worker_loop<M: Model + Clone + Send + Sync + 'static>(
+    inner: Arc<Inner<M>>,
+    queue: Arc<ShardedQueue<Job>>,
     worker: usize,
 ) {
     let compressor = inner.cfg.backend.build(inner.cfg.decode_threads);
+    // Double buffer: this thread (the producer) compresses + decodes batch
+    // N+1 while the consumer runs batch N's forward pass and responds.
+    // The rendezvous channel holds at most one prepared batch, bounding
+    // the pipeline at two batches in flight per worker.
+    let (tx, rx) = mpsc::sync_channel::<PreparedBatch<M>>(1);
+    let consumer = {
+        let inner = Arc::clone(&inner);
+        errflow_tensor::pool::global().spawn_dedicated(
+            format!("errflow-serve-{worker}-fwd"),
+            move || {
+                while let Ok(prepared) = rx.recv() {
+                    finish_batch(&inner, prepared);
+                }
+            },
+        )
+    };
     while let Some(batch) = queue.pop_batch(worker, inner.cfg.max_batch.max(1), |j: &Job| j.key) {
         // Stage attribution invariant: every interval recorded below is a
         // disjoint slice of wall time inside [job.t0, fulfill), so each
         // request's stage sum is ≤ its end-to-end latency.  Batch-level
-        // intervals (plan, forward) are attributed in full to every job in
-        // the batch; that keeps the invariant because they are still
-        // disjoint from the job's own batch-wait/decompress/respond slices.
+        // intervals (plan, decompress, forward) are attributed in full to
+        // every job in the batch; that keeps the invariant because they
+        // are still disjoint from the job's own batch-wait/respond slices
+        // (the producer→consumer channel wait is deliberately left
+        // unattributed, so the invariant survives the overlap).
         let dequeued = Instant::now();
         let dequeued_trace_ns = errflow_obs::trace::now_ns();
         inner.stats.note_batch(batch.len());
@@ -644,7 +699,9 @@ fn worker_loop<M: Model + Clone + Send + Sync>(
             inner.cache.get_or_insert_with(batch[0].key, || {
                 // Miss: rebuild a planner around the precomputed analysis
                 // (cheap — only re-derives QoI references), plan at the bucket
-                // floor, and quantize the weights once for all future hits.
+                // floor, quantize the weights once for all future hits, and
+                // pack the quantized weights' GEMM panels so cache hits run
+                // the prepacked forward path without ever re-packing.
                 let planner = Planner::with_analysis(
                     &inner.model,
                     &inner.calibration,
@@ -661,116 +718,294 @@ fn worker_loop<M: Model + Clone + Send + Sync>(
                 // planned for.
                 let rel_bound =
                     (plan.predicted_total_bound / planner.qoi_reference(norm)).min(plan_tol);
+                let quantized = quantize_model(&inner.model, plan.format);
+                let packed = quantized.pack_weights();
                 CachedPlan {
                     plan,
                     rel_bound,
-                    quantized: quantize_model(&inner.model, plan.format),
+                    packed,
+                    quantized,
                 }
             })
         };
         let plan_ns = t_plan.elapsed().as_nanos() as u64;
         inner.stats.stages.plan.record_ns(plan_ns);
 
-        // Error-bounded ingest: compress + decompress each payload under
-        // the plan's input budget (chunk decode fans out across threads).
-        let mut ok_jobs = Vec::with_capacity(batch.len());
-        let mut ok_waits = Vec::with_capacity(batch.len());
-        let mut decompress_ns = Vec::with_capacity(batch.len());
-        let mut recon_per_job = Vec::with_capacity(batch.len());
-        for (job, wait) in batch.into_iter().zip(batch_wait_ns) {
-            let n = job.samples.len();
-            let d = job.samples[0].len();
-            let payload = flatten(&job.samples, job.layout);
-            let bound = compressor_bound(&cached.plan, compressor.as_ref(), payload.len());
-            // Compress and decode separately so decompression throughput
-            // (the paper's ingest-side bottleneck) can be tracked on its own.
-            let mut dec_ns = 0u64;
-            let roundtrip = compressor.compress(&payload, &bound).and_then(|stream| {
-                let _span = errflow_obs::trace::span("serve.decompress");
-                let t_dec = Instant::now();
-                let flat = compressor.decompress(&stream)?;
-                dec_ns = t_dec.elapsed().as_nanos() as u64;
-                inner
-                    .stats
-                    .note_decomp(dec_ns, stream.len() as u64, (flat.len() * 4) as u64);
-                Ok(flat)
-            });
-            match roundtrip {
-                Ok(flat) => {
-                    inner.stats.stages.decompress.record_ns(dec_ns);
-                    recon_per_job.push(unflatten(&flat, n, d, job.layout));
-                    ok_jobs.push(job);
-                    ok_waits.push(wait);
-                    decompress_ns.push(dec_ns);
-                }
-                Err(e) => {
-                    inner.stats.failed.inc();
-                    job.responder
-                        .fulfill(Err(ServeError::Compression(e.to_string())));
-                }
+        if let Some(prepared) = prepare_batch(
+            &inner,
+            compressor.as_ref(),
+            batch,
+            batch_wait_ns,
+            cached,
+            hit,
+            plan_ns,
+            plan_tol,
+        ) {
+            // A send error means the consumer died (only possible on a
+            // panic in finish_batch); stop producing rather than drop
+            // batches silently.
+            if tx.send(prepared).is_err() {
+                break;
             }
         }
-        if ok_jobs.is_empty() {
+    }
+    drop(tx);
+    let _ = consumer.join();
+}
+
+/// One payload that survived compression, waiting on the fused decode.
+struct Pending {
+    job: Job,
+    wait: u64,
+    stream: Vec<u8>,
+    n: usize,
+}
+
+/// The producer half of a batch: compress every payload under the plan's
+/// input budget, then decode **all** payloads' chunk units in one joint
+/// fan-out straight into the batch input matrix.  Sample-major payloads
+/// decode zero-copy into their row slab; feature-major payloads decode
+/// into a scratch slab and are transposed into place.  Payloads that fail
+/// either half get their error response here and drop out of the batch.
+#[allow(clippy::too_many_arguments)]
+fn prepare_batch<M: Model + Clone + Send + Sync>(
+    inner: &Inner<M>,
+    compressor: &dyn Compressor,
+    batch: Vec<Job>,
+    waits: Vec<u64>,
+    cached: Arc<CachedPlan<M>>,
+    hit: bool,
+    plan_ns: u64,
+    plan_tol: f64,
+) -> Option<PreparedBatch<M>> {
+    let d = inner.input_dim;
+    let mut pending: Vec<Pending> = Vec::with_capacity(batch.len());
+    for (job, wait) in batch.into_iter().zip(waits) {
+        let n = job.samples.len();
+        let payload = flatten(&job.samples, job.layout);
+        let bound = compressor_bound(&cached.plan, compressor, payload.len());
+        match compressor.compress(&payload, &bound) {
+            Ok(stream) => pending.push(Pending {
+                job,
+                wait,
+                stream,
+                n,
+            }),
+            Err(e) => {
+                inner.stats.failed.inc();
+                job.responder
+                    .fulfill(Err(ServeError::Compression(e.to_string())));
+            }
+        }
+    }
+    if pending.is_empty() {
+        return None;
+    }
+
+    let total: usize = pending.iter().map(|p| p.n).sum();
+    let mut inputs = Matrix::zeros(total, d);
+    // Feature-major payloads cannot decode straight into row slabs (their
+    // flat layout is the transpose), so they share one scratch slab,
+    // addressed by (offset, len) per payload.
+    let fm_total: usize = pending
+        .iter()
+        .filter(|p| matches!(p.job.layout, PayloadLayout::FeatureMajor))
+        .map(|p| p.n * d)
+        .sum();
+    let mut fm_buf = vec![0.0f32; fm_total];
+    let errors: Vec<Mutex<Option<CompressError>>> =
+        (0..pending.len()).map(|_| Mutex::new(None)).collect();
+
+    let t_dec = Instant::now();
+    let mut bytes_in = 0u64;
+    // (payload index, scratch offset, row slab) for the post-decode
+    // transpose of each feature-major payload.
+    let mut fm_transposes: Vec<(usize, usize, &mut [f32])> = Vec::new();
+    {
+        let _span = errflow_obs::trace::span("serve.decompress");
+        // Carve the batch matrix (and the feature-major scratch) into
+        // disjoint per-payload slabs.
+        let mut rest = inputs.as_mut_slice();
+        let mut fm_rest = fm_buf.as_mut_slice();
+        let mut fm_off = 0usize;
+        // Joint fan-out: every payload's decode units flatten into one
+        // task list; each cell hands its (unit, destination) pair to
+        // exactly one pool task.
+        type Cell<'a> = Mutex<Option<(errflow_compress::DecodeUnit<'a>, &'a mut [f32])>>;
+        let mut cells: Vec<Cell> = Vec::new();
+        let mut unit_payload: Vec<usize> = Vec::new();
+        for (i, p) in pending.iter().enumerate() {
+            bytes_in += p.stream.len() as u64;
+            let want = (p.n * d).min(rest.len());
+            let (slab, tail) = rest.split_at_mut(want);
+            rest = tail;
+            let mut dst: &mut [f32] = match p.job.layout {
+                PayloadLayout::SampleMajor => slab,
+                PayloadLayout::FeatureMajor => {
+                    let (scratch_dst, fm_tail) = fm_rest.split_at_mut(want.min(fm_rest.len()));
+                    fm_rest = fm_tail;
+                    fm_transposes.push((i, fm_off, slab));
+                    fm_off += want;
+                    scratch_dst
+                }
+            };
+            match compressor.decode_units(&p.stream, p.n * d) {
+                Ok(units) if units.iter().map(|u| u.len).sum::<usize>() == dst.len() => {
+                    for u in units {
+                        let (head, tail) = dst.split_at_mut(u.len);
+                        cells.push(Mutex::new(Some((u, head))));
+                        unit_payload.push(i);
+                        dst = tail;
+                    }
+                }
+                Ok(_) => {
+                    *lock_recover(&errors[i]) = Some(CompressError::CorruptStream(
+                        "decode units do not tile the payload".into(),
+                    ));
+                }
+                Err(e) => *lock_recover(&errors[i]) = Some(e),
+            }
+        }
+        let decode_one = |idx: usize| {
+            let taken = lock_recover(&cells[idx]).take();
+            if let Some((unit, out)) = taken {
+                let mut scratch = errflow_compress::scratch::acquire();
+                if let Err(e) = compressor.decode_unit_into(&unit, out, &mut scratch) {
+                    let Some(&pi) = unit_payload.get(idx) else {
+                        return;
+                    };
+                    let mut slot = lock_recover(&errors[pi]);
+                    if slot.is_none() {
+                        *slot = Some(e);
+                    }
+                }
+            }
+        };
+        let threads = inner
+            .cfg
+            .decode_threads
+            .max(1)
+            .min(errflow_tensor::pool::hardware_threads());
+        if threads <= 1 || cells.len() <= 1 {
+            for idx in 0..cells.len() {
+                decode_one(idx);
+            }
+        } else {
+            errflow_tensor::pool::global().parallel_for(cells.len(), threads, &decode_one);
+        }
+    }
+    // Transpose feature-major scratch decodes into their row slabs.
+    for (i, off, slab) in fm_transposes {
+        if lock_recover(&errors[i]).is_some() {
             continue;
         }
-
-        // One batched forward pass over every coalesced sample.
-        let batch_size = ok_jobs.len();
-        let (flat_inputs, counts) = {
-            let _span = errflow_obs::trace::span("serve.batch_assemble");
-            assemble_inputs(recon_per_job)
-        };
-        let t_fwd = Instant::now();
-        let outputs = {
-            let _span = errflow_obs::trace::span("serve.forward");
-            cached.quantized.forward_batch(&flat_inputs)
-        };
-        let forward_ns = t_fwd.elapsed().as_nanos() as u64;
-        inner.stats.stages.forward.record_ns(forward_ns);
-
-        let t_respond = Instant::now();
-        let _respond_span = errflow_obs::trace::span("serve.respond");
-        for ((job, outputs), (wait, dec_ns)) in ok_jobs
-            .into_iter()
-            .zip(split_outputs(outputs, &counts))
-            .zip(ok_waits.into_iter().zip(decompress_ns))
-        {
-            // Certification check: the cached plan's bound must not exceed
-            // the bucket-floor tolerance the request mapped to.
-            if cached.rel_bound <= job.plan_tol {
-                inner.stats.stages.bound_pass.inc();
-            } else {
-                inner.stats.stages.bound_fail.inc();
-            }
-            // respond_ns is measured *before* the end-to-end latency so the
-            // stage sum stays ≤ latency for this request.
-            let respond_ns = t_respond.elapsed().as_nanos() as u64;
-            inner.stats.stages.respond.record_ns(respond_ns);
-            let latency = job.t0.elapsed();
-            inner.stats.latency.record(latency);
-            inner.stats.completed.inc();
-            // egress_ns stays 0 here: the net frontend stamps it into the
-            // wire frame during encode (after this fulfill) and records it
-            // via `Server::note_egress_ns`.
-            job.responder.fulfill(Ok(Response {
-                outputs,
-                rel_bound: cached.rel_bound,
-                format: cached.plan.format,
-                plan_tolerance: plan_tol,
-                cache_hit: hit,
-                batch_size,
-                latency,
-                stages: RequestStages {
-                    ingress_ns: job.ingress_ns,
-                    batch_wait_ns: wait,
-                    plan_ns,
-                    decompress_ns: dec_ns,
-                    forward_ns,
-                    respond_ns,
-                    egress_ns: 0,
-                },
-            }));
+        let n = pending.get(i).map(|p| p.n).unwrap_or(0);
+        let src = fm_buf.get(off..off + n * d);
+        if !src.is_some_and(|src| transpose_into(src, n, d, slab)) {
+            *lock_recover(&errors[i]) = Some(CompressError::CorruptStream(
+                "payload does not fill its batch rows".into(),
+            ));
         }
+    }
+    let dec_ns = t_dec.elapsed().as_nanos() as u64;
+
+    let mut jobs = Vec::with_capacity(pending.len());
+    let mut ok_waits = Vec::with_capacity(pending.len());
+    let mut rows = Vec::with_capacity(pending.len());
+    let mut row0 = 0usize;
+    let mut bytes_out = 0u64;
+    for (i, p) in pending.into_iter().enumerate() {
+        let err = errors.get(i).and_then(|m| lock_recover(m).take());
+        match err {
+            Some(e) => {
+                inner.stats.failed.inc();
+                p.job
+                    .responder
+                    .fulfill(Err(ServeError::Compression(e.to_string())));
+            }
+            None => {
+                inner.stats.stages.decompress.record_ns(dec_ns);
+                bytes_out += (p.n * d * 4) as u64;
+                jobs.push(p.job);
+                ok_waits.push(p.wait);
+                rows.push((row0, p.n));
+            }
+        }
+        // Row offsets were fixed when the matrix was carved, so failed
+        // payloads still advance the cursor (their rows stay zeroed).
+        row0 += p.n;
+    }
+    inner.stats.note_decomp(dec_ns, bytes_in, bytes_out);
+    if jobs.is_empty() {
+        return None;
+    }
+    Some(PreparedBatch {
+        jobs,
+        waits: ok_waits,
+        rows,
+        inputs,
+        cached,
+        hit,
+        plan_ns,
+        plan_tol,
+        dec_ns,
+    })
+}
+
+/// The consumer half of a batch: one batched forward pass over the
+/// prepared input matrix (prepacked weight panels when the model provides
+/// them), then per-job response fan-out.
+fn finish_batch<M: Model + Clone + Send + Sync>(inner: &Inner<M>, p: PreparedBatch<M>) {
+    let batch_size = p.jobs.len();
+    let t_fwd = Instant::now();
+    let out = {
+        let _span = errflow_obs::trace::span("serve.forward");
+        p.cached
+            .quantized
+            .forward_batch_matrix(&p.inputs, p.cached.packed.as_ref())
+    };
+    let forward_ns = t_fwd.elapsed().as_nanos() as u64;
+    inner.stats.stages.forward.record_ns(forward_ns);
+
+    let t_respond = Instant::now();
+    let _respond_span = errflow_obs::trace::span("serve.respond");
+    for ((job, (row0, n)), wait) in p.jobs.into_iter().zip(p.rows).zip(p.waits) {
+        let outputs = extract_rows(&out, row0, n);
+        // Certification check: the cached plan's bound must not exceed
+        // the bucket-floor tolerance the request mapped to.
+        if p.cached.rel_bound <= job.plan_tol {
+            inner.stats.stages.bound_pass.inc();
+        } else {
+            inner.stats.stages.bound_fail.inc();
+        }
+        // respond_ns is measured *before* the end-to-end latency so the
+        // stage sum stays ≤ latency for this request.
+        let respond_ns = t_respond.elapsed().as_nanos() as u64;
+        inner.stats.stages.respond.record_ns(respond_ns);
+        let latency = job.t0.elapsed();
+        inner.stats.latency.record(latency);
+        inner.stats.completed.inc();
+        // egress_ns stays 0 here: the net frontend stamps it into the
+        // wire frame during encode (after this fulfill) and records it
+        // via `Server::note_egress_ns`.
+        job.responder.fulfill(Ok(Response {
+            outputs,
+            rel_bound: p.cached.rel_bound,
+            format: p.cached.plan.format,
+            plan_tolerance: p.plan_tol,
+            cache_hit: p.hit,
+            batch_size,
+            latency,
+            stages: RequestStages {
+                ingress_ns: job.ingress_ns,
+                batch_wait_ns: wait,
+                plan_ns: p.plan_ns,
+                decompress_ns: p.dec_ns,
+                forward_ns,
+                respond_ns,
+                egress_ns: 0,
+            },
+        }));
     }
 }
 
@@ -849,6 +1084,91 @@ mod tests {
         let snap = server.stats();
         assert_eq!(snap.completed, 1);
         assert_eq!(snap.cache_misses, 1);
+    }
+
+    #[test]
+    fn fused_decode_into_matrix_rows_matches_decompress() {
+        // The serve hot path decodes payload chunks straight into the
+        // batch matrix's row slabs; byte-for-byte it must equal the plain
+        // decompress it replaced.
+        let mut rng = errflow_tensor::rng::StdRng::seed_from_u64(23);
+        let n_samples = 5_000;
+        let d = 4;
+        let payload: Vec<f32> = (0..n_samples * d)
+            .map(|_| rng.gen_range(-1.0f32..1.0))
+            .collect();
+        let compressor = BackendKind::Sz.build(2);
+        let bound = ErrorBound::abs_linf(1e-3);
+        let stream = compressor.compress(&payload, &bound).unwrap();
+        let expected = compressor.decompress(&stream).unwrap();
+
+        let mut m = Matrix::zeros(n_samples + 10, d); // payload lands mid-matrix
+        let slab = m.rows_mut(5, n_samples).unwrap();
+        let units = compressor.decode_units(&stream, n_samples * d).unwrap();
+        let mut scratch = errflow_compress::scratch::acquire();
+        for u in &units {
+            compressor
+                .decode_unit_into(u, &mut slab[u.offset..u.offset + u.len], &mut scratch)
+                .unwrap();
+        }
+        assert_eq!(m.rows_mut(5, n_samples).unwrap(), &expected[..]);
+        // Rows outside the slab stay untouched.
+        assert!(m.row(0).iter().all(|&v| v == 0.0));
+        assert!(m.row(n_samples + 9).iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn batched_requests_both_layouts() {
+        let server = Server::new(
+            tiny_model(),
+            calibration(8),
+            ServeConfig {
+                workers: 1,
+                max_batch: 4,
+                ..ServeConfig::default()
+            },
+        );
+        let mut rng = errflow_tensor::rng::StdRng::seed_from_u64(7);
+        let samples = |n: usize, rng: &mut errflow_tensor::rng::StdRng| -> Vec<Vec<f32>> {
+            (0..n)
+                .map(|_| (0..4).map(|_| rng.gen_range(-1.0f32..1.0)).collect())
+                .collect()
+        };
+        let mut tickets = Vec::new();
+        for layout in [PayloadLayout::SampleMajor, PayloadLayout::FeatureMajor] {
+            for n in [1usize, 3, 7] {
+                let req = Request {
+                    samples: samples(n, &mut rng),
+                    rel_tolerance: 1e-2,
+                    norm: Norm::L2,
+                    layout,
+                };
+                tickets.push((n, server.submit(req).unwrap()));
+            }
+        }
+        for (n, t) in tickets {
+            let resp = t.wait().unwrap();
+            assert_eq!(resp.outputs.len(), n);
+            assert!(resp.outputs.iter().all(|o| o.len() == 2));
+            assert!(resp.outputs.iter().flatten().all(|v| v.is_finite()));
+            assert!(resp.rel_bound <= 1e-2);
+            let s = &resp.stages;
+            let sum = s.ingress_ns
+                + s.batch_wait_ns
+                + s.plan_ns
+                + s.decompress_ns
+                + s.forward_ns
+                + s.respond_ns;
+            assert!(
+                sum <= resp.latency.as_nanos() as u64,
+                "stage sum {sum} exceeds latency {}",
+                resp.latency.as_nanos()
+            );
+        }
+        let snap = server.stats();
+        assert_eq!(snap.completed, 6);
+        assert_eq!(snap.failed, 0);
+        assert_eq!(snap.bound_fail, 0);
     }
 
     #[test]

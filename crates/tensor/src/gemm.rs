@@ -275,6 +275,56 @@ impl BandPtr {
     }
 }
 
+/// One `(jc, pc)` step of the blocked driver: row bands of `C` accumulate
+/// `A`'s `kc` columns against an already-packed `B` block, in parallel.
+/// Shared verbatim by [`gemm_blocked`] (which packs `B` on the fly) and
+/// [`gemm_blocked_prepacked`] (which slices a [`PackedB`]), so the two are
+/// bitwise identical by construction.
+#[allow(clippy::too_many_arguments)]
+fn run_bands<const MR: usize, const NR: usize>(
+    m: usize,
+    n: usize,
+    a: &[f32],
+    k: usize,
+    bpacked: &[f32],
+    (jc, pc, kc, nc): (usize, usize, usize, usize),
+    c_ptr: BandPtr,
+    threads: usize,
+    mk: unsafe fn(&[f32], &[f32], &mut [[f32; NR]; MR]),
+) {
+    let bands = m.div_ceil(MC);
+    let b_panels = nc.div_ceil(NR);
+    pool::global().parallel_for(bands, threads, move |band| {
+        let ic = band * MC;
+        let mc = MC.min(m - ic);
+        let a_panels = mc.div_ceil(MR);
+        let mut abuf = vec![0.0f32; a_panels * MR * kc];
+        pack_a::<MR>(a, k, ic, pc, mc, kc, &mut abuf);
+        debug_assert!(ic + mc <= m, "band exceeds C's row range");
+        // SAFETY: bands index disjoint row ranges of `C` (band i
+        // covers rows [i*MC, i*MC+mc)), and the pool blocks the
+        // caller until every band finishes, so `c` outlives the
+        // borrow and no two bands alias.
+        let c_band = unsafe { std::slice::from_raw_parts_mut(c_ptr.get().add(ic * n), mc * n) };
+        for jp in 0..b_panels {
+            let nr_eff = NR.min(nc - jp * NR);
+            let bp = &bpacked[jp * kc * NR..][..kc * NR];
+            for ip in 0..a_panels {
+                let mr_eff = MR.min(mc - ip * MR);
+                let ap = &abuf[ip * kc * MR..][..kc * MR];
+                let mut acc = [[0.0f32; NR]; MR];
+                debug_assert!(ap.len() >= kc * MR && bp.len() >= kc * NR);
+                // SAFETY: `mk` is either the safe generic kernel or
+                // the AVX2 one, selected only after runtime feature
+                // detection; both require fully packed `ap`/`bp`
+                // panels, asserted above.
+                unsafe { mk(ap, bp, &mut acc) };
+                store_tile::<MR, NR>(&acc, c_band, n, ip * MR, jc + jp * NR, mr_eff, nr_eff);
+            }
+        }
+    });
+}
+
 /// The blocked, packed, row-band-parallel driver, monomorphised per
 /// microkernel tile.
 fn gemm_blocked<const MR: usize, const NR: usize>(
@@ -290,7 +340,6 @@ fn gemm_blocked<const MR: usize, const NR: usize>(
     let nc_cap = NC.min(n.div_ceil(NR) * NR);
     let kc_cap = KC.min(k);
     let mut bbuf = vec![0.0f32; kc_cap * nc_cap];
-    let bands = m.div_ceil(MC);
     let c_ptr = BandPtr(c.as_mut_ptr());
 
     let mut jc = 0;
@@ -302,49 +351,199 @@ fn gemm_blocked<const MR: usize, const NR: usize>(
             let b_panels = nc.div_ceil(NR);
             let bpacked = &mut bbuf[..kc * b_panels * NR];
             pack_b::<NR>(b, pc, jc, kc, nc, bpacked);
-            let bpacked = &*bpacked;
-
-            pool::global().parallel_for(bands, threads, move |band| {
-                let ic = band * MC;
-                let mc = MC.min(m - ic);
-                let a_panels = mc.div_ceil(MR);
-                let mut abuf = vec![0.0f32; a_panels * MR * kc];
-                pack_a::<MR>(a, k, ic, pc, mc, kc, &mut abuf);
-                debug_assert!(ic + mc <= m, "band exceeds C's row range");
-                // SAFETY: bands index disjoint row ranges of `C` (band i
-                // covers rows [i*MC, i*MC+mc)), and the pool blocks the
-                // caller until every band finishes, so `c` outlives the
-                // borrow and no two bands alias.
-                let c_band =
-                    unsafe { std::slice::from_raw_parts_mut(c_ptr.get().add(ic * n), mc * n) };
-                for jp in 0..b_panels {
-                    let nr_eff = NR.min(nc - jp * NR);
-                    let bp = &bpacked[jp * kc * NR..][..kc * NR];
-                    for ip in 0..a_panels {
-                        let mr_eff = MR.min(mc - ip * MR);
-                        let ap = &abuf[ip * kc * MR..][..kc * MR];
-                        let mut acc = [[0.0f32; NR]; MR];
-                        debug_assert!(ap.len() >= kc * MR && bp.len() >= kc * NR);
-                        // SAFETY: `mk` is either the safe generic kernel or
-                        // the AVX2 one, selected only after runtime feature
-                        // detection; both require fully packed `ap`/`bp`
-                        // panels, asserted above.
-                        unsafe { mk(ap, bp, &mut acc) };
-                        store_tile::<MR, NR>(
-                            &acc,
-                            c_band,
-                            n,
-                            ip * MR,
-                            jc + jp * NR,
-                            mr_eff,
-                            nr_eff,
-                        );
-                    }
-                }
-            });
+            run_bands::<MR, NR>(m, n, a, k, bpacked, (jc, pc, kc, nc), c_ptr, threads, mk);
             pc += kc;
         }
         jc += nc;
+    }
+}
+
+/// [`gemm_blocked`] against pre-packed `B` panels: identical traversal, but
+/// each `(jc, pc)` block is sliced out of `panels` (stored in traversal
+/// order by [`PackedB`]) instead of being packed on the fly.
+fn gemm_blocked_prepacked<const MR: usize, const NR: usize>(
+    m: usize,
+    n: usize,
+    k: usize,
+    a: &[f32],
+    panels: &[f32],
+    c: &mut [f32],
+    threads: usize,
+    mk: unsafe fn(&[f32], &[f32], &mut [[f32; NR]; MR]),
+) {
+    let c_ptr = BandPtr(c.as_mut_ptr());
+    let mut off = 0usize;
+    let mut jc = 0;
+    while jc < n {
+        let nc = NC.min(n - jc);
+        let mut pc = 0;
+        while pc < k {
+            let kc = KC.min(k - pc);
+            let block = kc * nc.div_ceil(NR) * NR;
+            let bpacked = &panels[off..off + block];
+            off += block;
+            run_bands::<MR, NR>(m, n, a, k, bpacked, (jc, pc, kc, nc), c_ptr, threads, mk);
+            pc += kc;
+        }
+        jc += nc;
+    }
+    debug_assert_eq!(off, panels.len(), "packed panel walk out of sync");
+}
+
+/// Total length of the panel buffer [`PackedB`] stores for a `k×n` operand
+/// under an `NR`-column microkernel: the sum of every `(jc, pc)` block's
+/// zero-padded panel size, in traversal order.
+fn packed_len<const NR: usize>(k: usize, n: usize) -> usize {
+    let mut total = 0usize;
+    let mut jc = 0;
+    while jc < n {
+        let nc = NC.min(n - jc);
+        let mut pc = 0;
+        while pc < k {
+            let kc = KC.min(k - pc);
+            total += kc * nc.div_ceil(NR) * NR;
+            pc += kc;
+        }
+        jc += nc;
+    }
+    total
+}
+
+/// `B` packed once into microkernel panel layout for repeated products
+/// against the same operand — the serving layer's weight matrices, which
+/// otherwise re-pack identical panels on every batch.
+///
+/// The panel buffer fixes the `NR` of the kernel selected at pack time
+/// ([`kernel_kind`] is a pure function of the CPU, so pack- and call-time
+/// choices agree within a process); the raw operand is retained so products
+/// small enough for the unblocked fallback stay bitwise identical to
+/// [`gemm`] / [`gemm_transb`].
+pub struct PackedB {
+    k: usize,
+    n: usize,
+    kind: KernelKind,
+    panels: Vec<f32>,
+    raw: Vec<f32>,
+    layout: BLayout,
+}
+
+impl PackedB {
+    fn pack_ref(b: BRef<'_>) -> Self {
+        let kind = kernel_kind();
+        let (k, n) = (b.k, b.n);
+        let panels = match kind {
+            #[cfg(target_arch = "x86_64")]
+            KernelKind::Avx2Fma => Self::pack_panels::<NR_AVX>(b),
+            _ => Self::pack_panels::<NR_GEN>(b),
+        };
+        PackedB {
+            k,
+            n,
+            kind,
+            panels,
+            raw: b.data.to_vec(),
+            layout: b.layout,
+        }
+    }
+
+    fn pack_panels<const NR: usize>(b: BRef<'_>) -> Vec<f32> {
+        let (k, n) = (b.k, b.n);
+        let mut panels = vec![0.0f32; packed_len::<NR>(k, n)];
+        let mut off = 0usize;
+        let mut jc = 0;
+        while jc < n {
+            let nc = NC.min(n - jc);
+            let mut pc = 0;
+            while pc < k {
+                let kc = KC.min(k - pc);
+                let block = kc * nc.div_ceil(NR) * NR;
+                pack_b::<NR>(b, pc, jc, kc, nc, &mut panels[off..off + block]);
+                off += block;
+                pc += kc;
+            }
+            jc += nc;
+        }
+        panels
+    }
+
+    /// Packs `B` (`k×n` row-major) for [`gemm_prepacked`].
+    pub fn pack(b: &[f32], k: usize, n: usize) -> Self {
+        assert_eq!(b.len(), k * n, "B buffer does not match {k}x{n}");
+        Self::pack_ref(BRef {
+            data: b,
+            layout: BLayout::Normal,
+            k,
+            n,
+        })
+    }
+
+    /// Packs from a buffer holding `Bᵀ` as `n×k` row-major — the weight
+    /// matrix case (`C += A·Wᵀ`).
+    pub fn pack_transb(bt: &[f32], k: usize, n: usize) -> Self {
+        assert_eq!(bt.len(), k * n, "Bᵀ buffer does not match {n}x{k}");
+        Self::pack_ref(BRef {
+            data: bt,
+            layout: BLayout::Transposed,
+            k,
+            n,
+        })
+    }
+
+    /// Logical `(k, n)` shape of the packed operand.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.k, self.n)
+    }
+
+    /// Bytes held beyond the raw operand (panel buffer), for accounting.
+    pub fn packed_bytes(&self) -> usize {
+        self.panels.len() * std::mem::size_of::<f32>()
+    }
+}
+
+/// `C += A·B` against a [`PackedB`], bitwise identical to [`gemm`] /
+/// [`gemm_transb`] on the same operands (`A: m×k`, `C: m×n` with `(k, n) =
+/// packed.shape()`) for every shape and thread count, but with the `B`
+/// packing pass already paid.
+pub fn gemm_prepacked(m: usize, a: &[f32], packed: &PackedB, c: &mut [f32], threads: usize) {
+    let (k, n) = (packed.k, packed.n);
+    assert_eq!(a.len(), m * k, "A buffer does not match {m}x{k}");
+    assert_eq!(c.len(), m * n, "C buffer does not match {m}x{n}");
+    if m == 0 || n == 0 || k == 0 {
+        return;
+    }
+    let braw = BRef {
+        data: &packed.raw,
+        layout: packed.layout,
+        k,
+        n,
+    };
+    if m * n * k <= SMALL_GEMM {
+        gemm_simple(m, n, k, a, braw, c);
+        return;
+    }
+    let _span = errflow_obs::trace::span("tensor.gemm");
+    match packed.kind {
+        #[cfg(target_arch = "x86_64")]
+        KernelKind::Avx2Fma => gemm_blocked_prepacked::<MR_AVX, NR_AVX>(
+            m,
+            n,
+            k,
+            a,
+            &packed.panels,
+            c,
+            threads,
+            microkernel_avx2,
+        ),
+        _ => gemm_blocked_prepacked::<MR_GEN, NR_GEN>(
+            m,
+            n,
+            k,
+            a,
+            &packed.panels,
+            c,
+            threads,
+            microkernel_generic as unsafe fn(&[f32], &[f32], &mut [[f32; NR_GEN]; MR_GEN]),
+        ),
     }
 }
 
@@ -419,13 +618,21 @@ fn gemm_dispatch(
 }
 
 /// A sensible thread budget for a product of `flops = m·n·k` multiply-adds:
-/// single-threaded below the parallel threshold, the whole shared pool
-/// above it.
+/// single-threaded below the parallel threshold, the shared pool clamped
+/// to the physical core count above it.  The clamp matters on small
+/// machines: the global pool floors its size at 4 threads to keep
+/// concurrency paths exercised, but a GEMM that fans out wider than the
+/// hardware just pays dispatch and preemption stalls for no extra FLOPs
+/// (results are bitwise identical at any thread count, so this is purely
+/// a scheduling choice).
 pub fn auto_threads(flops: usize) -> usize {
     if flops < 1 << 18 {
         1
     } else {
-        pool::global().max_concurrency()
+        pool::global()
+            .max_concurrency()
+            .min(pool::hardware_threads())
+            .max(1)
     }
 }
 
@@ -720,5 +927,74 @@ mod tests {
     #[test]
     fn kernel_kind_is_stable() {
         assert_eq!(kernel_kind(), kernel_kind());
+    }
+
+    /// `gemm_prepacked` must be bitwise identical to the pack-on-the-fly
+    /// drivers — including shapes small enough for the unblocked fallback
+    /// and shapes spanning multiple `KC`/`NC` blocks — under whatever
+    /// kernel the host dispatches to.
+    #[test]
+    fn prepacked_bitwise_matches_gemm() {
+        let mut rng = StdRng::seed_from_u64(17);
+        for &(m, n, k) in &[
+            (2usize, 3usize, 4usize), // small-product fallback
+            (33, 65, 129),
+            (130, 70, 300),
+            (64, 2100, 300), // n spans two NC blocks
+            (257, 128, 600), // k spans three KC blocks, m spans MC bands
+        ] {
+            let a = random(m * k, &mut rng);
+            let b = random(k * n, &mut rng);
+            for threads in [1usize, 4] {
+                let mut want = vec![0.0f32; m * n];
+                gemm(m, n, k, &a, &b, &mut want, threads);
+                let packed = PackedB::pack(&b, k, n);
+                let mut got = vec![0.0f32; m * n];
+                gemm_prepacked(m, &a, &packed, &mut got, threads);
+                assert_eq!(got, want, "({m}x{n}x{k}) threads={threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn prepacked_transb_bitwise_matches_gemm_transb() {
+        let mut rng = StdRng::seed_from_u64(19);
+        for &(m, n, k) in &[(2usize, 3usize, 4usize), (40, 60, 130), (129, 31, 257)] {
+            let a = random(m * k, &mut rng);
+            let bt = random(n * k, &mut rng);
+            let mut want = vec![0.0f32; m * n];
+            gemm_transb(m, n, k, &a, &bt, &mut want, 4);
+            let packed = PackedB::pack_transb(&bt, k, n);
+            assert_eq!(packed.shape(), (k, n));
+            let mut got = vec![0.0f32; m * n];
+            gemm_prepacked(m, &a, &packed, &mut got, 4);
+            assert_eq!(got, want, "({m}x{n}x{k})");
+        }
+    }
+
+    /// Both microkernel instantiations must agree with their pack-on-the-fly
+    /// counterparts: the generic tile is checked explicitly by packing and
+    /// multiplying through the `NR_GEN` monomorphisation, the host's
+    /// dispatched tile by the public entry points above.
+    #[test]
+    fn prepacked_generic_tile_matches_blocked_generic() {
+        let mut rng = StdRng::seed_from_u64(23);
+        let (m, n, k) = (130, 70, 300);
+        let a = random(m * k, &mut rng);
+        let b = random(k * n, &mut rng);
+        let bref = BRef {
+            data: &b,
+            layout: BLayout::Normal,
+            k,
+            n,
+        };
+        let mk = microkernel_generic as unsafe fn(&[f32], &[f32], &mut [[f32; NR_GEN]; MR_GEN]);
+        let mut want = vec![0.0f32; m * n];
+        gemm_blocked::<MR_GEN, NR_GEN>(m, n, k, &a, bref, &mut want, 4, mk);
+        let panels = PackedB::pack_panels::<NR_GEN>(bref);
+        assert_eq!(panels.len(), packed_len::<NR_GEN>(k, n));
+        let mut got = vec![0.0f32; m * n];
+        gemm_blocked_prepacked::<MR_GEN, NR_GEN>(m, n, k, &a, &panels, &mut got, 4, mk);
+        assert_eq!(got, want);
     }
 }

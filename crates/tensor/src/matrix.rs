@@ -171,6 +171,23 @@ impl Matrix {
         &mut self.data[r * self.cols..(r + 1) * self.cols]
     }
 
+    /// Mutable view of the contiguous row slab `[r0, r0 + n_rows)` — the
+    /// zero-copy decode target for batch assembly: each payload's decoder
+    /// writes its samples straight into its row range of the batch matrix.
+    pub fn rows_mut(&mut self, r0: usize, n_rows: usize) -> Result<&mut [f32]> {
+        let end = r0.checked_add(n_rows).filter(|&e| e <= self.rows);
+        match end {
+            Some(e) => Ok(&mut self.data[r0 * self.cols..e * self.cols]),
+            None => Err(TensorError::InvalidDimension {
+                op: "rows_mut",
+                detail: format!(
+                    "row slab [{r0}, {r0}+{n_rows}) out of range for {} rows",
+                    self.rows
+                ),
+            }),
+        }
+    }
+
     /// Copies column `c` into a new vector.
     pub fn col(&self, c: usize) -> Vec<f32> {
         (0..self.rows).map(|r| self.get(r, c)).collect()
@@ -239,6 +256,25 @@ impl Matrix {
             &mut out.data,
             threads,
         );
+        Ok(out)
+    }
+
+    /// [`Matrix::matmul_transb`] against weight panels packed once with
+    /// [`gemm::PackedB::pack_transb`] — bitwise identical, but the per-call
+    /// `B` packing pass is already paid (the serving layer packs each plan's
+    /// weights at cache-insert time).
+    pub fn matmul_transb_prepacked(&self, packed: &gemm::PackedB) -> Result<Matrix> {
+        let (k, n) = packed.shape();
+        if self.cols != k {
+            return Err(TensorError::ShapeMismatch {
+                op: "matmul_transb_prepacked",
+                lhs: self.shape(),
+                rhs: (n, k),
+            });
+        }
+        let mut out = Matrix::zeros(self.rows, n);
+        let threads = gemm::auto_threads(self.rows * k * n);
+        gemm::gemm_prepacked(self.rows, &self.data, packed, &mut out.data, threads);
         Ok(out)
     }
 
@@ -525,6 +561,34 @@ mod tests {
             assert!((f - t).abs() <= 1e-5 * t.abs().max(1.0), "{f} vs {t}");
         }
         assert!(a.matmul_transb(&Matrix::zeros(4, 5)).is_err());
+    }
+
+    #[test]
+    fn matmul_transb_prepacked_bitwise_matches() {
+        use crate::rng::StdRng;
+        let mut rng = StdRng::seed_from_u64(29);
+        for &(m, n, k) in &[(3usize, 5usize, 4usize), (64, 128, 256)] {
+            let a = Matrix::from_fn(m, k, |_, _| rng.gen_range(-1.0f32..1.0));
+            let w = Matrix::from_fn(n, k, |_, _| rng.gen_range(-1.0f32..1.0));
+            let want = a.matmul_transb(&w).unwrap();
+            let packed = gemm::PackedB::pack_transb(w.as_slice(), k, n);
+            let got = a.matmul_transb_prepacked(&packed).unwrap();
+            assert_eq!(got, want, "({m}x{n}x{k})");
+        }
+        let packed = gemm::PackedB::pack_transb(&[0.0; 20], 5, 4);
+        assert!(m23().matmul_transb_prepacked(&packed).is_err());
+    }
+
+    #[test]
+    fn rows_mut_slab_views_and_bounds() {
+        let mut m = Matrix::zeros(4, 3);
+        m.rows_mut(1, 2).unwrap().fill(7.0);
+        assert!(m.row(0).iter().all(|&v| v == 0.0));
+        assert!(m.row(1).iter().chain(m.row(2)).all(|&v| v == 7.0));
+        assert!(m.row(3).iter().all(|&v| v == 0.0));
+        assert_eq!(m.rows_mut(4, 0).unwrap().len(), 0);
+        assert!(m.rows_mut(3, 2).is_err());
+        assert!(m.rows_mut(usize::MAX, 2).is_err());
     }
 
     #[test]
