@@ -1,0 +1,191 @@
+//! Small dense digraph used by the phase-2 analyses: BFS reachability with
+//! parent tracking (for `--explain` call-chain traces) and iterative Tarjan
+//! SCC detection (for lock-order cycles).  Nodes are `u32` indices into
+//! whatever table the caller owns (functions, lock identities).
+
+/// Directed graph over nodes `0..n` with parallel-edge-free adjacency lists.
+pub struct Digraph {
+    succ: Vec<Vec<u32>>,
+}
+
+impl Digraph {
+    pub fn new(n: usize) -> Self {
+        Digraph {
+            succ: vec![Vec::new(); n],
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.succ.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.succ.is_empty()
+    }
+
+    /// Adds `from -> to`, ignoring duplicates (adjacency stays a set).
+    pub fn add_edge(&mut self, from: u32, to: u32) {
+        let list = &mut self.succ[from as usize];
+        if !list.contains(&to) {
+            list.push(to);
+        }
+    }
+
+    pub fn successors(&self, v: u32) -> &[u32] {
+        &self.succ[v as usize]
+    }
+
+    pub fn has_edge(&self, from: u32, to: u32) -> bool {
+        self.succ[from as usize].contains(&to)
+    }
+
+    /// Multi-source BFS.  Returns, per node, `Some(parent)` when reached
+    /// through `parent`, `Some(self)` for the seeds themselves, `None` when
+    /// unreachable.  Deterministic: seeds are visited in the order given and
+    /// adjacency in insertion order.
+    pub fn bfs_parents(&self, seeds: &[u32]) -> Vec<Option<u32>> {
+        let mut parent: Vec<Option<u32>> = vec![None; self.succ.len()];
+        let mut queue = std::collections::VecDeque::new();
+        for &s in seeds {
+            if parent[s as usize].is_none() {
+                parent[s as usize] = Some(s);
+                queue.push_back(s);
+            }
+        }
+        while let Some(v) = queue.pop_front() {
+            for &w in &self.succ[v as usize] {
+                if parent[w as usize].is_none() {
+                    parent[w as usize] = Some(v);
+                    queue.push_back(w);
+                }
+            }
+        }
+        parent
+    }
+
+    /// Reconstructs the seed→`v` path from a [`Digraph::bfs_parents`] map;
+    /// empty when `v` was not reached.
+    pub fn path_to(parents: &[Option<u32>], v: u32) -> Vec<u32> {
+        if parents[v as usize].is_none() {
+            return Vec::new();
+        }
+        let mut path = vec![v];
+        let mut cur = v;
+        while let Some(p) = parents[cur as usize] {
+            if p == cur {
+                break; // reached a seed
+            }
+            path.push(p);
+            cur = p;
+        }
+        path.reverse();
+        path
+    }
+
+    /// Strongly connected components, iterative Tarjan (no recursion: the
+    /// call graph of a large workspace can chain deeper than the stack).
+    /// Components are returned in reverse topological order; node order
+    /// within a component is deterministic.
+    pub fn sccs(&self) -> Vec<Vec<u32>> {
+        let n = self.succ.len();
+        const UNSEEN: u32 = u32::MAX;
+        let mut index = vec![UNSEEN; n];
+        let mut low = vec![0u32; n];
+        let mut on_stack = vec![false; n];
+        let mut stack: Vec<u32> = Vec::new();
+        let mut next_index = 0u32;
+        let mut out = Vec::new();
+        // Explicit DFS frames: (node, next-successor position).
+        let mut frames: Vec<(u32, usize)> = Vec::new();
+        for root in 0..n as u32 {
+            if index[root as usize] != UNSEEN {
+                continue;
+            }
+            frames.push((root, 0));
+            while let Some(&mut (v, ref mut pos)) = frames.last_mut() {
+                let vi = v as usize;
+                if *pos == 0 {
+                    index[vi] = next_index;
+                    low[vi] = next_index;
+                    next_index += 1;
+                    stack.push(v);
+                    on_stack[vi] = true;
+                }
+                if let Some(&w) = self.succ[vi].get(*pos) {
+                    *pos += 1;
+                    let wi = w as usize;
+                    if index[wi] == UNSEEN {
+                        frames.push((w, 0));
+                    } else if on_stack[wi] {
+                        low[vi] = low[vi].min(index[wi]);
+                    }
+                } else {
+                    frames.pop();
+                    if let Some(&(p, _)) = frames.last() {
+                        let pi = p as usize;
+                        low[pi] = low[pi].min(low[vi]);
+                    }
+                    if low[vi] == index[vi] {
+                        let mut comp = Vec::new();
+                        while let Some(w) = stack.pop() {
+                            on_stack[w as usize] = false;
+                            comp.push(w);
+                            if w == v {
+                                break;
+                            }
+                        }
+                        comp.sort_unstable();
+                        out.push(comp);
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Cyclic components: SCCs with more than one node, plus self-loops.
+    pub fn cycles(&self) -> Vec<Vec<u32>> {
+        self.sccs()
+            .into_iter()
+            .filter(|c| c.len() > 1 || self.has_edge(c[0], c[0]))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bfs_paths_reconstruct() {
+        let mut g = Digraph::new(5);
+        g.add_edge(0, 1);
+        g.add_edge(1, 2);
+        g.add_edge(0, 3);
+        let parents = g.bfs_parents(&[0]);
+        assert_eq!(Digraph::path_to(&parents, 2), vec![0, 1, 2]);
+        assert_eq!(Digraph::path_to(&parents, 0), vec![0]);
+        assert!(Digraph::path_to(&parents, 4).is_empty());
+    }
+
+    #[test]
+    fn scc_finds_cycle_and_self_loop() {
+        let mut g = Digraph::new(4);
+        g.add_edge(0, 1);
+        g.add_edge(1, 0);
+        g.add_edge(2, 2);
+        let cycles = g.cycles();
+        assert_eq!(cycles.len(), 2);
+        assert!(cycles.contains(&vec![0, 1]));
+        assert!(cycles.contains(&vec![2]));
+    }
+
+    #[test]
+    fn acyclic_graph_has_no_cycles() {
+        let mut g = Digraph::new(3);
+        g.add_edge(0, 1);
+        g.add_edge(1, 2);
+        g.add_edge(0, 2);
+        assert!(g.cycles().is_empty());
+    }
+}

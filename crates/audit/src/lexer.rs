@@ -293,11 +293,20 @@ pub fn lex(src: &str) -> Lexed<'_> {
 }
 
 /// Scans a regular (escaped) string body; `i` points past the opening quote
-/// on entry and past the closing quote on exit.
+/// on entry and past the closing quote on exit (clamped to the buffer end on
+/// an unterminated literal, so token spans never exceed the source).
 fn scan_string_body(b: &[u8], i: &mut usize, line: &mut u32) {
     while *i < b.len() {
         match b[*i] {
-            b'\\' => *i += 2,
+            b'\\' => {
+                // A `\<newline>` line continuation still ends a source line;
+                // skipping it without counting desynchronizes every token
+                // line number after the string.
+                if b.get(*i + 1) == Some(&b'\n') {
+                    *line += 1;
+                }
+                *i += 2;
+            }
             b'"' => {
                 *i += 1;
                 return;
@@ -309,6 +318,9 @@ fn scan_string_body(b: &[u8], i: &mut usize, line: &mut u32) {
             _ => *i += 1,
         }
     }
+    // Unterminated string ending in `\`: the escape skip may step past the
+    // end; clamp so the token's end offset stays a valid slice bound.
+    *i = (*i).min(b.len());
 }
 
 /// Scans a raw string body terminated by `"` followed by `hashes` `#`s.

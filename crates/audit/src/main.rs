@@ -1,15 +1,18 @@
 //! CLI for errflow-audit.
 //!
 //! ```text
-//! errflow-audit [--root PATH] [--ratchet PATH] [--json] [--check] [--update-ratchet]
+//! errflow-audit [--root PATH] [--ratchet PATH] [--json] [--check]
+//!               [--update-ratchet] [--explain] [--strict-panics]
 //! ```
 //!
 //! Default mode prints the human report and exits 0. `--check` exits 1 on
-//! any hard-rule finding or ratchet regression (the CI gate).
-//! `--update-ratchet` rewrites the baseline file to the current unwaived
-//! no-panic count.
+//! any hard-rule finding or ratchet regression (the CI gate). `--explain`
+//! appends the entry-point→site call chain under each graph-rule finding.
+//! `--strict-panics` also counts indexing/slicing as panic-capable (not part
+//! of the CI gate). `--update-ratchet` rewrites the baseline file to the
+//! current unwaived counts of every ratcheted rule.
 
-use errflow_audit::{audit_tree, check, render_human, render_json, rules, Ratchet};
+use errflow_audit::{audit_tree_opts, check, render_human, render_json, rules, Ratchet};
 use std::path::PathBuf;
 use std::process::ExitCode;
 
@@ -19,6 +22,8 @@ struct Opts {
     json: bool,
     check: bool,
     update_ratchet: bool,
+    explain: bool,
+    strict_panics: bool,
 }
 
 fn parse_opts() -> Result<Opts, String> {
@@ -27,6 +32,8 @@ fn parse_opts() -> Result<Opts, String> {
     let mut json = false;
     let mut check = false;
     let mut update_ratchet = false;
+    let mut explain = false;
+    let mut strict_panics = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -35,8 +42,10 @@ fn parse_opts() -> Result<Opts, String> {
             "--json" => json = true,
             "--check" => check = true,
             "--update-ratchet" => update_ratchet = true,
+            "--explain" => explain = true,
+            "--strict-panics" => strict_panics = true,
             "--help" | "-h" => {
-                return Err("usage: errflow-audit [--root PATH] [--ratchet PATH] [--json] [--check] [--update-ratchet]".into())
+                return Err("usage: errflow-audit [--root PATH] [--ratchet PATH] [--json] [--check] [--update-ratchet] [--explain] [--strict-panics]".into())
             }
             other => return Err(format!("unknown flag: {other}")),
         }
@@ -58,6 +67,8 @@ fn parse_opts() -> Result<Opts, String> {
         json,
         check,
         update_ratchet,
+        explain,
+        strict_panics,
     })
 }
 
@@ -70,7 +81,7 @@ fn main() -> ExitCode {
         }
     };
 
-    let findings = match audit_tree(&opts.root) {
+    let findings = match audit_tree_opts(&opts.root, opts.strict_panics) {
         Ok(f) => f,
         Err(e) => {
             eprintln!("errflow-audit: failed to read {}: {e}", opts.root.display());
@@ -93,11 +104,12 @@ fn main() -> ExitCode {
     };
 
     if opts.update_ratchet {
-        let open = errflow_audit::counts(&findings)
-            .get(rules::RULE_NO_PANIC)
-            .map(|&(open, _)| open)
-            .unwrap_or(0);
-        ratchet.set(rules::RULE_NO_PANIC, open);
+        let counts = errflow_audit::counts(&findings);
+        for rule in rules::SOFT_RULES {
+            let open = counts.get(rule).map(|&(open, _)| open).unwrap_or(0);
+            ratchet.set(rule, open);
+            eprintln!("ratchet updated: {rule} = {open}");
+        }
         if let Err(e) = std::fs::write(&opts.ratchet_path, ratchet.render()) {
             eprintln!(
                 "errflow-audit: failed to write {}: {e}",
@@ -105,13 +117,12 @@ fn main() -> ExitCode {
             );
             return ExitCode::FAILURE;
         }
-        eprintln!("ratchet updated: {} = {open}", rules::RULE_NO_PANIC);
     }
 
     if opts.json {
         print!("{}", render_json(&findings, &ratchet));
     } else {
-        print!("{}", render_human(&findings, &ratchet));
+        print!("{}", render_human(&findings, &ratchet, opts.explain));
     }
 
     if opts.check {

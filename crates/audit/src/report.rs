@@ -1,5 +1,5 @@
-//! Workspace walking, report rendering (human + JSON), and the no-panic
-//! ratchet baseline.
+//! Workspace walking, report rendering (human + JSON), and the per-rule
+//! ratchet baselines for the soft (graph) rules.
 
 use crate::rules::{self, Finding};
 use std::collections::BTreeMap;
@@ -51,13 +51,16 @@ fn rel_path(root: &Path, path: &PathBuf) -> String {
         .join("/")
 }
 
-/// Audits every source file under `root`.
+/// Audits every source file under `root` as one workspace (the call-graph
+/// rules see cross-file edges).
 pub fn audit_tree(root: &Path) -> std::io::Result<Vec<Finding>> {
-    let mut findings = Vec::new();
-    for (rel, src) in collect_sources(root)? {
-        findings.extend(rules::audit_source(&rel, &src));
-    }
-    Ok(findings)
+    audit_tree_opts(root, false)
+}
+
+/// [`audit_tree`] with the `--strict-panics` toggle.
+pub fn audit_tree_opts(root: &Path, strict_panics: bool) -> std::io::Result<Vec<Finding>> {
+    let files = collect_sources(root)?;
+    Ok(rules::audit_files_opts(&files, strict_panics))
 }
 
 /// Per-rule counts of unwaived and waived findings.
@@ -77,16 +80,13 @@ pub fn counts(findings: &[Finding]) -> BTreeMap<&'static str, (usize, usize)> {
     map
 }
 
-pub fn render_human(findings: &[Finding], ratchet: &Ratchet) -> String {
+pub fn render_human(findings: &[Finding], ratchet: &Ratchet, explain: bool) -> String {
     let mut out = String::new();
     let counts = counts(findings);
     out.push_str("errflow-audit report\n");
     for (rule, (open, waived)) in &counts {
-        let baseline = if *rule == rules::RULE_NO_PANIC {
-            format!(
-                " (ratchet baseline {})",
-                ratchet.baseline(rules::RULE_NO_PANIC)
-            )
+        let baseline = if rules::SOFT_RULES.contains(rule) {
+            format!(" (ratchet baseline {})", ratchet.baseline(rule))
         } else {
             String::new()
         };
@@ -100,6 +100,14 @@ pub fn render_human(findings: &[Finding], ratchet: &Ratchet) -> String {
             "{}:{} [{}]{} {}\n",
             f.file, f.line, f.rule, tag, f.message
         ));
+        if explain && !f.chain.is_empty() {
+            out.push_str("    chain:");
+            for (i, hop) in f.chain.iter().enumerate() {
+                let arrow = if i == 0 { " " } else { " -> " };
+                out.push_str(&format!("{arrow}{} ({}:{})", hop.func, hop.file, hop.line));
+            }
+            out.push('\n');
+        }
     }
     out
 }
@@ -119,17 +127,33 @@ fn json_escape(s: &str) -> String {
     out
 }
 
+/// JSON report, schema version 2.  Key order is fixed (`version`,
+/// `findings`, `counts`, `ratchet`; per-finding `rule`, `file`, `line`,
+/// `waived`, `message`, `chain`) so downstream tooling can golden-test it.
 pub fn render_json(findings: &[Finding], ratchet: &Ratchet) -> String {
-    let mut out = String::from("{\n  \"findings\": [\n");
+    let mut out = String::from("{\n  \"version\": 2,\n  \"findings\": [\n");
     for (i, f) in findings.iter().enumerate() {
         let comma = if i + 1 < findings.len() { "," } else { "" };
+        let chain: Vec<String> = f
+            .chain
+            .iter()
+            .map(|h| {
+                format!(
+                    "{{\"file\": \"{}\", \"line\": {}, \"func\": \"{}\"}}",
+                    json_escape(&h.file),
+                    h.line,
+                    json_escape(&h.func)
+                )
+            })
+            .collect();
         out.push_str(&format!(
-            "    {{\"rule\": \"{}\", \"file\": \"{}\", \"line\": {}, \"waived\": {}, \"message\": \"{}\"}}{}\n",
+            "    {{\"rule\": \"{}\", \"file\": \"{}\", \"line\": {}, \"waived\": {}, \"message\": \"{}\", \"chain\": [{}]}}{}\n",
             f.rule,
             json_escape(&f.file),
             f.line,
             f.waived,
             json_escape(&f.message),
+            chain.join(", "),
             comma
         ));
     }
@@ -142,11 +166,17 @@ pub fn render_json(findings: &[Finding], ratchet: &Ratchet) -> String {
             "    \"{rule}\": {{\"open\": {open}, \"waived\": {waived}}}{comma}\n"
         ));
     }
-    out.push_str(&format!(
-        "  }},\n  \"ratchet\": {{\"{}\": {}}}\n}}\n",
-        rules::RULE_NO_PANIC,
-        ratchet.baseline(rules::RULE_NO_PANIC)
-    ));
+    out.push_str("  },\n  \"ratchet\": {\n");
+    let mut soft = rules::SOFT_RULES;
+    soft.sort_unstable();
+    for (i, rule) in soft.iter().enumerate() {
+        let comma = if i + 1 < soft.len() { "," } else { "" };
+        out.push_str(&format!(
+            "    \"{rule}\": {}{comma}\n",
+            ratchet.baseline(rule)
+        ));
+    }
+    out.push_str("  }\n}\n");
     out
 }
 

@@ -1,31 +1,42 @@
-//! Rule engine: per-file context (test spans, fn bodies, allow annotations)
-//! plus the five workspace invariants.
+//! Rule engine: per-file lexical rules (test spans, fn bodies, allow
+//! annotations) plus orchestration of the phase-2 graph analyses.
 //!
 //! Rule identifiers are stable strings — they appear in reports, in
 //! `// audit:allow(<rule>)` annotations, and as keys in the ratchet file.
 
+use crate::callgraph::{self, fn_digraph, CallGraph};
+use crate::graph::Digraph;
 use crate::lexer::{lex, Lexed, TokKind};
+use crate::locks;
 use std::collections::HashMap;
 
 pub const RULE_SAFETY: &str = "safety-comment";
 pub const RULE_UNCHECKED: &str = "unchecked-contract";
-pub const RULE_NO_PANIC: &str = "no-panic";
+pub const RULE_PANIC_REACH: &str = "panic-reach";
 pub const RULE_HEADER_CAST: &str = "unchecked-header-cast";
 pub const RULE_THREADS: &str = "thread-discipline";
+pub const RULE_LOCK_ORDER: &str = "lock-order";
+pub const RULE_POOL_BLOCK: &str = "pool-blocking";
 
-pub const ALL_RULES: [&str; 5] = [
+pub const ALL_RULES: [&str; 7] = [
     RULE_SAFETY,
     RULE_UNCHECKED,
-    RULE_NO_PANIC,
+    RULE_PANIC_REACH,
     RULE_HEADER_CAST,
     RULE_THREADS,
+    RULE_LOCK_ORDER,
+    RULE_POOL_BLOCK,
 ];
 
-/// Rules where a finding — waived or not — fails `--check`. Only the panic
-/// ratchet accepts `audit:allow` annotations; the unsafe/untrusted-input
+/// Graph-analysis rules: waivable with `audit:allow`, ratcheted in
+/// `AUDIT_RATCHET.json` (the unwaived count may only decrease).
+pub const SOFT_RULES: [&str; 3] = [RULE_PANIC_REACH, RULE_LOCK_ORDER, RULE_POOL_BLOCK];
+
+/// Rules where a finding — waived or not — fails `--check`. Only the soft
+/// (graph) rules accept `audit:allow` annotations; the unsafe/untrusted-input
 /// rules must be satisfied structurally.
 pub fn is_hard_rule(rule: &str) -> bool {
-    rule != RULE_NO_PANIC
+    !SOFT_RULES.contains(&rule)
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -60,6 +71,15 @@ pub fn classify(rel: &str) -> FileClass {
     }
 }
 
+/// One step of a call-chain trace: where a function (or lock-order edge)
+/// on the path to a finding lives.
+#[derive(Debug, Clone)]
+pub struct Hop {
+    pub file: String,
+    pub line: u32,
+    pub func: String,
+}
+
 #[derive(Debug, Clone)]
 pub struct Finding {
     pub rule: &'static str,
@@ -70,6 +90,9 @@ pub struct Finding {
     /// findings are excluded from ratchet counts but still reported, and they
     /// are still fatal for hard rules.
     pub waived: bool,
+    /// For graph rules: the entry-point→site call chain (empty for per-file
+    /// lexical rules).  Rendered by `--explain` and always present in JSON.
+    pub chain: Vec<Hop>,
 }
 
 /// Span of a function body as a token-index range `[open_brace, close_brace]`.
@@ -276,19 +299,41 @@ fn build_ctx<'a>(rel: &'a str, lx: &'a Lexed<'a>, class: FileClass) -> FileCtx<'
     }
 }
 
-/// Runs every rule against one source file. `rel` must be the
-/// workspace-relative path with `/` separators — rule scoping keys off it.
+/// Runs the full engine against one source file — the per-file lexical rules
+/// plus the graph analyses restricted to this file's own call graph.  `rel`
+/// must be the workspace-relative path with `/` separators — rule scoping
+/// keys off it.
 pub fn audit_source(rel: &str, src: &str) -> Vec<Finding> {
-    let lx = lex(src);
-    let class = classify(rel);
-    let ctx = build_ctx(rel, &lx, class);
+    audit_files(&[(rel.to_string(), src.to_string())])
+}
+
+/// Runs every rule across a set of files as one workspace: phase 1 extracts
+/// the symbol table and call graph, phase 2 runs the graph analyses, and the
+/// per-file lexical rules run alongside.  Findings are sorted by
+/// (file, line, rule) for stable reports.
+pub fn audit_files(files: &[(String, String)]) -> Vec<Finding> {
+    audit_files_opts(files, false)
+}
+
+/// [`audit_files`] with `strict_panics`: when set, indexing/slicing sites
+/// (`buf[i]`) count as panic-capable too.  Off by default — the workspace
+/// convention is that index invariants are covered by `debug_assert!`
+/// contracts, and flagging every slice access would drown the signal.
+pub fn audit_files_opts(files: &[(String, String)], strict_panics: bool) -> Vec<Finding> {
     let mut out = Vec::new();
-    rule_safety_comment(&ctx, &mut out);
-    rule_unchecked_contract(&ctx, &mut out);
-    rule_no_panic(&ctx, &mut out);
-    rule_header_cast(&ctx, &mut out);
-    rule_thread_discipline(&ctx, &mut out);
-    out.sort_by_key(|f| f.line);
+    for (rel, src) in files {
+        let lx = lex(src);
+        let class = classify(rel);
+        let ctx = build_ctx(rel, &lx, class);
+        rule_safety_comment(&ctx, &mut out);
+        rule_unchecked_contract(&ctx, &mut out);
+        rule_header_cast(&ctx, &mut out);
+        rule_thread_discipline(&ctx, &mut out);
+    }
+    let cg = callgraph::build(files);
+    rule_panic_reach(&cg, strict_panics, &mut out);
+    locks::analyze(&cg, &mut out);
+    out.sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
     out
 }
 
@@ -299,6 +344,7 @@ fn push(ctx: &FileCtx, out: &mut Vec<Finding>, rule: &'static str, line: u32, me
         line,
         message,
         waived: ctx.waived(rule, line),
+        chain: Vec::new(),
     });
 }
 
@@ -389,38 +435,78 @@ fn rule_unchecked_contract(ctx: &FileCtx, out: &mut Vec<Finding>) {
     }
 }
 
-/// Rule 3 (ratcheted): no `.unwrap()` / `.expect(..)` / `panic!` in library
-/// request/decode paths — `serve/src`, `compress/src`, `obs/src`
-/// (observability must never take a server down), and `net/src` (frame
-/// parsers face untrusted bytes), tests and bins excluded.  Sites may be
-/// waived with `// audit:allow(no-panic) reason`.
-fn rule_no_panic(ctx: &FileCtx, out: &mut Vec<Finding>) {
-    let scoped = ctx.rel.starts_with("crates/serve/src")
-        || ctx.rel.starts_with("crates/compress/src")
-        || ctx.rel.starts_with("crates/obs/src")
-        || ctx.rel.starts_with("crates/net/src");
-    if !scoped || ctx.class != FileClass::Lib {
-        return;
-    }
-    let lx = ctx.lx;
-    for i in 0..lx.tokens.len() {
-        if lx.tokens[i].kind != TokKind::Ident || ctx.in_test(i) {
+/// Library paths whose every public-facing function is an analysis entry
+/// point for panic-reachability: the serve/decode request paths, the frame
+/// parsers facing untrusted bytes, observability (which must never take a
+/// server down), and the nn/quant model paths.
+const ENTRY_PATHS: [&str; 6] = [
+    "crates/serve/src",
+    "crates/compress/src",
+    "crates/obs/src",
+    "crates/net/src",
+    "crates/nn/src",
+    "crates/quant/src",
+];
+
+/// Tooling crates whose panic sites never fire: the audit tool itself and
+/// the bench harness are developer-facing, not on any serving path.
+const TOOL_PATHS: [&str; 2] = ["crates/audit/src", "crates/bench/src"];
+
+/// Rule 3 (ratcheted): interprocedural panic-reachability.  Every non-test
+/// library function in an [`ENTRY_PATHS`] crate is an entry point; panic
+/// sites (`unwrap`/`expect`/`panic!`-family, plus indexing under
+/// `--strict-panics`) fire in any library function reachable from an entry
+/// through the approximate call graph — including helpers in `tensor`,
+/// `core`, `pipeline`, and `scidata` that the entry crates call into.
+/// Sites may be waived with `// audit:allow(panic-reach) reason`.
+fn rule_panic_reach(cg: &CallGraph, strict_panics: bool, out: &mut Vec<Finding>) {
+    let g = fn_digraph(cg);
+    let seeds: Vec<u32> = (0..cg.fns.len())
+        .filter(|&i| {
+            let file = cg.file_of(i);
+            !cg.fns[i].is_test
+                && file.class == FileClass::Lib
+                && ENTRY_PATHS.iter().any(|p| file.rel.starts_with(p))
+        })
+        .map(|i| i as u32)
+        .collect();
+    let parents = g.bfs_parents(&seeds);
+    for (i, f) in cg.fns.iter().enumerate() {
+        if parents[i].is_none() || f.is_test {
             continue;
         }
-        let text = lx.text(i);
-        let hit = match text {
-            "unwrap" | "expect" => i > 0 && lx.is_punct(i - 1, b'.') && lx.is_punct(i + 1, b'('),
-            "panic" | "unreachable" | "todo" | "unimplemented" => lx.is_punct(i + 1, b'!'),
-            _ => false,
-        };
-        if hit {
-            push(
-                ctx,
-                out,
-                RULE_NO_PANIC,
-                lx.tokens[i].line,
-                format!("`{text}` in a library path — return a typed error or annotate with audit:allow(no-panic)"),
-            );
+        let file = cg.file_of(i);
+        if file.class != FileClass::Lib || TOOL_PATHS.iter().any(|p| file.rel.starts_with(p)) {
+            continue;
+        }
+        for site in &f.panics {
+            if site.indexing && !strict_panics {
+                continue;
+            }
+            let chain: Vec<Hop> = Digraph::path_to(&parents, i as u32)
+                .into_iter()
+                .map(|v| Hop {
+                    file: cg.file_of(v as usize).rel.clone(),
+                    line: cg.fns[v as usize].line,
+                    func: cg.fns[v as usize].name.clone(),
+                })
+                .collect();
+            let via = if chain.len() > 1 {
+                format!(" (reachable from entry `{}`)", chain[0].func)
+            } else {
+                String::new()
+            };
+            out.push(Finding {
+                rule: RULE_PANIC_REACH,
+                file: file.rel.clone(),
+                line: site.line,
+                message: format!(
+                    "`{}` reachable from a library entry point{via} — return a typed error or annotate with audit:allow(panic-reach)",
+                    site.what
+                ),
+                waived: cg.waived(i, RULE_PANIC_REACH, site.line),
+                chain,
+            });
         }
     }
 }

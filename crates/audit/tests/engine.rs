@@ -3,7 +3,7 @@
 //! the workspace itself stays clean (the self-audit regression gate).
 
 use errflow_audit::rules::{
-    RULE_HEADER_CAST, RULE_NO_PANIC, RULE_SAFETY, RULE_THREADS, RULE_UNCHECKED,
+    RULE_HEADER_CAST, RULE_PANIC_REACH, RULE_SAFETY, RULE_THREADS, RULE_UNCHECKED,
 };
 use errflow_audit::{audit_source, audit_tree, check, counts, Finding, Ratchet};
 use std::path::Path;
@@ -59,22 +59,22 @@ fn truncating_cast_fires_header_rule_once() {
 }
 
 #[test]
-fn library_unwrap_fires_no_panic_rule_once() {
+fn library_unwrap_fires_panic_reach_rule_once() {
     let src = include_str!("fixtures/bad_panic.rs");
-    only_rule(&audit_source(SERVE_PATH, src), RULE_NO_PANIC);
+    only_rule(&audit_source(SERVE_PATH, src), RULE_PANIC_REACH);
     // The same code in a test file or a bin target is out of scope.
     assert!(audit_source("crates/serve/tests/fixture.rs", src).is_empty());
     assert!(audit_source("crates/serve/src/bin/tool.rs", src).is_empty());
 }
 
 #[test]
-fn net_crate_is_in_no_panic_scope() {
+fn net_crate_is_in_panic_reach_scope() {
     // The wire-protocol frontend parses untrusted bytes; its library code
     // is held to the same no-panic standard as serve/compress/obs.
     let src = include_str!("fixtures/bad_panic.rs");
     only_rule(
         &audit_source("crates/net/src/fixture.rs", src),
-        RULE_NO_PANIC,
+        RULE_PANIC_REACH,
     );
     assert!(audit_source("crates/net/tests/fixture.rs", src).is_empty());
 }
@@ -94,25 +94,26 @@ fn clean_fixture_has_zero_findings() {
 #[test]
 fn waived_finding_is_reported_but_not_counted_open() {
     let src = "pub fn f(v: Option<u32>) -> u32 {\n    \
-               // audit:allow(no-panic) validated upstream\n    v.unwrap()\n}\n";
+               // audit:allow(panic-reach) validated upstream\n    v.unwrap()\n}\n";
     let findings = audit_source(SERVE_PATH, src);
     assert_eq!(findings.len(), 1);
     assert!(findings[0].waived);
     let c = counts(&findings);
-    assert_eq!(c[RULE_NO_PANIC], (0, 1));
+    assert_eq!(c[RULE_PANIC_REACH], (0, 1));
 }
 
 #[test]
 fn ratchet_checks_regress_pass_and_improve() {
     let finding = |waived| Finding {
-        rule: RULE_NO_PANIC,
+        rule: RULE_PANIC_REACH,
         file: "crates/serve/src/x.rs".into(),
         line: 1,
         message: "m".into(),
         waived,
+        chain: Vec::new(),
     };
     let mut ratchet = Ratchet::default();
-    ratchet.set(RULE_NO_PANIC, 1);
+    ratchet.set(RULE_PANIC_REACH, 1);
 
     // At baseline: passes, no notices.
     let at = vec![finding(false)];
@@ -146,10 +147,10 @@ fn hard_rules_reject_waivers() {
 #[test]
 fn ratchet_file_roundtrips() {
     let mut r = Ratchet::default();
-    r.set(RULE_NO_PANIC, 14);
+    r.set(RULE_PANIC_REACH, 14);
     let text = r.render();
     let parsed = Ratchet::parse(&text).expect("parses own output");
-    assert_eq!(parsed.baseline(RULE_NO_PANIC), 14);
+    assert_eq!(parsed.baseline(RULE_PANIC_REACH), 14);
     assert!(Ratchet::parse("{\"no-panic\": }").is_none());
 }
 

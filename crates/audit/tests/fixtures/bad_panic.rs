@@ -1,5 +1,5 @@
 // Fixture: an unwrap on a library request path.
-// Expected: exactly one no-panic finding.
+// Expected: exactly one panic-reach finding.
 
 pub fn must(v: Option<u32>) -> u32 {
     v.unwrap()

@@ -1,0 +1,188 @@
+//! Phase-2 (call-graph) rule tests: each bad fixture fires its rule exactly
+//! once with a usable call-chain trace, each clean fixture fires nothing,
+//! and panic-reachability crosses file boundaries.
+
+use errflow_audit::rules::{RULE_LOCK_ORDER, RULE_PANIC_REACH, RULE_POOL_BLOCK};
+use errflow_audit::{audit_files, audit_source, render_human, Finding, Ratchet};
+
+/// Lock/pool fixtures live at a library path *outside* the panic-reach entry
+/// crates, so their `.unwrap()` scaffolding never contributes findings.
+const TENSOR_PATH: &str = "crates/tensor/src/fixture_graph.rs";
+
+fn only_rule(findings: &[Finding], rule: &str) {
+    assert_eq!(
+        findings.len(),
+        1,
+        "expected exactly one finding, got: {findings:?}"
+    );
+    assert_eq!(findings[0].rule, rule);
+    assert!(!findings[0].waived);
+}
+
+#[test]
+fn lock_cycle_fires_once_with_cycle_trace() {
+    let src = include_str!("fixtures/lock_cycle.rs");
+    let findings = audit_source(TENSOR_PATH, src);
+    only_rule(&findings, RULE_LOCK_ORDER);
+    let f = &findings[0];
+    assert!(
+        f.message.contains("lock-order cycle"),
+        "message: {}",
+        f.message
+    );
+    assert!(
+        f.message.contains("tensor:alpha") && f.message.contains("tensor:beta"),
+        "cycle names both locks: {}",
+        f.message
+    );
+    // The chain carries one hop per lock-order edge in the cycle: the
+    // alpha→beta acquisition in `forward` and the held call in `backward`.
+    assert_eq!(f.chain.len(), 2, "chain: {:?}", f.chain);
+    let provs: Vec<&str> = f.chain.iter().map(|h| h.func.as_str()).collect();
+    assert!(provs.iter().any(|p| p.contains("forward")), "{provs:?}");
+    assert!(
+        provs
+            .iter()
+            .any(|p| p.contains("backward") && p.contains("alpha_total")),
+        "{provs:?}"
+    );
+}
+
+#[test]
+fn lock_cycle_chain_appears_in_explain_output() {
+    let src = include_str!("fixtures/lock_cycle.rs");
+    let findings = audit_source(TENSOR_PATH, src);
+    let explained = render_human(&findings, &Ratchet::default(), true);
+    assert!(explained.contains("chain:"), "{explained}");
+    assert!(explained.contains(" -> "), "{explained}");
+    // Without --explain the chain stays out of the human report.
+    let plain = render_human(&findings, &Ratchet::default(), false);
+    assert!(!plain.contains("chain:"), "{plain}");
+}
+
+#[test]
+fn consistent_lock_order_is_clean() {
+    let src = include_str!("fixtures/lock_clean.rs");
+    let findings = audit_source(TENSOR_PATH, src);
+    assert!(findings.is_empty(), "unexpected findings: {findings:?}");
+}
+
+#[test]
+fn pool_job_blocking_on_recv_fires_once() {
+    let src = include_str!("fixtures/pool_block.rs");
+    let findings = audit_source(TENSOR_PATH, src);
+    only_rule(&findings, RULE_POOL_BLOCK);
+    let f = &findings[0];
+    assert!(f.message.contains("recv"), "message: {}", f.message);
+    let line = src
+        .lines()
+        .position(|l| l.contains("rx.recv()"))
+        .expect("fixture parks on recv") as u32
+        + 1;
+    assert_eq!(f.line, line, "flagged at the recv site");
+    // Chain runs job-root → helper.
+    assert_eq!(f.chain.len(), 2, "chain: {:?}", f.chain);
+    assert!(f.chain[0].func.contains("pool job"), "{:?}", f.chain);
+    assert_eq!(f.chain[1].func, "drain_all");
+}
+
+#[test]
+fn pure_compute_pool_job_is_clean() {
+    let src = include_str!("fixtures/pool_clean.rs");
+    let findings = audit_source(TENSOR_PATH, src);
+    assert!(findings.is_empty(), "unexpected findings: {findings:?}");
+}
+
+#[test]
+fn pool_machinery_itself_is_exempt_from_pool_blocking() {
+    // The same blocking fixture hosted at the pool's own path is the
+    // sanctioned parking spot and must not fire.
+    let src = include_str!("fixtures/pool_block.rs");
+    let findings = audit_source("crates/tensor/src/pool.rs", src);
+    assert!(findings.is_empty(), "unexpected findings: {findings:?}");
+}
+
+#[test]
+fn blocking_while_lock_held_fires_lock_order() {
+    let src = "use std::sync::Mutex;\n\
+               use std::sync::mpsc::Receiver;\n\
+               pub struct S { state: Mutex<u32>, rx: Receiver<u32> }\n\
+               impl S {\n\
+                   pub fn pump(&mut self) {\n\
+                       let mut g = self.state.lock().unwrap();\n\
+                       if let Ok(v) = self.rx.recv() {\n\
+                           *g += v;\n\
+                       }\n\
+                   }\n\
+               }\n";
+    let findings = audit_source(TENSOR_PATH, src);
+    only_rule(&findings, RULE_LOCK_ORDER);
+    assert!(
+        findings[0].message.contains("recv") && findings[0].message.contains("tensor:state"),
+        "message: {}",
+        findings[0].message
+    );
+}
+
+#[test]
+fn panic_reach_crosses_file_boundaries() {
+    // The panic lives in a tensor helper — out of the lexical v1 rule's
+    // scope — but is reachable from a serve entry point, so v2 flags it
+    // at the helper with the entry→site chain.
+    let serve = "pub fn handle(v: Option<u32>) -> u32 {\n    helper_scale(v)\n}\n";
+    let tensor = "pub fn helper_scale(v: Option<u32>) -> u32 {\n    v.unwrap() * 3\n}\n";
+    let files = vec![
+        ("crates/serve/src/entry.rs".to_string(), serve.to_string()),
+        (
+            "crates/tensor/src/helper.rs".to_string(),
+            tensor.to_string(),
+        ),
+    ];
+    let findings = audit_files(&files);
+    only_rule(&findings, RULE_PANIC_REACH);
+    let f = &findings[0];
+    assert_eq!(f.file, "crates/tensor/src/helper.rs");
+    assert_eq!(f.line, 2);
+    let chain: Vec<(&str, &str)> = f
+        .chain
+        .iter()
+        .map(|h| (h.func.as_str(), h.file.as_str()))
+        .collect();
+    assert_eq!(
+        chain,
+        vec![
+            ("handle", "crates/serve/src/entry.rs"),
+            ("helper_scale", "crates/tensor/src/helper.rs"),
+        ]
+    );
+    assert!(f.message.contains("entry `handle`"), "{}", f.message);
+}
+
+#[test]
+fn unreachable_helper_panic_does_not_fire() {
+    // Same helper, but nothing on an entry path calls it: silent.
+    let tensor = "pub fn helper_scale(v: Option<u32>) -> u32 {\n    v.unwrap() * 3\n}\n";
+    let files = vec![(
+        "crates/tensor/src/helper.rs".to_string(),
+        tensor.to_string(),
+    )];
+    let findings = audit_files(&files);
+    assert!(findings.is_empty(), "unexpected findings: {findings:?}");
+}
+
+#[test]
+fn waivers_attach_to_the_panic_site_not_the_entry() {
+    let serve = "pub fn handle(v: Option<u32>) -> u32 {\n    helper_scale(v)\n}\n";
+    let tensor = "pub fn helper_scale(v: Option<u32>) -> u32 {\n    \
+                  // audit:allow(panic-reach) validated upstream\n    v.unwrap() * 3\n}\n";
+    let files = vec![
+        ("crates/serve/src/entry.rs".to_string(), serve.to_string()),
+        (
+            "crates/tensor/src/helper.rs".to_string(),
+            tensor.to_string(),
+        ),
+    ];
+    let findings = audit_files(&files);
+    assert_eq!(findings.len(), 1);
+    assert!(findings[0].waived);
+}

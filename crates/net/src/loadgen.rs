@@ -106,12 +106,12 @@ pub fn run_net_loadgen<M: Model + Clone + Send + Sync + 'static>(
             let overheads = &overheads;
             let cfg = &*cfg;
             scope.spawn(move || {
-                // audit:allow(no-panic) the load generator is a test
+                // audit:allow(panic-reach) the load generator is a test
                 // harness: transport failures must surface loudly.
                 let mut client = NetClient::connect(addr).expect("connect to net frontend");
                 client
                     .set_read_timeout(Some(Duration::from_secs(30)))
-                    // audit:allow(no-panic) same harness rule.
+                    // audit:allow(panic-reach) same harness rule.
                     .expect("set read timeout");
                 let mut rng = StdRng::seed_from_u64(cfg.seed.wrapping_add(c as u64 * 7919));
                 let mut state: Vec<f32> = (0..d).map(|_| rng.gen_range(-0.5f32..0.5)).collect();
@@ -141,7 +141,7 @@ pub fn run_net_loadgen<M: Model + Clone + Send + Sync + 'static>(
                                 rejections.fetch_add(1, Ordering::Relaxed);
                                 std::thread::sleep(Duration::from_micros(200));
                             }
-                            // audit:allow(no-panic) harness rule: a failed
+                            // audit:allow(panic-reach) harness rule: a failed
                             // request is a bug, not an operational state.
                             Err(e) => panic!("net request failed: {e}"),
                         }

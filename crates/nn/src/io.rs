@@ -204,9 +204,12 @@ fn check_header(buf: &[u8], expected_tag: u8) -> Result<usize, ModelIoError> {
 }
 
 fn read_u32(buf: &[u8], pos: &mut usize) -> Result<u32, ModelIoError> {
-    let bytes = buf.get(*pos..*pos + 4).ok_or(ModelIoError::Truncated)?;
+    let bytes: [u8; 4] = buf
+        .get(*pos..*pos + 4)
+        .and_then(|s| s.try_into().ok())
+        .ok_or(ModelIoError::Truncated)?;
     *pos += 4;
-    Ok(u32::from_le_bytes(bytes.try_into().expect("4 bytes")))
+    Ok(u32::from_le_bytes(bytes))
 }
 
 fn read_f32(buf: &[u8], pos: &mut usize) -> Result<f32, ModelIoError> {

@@ -64,6 +64,7 @@ impl LayerGrads {
     pub fn accumulate(&mut self, other: &LayerGrads) {
         self.d_raw
             .axpy(1.0, &other.d_raw)
+            // audit:allow(panic-reach) gradient tensors share the layer's shape by construction
             .expect("gradient shapes match");
         for (a, &b) in self.d_bias.iter_mut().zip(&other.d_bias) {
             *a += b;
@@ -115,6 +116,7 @@ impl Layer {
     ) -> Self {
         let (oh, ow) = spec
             .output_hw(in_shape.height, in_shape.width)
+            // audit:allow(panic-reach) the constructor validates kernel-fits-input; misuse is a programming error
             .expect("kernel must fit input");
         let out_shape = MapShape::new(weights.rows(), oh, ow);
         assert_eq!(
@@ -248,6 +250,7 @@ impl Layer {
     pub fn forward_cached(&self, x: &[f32]) -> (Vec<f32>, LayerCache) {
         match self.kind {
             LayerKind::Dense => {
+                // audit:allow(panic-reach) input length is the layer's in_dim contract, checked by the model driver
                 let mut z = self.w_eff.matvec(x).expect("dense input length");
                 for (zi, &b) in z.iter_mut().zip(&self.bias) {
                     *zi += b;
@@ -268,7 +271,9 @@ impl Layer {
                 in_shape,
                 out_shape,
             } => {
+                // audit:allow(panic-reach) conv input shape is fixed by the layer spec at construction
                 let patches = im2col(x, in_shape, spec).expect("conv input shape");
+                // audit:allow(panic-reach) im2col output dims match w_eff by construction
                 let zmat = self.w_eff.matmul(&patches).expect("conv gemm");
                 let hw = out_shape.height * out_shape.width;
                 let mut z = zmat.into_vec();
@@ -314,6 +319,7 @@ impl Layer {
                         }
                     }
                 }
+                // audit:allow(panic-reach) backward mirrors forward's validated shapes
                 let d_x = self.w_eff.matvec_t(&delta).expect("dense backward");
                 let (d_raw, d_alpha) = self.project_grads(d_w);
                 (
@@ -331,9 +337,12 @@ impl Layer {
                 out_shape,
             } => {
                 let hw = out_shape.height * out_shape.width;
+                // audit:allow(panic-reach) delta length is channels*hw from the forward pass
                 let d_z = Matrix::from_vec(out_shape.channels, hw, delta).expect("dz shape");
+                // audit:allow(panic-reach) forward_cached always populates patches for conv layers
                 let patches = cache.patches.as_ref().expect("conv cache has patches");
                 // dW = dZ · patchesᵀ  (computed without materialising ᵀ).
+                // audit:allow(panic-reach) dZ and patches dims agree by construction
                 let d_w = d_z.matmul(&patches.transpose()).expect("conv weight grad");
                 let d_bias: Vec<f32> = (0..out_shape.channels)
                     .map(|c| d_z.row(c).iter().sum())
@@ -342,7 +351,9 @@ impl Layer {
                     .w_eff
                     .transpose()
                     .matmul(&d_z)
+                    // audit:allow(panic-reach) w_eff^T and dZ dims agree by construction
                     .expect("conv patch grad");
+                // audit:allow(panic-reach) d_patches shape mirrors the validated im2col shape
                 let d_x = col2im(&d_patches, in_shape, spec).expect("conv input grad");
                 let (d_raw, d_alpha) = self.project_grads(d_w);
                 (

@@ -58,7 +58,9 @@ pub fn softmax(z: &[f32]) -> Vec<f32> {
 pub fn argmax(v: &[f32]) -> usize {
     v.iter()
         .enumerate()
-        .max_by(|a, b| a.1.partial_cmp(b.1).expect("no NaN logits"))
+        // NaN logits compare as equal so a poisoned forward pass degrades to
+        // an arbitrary class instead of panicking mid-inference.
+        .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
         .map(|(i, _)| i)
         .unwrap_or(0)
 }

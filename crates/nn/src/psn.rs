@@ -67,12 +67,15 @@ impl PsnState {
     /// iteration keeps `(u, v)` locked onto the top singular pair.
     pub fn update_sigma(&mut self, raw: &Matrix) {
         // v ← normalize(Vᵀ u); u ← normalize(V v); σ ← uᵀ V v.
+        // audit:allow(panic-reach) u/v vectors are sized to `raw` at construction
         let mut vt = raw.matvec_t(&self.u).expect("psn shape");
         normalize(&mut vt);
         self.v = vt;
+        // audit:allow(panic-reach) V v has the row dim u was sized for
         let mut ut = raw.matvec(&self.v).expect("psn shape");
         normalize(&mut ut);
         self.u = ut;
+        // audit:allow(panic-reach) dot of same-length vectors sized at construction
         let wv = raw.matvec(&self.v).expect("psn shape");
         let sigma: f32 = self
             .u

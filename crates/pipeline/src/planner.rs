@@ -226,7 +226,9 @@ impl<'m, M: Model> Planner<'m, M> {
             self.exec
                 .samples_per_sec(self.model.flops(), *b)
                 .partial_cmp(&self.exec.samples_per_sec(self.model.flops(), *a))
-                .expect("finite throughputs")
+                // A degenerate executor profile (zero/NaN throughput) keeps
+                // the declaration order rather than panicking the planner.
+                .unwrap_or(std::cmp::Ordering::Equal)
         });
         fmts
     }

@@ -51,6 +51,7 @@ impl QuantizedMatrix {
             .iter()
             .map(|&c| self.scale * (c as i32 - self.zero_point) as f32)
             .collect();
+        // audit:allow(panic-reach) dequantize preserves the rows*cols len it was built from
         Matrix::from_vec(self.rows, self.cols, data).expect("shape preserved")
     }
 }

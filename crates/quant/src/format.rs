@@ -106,6 +106,7 @@ impl QuantFormat {
                 range * 2f64.powi(-8)
             }
             QuantFormat::Tf32 | QuantFormat::Fp16 | QuantFormat::Bf16 => {
+                // audit:allow(panic-reach) the float-format match arms all define mantissa_bits
                 let m = self.mantissa_bits().expect("float format") as i32;
                 let floor_at = if *self == QuantFormat::Fp16 {
                     Some(-14)
@@ -143,6 +144,7 @@ impl QuantFormat {
             QuantFormat::Fp16 => fp::round_to_fp16(x),
             QuantFormat::Bf16 => fp::round_to_bf16(x),
             QuantFormat::Int8 => {
+                // audit:allow(panic-reach) deliberate API-misuse guard: scalar rounding of INT8 is meaningless
                 panic!("INT8 requires tensor-level calibration; use quantize_matrix")
             }
         }

