@@ -9,8 +9,10 @@
 //! failures.
 
 use crate::proto::{
-    self, ErrorFrame, FrameHeader, FrameType, ProtoError, RequestFrame, ResponseFrame, HEADER_LEN,
+    self, ErrorFrame, FrameHeader, FrameType, MetricsFormat, MetricsRequestFrame,
+    MetricsResponseFrame, ProtoError, RequestFrame, ResponseFrame, HEADER_LEN,
 };
+use errflow_obs::slo::SloStatus;
 use std::io::{ErrorKind, Read, Write};
 use std::net::{TcpStream, ToSocketAddrs};
 use std::time::Duration;
@@ -91,9 +93,52 @@ impl NetClient {
         match header.frame_type {
             FrameType::Response => Ok(proto::decode_response(&body)?),
             FrameType::Error => Err(NetError::Server(proto::decode_error(&body)?)),
-            FrameType::Request => Err(NetError::Proto(ProtoError::Corrupt(
-                "server sent a request frame".to_string(),
-            ))),
+            other => Err(NetError::Proto(ProtoError::Corrupt(format!(
+                "unexpected reply frame type {other:?}"
+            )))),
+        }
+    }
+
+    /// Scrapes the server's telemetry plane: sends one
+    /// [`FrameType::MetricsRequest`] and blocks for the
+    /// [`FrameType::MetricsResponse`].  `tier` selects a single retention
+    /// tier or [`crate::proto::TIER_ALL`]; `window` caps points per series.
+    pub fn scrape(
+        &mut self,
+        format: MetricsFormat,
+        tier: u8,
+        window: u32,
+    ) -> Result<MetricsResponseFrame, NetError> {
+        let req = MetricsRequestFrame {
+            format,
+            tier,
+            window,
+        };
+        let bytes = proto::encode_metrics_request(&req)?;
+        self.stream.write_all(&bytes)?;
+        let (header, body) = self.read_frame()?;
+        match header.frame_type {
+            FrameType::MetricsResponse => Ok(proto::decode_metrics_response(&body)?),
+            FrameType::Error => Err(NetError::Server(proto::decode_error(&body)?)),
+            other => Err(NetError::Proto(ProtoError::Corrupt(format!(
+                "unexpected reply frame type {other:?}"
+            )))),
+        }
+    }
+
+    /// Queries the server's SLO states: one [`FrameType::HealthRequest`]
+    /// answered by a [`FrameType::HealthResponse`] listing every installed
+    /// objective with its published ok/warn/breach state.
+    pub fn health(&mut self) -> Result<Vec<SloStatus>, NetError> {
+        let bytes = proto::encode_health_request();
+        self.stream.write_all(&bytes)?;
+        let (header, body) = self.read_frame()?;
+        match header.frame_type {
+            FrameType::HealthResponse => Ok(proto::decode_health_response(&body)?),
+            FrameType::Error => Err(NetError::Server(proto::decode_error(&body)?)),
+            other => Err(NetError::Proto(ProtoError::Corrupt(format!(
+                "unexpected reply frame type {other:?}"
+            )))),
         }
     }
 

@@ -9,7 +9,7 @@
 //! Nothing here blocks, parses past a declared length, or panics on
 //! malformed input — framing errors surface as [`ConnEvent::Malformed`].
 
-use crate::proto::{self, FrameHeader, ProtoError, RequestFrame, HEADER_LEN};
+use crate::proto::{self, FrameHeader, MetricsRequestFrame, ProtoError, RequestFrame, HEADER_LEN};
 use std::io::{ErrorKind, Read, Write};
 use std::net::TcpStream;
 use std::time::{Duration, Instant};
@@ -28,6 +28,12 @@ pub enum ConnEvent {
         /// Frame read + decode time.
         ingress: Duration,
     },
+    /// A complete metrics scrape request.  Answered on the io thread from
+    /// the observability globals — never enters the serve queue.
+    Metrics(MetricsRequestFrame),
+    /// A complete SLO health probe (empty body), answered like
+    /// [`ConnEvent::Metrics`].
+    Health,
     /// The stream produced an unparsable frame.  The caller should send a
     /// typed error frame and close once it flushes — framing is lost.
     Malformed(ProtoError),
@@ -172,6 +178,14 @@ impl Conn {
                     },
                     Err(e) => ConnEvent::Malformed(e),
                 },
+                proto::FrameType::MetricsRequest => match proto::decode_metrics_request(body) {
+                    Ok(frame) => ConnEvent::Metrics(frame),
+                    Err(e) => ConnEvent::Malformed(e),
+                },
+                proto::FrameType::HealthRequest => match proto::decode_health_request(body) {
+                    Ok(()) => ConnEvent::Health,
+                    Err(e) => ConnEvent::Malformed(e),
+                },
                 // Clients must not send response/error frames.
                 other => ConnEvent::Malformed(ProtoError::Corrupt(format!(
                     "unexpected {other:?} frame from client"
@@ -290,6 +304,44 @@ mod tests {
         assert!(events
             .iter()
             .all(|e| matches!(e, ConnEvent::Request { .. })));
+    }
+
+    #[test]
+    fn metrics_and_health_frames_parse_as_events() {
+        let (mut tx, mut conn) = pair();
+        let mut bytes = proto::encode_metrics_request(&proto::MetricsRequestFrame {
+            format: proto::MetricsFormat::Binary,
+            tier: proto::TIER_ALL,
+            window: 60,
+        })
+        .unwrap();
+        bytes.extend_from_slice(&proto::encode_health_request());
+        tx.write_all(&bytes).unwrap();
+        std::thread::sleep(Duration::from_millis(10));
+        let events = conn.on_readable();
+        assert_eq!(events.len(), 2, "{events:?}");
+        assert!(matches!(
+            events[0],
+            ConnEvent::Metrics(proto::MetricsRequestFrame { window: 60, .. })
+        ));
+        assert!(matches!(events[1], ConnEvent::Health));
+    }
+
+    #[test]
+    fn forged_tier_selector_is_malformed_event() {
+        let (mut tx, mut conn) = pair();
+        let mut frame = proto::encode_metrics_request(&proto::MetricsRequestFrame {
+            format: proto::MetricsFormat::Prometheus,
+            tier: 0,
+            window: 0,
+        })
+        .unwrap();
+        frame[HEADER_LEN + 1] = 42; // tier byte
+        tx.write_all(&frame).unwrap();
+        std::thread::sleep(Duration::from_millis(10));
+        let events = conn.on_readable();
+        assert_eq!(events.len(), 1);
+        assert!(matches!(events[0], ConnEvent::Malformed(_)), "{events:?}");
     }
 
     #[test]

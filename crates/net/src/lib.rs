@@ -20,6 +20,10 @@
 //!   ([`errflow_serve::server::ServeError::QueueFull`]) becomes a
 //!   *retryable* error frame — never a dropped connection.
 //! * [`client`] — [`client::NetClient`], a small blocking client.
+//! * Telemetry frames — [`proto::FrameType::MetricsRequest`] /
+//!   [`proto::FrameType::HealthRequest`] scrape the live time-series and
+//!   SLO plane of `errflow-obs`; they are answered entirely on io
+//!   threads, so observation never competes with the request path.
 //! * [`loadgen`] — the socket-path twin of the in-process load generator,
 //!   reporting client RTT and the frontend's p50 overhead over
 //!   in-process dispatch.
@@ -38,5 +42,8 @@ pub mod server;
 
 pub use client::{NetClient, NetError};
 pub use loadgen::{run_net_loadgen, NetBenchSummary};
-pub use proto::{ErrorCode, ErrorFrame, RequestFrame, ResponseFrame};
+pub use proto::{
+    ErrorCode, ErrorFrame, HistogramDump, MetricsFormat, MetricsRequestFrame, MetricsResponseFrame,
+    RequestFrame, ResponseFrame, ScrapePayload, TIER_ALL,
+};
 pub use server::{NetConfig, NetServer};

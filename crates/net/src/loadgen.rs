@@ -174,8 +174,20 @@ pub fn run_net_loadgen<M: Model + Clone + Send + Sync + 'static>(
     });
     let wall_secs = t0.elapsed().as_secs_f64();
 
-    let snap = server.stats();
+    // The egress stage is stamped on the io thread *after* the response
+    // bytes hit the socket, so a client can observe its reply a moment
+    // before the final stamp lands.  Settle until every completed request
+    // has its egress sample (bounded, normally instant) so the snapshot
+    // reflects the whole run.
     let requests = (cfg.clients * cfg.requests_per_client) as u64;
+    let settle = Instant::now();
+    while server.stats().stages.egress.count < requests
+        && settle.elapsed() < Duration::from_millis(500)
+    {
+        std::thread::sleep(Duration::from_millis(2));
+    }
+
+    let snap = server.stats();
     let base = BenchSummary::from_stats(
         &snap,
         cfg.clients,

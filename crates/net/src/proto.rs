@@ -6,7 +6,9 @@
 //!  offset  size  field
 //!  0       4     magic  b"EFNP"
 //!  4       1     protocol version (1)
-//!  5       1     frame type: 1 = Request, 2 = Response, 3 = Error
+//!  5       1     frame type: 1 = Request, 2 = Response, 3 = Error,
+//!                4 = MetricsRequest, 5 = MetricsResponse,
+//!                6 = HealthRequest, 7 = HealthResponse
 //!  6       2     reserved (must be 0)
 //!  8       8     body length, u64 LE (≤ MAX_BODY)
 //! ```
@@ -24,9 +26,21 @@
 //! retryable and the connection stays open; malformed framing is not (the
 //! byte stream is unsynchronized after it, so the server closes after the
 //! error frame is flushed).
+//!
+//! The **telemetry frames** (types 4–7) follow the same one-in/one-out
+//! discipline but are answered entirely on the io thread from the
+//! process-wide observability globals — a scrape never enters the serve
+//! queue, so it can never block (or be blocked by) a worker.
+//! `MetricsRequest` selects an exposition format (Prometheus text, JSON,
+//! or the typed binary dump `errflow-cli top` decodes — the workspace
+//! carries no JSON parser), a retention tier, and a per-series point
+//! window; `HealthRequest` has an empty body and is answered with the
+//! hysteresis-filtered SLO states.
 
 use errflow_compress::traits::{read_f32, read_f64, read_len_u32, read_len_u64, read_u64, read_u8};
 use errflow_compress::CompressError;
+use errflow_obs::slo::{SloState, SloStatus};
+use errflow_obs::timeseries::{Point, SeriesDump, TierDump, TieredDump};
 use errflow_pipeline::planner::PayloadLayout;
 use errflow_quant::QuantFormat;
 use errflow_serve::{RequestStages, ServeError};
@@ -51,6 +65,14 @@ pub enum FrameType {
     Response,
     /// Server → client typed error.
     Error,
+    /// Client → server metrics scrape (format + tier + window selectors).
+    MetricsRequest,
+    /// Server → client metrics exposition body.
+    MetricsResponse,
+    /// Client → server SLO health probe (empty body).
+    HealthRequest,
+    /// Server → client SLO states.
+    HealthResponse,
 }
 
 impl FrameType {
@@ -60,6 +82,10 @@ impl FrameType {
             FrameType::Request => 1,
             FrameType::Response => 2,
             FrameType::Error => 3,
+            FrameType::MetricsRequest => 4,
+            FrameType::MetricsResponse => 5,
+            FrameType::HealthRequest => 6,
+            FrameType::HealthResponse => 7,
         }
     }
 
@@ -68,6 +94,10 @@ impl FrameType {
             1 => Ok(FrameType::Request),
             2 => Ok(FrameType::Response),
             3 => Ok(FrameType::Error),
+            4 => Ok(FrameType::MetricsRequest),
+            5 => Ok(FrameType::MetricsResponse),
+            6 => Ok(FrameType::HealthRequest),
+            7 => Ok(FrameType::HealthResponse),
             other => Err(ProtoError::BadFrameType(other)),
         }
     }
@@ -549,6 +579,416 @@ pub fn decode_error(body: &[u8]) -> Result<ErrorFrame, ProtoError> {
     })
 }
 
+// ---------------------------------------------------------------------
+// Telemetry frames (types 4–7)
+// ---------------------------------------------------------------------
+
+/// Exposition format selector of a [`MetricsRequestFrame`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MetricsFormat {
+    /// Prometheus text exposition of the whole registry.
+    Prometheus,
+    /// JSON exposition of the tiered series.
+    Json,
+    /// Typed binary dump ([`ScrapePayload`]) — what `errflow-cli top`
+    /// decodes (the workspace carries no JSON parser).
+    Binary,
+}
+
+impl MetricsFormat {
+    /// Wire code.
+    pub fn code(self) -> u8 {
+        match self {
+            MetricsFormat::Prometheus => 0,
+            MetricsFormat::Json => 1,
+            MetricsFormat::Binary => 2,
+        }
+    }
+
+    fn from_code(code: u8) -> Result<Self, ProtoError> {
+        match code {
+            0 => Ok(MetricsFormat::Prometheus),
+            1 => Ok(MetricsFormat::Json),
+            2 => Ok(MetricsFormat::Binary),
+            other => Err(ProtoError::Corrupt(format!(
+                "unknown metrics format code {other}"
+            ))),
+        }
+    }
+}
+
+/// Tier selector meaning "all tiers".
+pub const TIER_ALL: u8 = 255;
+
+/// Cap on a scrape's per-series point window (tier retention never
+/// exceeds this; a forged selector cannot request unbounded work).
+pub const MAX_SCRAPE_WINDOW: u32 = 1 << 20;
+
+/// A metrics scrape request: format, tier, and per-series point window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MetricsRequestFrame {
+    /// Requested exposition format.
+    pub format: MetricsFormat,
+    /// Tier index, or [`TIER_ALL`].
+    pub tier: u8,
+    /// Max points per series (`0` = the tier's full retention).
+    pub window: u32,
+}
+
+fn check_tier(tier: u8) -> Result<(), ProtoError> {
+    if tier != TIER_ALL && tier as usize >= errflow_obs::timeseries::MAX_TIERS {
+        return Err(ProtoError::Corrupt(format!(
+            "tier selector {tier} out of range (max {}, or {TIER_ALL} for all)",
+            errflow_obs::timeseries::MAX_TIERS - 1
+        )));
+    }
+    Ok(())
+}
+
+/// Encodes a metrics request as a complete frame.  Rejects an oversized
+/// tier selector or window at encode time (the server rejects them at
+/// decode time with the same typed error).
+pub fn encode_metrics_request(req: &MetricsRequestFrame) -> Result<Vec<u8>, ProtoError> {
+    check_tier(req.tier)?;
+    if req.window > MAX_SCRAPE_WINDOW {
+        return Err(ProtoError::Corrupt(format!(
+            "scrape window {} exceeds cap {MAX_SCRAPE_WINDOW}",
+            req.window
+        )));
+    }
+    let body_len = 1 + 1 + 4;
+    let mut out = Vec::with_capacity(HEADER_LEN + body_len);
+    put_header(&mut out, FrameType::MetricsRequest, body_len);
+    out.push(req.format.code());
+    out.push(req.tier);
+    out.extend_from_slice(&req.window.to_le_bytes());
+    Ok(out)
+}
+
+/// Decodes a metrics request body, validating the tier selector and
+/// window cap.
+pub fn decode_metrics_request(body: &[u8]) -> Result<MetricsRequestFrame, ProtoError> {
+    let mut pos = 0usize;
+    let format = MetricsFormat::from_code(read_u8(body, &mut pos, "metrics format")?)?;
+    let tier = read_u8(body, &mut pos, "tier selector")?;
+    check_tier(tier)?;
+    let window = read_len_u32(body, &mut pos, "scrape window")? as u32;
+    if window > MAX_SCRAPE_WINDOW {
+        return Err(ProtoError::Corrupt(format!(
+            "scrape window {window} exceeds cap {MAX_SCRAPE_WINDOW}"
+        )));
+    }
+    if pos != body.len() {
+        return Err(ProtoError::Corrupt(format!(
+            "metrics request carries {} trailing bytes",
+            body.len() - pos
+        )));
+    }
+    Ok(MetricsRequestFrame {
+        format,
+        tier,
+        window,
+    })
+}
+
+/// One histogram's point-in-time aggregates in a [`ScrapePayload`]
+/// (buckets sparse: only non-zero log₂ buckets travel).
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistogramDump {
+    /// Registry name.
+    pub name: String,
+    /// Total observations.
+    pub count: u64,
+    /// Sum of observations.
+    pub sum: u64,
+    /// `(bucket_index, count)` pairs, index-ascending.
+    pub buckets: Vec<(u8, u64)>,
+}
+
+/// The typed binary body of a [`MetricsFormat::Binary`] scrape: the
+/// tiered series dump plus the current histogram states (for
+/// distribution panels like bound margin, which need buckets rather than
+/// pre-derived quantiles).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ScrapePayload {
+    /// Tiered series (see [`errflow_obs::timeseries::Sampler::dump`]).
+    pub dump: TieredDump,
+    /// Current cumulative histograms, name-sorted.
+    pub hists: Vec<HistogramDump>,
+}
+
+/// The body of a metrics response: text for Prometheus/JSON, typed for
+/// binary.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MetricsResponseFrame {
+    /// Prometheus or JSON exposition text.
+    Text {
+        /// Which text format the body is.
+        format: MetricsFormat,
+        /// The exposition document.
+        body: String,
+    },
+    /// Typed binary scrape payload.
+    Binary(ScrapePayload),
+}
+
+/// Encodes a metrics response as a complete frame.
+pub fn encode_metrics_response(resp: &MetricsResponseFrame) -> Result<Vec<u8>, ProtoError> {
+    let mut body = Vec::new();
+    match resp {
+        MetricsResponseFrame::Text { format, body: text } => {
+            if matches!(format, MetricsFormat::Binary) {
+                return Err(ProtoError::Corrupt(
+                    "text response cannot carry binary format code".into(),
+                ));
+            }
+            body.push(format.code());
+            body.extend_from_slice(&(text.len() as u32).to_le_bytes());
+            body.extend_from_slice(text.as_bytes());
+        }
+        MetricsResponseFrame::Binary(p) => {
+            body.push(MetricsFormat::Binary.code());
+            body.extend_from_slice(&p.dump.now_ms.to_le_bytes());
+            body.push(p.dump.tiers.len().min(255) as u8);
+            for tier in p.dump.tiers.iter().take(255) {
+                body.push(tier.tier);
+                body.extend_from_slice(&tier.step_ms.to_le_bytes());
+                body.extend_from_slice(&(tier.series.len() as u32).to_le_bytes());
+                for s in &tier.series {
+                    put_str(&mut body, &s.name);
+                    body.extend_from_slice(&(s.points.len() as u32).to_le_bytes());
+                    for pt in &s.points {
+                        body.extend_from_slice(&pt.t_ms.to_le_bytes());
+                        body.extend_from_slice(&pt.v.to_le_bytes());
+                    }
+                }
+            }
+            body.extend_from_slice(&(p.hists.len() as u32).to_le_bytes());
+            for h in &p.hists {
+                put_str(&mut body, &h.name);
+                body.extend_from_slice(&h.count.to_le_bytes());
+                body.extend_from_slice(&h.sum.to_le_bytes());
+                body.push(h.buckets.len().min(64) as u8);
+                for (idx, c) in h.buckets.iter().take(64) {
+                    body.push(*idx);
+                    body.extend_from_slice(&c.to_le_bytes());
+                }
+            }
+        }
+    }
+    if body.len() > MAX_BODY {
+        return Err(ProtoError::BodyTooLarge(body.len() as u64));
+    }
+    let mut out = Vec::with_capacity(HEADER_LEN + body.len());
+    put_header(&mut out, FrameType::MetricsResponse, body.len());
+    out.extend_from_slice(&body);
+    Ok(out)
+}
+
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    let b = s.as_bytes();
+    let b = &b[..b.len().min(MAX_NAME)];
+    out.extend_from_slice(&(b.len() as u32).to_le_bytes());
+    out.extend_from_slice(b);
+}
+
+/// Cap on a name field in telemetry frames.
+const MAX_NAME: usize = 256;
+
+fn read_str(body: &[u8], pos: &mut usize, what: &'static str) -> Result<String, ProtoError> {
+    let len = read_len_u32(body, pos, what)?;
+    if len > MAX_NAME {
+        return Err(ProtoError::Corrupt(format!(
+            "{what} length {len} exceeds cap {MAX_NAME}"
+        )));
+    }
+    let end = pos
+        .checked_add(len)
+        .filter(|&e| e <= body.len())
+        .ok_or_else(|| ProtoError::Corrupt(format!("truncated {what}")))?;
+    let s = String::from_utf8_lossy(&body[*pos..end]).into_owned();
+    *pos = end;
+    Ok(s)
+}
+
+/// Checks a declared element count against the bytes actually remaining
+/// so a forged count can never over-allocate.
+fn check_count(
+    n: usize,
+    elem_bytes: usize,
+    body: &[u8],
+    pos: usize,
+    what: &'static str,
+) -> Result<(), ProtoError> {
+    let need = n.checked_mul(elem_bytes);
+    match need {
+        Some(need) if need <= body.len().saturating_sub(pos) => Ok(()),
+        _ => Err(ProtoError::Corrupt(format!(
+            "{what} declares {n} elements but only {} bytes remain",
+            body.len().saturating_sub(pos)
+        ))),
+    }
+}
+
+/// Decodes a metrics response body.
+pub fn decode_metrics_response(body: &[u8]) -> Result<MetricsResponseFrame, ProtoError> {
+    let mut pos = 0usize;
+    let format = MetricsFormat::from_code(read_u8(body, &mut pos, "metrics format")?)?;
+    match format {
+        MetricsFormat::Prometheus | MetricsFormat::Json => {
+            let len = read_len_u32(body, &mut pos, "exposition length")?;
+            let remaining = body.len() - pos;
+            if len != remaining {
+                return Err(ProtoError::Corrupt(format!(
+                    "exposition declares {len} bytes but frame carries {remaining}"
+                )));
+            }
+            let text = String::from_utf8_lossy(&body[pos..]).into_owned();
+            Ok(MetricsResponseFrame::Text { format, body: text })
+        }
+        MetricsFormat::Binary => {
+            let now_ms = read_u64(body, &mut pos, "scrape timestamp")?;
+            let n_tiers = read_u8(body, &mut pos, "tier count")? as usize;
+            if n_tiers > errflow_obs::timeseries::MAX_TIERS {
+                return Err(ProtoError::Corrupt(format!(
+                    "tier count {n_tiers} exceeds cap {}",
+                    errflow_obs::timeseries::MAX_TIERS
+                )));
+            }
+            let mut tiers = Vec::with_capacity(n_tiers);
+            for _ in 0..n_tiers {
+                let tier = read_u8(body, &mut pos, "tier index")?;
+                let step_ms = read_u64(body, &mut pos, "tier step")?;
+                let n_series = read_len_u32(body, &mut pos, "series count")?;
+                // A series is at least 8 bytes (name len + point count).
+                check_count(n_series, 8, body, pos, "series count")?;
+                let mut series = Vec::with_capacity(n_series);
+                for _ in 0..n_series {
+                    let name = read_str(body, &mut pos, "series name")?;
+                    let n_points = read_len_u32(body, &mut pos, "point count")?;
+                    check_count(n_points, 16, body, pos, "point count")?;
+                    let mut points = Vec::with_capacity(n_points);
+                    for _ in 0..n_points {
+                        let t_ms = read_u64(body, &mut pos, "point timestamp")?;
+                        let v = read_f64(body, &mut pos, "point value")?;
+                        points.push(Point { t_ms, v });
+                    }
+                    series.push(SeriesDump { name, points });
+                }
+                tiers.push(TierDump {
+                    tier,
+                    step_ms,
+                    series,
+                });
+            }
+            let n_hists = read_len_u32(body, &mut pos, "histogram count")?;
+            // A histogram is at least 21 bytes (name len + count + sum +
+            // bucket count).
+            check_count(n_hists, 21, body, pos, "histogram count")?;
+            let mut hists = Vec::with_capacity(n_hists);
+            for _ in 0..n_hists {
+                let name = read_str(body, &mut pos, "histogram name")?;
+                let count = read_u64(body, &mut pos, "histogram count field")?;
+                let sum = read_u64(body, &mut pos, "histogram sum")?;
+                let n_buckets = read_u8(body, &mut pos, "bucket count")? as usize;
+                if n_buckets > 64 {
+                    return Err(ProtoError::Corrupt(format!(
+                        "bucket count {n_buckets} exceeds 64"
+                    )));
+                }
+                let mut buckets = Vec::with_capacity(n_buckets);
+                for _ in 0..n_buckets {
+                    let idx = read_u8(body, &mut pos, "bucket index")?;
+                    let c = read_u64(body, &mut pos, "bucket value")?;
+                    buckets.push((idx, c));
+                }
+                hists.push(HistogramDump {
+                    name,
+                    count,
+                    sum,
+                    buckets,
+                });
+            }
+            if pos != body.len() {
+                return Err(ProtoError::Corrupt(format!(
+                    "scrape payload carries {} trailing bytes",
+                    body.len() - pos
+                )));
+            }
+            Ok(MetricsResponseFrame::Binary(ScrapePayload {
+                dump: TieredDump { now_ms, tiers },
+                hists,
+            }))
+        }
+    }
+}
+
+/// Encodes a health request (empty body).
+pub fn encode_health_request() -> Vec<u8> {
+    let mut out = Vec::with_capacity(HEADER_LEN);
+    put_header(&mut out, FrameType::HealthRequest, 0);
+    out
+}
+
+/// Validates a health request body (must be empty).
+pub fn decode_health_request(body: &[u8]) -> Result<(), ProtoError> {
+    if body.is_empty() {
+        Ok(())
+    } else {
+        Err(ProtoError::Corrupt(format!(
+            "health request carries {} unexpected bytes",
+            body.len()
+        )))
+    }
+}
+
+/// Encodes the SLO states as a complete health-response frame.
+pub fn encode_health_response(statuses: &[SloStatus]) -> Result<Vec<u8>, ProtoError> {
+    let mut body = Vec::with_capacity(8 + statuses.len() * 48);
+    body.extend_from_slice(&(statuses.len() as u32).to_le_bytes());
+    for s in statuses {
+        put_str(&mut body, &s.name);
+        body.push(s.state.code());
+        body.extend_from_slice(&s.value.to_le_bytes());
+        body.extend_from_slice(&s.threshold.to_le_bytes());
+    }
+    if body.len() > MAX_BODY {
+        return Err(ProtoError::BodyTooLarge(body.len() as u64));
+    }
+    let mut out = Vec::with_capacity(HEADER_LEN + body.len());
+    put_header(&mut out, FrameType::HealthResponse, body.len());
+    out.extend_from_slice(&body);
+    Ok(out)
+}
+
+/// Decodes a health response body into SLO statuses.
+pub fn decode_health_response(body: &[u8]) -> Result<Vec<SloStatus>, ProtoError> {
+    let mut pos = 0usize;
+    let n = read_len_u32(body, &mut pos, "slo count")?;
+    // A status is at least 21 bytes (name len + state + value + threshold).
+    check_count(n, 21, body, pos, "slo count")?;
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        let name = read_str(body, &mut pos, "slo name")?;
+        let state = SloState::from_code(read_u8(body, &mut pos, "slo state")?);
+        let value = read_f64(body, &mut pos, "slo value")?;
+        let threshold = read_f64(body, &mut pos, "slo threshold")?;
+        out.push(SloStatus {
+            name,
+            state,
+            value,
+            threshold,
+        });
+    }
+    if pos != body.len() {
+        return Err(ProtoError::Corrupt(format!(
+            "health response carries {} trailing bytes",
+            body.len() - pos
+        )));
+    }
+    Ok(out)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -721,5 +1161,264 @@ mod tests {
             assert_eq!(format_from_code(format_code(f)).unwrap(), f);
         }
         assert!(format_from_code(200).is_err());
+    }
+
+    fn sample_payload() -> ScrapePayload {
+        ScrapePayload {
+            dump: TieredDump {
+                now_ms: 1_723_000_000_000,
+                tiers: vec![
+                    TierDump {
+                        tier: 0,
+                        step_ms: 1000,
+                        series: vec![
+                            SeriesDump {
+                                name: "serve.completed".into(),
+                                points: vec![
+                                    Point {
+                                        t_ms: 1_723_000_000_000,
+                                        v: 42.5,
+                                    },
+                                    Point {
+                                        t_ms: 1_723_000_001_000,
+                                        v: 43.0,
+                                    },
+                                ],
+                            },
+                            SeriesDump {
+                                name: "serve.latency_ns.p99".into(),
+                                points: vec![Point {
+                                    t_ms: 1_723_000_001_000,
+                                    v: 1.5e6,
+                                }],
+                            },
+                        ],
+                    },
+                    TierDump {
+                        tier: 1,
+                        step_ms: 10_000,
+                        series: vec![],
+                    },
+                ],
+            },
+            hists: vec![HistogramDump {
+                name: "serve.bound_margin".into(),
+                count: 7,
+                sum: 99_000,
+                buckets: vec![(10, 3), (13, 4)],
+            }],
+        }
+    }
+
+    #[test]
+    fn metrics_request_roundtrip() {
+        for (format, tier, window) in [
+            (MetricsFormat::Prometheus, TIER_ALL, 0u32),
+            (MetricsFormat::Json, 0, 60),
+            (MetricsFormat::Binary, 2, 120),
+        ] {
+            let req = MetricsRequestFrame {
+                format,
+                tier,
+                window,
+            };
+            let frame = encode_metrics_request(&req).unwrap();
+            let header = parse_header(&frame[..HEADER_LEN]).unwrap();
+            assert_eq!(header.frame_type, FrameType::MetricsRequest);
+            assert_eq!(frame.len(), HEADER_LEN + header.body_len);
+            assert_eq!(decode_metrics_request(&frame[HEADER_LEN..]).unwrap(), req);
+        }
+    }
+
+    #[test]
+    fn oversized_tier_selector_is_rejected_both_ways() {
+        let req = MetricsRequestFrame {
+            format: MetricsFormat::Prometheus,
+            tier: 17,
+            window: 0,
+        };
+        assert!(matches!(
+            encode_metrics_request(&req),
+            Err(ProtoError::Corrupt(_))
+        ));
+        // Forge it on the wire: encode a valid request, patch the tier.
+        let frame = encode_metrics_request(&MetricsRequestFrame {
+            format: MetricsFormat::Prometheus,
+            tier: 0,
+            window: 0,
+        })
+        .unwrap();
+        let mut body = frame[HEADER_LEN..].to_vec();
+        body[1] = 99;
+        let err = decode_metrics_request(&body).unwrap_err();
+        assert!(
+            matches!(&err, ProtoError::Corrupt(m) if m.contains("tier selector")),
+            "{err}"
+        );
+        // TIER_ALL is valid.
+        body[1] = TIER_ALL;
+        assert!(decode_metrics_request(&body).is_ok());
+    }
+
+    #[test]
+    fn oversized_scrape_window_is_rejected() {
+        let frame = encode_metrics_request(&MetricsRequestFrame {
+            format: MetricsFormat::Json,
+            tier: TIER_ALL,
+            window: 1,
+        })
+        .unwrap();
+        let mut body = frame[HEADER_LEN..].to_vec();
+        body[2..6].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(matches!(
+            decode_metrics_request(&body),
+            Err(ProtoError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn metrics_text_response_roundtrip() {
+        for format in [MetricsFormat::Prometheus, MetricsFormat::Json] {
+            let resp = MetricsResponseFrame::Text {
+                format,
+                body: "# HELP x y\n# TYPE x counter\nx 1\n".into(),
+            };
+            let frame = encode_metrics_response(&resp).unwrap();
+            let header = parse_header(&frame[..HEADER_LEN]).unwrap();
+            assert_eq!(header.frame_type, FrameType::MetricsResponse);
+            assert_eq!(decode_metrics_response(&frame[HEADER_LEN..]).unwrap(), resp);
+        }
+    }
+
+    #[test]
+    fn metrics_binary_response_roundtrip() {
+        let resp = MetricsResponseFrame::Binary(sample_payload());
+        let frame = encode_metrics_response(&resp).unwrap();
+        let decoded = decode_metrics_response(&frame[HEADER_LEN..]).unwrap();
+        assert_eq!(decoded, resp);
+    }
+
+    #[test]
+    fn metrics_binary_truncation_is_typed_error() {
+        let frame =
+            encode_metrics_response(&MetricsResponseFrame::Binary(sample_payload())).unwrap();
+        let body = &frame[HEADER_LEN..];
+        for cut in 0..body.len() {
+            assert!(
+                decode_metrics_response(&body[..cut]).is_err(),
+                "binary scrape cut at {cut} must fail"
+            );
+        }
+    }
+
+    #[test]
+    fn metrics_text_truncation_is_typed_error() {
+        let frame = encode_metrics_response(&MetricsResponseFrame::Text {
+            format: MetricsFormat::Prometheus,
+            body: "# HELP m x\n# TYPE m counter\nm 1\n".into(),
+        })
+        .unwrap();
+        let body = &frame[HEADER_LEN..];
+        for cut in 0..body.len() {
+            assert!(
+                decode_metrics_response(&body[..cut]).is_err(),
+                "text scrape cut at {cut} must fail"
+            );
+        }
+    }
+
+    #[test]
+    fn forged_series_count_cannot_overallocate() {
+        let frame =
+            encode_metrics_response(&MetricsResponseFrame::Binary(sample_payload())).unwrap();
+        let mut body = frame[HEADER_LEN..].to_vec();
+        // Series count of tier 0 lives after format(1) + now_ms(8) +
+        // n_tiers(1) + tier(1) + step_ms(8) = offset 19.
+        body[19..23].copy_from_slice(&u32::MAX.to_le_bytes());
+        let err = decode_metrics_response(&body).unwrap_err();
+        assert!(matches!(err, ProtoError::Corrupt(_)), "{err}");
+    }
+
+    #[test]
+    fn health_frames_roundtrip() {
+        let req = encode_health_request();
+        let header = parse_header(&req[..HEADER_LEN]).unwrap();
+        assert_eq!(header.frame_type, FrameType::HealthRequest);
+        assert_eq!(header.body_len, 0);
+        assert!(decode_health_request(&[]).is_ok());
+        assert!(decode_health_request(&[1]).is_err());
+
+        let statuses = vec![
+            SloStatus {
+                name: "stage.forward.p99".into(),
+                state: SloState::Ok,
+                value: 1.2e6,
+                threshold: 5e6,
+            },
+            SloStatus {
+                name: "bound.cert_rate".into(),
+                state: SloState::Breach,
+                value: 0.97,
+                threshold: 0.999,
+            },
+        ];
+        let frame = encode_health_response(&statuses).unwrap();
+        let header = parse_header(&frame[..HEADER_LEN]).unwrap();
+        assert_eq!(header.frame_type, FrameType::HealthResponse);
+        assert_eq!(
+            decode_health_response(&frame[HEADER_LEN..]).unwrap(),
+            statuses
+        );
+    }
+
+    #[test]
+    fn health_response_truncation_is_typed_error() {
+        let statuses = vec![SloStatus {
+            name: "x".into(),
+            state: SloState::Warn,
+            value: 1.0,
+            threshold: 2.0,
+        }];
+        let frame = encode_health_response(&statuses).unwrap();
+        let body = &frame[HEADER_LEN..];
+        for cut in 0..body.len() {
+            assert!(
+                decode_health_response(&body[..cut]).is_err(),
+                "health cut at {cut} must fail"
+            );
+        }
+        // Forged count.
+        let mut forged = body.to_vec();
+        forged[0..4].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(decode_health_response(&forged).is_err());
+    }
+
+    #[test]
+    fn telemetry_frame_headers_use_checked_discipline() {
+        // Forged magic/version/reserved on the new frame types reject
+        // exactly like inference frames.
+        let mut frame = encode_metrics_request(&MetricsRequestFrame {
+            format: MetricsFormat::Prometheus,
+            tier: TIER_ALL,
+            window: 0,
+        })
+        .unwrap();
+        frame[0] = b'Z';
+        assert!(matches!(
+            parse_header(&frame[..HEADER_LEN]),
+            Err(ProtoError::BadMagic(_))
+        ));
+        let mut frame = encode_health_request();
+        frame[4] = 9;
+        assert!(matches!(
+            parse_header(&frame[..HEADER_LEN]),
+            Err(ProtoError::BadVersion(9))
+        ));
+        let mut frame = encode_health_request();
+        frame[6] = 7;
+        assert!(matches!(
+            parse_header(&frame[..HEADER_LEN]),
+            Err(ProtoError::Corrupt(_))
+        ));
     }
 }

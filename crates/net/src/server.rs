@@ -114,6 +114,8 @@ struct NetMetrics {
     backpressure: Counter,
     errors: Counter,
     malformed: Counter,
+    scrapes: Counter,
+    health: Counter,
 }
 
 impl NetMetrics {
@@ -127,6 +129,8 @@ impl NetMetrics {
             backpressure: errflow_obs::counter("net.frames_backpressure"),
             errors: errflow_obs::counter("net.frames_error"),
             malformed: errflow_obs::counter("net.frames_malformed"),
+            scrapes: errflow_obs::counter("net.frames_metrics"),
+            health: errflow_obs::counter("net.frames_health"),
         }
     }
 }
@@ -508,6 +512,31 @@ fn handle_readable<M: Model + Clone + Send + Sync + 'static>(
                     }
                 }
             }
+            // Telemetry frames are answered right here on the io thread
+            // from the process-wide observability globals: a scrape never
+            // enters the serve queue, so it cannot block (or be blocked
+            // by) a compute worker.
+            ConnEvent::Metrics(req) => {
+                metrics.scrapes.inc();
+                let bytes = build_metrics_response(&req);
+                if let Some(conn) = conns[slot].as_mut() {
+                    conn.queue(&bytes);
+                }
+            }
+            ConnEvent::Health => {
+                metrics.health.inc();
+                let statuses = errflow_obs::slo::global_statuses();
+                let bytes = match proto::encode_health_response(&statuses) {
+                    Ok(b) => b,
+                    Err(e) => {
+                        metrics.errors.inc();
+                        proto::encode_error(&ErrorFrame::malformed(&e))
+                    }
+                };
+                if let Some(conn) = conns[slot].as_mut() {
+                    conn.queue(&bytes);
+                }
+            }
             ConnEvent::Malformed(e) => {
                 metrics.malformed.inc();
                 if let Some(conn) = conns[slot].as_mut() {
@@ -526,6 +555,62 @@ fn handle_readable<M: Model + Clone + Send + Sync + 'static>(
         if conn.flush().is_err() {
             conn.dead = true;
         }
+    }
+}
+
+/// Builds the encoded reply to a metrics scrape from the observability
+/// globals.  Runs on the io thread; the only locks taken are the obs
+/// registry/sampler/SLO mutexes, each briefly and one at a time.
+fn build_metrics_response(req: &proto::MetricsRequestFrame) -> Vec<u8> {
+    use proto::{MetricsFormat, MetricsResponseFrame, ScrapePayload};
+    let tier_sel = if req.tier == proto::TIER_ALL {
+        None
+    } else {
+        Some(req.tier as usize)
+    };
+    let window = req.window as usize;
+    let resp = match req.format {
+        MetricsFormat::Prometheus => MetricsResponseFrame::Text {
+            format: MetricsFormat::Prometheus,
+            body: errflow_obs::export_prometheus(),
+        },
+        MetricsFormat::Json => {
+            let sampler = errflow_obs::timeseries::global();
+            let series = lock_recover(sampler).export_json(tier_sel, window);
+            let engine = errflow_obs::slo::global();
+            let slo = lock_recover(engine).export_json();
+            MetricsResponseFrame::Text {
+                format: MetricsFormat::Json,
+                body: format!("{{\"series\":{series},\"slo\":{slo}}}"),
+            }
+        }
+        MetricsFormat::Binary => {
+            let sampler = errflow_obs::timeseries::global();
+            let dump = lock_recover(sampler).dump(tier_sel, window);
+            let hists = errflow_obs::snapshot_all()
+                .into_iter()
+                .filter_map(|(name, snap)| match snap {
+                    errflow_obs::MetricSnapshot::Histogram(h) => Some(proto::HistogramDump {
+                        name,
+                        count: h.count,
+                        sum: h.sum,
+                        buckets: h
+                            .buckets
+                            .iter()
+                            .enumerate()
+                            .filter(|(_, &c)| c > 0)
+                            .map(|(i, &c)| (i as u8, c))
+                            .collect(),
+                    }),
+                    _ => None,
+                })
+                .collect();
+            MetricsResponseFrame::Binary(ScrapePayload { dump, hists })
+        }
+    };
+    match proto::encode_metrics_response(&resp) {
+        Ok(b) => b,
+        Err(e) => proto::encode_error(&ErrorFrame::malformed(&e)),
     }
 }
 

@@ -3,9 +3,10 @@
 //! [`Log2Histogram`] records unsigned integer observations into 64
 //! power-of-two buckets (bucket *i* covers `[2^i, 2^(i+1))`), so it needs
 //! no allocation, no lock, and covers the full `u64` range in constant
-//! space.  Quantiles walk the cumulative counts; a bucket's reported value
-//! is its geometric midpoint, so quantile error is bounded by the √2
-//! bucket ratio — plenty for p50/p99 dashboards.
+//! space.  Quantiles walk the cumulative counts and interpolate linearly
+//! inside the target bucket, so ranks that land in the same bucket still
+//! produce distinct estimates; worst-case error stays bounded by the 2×
+//! bucket width.
 //!
 //! [`LatencyHistogram`] is the latency-flavoured wrapper the serve layer
 //! uses (observations are `Duration`s recorded in nanoseconds, summaries
@@ -111,23 +112,40 @@ impl Log2Histogram {
             .fetch_max(other.max.load(Ordering::Relaxed), Ordering::Relaxed);
     }
 
-    /// Approximate `q`-quantile (geometric bucket midpoint).
+    /// Approximate `q`-quantile with within-bucket linear interpolation
+    /// (see [`quantile_from_buckets`]).
     pub fn quantile(&self, q: f64) -> f64 {
-        let total = self.count();
-        if total == 0 {
-            return 0.0;
-        }
-        let rank = (q * total as f64).ceil().max(1.0) as u64;
-        let mut cum = 0u64;
-        for (i, b) in self.buckets.iter().enumerate() {
-            cum += b.load(Ordering::Relaxed);
-            if cum >= rank {
-                // Geometric midpoint of [2^i, 2^(i+1)).
-                return 2f64.powi(i as i32) * std::f64::consts::SQRT_2;
-            }
-        }
-        2f64.powi(BUCKETS as i32 - 1)
+        quantile_from_buckets(&self.buckets(), q)
     }
+}
+
+/// Approximate `q`-quantile of a log₂ bucket-count array (bucket *i*
+/// covers `[2^i, 2^(i+1))`).
+///
+/// The target rank is located by walking cumulative counts; within the
+/// target bucket the estimate interpolates linearly between the bucket's
+/// bounds, placing rank *k* of *c* in-bucket observations at fraction
+/// `(k − ½) / c` of the width.  Distinct ranks inside one bucket therefore
+/// yield distinct estimates (p50 ≠ p99 on any spread distribution), and a
+/// single-observation bucket reports its midpoint rather than an edge.
+/// Also the quantile estimator the sampler applies to per-interval bucket
+/// *deltas*, where no `Log2Histogram` instance exists.
+pub fn quantile_from_buckets(buckets: &[u64; BUCKETS], q: f64) -> f64 {
+    let total: u64 = buckets.iter().sum();
+    if total == 0 {
+        return 0.0;
+    }
+    let rank = (q * total as f64).ceil().max(1.0) as u64;
+    let mut cum = 0u64;
+    for (i, &c) in buckets.iter().enumerate() {
+        if c > 0 && cum + c >= rank {
+            let lo = 2f64.powi(i as i32);
+            let frac = (((rank - cum) as f64 - 0.5) / c as f64).clamp(0.0, 1.0);
+            return lo * (1.0 + frac);
+        }
+        cum += c;
+    }
+    2f64.powi(BUCKETS as i32 - 1)
 }
 
 /// Snapshot of a latency distribution, in microseconds.
@@ -289,6 +307,54 @@ mod tests {
         assert_eq!(dst.sum(), src.sum());
         assert_eq!(dst.min(), src.min());
         assert_eq!(dst.max(), src.max());
+    }
+
+    #[test]
+    fn interpolation_separates_quantiles_within_a_bucket() {
+        // 1000 evenly spread values inside one log₂ bucket [4096, 8192):
+        // before interpolation every quantile collapsed to the bucket
+        // midpoint (the p50 == p99 coarseness serve-bench exhibited).
+        let h = Log2Histogram::new();
+        for k in 0..1000u64 {
+            h.record(4096 + k * 4);
+        }
+        let (p50, p90, p99) = (h.quantile(0.50), h.quantile(0.90), h.quantile(0.99));
+        assert!(p50 < p90 && p90 < p99, "p50={p50} p90={p90} p99={p99}");
+        // Linear interpolation puts rank q·n of n uniform in-bucket
+        // observations near lo + q·width.
+        assert!((p50 - 6144.0).abs() < 64.0, "p50={p50}");
+        assert!((p99 - 8151.0).abs() < 64.0, "p99={p99}");
+        // And across buckets the estimate stays inside the right bucket.
+        assert!(p99 < 8192.0);
+    }
+
+    #[test]
+    fn interpolated_quantiles_differ_on_spread_distribution() {
+        // A realistic latency-like spread across several buckets must
+        // produce strictly increasing p50 < p90 < p99.
+        let h = Log2Histogram::new();
+        let mut ns = 99u64;
+        for _ in 0..5000 {
+            ns = ns
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            h.record(10_000 + ns % 900_000);
+        }
+        let (p50, p90, p99) = (h.quantile(0.50), h.quantile(0.90), h.quantile(0.99));
+        assert!(
+            p50 < p90 && p90 < p99,
+            "quantiles must be distinct: p50={p50} p90={p90} p99={p99}"
+        );
+    }
+
+    #[test]
+    fn single_observation_reports_bucket_interior() {
+        let h = Log2Histogram::new();
+        h.record(5000); // bucket 12: [4096, 8192)
+        for q in [0.01, 0.5, 0.99] {
+            let v = h.quantile(q);
+            assert!((4096.0..8192.0).contains(&v), "q={q} v={v}");
+        }
     }
 
     #[test]

@@ -22,19 +22,35 @@
 //!    recording path to a no-op (guards become zero-sized), and a runtime
 //!    [`trace::set_enabled`] toggle supports A/B overhead measurement in a
 //!    single binary.
+//! 4. **Tiered time series** ([`timeseries`]): fixed-memory ring-buffer
+//!    retention of registry-derived rate/quantile points at 1 s / 10 s /
+//!    60 s resolution, filled by a caller-driven sampler tick (this crate
+//!    spawns no threads — the serve layer's telemetry thread drives
+//!    [`timeseries::tick_global`]).
+//! 5. **SLO engine** ([`slo`]): declarative latency/ratio/rate
+//!    objectives evaluated against the time-series plane into
+//!    ok/warn/breach states with hysteresis.
+//! 6. **Exposition conformance** ([`promcheck`]): a small validator for
+//!    the Prometheus text format CI runs against live scrapes.
 //!
 //! This crate sits at the bottom of the workspace dependency graph —
 //! `tensor`, `compress`, `pipeline`, and `serve` all record into it — so
 //! it must not depend on any other errflow crate.
 
 pub mod hist;
+pub mod promcheck;
 pub mod registry;
+pub mod slo;
+pub mod timeseries;
 pub mod trace;
 
-pub use hist::{LatencyHistogram, LatencySummary, Log2Histogram};
+pub use hist::{quantile_from_buckets, LatencyHistogram, LatencySummary, Log2Histogram};
 pub use registry::{
-    counter, export_json, export_prometheus, gauge, histogram, Counter, Gauge, ScopedCounter,
+    counter, export_json, export_prometheus, gauge, histogram, snapshot_all, Counter, Gauge,
+    HistSnapshot, MetricSnapshot, ScopedCounter,
 };
+pub use slo::{Objective, SloEngine, SloKind, SloState, SloStatus};
+pub use timeseries::{Point, Sampler, SeriesDump, TierDump, TierSpec, TieredDump, DEFAULT_TIERS};
 pub use trace::{span, Span, TraceEvent};
 
 use std::sync::{Mutex, MutexGuard};

@@ -1,0 +1,334 @@
+//! Prometheus text exposition-format conformance checker.
+//!
+//! A deliberately small validator for the subset of the exposition
+//! format errflow emits, used by the CI `obs-smoke` job (via
+//! `errflow-cli scrape --prom --validate`) and the net e2e tests to keep
+//! [`crate::registry::export_prometheus`] honest:
+//!
+//! - metric names match `[a-zA-Z_:][a-zA-Z0-9_:]*`, label names match
+//!   `[a-zA-Z_][a-zA-Z0-9_]*`,
+//! - every sample's base metric (with `_bucket`/`_sum`/`_count`
+//!   stripped for histograms) is preceded by exactly one `# HELP` and
+//!   one `# TYPE` line,
+//! - no duplicate series (same name + same label set),
+//! - sample values parse as floats (`NaN`/`+Inf`/`-Inf` allowed),
+//! - histogram `_bucket` series carry an `le` label and end in `+Inf`.
+//!
+//! [`validate`] returns every violation found (empty = conformant) so a
+//! failing scrape prints all problems at once.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Validates `text` against the exposition-format subset above,
+/// returning one human-readable violation per problem (empty when
+/// conformant).
+pub fn validate(text: &str) -> Vec<String> {
+    let mut errors = Vec::new();
+    let mut helps: BTreeSet<String> = BTreeSet::new();
+    let mut types: BTreeMap<String, String> = BTreeMap::new();
+    let mut series: BTreeSet<String> = BTreeSet::new();
+    let mut bucket_metrics: BTreeSet<String> = BTreeSet::new();
+    let mut inf_buckets: BTreeSet<String> = BTreeSet::new();
+
+    for (ln, line) in text.lines().enumerate() {
+        let ln = ln + 1;
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# HELP ") {
+            let name = rest.split_whitespace().next().unwrap_or("");
+            check_metric_name(name, ln, &mut errors);
+            if !helps.insert(name.to_string()) {
+                errors.push(format!("line {ln}: duplicate HELP for {name}"));
+            }
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let mut parts = rest.split_whitespace();
+            let name = parts.next().unwrap_or("");
+            let kind = parts.next().unwrap_or("");
+            check_metric_name(name, ln, &mut errors);
+            if !matches!(
+                kind,
+                "counter" | "gauge" | "histogram" | "summary" | "untyped"
+            ) {
+                errors.push(format!("line {ln}: invalid TYPE '{kind}' for {name}"));
+            }
+            if types.insert(name.to_string(), kind.to_string()).is_some() {
+                errors.push(format!("line {ln}: duplicate TYPE for {name}"));
+            }
+            if !helps.contains(name) {
+                errors.push(format!("line {ln}: TYPE for {name} without preceding HELP"));
+            }
+            continue;
+        }
+        if line.starts_with('#') {
+            continue; // free-form comment
+        }
+
+        // Sample line: name[{labels}] value [timestamp]
+        let (name_labels, value) = match split_sample(line) {
+            Some(pair) => pair,
+            None => {
+                errors.push(format!("line {ln}: unparsable sample '{line}'"));
+                continue;
+            }
+        };
+        let (name, labels) = match split_labels(name_labels) {
+            Ok(pair) => pair,
+            Err(e) => {
+                errors.push(format!("line {ln}: {e}"));
+                continue;
+            }
+        };
+        check_metric_name(name, ln, &mut errors);
+        for (lname, _) in &labels {
+            if !valid_label_name(lname) {
+                errors.push(format!("line {ln}: invalid label name '{lname}'"));
+            }
+        }
+        if value.parse::<f64>().is_err() && !matches!(value, "NaN" | "+Inf" | "-Inf" | "Inf") {
+            errors.push(format!("line {ln}: invalid sample value '{value}'"));
+        }
+        let key = format!(
+            "{name}{{{}}}",
+            labels
+                .iter()
+                .map(|(k, v)| format!("{k}={v}"))
+                .collect::<Vec<_>>()
+                .join(",")
+        );
+        if !series.insert(key.clone()) {
+            errors.push(format!("line {ln}: duplicate series {key}"));
+        }
+        let base = base_name(name);
+        if !types.contains_key(base) {
+            errors.push(format!("line {ln}: sample {name} without TYPE for {base}"));
+        }
+        if !helps.contains(base) {
+            errors.push(format!("line {ln}: sample {name} without HELP for {base}"));
+        }
+        if let Some(stripped) = name.strip_suffix("_bucket") {
+            if types.get(stripped).map(String::as_str) == Some("histogram") {
+                bucket_metrics.insert(stripped.to_string());
+                match labels.iter().find(|(k, _)| k == "le") {
+                    None => errors.push(format!("line {ln}: _bucket sample without le label")),
+                    Some((_, le)) if le == "+Inf" => {
+                        inf_buckets.insert(stripped.to_string());
+                    }
+                    Some(_) => {}
+                }
+            }
+        }
+    }
+    for m in &bucket_metrics {
+        if !inf_buckets.contains(m) {
+            errors.push(format!("histogram {m} has no +Inf bucket"));
+        }
+    }
+    for (name, kind) in &types {
+        if kind == "histogram" && !series.contains(&format!("{name}_count{{}}")) {
+            errors.push(format!("histogram {name} missing _count series"));
+        }
+    }
+    errors
+}
+
+/// Strips the histogram sample suffixes to the declared metric name.
+fn base_name(name: &str) -> &str {
+    for suffix in ["_bucket", "_sum", "_count"] {
+        if let Some(stripped) = name.strip_suffix(suffix) {
+            return stripped;
+        }
+    }
+    name
+}
+
+fn valid_metric_name(name: &str) -> bool {
+    let mut chars = name.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' || c == ':' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+}
+
+fn valid_label_name(name: &str) -> bool {
+    let mut chars = name.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_')
+}
+
+fn check_metric_name(name: &str, ln: usize, errors: &mut Vec<String>) {
+    if !valid_metric_name(name) {
+        errors.push(format!("line {ln}: invalid metric name '{name}'"));
+    }
+}
+
+/// Splits a sample line into (name-with-labels, value), tolerating an
+/// optional trailing timestamp.
+fn split_sample(line: &str) -> Option<(&str, &str)> {
+    // The name+labels part ends at the first whitespace outside braces.
+    let mut depth = 0usize;
+    let mut split_at = None;
+    for (i, c) in line.char_indices() {
+        match c {
+            '{' => depth += 1,
+            '}' => depth = depth.saturating_sub(1),
+            ' ' | '\t' if depth == 0 => {
+                split_at = Some(i);
+                break;
+            }
+            _ => {}
+        }
+    }
+    let at = split_at?;
+    let value = line[at..].split_whitespace().next()?;
+    Some((&line[..at], value))
+}
+
+/// Splits `name{k="v",...}` into the name and label pairs (values
+/// unescaped enough for identity checks).
+fn split_labels(s: &str) -> Result<(&str, Vec<(String, String)>), String> {
+    match s.find('{') {
+        None => Ok((s, Vec::new())),
+        Some(open) => {
+            if !s.ends_with('}') {
+                return Err(format!("unterminated label set in '{s}'"));
+            }
+            let name = &s[..open];
+            let body = &s[open + 1..s.len() - 1];
+            let mut labels = Vec::new();
+            for pair in body.split(',').filter(|p| !p.is_empty()) {
+                let (k, v) = pair
+                    .split_once('=')
+                    .ok_or_else(|| format!("label pair '{pair}' missing '='"))?;
+                let v = v
+                    .strip_prefix('"')
+                    .and_then(|v| v.strip_suffix('"'))
+                    .ok_or_else(|| format!("label value {v} not quoted"))?;
+                labels.push((k.to_string(), v.to_string()));
+            }
+            Ok((name, labels))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_export_is_conformant() {
+        crate::registry::counter("test.promcheck.c").add(3);
+        crate::registry::gauge("test.promcheck.g").set(-1);
+        crate::registry::histogram("test.promcheck.h").record(300);
+        let text = crate::registry::export_prometheus();
+        let errors = validate(&text);
+        assert!(errors.is_empty(), "{errors:#?}\n---\n{text}");
+    }
+
+    #[test]
+    fn accepts_minimal_valid_exposition() {
+        let text = "\
+# HELP m_a help text
+# TYPE m_a counter
+m_a 3
+# HELP m_h h
+# TYPE m_h histogram
+m_h_bucket{le=\"1\"} 1
+m_h_bucket{le=\"+Inf\"} 2
+m_h_sum 3
+m_h_count 2
+";
+        assert_eq!(validate(text), Vec::<String>::new());
+    }
+
+    #[test]
+    fn rejects_bad_metric_name() {
+        let text = "# HELP 9bad x\n# TYPE 9bad counter\n9bad 1\n";
+        let errors = validate(text);
+        assert!(
+            errors.iter().any(|e| e.contains("invalid metric name")),
+            "{errors:?}"
+        );
+    }
+
+    #[test]
+    fn rejects_type_without_help() {
+        let text = "# TYPE m counter\nm 1\n";
+        let errors = validate(text);
+        assert!(
+            errors.iter().any(|e| e.contains("without preceding HELP")),
+            "{errors:?}"
+        );
+    }
+
+    #[test]
+    fn rejects_sample_without_type() {
+        let text = "# HELP m x\nm 1\n";
+        let errors = validate(text);
+        assert!(
+            errors.iter().any(|e| e.contains("without TYPE")),
+            "{errors:?}"
+        );
+    }
+
+    #[test]
+    fn rejects_duplicate_series() {
+        let text = "# HELP m x\n# TYPE m counter\nm 1\nm 2\n";
+        let errors = validate(text);
+        assert!(
+            errors.iter().any(|e| e.contains("duplicate series")),
+            "{errors:?}"
+        );
+    }
+
+    #[test]
+    fn distinct_label_sets_are_not_duplicates() {
+        let text = "\
+# HELP m x
+# TYPE m histogram
+m_bucket{le=\"1\"} 1
+m_bucket{le=\"+Inf\"} 1
+m_sum 1
+m_count 1
+";
+        assert_eq!(validate(text), Vec::<String>::new());
+    }
+
+    #[test]
+    fn rejects_bad_label_and_value() {
+        let text = "# HELP m x\n# TYPE m gauge\nm{0l=\"v\"} 1\n";
+        let errors = validate(text);
+        assert!(
+            errors.iter().any(|e| e.contains("invalid label name")),
+            "{errors:?}"
+        );
+        let text = "# HELP m x\n# TYPE m gauge\nm pizza\n";
+        let errors = validate(text);
+        assert!(
+            errors.iter().any(|e| e.contains("invalid sample value")),
+            "{errors:?}"
+        );
+    }
+
+    #[test]
+    fn histogram_without_inf_bucket_is_flagged() {
+        let text = "\
+# HELP m x
+# TYPE m histogram
+m_bucket{le=\"1\"} 1
+m_sum 1
+m_count 1
+";
+        let errors = validate(text);
+        assert!(
+            errors.iter().any(|e| e.contains("no +Inf bucket")),
+            "{errors:?}"
+        );
+    }
+}

@@ -20,7 +20,7 @@
 //!   `histograms` (count/sum/min/max/p50/p99) — hand-rolled, the workspace
 //!   carries no serialization dependency.
 
-use crate::hist::Log2Histogram;
+use crate::hist::{Log2Histogram, BUCKETS};
 use crate::lock_recover;
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
@@ -180,6 +180,49 @@ pub fn histogram(name: &str) -> Arc<Log2Histogram> {
     }
 }
 
+/// Point-in-time copy of one histogram's aggregates and bucket counts.
+#[derive(Debug, Clone)]
+pub struct HistSnapshot {
+    /// Number of recorded observations.
+    pub count: u64,
+    /// Sum of recorded observations.
+    pub sum: u64,
+    /// Per-bucket counts (bucket *i* covers `[2^i, 2^(i+1))`).
+    pub buckets: [u64; BUCKETS],
+}
+
+/// Point-in-time copy of one registered metric's value.
+#[derive(Debug, Clone)]
+pub enum MetricSnapshot {
+    /// A monotone counter's current total.
+    Counter(u64),
+    /// A gauge's current value.
+    Gauge(i64),
+    /// A histogram's aggregates and bucket counts.
+    Histogram(HistSnapshot),
+}
+
+/// Copies every registered metric into an owned, name-sorted vector.
+/// This is the read surface the time-series sampler diffs against on
+/// every tick — one registry lock per tick, no handles retained.
+pub fn snapshot_all() -> Vec<(String, MetricSnapshot)> {
+    let reg = lock_recover(registry());
+    reg.iter()
+        .map(|(name, slot)| {
+            let snap = match slot {
+                Slot::Counter(c) => MetricSnapshot::Counter(c.load(Ordering::Relaxed)),
+                Slot::Gauge(g) => MetricSnapshot::Gauge(g.load(Ordering::Relaxed)),
+                Slot::Histogram(h) => MetricSnapshot::Histogram(HistSnapshot {
+                    count: h.count(),
+                    sum: h.sum(),
+                    buckets: h.buckets(),
+                }),
+            };
+            (name.clone(), snap)
+        })
+        .collect()
+}
+
 /// Sanitises a dotted metric name into a Prometheus metric name.
 fn prom_name(name: &str) -> String {
     let mut out = String::with_capacity(name.len() + 8);
@@ -196,12 +239,15 @@ fn prom_name(name: &str) -> String {
 
 /// Renders every registered metric in the Prometheus text exposition
 /// format.  Histograms are rendered as cumulative `_bucket{le="..."}`
-/// series over the log₂ grid plus `_sum` and `_count`.
+/// series over the log₂ grid plus `_sum` and `_count`.  Every metric
+/// carries a `# HELP` / `# TYPE` pair (exposition-format conformance —
+/// the help string echoes the registry's dotted source name).
 pub fn export_prometheus() -> String {
     let reg = lock_recover(registry());
     let mut out = String::new();
     for (name, slot) in reg.iter() {
         let p = prom_name(name);
+        out.push_str(&format!("# HELP {p} errflow metric {name}\n"));
         match slot {
             Slot::Counter(c) => {
                 out.push_str(&format!("# TYPE {p} counter\n"));
@@ -348,6 +394,51 @@ mod tests {
         assert!(text.contains("errflow_test_prom_latency_bucket{le=\"+Inf\"} 1"));
         // 1500 lands in bucket 10 ([1024, 2048)), le = 2047.
         assert!(text.contains("errflow_test_prom_latency_bucket{le=\"2047\"} 1"));
+    }
+
+    #[test]
+    fn prometheus_exposition_pairs_help_with_type() {
+        counter("test.prom.helped").inc();
+        let text = export_prometheus();
+        assert!(text.contains("# HELP errflow_test_prom_helped errflow metric test.prom.helped"));
+        // Every TYPE line has a HELP line and vice versa.
+        let helps = text.matches("# HELP ").count();
+        let types = text.matches("# TYPE ").count();
+        assert_eq!(helps, types, "{text}");
+    }
+
+    #[test]
+    fn snapshot_all_reflects_registered_values() {
+        counter("test.snap.c").add(9);
+        gauge("test.snap.g").set(-4);
+        histogram("test.snap.h").record(1000);
+        let snap = snapshot_all();
+        let get = |n: &str| {
+            snap.iter()
+                .find(|(name, _)| name == n)
+                .map(|(_, v)| v.clone())
+        };
+        match get("test.snap.c") {
+            Some(MetricSnapshot::Counter(v)) => assert_eq!(v, 9),
+            other => panic!("unexpected {other:?}"),
+        }
+        match get("test.snap.g") {
+            Some(MetricSnapshot::Gauge(v)) => assert_eq!(v, -4),
+            other => panic!("unexpected {other:?}"),
+        }
+        match get("test.snap.h") {
+            Some(MetricSnapshot::Histogram(h)) => {
+                assert_eq!(h.count, 1);
+                assert_eq!(h.sum, 1000);
+                assert_eq!(h.buckets[9], 1, "1000 lands in [512, 1024)");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // Name-sorted, as documented.
+        let names: Vec<_> = snap.iter().map(|(n, _)| n.clone()).collect();
+        let mut sorted = names.clone();
+        sorted.sort();
+        assert_eq!(names, sorted);
     }
 
     #[test]

@@ -39,6 +39,9 @@
 //!   per-stage breakdown behind `Server::stats`.
 //! - [`loadgen`]: the closed-loop synthetic driver behind
 //!   `errflow-cli serve-bench`.
+//! - [`telemetry`]: the pump thread that feeds the live observability
+//!   plane — publishes snapshot gauges, advances the tiered time-series
+//!   sampler of [`errflow_obs::timeseries`], and evaluates SLOs.
 
 pub mod batch;
 pub mod cache;
@@ -47,10 +50,15 @@ pub mod queue;
 pub mod server;
 pub mod shard;
 pub mod stats;
+pub mod telemetry;
 
 pub use cache::{bucket_tolerance, PlanCache, PlanKey};
 pub use loadgen::{run_loadgen, BenchSummary, LoadgenConfig};
 pub use queue::{BoundedQueue, QueueFull};
 pub use server::{BackendKind, Request, Response, ServeConfig, ServeError, Server, Ticket};
 pub use shard::ShardedQueue;
-pub use stats::{LatencyHistogram, LatencySummary, RequestStages, StageBreakdown, StatsSnapshot};
+pub use stats::{
+    BoundMarginSummary, LatencyHistogram, LatencySummary, RequestStages, StageBreakdown,
+    StatsSnapshot,
+};
+pub use telemetry::{default_objectives, start_telemetry, Telemetry, TelemetryConfig};

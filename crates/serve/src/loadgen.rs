@@ -104,6 +104,9 @@ pub struct BenchSummary {
     pub bound_pass: u64,
     /// Responses whose certified bound failed the check (must be 0).
     pub bound_fail: u64,
+    /// Distribution of `rel_bound / plan_tol` per request — how much of
+    /// the requested tolerance the certificates actually consumed.
+    pub bound_margin: crate::stats::BoundMarginSummary,
 }
 
 impl BenchSummary {
@@ -141,6 +144,7 @@ impl BenchSummary {
             stages: snap.stages,
             bound_pass: snap.bound_pass,
             bound_fail: snap.bound_fail,
+            bound_margin: snap.bound_margin,
         }
     }
 
@@ -163,14 +167,31 @@ impl BenchSummary {
                 num(s.p99_us),
             )
         };
+        // Stages that recorded nothing (ingress/egress for in-process
+        // runs) are omitted entirely — an all-zero summary reads like a
+        // measured 0 µs stage, which it is not.
+        let named: [(&str, &LatencySummary); 7] = [
+            ("ingress", &self.stages.ingress),
+            ("batch_wait", &self.stages.batch_wait),
+            ("plan", &self.stages.plan),
+            ("decompress", &self.stages.decompress),
+            ("forward", &self.stages.forward),
+            ("respond", &self.stages.respond),
+            ("egress", &self.stages.egress),
+        ];
+        let stages_json: Vec<String> = named
+            .iter()
+            .filter(|(_, s)| s.count > 0)
+            .map(|(n, s)| format!("\"{n}\":{}", stage(s)))
+            .collect();
         format!(
             concat!(
                 "{{\"clients\":{},\"requests\":{},\"rejections\":{},",
                 "\"wall_secs\":{},\"throughput_rps\":{},",
                 "\"latency_us\":{{\"min\":{},\"mean\":{},\"p50\":{},\"p99\":{},\"max\":{}}},",
-                "\"stages\":{{\"ingress\":{},\"batch_wait\":{},\"plan\":{},\"decompress\":{},",
-                "\"forward\":{},\"respond\":{},\"egress\":{}}},",
-                "\"bounds\":{{\"pass\":{},\"fail\":{}}},",
+                "\"stages\":{{{}}},",
+                "\"bounds\":{{\"pass\":{},\"fail\":{},",
+                "\"margin_p50\":{},\"margin_p99\":{},\"margin_max\":{}}},",
                 "\"cache\":{{\"hits\":{},\"misses\":{},\"hit_rate\":{}}},",
                 "\"batches\":{},\"mean_batch_size\":{},",
                 "\"max_rel_bound\":{},\"all_bounds_certified\":{},",
@@ -187,15 +208,12 @@ impl BenchSummary {
             num(self.latency.p50_us),
             num(self.latency.p99_us),
             num(self.latency.max_us),
-            stage(&self.stages.ingress),
-            stage(&self.stages.batch_wait),
-            stage(&self.stages.plan),
-            stage(&self.stages.decompress),
-            stage(&self.stages.forward),
-            stage(&self.stages.respond),
-            stage(&self.stages.egress),
+            stages_json.join(","),
             self.bound_pass,
             self.bound_fail,
+            num(self.bound_margin.p50),
+            num(self.bound_margin.p99),
+            num(self.bound_margin.max),
             self.cache_hits,
             self.cache_misses,
             num(self.cache_hit_rate),
@@ -376,6 +394,12 @@ mod tests {
             },
             bound_pass: 800,
             bound_fail: 0,
+            bound_margin: crate::stats::BoundMarginSummary {
+                count: 800,
+                p50: 0.4,
+                p99: 0.92,
+                max: 0.97,
+            },
         };
         let j = s.to_json();
         assert!(j.starts_with('{') && j.ends_with('}'));
@@ -389,35 +413,64 @@ mod tests {
             j.contains("\"decompress\":{\"count\":800,\"mean_us\":40,"),
             "{j}"
         );
-        assert!(j.contains("\"bounds\":{\"pass\":800,\"fail\":0}"), "{j}");
+        // Stages with zero observations (everything except decompress in
+        // this fixture) are omitted, not emitted as all-zero objects.
+        assert!(!j.contains("\"ingress\""), "{j}");
+        assert!(!j.contains("\"egress\""), "{j}");
+        assert!(!j.contains("\"forward\""), "{j}");
+        assert!(
+            j.contains("\"bounds\":{\"pass\":800,\"fail\":0,\"margin_p50\":0.4,"),
+            "{j}"
+        );
         // Balanced braces (nested latency/stages/cache objects).
         assert_eq!(j.matches('{').count(), j.matches('}').count());
     }
 
     #[test]
-    fn nonfinite_values_serialize_as_null() {
+    fn empty_stages_block_is_an_empty_object() {
         let s = BenchSummary {
+            stages: StageBreakdown::default(),
+            ..zero_summary()
+        };
+        let j = s.to_json();
+        assert!(j.contains("\"stages\":{},"), "{j}");
+        assert_eq!(j.matches('{').count(), j.matches('}').count());
+    }
+
+    fn zero_summary() -> BenchSummary {
+        BenchSummary {
             clients: 1,
             requests: 0,
             rejections: 0,
             wall_secs: 0.0,
-            throughput_rps: f64::INFINITY,
+            throughput_rps: 0.0,
             latency: LatencySummary::default(),
             cache_hits: 0,
             cache_misses: 0,
-            cache_hit_rate: f64::NAN,
+            cache_hit_rate: 0.0,
             batches: 0,
             mean_batch_size: 0.0,
             max_rel_bound: 0.0,
             all_bounds_certified: true,
             decomp_bytes_in: 0,
             decomp_bytes_out: 0,
-            decomp_gbps: f64::NAN,
+            decomp_gbps: 0.0,
             scratch_hit_rate: 0.0,
             decode_streams: 0,
             stages: StageBreakdown::default(),
             bound_pass: 0,
             bound_fail: 0,
+            bound_margin: crate::stats::BoundMarginSummary::default(),
+        }
+    }
+
+    #[test]
+    fn nonfinite_values_serialize_as_null() {
+        let s = BenchSummary {
+            throughput_rps: f64::INFINITY,
+            cache_hit_rate: f64::NAN,
+            decomp_gbps: f64::NAN,
+            ..zero_summary()
         };
         let j = s.to_json();
         assert!(j.contains("\"throughput_rps\":null"), "{j}");

@@ -574,12 +574,26 @@ impl<M: Model + Clone + Send + Sync + 'static> Server<M> {
     /// Point-in-time statistics: counters, queue depth, cache hit/miss,
     /// latency distribution.
     pub fn stats(&self) -> StatsSnapshot {
-        let s = &self.inner.stats;
+        Self::snapshot_of(&self.inner, &self.queue)
+    }
+
+    /// A `'static` snapshot closure over this server's stats — the hook
+    /// [`crate::telemetry::start_telemetry`] polls once per interval.  It
+    /// holds only `Arc`s, so it outlives the `Server` handle (after
+    /// shutdown it keeps reporting the drained server's final counters).
+    pub fn stats_source(&self) -> impl Fn() -> StatsSnapshot + Send + Sync + 'static {
+        let inner = Arc::clone(&self.inner);
+        let queue = Arc::clone(&self.queue);
+        move || Self::snapshot_of(&inner, &queue)
+    }
+
+    fn snapshot_of(inner: &Inner<M>, queue: &ShardedQueue<Job>) -> StatsSnapshot {
+        let s = &inner.stats;
         // The scratch pool is process-wide; report the delta since this
         // server was built (saturating: concurrent pool traffic makes the
         // counters race ahead of the baseline, never behind it).
         let (hits, misses) = errflow_compress::scratch::pool_stats();
-        let (base_hits, base_misses) = self.inner.scratch_base;
+        let (base_hits, base_misses) = inner.scratch_base;
         StatsSnapshot {
             submitted: s.submitted.get(),
             rejected: s.rejected.get(),
@@ -587,17 +601,18 @@ impl<M: Model + Clone + Send + Sync + 'static> Server<M> {
             failed: s.failed.get(),
             batches: s.batches.get(),
             batched_jobs: s.batched_jobs.get(),
-            queue_depth: self.queue.len(),
-            cache_hits: self.inner.cache.hits(),
-            cache_misses: self.inner.cache.misses(),
+            queue_depth: queue.len(),
+            cache_hits: inner.cache.hits(),
+            cache_misses: inner.cache.misses(),
             decomp_ns: s.decomp_ns.get(),
             decomp_bytes_in: s.decomp_bytes_in.get(),
             decomp_bytes_out: s.decomp_bytes_out.get(),
             scratch_hits: hits.saturating_sub(base_hits),
             scratch_misses: misses.saturating_sub(base_misses),
-            decode_streams: decode_streams_total().saturating_sub(self.inner.decode_streams_base),
+            decode_streams: decode_streams_total().saturating_sub(inner.decode_streams_base),
             bound_pass: s.stages.bound_pass.get(),
             bound_fail: s.stages.bound_fail.get(),
+            bound_margin: s.stages.bound_margin_summary(),
             latency: s.latency.summary(),
             stages: s.stages.breakdown(),
         }
@@ -978,6 +993,10 @@ fn finish_batch<M: Model + Clone + Send + Sync>(inner: &Inner<M>, p: PreparedBat
         } else {
             inner.stats.stages.bound_fail.inc();
         }
+        inner
+            .stats
+            .stages
+            .record_bound_margin(p.cached.rel_bound, job.plan_tol);
         // respond_ns is measured *before* the end-to-end latency so the
         // stage sum stays ≤ latency for this request.
         let respond_ns = t_respond.elapsed().as_nanos() as u64;

@@ -53,6 +53,15 @@ impl MirroredHistogram {
     pub fn summary(&self) -> LatencySummary {
         self.local.summary()
     }
+
+    /// The unit-agnostic instance histogram, for callers that record
+    /// something other than nanoseconds (e.g. scaled ratios) and need raw
+    /// quantiles without the microsecond conversion of [`summary`].
+    ///
+    /// [`summary`]: Self::summary
+    pub fn raw(&self) -> &errflow_obs::Log2Histogram {
+        self.local.as_log2()
+    }
 }
 
 /// Where a completed request spent its time, in nanoseconds.  Shipped on
@@ -130,6 +139,12 @@ pub struct StageStats {
     /// Responses whose certified bound exceeded the plan tolerance (a
     /// broken certificate — must stay 0).
     pub bound_fail: ScopedCounter,
+    /// Per-request bound margin `round((rel_bound / plan_tol) · 1e6)` in a
+    /// log₂ histogram: how much of the requested tolerance the certified
+    /// bound actually consumed.  1e6 ≙ the certificate exactly met the
+    /// tolerance; small values mean the planner over-delivered.  Summarised
+    /// by [`StageStats::bound_margin_summary`] as a 0‥1 ratio.
+    pub bound_margin: MirroredHistogram,
 }
 
 impl Default for StageStats {
@@ -144,6 +159,7 @@ impl Default for StageStats {
             egress: MirroredHistogram::new("serve.stage.egress_ns"),
             bound_pass: ScopedCounter::new("serve.bound_pass"),
             bound_fail: ScopedCounter::new("serve.bound_fail"),
+            bound_margin: MirroredHistogram::new("serve.bound_margin"),
         }
     }
 }
@@ -161,6 +177,51 @@ impl StageStats {
             egress: self.egress.summary(),
         }
     }
+
+    /// Records one request's bound margin: the certified `rel_bound` as a
+    /// fraction of the plan tolerance, scaled by 1e6 onto the log₂ grid.
+    pub(crate) fn record_bound_margin(&self, rel_bound: f64, plan_tol: f64) {
+        if plan_tol > 0.0 && rel_bound.is_finite() {
+            let scaled = (rel_bound / plan_tol * 1e6).round();
+            if scaled.is_finite() && scaled >= 0.0 {
+                self.bound_margin.record_ns(scaled as u64);
+            }
+        }
+    }
+
+    /// Summary of the bound-margin distribution as 0‥1 ratios (a margin of
+    /// 1.0 means the certificate exactly met the requested tolerance).
+    pub fn bound_margin_summary(&self) -> BoundMarginSummary {
+        let h = self.bound_margin.raw();
+        let count = h.count();
+        if count == 0 {
+            return BoundMarginSummary::default();
+        }
+        // Within-bucket interpolation can overshoot the true maximum in
+        // the top bucket; clamp so a healthy run never reports p99 > max
+        // (a margin above 1.0 reads as a broken certificate).
+        let max = h.max() as f64 / 1e6;
+        BoundMarginSummary {
+            count,
+            p50: (h.quantile(0.50) / 1e6).min(max),
+            p99: (h.quantile(0.99) / 1e6).min(max),
+            max,
+        }
+    }
+}
+
+/// Snapshot of the per-request bound-margin distribution
+/// (`rel_bound / plan_tol`, dimensionless, ≤ 1.0 while certificates hold).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct BoundMarginSummary {
+    /// Requests that recorded a margin.
+    pub count: u64,
+    /// Median margin (histogram-approximate).
+    pub p50: f64,
+    /// 99th-percentile margin (histogram-approximate).
+    pub p99: f64,
+    /// Largest recorded margin; > 1.0 would mean a broken certificate.
+    pub max: f64,
 }
 
 /// Snapshot of the per-stage latency distributions (microseconds).
@@ -244,7 +305,7 @@ impl ServerStats {
 
 /// Point-in-time view of [`ServerStats`] plus queue/cache gauges, as
 /// returned by `Server::stats`.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, Default)]
 pub struct StatsSnapshot {
     /// Requests admitted into the queue.
     pub submitted: u64,
@@ -290,6 +351,9 @@ pub struct StatsSnapshot {
     /// Responses whose certified bound exceeded the plan tolerance (must
     /// stay 0; a nonzero value is a broken certificate).
     pub bound_fail: u64,
+    /// Distribution of `rel_bound / plan_tol` per request: how tight the
+    /// certified bounds ran against the requested tolerance.
+    pub bound_margin: BoundMarginSummary,
     /// Latency distribution snapshot.
     pub latency: LatencySummary,
     /// Per-stage latency breakdown.
@@ -363,6 +427,7 @@ mod tests {
             decode_streams: 0,
             bound_pass: 0,
             bound_fail: 0,
+            bound_margin: BoundMarginSummary::default(),
             latency: LatencySummary::default(),
             stages: StageBreakdown::default(),
         }
@@ -489,6 +554,26 @@ mod tests {
         // 4 MB decoded in 1 ms = 4 GB/s (bytes per nanosecond).
         assert!((snap.decomp_gbps() - 4.0).abs() < 1e-12);
         assert!((snap.scratch_hit_rate() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bound_margin_summary_reports_ratio_quantiles() {
+        let s = StageStats::default();
+        assert_eq!(s.bound_margin_summary(), BoundMarginSummary::default());
+        // Margins spread over [0.1, 0.9] of tolerance, one near-exact.
+        for k in 1..=9u64 {
+            s.record_bound_margin(k as f64 * 1e-4, 1e-3);
+        }
+        s.record_bound_margin(9.9e-4, 1e-3);
+        let m = s.bound_margin_summary();
+        assert_eq!(m.count, 10);
+        assert!(m.p50 > 0.2 && m.p50 < 0.8, "{m:?}");
+        assert!(m.p99 > m.p50, "{m:?}");
+        assert!(m.max > 0.95 && m.max <= 1.0, "{m:?}");
+        // Degenerate inputs are dropped, not recorded as garbage.
+        s.record_bound_margin(f64::NAN, 1e-3);
+        s.record_bound_margin(1e-4, 0.0);
+        assert_eq!(s.bound_margin_summary().count, 10);
     }
 
     #[test]

@@ -107,6 +107,35 @@ pub enum Command {
         port: u16,
         /// Dedicated io (acceptor/reader) threads for the net frontend.
         io_threads: usize,
+        /// Keep the net frontend (and telemetry plane) alive this many
+        /// seconds after the load completes, so external scrapers can
+        /// attach (requires --net).
+        hold_secs: u64,
+    },
+    /// One-shot telemetry scrape of a running server over EFNP.
+    Scrape {
+        /// Server address (`host:port`).
+        addr: String,
+        /// Output format: Prometheus text or JSON.
+        prom: bool,
+        /// Retention tier to dump (JSON only; None = all tiers).
+        tier: Option<u8>,
+        /// Max points per series.
+        window: u32,
+        /// Run the Prometheus exposition-conformance checker on the
+        /// scraped text and fail on violations (requires --prom).
+        validate: bool,
+        /// Connection/retry budget in seconds.
+        timeout_secs: u64,
+    },
+    /// Live terminal dashboard over a running server's telemetry plane.
+    Top {
+        /// Server address (`host:port`).
+        addr: String,
+        /// Milliseconds between frames.
+        interval_ms: u64,
+        /// Render N frames then exit (None = until interrupted).
+        frames: Option<u64>,
     },
     /// Print usage.
     Help,
@@ -140,6 +169,16 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
     let mut net = false;
     let mut port = 0u16;
     let mut io_threads = 1usize;
+    let mut hold_secs = 0u64;
+    let mut addr = "127.0.0.1:9090".to_string();
+    let mut prom = false;
+    let mut json = false;
+    let mut tier: Option<u8> = None;
+    let mut window = 300u32;
+    let mut validate = false;
+    let mut timeout_secs = 10u64;
+    let mut interval_ms = 1000u64;
+    let mut frames: Option<u64> = None;
     // serve-bench defaults to a loose tolerance; `plan`/`run` keep 1e-3.
     let serve_bench = cmd == "serve-bench";
     if serve_bench {
@@ -237,6 +276,44 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                     .parse()
                     .map_err(|e| format!("--io-threads: {e}"))?
             }
+            "--hold-secs" => {
+                hold_secs = value("--hold-secs")?
+                    .parse()
+                    .map_err(|e| format!("--hold-secs: {e}"))?
+            }
+            "--addr" => addr = value("--addr")?.clone(),
+            "--prom" => prom = true,
+            "--json" => json = true,
+            "--tier" => {
+                tier = Some(
+                    value("--tier")?
+                        .parse()
+                        .map_err(|e| format!("--tier: {e}"))?,
+                )
+            }
+            "--window" => {
+                window = value("--window")?
+                    .parse()
+                    .map_err(|e| format!("--window: {e}"))?
+            }
+            "--validate" => validate = true,
+            "--timeout-secs" => {
+                timeout_secs = value("--timeout-secs")?
+                    .parse()
+                    .map_err(|e| format!("--timeout-secs: {e}"))?
+            }
+            "--interval-ms" => {
+                interval_ms = value("--interval-ms")?
+                    .parse()
+                    .map_err(|e| format!("--interval-ms: {e}"))?
+            }
+            "--frames" => {
+                frames = Some(
+                    value("--frames")?
+                        .parse()
+                        .map_err(|e| format!("--frames: {e}"))?,
+                )
+            }
             other => return Err(format!("unknown flag: {other}")),
         }
     }
@@ -282,6 +359,28 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
             net,
             port,
             io_threads,
+            hold_secs,
+        }),
+        "scrape" => {
+            if prom && json {
+                return Err("--prom and --json are mutually exclusive".to_string());
+            }
+            if validate && json {
+                return Err("--validate requires --prom".to_string());
+            }
+            Ok(Command::Scrape {
+                addr,
+                prom: !json,
+                tier,
+                window,
+                validate,
+                timeout_secs,
+            })
+        }
+        "top" => Ok(Command::Top {
+            addr,
+            interval_ms,
+            frames,
         }),
         other => Err(format!("unknown command: {other}")),
     }
@@ -298,7 +397,10 @@ USAGE:
   errflow-cli serve-bench [--task <...>] [--tol <rel>] [--norm linf|l2] [--share F] [--backend <...>]
                           [--clients N] [--requests M] [--workers N] [--queue-cap N] [--batch N]
                           [--samples N] [--mix K] [--seed N] [--smoke] [--trace-out FILE]
-                          [--net] [--port P] [--io-threads N]
+                          [--net] [--port P] [--io-threads N] [--hold-secs S]
+  errflow-cli scrape  [--addr HOST:PORT] [--prom|--json] [--tier N] [--window N] [--validate]
+                      [--timeout-secs S]
+  errflow-cli top     [--addr HOST:PORT] [--interval-ms N] [--frames N]
   errflow-cli help
 
 serve-bench drives the in-process inference server with N closed-loop
@@ -313,6 +415,18 @@ wire-protocol TCP frontend on 127.0.0.1 (--port, 0 = ephemeral;
 --io-threads acceptor/reader threads) and adds client RTT plus frontend
 overhead to the summary; with --smoke it also fails if the ingress/egress
 stages are empty or the p50 frontend overhead exceeds 250µs.
+--hold-secs keeps the --net frontend and the telemetry plane alive after
+the load finishes so scrape/top can attach.
+
+scrape performs one EFNP metrics request against a live server started
+with --net: --prom (default) prints Prometheus text (--validate runs the
+exposition-conformance checker on it), --json prints the tiered
+time-series plus SLO states as JSON (--tier selects one retention tier,
+--window caps points per series).
+
+top renders a live terminal dashboard (throughput, per-stage latency
+sparklines, cache hit rates, bound-margin distribution, SLO badges)
+refreshed every --interval-ms; --frames N exits after N frames.
 ";
 
 fn backend_by_name(name: &str) -> Result<Box<dyn Compressor>, String> {
@@ -455,7 +569,12 @@ pub fn run(cmd: Command) -> i32 {
             net,
             port,
             io_threads,
+            hold_secs,
         } => {
+            if hold_secs > 0 && !net {
+                eprintln!("--hold-secs requires --net (nothing to scrape in-process)");
+                return 2;
+            }
             let backend = match BackendKind::parse(&backend) {
                 Ok(b) => b,
                 Err(e) => {
@@ -509,6 +628,13 @@ pub fn run(cmd: Command) -> i32 {
                 },
                 seed,
             };
+            // The telemetry pump feeds the live observability plane
+            // (tiered time series + SLOs) that `scrape`/`top` read; it
+            // runs for the whole bench including any --hold-secs window.
+            let _telemetry = crate::serve::start_telemetry(
+                server.stats_source(),
+                crate::serve::TelemetryConfig::default(),
+            );
             // In net mode the closed loop runs through real sockets and the
             // summary grows a `net` block (client RTT + frontend overhead).
             let (summary, net_overhead_us) = if net {
@@ -529,6 +655,13 @@ pub fn run(cmd: Command) -> i32 {
                 eprintln!("net frontend listening on {}", frontend.local_addr());
                 let s = run_net_loadgen(&server, frontend.local_addr(), &lg_cfg);
                 println!("{}", s.to_json());
+                if hold_secs > 0 {
+                    eprintln!(
+                        "holding frontend open on {} for {hold_secs}s (scrape/top may attach)...",
+                        frontend.local_addr()
+                    );
+                    std::thread::sleep(std::time::Duration::from_secs(hold_secs));
+                }
                 (s.base, Some(s.overhead_p50_us))
             } else {
                 let s = run_loadgen(&server, &lg_cfg);
@@ -592,6 +725,81 @@ pub fn run(cmd: Command) -> i32 {
             }
             i32::from(!summary.all_bounds_certified)
         }
+        Command::Scrape {
+            addr,
+            prom,
+            tier,
+            window,
+            validate,
+            timeout_secs,
+        } => {
+            use crate::net::proto::TIER_ALL;
+            use crate::net::{MetricsFormat, MetricsResponseFrame, NetClient};
+            let deadline =
+                std::time::Instant::now() + std::time::Duration::from_secs(timeout_secs.max(1));
+            // Retry the connect until the deadline: CI starts the server
+            // and the scraper concurrently.
+            let mut client = loop {
+                match NetClient::connect(&addr) {
+                    Ok(c) => break c,
+                    Err(e) => {
+                        if std::time::Instant::now() >= deadline {
+                            eprintln!("connect {addr}: {e}");
+                            return 2;
+                        }
+                        std::thread::sleep(std::time::Duration::from_millis(100));
+                    }
+                }
+            };
+            if let Err(e) = client.set_read_timeout(Some(std::time::Duration::from_secs(10))) {
+                eprintln!("set timeout: {e}");
+                return 2;
+            }
+            let format = if prom {
+                MetricsFormat::Prometheus
+            } else {
+                MetricsFormat::Json
+            };
+            let body = match client.scrape(format, tier.unwrap_or(TIER_ALL), window) {
+                Ok(MetricsResponseFrame::Text { body, .. }) => body,
+                Ok(MetricsResponseFrame::Binary(_)) => {
+                    eprintln!("server sent a binary response to a text scrape");
+                    return 2;
+                }
+                Err(e) => {
+                    eprintln!("scrape {addr}: {e}");
+                    return 2;
+                }
+            };
+            println!("{body}");
+            if validate {
+                let violations = crate::obs::promcheck::validate(&body);
+                if violations.is_empty() {
+                    eprintln!("exposition conformance: ok");
+                } else {
+                    for v in &violations {
+                        eprintln!("exposition violation: {v}");
+                    }
+                    return 3;
+                }
+            }
+            0
+        }
+        Command::Top {
+            addr,
+            interval_ms,
+            frames,
+        } => match crate::top::run_top(&crate::top::TopConfig {
+            addr,
+            interval_ms,
+            frames,
+        }) {
+            Ok(()) => 0,
+            Err(e) => {
+                eprintln!("{e}");
+                2
+            }
+        },
     }
 }
 
@@ -782,6 +990,84 @@ mod tests {
         }
         assert!(parse_args(&args("serve-bench --port many")).is_err());
         assert!(parse_args(&args("serve-bench --io-threads")).is_err());
+    }
+
+    #[test]
+    fn parse_serve_bench_hold_secs() {
+        match parse_args(&args("serve-bench --net --hold-secs 30")).unwrap() {
+            Command::ServeBench { hold_secs, net, .. } => {
+                assert_eq!(hold_secs, 30);
+                assert!(net);
+            }
+            _ => panic!("wrong command"),
+        }
+        match parse_args(&args("serve-bench")).unwrap() {
+            Command::ServeBench { hold_secs, .. } => assert_eq!(hold_secs, 0),
+            _ => panic!("wrong command"),
+        }
+        assert!(parse_args(&args("serve-bench --hold-secs soon")).is_err());
+    }
+
+    #[test]
+    fn parse_scrape() {
+        assert_eq!(
+            parse_args(&args("scrape")).unwrap(),
+            Command::Scrape {
+                addr: "127.0.0.1:9090".into(),
+                prom: true,
+                tier: None,
+                window: 300,
+                validate: false,
+                timeout_secs: 10,
+            }
+        );
+        assert_eq!(
+            parse_args(&args(
+                "scrape --addr 127.0.0.1:9001 --json --tier 1 --window 64 --timeout-secs 3"
+            ))
+            .unwrap(),
+            Command::Scrape {
+                addr: "127.0.0.1:9001".into(),
+                prom: false,
+                tier: Some(1),
+                window: 64,
+                validate: false,
+                timeout_secs: 3,
+            }
+        );
+        match parse_args(&args("scrape --prom --validate")).unwrap() {
+            Command::Scrape { prom, validate, .. } => {
+                assert!(prom && validate);
+            }
+            _ => panic!("wrong command"),
+        }
+        assert!(parse_args(&args("scrape --prom --json")).is_err());
+        assert!(parse_args(&args("scrape --json --validate")).is_err());
+        assert!(parse_args(&args("scrape --tier many")).is_err());
+    }
+
+    #[test]
+    fn parse_top() {
+        assert_eq!(
+            parse_args(&args("top")).unwrap(),
+            Command::Top {
+                addr: "127.0.0.1:9090".into(),
+                interval_ms: 1000,
+                frames: None,
+            }
+        );
+        assert_eq!(
+            parse_args(&args(
+                "top --addr 127.0.0.1:9002 --interval-ms 250 --frames 5"
+            ))
+            .unwrap(),
+            Command::Top {
+                addr: "127.0.0.1:9002".into(),
+                interval_ms: 250,
+                frames: Some(5),
+            }
+        );
+        assert!(parse_args(&args("top --frames")).is_err());
     }
 
     #[test]

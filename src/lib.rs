@@ -36,6 +36,7 @@
 //! | [`obs`] | metrics registry, span tracing, latency histograms |
 
 pub mod cli;
+pub mod top;
 
 pub use errflow_compress as compress;
 pub use errflow_core as core;
